@@ -1,0 +1,121 @@
+// Ablation: where does S-MATCH's client key-generation time go?
+//
+// The paper (Section IX-C) observes that at small plaintext sizes "the
+// computation cost of the client side mainly comes from the key
+// generation, which is relatively stable as the plaintext size
+// increases", attributing it to the RS decoder and the RSA-OPRF's two
+// modular exponentiations. This bench decomposes Keygen:
+//
+//   quantize + RS decode   (FuzzyKeyGen::fuzzy_vector)
+//   hashing to key material (SHA-256 over the fuzzy vector)
+//   OPRF round             (blind, server exponentiation, unblind+verify)
+//
+// and shows the whole of Keygen against InitData+Enc at two plaintext
+// sizes, confirming the crossover.
+//
+// Run: ./build/bench/ablation_keygen_breakdown
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+
+using namespace smatch;
+
+namespace {
+
+const RsaOprfServer& oprf_server() {
+  static const RsaOprfServer server = [] {
+    Drbg rng(5150);
+    return RsaOprfServer(RsaKeyPair::generate(rng, 1024));
+  }();
+  return server;
+}
+
+SchemeParams params_for(std::size_t k) {
+  SchemeParams p;
+  p.attribute_bits = k;
+  p.rs_threshold = 8;
+  return p;
+}
+
+const Profile& test_profile() {
+  static const Profile p = {12, 250, 7, 99, 180, 33};
+  return p;
+}
+
+void keygen_quantize_and_decode(benchmark::State& state) {
+  const FuzzyKeyGen kg(params_for(64), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg.fuzzy_vector(test_profile()));
+  }
+}
+
+void keygen_key_material(benchmark::State& state) {
+  const FuzzyKeyGen kg(params_for(64), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg.key_material(test_profile()));
+  }
+}
+
+void keygen_oprf_round(benchmark::State& state) {
+  const FuzzyKeyGen kg(params_for(64), 6);
+  const Bytes material = kg.key_material(test_profile());
+  Drbg rng(2);
+  for (auto _ : state) {
+    RsaOprfClient client(oprf_server().public_key(), material, rng);
+    const OprfResponse resp = oprf_server().evaluate(client.request());
+    benchmark::DoNotOptimize(client.finalize(resp));
+  }
+}
+
+void keygen_total(benchmark::State& state) {
+  const FuzzyKeyGen kg(params_for(64), 6);
+  Drbg rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg.derive(test_profile(), oprf_server(), rng));
+  }
+}
+
+void initdata_plus_enc(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  DatasetSpec spec;
+  spec.name = "kb";
+  spec.num_users = 1;
+  for (int i = 0; i < 6; ++i) {
+    spec.attributes.push_back(AttributeSpec::uniform("a" + std::to_string(i), 8.0));
+  }
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  Client client(1, test_profile(), make_client_config(spec, params_for(k), group));
+  Drbg rng(4);
+  client.generate_key(oprf_server(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.encrypt_chain(client.init_data(rng)));
+  }
+  state.counters["plaintext_bits"] = static_cast<double>(k);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)oprf_server();  // key generation outside any timed region
+  benchmark::RegisterBenchmark("keygen/quantize+rs_decode", keygen_quantize_and_decode)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("keygen/key_material", keygen_key_material)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("keygen/oprf_round", keygen_oprf_round)
+      ->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("keygen/total", keygen_total)->Unit(benchmark::kMicrosecond);
+  for (std::int64_t k : {64, 512, 2048}) {
+    benchmark::RegisterBenchmark("initdata_plus_enc", initdata_plus_enc)
+        ->Arg(k)
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(k >= 2048 ? 2 : 10);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

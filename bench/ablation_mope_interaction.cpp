@@ -1,0 +1,63 @@
+// Ablation: why S-MATCH uses non-interactive OPE instead of mOPE
+// (paper Section II: "mOPE is an interactive scheme, which is not
+// suitable for the privacy-preserving profile matching scenario").
+//
+// Measures, for a population of n uploads: total client<->server
+// interaction rounds, simulated round-trip latency on the paper's
+// 802.11n link, and encode time — mOPE versus this repo's OPE.
+//
+// Run: ./build/bench/ablation_mope_interaction
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "net/channel.hpp"
+#include "ope/mope.hpp"
+#include "ope/ope.hpp"
+
+using namespace smatch;
+
+int main() {
+  const LinkModel link{.bandwidth_mbps = 53.0, .latency_ms = 2.0};
+
+  std::printf("ABLATION: interactivity of mOPE vs non-interactive OPE\n");
+  std::printf("(one mOPE round = 2 messages of ~16B; latency %.0f ms each way)\n\n",
+              link.latency_ms);
+  std::printf("%-8s %-14s %-16s %-14s %-14s\n", "n", "mOPE rounds",
+              "mOPE latency(s)", "mOPE cpu(ms)", "OPE cpu(ms)");
+
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    Drbg rng(n);
+    const MopeClient client(rng.bytes(16));
+    MopeServer server;
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)server.insert(client.encrypt(rng.u64()), client);
+    }
+    const double mope_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    // Each round = server->client node ciphertext + client->server answer.
+    const double mope_latency =
+        static_cast<double>(server.interaction_rounds()) *
+        (link.transfer_seconds(16) + link.transfer_seconds(1));
+
+    const Ope ope(rng.bytes(32), 64, 128);
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)ope.encrypt(BigInt{rng.u64()});
+    }
+    const double ope_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::printf("%-8zu %-14llu %-16.1f %-14.1f %-14.1f\n", n,
+                static_cast<unsigned long long>(server.interaction_rounds()),
+                mope_latency, mope_ms, ope_ms);
+  }
+  std::printf("\nOPE interaction rounds: 0 (clients encrypt offline and upload once);\n"
+              "mOPE additionally *mutates* existing codes on rebalance, forcing\n"
+              "re-synchronization of every stored ciphertext's order code.\n");
+  return 0;
+}

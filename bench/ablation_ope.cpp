@@ -1,0 +1,86 @@
+// Ablation: OPE engine design knobs.
+//
+//   (1) cost scaling — encryption/decryption time versus plaintext width
+//       (the recursion is one level per ciphertext bit);
+//   (2) ciphertext slack — the paper sets N = M, which degenerates OPE to
+//       the identity; this sweep shows what slack buys (a non-trivial
+//       cipher) and what it costs (more recursion levels + bytes);
+//   (3) sampler regions — small nodes use exact hypergeometric inversion,
+//       large nodes a normal approximation; this measures the pure-exact
+//       regime (tiny domains) against the mixed regime.
+//
+// Run: ./build/bench/ablation_ope
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+using namespace smatch;
+
+namespace {
+
+Bytes bench_key() {
+  Drbg rng(606);
+  return rng.bytes(32);
+}
+
+void ope_encrypt(benchmark::State& state) {
+  const auto pt_bits = static_cast<std::size_t>(state.range(0));
+  const auto slack = static_cast<std::size_t>(state.range(1));
+  const Ope ope(bench_key(), pt_bits, pt_bits + slack);
+  Drbg rng(707);
+  const BigInt m = BigInt::random_below(rng, BigInt{1} << pt_bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.encrypt(m));
+  }
+  state.counters["pt_bits"] = static_cast<double>(pt_bits);
+  state.counters["slack_bits"] = static_cast<double>(slack);
+}
+
+void ope_decrypt(benchmark::State& state) {
+  const auto pt_bits = static_cast<std::size_t>(state.range(0));
+  const Ope ope(bench_key(), pt_bits, pt_bits + 64);
+  Drbg rng(808);
+  const BigInt c = ope.encrypt(BigInt::random_below(rng, BigInt{1} << pt_bits));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.decrypt(c));
+  }
+  state.counters["pt_bits"] = static_cast<double>(pt_bits);
+}
+
+// Exact-sampler regime: tiny domains where every recursion node falls
+// under the exact-inversion cap.
+void ope_exact_regime(benchmark::State& state) {
+  const Ope ope(bench_key(), 8, 20);
+  Drbg rng(909);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.encrypt(BigInt{rng.below(256)}));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (std::int64_t bits : {64, 256, 1024, 4096, 16384}) {
+    benchmark::RegisterBenchmark("ablation_ope/encrypt", ope_encrypt)
+        ->Args({bits, 64})
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (std::int64_t slack : {0, 8, 64, 256, 1024}) {
+    benchmark::RegisterBenchmark("ablation_ope/slack", ope_encrypt)
+        ->Args({512, slack})
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (std::int64_t bits : {64, 1024, 4096}) {
+    benchmark::RegisterBenchmark("ablation_ope/decrypt", ope_decrypt)
+        ->Arg(bits)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("ablation_ope/exact_regime", ope_exact_regime)
+      ->Unit(benchmark::kMicrosecond);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation: how much does each stage of the S-MATCH pipeline contribute
+// to killing frequency-analysis leakage?
+//
+//   stage 0: OPE directly on raw attribute values (the naive scheme of
+//            Section IV — deterministic, landmark fully visible)
+//   stage 1: + entropy increase (big-jump mapping)
+//   stage 2: + attribute chaining in a keyed secret order (full S-MATCH)
+//
+// Metric: over a population, the frequency of the most common ciphertext
+// (what a landmark attack keys on) and the number of distinct
+// ciphertexts. Also reports, for stage 2, whether the *position* of the
+// landmark attribute inside the chain is recoverable without the key
+// (it is not: the order is keyed).
+//
+// Run: ./build/bench/ablation_pipeline_leakage
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/entropy_map.hpp"
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+using namespace smatch;
+
+namespace {
+
+struct Leakage {
+  double top_freq;
+  std::size_t distinct;
+};
+
+Leakage measure(const std::vector<BigInt>& ciphertexts) {
+  std::map<std::string, std::size_t> freq;
+  for (const auto& c : ciphertexts) ++freq[c.to_hex_string()];
+  std::size_t top = 0;
+  for (const auto& [h, n] : freq) top = std::max(top, n);
+  return {static_cast<double>(top) / static_cast<double>(ciphertexts.size()),
+          freq.size()};
+}
+
+}  // namespace
+
+int main() {
+  Drbg rng(9);
+  const std::size_t population = 1500;
+  // Two attributes: a 0.8-landmark and a near-uniform one.
+  const std::vector<std::vector<double>> probs = {
+      {0.80, 0.08, 0.06, 0.06},
+      {0.25, 0.25, 0.25, 0.25},
+  };
+
+  // Draw the raw population.
+  std::vector<std::vector<AttrValue>> users(population, std::vector<AttrValue>(2));
+  for (auto& u : users) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      double x = static_cast<double>(rng.u64() >> 11) * 0x1p-53;
+      AttrValue v = 0;
+      for (std::size_t j = 0; j < probs[a].size(); ++j) {
+        x -= probs[a][j];
+        if (x <= 0.0) { v = static_cast<AttrValue>(j); break; }
+        v = static_cast<AttrValue>(j);
+      }
+      u[a] = v;
+    }
+  }
+
+  std::printf("ABLATION: leakage after each pipeline stage (%zu users,\n"
+              "landmark attribute with p0 = 0.80)\n\n", population);
+  std::printf("%-34s %-14s %-12s\n", "stage", "top-ct freq", "distinct ct");
+
+  const Bytes ope_key = rng.bytes(32);
+
+  // Stage 0: raw OPE on the landmark attribute.
+  {
+    const Ope ope(ope_key, 8, 24);
+    std::vector<BigInt> cts;
+    for (const auto& u : users) cts.push_back(ope.encrypt(BigInt{u[0]}));
+    const Leakage l = measure(cts);
+    std::printf("%-34s %-14.3f %-12zu   <- landmark exposed\n",
+                "0: raw OPE", l.top_freq, l.distinct);
+  }
+
+  // Stage 1: entropy increase, then OPE (per attribute).
+  const EntropyMapper mapper0(probs[0], 32);
+  const EntropyMapper mapper1(probs[1], 32);
+  {
+    const Ope ope(ope_key, 32, 64);
+    std::vector<BigInt> cts;
+    for (const auto& u : users) cts.push_back(ope.encrypt(mapper0.map(u[0], rng)));
+    const Leakage l = measure(cts);
+    std::printf("%-34s %-14.4f %-12zu\n", "1: + entropy increase", l.top_freq,
+                l.distinct);
+  }
+
+  // Stage 2: entropy increase + keyed chaining, then OPE on the chain.
+  {
+    const AttributeChain chain(2, 32);
+    const Ope ope(ope_key, 64, 128);
+    std::vector<BigInt> cts;
+    for (const auto& u : users) {
+      cts.push_back(ope.encrypt(
+          chain.assemble({mapper0.map(u[0], rng), mapper1.map(u[1], rng)}, ope_key)));
+    }
+    const Leakage l = measure(cts);
+    std::printf("%-34s %-14.4f %-12zu\n", "2: + chaining (full S-MATCH)",
+                l.top_freq, l.distinct);
+
+    // Positional leakage: does the chain reveal *where* the landmark
+    // attribute sits? Compare the keyed order against the natural order.
+    const auto perm = chain.permutation(ope_key);
+    std::printf("\nchain order under this key: attribute %zu first, %zu second\n",
+                perm[0], perm[1]);
+    const auto perm_other = chain.permutation(rng.bytes(32));
+    std::printf("chain order under another key: attribute %zu first "
+                "(keyed => position not publicly recoverable)\n",
+                perm_other[0]);
+  }
+  return 0;
+}

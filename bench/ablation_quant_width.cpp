@@ -1,0 +1,106 @@
+// Ablation: the fuzzy-keygen quantization width (DESIGN.md substitution
+// #6 decouples it from theta — this bench shows why it is a real knob).
+//
+// On a community-structured population, sweeps quant_width and reports:
+//   key groups      — how many distinct profile keys the server sees;
+//   intra-community agreement — fraction of users deriving their
+//                     community's majority key (drives match recall);
+//   cross-community collisions — communities sharing one key (privacy:
+//                     a colluding member exposes every collided group).
+//
+// Small widths fragment communities (recall drops); large widths merge
+// unrelated communities (the PR-KK exposure set m grows). The default
+// (8) sits in the regime where communities map 1:1 onto key groups.
+//
+// Run: ./build/bench/ablation_quant_width
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "core/keygen.hpp"
+#include "crypto/drbg.hpp"
+
+using namespace smatch;
+
+int main() {
+  Drbg rng(404);
+  const std::size_t d = 6;
+  const std::size_t num_users = 240;
+  const std::size_t num_communities = 12;
+  const std::uint32_t value_range = 64;
+  const std::uint32_t jitter = 2;
+
+  // Community-structured profiles.
+  std::vector<Profile> centers(num_communities, Profile(d));
+  for (auto& c : centers) {
+    for (auto& v : c) v = static_cast<AttrValue>(rng.below(value_range));
+  }
+  std::vector<Profile> profiles;
+  std::vector<std::size_t> community;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    const std::size_t c = u % num_communities;
+    Profile p = centers[c];
+    for (auto& v : p) {
+      const auto delta = static_cast<std::int64_t>(rng.below(2 * jitter + 1)) -
+                         static_cast<std::int64_t>(jitter);
+      const std::int64_t nv = std::max<std::int64_t>(
+          0, std::min<std::int64_t>(value_range - 1, static_cast<std::int64_t>(v) + delta));
+      v = static_cast<AttrValue>(nv);
+    }
+    profiles.push_back(std::move(p));
+    community.push_back(c);
+  }
+
+  std::printf("ABLATION: quantization cell width of the fuzzy keygen\n");
+  std::printf("(%zu users, %zu communities, jitter +/-%u, alphabet %u)\n\n", num_users,
+              num_communities, jitter, value_range);
+  std::printf("%-8s %-12s %-22s %-24s\n", "width", "key groups", "intra-agreement",
+              "cross-community merges");
+
+  for (std::uint32_t width : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    SchemeParams params;
+    params.rs_threshold = 8;
+    params.quant_width = width;
+    const FuzzyKeyGen kg(params, d);
+
+    std::vector<Bytes> materials;
+    materials.reserve(num_users);
+    for (const auto& p : profiles) materials.push_back(kg.key_material(p));
+
+    // Distinct keys.
+    std::set<Bytes> groups(materials.begin(), materials.end());
+
+    // Majority-key agreement within communities.
+    std::size_t agree = 0;
+    for (std::size_t c = 0; c < num_communities; ++c) {
+      std::map<Bytes, std::size_t> votes;
+      std::size_t members = 0;
+      for (std::size_t u = 0; u < num_users; ++u) {
+        if (community[u] != c) continue;
+        ++votes[materials[u]];
+        ++members;
+      }
+      std::size_t best = 0;
+      for (const auto& [key, n] : votes) best = std::max(best, n);
+      agree += best;
+      (void)members;
+    }
+
+    // Keys claimed by more than one community.
+    std::map<Bytes, std::set<std::size_t>> owners;
+    for (std::size_t u = 0; u < num_users; ++u) {
+      owners[materials[u]].insert(community[u]);
+    }
+    std::size_t merges = 0;
+    for (const auto& [key, cs] : owners) {
+      if (cs.size() > 1) ++merges;
+    }
+
+    std::printf("%-8u %-12zu %-22.3f %-24zu\n", width, groups.size(),
+                static_cast<double>(agree) / static_cast<double>(num_users), merges);
+  }
+  std::printf("\nToo narrow: communities shatter into many keys (recall falls).\n"
+              "Too wide: unrelated communities share keys (PR-KK exposure grows).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 1: information leakage of OPE under an ordered known-plaintext
+// attack. The untrusted server knows (plaintext, ciphertext) pairs
+// (3, Enc(3)) and (7, Enc(7)) and prunes the stored ciphertext table to
+// the candidates for Enc(5). Reproduces the paper's search-space sizes
+// (3 for the sparse table, 39 for the dense one) and extends the
+// experiment with a density sweep on a real OPE instance.
+//
+// Run: ./build/bench/fig1_leakage
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+using namespace smatch;
+
+namespace {
+
+std::size_t prune(const std::vector<BigInt>& table, const BigInt& lo, const BigInt& hi) {
+  return static_cast<std::size_t>(std::count_if(
+      table.begin(), table.end(), [&](const BigInt& c) { return c > lo && c < hi; }));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG 1: OPE search-space pruning with known pairs (30,3) and (70,7)\n\n");
+
+  // Paper's illustrative tables (ciphertext values as printed in Fig. 1).
+  {
+    std::vector<BigInt> sparse;
+    for (std::uint64_t c : {10u, 30u, 42u, 55u, 61u, 70u, 88u}) sparse.emplace_back(c);
+    std::vector<BigInt> dense;
+    for (std::uint64_t c = 1; c <= 100; ++c) dense.emplace_back(c);
+    std::printf("paper Fig 1(a) sparse table: search space N = %zu (paper: 3)\n",
+                prune(sparse, BigInt{30}, BigInt{70}));
+    std::printf("paper Fig 1(b) dense table : search space N = %zu (paper: 39)\n\n",
+                prune(dense, BigInt{30}, BigInt{70}));
+  }
+
+  // The same attack against a real OPE instance: encrypt a table of
+  // `population` distinct plaintexts from an 8-bit message space; the
+  // attacker knows Enc(64) and Enc(192) and targets Enc(128).
+  std::printf("attack on a real OPE instance (8-bit message space):\n");
+  std::printf("%-12s %-14s %-16s\n", "population", "search space", "space/population");
+  Drbg rng(1);
+  const Ope ope(rng.bytes(32), 8, 24);
+  const BigInt lo_ct = ope.encrypt(BigInt{64});
+  const BigInt hi_ct = ope.encrypt(BigInt{192});
+  for (std::size_t population : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    // Uniformly spaced plaintexts => the stored table of a population of
+    // that size.
+    std::vector<BigInt> table;
+    for (std::size_t i = 0; i < population; ++i) {
+      table.push_back(ope.encrypt(BigInt{static_cast<std::uint64_t>(i * 256 / population)}));
+    }
+    const std::size_t space = prune(table, lo_ct, hi_ct);
+    std::printf("%-12zu %-14zu %.3f\n", population, space,
+                static_cast<double>(space) / static_cast<double>(population));
+  }
+  std::printf("\nTakeaway: small populations (low-entropy attributes) leave the\n"
+              "target ciphertext with only a handful of candidates — why raw\n"
+              "social attributes must not be OPE-encrypted directly (Sec. IV).\n");
+  return 0;
+}

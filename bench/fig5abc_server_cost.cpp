@@ -1,0 +1,151 @@
+// Figures 5(a,b,c): server-side computation cost versus plaintext size
+// (bits per attribute), for Infocom06 / Sigcomm09 / Weibo.
+//
+// Series, as in the paper:
+//   PM     — S-MATCH server: EXTRA (group filter) + SORT (ciphertext
+//            comparisons) + FIND over the whole population.
+//   homoPM — per-candidate homomorphic aggregation (d ciphertext
+//            exponentiations with k-bit exponents + multiplications).
+//
+// The S-MATCH server is measured over the full population (its work is
+// comparisons on d*k-bit integers). The homoPM server is measured over a
+// small candidate sample — one evaluation per candidate is embarrassingly
+// independent, so cost extrapolates linearly; the `users_total` and
+// `per_user_ms` counters report the scaling (see EXPERIMENTS.md).
+//
+// Run: ./build/bench/fig5abc_server_cost
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "baseline/homopm.hpp"
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+
+using namespace smatch;
+
+namespace {
+
+struct DatasetInfo {
+  const char* name;
+  std::size_t users;  // population (Weibo scaled; see DESIGN.md)
+  std::size_t attrs;
+  DatasetSpec spec;
+};
+
+const std::vector<DatasetInfo>& datasets() {
+  static const std::vector<DatasetInfo> d = {
+      {"Infocom06", 78, 6, infocom06_spec()},
+      {"Sigcomm09", 76, 6, sigcomm09_spec()},
+      {"Weibo", 2000, 17, weibo_spec(100)},
+  };
+  return d;
+}
+
+// S-MATCH server cost: population of N ciphertext chains of d*k (+slack)
+// bits in a handful of key groups. Chain values are synthesized directly
+// (the server's work depends only on ciphertext widths and group sizes,
+// not on how the ciphertexts were produced).
+void bench_smatch_server(benchmark::State& state, const DatasetInfo& info) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t chain_bits = info.attrs * k + 64;
+  Drbg rng(11);
+
+  MatchServer server;
+  const std::size_t num_groups = 8;
+  std::vector<Bytes> indexes;
+  for (std::size_t g = 0; g < num_groups; ++g) indexes.push_back(rng.bytes(32));
+  for (std::size_t u = 0; u < info.users; ++u) {
+    UploadMessage up;
+    up.user_id = static_cast<UserId>(u + 1);
+    up.key_index = indexes[u % num_groups];
+    up.chain_cipher = BigInt::random_bits(rng, chain_bits);
+    up.chain_cipher_bits = static_cast<std::uint32_t>(chain_bits);
+    up.auth_token = Bytes(304, 0);
+    server.ingest(up);
+  }
+
+  const QueryRequest query{1, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.match(query, 5));
+  }
+  state.counters["plaintext_bits"] = static_cast<double>(k);
+  state.counters["users_total"] = static_cast<double>(info.users);
+}
+
+const PaillierKeyPair& paillier_keys(std::size_t modulus_bits) {
+  static std::map<std::size_t, PaillierKeyPair> cache;
+  auto it = cache.find(modulus_bits);
+  if (it == cache.end()) {
+    Drbg rng(2000 + modulus_bits);
+    it = cache.emplace(modulus_bits, PaillierKeyPair::generate(rng, modulus_bits)).first;
+  }
+  return it->second;
+}
+
+void bench_homopm_server(benchmark::State& state, const DatasetInfo& info) {
+  HomoPmParams params;
+  params.plaintext_bits = static_cast<std::size_t>(state.range(0));
+  // Candidate sample: per-candidate cost is independent, so a small
+  // sample suffices; counters expose the full-population scaling.
+  const std::size_t sample =
+      params.plaintext_bits >= 2048 ? 1 : (params.plaintext_bits >= 1024 ? 2 : 4);
+
+  Drbg rng(12);
+  HomoPmServer server(params);
+  Drbg prof_rng(13);
+  const Dataset ds = Dataset::generate(info.spec, prof_rng);
+  for (std::size_t u = 0; u < sample; ++u) {
+    server.ingest(static_cast<UserId>(u + 2), ds.profile(u % ds.num_users()));
+  }
+
+  HomoPmQuerier querier(ds.profile(0), params, paillier_keys(params.modulus_bits()));
+  const HomoPmQuery query = querier.make_query(rng);
+
+  double elapsed_per_user_ms = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(server.evaluate(1, query, rng));
+    elapsed_per_user_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(sample);
+  }
+  state.counters["plaintext_bits"] = static_cast<double>(params.plaintext_bits);
+  state.counters["users_measured"] = static_cast<double>(sample);
+  state.counters["users_total"] = static_cast<double>(info.users);
+  state.counters["per_user_ms"] = elapsed_per_user_ms;
+  state.counters["full_population_ms"] =
+      elapsed_per_user_ms * static_cast<double>(info.users);
+}
+
+void register_all() {
+  for (const auto& info : datasets()) {
+    for (std::int64_t k : {64, 128, 256, 512, 1024, 2048}) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig5abc/") + info.name + "/PM").c_str(),
+          [&info](benchmark::State& s) { bench_smatch_server(s, info); })
+          ->Arg(k)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          (std::string("fig5abc/") + info.name + "/homoPM").c_str(),
+          [&info](benchmark::State& s) { bench_homopm_server(s, info); })
+          ->Arg(k)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figures 5(d,e,f): communication cost (bits) of S-MATCH per user versus
+// entropy (plaintext size k, bits per attribute), for the three datasets.
+//
+// Setup mirrors the paper: user ID 32 bits, k = 5 query results, N = M
+// (ciphertext width = chain width), PM = profile-matching upload
+// (ID + h(K_up) + OPE chain), PM+V additionally ships the verification
+// token ciph_u (AES-CTR IV + 2048-bit group element + SHA-256 tag).
+// Message sizes come from the real wire serialization in core/messages.
+//
+// Run: ./build/bench/fig5def_comm_cost
+#include <cstdio>
+#include <memory>
+
+#include "core/auth.hpp"
+#include "core/messages.hpp"
+#include "datasets/dataset.hpp"
+
+using namespace smatch;
+
+namespace {
+
+struct Costs {
+  std::size_t pm_bits;
+  std::size_t pmv_bits;
+  std::size_t result_bits;
+};
+
+Costs measure(std::size_t d, std::size_t k, std::size_t auth_token_size,
+              std::size_t top_k) {
+  UploadMessage up;
+  up.user_id = 0x01020304;                 // l_id = 32 bits
+  up.key_index = Bytes(32, 0);             // l_h = 256 bits
+  up.chain_cipher = BigInt{};              // magnitude irrelevant: fixed width
+  up.chain_cipher_bits = static_cast<std::uint32_t>(d * k);  // N = M
+  Costs c{};
+  c.pm_bits = up.serialize().size() * 8;
+  up.auth_token = Bytes(auth_token_size, 0);
+  c.pmv_bits = up.serialize().size() * 8;
+
+  QueryResult r;
+  r.entries.assign(top_k, MatchEntry{1, Bytes(auth_token_size, 0)});
+  c.result_bits = r.serialize().size() * 8;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const AuthScheme auth(std::make_shared<const ModpGroup>(ModpGroup::rfc3526_2048()));
+  const std::size_t token = auth.token_size();
+
+  struct Row {
+    const char* name;
+    std::size_t d;
+  };
+  const Row rows[] = {{"Infocom06 (Fig 5d)", infocom06_spec().attributes.size()},
+                      {"Sigcomm09 (Fig 5e)", sigcomm09_spec().attributes.size()},
+                      {"Weibo (Fig 5f)", weibo_spec(1).attributes.size()}};
+
+  std::printf("FIG 5(d,e,f): upload communication cost per user (bits), top-5 query\n");
+  std::printf("verification token: %zu bytes (IV + 2048-bit group element + tag)\n\n",
+              token);
+  for (const auto& row : rows) {
+    std::printf("%s — d = %zu attributes\n", row.name, row.d);
+    std::printf("  %-14s %-12s %-12s %-14s\n", "entropy(bits)", "PM", "PM+V",
+                "query result");
+    for (std::size_t k : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      const Costs c = measure(row.d, k, token, 5);
+      std::printf("  %-14zu %-12zu %-12zu %-14zu\n", k, c.pm_bits, c.pmv_bits,
+                  c.result_bits);
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check vs paper: linear growth in k, constant PM+V offset\n"
+              "(the token), Weibo highest (more attributes). No homomorphic\n"
+              "ciphertext expansion: at k=2048 a homoPM query ships d+1\n"
+              "Paillier ciphertexts of 2*(2k+96) bits each (~%zu bits for d=6).\n",
+              (6 + 1) * 2 * (2 * 2048 + 96));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Why PPE must not touch raw social data (paper Section IV, Fig. 1).
+//
+// Part 1 reproduces the Fig. 1 pruning attack: an honest-but-curious
+// server holding known (plaintext, ciphertext) pairs shrinks the search
+// space for an unknown OPE ciphertext by exploiting the order property.
+//
+// Part 2 runs the landmark/frequency attack against a *naive* deployment
+// (OPE directly on raw attribute values under one shared key) and then
+// against S-MATCH's entropy-increased chains, showing the attack's
+// accuracy collapse.
+//
+// Build & run:  ./build/examples/leakage_attack_demo
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/entropy_map.hpp"
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+using namespace smatch;
+
+namespace {
+
+// The Fig. 1 pruning attack: count how many of the stored ciphertexts
+// could be Enc(target) given known pairs bracket it.
+std::size_t search_space(const std::vector<std::uint64_t>& stored_ciphertexts,
+                         std::uint64_t below_ct, std::uint64_t above_ct) {
+  return static_cast<std::size_t>(std::count_if(
+      stored_ciphertexts.begin(), stored_ciphertexts.end(),
+      [&](std::uint64_t c) { return c > below_ct && c < above_ct; }));
+}
+
+}  // namespace
+
+int main() {
+  Drbg rng(4);
+
+  // ---- Part 1: order-property pruning (Fig. 1) ----------------------------
+  std::printf("== Part 1: search-space pruning with known pairs ==\n");
+  // The server knows Enc(3) and Enc(7) and wants Enc(5). Its candidate set
+  // is every stored ciphertext strictly between them.
+  {
+    // Fig. 1(a): a tiny deployment -> 3 candidates survive.
+    const std::vector<std::uint64_t> stored = {10, 30, 42, 55, 61, 70, 88};
+    std::printf("  sparse table : %zu candidates remain for Enc(5)\n",
+                search_space(stored, /*Enc(3)=*/30, /*Enc(7)=*/70));
+
+    // Fig. 1(b): a denser table -> more candidates, slower attack.
+    std::vector<std::uint64_t> dense;
+    for (std::uint64_t c = 1; c <= 100; ++c) dense.push_back(c);
+    std::printf("  dense table  : %zu candidates remain for Enc(5)\n",
+                search_space(dense, 30, 70));
+  }
+
+  // ---- Part 2: landmark frequency attack ----------------------------------
+  std::printf("\n== Part 2: landmark attack, naive OPE vs S-MATCH mapping ==\n");
+  // Education attribute, paper Section VI example: high school 0.3,
+  // B.S. 0.4, M.S. 0.2, Ph.D. 0.1 — but make B.S. a 0.8 landmark to match
+  // the Table II landmark setting.
+  const std::vector<double> probs = {0.10, 0.80, 0.06, 0.04};
+  const std::size_t population = 2000;
+
+  // Draw the population.
+  std::vector<AttrValue> values;
+  values.reserve(population);
+  for (std::size_t i = 0; i < population; ++i) {
+    const double u = static_cast<double>(rng.u64() >> 11) * 0x1p-53;
+    double acc = 0.0;
+    AttrValue v = 0;
+    for (std::size_t j = 0; j < probs.size(); ++j) {
+      acc += probs[j];
+      if (u < acc) { v = static_cast<AttrValue>(j); break; }
+    }
+    values.push_back(v);
+  }
+
+  // Naive deployment: everyone OPE-encrypts the raw value under the one
+  // shared key. Deterministic encryption => the landmark ciphertext is the
+  // most frequent one; the curious server labels it "B.S." and wins.
+  {
+    const Ope ope(rng.bytes(32), 8, 24);
+    std::map<std::string, std::size_t> freq;
+    for (AttrValue v : values) ++freq[ope.encrypt(BigInt{v}).to_decimal()];
+    std::size_t top = 0;
+    for (const auto& [ct, n] : freq) top = std::max(top, n);
+    std::printf("  naive OPE    : distinct ciphertexts %4zu, top frequency %.1f%%"
+                "  -> landmark exposed, server recovers 'B.S.' holders\n",
+                freq.size(), 100.0 * static_cast<double>(top) / population);
+  }
+
+  // S-MATCH: entropy increase first. Every user picks a fresh string from
+  // the value's sub-range, so ciphertext frequencies flatten to ~1 and the
+  // landmark disappears.
+  {
+    const EntropyMapper mapper(probs, 64);
+    const Ope ope(rng.bytes(32), 64, 128);
+    std::map<std::string, std::size_t> freq;
+    for (AttrValue v : values) ++freq[ope.encrypt(mapper.map(v, rng)).to_decimal()];
+    std::size_t top = 0;
+    for (const auto& [ct, n] : freq) top = std::max(top, n);
+    std::printf("  S-MATCH      : distinct ciphertexts %4zu, top frequency %.2f%%"
+                " -> no landmark visible\n",
+                freq.size(), 100.0 * static_cast<double>(top) / population);
+    std::printf("  mapped attribute entropy: %.1f bits (raw: %.2f bits, perfect: 64)\n",
+                mapper.mapped_entropy(), mapper.original_entropy());
+  }
+  return 0;
+}

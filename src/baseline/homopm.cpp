@@ -1,0 +1,155 @@
+#include "baseline/homopm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+
+namespace smatch {
+namespace {
+
+// Attribute values are 32-bit; the evaluation represents them as k-bit
+// strings. Lifting shifts the value into the top of the k-bit window so
+// that costs (and ciphertext magnitudes) reflect k-bit plaintexts.
+BigInt lift_value(AttrValue v, std::size_t plaintext_bits) {
+  BigInt x{static_cast<std::uint64_t>(v)};
+  if (plaintext_bits > 32) x <<= plaintext_bits - 32;
+  return x;
+}
+
+}  // namespace
+
+std::size_t HomoPmQuery::wire_bytes(const HomoPmParams& params) const {
+  const std::size_t n_bytes = (params.modulus_bits() + 7) / 8;
+  return n_bytes + (enc_neg_2a.size() + 1) * 2 * n_bytes;
+}
+
+std::size_t HomoPmResponse::wire_bytes(const HomoPmParams& params) const {
+  const std::size_t n_bytes = (params.modulus_bits() + 7) / 8;
+  return enc_distances.size() * (4 + 2 * n_bytes);
+}
+
+Bytes HomoPmQuery::serialize() const {
+  Writer w;
+  w.var_bytes(pk.n.to_bytes());
+  w.u32(static_cast<std::uint32_t>(enc_neg_2a.size()));
+  for (const auto& c : enc_neg_2a) w.var_bytes(c.to_bytes());
+  w.var_bytes(enc_sum_a_sq.to_bytes());
+  return w.take();
+}
+
+HomoPmQuery HomoPmQuery::parse(BytesView data) {
+  Reader r(data);
+  HomoPmQuery q;
+  q.pk.n = BigInt::from_bytes(r.var_bytes());
+  q.pk.n_sq = q.pk.n * q.pk.n;
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 4 + 1) throw SerdeError("homoPM: ciphertext count exceeds message");
+  q.enc_neg_2a.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    q.enc_neg_2a.push_back(BigInt::from_bytes(r.var_bytes()));
+  }
+  q.enc_sum_a_sq = BigInt::from_bytes(r.var_bytes());
+  r.finish();
+  return q;
+}
+
+Bytes HomoPmResponse::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(enc_distances.size()));
+  for (const auto& [id, enc] : enc_distances) {
+    w.u32(id);
+    w.var_bytes(enc.to_bytes());
+  }
+  return w.take();
+}
+
+HomoPmResponse HomoPmResponse::parse(BytesView data) {
+  Reader r(data);
+  HomoPmResponse resp;
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 8 + 1) throw SerdeError("homoPM: entry count exceeds message");
+  resp.enc_distances.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const UserId id = r.u32();
+    resp.enc_distances.emplace_back(id, BigInt::from_bytes(r.var_bytes()));
+  }
+  r.finish();
+  return resp;
+}
+
+HomoPmQuerier::HomoPmQuerier(Profile profile, HomoPmParams params, RandomSource& rng)
+    : HomoPmQuerier(std::move(profile), params,
+                    PaillierKeyPair::generate(rng, params.modulus_bits())) {}
+
+HomoPmQuerier::HomoPmQuerier(Profile profile, HomoPmParams params, PaillierKeyPair keys)
+    : profile_(std::move(profile)), params_(params), keys_(std::move(keys)) {}
+
+BigInt HomoPmQuerier::lift(AttrValue v) const { return lift_value(v, params_.plaintext_bits); }
+
+HomoPmQuery HomoPmQuerier::make_query(RandomSource& rng) const {
+  const PaillierPublicKey& pk = keys_.public_key();
+  HomoPmQuery q;
+  q.pk = pk;
+  q.enc_neg_2a.reserve(profile_.size());
+  BigInt sum_sq;
+  for (AttrValue a : profile_) {
+    const BigInt av = lift(a);
+    // -2a encoded mod n.
+    const BigInt neg_2a = (pk.n - ((av << 1) % pk.n)) % pk.n;
+    q.enc_neg_2a.push_back(pk.encrypt(neg_2a, rng));
+    sum_sq += av * av;
+  }
+  q.enc_sum_a_sq = pk.encrypt(sum_sq % pk.n, rng);
+  return q;
+}
+
+std::vector<UserId> HomoPmQuerier::rank(const HomoPmResponse& response, std::size_t k) const {
+  std::vector<std::pair<BigInt, UserId>> dists;
+  dists.reserve(response.enc_distances.size());
+  for (const auto& [id, enc] : response.enc_distances) {
+    dists.emplace_back(keys_.decrypt(enc), id);
+  }
+  std::sort(dists.begin(), dists.end());
+  std::vector<UserId> out;
+  out.reserve(std::min(k, dists.size()));
+  for (std::size_t i = 0; i < dists.size() && i < k; ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+void HomoPmServer::ingest(UserId id, Profile profile) {
+  profiles_[id] = std::move(profile);
+}
+
+BigInt HomoPmServer::lift(AttrValue v) const { return lift_value(v, params_.plaintext_bits); }
+
+HomoPmResponse HomoPmServer::evaluate(UserId querier, const HomoPmQuery& query,
+                                      RandomSource& rng) const {
+  const PaillierPublicKey& pk = query.pk;
+  // One rank-preserving blinding offset per query.
+  const BigInt delta = BigInt::random_below(rng, pk.n >> 2);
+
+  HomoPmResponse resp;
+  for (const auto& [id, profile] : profiles_) {
+    if (id == querier) continue;
+    if (profile.size() != query.enc_neg_2a.size()) {
+      throw ProtocolError("homoPM: profile arity mismatch");
+    }
+    // E(dist) = E(sum a^2) * prod E(-2a_i)^{b_i} * g^{sum b_i^2}.
+    BigInt acc = query.enc_sum_a_sq;
+    BigInt sum_b_sq;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      const BigInt bv = lift(profile[i]);
+      acc = pk.add(acc, pk.mul_plain(query.enc_neg_2a[i], bv));
+      sum_b_sq += bv * bv;
+      modular_ops_ += 2;  // one ciphertext exponentiation + one multiplication
+    }
+    acc = pk.add_plain(acc, sum_b_sq % pk.n);
+    acc = pk.add_plain(acc, delta);
+    modular_ops_ += 2;
+    resp.enc_distances.emplace_back(id, std::move(acc));
+  }
+  return resp;
+}
+
+}  // namespace smatch

@@ -1,0 +1,100 @@
+#include "baseline/pairwise_match.hpp"
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+#include "ope/ope.hpp"
+
+namespace smatch {
+namespace {
+
+constexpr std::size_t kOpeSlackBits = 32;
+
+}  // namespace
+
+std::size_t PairwiseMessage::wire_bytes(std::size_t chain_bits) {
+  return (chain_bits + kOpeSlackBits + 7) / 8 + 32 /*tag*/;
+}
+
+PairwiseUser::PairwiseUser(UserId id, Profile profile,
+                           std::shared_ptr<const ModpGroup> group,
+                           std::size_t attribute_bits, RandomSource& rng)
+    : id_(id),
+      profile_(std::move(profile)),
+      group_(std::move(group)),
+      attribute_bits_(attribute_bits) {
+  if (!group_) throw Error("PairwiseUser: null group");
+  if (profile_.empty()) throw Error("PairwiseUser: empty profile");
+  for (AttrValue v : profile_) {
+    if (BigInt{static_cast<std::uint64_t>(v)}.bit_length() > attribute_bits_) {
+      throw Error("PairwiseUser: attribute exceeds chain width");
+    }
+  }
+  dh_secret_ = group_->random_exponent(rng);
+  dh_public_ = group_->pow_g(dh_secret_);
+}
+
+Bytes PairwiseUser::pairwise_key(const BigInt& peer_public) const {
+  if (!group_->contains(peer_public)) {
+    throw Error("PairwiseUser: peer public element not in group");
+  }
+  const BigInt shared = group_->pow(peer_public, dh_secret_);
+  return hkdf(shared.to_bytes_padded(group_->element_bytes()),
+              to_bytes("zll13-pairwise-salt"), to_bytes("zll13-session-key"), 32);
+}
+
+BigInt PairwiseUser::own_chain() const {
+  // Plain big-endian concatenation of attribute values: the two parties
+  // share the session key, so no population-statistics mapping is needed.
+  BigInt chain;
+  for (AttrValue v : profile_) {
+    if (BigInt{static_cast<std::uint64_t>(v)}.bit_length() > attribute_bits_) {
+      throw Error("PairwiseUser: attribute exceeds chain width");
+    }
+    chain <<= attribute_bits_;
+    chain += BigInt{static_cast<std::uint64_t>(v)};
+  }
+  return chain;
+}
+
+PairwiseMessage PairwiseUser::make_message(const BigInt& peer_public) const {
+  const Bytes key = pairwise_key(peer_public);
+  const std::size_t chain_bits = attribute_bits_ * profile_.size();
+  const Ope ope(key, chain_bits, chain_bits + kOpeSlackBits);
+  PairwiseMessage msg;
+  msg.chain_cipher = ope.encrypt(own_chain());
+  msg.tag = hmac_sha256(key, msg.chain_cipher.to_bytes());
+  return msg;
+}
+
+PairwiseUser::Outcome PairwiseUser::evaluate(const BigInt& peer_public,
+                                             const PairwiseMessage& msg,
+                                             const BigInt& max_chain_gap) const {
+  Outcome out;
+  const Bytes key = pairwise_key(peer_public);
+  if (!ct_equal(hmac_sha256(key, msg.chain_cipher.to_bytes()), msg.tag)) {
+    return out;  // forged or corrupted: unverified, no match claim
+  }
+  out.verified = true;
+
+  const std::size_t chain_bits = attribute_bits_ * profile_.size();
+  const Ope ope(key, chain_bits, chain_bits + kOpeSlackBits);
+  const BigInt own_ct = ope.encrypt(own_chain());
+  out.cipher_gap = (own_ct - msg.chain_cipher).abs();
+
+  // Both parties hold k_uv (the two-party trust model), so the exact
+  // plaintext gap is available for the threshold decision.
+  try {
+    const BigInt peer_chain = ope.decrypt(msg.chain_cipher);
+    out.matched = (peer_chain - own_chain()).abs() <= max_chain_gap;
+  } catch (const CryptoError&) {
+    out.verified = false;  // tag matched but ciphertext invalid: reject
+  }
+  return out;
+}
+
+std::size_t PairwiseUser::session_bytes() const {
+  const std::size_t chain_bits = attribute_bits_ * profile_.size();
+  return 2 * group_->element_bytes() + 2 * PairwiseMessage::wire_bytes(chain_bits);
+}
+
+}  // namespace smatch

@@ -1,0 +1,81 @@
+// Two-party symmetric-encryption matching — representative of ZLL13
+// (Zhang, Li, Liu: "Message in a sealed bottle", ICDCS'13), the other
+// SE-based verifiable scheme in paper Table I.
+//
+// Each *pair* of users runs its own session:
+//   1. Diffie-Hellman agreement -> pairwise key k_uv;
+//   2. both sides OPE-encrypt their profile chain under k_uv and exchange
+//      ciphertext + HMAC tag (verifiability);
+//   3. either side compares the order-preserving ciphertexts to decide
+//      whether the profiles are within the match threshold.
+//
+// Fine-grained and verifiable — but every pair needs a fresh session, so
+// matching against N users costs O(N) sessions per querier and O(N^2)
+// system-wide: the "large communication cost when extended to a profile
+// matching scheme in large scale" the paper criticises (Section II). The
+// related-work bench quantifies this against S-MATCH's O(N) uploads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "bigint/bigint.hpp"
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "core/types.hpp"
+#include "group/modp_group.hpp"
+
+namespace smatch {
+
+/// One message of a pairwise session.
+struct PairwiseMessage {
+  BigInt chain_cipher;  // OPE_{k_uv}(chain)
+  Bytes tag;            // HMAC-SHA256(k_uv, ciphertext)
+
+  /// Serialized size given the session's chain width and group.
+  [[nodiscard]] static std::size_t wire_bytes(std::size_t chain_bits);
+};
+
+class PairwiseUser {
+ public:
+  /// `attribute_bits` is the per-attribute chain width.
+  PairwiseUser(UserId id, Profile profile, std::shared_ptr<const ModpGroup> group,
+               std::size_t attribute_bits, RandomSource& rng);
+
+  [[nodiscard]] UserId id() const { return id_; }
+  /// The DH public element g^x shipped once per session.
+  [[nodiscard]] const BigInt& dh_public() const { return dh_public_; }
+
+  /// Builds this side's session message for the peer.
+  [[nodiscard]] PairwiseMessage make_message(const BigInt& peer_public) const;
+
+  /// Outcome of evaluating the peer's message.
+  struct Outcome {
+    bool verified = false;  // HMAC tag checked out
+    BigInt cipher_gap;      // |own ct - peer ct| (order-preserving proxy)
+    bool matched = false;   // gap within the session threshold
+  };
+
+  /// Verifies and compares. `max_chain_gap` is the plaintext-side match
+  /// threshold (applied in ciphertext space via decryption with the
+  /// shared key — both sides hold k_uv, the two-party trust model).
+  [[nodiscard]] Outcome evaluate(const BigInt& peer_public, const PairwiseMessage& msg,
+                                 const BigInt& max_chain_gap) const;
+
+  /// Total bytes a full session costs (2 DH elements + 2 messages).
+  [[nodiscard]] std::size_t session_bytes() const;
+
+ private:
+  [[nodiscard]] Bytes pairwise_key(const BigInt& peer_public) const;
+  [[nodiscard]] BigInt own_chain() const;
+
+  UserId id_;
+  Profile profile_;
+  std::shared_ptr<const ModpGroup> group_;
+  std::size_t attribute_bits_;
+  BigInt dh_secret_;
+  BigInt dh_public_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,88 @@
+#include "baseline/psi_match.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+namespace {
+
+// Hash-to-group: H(x) = seed^2 mod p lands in the QR subgroup, where the
+// DDH-style blinding argument lives.
+BigInt hash_to_group(const std::string& element, const ModpGroup& group) {
+  const std::size_t width = (group.p().bit_length() + 7) / 8 + 16;
+  const Bytes wide = hkdf_expand(Sha256::hash(to_bytes(element)),
+                                 to_bytes("smatch-psi-h2g"), width);
+  const BigInt seed = BigInt::from_bytes(wide).mod(group.p() - BigInt{3}) + BigInt{2};
+  return BigInt::mul_mod(seed, seed, group.p());
+}
+
+}  // namespace
+
+PsiParty::PsiParty(AttributeSet attributes, const ModpGroup& group, RandomSource& rng)
+    : group_(&group), secret_(group.random_exponent(rng)) {
+  if (attributes.empty()) throw Error("PSI: empty attribute set");
+  hashed_.reserve(attributes.size());
+  for (const auto& attr : attributes) {
+    hashed_.push_back(hash_to_group(attr, group));
+  }
+}
+
+std::vector<BigInt> PsiParty::round1(RandomSource& rng) const {
+  std::vector<BigInt> out;
+  out.reserve(hashed_.size());
+  for (const auto& h : hashed_) out.push_back(group_->pow(h, secret_));
+  // Shuffle so positions leak nothing about which attribute is which.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.below(i)]);
+  }
+  return out;
+}
+
+std::vector<BigInt> PsiParty::respond(const std::vector<BigInt>& peer_round1) const {
+  std::vector<BigInt> out;
+  out.reserve(peer_round1.size());
+  for (const auto& e : peer_round1) {
+    if (e <= BigInt{1} || e >= group_->p()) throw Error("PSI: element out of group");
+    out.push_back(group_->pow(e, secret_));
+  }
+  return out;
+}
+
+std::size_t PsiParty::intersect(const std::vector<BigInt>& own_doubly,
+                                const std::vector<BigInt>& peer_doubly) {
+  std::size_t count = 0;
+  for (const auto& mine : own_doubly) {
+    if (std::find(peer_doubly.begin(), peer_doubly.end(), mine) != peer_doubly.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t PsiParty::message_bytes() const {
+  return hashed_.size() * group_->element_bytes();
+}
+
+std::size_t psi_intersection(const AttributeSet& a, const AttributeSet& b,
+                             const ModpGroup& group, RandomSource& rng) {
+  PsiParty alice(a, group, rng);
+  PsiParty bob(b, group, rng);
+  const auto a1 = alice.round1(rng);       // A -> B
+  const auto b1 = bob.round1(rng);         // B -> A
+  const auto a_doubly = bob.respond(a1);   // B -> A: {H(x)^{ab}}
+  const auto b_doubly = alice.respond(b1); // A computes {H(y)^{ba}}
+  return PsiParty::intersect(a_doubly, b_doubly);
+}
+
+AttributeSet profile_to_set(const std::vector<std::uint32_t>& profile) {
+  AttributeSet out;
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    out.insert("attr" + std::to_string(i) + "=" + std::to_string(profile[i]));
+  }
+  return out;
+}
+
+}  // namespace smatch

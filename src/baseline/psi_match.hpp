@@ -1,0 +1,70 @@
+// PSI-based attribute-level matching — representative of FindU (Li et
+// al., INFOCOM'11) and the other Private-Set-Intersection schemes in
+// paper Table I.
+//
+// Classic DH-commutative PSI: party A sends {H(x)^a} for its attribute
+// set, B replies with {H(x)^{ab}} and its own {H(y)^b}; A raises the
+// latter to a and intersects. Neither side learns non-common elements.
+//
+// The scheme matches on attribute-set overlap only: it "cannot
+// differentiate users with different attribute values" (paper Section II)
+// — users with numerically close but unequal values score zero. The
+// tests and the related-work bench demonstrate exactly that limitation
+// against S-MATCH's fine-grained matching.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "group/modp_group.hpp"
+
+namespace smatch {
+
+/// One party's attribute set, e.g. {"interest:jazz", "city:atlanta"}.
+using AttributeSet = std::set<std::string>;
+
+/// A PSI participant. Protocol (A = initiator, B = responder):
+///   A -> B : round1 = { H(x)^a }            (PsiParty::round1)
+///   B -> A : { H(x)^{ab} }, round1_B        (respond + round1)
+///   A      : intersects H(y)^{ab} values    (intersect)
+class PsiParty {
+ public:
+  PsiParty(AttributeSet attributes, const ModpGroup& group, RandomSource& rng);
+
+  /// This party's blinded set {H(x)^secret}, shuffled.
+  [[nodiscard]] std::vector<BigInt> round1(RandomSource& rng) const;
+
+  /// Applies this party's secret exponent to the peer's blinded set.
+  [[nodiscard]] std::vector<BigInt> respond(const std::vector<BigInt>& peer_round1) const;
+
+  /// Final step: `own_doubly` are this party's round1 elements after the
+  /// peer's respond(); `peer_doubly` are the peer's round1 elements after
+  /// this party's respond(). Returns the intersection cardinality.
+  [[nodiscard]] static std::size_t intersect(const std::vector<BigInt>& own_doubly,
+                                             const std::vector<BigInt>& peer_doubly);
+
+  [[nodiscard]] std::size_t set_size() const { return hashed_.size(); }
+
+  /// Wire size of one blinded set (elements are group-element sized).
+  [[nodiscard]] std::size_t message_bytes() const;
+
+ private:
+  const ModpGroup* group_;
+  BigInt secret_;
+  std::vector<BigInt> hashed_;  // H(x) for each attribute, deduplicated
+};
+
+/// Convenience: full two-party run, returning |A ∩ B|.
+[[nodiscard]] std::size_t psi_intersection(const AttributeSet& a, const AttributeSet& b,
+                                           const ModpGroup& group, RandomSource& rng);
+
+/// Converts a numeric profile into the attribute-level set encoding PSI
+/// schemes use ("attr<i>=<value>") — equality-only semantics.
+[[nodiscard]] AttributeSet profile_to_set(const std::vector<std::uint32_t>& profile);
+
+}  // namespace smatch

@@ -1,0 +1,795 @@
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+namespace {
+// Karatsuba pays off only for operands well past RSA-2048 sizes.
+constexpr std::size_t kKaratsubaLimbs = 40;
+// 10^19 is the largest power of ten below 2^64.
+constexpr u64 kDecChunk = 10000000000000000000ULL;
+constexpr int kDecChunkDigits = 19;
+}  // namespace
+
+BigInt::BigInt(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt::BigInt(std::int64_t v) {
+  if (v < 0) {
+    neg_ = true;
+    // Avoid UB on INT64_MIN.
+    limbs_.push_back(static_cast<u64>(-(v + 1)) + 1);
+  } else if (v > 0) {
+    limbs_.push_back(static_cast<u64>(v));
+  }
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) neg_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 64 * (limbs_.size() - 1) +
+         static_cast<std::size_t>(64 - std::countl_zero(limbs_.back()));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+u64 BigInt::to_u64() const {
+  if (neg_) throw CryptoError("to_u64: negative value");
+  if (limbs_.size() > 1) throw CryptoError("to_u64: value exceeds 64 bits");
+  return limbs_.empty() ? 0 : limbs_[0];
+}
+
+int BigInt::cmp_mag(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.neg_ != b.neg_) {
+    return a.neg_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const int mag = BigInt::cmp_mag(a, b);
+  const int signed_cmp = a.neg_ ? -mag : mag;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+void BigInt::add_mag(const BigInt& a, const BigInt& b, BigInt& out) {
+  const std::vector<u64>& x = a.limbs_.size() >= b.limbs_.size() ? a.limbs_ : b.limbs_;
+  const std::vector<u64>& y = a.limbs_.size() >= b.limbs_.size() ? b.limbs_ : a.limbs_;
+  std::vector<u64> r(x.size() + 1, 0);
+  u128 carry = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    u128 s = carry + x[i] + (i < y.size() ? y[i] : 0);
+    r[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  r[x.size()] = static_cast<u64>(carry);
+  out.limbs_ = std::move(r);
+  out.trim();
+}
+
+void BigInt::sub_mag(const BigInt& a, const BigInt& b, BigInt& out) {
+  // Precondition: |a| >= |b|.
+  std::vector<u64> r(a.limbs_.size(), 0);
+  i128 borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    i128 d = static_cast<i128>(a.limbs_[i]) - borrow -
+             (i < b.limbs_.size() ? static_cast<i128>(b.limbs_[i]) : 0);
+    if (d < 0) {
+      d += (static_cast<i128>(1) << 64);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r[i] = static_cast<u64>(d);
+  }
+  out.limbs_ = std::move(r);
+  out.trim();
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (neg_ == rhs.neg_) {
+    const bool sign = neg_;
+    add_mag(*this, rhs, *this);
+    neg_ = !limbs_.empty() && sign;
+    return *this;
+  }
+  // Opposite signs: subtract the smaller magnitude from the larger.
+  const int c = cmp_mag(*this, rhs);
+  if (c == 0) {
+    limbs_.clear();
+    neg_ = false;
+  } else if (c > 0) {
+    const bool sign = neg_;
+    sub_mag(*this, rhs, *this);
+    neg_ = !limbs_.empty() && sign;
+  } else {
+    const bool sign = rhs.neg_;
+    sub_mag(rhs, *this, *this);
+    neg_ = !limbs_.empty() && sign;
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  BigInt negated = rhs;
+  if (!negated.limbs_.empty()) negated.neg_ = !negated.neg_;
+  return *this += negated;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.limbs_.empty()) r.neg_ = !r.neg_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.neg_ = false;
+  return r;
+}
+
+BigInt BigInt::mul_schoolbook(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.limbs_.empty() || b.limbs_.empty()) return out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u128 carry = 0;
+    const u64 ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<u64>(cur);
+      carry = cur >> 64;
+    }
+    out.limbs_[i + b.limbs_.size()] = static_cast<u64>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::mul_karatsuba(const BigInt& a, const BigInt& b) {
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (n < kKaratsubaLimbs) return mul_schoolbook(a, b);
+  const std::size_t half = n / 2;
+
+  auto split = [half](const BigInt& v, BigInt& lo, BigInt& hi) {
+    if (v.limbs_.size() <= half) {
+      lo = v;
+      lo.neg_ = false;
+      hi = BigInt{};
+    } else {
+      lo.limbs_.assign(v.limbs_.begin(), v.limbs_.begin() + static_cast<std::ptrdiff_t>(half));
+      lo.neg_ = false;
+      lo.trim();
+      hi.limbs_.assign(v.limbs_.begin() + static_cast<std::ptrdiff_t>(half), v.limbs_.end());
+      hi.neg_ = false;
+      hi.trim();
+    }
+  };
+
+  BigInt a0, a1, b0, b1;
+  split(a, a0, a1);
+  split(b, b0, b1);
+
+  BigInt z0 = mul_karatsuba(a0, b0);
+  BigInt z2 = mul_karatsuba(a1, b1);
+  BigInt z1 = mul_karatsuba(a0 + a1, b0 + b1) - z0 - z2;
+
+  BigInt r = (z2 << (128 * half)) + (z1 << (64 * half)) + z0;
+  r.neg_ = false;
+  return r;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  const bool sign = neg_ != rhs.neg_;
+  BigInt r = mul_karatsuba(*this, rhs);
+  r.neg_ = !r.limbs_.empty() && sign;
+  *this = std::move(r);
+  return *this;
+}
+
+void BigInt::div_mod_mag(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  // Preconditions: b != 0; signs are ignored (magnitudes only).
+  if (cmp_mag(a, b) < 0) {
+    q = BigInt{};
+    r = a;
+    r.neg_ = false;
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    const u64 d = b.limbs_[0];
+    std::vector<u64> quot(a.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | a.limbs_[i];
+      quot[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    q.limbs_ = std::move(quot);
+    q.neg_ = false;
+    q.trim();
+    r = BigInt{static_cast<u64>(rem)};
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D, with 64-bit limbs.
+  const std::size_t n = b.limbs_.size();
+  const std::size_t m = a.limbs_.size() - n;
+  const int shift = std::countl_zero(b.limbs_.back());
+
+  BigInt vb = b;
+  vb.neg_ = false;
+  vb <<= static_cast<std::size_t>(shift);
+  BigInt ua = a;
+  ua.neg_ = false;
+  ua <<= static_cast<std::size_t>(shift);
+
+  std::vector<u64> u = ua.limbs_;
+  u.resize(m + n + 1, 0);
+  const std::vector<u64>& v = vb.limbs_;
+  std::vector<u64> quot(m + 1, 0);
+
+  const u64 vn1 = v[n - 1];
+  const u64 vn2 = v[n - 2];
+  constexpr u128 kBase = static_cast<u128>(1) << 64;
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat.
+    u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = num / vn1;
+    u128 rhat = num - qhat * vn1;
+    while (qhat >= kBase ||
+           static_cast<u128>(static_cast<u64>(qhat)) * vn2 >
+               ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+      if (rhat >= kBase) break;
+    }
+    const u64 qh = static_cast<u64>(qhat);
+
+    // D4: multiply and subtract.
+    i128 t;
+    i128 k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 p = static_cast<u128>(qh) * v[i];
+      t = static_cast<i128>(u[i + j]) - k - static_cast<i128>(static_cast<u64>(p));
+      u[i + j] = static_cast<u64>(t);
+      k = static_cast<i128>(p >> 64) - (t >> 64);
+    }
+    t = static_cast<i128>(u[j + n]) - k;
+    u[j + n] = static_cast<u64>(t);
+
+    quot[j] = qh;
+    if (t < 0) {
+      // D6: the estimate was one too large; add the divisor back.
+      --quot[j];
+      u128 carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(u[i + j]) + v[i] + carry;
+        u[i + j] = static_cast<u64>(s);
+        carry = s >> 64;
+      }
+      u[j + n] += static_cast<u64>(carry);
+    }
+  }
+
+  q.limbs_ = std::move(quot);
+  q.neg_ = false;
+  q.trim();
+
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.neg_ = false;
+  r.trim();
+  r >>= static_cast<std::size_t>(shift);
+}
+
+std::pair<BigInt, BigInt> BigInt::div_mod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw CryptoError("division by zero");
+  BigInt q, r;
+  div_mod_mag(a, b, q, r);
+  // Truncated division: quotient sign is XOR, remainder follows dividend.
+  q.neg_ = !q.limbs_.empty() && (a.neg_ != b.neg_);
+  r.neg_ = !r.limbs_.empty() && a.neg_;
+  return {std::move(q), std::move(r)};
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).first;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).second;
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t nbits) {
+  if (limbs_.empty() || nbits == 0) return *this;
+  const std::size_t limb_shift = nbits / 64;
+  const std::size_t bit_shift = nbits % 64;
+  std::vector<u64> r(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      r[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(r);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t nbits) {
+  if (limbs_.empty() || nbits == 0) return *this;
+  const std::size_t limb_shift = nbits / 64;
+  const std::size_t bit_shift = nbits % 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    neg_ = false;
+    return *this;
+  }
+  std::vector<u64> r(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      r[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(r);
+  trim();
+  return *this;
+}
+
+BigInt BigInt::mod(const BigInt& m) const {
+  if (m.is_zero() || m.neg_) throw CryptoError("mod: modulus must be positive");
+  BigInt r = div_mod(*this, m).second;
+  if (r.neg_) r += m;
+  return r;
+}
+
+BigInt BigInt::mul_mod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).mod(m);
+}
+
+BigInt BigInt::pow_mod(const BigInt& e, const BigInt& m) const {
+  if (m.is_zero() || m.neg_) throw CryptoError("pow_mod: modulus must be positive");
+  if (e.neg_) throw CryptoError("pow_mod: negative exponent");
+  if (m == BigInt{1}) return BigInt{};
+  if (e.is_zero()) return BigInt{1};
+  // Montgomery arithmetic needs an odd modulus and pays off once operands
+  // are several limbs wide.
+  if (m.is_odd() && m.limbs_.size() >= 8) {
+    return pow_mod_montgomery(e, m);
+  }
+  return pow_mod_generic(e, m);
+}
+
+BigInt BigInt::pow_mod_generic(const BigInt& e, const BigInt& m) const {
+  BigInt base = mod(m);
+
+  // 4-bit fixed-window exponentiation.
+  std::array<BigInt, 16> table;
+  table[0] = BigInt{1};
+  for (int i = 1; i < 16; ++i) table[static_cast<std::size_t>(i)] = mul_mod(table[static_cast<std::size_t>(i - 1)], base, m);
+
+  const std::size_t bits = e.bit_length();
+  // Round the window scan up to a multiple of 4.
+  std::size_t top = (bits + 3) / 4 * 4;
+  BigInt acc{1};
+  while (top >= 4) {
+    top -= 4;
+    for (int s = 0; s < 4; ++s) acc = mul_mod(acc, acc, m);
+    unsigned window = 0;
+    for (int s = 3; s >= 0; --s) {
+      window = window << 1 | static_cast<unsigned>(e.bit(top + static_cast<std::size_t>(s)));
+    }
+    if (window != 0) acc = mul_mod(acc, table[window], m);
+  }
+  return acc;
+}
+
+namespace {
+
+// Montgomery REDC over raw limb vectors (little-endian), word size 2^64.
+// Given T < m * R with R = 2^(64k), computes T * R^-1 mod m in place.
+struct MontgomeryCtx {
+  std::vector<u64> m;  // modulus limbs, size k
+  u64 inv = 0;         // -m[0]^-1 mod 2^64
+
+  explicit MontgomeryCtx(const std::vector<u64>& modulus) : m(modulus) {
+    // Newton iteration: x_{n+1} = x_n * (2 - m0 * x_n) doubles correct
+    // bits per step; 6 steps cover 64 bits (m0 odd).
+    const u64 m0 = m[0];
+    u64 x = 1;
+    for (int i = 0; i < 6; ++i) x *= 2 - m0 * x;
+    inv = ~x + 1;  // -m0^-1 mod 2^64
+  }
+
+  [[nodiscard]] std::size_t k() const { return m.size(); }
+
+  // out = REDC(a * b); a, b in the Montgomery domain, size k, < m.
+  void mul(const std::vector<u64>& a, const std::vector<u64>& b,
+           std::vector<u64>& out, std::vector<u64>& scratch) const {
+    const std::size_t n = k();
+    scratch.assign(2 * n + 1, 0);
+    // Schoolbook product into scratch.
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 carry = 0;
+      const u64 ai = a[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        u128 cur = static_cast<u128>(ai) * b[j] + scratch[i + j] + carry;
+        scratch[i + j] = static_cast<u64>(cur);
+        carry = cur >> 64;
+      }
+      scratch[i + n] += static_cast<u64>(carry);
+    }
+    reduce(scratch, out);
+  }
+
+  // out = REDC(T); T has 2k+1 limbs, consumed.
+  void reduce(std::vector<u64>& t, std::vector<u64>& out) const {
+    const std::size_t n = k();
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 u = t[i] * inv;
+      u128 carry = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        u128 cur = static_cast<u128>(u) * m[j] + t[i + j] + carry;
+        t[i + j] = static_cast<u64>(cur);
+        carry = cur >> 64;
+      }
+      // Propagate the carry through the upper limbs.
+      std::size_t idx = i + n;
+      while (carry != 0 && idx < t.size()) {
+        u128 cur = static_cast<u128>(t[idx]) + carry;
+        t[idx] = static_cast<u64>(cur);
+        carry = cur >> 64;
+        ++idx;
+      }
+    }
+    out.assign(t.begin() + static_cast<std::ptrdiff_t>(n),
+               t.begin() + static_cast<std::ptrdiff_t>(2 * n + 1));
+    // Conditional subtraction: result < 2m here.
+    if (ge(out, m)) sub_in_place(out, m);
+    out.resize(n);
+  }
+
+  // Compares little-endian limb vectors (out may have one extra limb).
+  static bool ge(const std::vector<u64>& a, const std::vector<u64>& b) {
+    std::size_t a_len = a.size();
+    while (a_len > 0 && a[a_len - 1] == 0) --a_len;
+    std::size_t b_len = b.size();
+    while (b_len > 0 && b[b_len - 1] == 0) --b_len;
+    if (a_len != b_len) return a_len > b_len;
+    for (std::size_t i = a_len; i-- > 0;) {
+      if (a[i] != b[i]) return a[i] > b[i];
+    }
+    return true;  // equal
+  }
+
+  static void sub_in_place(std::vector<u64>& a, const std::vector<u64>& b) {
+    i128 borrow = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      i128 d = static_cast<i128>(a[i]) - borrow - (i < b.size() ? static_cast<i128>(b[i]) : 0);
+      if (d < 0) {
+        d += static_cast<i128>(1) << 64;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      a[i] = static_cast<u64>(d);
+    }
+  }
+};
+
+}  // namespace
+
+BigInt BigInt::pow_mod_montgomery(const BigInt& e, const BigInt& m) const {
+  const MontgomeryCtx ctx(m.limbs_);
+  const std::size_t n = ctx.k();
+
+  // R^2 mod m, computed once with a plain division.
+  const BigInt r2_big = (BigInt{1} << (128 * n)).mod(m);
+  std::vector<u64> r2 = r2_big.limbs_;
+  r2.resize(n, 0);
+
+  // Into the Montgomery domain: mont(x) = REDC(x * R^2).
+  std::vector<u64> base = mod(m).limbs_;
+  base.resize(n, 0);
+  std::vector<u64> scratch;
+  std::vector<u64> mont_base(n);
+  ctx.mul(base, r2, mont_base, scratch);
+
+  // mont(1) = R mod m = REDC(R^2).
+  std::vector<u64> t = r2;
+  t.resize(2 * n + 1, 0);
+  std::vector<u64> acc(n);
+  ctx.reduce(t, acc);
+
+  // 4-bit window table of mont_base powers.
+  std::array<std::vector<u64>, 16> table;
+  table[0] = acc;  // mont(1)
+  table[1] = mont_base;
+  for (std::size_t i = 2; i < 16; ++i) {
+    table[i].resize(n);
+    ctx.mul(table[i - 1], mont_base, table[i], scratch);
+  }
+
+  const std::size_t bits = e.bit_length();
+  std::size_t top = (bits + 3) / 4 * 4;
+  std::vector<u64> tmp(n);
+  while (top >= 4) {
+    top -= 4;
+    for (int s = 0; s < 4; ++s) {
+      ctx.mul(acc, acc, tmp, scratch);
+      acc.swap(tmp);
+    }
+    unsigned window = 0;
+    for (int s = 3; s >= 0; --s) {
+      window = window << 1 | static_cast<unsigned>(e.bit(top + static_cast<std::size_t>(s)));
+    }
+    if (window != 0) {
+      ctx.mul(acc, table[window], tmp, scratch);
+      acc.swap(tmp);
+    }
+  }
+
+  // Out of the domain: REDC(acc).
+  t.assign(2 * n + 1, 0);
+  std::copy(acc.begin(), acc.end(), t.begin());
+  std::vector<u64> result(n);
+  ctx.reduce(t, result);
+
+  BigInt out;
+  out.limbs_ = std::move(result);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::pow(u64 e) const {
+  BigInt acc{1};
+  BigInt base = *this;
+  while (e != 0) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.neg_ = false;
+  b.neg_ = false;
+  while (!b.is_zero()) {
+    BigInt r = div_mod(a, b).second;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  return (a.abs() / gcd(a, b)) * b.abs();
+}
+
+BigInt BigInt::ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y) {
+  // Iterative extended Euclid on signed values.
+  BigInt old_r = a, r = b;
+  BigInt old_s{1}, s{};
+  BigInt old_t{}, t{1};
+  while (!r.is_zero()) {
+    auto [q, rem] = div_mod(old_r, r);
+    old_r = std::move(r);
+    r = std::move(rem);
+    BigInt tmp_s = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(tmp_s);
+    BigInt tmp_t = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(tmp_t);
+  }
+  x = std::move(old_s);
+  y = std::move(old_t);
+  return old_r;
+}
+
+BigInt BigInt::inv_mod(const BigInt& m) const {
+  if (m.is_zero() || m.neg_) throw CryptoError("inv_mod: modulus must be positive");
+  BigInt x, y;
+  const BigInt g = ext_gcd(this->mod(m), m, x, y);
+  if (g != BigInt{1}) throw CryptoError("inv_mod: value not invertible");
+  return x.mod(m);
+}
+
+BigInt BigInt::isqrt() const {
+  if (neg_) throw CryptoError("isqrt: negative value");
+  if (is_zero()) return BigInt{};
+  // Newton's method with an over-estimate start: 2^ceil(bits/2).
+  BigInt x = BigInt{1} << ((bit_length() + 1) / 2);
+  while (true) {
+    BigInt next = (x + *this / x) >> 1;
+    if (next >= x) break;
+    x = std::move(next);
+  }
+  return x;
+}
+
+BigInt BigInt::from_decimal(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.empty()) throw SerdeError("empty decimal string");
+  BigInt r;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const std::size_t chunk_len = std::min<std::size_t>(kDecChunkDigits, s.size() - i);
+    u64 chunk = 0;
+    u64 scale = 1;
+    for (std::size_t j = 0; j < chunk_len; ++j) {
+      const char c = s[i + j];
+      if (c < '0' || c > '9') throw SerdeError("invalid decimal digit");
+      chunk = chunk * 10 + static_cast<u64>(c - '0');
+      scale *= 10;
+    }
+    r *= BigInt{chunk_len == kDecChunkDigits ? kDecChunk : scale};
+    r += BigInt{chunk};
+    i += chunk_len;
+  }
+  r.neg_ = !r.limbs_.empty() && neg;
+  return r;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::vector<u64> chunks;
+  BigInt v = abs();
+  const BigInt divisor{kDecChunk};
+  while (!v.is_zero()) {
+    auto [q, r] = div_mod(v, divisor);
+    chunks.push_back(r.limbs_.empty() ? 0 : r.limbs_[0]);
+    v = std::move(q);
+  }
+  std::string out;
+  if (neg_) out.push_back('-');
+  out += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out.append(static_cast<std::size_t>(kDecChunkDigits) - part.size(), '0');
+    out += part;
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex_string(std::string_view s) {
+  bool neg = false;
+  if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+    neg = s[0] == '-';
+    s.remove_prefix(1);
+  }
+  if (s.starts_with("0x") || s.starts_with("0X")) s.remove_prefix(2);
+  if (s.empty()) throw SerdeError("empty hex string");
+  BigInt r;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else throw SerdeError("invalid hex digit");
+    r <<= 4;
+    r += BigInt{static_cast<u64>(d)};
+  }
+  r.neg_ = !r.limbs_.empty() && neg;
+  return r;
+}
+
+std::string BigInt::to_hex_string() const {
+  if (is_zero()) return "0";
+  constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(digits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+BigInt BigInt::from_bytes(BytesView data) {
+  BigInt r;
+  for (std::uint8_t b : data) {
+    r <<= 8;
+    r += BigInt{static_cast<u64>(b)};
+  }
+  return r;
+}
+
+Bytes BigInt::to_bytes() const {
+  const std::size_t len = (bit_length() + 7) / 8;
+  return to_bytes_padded(len);
+}
+
+Bytes BigInt::to_bytes_padded(std::size_t len) const {
+  if ((bit_length() + 7) / 8 > len) {
+    throw CryptoError("to_bytes_padded: value too large for requested length");
+  }
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t byte_index = len - 1 - i;  // big-endian position
+    const std::size_t limb = i / 8;
+    if (limb < limbs_.size()) {
+      out[byte_index] = static_cast<std::uint8_t>(limbs_[limb] >> (8 * (i % 8)));
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::random_bits(RandomSource& rng, std::size_t bits) {
+  if (bits == 0) throw CryptoError("random_bits: bits must be >= 1");
+  const std::size_t nbytes = (bits + 7) / 8;
+  Bytes buf = rng.bytes(nbytes);
+  // Clear excess top bits, then force the MSB so bit_length() == bits.
+  const std::size_t excess = nbytes * 8 - bits;
+  buf[0] = static_cast<std::uint8_t>(buf[0] & (0xffu >> excess));
+  buf[0] |= static_cast<std::uint8_t>(0x80u >> excess);
+  return from_bytes(buf);
+}
+
+BigInt BigInt::random_below(RandomSource& rng, const BigInt& bound) {
+  if (bound.is_zero() || bound.neg_) {
+    throw CryptoError("random_below: bound must be positive");
+  }
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  const std::size_t excess = nbytes * 8 - bits;
+  while (true) {
+    Bytes buf = rng.bytes(nbytes);
+    buf[0] = static_cast<std::uint8_t>(buf[0] & (0xffu >> excess));
+    BigInt candidate = from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+long double BigInt::to_long_double() const {
+  if (limbs_.empty()) return 0.0L;
+  long double v = 0.0L;
+  // Top two limbs capture all precision a long double can hold.
+  const std::size_t n = limbs_.size();
+  v = static_cast<long double>(limbs_[n - 1]);
+  if (n >= 2) {
+    v = v * 18446744073709551616.0L + static_cast<long double>(limbs_[n - 2]);
+  }
+  const std::size_t dropped_limbs = n >= 2 ? n - 2 : 0;
+  v = std::ldexp(v, static_cast<int>(dropped_limbs * 64));
+  return neg_ ? -v : v;
+}
+
+}  // namespace smatch

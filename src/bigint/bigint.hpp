@@ -1,0 +1,132 @@
+// Arbitrary-precision integers (sign-magnitude, 64-bit limbs).
+//
+// This is the arithmetic substrate for RSA-OPRF, Paillier, the verification
+// group, and big-domain OPE. It implements schoolbook multiplication with a
+// Karatsuba crossover, Knuth Algorithm-D division, windowed modular
+// exponentiation, and extended-Euclid modular inverse.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From built-in integers.
+  BigInt(std::uint64_t v);              // NOLINT(google-explicit-constructor)
+  BigInt(std::int64_t v);               // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
+  BigInt(unsigned v) : BigInt(static_cast<std::uint64_t>(v)) {}  // NOLINT
+
+  /// Parses decimal ("-123") or, with `from_hex_string`, hex digits.
+  static BigInt from_decimal(std::string_view s);
+  static BigInt from_hex_string(std::string_view s);
+  /// Big-endian unsigned bytes.
+  static BigInt from_bytes(BytesView data);
+  /// Uniform in [0, bound); bound must be positive.
+  static BigInt random_below(RandomSource& rng, const BigInt& bound);
+  /// Uniform with exactly `bits` bits (MSB forced to 1); bits >= 1.
+  static BigInt random_bits(RandomSource& rng, std::size_t bits);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return neg_; }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits; 0 for zero.
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Bit i (0 = LSB) of the magnitude.
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  /// Value as u64; throws CryptoError if negative or too large.
+  [[nodiscard]] std::uint64_t to_u64() const;
+  /// Decimal string with optional leading '-'.
+  [[nodiscard]] std::string to_decimal() const;
+  /// Lowercase hex, no sign (magnitude only), "0" for zero.
+  [[nodiscard]] std::string to_hex_string() const;
+  /// Big-endian magnitude bytes, minimal length ("" for zero).
+  [[nodiscard]] Bytes to_bytes() const;
+  /// Big-endian magnitude bytes left-padded to exactly `len`;
+  /// throws CryptoError if the value does not fit.
+  [[nodiscard]] Bytes to_bytes_padded(std::size_t len) const;
+
+  [[nodiscard]] BigInt operator-() const;
+  [[nodiscard]] BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  // truncated toward zero
+  BigInt& operator%=(const BigInt& rhs);  // sign follows dividend
+  BigInt& operator<<=(std::size_t n);
+  BigInt& operator>>=(std::size_t n);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t n) { return a <<= n; }
+  friend BigInt operator>>(BigInt a, std::size_t n) { return a >>= n; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Quotient and remainder in one division (truncated; remainder has the
+  /// dividend's sign). Throws CryptoError on division by zero.
+  [[nodiscard]] static std::pair<BigInt, BigInt> div_mod(const BigInt& a, const BigInt& b);
+
+  /// Non-negative residue in [0, m); m must be positive.
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+  /// (a * b) mod m with non-negative result.
+  [[nodiscard]] static BigInt mul_mod(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// this^e mod m (e >= 0, m > 0). Uses Montgomery (REDC) arithmetic with
+  /// a 4-bit window for odd moduli of >= 8 limbs (every RSA/Paillier/
+  /// safe-prime modulus), and plain windowed exponentiation otherwise.
+  [[nodiscard]] BigInt pow_mod(const BigInt& e, const BigInt& m) const;
+  /// Modular inverse in [0, m); throws CryptoError when gcd(this, m) != 1.
+  [[nodiscard]] BigInt inv_mod(const BigInt& m) const;
+  /// this^e for small plain exponent.
+  [[nodiscard]] BigInt pow(std::uint64_t e) const;
+
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+  [[nodiscard]] static BigInt lcm(const BigInt& a, const BigInt& b);
+
+  /// Extended gcd: returns g and sets x, y with a*x + b*y = g.
+  static BigInt ext_gcd(const BigInt& a, const BigInt& b, BigInt& x, BigInt& y);
+
+  /// Integer square root (floor); value must be non-negative.
+  [[nodiscard]] BigInt isqrt() const;
+
+  /// Approximate conversion to long double (magnitude with sign); loses
+  /// precision beyond ~64 bits, used only by samplers for ratio estimates.
+  [[nodiscard]] long double to_long_double() const;
+
+ private:
+  [[nodiscard]] BigInt pow_mod_generic(const BigInt& e, const BigInt& m) const;
+  [[nodiscard]] BigInt pow_mod_montgomery(const BigInt& e, const BigInt& m) const;
+  [[nodiscard]] static int cmp_mag(const BigInt& a, const BigInt& b);
+  static void add_mag(const BigInt& a, const BigInt& b, BigInt& out);
+  /// Requires |a| >= |b|.
+  static void sub_mag(const BigInt& a, const BigInt& b, BigInt& out);
+  static BigInt mul_schoolbook(const BigInt& a, const BigInt& b);
+  static BigInt mul_karatsuba(const BigInt& a, const BigInt& b);
+  static void div_mod_mag(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+  void trim();
+
+  // Magnitude, little-endian 64-bit limbs; empty == zero.
+  std::vector<std::uint64_t> limbs_;
+  // Sign; never true when limbs_ is empty.
+  bool neg_ = false;
+};
+
+}  // namespace smatch

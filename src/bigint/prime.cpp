@@ -1,0 +1,78 @@
+#include "bigint/prime.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace smatch {
+namespace {
+
+// Enough small primes to filter ~90% of random candidates before
+// Miller-Rabin.
+constexpr std::array<std::uint64_t, 60> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113,
+    127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+    199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281};
+
+bool miller_rabin_round(const BigInt& n, const BigInt& n_minus_1, const BigInt& d,
+                        std::size_t r, const BigInt& base) {
+  BigInt x = base.pow_mod(d, n);
+  if (x == BigInt{1} || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = BigInt::mul_mod(x, x, n);
+    if (x == n_minus_1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds) {
+  if (n.is_negative()) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    const BigInt bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  if (n < BigInt{2}) return false;
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+
+  const BigInt two{2};
+  const BigInt span = n - BigInt{3};  // bases drawn from [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt base = BigInt::random_below(rng, span) + two;
+    if (!miller_rabin_round(n, n_minus_1, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(RandomSource& rng, std::size_t bits, int rounds) {
+  if (bits < 2) throw CryptoError("random_prime: need at least 2 bits");
+  while (true) {
+    BigInt candidate = BigInt::random_bits(rng, bits);
+    if (candidate.is_even()) candidate += BigInt{1};
+    if (candidate.bit_length() != bits) continue;  // +1 overflowed the width
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+BigInt random_safe_prime(RandomSource& rng, std::size_t bits, int rounds) {
+  if (bits < 3) throw CryptoError("random_safe_prime: need at least 3 bits");
+  while (true) {
+    const BigInt q = random_prime(rng, bits - 1, rounds);
+    const BigInt p = (q << 1) + BigInt{1};
+    if (p.bit_length() != bits) continue;
+    if (is_probable_prime(p, rng, rounds)) return p;
+  }
+}
+
+}  // namespace smatch

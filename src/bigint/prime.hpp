@@ -1,0 +1,25 @@
+// Primality testing and prime generation on top of BigInt.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/bigint.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds), preceded by trial division against
+/// small primes.
+[[nodiscard]] bool is_probable_prime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Uniformly random probable prime with exactly `bits` bits.
+[[nodiscard]] BigInt random_prime(RandomSource& rng, std::size_t bits, int rounds = 32);
+
+/// Random safe prime p = 2q + 1 (q also prime) with exactly `bits` bits.
+/// Safe-prime search is expensive; intended for test-scale parameters.
+/// Production-size verification groups use the precomputed RFC 3526 modulus
+/// in group/modp_group.hpp.
+[[nodiscard]] BigInt random_safe_prime(RandomSource& rng, std::size_t bits, int rounds = 16);
+
+}  // namespace smatch

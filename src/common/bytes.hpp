@@ -1,0 +1,45 @@
+// Byte-buffer utilities: hex encoding, constant-time comparison, XOR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smatch {
+
+/// The library-wide owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// A non-owning read-only view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper or lower case, even length).
+/// Throws SerdeError on malformed input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Copies a UTF-8/ASCII string into a byte buffer.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interprets bytes as a string (no validation).
+[[nodiscard]] std::string to_string(BytesView data);
+
+/// Constant-time equality: runtime depends only on the lengths, never on
+/// the contents. Returns false immediately when lengths differ.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+/// Element-wise XOR of two equal-length buffers. Throws CryptoError when
+/// the lengths differ.
+[[nodiscard]] Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of buffers.
+[[nodiscard]] Bytes concat(std::initializer_list<BytesView> parts);
+
+}  // namespace smatch

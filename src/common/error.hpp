@@ -1,0 +1,44 @@
+// Error types shared across all S-MATCH subsystems.
+//
+// Following the C++ Core Guidelines (E.2, E.14), errors that a caller
+// cannot reasonably be expected to handle locally are reported with
+// exceptions carrying a domain-specific type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smatch {
+
+/// Base class for every error thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed, truncated, or otherwise invalid wire data.
+class SerdeError : public Error {
+ public:
+  explicit SerdeError(const std::string& what) : Error("serde: " + what) {}
+};
+
+/// A cryptographic precondition was violated (bad key size, bad padding,
+/// out-of-range plaintext, ...).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Decoding failure in an error-correcting code (too many symbol errors).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// A protocol message arrived that violates the S-MATCH state machine.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+}  // namespace smatch

@@ -1,0 +1,51 @@
+// Abstract randomness source.
+//
+// Every component that consumes randomness takes a RandomSource&, so tests
+// and benchmarks can inject a seeded deterministic generator (see
+// crypto/drbg.hpp) and reproduce results bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace smatch {
+
+/// Interface for a byte-oriented random generator.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: a fresh buffer of `n` random bytes.
+  [[nodiscard]] Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  /// A uniformly random 64-bit value.
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint8_t buf[8];
+    fill(buf);
+    std::uint64_t v = 0;
+    for (std::uint8_t b : buf) v = v << 8 | b;
+    return v;
+  }
+
+  /// Uniform in [0, bound) via rejection sampling; bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    // Rejection zone keeps the result exactly uniform.
+    const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+    std::uint64_t v;
+    do {
+      v = u64();
+    } while (v >= limit);
+    return v % bound;
+  }
+};
+
+}  // namespace smatch

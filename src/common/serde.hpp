@@ -1,0 +1,67 @@
+// A small explicit wire format used by every S-MATCH protocol message.
+//
+// All integers are big-endian. Variable-length fields carry a u32 length
+// prefix. The format is deliberately self-describing enough for the
+// communication-cost benchmarks (Fig. 5d-f) to count exactly the bytes a
+// real deployment would ship.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace smatch {
+
+/// Serializes primitives into a growing byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(BytesView data);
+  /// u32 length prefix followed by the bytes.
+  void var_bytes(BytesView data);
+  /// u32 length prefix followed by UTF-8 bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Deserializes primitives from a byte view; throws SerdeError on
+/// truncation or trailing garbage (via `finish`).
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] Bytes raw(std::size_t n);
+  [[nodiscard]] Bytes var_bytes();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws SerdeError unless the whole buffer was consumed.
+  void finish() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace smatch

@@ -1,0 +1,51 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/entropy_map.hpp"
+
+namespace smatch {
+
+AdaptiveWidths AdaptiveWidths::for_target(
+    const std::vector<std::vector<double>>& attribute_probs, double target_entropy_bits) {
+  if (target_entropy_bits <= 0.0) {
+    throw Error("AdaptiveWidths: target entropy must be positive");
+  }
+  AdaptiveWidths w;
+  w.bits.reserve(attribute_probs.size());
+  for (const auto& probs : attribute_probs) {
+    // Analytic first guess: mapped entropy ~= k - lg(n) - 1, so
+    // k ~= T + lg(n) + 1; then verify and bump (the mapper's rounding of
+    // sub-range sizes can shave fractions of a bit).
+    const double lg_n = std::log2(static_cast<double>(std::max<std::size_t>(probs.size(), 2)));
+    auto k = static_cast<std::size_t>(std::ceil(target_entropy_bits + lg_n + 1.0));
+    k = std::max<std::size_t>(k, 8);
+    while (EntropyMapper(probs, k).mapped_entropy() < target_entropy_bits) {
+      ++k;
+      if (k > 8192) throw Error("AdaptiveWidths: target entropy unreachable");
+    }
+    w.bits.push_back(k);
+  }
+  return w;
+}
+
+std::size_t AdaptiveWidths::chain_bits() const {
+  return std::accumulate(bits.begin(), bits.end(), std::size_t{0});
+}
+
+double AdaptiveWidths::achieved_entropy(
+    const std::vector<std::vector<double>>& attribute_probs) const {
+  if (attribute_probs.size() != bits.size()) {
+    throw Error("AdaptiveWidths: arity mismatch");
+  }
+  double min_h = 1e300;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    min_h = std::min(min_h, EntropyMapper(attribute_probs[i], bits[i]).mapped_entropy());
+  }
+  return min_h;
+}
+
+}  // namespace smatch

@@ -1,0 +1,36 @@
+// Adaptive plaintext widths — the paper's stated future work (Section X):
+// "design our own OPE scheme which is able to choose the length of keys
+// adaptively based on the entropy of social attributes."
+//
+// Instead of one fixed k for every attribute, each attribute i gets the
+// smallest width k_i whose big-jump mapping reaches a common security
+// target T bits of mapped entropy (Section VII: e.g. T = 64 for security
+// level 80). High-entropy attributes need barely more than T bits;
+// low-entropy ones pay only their own lg(n_i) overhead — shrinking the
+// chain (and thus OPE cost and upload bytes) versus a uniform k sized for
+// the worst attribute.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace smatch {
+
+struct AdaptiveWidths {
+  /// Per-attribute plaintext widths in bits.
+  std::vector<std::size_t> bits;
+
+  /// Chooses, per attribute, the smallest width whose EntropyMapper
+  /// reaches `target_entropy_bits` of mapped entropy for that attribute's
+  /// value distribution.
+  static AdaptiveWidths for_target(const std::vector<std::vector<double>>& attribute_probs,
+                                   double target_entropy_bits);
+
+  /// Total chain width.
+  [[nodiscard]] std::size_t chain_bits() const;
+  /// Smallest per-attribute mapped entropy actually achieved.
+  [[nodiscard]] double achieved_entropy(
+      const std::vector<std::vector<double>>& attribute_probs) const;
+};
+
+}  // namespace smatch

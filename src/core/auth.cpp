@@ -1,0 +1,56 @@
+#include "core/auth.hpp"
+
+#include "common/error.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+
+AuthScheme::AuthScheme(std::shared_ptr<const ModpGroup> group) : group_(std::move(group)) {
+  if (!group_) throw Error("AuthScheme: null group");
+}
+
+BigInt AuthScheme::random_secret(RandomSource& rng) const {
+  return group_->random_exponent(rng);
+}
+
+std::size_t AuthScheme::token_size() const {
+  return Aes::kBlockSize + group_->element_bytes() + Sha256::kDigestSize;
+}
+
+Bytes AuthScheme::make_token(BytesView profile_key, const BigInt& secret,
+                             UserId id, RandomSource& rng) const {
+  const std::size_t eb = group_->element_bytes();
+  const BigInt t1 = group_->pow_g(secret);  // g^s
+  // t2 = h(g^{s * ID}) = h((g^s)^ID).
+  const BigInt t1_id = group_->pow(t1, BigInt{static_cast<std::uint64_t>(id)});
+  const Bytes tag = Sha256::hash(t1_id.to_bytes_padded(eb));
+
+  Bytes plaintext = t1.to_bytes_padded(eb);
+  append(plaintext, tag);
+  return aes_ctr_encrypt(profile_key, plaintext, rng);
+}
+
+bool AuthScheme::verify_token(BytesView profile_key, BytesView token, UserId id) const {
+  const std::size_t eb = group_->element_bytes();
+  if (token.size() != token_size()) return false;
+  Bytes plaintext;
+  try {
+    plaintext = aes_ctr_decrypt(profile_key, token);
+  } catch (const CryptoError&) {
+    return false;
+  }
+  if (plaintext.size() != eb + Sha256::kDigestSize) return false;
+
+  const BigInt t1 = BigInt::from_bytes(BytesView(plaintext).subspan(0, eb));
+  const BytesView t2 = BytesView(plaintext).subspan(eb);
+
+  // A wrong profile key decrypts to a random t1; the subgroup check and
+  // the tag comparison both reject it.
+  if (t1 <= BigInt{1} || t1 >= group_->p()) return false;
+  const BigInt t1_id = group_->pow(t1, BigInt{static_cast<std::uint64_t>(id)});
+  const Bytes expected = Sha256::hash(t1_id.to_bytes_padded(eb));
+  return ct_equal(expected, t2);
+}
+
+}  // namespace smatch

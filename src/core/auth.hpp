@@ -1,0 +1,49 @@
+// Result-verification protocol (paper Section VI, "Profile Verification";
+// Algorithms Auth and Vf in Fig. 3) — a reversed fuzzy commitment.
+//
+// Each user v holds a random secret s_v and publishes, through the
+// server, the token
+//     ciph_v = AES-CTR_Enc(K_vp, g^{s_v} || h(g^{s_v * ID_v}))
+// in the QR subgroup of a safe prime. A querying user whose profile key
+// equals K_vp (i.e., whose profile is within the fuzzy-keygen radius)
+// decrypts the token, parses t1 || t2, and accepts iff h(t1^{ID_v}) == t2.
+// A malicious server cannot forge an accepting token without the profile
+// key (and recovering s_v from g^{s_v} is DLOG-hard), so fake matching
+// results are detected.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "core/types.hpp"
+#include "group/modp_group.hpp"
+
+namespace smatch {
+
+class AuthScheme {
+ public:
+  explicit AuthScheme(std::shared_ptr<const ModpGroup> group);
+
+  [[nodiscard]] const ModpGroup& group() const { return *group_; }
+
+  /// Fresh user secret s in [1, q).
+  [[nodiscard]] BigInt random_secret(RandomSource& rng) const;
+
+  /// Auth(u): builds the token under the user's profile key.
+  [[nodiscard]] Bytes make_token(BytesView profile_key, const BigInt& secret,
+                                 UserId id, RandomSource& rng) const;
+
+  /// Vf(ID_v, ciph_v, u): true iff the token decrypts under
+  /// `profile_key` to a well-formed pair with h(t1^ID) == t2.
+  [[nodiscard]] bool verify_token(BytesView profile_key, BytesView token, UserId id) const;
+
+  /// Serialized token size (AES-CTR IV + group element + 32-byte tag):
+  /// the l_ciph term of the paper's communication-cost formula.
+  [[nodiscard]] std::size_t token_size() const;
+
+ private:
+  std::shared_ptr<const ModpGroup> group_;
+};
+
+}  // namespace smatch

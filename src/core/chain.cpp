@@ -1,0 +1,69 @@
+#include "core/chain.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "crypto/prf.hpp"
+
+namespace smatch {
+
+AttributeChain::AttributeChain(std::size_t num_attributes, std::size_t attribute_bits)
+    : AttributeChain(std::vector<std::size_t>(num_attributes, attribute_bits)) {}
+
+AttributeChain::AttributeChain(std::vector<std::size_t> widths)
+    : widths_(std::move(widths)) {
+  if (widths_.empty()) throw Error("AttributeChain: need at least one attribute");
+  for (std::size_t w : widths_) {
+    if (w == 0) throw Error("AttributeChain: attribute width must be >= 1");
+  }
+  total_bits_ = std::accumulate(widths_.begin(), widths_.end(), std::size_t{0});
+}
+
+std::vector<std::size_t> AttributeChain::permutation(BytesView profile_key) const {
+  const std::size_t d = widths_.size();
+  std::vector<std::size_t> perm(d);
+  for (std::size_t i = 0; i < d; ++i) perm[i] = i;
+  // Keyed Fisher-Yates: identical keys yield identical orders.
+  Drbg coins = prf_stream(profile_key, to_bytes("smatch-chain-permutation"));
+  for (std::size_t i = d; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(coins.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+BigInt AttributeChain::assemble(const std::vector<BigInt>& mapped,
+                                BytesView profile_key) const {
+  if (mapped.size() != widths_.size()) throw Error("AttributeChain: arity mismatch");
+  const auto perm = permutation(profile_key);
+  BigInt chain;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const std::size_t attr = perm[i];
+    const BigInt& v = mapped[attr];
+    if (v.is_negative() || v.bit_length() > widths_[attr]) {
+      throw Error("AttributeChain: mapped value exceeds attribute width");
+    }
+    chain <<= widths_[attr];
+    chain += v;
+  }
+  return chain;
+}
+
+std::vector<BigInt> AttributeChain::disassemble(const BigInt& chain,
+                                                BytesView profile_key) const {
+  if (chain.is_negative() || chain.bit_length() > chain_bits()) {
+    throw Error("AttributeChain: chain out of range");
+  }
+  const auto perm = permutation(profile_key);
+  std::vector<BigInt> mapped(widths_.size());
+  BigInt rest = chain;
+  for (std::size_t i = perm.size(); i-- > 0;) {
+    const std::size_t attr = perm[i];
+    const BigInt mask = (BigInt{1} << widths_[attr]) - BigInt{1};
+    mapped[attr] = rest % (BigInt{1} << widths_[attr]);
+    rest >>= widths_[attr];
+  }
+  return mapped;
+}
+
+}  // namespace smatch

@@ -1,0 +1,55 @@
+// Attribute chaining (paper Section VI, "Attribute Chaining").
+//
+// After entropy increase, the d mapped attribute values are concatenated
+// in a secret order into one chain, which is then encrypted with OPE as a
+// single value. The order is derived from the profile key, so every
+// member of a key group chains identically (their chains remain
+// order-comparable) while an outsider cannot tell which bit positions
+// hold which attribute — a landmark value's position cannot be isolated
+// and brute-forced separately.
+//
+// Widths may be uniform (the paper's k bits per attribute) or
+// heterogeneous (the adaptive-width extension of Section X, where each
+// attribute gets just enough bits for its entropy target).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "common/bytes.hpp"
+
+namespace smatch {
+
+class AttributeChain {
+ public:
+  /// Uniform layout: every attribute occupies `attribute_bits` bits.
+  AttributeChain(std::size_t num_attributes, std::size_t attribute_bits);
+  /// Heterogeneous layout: attribute i occupies widths[i] bits.
+  explicit AttributeChain(std::vector<std::size_t> widths);
+
+  [[nodiscard]] std::size_t num_attributes() const { return widths_.size(); }
+  /// Width of attribute i.
+  [[nodiscard]] std::size_t attribute_bits(std::size_t i) const { return widths_.at(i); }
+  [[nodiscard]] std::size_t chain_bits() const { return total_bits_; }
+
+  /// The keyed secret attribute order: position i of the chain holds
+  /// attribute perm[i].
+  [[nodiscard]] std::vector<std::size_t> permutation(BytesView profile_key) const;
+
+  /// Concatenates the mapped attribute values (original attribute order
+  /// in `mapped`) into the chain integer using the keyed order.
+  /// Every mapped value must fit its attribute's width.
+  [[nodiscard]] BigInt assemble(const std::vector<BigInt>& mapped,
+                                BytesView profile_key) const;
+
+  /// Splits a chain back into mapped values in original attribute order.
+  [[nodiscard]] std::vector<BigInt> disassemble(const BigInt& chain,
+                                                BytesView profile_key) const;
+
+ private:
+  std::vector<std::size_t> widths_;
+  std::size_t total_bits_ = 0;
+};
+
+}  // namespace smatch

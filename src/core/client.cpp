@@ -1,0 +1,130 @@
+#include "core/client.hpp"
+
+#include "common/error.hpp"
+#include "crypto/prf.hpp"
+
+namespace smatch {
+namespace {
+
+std::size_t width_of(const ClientConfig& config, std::size_t attr) {
+  if (config.adaptive_widths.empty()) return config.params.attribute_bits;
+  if (attr >= config.adaptive_widths.size()) {
+    throw Error("Client: adaptive width table arity mismatch");
+  }
+  return config.adaptive_widths[attr];
+}
+
+std::vector<EntropyMapper> make_mappers(const ClientConfig& config) {
+  std::vector<EntropyMapper> mappers;
+  mappers.reserve(config.attribute_probs.size());
+  for (std::size_t i = 0; i < config.attribute_probs.size(); ++i) {
+    mappers.emplace_back(config.attribute_probs[i], width_of(config, i));
+  }
+  return mappers;
+}
+
+AttributeChain make_chain(const ClientConfig& config) {
+  std::vector<std::size_t> widths(config.attribute_probs.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) widths[i] = width_of(config, i);
+  return AttributeChain(std::move(widths));
+}
+
+}  // namespace
+
+ClientConfig make_client_config(const DatasetSpec& spec, const SchemeParams& params,
+                                std::shared_ptr<const ModpGroup> group) {
+  ClientConfig cfg;
+  cfg.params = params;
+  cfg.attribute_probs.reserve(spec.attributes.size());
+  for (const auto& attr : spec.attributes) cfg.attribute_probs.push_back(attr.probs);
+  cfg.group = std::move(group);
+  return cfg;
+}
+
+Client::Client(UserId id, Profile profile, ClientConfig config)
+    : id_(id),
+      profile_(std::move(profile)),
+      config_(std::move(config)),
+      mappers_(make_mappers(config_)),
+      chain_(make_chain(config_)),
+      keygen_(config_.params, config_.attribute_probs.size()),
+      auth_(config_.group) {
+  if (profile_.size() != config_.attribute_probs.size()) {
+    throw Error("Client: profile arity does not match configured attributes");
+  }
+  if (!config_.adaptive_widths.empty() &&
+      config_.adaptive_widths.size() != profile_.size()) {
+    throw Error("Client: adaptive width table arity mismatch");
+  }
+}
+
+void Client::generate_key(const RsaOprfServer& oprf, RandomSource& rng) {
+  key_ = keygen_.derive(profile_, oprf, rng);
+  secret_ = auth_.random_secret(rng);
+}
+
+void Client::set_profile_key(ProfileKey key, const BigInt& secret) {
+  key_ = std::move(key);
+  secret_ = secret;
+}
+
+const ProfileKey& Client::profile_key() const {
+  if (!key_) throw Error("Client: profile key not generated yet");
+  return *key_;
+}
+
+std::vector<BigInt> Client::init_data(RandomSource& rng) const {
+  std::vector<BigInt> mapped;
+  mapped.reserve(profile_.size());
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    mapped.push_back(mappers_[i].map(profile_[i], rng));
+  }
+  return mapped;
+}
+
+Ope Client::make_ope() const {
+  const std::size_t pt_bits = chain_.chain_bits();
+  return Ope(prf(profile_key().key, to_bytes("smatch-ope-key")), pt_bits,
+             pt_bits + config_.params.ope_slack_bits);
+}
+
+std::size_t Client::chain_cipher_bits() const {
+  return chain_.chain_bits() + config_.params.ope_slack_bits;
+}
+
+BigInt Client::encrypt_chain(const std::vector<BigInt>& mapped) const {
+  const BigInt chain = chain_.assemble(mapped, profile_key().key);
+  return make_ope().encrypt(chain);
+}
+
+Bytes Client::make_auth_token(RandomSource& rng) const {
+  return auth_.make_token(profile_key().key, secret_, id_, rng);
+}
+
+UploadMessage Client::make_upload(RandomSource& rng) const {
+  UploadMessage up;
+  up.user_id = id_;
+  up.key_index = profile_key().index;
+  up.chain_cipher = encrypt_chain(init_data(rng));
+  up.chain_cipher_bits = static_cast<std::uint32_t>(chain_cipher_bits());
+  up.auth_token = make_auth_token(rng);
+  return up;
+}
+
+QueryRequest Client::make_query(std::uint32_t query_id, std::uint64_t timestamp) const {
+  return {query_id, timestamp, id_};
+}
+
+bool Client::verify_entry(const MatchEntry& entry) const {
+  return auth_.verify_token(profile_key().key, entry.auth_token, entry.user_id);
+}
+
+std::size_t Client::count_verified(const QueryResult& result) const {
+  std::size_t n = 0;
+  for (const auto& e : result.entries) {
+    if (verify_entry(e)) ++n;
+  }
+  return n;
+}
+
+}  // namespace smatch

@@ -1,0 +1,92 @@
+// The S-MATCH mobile client: implements the user side of the scheme
+// tuple (Keygen, InitData, Enc, Auth, Vf) from paper Fig. 3.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/auth.hpp"
+#include "core/chain.hpp"
+#include "core/entropy_map.hpp"
+#include "core/keygen.hpp"
+#include "core/messages.hpp"
+#include "core/types.hpp"
+#include "ope/ope.hpp"
+
+namespace smatch {
+
+/// Deployment-wide public configuration every client shares.
+struct ClientConfig {
+  SchemeParams params;
+  /// Public per-attribute value distributions (the provider publishes the
+  /// population statistics the big-jump mapping needs).
+  std::vector<std::vector<double>> attribute_probs;
+  /// Verification group (e.g. ModpGroup::rfc3526_2048()).
+  std::shared_ptr<const ModpGroup> group;
+  /// Optional adaptive per-attribute widths (paper Section X extension):
+  /// when non-empty, attribute i occupies adaptive_widths[i] bits instead
+  /// of the uniform params.attribute_bits. See core/adaptive.hpp.
+  std::vector<std::size_t> adaptive_widths;
+};
+
+/// Builds a deployment config from a dataset's published attribute
+/// distributions.
+[[nodiscard]] ClientConfig make_client_config(const DatasetSpec& spec,
+                                              const SchemeParams& params,
+                                              std::shared_ptr<const ModpGroup> group);
+
+class Client {
+ public:
+  /// Throws Error when the profile arity does not match the config.
+  Client(UserId id, Profile profile, ClientConfig config);
+
+  [[nodiscard]] UserId id() const { return id_; }
+  [[nodiscard]] const Profile& profile() const { return profile_; }
+  [[nodiscard]] const SchemeParams& params() const { return config_.params; }
+
+  /// Keygen: fuzzy quantization + OPRF round against the key server, and
+  /// generation of the user verification secret s_u.
+  void generate_key(const RsaOprfServer& oprf, RandomSource& rng);
+  /// Installs an externally derived key (message-level OPRF flows).
+  void set_profile_key(ProfileKey key, const BigInt& secret);
+  [[nodiscard]] const ProfileKey& profile_key() const;
+
+  /// InitData: entropy-increase each attribute (fresh randomness per
+  /// upload — the same value maps to different strings each time).
+  [[nodiscard]] std::vector<BigInt> init_data(RandomSource& rng) const;
+  /// Enc: chain the mapped values in the keyed order and OPE-encrypt.
+  [[nodiscard]] BigInt encrypt_chain(const std::vector<BigInt>& mapped) const;
+  /// Auth: the verification token for this user.
+  [[nodiscard]] Bytes make_auth_token(RandomSource& rng) const;
+
+  /// Full upload message (InitData + Enc + Auth). Requires a key.
+  [[nodiscard]] UploadMessage make_upload(RandomSource& rng) const;
+  [[nodiscard]] QueryRequest make_query(std::uint32_t query_id, std::uint64_t timestamp) const;
+
+  /// Vf for a single result entry.
+  [[nodiscard]] bool verify_entry(const MatchEntry& entry) const;
+  /// Convenience: number of entries that verify.
+  [[nodiscard]] std::size_t count_verified(const QueryResult& result) const;
+
+  /// OPE ciphertext width for this deployment (serialization).
+  [[nodiscard]] std::size_t chain_cipher_bits() const;
+
+  [[nodiscard]] const FuzzyKeyGen& keygen() const { return keygen_; }
+  [[nodiscard]] const AuthScheme& auth() const { return auth_; }
+
+ private:
+  [[nodiscard]] Ope make_ope() const;
+
+  UserId id_;
+  Profile profile_;
+  ClientConfig config_;
+  std::vector<EntropyMapper> mappers_;
+  AttributeChain chain_;
+  FuzzyKeyGen keygen_;
+  AuthScheme auth_;
+  std::optional<ProfileKey> key_;
+  BigInt secret_;  // s_u
+};
+
+}  // namespace smatch

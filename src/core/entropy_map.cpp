@@ -1,0 +1,94 @@
+#include "core/entropy_map.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+EntropyMapper::EntropyMapper(std::vector<double> probs, std::size_t k_bits)
+    : probs_(std::move(probs)), k_bits_(k_bits) {
+  if (probs_.size() < 2) throw Error("EntropyMapper: need at least 2 values");
+  if (k_bits_ < 4) throw Error("EntropyMapper: k_bits too small");
+  const BigInt space = BigInt{1} << k_bits_;
+  const BigInt n{static_cast<std::uint64_t>(probs_.size())};
+  slot_width_ = space / n;
+  if (slot_width_ < BigInt{4}) {
+    throw Error("EntropyMapper: message space must be >= 4x the value count");
+  }
+
+  // Delta = slot_width / 2 keeps every sub-range R_j = p_j * Delta inside
+  // its slot and satisfies the paper's R < 2^k / (2n - 1) bound.
+  const BigInt delta = slot_width_ >> 1;
+  const long double delta_ld = delta.to_long_double();
+  subrange_.reserve(probs_.size());
+  for (double p : probs_) {
+    if (p < 0.0 || p > 1.0) throw Error("EntropyMapper: probability out of [0,1]");
+    auto r_ld = static_cast<long double>(p) * delta_ld;
+    BigInt r;
+    if (r_ld < 1.0L) {
+      r = BigInt{1};
+    } else if (r_ld >= delta_ld) {
+      r = delta;
+    } else {
+      // Convert via a 63-bit mantissa scale to preserve precision.
+      int exp = 0;
+      const long double mant = std::frexp(r_ld, &exp);
+      const auto mi = static_cast<std::uint64_t>(std::ldexp(mant, 63));
+      r = BigInt{mi};
+      const int shift = exp - 63;
+      if (shift > 0) r <<= static_cast<std::size_t>(shift);
+      else if (shift < 0) r >>= static_cast<std::size_t>(-shift);
+      if (r.is_zero()) r = BigInt{1};
+    }
+    subrange_.push_back(std::move(r));
+  }
+}
+
+BigInt EntropyMapper::slot_base(AttrValue value) const {
+  if (value >= probs_.size()) throw Error("EntropyMapper: value out of range");
+  return slot_width_ * BigInt{static_cast<std::uint64_t>(value)};
+}
+
+BigInt EntropyMapper::subrange_size(AttrValue value) const {
+  if (value >= probs_.size()) throw Error("EntropyMapper: value out of range");
+  return subrange_[value];
+}
+
+BigInt EntropyMapper::map(AttrValue value, RandomSource& rng) const {
+  return slot_base(value) + BigInt::random_below(rng, subrange_size(value));
+}
+
+AttrValue EntropyMapper::unmap(const BigInt& mapped) const {
+  if (mapped.is_negative()) throw Error("EntropyMapper: mapped value negative");
+  const BigInt slot = mapped / slot_width_;
+  if (slot >= BigInt{static_cast<std::uint64_t>(probs_.size())}) {
+    throw Error("EntropyMapper: mapped value out of space");
+  }
+  return static_cast<AttrValue>(slot.to_u64());
+}
+
+double EntropyMapper::mapped_entropy() const {
+  // Value j contributes p_j spread uniformly over R_j strings:
+  // H = -sum_j R_j * (p_j/R_j) * lg(p_j/R_j) = -sum_j p_j lg(p_j / R_j).
+  double h = 0.0;
+  for (std::size_t j = 0; j < probs_.size(); ++j) {
+    const double p = probs_[j];
+    if (p <= 0.0) continue;
+    // R_j can exceed double range (k up to 2048 bits); take the log in
+    // long double, where 2^2048 is still representable.
+    const long double lg_r = std::log2(subrange_[j].to_long_double());
+    h += p * (static_cast<double>(lg_r) - std::log2(p));
+  }
+  return h;
+}
+
+double EntropyMapper::original_entropy() const {
+  double h = 0.0;
+  for (double p : probs_) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace smatch

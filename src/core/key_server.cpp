@@ -1,0 +1,70 @@
+#include "core/key_server.hpp"
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+
+namespace smatch {
+
+Bytes KeyRequest::serialize() const {
+  Writer w;
+  w.u32(client_id);
+  w.var_bytes(blinded.to_bytes());
+  return w.take();
+}
+
+KeyRequest KeyRequest::parse(BytesView data) {
+  Reader r(data);
+  KeyRequest req;
+  req.client_id = r.u32();
+  req.blinded = BigInt::from_bytes(r.var_bytes());
+  r.finish();
+  return req;
+}
+
+Bytes KeyResponse::serialize() const {
+  Writer w;
+  w.var_bytes(evaluated.to_bytes());
+  return w.take();
+}
+
+KeyResponse KeyResponse::parse(BytesView data) {
+  Reader r(data);
+  KeyResponse resp;
+  resp.evaluated = BigInt::from_bytes(r.var_bytes());
+  r.finish();
+  return resp;
+}
+
+KeyServer::KeyServer(RsaKeyPair key, std::uint32_t requests_per_epoch)
+    : oprf_(std::move(key)), budget_(requests_per_epoch) {}
+
+Bytes KeyServer::handle(BytesView request_wire) {
+  const KeyRequest req = KeyRequest::parse(request_wire);
+  if (budget_ != 0) {
+    std::uint32_t& used = counts_[req.client_id];
+    if (used >= budget_) {
+      throw ProtocolError("key server: request budget exhausted for client");
+    }
+    ++used;
+  }
+  const OprfResponse resp = oprf_.evaluate({req.blinded});
+  ++evaluations_;
+  return KeyResponse{resp.evaluated}.serialize();
+}
+
+KeygenSession::KeygenSession(const FuzzyKeyGen& keygen, const Profile& profile,
+                             const RsaPublicKey& server_key, UserId client_id,
+                             RandomSource& rng)
+    : client_id_(client_id),
+      oprf_client_(server_key, keygen.key_material(profile), rng) {}
+
+Bytes KeygenSession::request_wire() const {
+  return KeyRequest{client_id_, oprf_client_.request().blinded}.serialize();
+}
+
+ProfileKey KeygenSession::finalize(BytesView response_wire) const {
+  const KeyResponse resp = KeyResponse::parse(response_wire);
+  return FuzzyKeyGen::from_oprf_output(oprf_client_.finalize({resp.evaluated}));
+}
+
+}  // namespace smatch

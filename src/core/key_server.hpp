@@ -1,0 +1,83 @@
+// The OPRF key server as a network endpoint.
+//
+// FuzzyKeyGen::derive() runs the OPRF against an in-process object; this
+// endpoint exposes the same round as wire messages so deployments (and
+// the communication benchmarks) can run Keygen over a real channel:
+//
+//   client -> server : KeyRequest  { client_id, blinded element }
+//   server -> client : KeyResponse { evaluated element }
+//
+// The OPRF's security story depends on the server being able to meter
+// evaluations (each offline profile guess costs one round), so the
+// endpoint enforces a per-client request budget per epoch — exceeding it
+// is rejected, which is what makes brute-forcing the low-entropy profile
+// space through the server impractical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "core/keygen.hpp"
+#include "core/types.hpp"
+#include "oprf/rsa_oprf.hpp"
+
+namespace smatch {
+
+struct KeyRequest {
+  UserId client_id = 0;
+  BigInt blinded;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static KeyRequest parse(BytesView data);
+};
+
+struct KeyResponse {
+  BigInt evaluated;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static KeyResponse parse(BytesView data);
+};
+
+class KeyServer {
+ public:
+  /// `requests_per_epoch`: per-client OPRF budget (0 = unlimited).
+  explicit KeyServer(RsaKeyPair key, std::uint32_t requests_per_epoch = 16);
+
+  [[nodiscard]] const RsaPublicKey& public_key() const { return oprf_.public_key(); }
+
+  /// Handles one serialized KeyRequest; returns a serialized KeyResponse.
+  /// Throws ProtocolError when the client exceeded its budget and
+  /// CryptoError/SerdeError on malformed requests.
+  [[nodiscard]] Bytes handle(BytesView request_wire);
+
+  /// Starts a new rate-limit epoch (e.g. daily).
+  void next_epoch() { counts_.clear(); }
+
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  RsaOprfServer oprf_;
+  std::uint32_t budget_;
+  std::map<UserId, std::uint32_t> counts_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Client-side keygen over the wire: produces the request for a profile
+/// and finalizes the response into a ProfileKey. One instance per run.
+class KeygenSession {
+ public:
+  KeygenSession(const FuzzyKeyGen& keygen, const Profile& profile,
+                const RsaPublicKey& server_key, UserId client_id, RandomSource& rng);
+
+  [[nodiscard]] Bytes request_wire() const;
+  /// Throws CryptoError when the server response fails the blind-RSA
+  /// consistency check.
+  [[nodiscard]] ProfileKey finalize(BytesView response_wire) const;
+
+ private:
+  UserId client_id_;
+  RsaOprfClient oprf_client_;
+};
+
+}  // namespace smatch

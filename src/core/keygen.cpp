@@ -1,0 +1,95 @@
+#include "core/keygen.hpp"
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+namespace {
+
+ReedSolomon make_code(const SchemeParams& params, std::size_t d, std::size_t rep) {
+  const GaloisField gf(params.gf_m);
+  const std::size_t n = d * rep;
+  const std::size_t two_t = 2 * params.rs_threshold;
+  if (n <= two_t) throw Error("FuzzyKeyGen: expansion too small for threshold");
+  if (n > gf.order()) throw Error("FuzzyKeyGen: profile too long for field");
+  return ReedSolomon(gf, n, n - two_t);
+}
+
+std::size_t choose_rep(const SchemeParams& params, std::size_t d) {
+  if (d == 0) throw Error("FuzzyKeyGen: need at least one attribute");
+  // Smallest rep with d*rep - 2*theta >= 2 and (d*rep - k) even holds by
+  // construction (k = n - 2*theta).
+  const std::size_t needed = 2 * params.rs_threshold + 2;
+  return (needed + d - 1) / d;
+}
+
+}  // namespace
+
+FuzzyKeyGen::FuzzyKeyGen(const SchemeParams& params, std::size_t num_attributes)
+    : params_(params),
+      num_attributes_(num_attributes),
+      rep_(choose_rep(params, num_attributes)),
+      cell_width_(params.quant_width),
+      rs_(make_code(params, num_attributes, rep_)) {
+  if (cell_width_ == 0) throw Error("FuzzyKeyGen: quant_width must be >= 1");
+}
+
+std::vector<GaloisField::Elem> FuzzyKeyGen::quantize(const Profile& a) const {
+  if (a.size() != num_attributes_) throw Error("FuzzyKeyGen: profile arity mismatch");
+  std::vector<GaloisField::Elem> s(a.size());
+  const std::uint32_t max_symbol = rs_.field().size() - 1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Round-to-nearest quantization with cell width theta + 1.
+    std::uint32_t q = (a[i] + cell_width_ / 2) / cell_width_;
+    if (q > max_symbol) q = max_symbol;
+    s[i] = static_cast<GaloisField::Elem>(q);
+  }
+  return s;
+}
+
+std::vector<GaloisField::Elem> FuzzyKeyGen::fuzzy_vector(const Profile& a) const {
+  const auto s = quantize(a);
+  // Expand by repetition to the code length.
+  std::vector<GaloisField::Elem> word(rs_.n());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = 0; j < rep_; ++j) word[i * rep_ + j] = s[i];
+  }
+  try {
+    return rs_.decode(word).codeword;
+  } catch (const DecodeError&) {
+    // Beyond the decoding radius: the quantized expansion itself is the
+    // fuzzy vector (deterministic, so equal quantizations still agree).
+    return word;
+  }
+}
+
+Bytes FuzzyKeyGen::key_material(const Profile& a) const {
+  const auto t = fuzzy_vector(a);
+  Writer w;
+  w.str("smatch-profile-key-v1");
+  w.u8(static_cast<std::uint8_t>(params_.gf_m));
+  w.u32(static_cast<std::uint32_t>(rs_.n()));
+  w.u32(static_cast<std::uint32_t>(rs_.k()));
+  w.u32(params_.rs_threshold);
+  w.u32(static_cast<std::uint32_t>(t.size()));
+  for (GaloisField::Elem e : t) w.u16(e);
+  return Sha256::hash(w.bytes());
+}
+
+ProfileKey FuzzyKeyGen::derive(const Profile& a, const RsaOprfServer& oprf,
+                               RandomSource& rng) const {
+  const Bytes material = key_material(a);
+  RsaOprfClient client(oprf.public_key(), material, rng);
+  const OprfResponse resp = oprf.evaluate(client.request());
+  return from_oprf_output(client.finalize(resp));
+}
+
+ProfileKey FuzzyKeyGen::from_oprf_output(Bytes oprf_output) {
+  ProfileKey pk;
+  pk.index = Sha256::hash(oprf_output);
+  pk.key = std::move(oprf_output);
+  return pk;
+}
+
+}  // namespace smatch

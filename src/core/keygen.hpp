@@ -1,0 +1,66 @@
+// Fuzzy profile-key generation (paper Section VI, "Key Generation";
+// Algorithm Keygen in Fig. 3).
+//
+// Pipeline:  profile A --quantize--> symbols s --RS decode--> fuzzy vector
+// T(v) --SHA-256--> K' --RSA-OPRF--> profile key K_up, index h(K_up).
+//
+// Profiles that agree after quantization (cell width quant_width) produce
+// identical fuzzy vectors and therefore identical keys; the RS decoder
+// additionally snaps words within its decoding radius onto a common
+// codeword. Decode failure falls back to the quantized word itself (see
+// DESIGN.md substitution #4). The OPRF round prevents offline brute force
+// of the (low-entropy) profile space: each guess costs an interaction with
+// the key server.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/types.hpp"
+#include "gf/reed_solomon.hpp"
+#include "oprf/rsa_oprf.hpp"
+
+namespace smatch {
+
+/// The derived per-profile key pair: secret key + public server index.
+struct ProfileKey {
+  Bytes key;    // K_up: 32 bytes, OPRF output
+  Bytes index;  // h(K_up): 32 bytes, the server-side group index
+};
+
+class FuzzyKeyGen {
+ public:
+  /// `num_attributes` = d. Derives the RS(n, k) quantizer code:
+  /// n = d * rep, k = n - 2*theta, with the repetition factor rep chosen
+  /// minimally so that k >= 1 and n fits the field.
+  FuzzyKeyGen(const SchemeParams& params, std::size_t num_attributes);
+
+  [[nodiscard]] std::size_t rep() const { return rep_; }
+  [[nodiscard]] const ReedSolomon& code() const { return rs_; }
+  /// Quantization cell width (SchemeParams::quant_width).
+  [[nodiscard]] std::uint32_t cell_width() const { return cell_width_; }
+
+  /// Quantized symbols s_i = round(a_i / cell_width), one per attribute.
+  [[nodiscard]] std::vector<GaloisField::Elem> quantize(const Profile& a) const;
+  /// T(v): RS-decoded expansion of the quantized symbols (falls back to
+  /// the expanded word when the word is beyond the decoding radius).
+  [[nodiscard]] std::vector<GaloisField::Elem> fuzzy_vector(const Profile& a) const;
+  /// K' = H(T(v)) with the scheme parameters bound in.
+  [[nodiscard]] Bytes key_material(const Profile& a) const;
+
+  /// Full derivation including the interactive OPRF round (executed
+  /// in-process against the key server object).
+  [[nodiscard]] ProfileKey derive(const Profile& a, const RsaOprfServer& oprf,
+                                  RandomSource& rng) const;
+  /// Derivation from already-finalized OPRF output.
+  [[nodiscard]] static ProfileKey from_oprf_output(Bytes oprf_output);
+
+ private:
+  SchemeParams params_;
+  std::size_t num_attributes_;
+  std::size_t rep_;
+  std::uint32_t cell_width_;
+  ReedSolomon rs_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,80 @@
+#include "core/messages.hpp"
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+
+namespace smatch {
+
+Bytes UploadMessage::serialize() const {
+  Writer w;
+  w.u32(user_id);
+  w.var_bytes(key_index);
+  w.u32(chain_cipher_bits);
+  w.raw(chain_cipher.to_bytes_padded((chain_cipher_bits + 7) / 8));
+  w.var_bytes(auth_token);
+  return w.take();
+}
+
+UploadMessage UploadMessage::parse(BytesView data) {
+  Reader r(data);
+  UploadMessage m;
+  m.user_id = r.u32();
+  m.key_index = r.var_bytes();
+  m.chain_cipher_bits = r.u32();
+  m.chain_cipher = BigInt::from_bytes(r.raw((m.chain_cipher_bits + 7) / 8));
+  m.auth_token = r.var_bytes();
+  r.finish();
+  return m;
+}
+
+Bytes QueryRequest::serialize() const {
+  Writer w;
+  w.u32(query_id);
+  w.u64(timestamp);
+  w.u32(user_id);
+  return w.take();
+}
+
+QueryRequest QueryRequest::parse(BytesView data) {
+  Reader r(data);
+  QueryRequest q;
+  q.query_id = r.u32();
+  q.timestamp = r.u64();
+  q.user_id = r.u32();
+  r.finish();
+  return q;
+}
+
+Bytes QueryResult::serialize() const {
+  Writer w;
+  w.u32(query_id);
+  w.u64(timestamp);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.u32(e.user_id);
+    w.var_bytes(e.auth_token);
+  }
+  return w.take();
+}
+
+QueryResult QueryResult::parse(BytesView data) {
+  Reader r(data);
+  QueryResult q;
+  q.query_id = r.u32();
+  q.timestamp = r.u64();
+  const std::uint32_t count = r.u32();
+  // Never trust a wire-supplied count for the allocation size: each entry
+  // needs at least 8 bytes, so anything beyond remaining()/8 is malformed.
+  if (count > r.remaining() / 8 + 1) throw SerdeError("entry count exceeds message size");
+  q.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MatchEntry e;
+    e.user_id = r.u32();
+    e.auth_token = r.var_bytes();
+    q.entries.push_back(std::move(e));
+  }
+  r.finish();
+  return q;
+}
+
+}  // namespace smatch

@@ -1,0 +1,58 @@
+// Wire messages of the S-MATCH protocol (paper Fig. 2, Eq. 3).
+//
+// Upload:  u -> S : ID_u, h(K_up), E_{K_up}(A'_1 || ... || A'_n), ciph_u
+// Query:   u -> S : Q_q = <q, t, ID_v>
+// Result:  S -> u : R_q = <q, t, ID_1, ciph_1, ..., ID_k, ciph_k>
+//
+// All messages serialize through common/serde.hpp; the byte counts of
+// these encodings are what the communication-cost benchmarks measure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "common/bytes.hpp"
+#include "core/types.hpp"
+
+namespace smatch {
+
+/// Profile upload (paper Eq. 3 plus the verification token).
+struct UploadMessage {
+  UserId user_id = 0;
+  Bytes key_index;        // h(K_up), 32 bytes
+  BigInt chain_cipher;    // OPE ciphertext of the attribute chain
+  std::uint32_t chain_cipher_bits = 0;  // fixed width for serialization
+  Bytes auth_token;       // ciph_u
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static UploadMessage parse(BytesView data);
+};
+
+/// Profile-matching query Q_q = <q, t, ID_v>.
+struct QueryRequest {
+  std::uint32_t query_id = 0;
+  std::uint64_t timestamp = 0;
+  UserId user_id = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static QueryRequest parse(BytesView data);
+};
+
+/// One matched user in a query result.
+struct MatchEntry {
+  UserId user_id = 0;
+  Bytes auth_token;
+};
+
+/// Query result R_q = <q, t, {ID_i, ciph_i}>.
+struct QueryResult {
+  std::uint32_t query_id = 0;
+  std::uint64_t timestamp = 0;
+  std::vector<MatchEntry> entries;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static QueryResult parse(BytesView data);
+};
+
+}  // namespace smatch

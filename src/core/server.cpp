@@ -1,0 +1,140 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+void MatchServer::ingest(const UploadMessage& upload) {
+  if (upload.key_index.empty()) throw ProtocolError("upload without key index");
+
+  // Replace any previous upload from this user (periodic re-upload in the
+  // system model).
+  if (auto it = user_group_.find(upload.user_id); it != user_group_.end()) {
+    auto& old_group = groups_[it->second];
+    std::erase_if(old_group, [&](const Record& r) { return r.id == upload.user_id; });
+    if (old_group.empty()) groups_.erase(it->second);
+    user_group_.erase(it);
+  }
+
+  groups_[upload.key_index].push_back(
+      {upload.user_id, upload.chain_cipher, upload.auth_token});
+  user_group_[upload.user_id] = upload.key_index;
+}
+
+std::size_t MatchServer::sorted_group(UserId querier,
+                                      std::vector<const Record*>& out) const {
+  const auto group_it = user_group_.find(querier);
+  if (group_it == user_group_.end()) {
+    throw ProtocolError("match: unknown querier");
+  }
+
+  // EXTRA: the querier's key group (h(K_vp) filter).
+  const auto& members = groups_.at(group_it->second);
+
+  // SORT by OPE ciphertext == sort by plaintext chain order.
+  out.clear();
+  out.reserve(members.size());
+  for (const auto& r : members) out.push_back(&r);
+  std::sort(out.begin(), out.end(), [this](const Record* a, const Record* b) {
+    ++comparisons_;
+    return a->chain < b->chain;
+  });
+
+  // FIND the querier's position.
+  const auto pos_it = std::find_if(out.begin(), out.end(),
+                                   [&](const Record* r) { return r->id == querier; });
+  return static_cast<std::size_t>(pos_it - out.begin());
+}
+
+void MatchServer::check_freshness(const QueryRequest& query) const {
+  if (!replay_protection_) return;
+  auto [it, inserted] = last_query_time_.try_emplace(query.user_id, query.timestamp);
+  if (!inserted) {
+    if (query.timestamp <= it->second) {
+      throw ProtocolError("match: stale or replayed query timestamp");
+    }
+    it->second = query.timestamp;
+  }
+}
+
+QueryResult MatchServer::match(const QueryRequest& query, std::size_t k) const {
+  check_freshness(query);
+  std::vector<const Record*> sorted;
+  const std::size_t pos = sorted_group(query.user_id, sorted);
+
+  // Return up to k/2 neighbours on each side (Algorithm Match), widening
+  // to the other side when one side runs out.
+  QueryResult result;
+  result.query_id = query.query_id;
+  result.timestamp = query.timestamp;
+
+  std::size_t lo = pos;  // exclusive walk downward
+  std::size_t hi = pos;  // exclusive walk upward
+  while (result.entries.size() < k && (lo > 0 || hi + 1 < sorted.size())) {
+    if (lo > 0) {
+      --lo;
+      result.entries.push_back({sorted[lo]->id, sorted[lo]->auth_token});
+      if (result.entries.size() >= k) break;
+    }
+    if (hi + 1 < sorted.size()) {
+      ++hi;
+      result.entries.push_back({sorted[hi]->id, sorted[hi]->auth_token});
+    }
+  }
+  return result;
+}
+
+QueryResult MatchServer::match_within(const QueryRequest& query,
+                                      std::size_t max_order_distance) const {
+  check_freshness(query);
+  std::vector<const Record*> sorted;
+  const std::size_t pos = sorted_group(query.user_id, sorted);
+
+  QueryResult result;
+  result.query_id = query.query_id;
+  result.timestamp = query.timestamp;
+  // Alternate outward so entries come back in increasing order distance.
+  for (std::size_t d = 1; d <= max_order_distance; ++d) {
+    if (pos >= d) {
+      const Record* r = sorted[pos - d];
+      result.entries.push_back({r->id, r->auth_token});
+    }
+    if (pos + d < sorted.size()) {
+      const Record* r = sorted[pos + d];
+      result.entries.push_back({r->id, r->auth_token});
+    }
+  }
+  return result;
+}
+
+std::size_t MatchServer::group_size_of(UserId user) const {
+  const auto it = user_group_.find(user);
+  if (it == user_group_.end()) return 0;
+  return groups_.at(it->second).size();
+}
+
+QueryResult tamper_result(const QueryResult& honest, ServerAttack attack,
+                          RandomSource& rng, const std::vector<MatchEntry>& foreign) {
+  QueryResult fake = honest;
+  switch (attack) {
+    case ServerAttack::kForgeToken:
+      for (auto& e : fake.entries) {
+        e.auth_token = rng.bytes(e.auth_token.size());
+      }
+      break;
+    case ServerAttack::kSwapIdentity:
+      // Claim each token belongs to a different user id.
+      for (auto& e : fake.entries) {
+        e.user_id = e.user_id ^ 0x5a5a5a5au;
+      }
+      break;
+    case ServerAttack::kForeignUser:
+      fake.entries.assign(foreign.begin(), foreign.end());
+      break;
+  }
+  return fake;
+}
+
+}  // namespace smatch

@@ -1,0 +1,92 @@
+// The untrusted matching server (Algorithm Match in paper Fig. 3).
+//
+// The server never sees plaintext attributes: it stores OPE-encrypted
+// chains grouped by the hashed profile key h(K_up), and answers a query
+// by (EXTRA) filtering to the querier's group, (SORT) ordering the group
+// by ciphertext — valid because OPE preserves plaintext order — and
+// (FIND) returning the k order-nearest users around the querier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/messages.hpp"
+
+namespace smatch {
+
+class MatchServer {
+ public:
+  /// Stores (or replaces) a user's encrypted profile.
+  void ingest(const UploadMessage& upload);
+
+  /// Algorithm Match (kNN): the k order-nearest users in the querier's
+  /// key group (excluding the querier). Returns fewer entries when the
+  /// group is small; throws ProtocolError for an unknown querier.
+  [[nodiscard]] QueryResult match(const QueryRequest& query, std::size_t k) const;
+
+  /// MAX-distance matching (the alternative algorithm of Section VI):
+  /// every group member whose order distance |O(A'_u) - O(A'_v)|
+  /// (Definition 4: difference of sorted positions) is at most
+  /// `max_order_distance`. Entries are ordered by increasing distance.
+  [[nodiscard]] QueryResult match_within(const QueryRequest& query,
+                                         std::size_t max_order_distance) const;
+
+  [[nodiscard]] std::size_t num_users() const { return user_group_.size(); }
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  /// Size of the key group a user belongs to (the m of the PR-KK bound).
+  [[nodiscard]] std::size_t group_size_of(UserId user) const;
+
+  /// Cumulative ciphertext comparisons performed by match() — the
+  /// server-cost metric that is independent of wall-clock noise.
+  [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
+
+  /// Replay protection for the timestamped queries (Q_q = <q, t, ID>):
+  /// when enabled, each user's queries must carry strictly increasing
+  /// timestamps; a replayed or stale query is rejected with
+  /// ProtocolError. Off by default (benchmarks re-issue queries).
+  void set_replay_protection(bool on) { replay_protection_ = on; }
+
+ protected:
+  struct Record {
+    UserId id = 0;
+    BigInt chain;
+    Bytes auth_token;
+  };
+
+  [[nodiscard]] const std::map<Bytes, std::vector<Record>>& groups() const { return groups_; }
+
+ private:
+  /// EXTRA + SORT + FIND: fills `out` with the querier's key group sorted
+  /// by ciphertext and returns the querier's position in it. Throws
+  /// ProtocolError for an unknown querier.
+  std::size_t sorted_group(UserId querier, std::vector<const Record*>& out) const;
+
+  void check_freshness(const QueryRequest& query) const;
+
+  std::map<Bytes, std::vector<Record>> groups_;  // h(K_up) -> members
+  std::map<UserId, Bytes> user_group_;
+  mutable std::uint64_t comparisons_ = 0;
+  bool replay_protection_ = false;
+  mutable std::map<UserId, std::uint64_t> last_query_time_;
+};
+
+/// Fault-injection wrappers modelling the malicious server of the threat
+/// model (Section V-B): each attack tampers with an honest result in a
+/// way the verification protocol must detect.
+enum class ServerAttack {
+  kForgeToken,     // replace auth tokens with random bytes
+  kSwapIdentity,   // claim a matched token belongs to a different user
+  kForeignUser,    // return users from a different (dissimilar) key group
+};
+
+/// Applies `attack` to an honest result. `foreign` supplies entries from
+/// another key group for kForeignUser (pass the honest result of a
+/// different group's query).
+[[nodiscard]] QueryResult tamper_result(const QueryResult& honest, ServerAttack attack,
+                                        RandomSource& rng,
+                                        const std::vector<MatchEntry>& foreign = {});
+
+}  // namespace smatch

@@ -1,0 +1,24 @@
+// Umbrella header: the full public API of the S-MATCH library.
+//
+// S-MATCH = (Keygen, InitData, Enc, Match, Auth, Vf)   [paper Fig. 3]
+//
+//   Keygen  -> Client::generate_key / FuzzyKeyGen        (client)
+//   InitData-> Client::init_data  (EntropyMapper + AttributeChain)
+//   Enc     -> Client::encrypt_chain                      (OPE)
+//   Match   -> MatchServer::match                         (server)
+//   Auth    -> Client::make_auth_token / AuthScheme
+//   Vf      -> Client::verify_entry
+//
+// Quickstart: see examples/quickstart.cpp.
+#pragma once
+
+#include "core/adaptive.hpp"   // IWYU pragma: export
+#include "core/auth.hpp"       // IWYU pragma: export
+#include "core/chain.hpp"      // IWYU pragma: export
+#include "core/client.hpp"     // IWYU pragma: export
+#include "core/entropy_map.hpp"// IWYU pragma: export
+#include "core/keygen.hpp"     // IWYU pragma: export
+#include "core/key_server.hpp" // IWYU pragma: export
+#include "core/messages.hpp"   // IWYU pragma: export
+#include "core/server.hpp"     // IWYU pragma: export
+#include "core/types.hpp"      // IWYU pragma: export

@@ -1,0 +1,57 @@
+// Shared types and configuration for the S-MATCH core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "datasets/dataset.hpp"
+
+namespace smatch {
+
+/// User identity; the paper evaluates with 32-bit IDs.
+using UserId = std::uint32_t;
+
+/// A raw social profile: d attribute values a_i in Z_n.
+using Profile = ProfileVec;
+
+/// Scheme parameters shared by every member of a deployment.
+struct SchemeParams {
+  /// Per-attribute plaintext size k in bits after entropy increase
+  /// (the x-axis of Figures 4-5). Message space per attribute is 2^k.
+  std::size_t attribute_bits = 64;
+  /// RS decoder threshold theta (Fig. 4b sweeps 5..10): the error budget
+  /// of the fuzzy quantizer's RS code and the deployment's claimed
+  /// matching radius (Definition 3's ||A_u - A_v|| <= theta).
+  std::uint32_t rs_threshold = 8;
+  /// Quantization cell width of the fuzzy key generator: profiles agreeing
+  /// per-attribute after round-to-nearest division by this width derive
+  /// the same key. A deployment constant independent of theta.
+  std::uint32_t quant_width = 8;
+  /// OPE ciphertext slack: ciphertext bits = chain bits + this.
+  /// The paper sets N = M (slack 0), which degenerates OPE to the
+  /// identity map; a non-zero default keeps the cipher meaningful while
+  /// changing message sizes by only slack/8 bytes.
+  std::size_t ope_slack_bits = 64;
+  /// Galois field exponent for the Reed-Solomon fuzzy quantizer
+  /// (paper: GF(2^10)).
+  unsigned gf_m = 10;
+
+  [[nodiscard]] std::size_t chain_bits(std::size_t num_attributes) const {
+    return attribute_bits * num_attributes;
+  }
+};
+
+/// Chebyshev profile distance of paper Definition 3:
+/// ||A_u - A_v|| = MAX_i |a_i^(u) - a_i^(v)|.
+[[nodiscard]] inline std::uint32_t profile_distance(const Profile& a, const Profile& b) {
+  std::uint32_t d = 0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t diff = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (diff > d) d = diff;
+  }
+  return d;
+}
+
+}  // namespace smatch

@@ -1,0 +1,226 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace smatch {
+namespace {
+
+// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1 (0x11b).
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8).
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+};
+
+constexpr SboxTables make_sboxes() {
+  SboxTables t{};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t b = gf_inv(static_cast<std::uint8_t>(x));
+    std::uint8_t s = 0;
+    for (int i = 0; i < 8; ++i) {
+      const int bit = ((b >> i) & 1) ^ ((b >> ((i + 4) % 8)) & 1) ^
+                      ((b >> ((i + 5) % 8)) & 1) ^ ((b >> ((i + 6) % 8)) & 1) ^
+                      ((b >> ((i + 7) % 8)) & 1) ^ ((0x63 >> i) & 1);
+      s = static_cast<std::uint8_t>(s | (bit << i));
+    }
+    t.fwd[static_cast<std::size_t>(x)] = s;
+    t.inv[s] = static_cast<std::uint8_t>(x);
+  }
+  return t;
+}
+
+constexpr SboxTables kSbox = make_sboxes();
+
+constexpr std::array<std::uint8_t, 11> kRcon = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                                                0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return static_cast<std::uint32_t>(kSbox.fwd[w >> 24]) << 24 |
+         static_cast<std::uint32_t>(kSbox.fwd[(w >> 16) & 0xff]) << 16 |
+         static_cast<std::uint32_t>(kSbox.fwd[(w >> 8) & 0xff]) << 8 |
+         kSbox.fwd[w & 0xff];
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return w << 8 | w >> 24; }
+
+void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c + 0] ^= static_cast<std::uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<std::uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<std::uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<std::uint8_t>(rk[c]);
+  }
+}
+
+void sub_bytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox.fwd[s[i]];
+}
+
+void inv_sub_bytes(std::uint8_t s[16]) {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox.inv[s[i]];
+}
+
+void shift_rows(std::uint8_t s[16]) {
+  // State is column-major: s[4c + r].
+  std::uint8_t t[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+  }
+  std::memcpy(s, t, 16);
+}
+
+void inv_shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) t[4 * ((c + r) % 4) + r] = s[4 * c + r];
+  }
+  std::memcpy(s, t, 16);
+}
+
+void mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+  }
+}
+
+void inv_mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9));
+    col[1] = static_cast<std::uint8_t>(gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13));
+    col[2] = static_cast<std::uint8_t>(gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14));
+  }
+}
+
+}  // namespace
+
+Aes::Aes(BytesView key) {
+  const std::size_t nk = key.size() / 4;
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32) {
+    throw CryptoError("AES key must be 16, 24, or 32 bytes");
+  }
+  rounds_ = static_cast<int>(nk) + 6;
+  const std::size_t total_words = 4 * static_cast<std::size_t>(rounds_ + 1);
+
+  for (std::size_t i = 0; i < nk; ++i) {
+    round_keys_[i] = static_cast<std::uint32_t>(key[4 * i]) << 24 |
+                     static_cast<std::uint32_t>(key[4 * i + 1]) << 16 |
+                     static_cast<std::uint32_t>(key[4 * i + 2]) << 8 |
+                     key[4 * i + 3];
+  }
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (static_cast<std::uint32_t>(kRcon[i / nk]) << 24);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+  dec_round_keys_ = round_keys_;
+}
+
+void Aes::encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round < rounds_; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 4 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 4 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, dec_round_keys_.data() + 4 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, dec_round_keys_.data() + 4 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, dec_round_keys_.data());
+  std::memcpy(out, s, 16);
+}
+
+Bytes aes_ctr(BytesView key, BytesView iv, BytesView data) {
+  if (iv.size() != Aes::kBlockSize) throw CryptoError("CTR IV must be 16 bytes");
+  const Aes cipher(key);
+  std::uint8_t counter[16];
+  std::memcpy(counter, iv.data(), 16);
+
+  Bytes out(data.size());
+  std::uint8_t keystream[16];
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    cipher.encrypt_block(counter, keystream);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    }
+    // Big-endian increment of the counter block.
+    for (int i = 15; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes aes_ctr_encrypt(BytesView key, BytesView plaintext, RandomSource& rng) {
+  Bytes iv = rng.bytes(Aes::kBlockSize);
+  Bytes ct = aes_ctr(key, iv, plaintext);
+  Bytes out = std::move(iv);
+  append(out, ct);
+  return out;
+}
+
+Bytes aes_ctr_decrypt(BytesView key, BytesView blob) {
+  if (blob.size() < Aes::kBlockSize) throw CryptoError("CTR blob shorter than IV");
+  const BytesView iv = blob.subspan(0, Aes::kBlockSize);
+  const BytesView ct = blob.subspan(Aes::kBlockSize);
+  return aes_ctr(key, iv, ct);
+}
+
+}  // namespace smatch

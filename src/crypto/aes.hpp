@@ -1,0 +1,44 @@
+// AES block cipher (FIPS 197) with 128/192/256-bit keys, plus CTR mode.
+//
+// CTR with a random IV is what the S-MATCH verification protocol uses for
+// the authentication token ciph_v = AES_Enc(K_vp, g^s || h(g^{s*ID})).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+/// Raw AES block operations. Encrypt-only is enough for CTR, but the
+/// inverse cipher is provided for completeness and testing.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24, or 32 bytes; throws CryptoError otherwise.
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+ private:
+  std::array<std::uint32_t, 60> round_keys_{};
+  std::array<std::uint32_t, 60> dec_round_keys_{};
+  int rounds_ = 0;
+};
+
+/// AES-CTR stream: same function encrypts and decrypts.
+/// `iv` is the 16-byte initial counter block, incremented big-endian.
+[[nodiscard]] Bytes aes_ctr(BytesView key, BytesView iv, BytesView data);
+
+/// Encrypts with a random IV; output is IV || ciphertext.
+[[nodiscard]] Bytes aes_ctr_encrypt(BytesView key, BytesView plaintext, RandomSource& rng);
+
+/// Inverse of aes_ctr_encrypt; throws CryptoError when input is shorter
+/// than one IV.
+[[nodiscard]] Bytes aes_ctr_decrypt(BytesView key, BytesView blob);
+
+}  // namespace smatch

@@ -1,0 +1,101 @@
+#include "crypto/drbg.hpp"
+
+#include <bit>
+#include <cstring>
+#include <random>
+
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+namespace {
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha20_block(const std::array<std::uint32_t, 16>& in, std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[static_cast<std::size_t>(i)] + in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(4 * i + 0)] = static_cast<std::uint8_t>(v);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(v >> 8);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(v >> 16);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Drbg::Drbg(BytesView seed) {
+  Bytes key(32, 0);
+  if (seed.size() <= 32) {
+    std::copy(seed.begin(), seed.end(), key.begin());
+  } else {
+    key = Sha256::hash(seed);
+  }
+  // "expand 32-byte k" sigma constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, key.data() + 4 * i, 4);
+    state_[static_cast<std::size_t>(4 + i)] = w;
+  }
+  // Counter (words 12-13) and nonce (14-15) start at zero.
+}
+
+Drbg::Drbg(std::uint64_t seed) : Drbg([seed] {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  return b;
+}()) {}
+
+void Drbg::refill() {
+  chacha20_block(state_, block_);
+  block_pos_ = 0;
+  // 64-bit block counter across words 12-13.
+  if (++state_[12] == 0) ++state_[13];
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (block_pos_ == 64) refill();
+    const std::size_t n = std::min(out.size() - off, 64 - block_pos_);
+    std::memcpy(out.data() + off, block_.data() + block_pos_, n);
+    block_pos_ += n;
+    off += n;
+  }
+}
+
+Drbg Drbg::fork(BytesView label) {
+  // Child seed = SHA-256(parent_bytes || label): child streams are
+  // independent of the parent's subsequent output.
+  Bytes material = bytes(32);
+  append(material, label);
+  return Drbg(Sha256::hash(material));
+}
+
+void SystemRandom::fill(std::span<std::uint8_t> out) {
+  static thread_local std::random_device dev;
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(dev());
+  }
+}
+
+}  // namespace smatch

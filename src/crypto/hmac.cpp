@@ -1,0 +1,57 @@
+#include "crypto/hmac.hpp"
+
+#include "common/error.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  Bytes k(Sha256::kBlockSize, 0);
+  if (key.size() > Sha256::kBlockSize) {
+    const Bytes hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Bytes inner_digest = inner.finish();
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (len > 255 * kHashLen) throw CryptoError("hkdf_expand: output too long");
+  Bytes out;
+  out.reserve(len);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < len) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    const std::size_t take = std::min(kHashLen, len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, std::size_t len) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, len);
+}
+
+}  // namespace smatch

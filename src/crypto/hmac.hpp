@@ -1,0 +1,20 @@
+// HMAC (RFC 2104) over SHA-256, plus HKDF (RFC 5869).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace smatch {
+
+/// HMAC-SHA256(key, data) -> 32-byte tag.
+[[nodiscard]] Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract(salt, ikm) -> 32-byte pseudorandom key.
+[[nodiscard]] Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand(prk, info, len) -> len bytes (len <= 255*32).
+[[nodiscard]] Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len);
+
+/// Convenience: extract-then-expand.
+[[nodiscard]] Bytes hkdf(BytesView ikm, BytesView salt, BytesView info, std::size_t len);
+
+}  // namespace smatch

@@ -1,0 +1,24 @@
+// Keyed PRF helpers.
+//
+// OPE needs a deterministic coin stream per (key, recursion node): we
+// derive a ChaCha20 DRBG from HMAC-SHA256(key, context). Equal inputs give
+// equal streams; distinct contexts give computationally independent ones.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+
+namespace smatch {
+
+/// A deterministic RandomSource derived from (key, context).
+[[nodiscard]] inline Drbg prf_stream(BytesView key, BytesView context) {
+  return Drbg(hmac_sha256(key, context));
+}
+
+/// PRF to a fixed 32-byte output (alias for HMAC-SHA256).
+[[nodiscard]] inline Bytes prf(BytesView key, BytesView input) {
+  return hmac_sha256(key, input);
+}
+
+}  // namespace smatch

@@ -1,0 +1,203 @@
+#include "datasets/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smatch {
+namespace {
+
+// Fisher-Yates shuffle driven by the injected RandomSource.
+template <typename T>
+void shuffle(std::vector<T>& v, RandomSource& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace
+
+AttributeSpec AttributeSpec::landmark(std::string name, double target_entropy,
+                                      double top_prob) {
+  if (top_prob <= 0.0 || top_prob >= 1.0) {
+    throw Error("AttributeSpec: top_prob must be in (0,1)");
+  }
+  // Solve for a uniform tail q = (1-p0)/(n-1) such that
+  // H = -p0 lg p0 - (1-p0) lg q equals target_entropy.
+  const double p0 = top_prob;
+  const double head = -p0 * std::log2(p0);
+  const double tail_entropy = target_entropy - head;
+  if (tail_entropy <= 0.0) {
+    throw Error("AttributeSpec: entropy target unreachable with this top_prob");
+  }
+  const double lg_inv_q = tail_entropy / (1.0 - p0);
+  const double q = std::exp2(-lg_inv_q);
+  const auto tail_values = static_cast<std::size_t>(
+      std::max(1.0, std::round((1.0 - p0) / q)));
+
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.probs.push_back(p0);
+  for (std::size_t i = 0; i < tail_values; ++i) {
+    spec.probs.push_back((1.0 - p0) / static_cast<double>(tail_values));
+  }
+  return spec;
+}
+
+AttributeSpec AttributeSpec::uniform(std::string name, double target_entropy) {
+  const auto n = static_cast<std::size_t>(std::max(2.0, std::round(std::exp2(target_entropy))));
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.probs.assign(n, 1.0 / static_cast<double>(n));
+  return spec;
+}
+
+double AttributeSpec::entropy() const {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+Dataset Dataset::generate(const DatasetSpec& spec, RandomSource& rng) {
+  Dataset ds;
+  ds.name_ = spec.name;
+  ds.spec_ = spec;
+  ds.profiles_.assign(spec.num_users, ProfileVec(spec.attributes.size(), 0));
+
+  for (std::size_t a = 0; a < spec.attributes.size(); ++a) {
+    const auto& attr = spec.attributes[a];
+    // Quota sampling: hit each value's expected count exactly (up to
+    // integer rounding), then shuffle assignments across users.
+    std::vector<AttrValue> column;
+    column.reserve(spec.num_users);
+    double carried = 0.0;
+    for (std::size_t v = 0; v < attr.probs.size() && column.size() < spec.num_users; ++v) {
+      const double exact = attr.probs[v] * static_cast<double>(spec.num_users) + carried;
+      auto count = static_cast<std::size_t>(std::llround(std::floor(exact)));
+      carried = exact - static_cast<double>(count);
+      count = std::min(count, spec.num_users - column.size());
+      column.insert(column.end(), count, static_cast<AttrValue>(v));
+    }
+    // Rounding leftovers: fill with the most probable value.
+    while (column.size() < spec.num_users) column.push_back(0);
+    shuffle(column, rng);
+    for (std::size_t u = 0; u < spec.num_users; ++u) ds.profiles_[u][a] = column[u];
+  }
+  return ds;
+}
+
+Dataset Dataset::generate_clustered(const DatasetSpec& spec, RandomSource& rng,
+                                    std::size_t num_clusters, std::uint32_t jitter) {
+  if (num_clusters == 0) throw Error("generate_clustered: need at least one cluster");
+  Dataset ds;
+  ds.name_ = spec.name;
+  ds.spec_ = spec;
+  ds.profiles_.reserve(spec.num_users);
+  ds.communities_.reserve(spec.num_users);
+
+  // Community centers drawn from the spec distributions.
+  std::vector<ProfileVec> centers(num_clusters, ProfileVec(spec.attributes.size(), 0));
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    for (std::size_t a = 0; a < spec.attributes.size(); ++a) {
+      // Inverse-CDF sample from the attribute distribution.
+      const auto& probs = spec.attributes[a].probs;
+      double u = static_cast<double>(rng.u64() >> 11) * 0x1p-53;
+      AttrValue v = 0;
+      for (std::size_t i = 0; i < probs.size(); ++i) {
+        u -= probs[i];
+        if (u <= 0.0) {
+          v = static_cast<AttrValue>(i);
+          break;
+        }
+        v = static_cast<AttrValue>(i);
+      }
+      centers[c][a] = v;
+    }
+  }
+
+  for (std::size_t u = 0; u < spec.num_users; ++u) {
+    const std::size_t c = rng.below(num_clusters);
+    ProfileVec p = centers[c];
+    for (std::size_t a = 0; a < p.size(); ++a) {
+      if (jitter == 0) continue;
+      const auto num_values = static_cast<std::int64_t>(spec.attributes[a].num_values());
+      const auto delta = static_cast<std::int64_t>(rng.below(2 * jitter + 1)) -
+                         static_cast<std::int64_t>(jitter);
+      std::int64_t v = static_cast<std::int64_t>(p[a]) + delta;
+      v = std::clamp<std::int64_t>(v, 0, num_values - 1);
+      p[a] = static_cast<AttrValue>(v);
+    }
+    ds.profiles_.push_back(std::move(p));
+    ds.communities_.push_back(c);
+  }
+  return ds;
+}
+
+DatasetSpec infocom06_spec() {
+  // 78 attendees, 6 questionnaire attributes. Entropy targets chosen so the
+  // spec-level stats match Table II: AVG 3.10, MAX 5.34, MIN 0.82,
+  // landmark attributes 2 (tau=0.6) / 1 (tau=0.8).
+  DatasetSpec spec;
+  spec.name = "Infocom06";
+  spec.num_users = 78;
+  spec.attributes = {
+      AttributeSpec::landmark("country", 0.82, 0.85),
+      AttributeSpec::landmark("affiliation_type", 1.45, 0.65),
+      AttributeSpec::uniform("position", 2.70),
+      AttributeSpec::uniform("topic_interest", 3.60),
+      AttributeSpec::uniform("city", 4.70),
+      AttributeSpec::uniform("affiliation", 5.34),
+  };
+  return spec;
+}
+
+DatasetSpec sigcomm09_spec() {
+  // 76 volunteers, 6 profile attributes: AVG 3.40, MAX 5.62, MIN 0.86,
+  // landmarks 3 (tau=0.6) / 1 (tau=0.8).
+  DatasetSpec spec;
+  spec.name = "Sigcomm09";
+  spec.num_users = 76;
+  spec.attributes = {
+      AttributeSpec::landmark("country", 0.86, 0.84),
+      AttributeSpec::landmark("language", 1.50, 0.65),
+      AttributeSpec::landmark("affiliation_type", 2.30, 0.62),
+      AttributeSpec::uniform("facebook_interest", 4.54),
+      AttributeSpec::uniform("location", 5.58),
+      AttributeSpec::uniform("affiliation", 5.62),
+  };
+  return spec;
+}
+
+DatasetSpec weibo_spec(std::size_t num_users) {
+  // Paper: 1M users, 17 attributes (10 interests + basic profile +
+  // check-ins): AVG 5.14, MAX 9.21, MIN 0.54, landmarks 5 (0.6) / 3 (0.8).
+  DatasetSpec spec;
+  spec.name = "Weibo";
+  spec.num_users = num_users;
+  spec.attributes = {
+      AttributeSpec::landmark("verified", 0.54, 0.90),
+      AttributeSpec::landmark("gender", 0.90, 0.85),
+      AttributeSpec::landmark("account_type", 1.20, 0.82),
+      AttributeSpec::landmark("province_tier", 1.80, 0.70),
+      AttributeSpec::landmark("age_band", 2.00, 0.65),
+      AttributeSpec::uniform("checkin_region", 9.21),
+      AttributeSpec::uniform("checkin_city", 8.50),
+      AttributeSpec::uniform("interest_1", 8.00),
+      AttributeSpec::uniform("interest_2", 7.50),
+      AttributeSpec::uniform("interest_3", 7.20),
+      AttributeSpec::uniform("interest_4", 7.00),
+      AttributeSpec::uniform("interest_5", 6.80),
+      AttributeSpec::uniform("interest_6", 6.50),
+      AttributeSpec::uniform("interest_7", 6.20),
+      AttributeSpec::uniform("interest_8", 5.80),
+      AttributeSpec::uniform("interest_9", 4.80),
+      AttributeSpec::uniform("interest_10", 3.50),
+  };
+  return spec;
+}
+
+}  // namespace smatch

@@ -1,0 +1,84 @@
+// Synthetic social-network datasets calibrated to the paper's Table II.
+//
+// The real Infocom06 / Sigcomm09 (CRAWDAD) and Weibo datasets are not
+// redistributable; these generators reproduce the statistics the
+// evaluation actually depends on — node count, attribute count,
+// per-attribute entropy (AVG/MAX/MIN) and landmark-attribute counts at
+// tau = 0.6 / 0.8 (see DESIGN.md substitution #2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace smatch {
+
+using AttrValue = std::uint32_t;
+/// One user's profile: d attribute values, each in [0, num_values_i).
+using ProfileVec = std::vector<AttrValue>;
+
+/// A single social attribute's population distribution.
+struct AttributeSpec {
+  std::string name;
+  /// Probability of value i (sums to 1).
+  std::vector<double> probs;
+
+  /// A distribution with a dominant "landmark" value of probability
+  /// `top_prob` and a uniform tail sized so the entropy hits
+  /// `target_entropy` bits.
+  static AttributeSpec landmark(std::string name, double target_entropy, double top_prob);
+  /// A uniform distribution over round(2^target_entropy) values.
+  static AttributeSpec uniform(std::string name, double target_entropy);
+
+  [[nodiscard]] std::size_t num_values() const { return probs.size(); }
+  /// Shannon entropy of the spec distribution, in bits.
+  [[nodiscard]] double entropy() const;
+};
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t num_users = 0;
+  std::vector<AttributeSpec> attributes;
+};
+
+/// A materialized dataset: num_users profiles over the spec's attributes.
+class Dataset {
+ public:
+  /// Quota sampling: each attribute's empirical distribution matches the
+  /// spec as closely as integer counts allow, independently per attribute.
+  static Dataset generate(const DatasetSpec& spec, RandomSource& rng);
+
+  /// Community-structured generation: users belong to one of
+  /// `num_clusters` communities; each user's profile is the community
+  /// profile with per-attribute jitter in [-jitter, +jitter] (clamped).
+  /// This is the workload for the matching-correctness experiments, where
+  /// ground-truth similarity must exist.
+  static Dataset generate_clustered(const DatasetSpec& spec, RandomSource& rng,
+                                    std::size_t num_clusters, std::uint32_t jitter);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_users() const { return profiles_.size(); }
+  [[nodiscard]] std::size_t num_attributes() const { return spec_.attributes.size(); }
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<ProfileVec>& profiles() const { return profiles_; }
+  [[nodiscard]] const ProfileVec& profile(std::size_t user) const { return profiles_.at(user); }
+  /// Community id per user; empty unless generated clustered.
+  [[nodiscard]] const std::vector<std::size_t>& communities() const { return communities_; }
+
+ private:
+  std::string name_;
+  DatasetSpec spec_;
+  std::vector<ProfileVec> profiles_;
+  std::vector<std::size_t> communities_;
+};
+
+/// Paper-calibrated dataset specs (Table II).
+[[nodiscard]] DatasetSpec infocom06_spec();
+[[nodiscard]] DatasetSpec sigcomm09_spec();
+/// The paper's Weibo crawl has 1M users; default here is a scale model
+/// with identical distributional parameters.
+[[nodiscard]] DatasetSpec weibo_spec(std::size_t num_users = 50000);
+
+}  // namespace smatch

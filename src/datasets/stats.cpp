@@ -1,0 +1,63 @@
+#include "datasets/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+AttributeStats analyze_attribute(const Dataset& ds, std::size_t attr_index) {
+  if (attr_index >= ds.num_attributes()) throw Error("analyze_attribute: index out of range");
+  std::map<AttrValue, std::size_t> counts;
+  for (const auto& p : ds.profiles()) ++counts[p[attr_index]];
+
+  AttributeStats stats;
+  const auto total = static_cast<double>(ds.num_users());
+  for (const auto& [value, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    stats.freqs[value] = p;
+    stats.entropy -= p * std::log2(p);
+    stats.top_prob = std::max(stats.top_prob, p);
+  }
+  stats.distinct_values = counts.size();
+  return stats;
+}
+
+DatasetStats analyze_dataset(const Dataset& ds) {
+  DatasetStats stats;
+  stats.attributes.reserve(ds.num_attributes());
+  for (std::size_t a = 0; a < ds.num_attributes(); ++a) {
+    stats.attributes.push_back(analyze_attribute(ds, a));
+  }
+  if (stats.attributes.empty()) return stats;
+  stats.min_entropy = stats.attributes.front().entropy;
+  for (const auto& a : stats.attributes) {
+    stats.avg_entropy += a.entropy;
+    stats.max_entropy = std::max(stats.max_entropy, a.entropy);
+    stats.min_entropy = std::min(stats.min_entropy, a.entropy);
+  }
+  stats.avg_entropy /= static_cast<double>(stats.attributes.size());
+  return stats;
+}
+
+std::size_t DatasetStats::landmark_count(double tau) const {
+  return static_cast<std::size_t>(
+      std::count_if(attributes.begin(), attributes.end(),
+                    [tau](const AttributeStats& a) { return a.is_landmark(tau); }));
+}
+
+double sample_entropy(const std::vector<std::uint64_t>& values) {
+  if (values.empty()) return 0.0;
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::uint64_t v : values) ++counts[v];
+  double h = 0.0;
+  const auto total = static_cast<double>(values.size());
+  for (const auto& [value, count] : counts) {
+    const double p = static_cast<double>(count) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace smatch

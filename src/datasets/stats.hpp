@@ -1,0 +1,46 @@
+// Dataset entropy and landmark analysis (paper Section IV-C, Table II).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+
+namespace smatch {
+
+/// Empirical statistics of one attribute column.
+struct AttributeStats {
+  /// Empirical value frequencies T_i / U.
+  std::map<AttrValue, double> freqs;
+  /// Shannon entropy H(A_l) = -sum (T_i/U) lg (T_i/U)  (Eq. 1).
+  double entropy = 0.0;
+  /// Largest single-value probability.
+  double top_prob = 0.0;
+  std::size_t distinct_values = 0;
+
+  /// Landmark attribute per Definition 2: some value's probability
+  /// exceeds tau.
+  [[nodiscard]] bool is_landmark(double tau) const { return top_prob > tau; }
+};
+
+/// Statistics across a whole dataset (one Table II row).
+struct DatasetStats {
+  std::vector<AttributeStats> attributes;
+  double avg_entropy = 0.0;
+  double max_entropy = 0.0;
+  double min_entropy = 0.0;
+
+  [[nodiscard]] std::size_t landmark_count(double tau) const;
+};
+
+/// Analyzes one attribute column (values of every user for attribute a).
+[[nodiscard]] AttributeStats analyze_attribute(const Dataset& ds, std::size_t attr_index);
+
+/// Full Table II row for a dataset.
+[[nodiscard]] DatasetStats analyze_dataset(const Dataset& ds);
+
+/// Shannon entropy (bits) of an arbitrary empirical sample of values.
+[[nodiscard]] double sample_entropy(const std::vector<std::uint64_t>& values);
+
+}  // namespace smatch

@@ -1,0 +1,161 @@
+#include "gf/galois.hpp"
+
+namespace smatch {
+namespace {
+
+// Default primitive polynomials for GF(2^m), m = 3..16 (from Lin & Costello
+// appendix); index by m.
+constexpr std::uint32_t kDefaultPoly[17] = {
+    0,      0,      0,
+    0xb,    // m=3:  x^3+x+1
+    0x13,   // m=4:  x^4+x+1
+    0x25,   // m=5:  x^5+x^2+1
+    0x43,   // m=6:  x^6+x+1
+    0x89,   // m=7:  x^7+x^3+1
+    0x11d,  // m=8:  x^8+x^4+x^3+x^2+1
+    0x211,  // m=9:  x^9+x^4+1
+    0x409,  // m=10: x^10+x^3+1
+    0x805,  // m=11: x^11+x^2+1
+    0x1053, // m=12: x^12+x^6+x^4+x+1
+    0x201b, // m=13: x^13+x^4+x^3+x+1
+    0x4443, // m=14: x^14+x^10+x^6+x+1
+    0x8003, // m=15: x^15+x+1
+    0x1100b // m=16: x^16+x^12+x^3+x+1
+};
+
+}  // namespace
+
+GaloisField::GaloisField(unsigned m) : GaloisField(m, kDefaultPoly[m]) {}
+
+GaloisField::GaloisField(unsigned m, std::uint32_t prim_poly) : m_(m) {
+  if (m < 3 || m > 16) throw CryptoError("GaloisField: m must be in [3,16]");
+  if (prim_poly >> (m + 1) || !(prim_poly >> m)) {
+    throw CryptoError("GaloisField: polynomial degree must equal m");
+  }
+  build_tables(prim_poly);
+}
+
+void GaloisField::build_tables(std::uint32_t prim_poly) {
+  const std::uint32_t n = order();
+  exp_.assign(2 * n, 0);
+  log_.assign(size(), 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i != 0 && x == 1) {
+      throw CryptoError("GaloisField: polynomial is not primitive");
+    }
+    exp_[i] = static_cast<Elem>(x);
+    exp_[i + n] = static_cast<Elem>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x >> m_) x ^= prim_poly;
+  }
+}
+
+GaloisField::Elem GaloisField::mul(Elem a, Elem b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+GaloisField::Elem GaloisField::div(Elem a, Elem b) const {
+  if (b == 0) throw CryptoError("GaloisField: division by zero");
+  if (a == 0) return 0;
+  return exp_[log_[a] + order() - log_[b]];
+}
+
+GaloisField::Elem GaloisField::inv(Elem a) const {
+  if (a == 0) throw CryptoError("GaloisField: zero has no inverse");
+  return exp_[order() - log_[a]];
+}
+
+GaloisField::Elem GaloisField::pow(Elem a, std::uint64_t e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * (e % order())) % order();
+  return exp_[le];
+}
+
+GaloisField::Elem GaloisField::alpha_pow(std::int64_t i) const {
+  const auto n = static_cast<std::int64_t>(order());
+  std::int64_t r = i % n;
+  if (r < 0) r += n;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+std::uint32_t GaloisField::log(Elem a) const {
+  if (a == 0) throw CryptoError("GaloisField: log of zero");
+  return log_[a];
+}
+
+namespace gfpoly {
+
+void trim(Poly& p) {
+  while (!p.empty() && p.back() == 0) p.pop_back();
+}
+
+std::size_t degree(const Poly& p) {
+  return p.empty() ? 0 : p.size() - 1;
+}
+
+Poly add(const Poly& a, const Poly& b) {
+  Poly r(std::max(a.size(), b.size()), 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    GaloisField::Elem x = i < a.size() ? a[i] : 0;
+    GaloisField::Elem y = i < b.size() ? b[i] : 0;
+    r[i] = GaloisField::add(x, y);
+  }
+  trim(r);
+  return r;
+}
+
+Poly mul(const GaloisField& gf, const Poly& a, const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      r[i + j] = GaloisField::add(r[i + j], gf.mul(a[i], b[j]));
+    }
+  }
+  trim(r);
+  return r;
+}
+
+Poly mod(const GaloisField& gf, const Poly& a, const Poly& b) {
+  Poly r = a;
+  trim(r);
+  Poly d = b;
+  trim(d);
+  if (d.empty()) throw CryptoError("gfpoly::mod: division by zero polynomial");
+  while (r.size() >= d.size() && !r.empty()) {
+    const GaloisField::Elem coef = gf.div(r.back(), d.back());
+    const std::size_t shift = r.size() - d.size();
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      r[shift + i] = GaloisField::add(r[shift + i], gf.mul(coef, d[i]));
+    }
+    trim(r);
+  }
+  return r;
+}
+
+GaloisField::Elem eval(const GaloisField& gf, const Poly& p, GaloisField::Elem x) {
+  GaloisField::Elem acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = GaloisField::add(gf.mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+Poly derivative(const Poly& p) {
+  if (p.size() <= 1) return {};
+  Poly r(p.size() - 1, 0);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    // d/dx x^i = i * x^{i-1}; in char 2 the coefficient survives only for
+    // odd i.
+    r[i - 1] = (i % 2 == 1) ? p[i] : 0;
+  }
+  trim(r);
+  return r;
+}
+
+}  // namespace gfpoly
+}  // namespace smatch

@@ -1,0 +1,74 @@
+// Galois field GF(2^m) arithmetic with log/antilog tables.
+//
+// The S-MATCH fuzzy key generation runs Reed-Solomon decoding over
+// GF(2^10) ("n = 2^10 as Galois Field GF(10) is utilized" in the paper);
+// this implementation supports any m in [3, 16].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+class GaloisField {
+ public:
+  using Elem = std::uint16_t;
+
+  /// Constructs GF(2^m) with the default primitive polynomial for m.
+  explicit GaloisField(unsigned m);
+  /// Constructs GF(2^m) with an explicit primitive polynomial (must have
+  /// degree m and be primitive; primitivity is validated by table
+  /// construction).
+  GaloisField(unsigned m, std::uint32_t prim_poly);
+
+  [[nodiscard]] unsigned m() const { return m_; }
+  /// Field size 2^m.
+  [[nodiscard]] std::uint32_t size() const { return 1u << m_; }
+  /// Multiplicative group order 2^m - 1.
+  [[nodiscard]] std::uint32_t order() const { return size() - 1; }
+
+  /// Addition == subtraction == XOR in characteristic 2.
+  [[nodiscard]] static Elem add(Elem a, Elem b) { return a ^ b; }
+
+  [[nodiscard]] Elem mul(Elem a, Elem b) const;
+  /// Throws CryptoError on division by zero.
+  [[nodiscard]] Elem div(Elem a, Elem b) const;
+  /// Throws CryptoError on zero.
+  [[nodiscard]] Elem inv(Elem a) const;
+  /// a^e with e reduced mod the group order; 0^0 == 1.
+  [[nodiscard]] Elem pow(Elem a, std::uint64_t e) const;
+  /// alpha^i for the primitive element alpha (i may be any integer,
+  /// reduced mod order).
+  [[nodiscard]] Elem alpha_pow(std::int64_t i) const;
+  /// Discrete log base alpha; throws CryptoError on zero.
+  [[nodiscard]] std::uint32_t log(Elem a) const;
+
+ private:
+  void build_tables(std::uint32_t prim_poly);
+
+  unsigned m_;
+  std::vector<Elem> exp_;           // alpha^i, doubled for wraparound-free mul
+  std::vector<std::uint32_t> log_;  // log table, log_[0] unused
+};
+
+/// Polynomials over GF(2^m), coefficient order: c[0] + c[1] x + ...
+namespace gfpoly {
+
+using Poly = std::vector<GaloisField::Elem>;
+
+/// Drops trailing zero coefficients.
+void trim(Poly& p);
+[[nodiscard]] std::size_t degree(const Poly& p);  // 0 for the zero poly
+[[nodiscard]] Poly add(const Poly& a, const Poly& b);
+[[nodiscard]] Poly mul(const GaloisField& gf, const Poly& a, const Poly& b);
+/// Remainder of a mod b; b must be non-zero.
+[[nodiscard]] Poly mod(const GaloisField& gf, const Poly& a, const Poly& b);
+[[nodiscard]] GaloisField::Elem eval(const GaloisField& gf, const Poly& p, GaloisField::Elem x);
+/// Formal derivative (in characteristic 2 every even-power term vanishes).
+[[nodiscard]] Poly derivative(const Poly& p);
+
+}  // namespace gfpoly
+
+}  // namespace smatch

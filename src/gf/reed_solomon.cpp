@@ -1,0 +1,146 @@
+#include "gf/reed_solomon.hpp"
+
+#include <algorithm>
+
+namespace smatch {
+
+ReedSolomon::ReedSolomon(GaloisField gf, std::size_t n, std::size_t k)
+    : gf_(std::move(gf)), n_(n), k_(k) {
+  if (k >= n || n > gf_.order()) {
+    throw CryptoError("ReedSolomon: require k < n <= 2^m - 1");
+  }
+  if ((n - k) % 2 != 0) {
+    throw CryptoError("ReedSolomon: n - k must be even");
+  }
+  // g(x) = prod_{i=1}^{n-k} (x - alpha^i)  (first consecutive root fcr=1).
+  generator_ = {1};
+  for (std::size_t i = 1; i <= n - k; ++i) {
+    const gfpoly::Poly factor = {gf_.alpha_pow(static_cast<std::int64_t>(i)), 1};
+    generator_ = gfpoly::mul(gf_, generator_, factor);
+  }
+}
+
+ReedSolomon::Word ReedSolomon::encode(std::span<const Elem> message) const {
+  if (message.size() != k_) throw CryptoError("ReedSolomon: message length != k");
+  for (Elem s : message) {
+    if (s >= gf_.size()) throw CryptoError("ReedSolomon: symbol out of field");
+  }
+  // c(x) = m(x) * x^{n-k} + (m(x) * x^{n-k} mod g(x)).
+  gfpoly::Poly shifted(n_, 0);
+  std::copy(message.begin(), message.end(),
+            shifted.begin() + static_cast<std::ptrdiff_t>(n_ - k_));
+  gfpoly::Poly parity = gfpoly::mod(gf_, shifted, generator_);
+
+  Word codeword(n_, 0);
+  for (std::size_t i = 0; i < parity.size(); ++i) codeword[i] = parity[i];
+  std::copy(message.begin(), message.end(),
+            codeword.begin() + static_cast<std::ptrdiff_t>(n_ - k_));
+  return codeword;
+}
+
+std::vector<ReedSolomon::Elem> ReedSolomon::syndromes(std::span<const Elem> received) const {
+  const std::size_t num = n_ - k_;
+  std::vector<Elem> s(num, 0);
+  gfpoly::Poly r(received.begin(), received.end());
+  for (std::size_t i = 0; i < num; ++i) {
+    s[i] = gfpoly::eval(gf_, r, gf_.alpha_pow(static_cast<std::int64_t>(i + 1)));
+  }
+  return s;
+}
+
+bool ReedSolomon::is_codeword(std::span<const Elem> word) const {
+  if (word.size() != n_) return false;
+  const auto s = syndromes(word);
+  return std::all_of(s.begin(), s.end(), [](Elem e) { return e == 0; });
+}
+
+ReedSolomon::Decoded ReedSolomon::decode(std::span<const Elem> received) const {
+  if (received.size() != n_) throw CryptoError("ReedSolomon: word length != n");
+  for (Elem s : received) {
+    if (s >= gf_.size()) throw CryptoError("ReedSolomon: symbol out of field");
+  }
+
+  Decoded out;
+  out.codeword.assign(received.begin(), received.end());
+
+  const std::vector<Elem> synd = syndromes(received);
+  const bool clean = std::all_of(synd.begin(), synd.end(), [](Elem e) { return e == 0; });
+  if (!clean) {
+    // Berlekamp-Massey: find the error locator Lambda(x).
+    gfpoly::Poly lambda = {1};
+    gfpoly::Poly prev_b = {1};
+    std::size_t errors = 0;   // L
+    std::size_t gap = 1;      // m
+    Elem prev_delta = 1;      // b
+
+    for (std::size_t step = 0; step < synd.size(); ++step) {
+      Elem delta = synd[step];
+      for (std::size_t i = 1; i <= errors && i < lambda.size(); ++i) {
+        delta = GaloisField::add(delta, gf_.mul(lambda[i], synd[step - i]));
+      }
+      if (delta == 0) {
+        ++gap;
+        continue;
+      }
+      // correction = (delta / prev_delta) * x^gap * prev_b
+      gfpoly::Poly correction(gap, 0);
+      correction.insert(correction.end(), prev_b.begin(), prev_b.end());
+      const Elem scale = gf_.div(delta, prev_delta);
+      for (auto& c : correction) c = gf_.mul(c, scale);
+
+      if (2 * errors <= step) {
+        gfpoly::Poly old_lambda = lambda;
+        lambda = gfpoly::add(lambda, correction);
+        errors = step + 1 - errors;
+        prev_b = std::move(old_lambda);
+        prev_delta = delta;
+        gap = 1;
+      } else {
+        lambda = gfpoly::add(lambda, correction);
+        ++gap;
+      }
+    }
+
+    const std::size_t deg = gfpoly::degree(lambda);
+    if (deg > t()) throw DecodeError("ReedSolomon: too many errors (locator degree)");
+
+    // Chien search: error at position j iff Lambda(alpha^{-j}) == 0.
+    std::vector<std::size_t> positions;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (gfpoly::eval(gf_, lambda, gf_.alpha_pow(-static_cast<std::int64_t>(j))) == 0) {
+        positions.push_back(j);
+      }
+    }
+    if (positions.size() != deg) {
+      throw DecodeError("ReedSolomon: locator roots do not match degree");
+    }
+
+    // Forney: Omega(x) = S(x) * Lambda(x) mod x^{2t}.
+    gfpoly::Poly s_poly(synd.begin(), synd.end());
+    gfpoly::Poly omega = gfpoly::mul(gf_, s_poly, lambda);
+    if (omega.size() > n_ - k_) omega.resize(n_ - k_);
+    gfpoly::trim(omega);
+    const gfpoly::Poly lambda_deriv = gfpoly::derivative(lambda);
+
+    for (std::size_t j : positions) {
+      const Elem x_inv = gf_.alpha_pow(-static_cast<std::int64_t>(j));
+      const Elem denom = gfpoly::eval(gf_, lambda_deriv, x_inv);
+      if (denom == 0) throw DecodeError("ReedSolomon: Forney derivative is zero");
+      const Elem num = gfpoly::eval(gf_, omega, x_inv);
+      // fcr = 1, so the X_j^{1-fcr} factor is 1.
+      const Elem magnitude = gf_.div(num, denom);
+      out.codeword[j] = GaloisField::add(out.codeword[j], magnitude);
+    }
+
+    if (!is_codeword(out.codeword)) {
+      throw DecodeError("ReedSolomon: correction failed (residual syndromes)");
+    }
+    out.error_positions = std::move(positions);
+  }
+
+  out.message.assign(out.codeword.begin() + static_cast<std::ptrdiff_t>(n_ - k_),
+                     out.codeword.end());
+  return out;
+}
+
+}  // namespace smatch

@@ -1,0 +1,57 @@
+// Reed-Solomon (n, k) codes over GF(2^m): systematic encoder and a
+// Berlekamp-Massey + Chien + Forney decoder.
+//
+// S-MATCH uses RS *decoding* as a fuzzy quantizer: a profile vector is
+// treated as a noisy codeword, and profiles within the decoding radius
+// theta snap to the same codeword, from which the shared profile key is
+// derived (paper Section VI, "Key Generation").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/galois.hpp"
+
+namespace smatch {
+
+class ReedSolomon {
+ public:
+  using Elem = GaloisField::Elem;
+  using Word = std::vector<Elem>;
+
+  /// (n, k) code over `gf`; requires k < n <= 2^m - 1 and n - k even.
+  /// Corrects up to t = (n - k) / 2 symbol errors.
+  ReedSolomon(GaloisField gf, std::size_t n, std::size_t k);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t t() const { return (n_ - k_) / 2; }
+  [[nodiscard]] const GaloisField& field() const { return gf_; }
+
+  /// Systematic encoding: returns n symbols with parity in positions
+  /// [0, n-k) and the message in positions [n-k, n).
+  [[nodiscard]] Word encode(std::span<const Elem> message) const;
+
+  struct Decoded {
+    Word codeword;                       // corrected, length n
+    Word message;                        // systematic part, length k
+    std::vector<std::size_t> error_positions;
+  };
+
+  /// Corrects up to t symbol errors; throws DecodeError beyond capacity.
+  [[nodiscard]] Decoded decode(std::span<const Elem> received) const;
+
+  /// True when `word` is a codeword (all syndromes zero).
+  [[nodiscard]] bool is_codeword(std::span<const Elem> word) const;
+
+ private:
+  [[nodiscard]] std::vector<Elem> syndromes(std::span<const Elem> received) const;
+
+  GaloisField gf_;
+  std::size_t n_;
+  std::size_t k_;
+  gfpoly::Poly generator_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,64 @@
+#include "group/modp_group.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/error.hpp"
+
+namespace smatch {
+namespace {
+
+// RFC 3526 group 14: 2048-bit MODP safe prime.
+constexpr const char* kRfc3526Prime2048 =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// Precomputed 512-bit safe prime for test-scale groups.
+constexpr const char* kTestPrime512 =
+    "cf561c44ccc34e8f5a43b6862b5ab17a8a22b6da78b4892d547341c22b9e71ea"
+    "3955e14d882da1c3d98fa29f4edfd2d9197b569d20e659a104808068edcc451b";
+
+}  // namespace
+
+ModpGroup::ModpGroup(BigInt safe_prime, const BigInt& generator_seed)
+    : p_(std::move(safe_prime)) {
+  if (p_ < BigInt{7}) throw CryptoError("ModpGroup: prime too small");
+  q_ = (p_ - BigInt{1}) >> 1;
+  // Square the seed to land in the quadratic-residue subgroup of order q.
+  g_ = BigInt::mul_mod(generator_seed, generator_seed, p_);
+  if (g_ <= BigInt{1} || g_ == p_ - BigInt{1}) {
+    throw CryptoError("ModpGroup: degenerate generator");
+  }
+}
+
+ModpGroup ModpGroup::rfc3526_2048() {
+  // g = 2^2 = 4 generates the full QR subgroup for this prime.
+  return ModpGroup(BigInt::from_hex_string(kRfc3526Prime2048), BigInt{2});
+}
+
+ModpGroup ModpGroup::test_512() {
+  return ModpGroup(BigInt::from_hex_string(kTestPrime512), BigInt{2});
+}
+
+ModpGroup ModpGroup::generate(RandomSource& rng, std::size_t bits) {
+  const BigInt p = random_safe_prime(rng, bits);
+  // Random seed in [2, p-2]; squaring makes it a QR generator (order q,
+  // since the QR subgroup of a safe prime has prime order).
+  const BigInt seed = BigInt::random_below(rng, p - BigInt{3}) + BigInt{2};
+  return ModpGroup(p, seed);
+}
+
+BigInt ModpGroup::random_exponent(RandomSource& rng) const {
+  return BigInt::random_below(rng, q_ - BigInt{1}) + BigInt{1};
+}
+
+bool ModpGroup::contains(const BigInt& x) const {
+  if (x <= BigInt{0} || x >= p_) return false;
+  return x.pow_mod(q_, p_) == BigInt{1};
+}
+
+}  // namespace smatch

@@ -1,0 +1,55 @@
+// Prime-order subgroup of Z_p^* for the verification protocol.
+//
+// The S-MATCH verification token is ciph_v = AES_Enc(K_vp,
+// g^{s_v} || h(g^{s_v * ID_v})); its unforgeability rests on CDH in the
+// subgroup of quadratic residues modulo a safe prime (paper Section VII-B).
+#pragma once
+
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+/// A cyclic group: the order-q subgroup of quadratic residues mod a safe
+/// prime p = 2q + 1, with generator g.
+class ModpGroup {
+ public:
+  /// Builds a group from a known safe prime. `generator_seed` is squared
+  /// mod p to land in the QR subgroup.
+  ModpGroup(BigInt safe_prime, const BigInt& generator_seed);
+
+  /// RFC 3526 group 14 (2048-bit MODP) with g = 4 (a quadratic residue).
+  [[nodiscard]] static ModpGroup rfc3526_2048();
+  /// A small 512-bit group for fast unit tests (precomputed safe prime).
+  [[nodiscard]] static ModpGroup test_512();
+  /// Generates a fresh group from a random safe prime (slow; test-scale
+  /// bit sizes only).
+  [[nodiscard]] static ModpGroup generate(RandomSource& rng, std::size_t bits);
+
+  [[nodiscard]] const BigInt& p() const { return p_; }
+  [[nodiscard]] const BigInt& q() const { return q_; }  // subgroup order
+  [[nodiscard]] const BigInt& g() const { return g_; }
+
+  /// g^e mod p.
+  [[nodiscard]] BigInt pow_g(const BigInt& e) const { return g_.pow_mod(e, p_); }
+  /// base^e mod p.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& e) const {
+    return base.pow_mod(e, p_);
+  }
+  /// Uniform exponent in [1, q).
+  [[nodiscard]] BigInt random_exponent(RandomSource& rng) const;
+  /// True when x is in the QR subgroup (x^q == 1 mod p).
+  [[nodiscard]] bool contains(const BigInt& x) const;
+
+  /// Fixed byte length of a serialized group element.
+  [[nodiscard]] std::size_t element_bytes() const { return (p_.bit_length() + 7) / 8; }
+
+ private:
+  BigInt p_;
+  BigInt q_;
+  BigInt g_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,28 @@
+#include "net/channel.hpp"
+
+namespace smatch {
+
+double SimChannel::record(DirectionStats& dir, BytesView payload, const std::string& label) {
+  ++dir.messages;
+  dir.bytes += payload.size();
+  const double secs = link_.transfer_seconds(payload.size());
+  dir.sim_seconds += secs;
+  if (!label.empty()) by_label_[label] += payload.size();
+  return secs;
+}
+
+double SimChannel::send_to_server(BytesView payload, const std::string& label) {
+  return record(uplink_, payload, label);
+}
+
+double SimChannel::send_to_client(BytesView payload, const std::string& label) {
+  return record(downlink_, payload, label);
+}
+
+void SimChannel::reset() {
+  uplink_ = {};
+  downlink_ = {};
+  by_label_.clear();
+}
+
+}  // namespace smatch

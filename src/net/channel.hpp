@@ -1,0 +1,65 @@
+// Simulated client<->server transport with exact byte accounting.
+//
+// The paper's testbed shipped messages over 802.11n (53 Mbps) between an
+// Android client and a PC server; here both endpoints live in one process
+// and every protocol message passes through a SimChannel that records
+// message counts, bytes, and models transfer time. The communication-cost
+// figures (5d-f) are produced from these counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace smatch {
+
+/// Link model: fixed per-message latency plus serialization delay.
+struct LinkModel {
+  double bandwidth_mbps = 53.0;  // paper's 802.11n link
+  double latency_ms = 2.0;
+
+  /// Simulated one-way transfer time for a payload, in seconds.
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const {
+    return latency_ms / 1e3 + static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+  }
+};
+
+class SimChannel {
+ public:
+  struct DirectionStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    double sim_seconds = 0.0;
+  };
+
+  SimChannel() = default;
+  explicit SimChannel(LinkModel link) : link_(link) {}
+
+  /// Records an uplink (client -> server) message; returns simulated
+  /// transfer seconds.
+  double send_to_server(BytesView payload, const std::string& label = {});
+  /// Records a downlink (server -> client) message.
+  double send_to_client(BytesView payload, const std::string& label = {});
+
+  [[nodiscard]] const DirectionStats& uplink() const { return uplink_; }
+  [[nodiscard]] const DirectionStats& downlink() const { return downlink_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return uplink_.bytes + downlink_.bytes; }
+  /// Byte totals by caller-supplied label (e.g. "upload", "auth", "query").
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& bytes_by_label() const {
+    return by_label_;
+  }
+
+  void reset();
+
+ private:
+  double record(DirectionStats& dir, BytesView payload, const std::string& label);
+
+  LinkModel link_;
+  DirectionStats uplink_;
+  DirectionStats downlink_;
+  std::map<std::string, std::uint64_t> by_label_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,79 @@
+#include "net/secure_channel.hpp"
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace smatch {
+namespace {
+
+constexpr std::size_t kSeqLen = 8;
+constexpr std::size_t kIvLen = Aes::kBlockSize;
+constexpr std::size_t kTagLen = 32;
+
+void split_key(Bytes traffic_key, Bytes& enc, Bytes& mac) {
+  if (traffic_key.size() != 64) {
+    throw CryptoError("secure channel: traffic key must be 64 bytes");
+  }
+  enc.assign(traffic_key.begin(), traffic_key.begin() + 32);
+  mac.assign(traffic_key.begin() + 32, traffic_key.end());
+}
+
+}  // namespace
+
+SecureSender::SecureSender(Bytes traffic_key) {
+  split_key(std::move(traffic_key), enc_key_, mac_key_);
+}
+
+Bytes SecureSender::seal(BytesView plaintext, RandomSource& rng) {
+  Writer w;
+  w.u64(seq_++);
+  const Bytes iv = rng.bytes(kIvLen);
+  w.raw(iv);
+  w.raw(aes_ctr(enc_key_, iv, plaintext));
+  // Encrypt-then-MAC: the tag covers seq || IV || ciphertext.
+  const Bytes tag = hmac_sha256(mac_key_, w.bytes());
+  w.raw(tag);
+  return w.take();
+}
+
+SecureReceiver::SecureReceiver(Bytes traffic_key) {
+  split_key(std::move(traffic_key), enc_key_, mac_key_);
+}
+
+Bytes SecureReceiver::open(BytesView record) {
+  if (record.size() < kSeqLen + kIvLen + kTagLen) {
+    throw CryptoError("secure channel: record too short");
+  }
+  const std::size_t body_len = record.size() - kTagLen;
+  const BytesView body = record.subspan(0, body_len);
+  const BytesView tag = record.subspan(body_len);
+
+  // MAC first (Encrypt-then-MAC verifies before touching the ciphertext).
+  if (!ct_equal(hmac_sha256(mac_key_, body), tag)) {
+    throw CryptoError("secure channel: MAC verification failed");
+  }
+
+  Reader r(body);
+  const std::uint64_t seq = r.u64();
+  if (seq != expected_seq_) {
+    throw ProtocolError("secure channel: replayed or out-of-order record");
+  }
+  ++expected_seq_;
+
+  const Bytes iv = r.raw(kIvLen);
+  const Bytes ciphertext = r.raw(r.remaining());
+  return aes_ctr(enc_key_, iv, ciphertext);
+}
+
+SessionKeys make_session_keys(BytesView master_secret) {
+  SessionKeys keys;
+  keys.client_to_server =
+      hkdf(master_secret, to_bytes("smatch-etm-salt"), to_bytes("c2s"), 64);
+  keys.server_to_client =
+      hkdf(master_secret, to_bytes("smatch-etm-salt"), to_bytes("s2c"), 64);
+  return keys;
+}
+
+}  // namespace smatch

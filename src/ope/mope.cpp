@@ -1,0 +1,170 @@
+#include "ope/mope.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "crypto/aes.hpp"
+
+namespace smatch {
+
+MopeClient::MopeClient(Bytes key) : key_(std::move(key)) {
+  Aes probe(key_);  // validates the key size
+  (void)probe;
+}
+
+Bytes MopeClient::encrypt(std::uint64_t value) const {
+  std::uint8_t block[16] = {0};
+  for (int i = 0; i < 8; ++i) block[8 + i] = static_cast<std::uint8_t>(value >> (56 - 8 * i));
+  Bytes out(16);
+  Aes(key_).encrypt_block(block, out.data());
+  return out;
+}
+
+std::uint64_t MopeClient::decrypt(BytesView det_ct) const {
+  if (det_ct.size() != 16) throw CryptoError("mOPE: ciphertext must be one block");
+  std::uint8_t block[16];
+  Aes(key_).decrypt_block(det_ct.data(), block);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | block[8 + i];
+  return v;
+}
+
+MopeOrder MopeClient::compare(BytesView target, BytesView node) const {
+  const std::uint64_t a = decrypt(target);
+  const std::uint64_t b = decrypt(node);
+  if (a < b) return MopeOrder::kLess;
+  if (a > b) return MopeOrder::kGreater;
+  return MopeOrder::kEqual;
+}
+
+std::uint64_t MopeServer::path_code(std::uint64_t path, std::size_t depth) {
+  // Path bits, then a 1, left-aligned in the code width: preserves the
+  // tree's in-order ordering.
+  return ((path << 1) | 1) << (kCodeBits - 1 - depth);
+}
+
+std::uint64_t MopeServer::insert(const Bytes& det_ct, const MopeClient& client) {
+  while (true) {
+    std::unique_ptr<Node>* slot = &root_;
+    std::uint64_t path = 0;
+    std::size_t depth = 0;
+    bool overflow = false;
+    while (*slot) {
+      ++rounds_;  // one network round trip per visited node
+      const MopeOrder order = client.compare(det_ct, (*slot)->ct);
+      if (order == MopeOrder::kEqual) return path_code(path, depth);
+      if (depth + 1 >= kCodeBits) {
+        overflow = true;
+        break;
+      }
+      if (order == MopeOrder::kLess) {
+        slot = &(*slot)->left;
+        path = path << 1;
+      } else {
+        slot = &(*slot)->right;
+        path = path << 1 | 1;
+      }
+      ++depth;
+    }
+    if (overflow) {
+      // Mutation: rebalance invalidates existing codes, then retry.
+      rebalance();
+      continue;
+    }
+    *slot = std::make_unique<Node>(Node{det_ct, nullptr, nullptr});
+    ++size_;
+    return path_code(path, depth);
+  }
+}
+
+void MopeServer::flatten(Node* node, std::vector<Bytes>& out) const {
+  if (!node) return;
+  flatten(node->left.get(), out);
+  out.push_back(node->ct);
+  flatten(node->right.get(), out);
+}
+
+std::unique_ptr<MopeServer::Node> MopeServer::build_balanced(std::vector<Bytes>& sorted,
+                                                             std::size_t lo,
+                                                             std::size_t hi) {
+  if (lo >= hi) return nullptr;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  auto node = std::make_unique<Node>(Node{std::move(sorted[mid]), nullptr, nullptr});
+  node->left = build_balanced(sorted, lo, mid);
+  node->right = build_balanced(sorted, mid + 1, hi);
+  return node;
+}
+
+void MopeServer::rebalance() {
+  // The in-order sequence is already plaintext-ordered; rebuilding needs
+  // no client interaction, but every stored code changes.
+  std::vector<Bytes> sorted;
+  sorted.reserve(size_);
+  flatten(root_.get(), sorted);
+  root_ = build_balanced(sorted, 0, sorted.size());
+  ++rebalances_;
+}
+
+const MopeServer::Node* MopeServer::find(const Bytes& det_ct, std::uint64_t& path,
+                                         std::size_t& depth) const {
+  // Structural search by ciphertext equality (no client interaction; the
+  // server can always locate a ciphertext it stored).
+  struct Frame {
+    const Node* node;
+    std::uint64_t path;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 0, 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->ct == det_ct) {
+      path = f.path;
+      depth = f.depth;
+      return f.node;
+    }
+    if (f.node->left) stack.push_back({f.node->left.get(), f.path << 1, f.depth + 1});
+    if (f.node->right) {
+      stack.push_back({f.node->right.get(), f.path << 1 | 1, f.depth + 1});
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> MopeServer::encoding_of(const Bytes& det_ct) const {
+  std::uint64_t path = 0;
+  std::size_t depth = 0;
+  if (!find(det_ct, path, depth)) return std::nullopt;
+  return path_code(path, depth);
+}
+
+std::vector<std::pair<Bytes, std::uint64_t>> MopeServer::entries() const {
+  std::vector<std::pair<Bytes, std::uint64_t>> out;
+  out.reserve(size_);
+  // In-order walk carrying paths.
+  struct Frame {
+    const Node* node;
+    std::uint64_t path;
+    std::size_t depth;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 0, 0, false});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (!f.node) continue;
+    if (f.expanded) {
+      out.emplace_back(f.node->ct, path_code(f.path, f.depth));
+      continue;
+    }
+    // Right, self, left pushed so left pops first (in-order).
+    if (f.node->right) stack.push_back({f.node->right.get(), f.path << 1 | 1, f.depth + 1, false});
+    stack.push_back({f.node, f.path, f.depth, true});
+    if (f.node->left) stack.push_back({f.node->left.get(), f.path << 1, f.depth + 1, false});
+  }
+  return out;
+}
+
+}  // namespace smatch

@@ -1,0 +1,97 @@
+// mOPE: mutable order-preserving encoding (Popa, Li, Zeldovich — S&P'13).
+//
+// The paper's Related Work (Section II) contrasts S-MATCH's
+// non-interactive OPE with mOPE, "the first OPE scheme to achieve
+// IND-OCPA", rejected because it is *interactive*: every encryption is a
+// protocol between the client (who can decrypt) and the server (who
+// stores only deterministic ciphertexts in a search tree and assigns
+// order codes from tree paths). This implementation exists to back that
+// comparison with measurements (see bench/ablation_mope_interaction).
+//
+// Protocol shape, faithful to the original:
+//   - the server keeps a binary search tree of DET ciphertexts;
+//   - to insert, the server walks the client down the tree: each round it
+//     sends one node's ciphertext, the client answers "left/right/equal";
+//   - the order code of a node is its tree path, left-padded into a fixed
+//     code width ("path * 2 + 1" high bits);
+//   - when a path would exceed the code width, the tree is rebalanced and
+//     affected codes CHANGE — the "mutable" part.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace smatch {
+
+/// Client's answer to one interactive comparison round.
+enum class MopeOrder { kLess, kEqual, kGreater };
+
+/// The client side: holds the symmetric key, encrypts values
+/// deterministically, and answers the server's navigation queries.
+class MopeClient {
+ public:
+  /// Key must be 16, 24, or 32 bytes (AES).
+  explicit MopeClient(Bytes key);
+
+  /// Deterministic encryption of a 64-bit value (one AES block).
+  [[nodiscard]] Bytes encrypt(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t decrypt(BytesView det_ct) const;
+
+  /// One interaction round: compares the plaintext of `target` with the
+  /// plaintext of the server-provided `node`.
+  [[nodiscard]] MopeOrder compare(BytesView target, BytesView node) const;
+
+ private:
+  Bytes key_;
+};
+
+/// The server side: the mutable encoding tree. Never sees plaintexts.
+class MopeServer {
+ public:
+  /// Order-code width in bits (tree depth capacity before rebalancing).
+  static constexpr std::size_t kCodeBits = 62;
+
+  /// Inserts a DET ciphertext, driving the interactive navigation against
+  /// `client` (in-process stand-in for the network round trips). Returns
+  /// the ciphertext's order code. Re-inserting an existing ciphertext
+  /// returns its current code.
+  std::uint64_t insert(const Bytes& det_ct, const MopeClient& client);
+
+  /// Current order code of a stored ciphertext.
+  [[nodiscard]] std::optional<std::uint64_t> encoding_of(const Bytes& det_ct) const;
+
+  /// All (ciphertext, code) pairs in code order.
+  [[nodiscard]] std::vector<std::pair<Bytes, std::uint64_t>> entries() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Total client interaction rounds consumed so far — the cost S-MATCH
+  /// avoids by being non-interactive.
+  [[nodiscard]] std::uint64_t interaction_rounds() const { return rounds_; }
+  /// How many times codes were invalidated by rebalancing.
+  [[nodiscard]] std::uint64_t rebalances() const { return rebalances_; }
+
+ private:
+  struct Node {
+    Bytes ct;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  static std::uint64_t path_code(std::uint64_t path, std::size_t depth);
+  void flatten(Node* node, std::vector<Bytes>& out) const;
+  static std::unique_ptr<Node> build_balanced(std::vector<Bytes>& sorted,
+                                              std::size_t lo, std::size_t hi);
+  void rebalance();
+  const Node* find(const Bytes& det_ct, std::uint64_t& path, std::size_t& depth) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t rebalances_ = 0;
+};
+
+}  // namespace smatch

@@ -1,0 +1,253 @@
+#include "ope/ope.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "crypto/prf.hpp"
+
+namespace smatch {
+namespace {
+
+// Truncating conversion long double -> BigInt (used only to add a sampled
+// perturbation around an exactly computed integer mean).
+BigInt bigint_from_long_double(long double v) {
+  if (!std::isfinite(v)) throw CryptoError("OPE: non-finite sample");
+  const bool neg = v < 0;
+  v = std::fabs(v);
+  if (v < 1.0L) return BigInt{};
+  int exp = 0;
+  const long double mant = std::frexp(v, &exp);  // v = mant * 2^exp
+  const auto mi = static_cast<std::uint64_t>(std::ldexp(mant, 63));
+  BigInt r{mi};
+  const int shift = exp - 63;
+  if (shift > 0) {
+    r <<= static_cast<std::size_t>(shift);
+  } else if (shift < 0) {
+    r >>= static_cast<std::size_t>(-shift);
+  }
+  return neg ? -r : r;
+}
+
+// Uniform in [0, 1) with 53 random bits.
+long double uniform01(RandomSource& coins) {
+  return static_cast<long double>(coins.u64() >> 11) * 0x1p-53L;
+}
+
+// log2 of a positive BigInt, exact to long-double precision even when the
+// value itself exceeds the long-double range (bit lengths past 16384).
+long double lg2(const BigInt& v) {
+  const std::size_t bits = v.bit_length();
+  if (bits == 0) throw CryptoError("OPE: log of zero");
+  if (bits <= 64) {
+    return std::log2(static_cast<long double>(v.to_u64()));
+  }
+  const std::uint64_t top = (v >> (bits - 64)).to_u64();
+  return std::log2(static_cast<long double>(top)) + static_cast<long double>(bits - 64);
+}
+
+// z * 2^lg_sigma as a BigInt, truncated; handles lg_sigma far beyond the
+// long-double exponent range by splitting off an integer shift.
+BigInt scaled_offset(long double z, long double lg_sigma) {
+  if (!std::isfinite(lg_sigma) || lg_sigma < 0.0L) {
+    return BigInt{};  // sigma < 1: the offset rounds to zero
+  }
+  std::size_t shift = 0;
+  if (lg_sigma > 60.0L) {
+    shift = static_cast<std::size_t>(lg_sigma - 60.0L);
+    lg_sigma -= static_cast<long double>(shift);
+  }
+  BigInt off = bigint_from_long_double(z * std::exp2(lg_sigma));
+  return off << shift;
+}
+
+// Support of the exact-inversion sampler is capped to keep the per-node
+// cost bounded; larger populations use the normal approximation.
+constexpr std::uint64_t kExactSupportCap = 4096;
+
+// Child node seed: the recursion path (sequence of left/right branches)
+// uniquely identifies a node, so chaining the seed through a keyed PRF is
+// equivalent to binding coins to the node's range — and it keeps the
+// per-level hashing cost constant instead of O(chain width).
+Bytes child_seed(BytesView key, BytesView seed, bool right_branch) {
+  Bytes input(seed.begin(), seed.end());
+  input.push_back(right_branch ? 0x01 : 0x00);
+  return prf(key, input);
+}
+
+}  // namespace
+
+Ope::Ope(Bytes key, std::size_t plaintext_bits, std::size_t ciphertext_bits)
+    : key_(std::move(key)), pt_bits_(plaintext_bits), ct_bits_(ciphertext_bits) {
+  if (pt_bits_ == 0) throw CryptoError("OPE: plaintext_bits must be >= 1");
+  if (ct_bits_ < pt_bits_) {
+    throw CryptoError("OPE: ciphertext space must not be smaller than plaintext space");
+  }
+}
+
+BigInt Ope::sample_split(const BigInt& domain_size, const BigInt& range_size,
+                         const BigInt& draws, RandomSource& coins) const {
+  // Valid support for "number of domain points in the left half":
+  // left side cannot exceed its slots (draws) or the domain (M); the right
+  // side needs at least M - x slots among N - draws.
+  BigInt lo = domain_size - (range_size - draws);
+  if (lo.is_negative()) lo = BigInt{};
+  const BigInt hi = domain_size < draws ? domain_size : draws;
+  if (lo >= hi) return lo;
+
+  if (range_size.bit_length() <= 63 && (hi - lo).to_u64() <= kExactSupportCap) {
+    // Exact hypergeometric inversion. Population N = range_size balls,
+    // M white; draw `draws`; count white drawn.
+    const long double n = range_size.to_long_double();
+    const long double m = domain_size.to_long_double();
+    const long double k = draws.to_long_double();
+    auto log_choose = [](long double a, long double b) {
+      return std::lgamma(a + 1.0L) - std::lgamma(b + 1.0L) - std::lgamma(a - b + 1.0L);
+    };
+    const long double log_denom = log_choose(n, k);
+    const long double u = uniform01(coins);
+    long double cdf = 0.0L;
+    const std::uint64_t lo64 = lo.to_u64();
+    const std::uint64_t hi64 = hi.to_u64();
+    for (std::uint64_t x = lo64; x <= hi64; ++x) {
+      const auto xl = static_cast<long double>(x);
+      const long double log_pmf =
+          log_choose(m, xl) + log_choose(n - m, k - xl) - log_denom;
+      cdf += std::exp(log_pmf);
+      if (u < cdf) return BigInt{x};
+    }
+    return hi;  // numerical slack: cdf summed to slightly below 1
+  }
+
+  // Normal approximation around the exact integer mean.
+  // For the midpoint split draws = ceil(N/2) the exact mean
+  // floor(draws * M / N) equals floor(M / 2) (for M < N, which lo < hi
+  // guarantees here) — avoiding a full-width multiply/divide per level.
+  const BigInt mean = draws == ((range_size + BigInt{1}) >> 1)
+                          ? (domain_size >> 1)
+                          : (draws * domain_size) / range_size;
+
+  // Variance in log space: operand sizes (tens of kilobits) exceed the
+  // long-double range.   var = k * (M/N) * ((N-M)/N) * ((N-k)/(N-1))
+  const long double lg_n = lg2(range_size);
+  const BigInt n_minus_m = range_size - domain_size;  // > 0 since M < N here
+  const BigInt n_minus_k = range_size - draws;        // > 0 since draws < N
+  const long double lg_var = lg2(draws) + (lg2(domain_size) - lg_n) +
+                             (lg2(n_minus_m) - lg_n) +
+                             (lg2(n_minus_k) - lg2(range_size - BigInt{1}));
+  const long double lg_sigma = lg_var / 2.0L;
+
+  // Box-Muller for a deterministic standard normal.
+  const long double u1 = std::max(uniform01(coins), 0x1p-60L);
+  const long double u2 = uniform01(coins);
+  const long double z =
+      std::sqrt(-2.0L * std::log(u1)) * std::cos(2.0L * 3.14159265358979323846L * u2);
+
+  BigInt x = mean + scaled_offset(z, lg_sigma);
+  if (x < lo) x = lo;
+  if (x > hi) x = hi;
+  return x;
+}
+
+BigInt Ope::encrypt(const BigInt& m) const {
+  if (m.is_negative() || m.bit_length() > pt_bits_) {
+    throw CryptoError("OPE: plaintext out of domain");
+  }
+  BigInt d_lo{0};
+  BigInt d_hi = (BigInt{1} << pt_bits_) - BigInt{1};
+  BigInt r_lo{0};
+  BigInt r_hi = (BigInt{1} << ct_bits_) - BigInt{1};
+  Bytes seed = prf(key_, to_bytes("smatch-ope-root"));
+
+  while (true) {
+    const BigInt domain_size = d_hi - d_lo + BigInt{1};
+    const BigInt range_size = r_hi - r_lo + BigInt{1};
+
+    if (domain_size == BigInt{1}) {
+      // Leaf: one plaintext left (the path determines it); sample its
+      // ciphertext uniformly in the remaining range.
+      Drbg coins(seed);
+      return r_lo + BigInt::random_below(coins, range_size);
+    }
+
+    // Interior node: split the range in half, sample how many domain
+    // points land in the left half.
+    const BigInt draws = (range_size + BigInt{1}) >> 1;  // ceil(N/2)
+    const BigInt y = r_lo + draws - BigInt{1};           // last left-half slot
+
+    Drbg coins(seed);
+    const BigInt x = sample_split(domain_size, range_size, draws, coins);
+
+    if (m < d_lo + x) {
+      d_hi = d_lo + x - BigInt{1};
+      r_hi = y;
+      seed = child_seed(key_, seed, false);
+    } else {
+      d_lo = d_lo + x;
+      r_lo = y + BigInt{1};
+      seed = child_seed(key_, seed, true);
+    }
+  }
+}
+
+BigInt Ope::decrypt(const BigInt& c) const {
+  if (c.is_negative() || c.bit_length() > ct_bits_) {
+    throw CryptoError("OPE: ciphertext out of range");
+  }
+  BigInt d_lo{0};
+  BigInt d_hi = (BigInt{1} << pt_bits_) - BigInt{1};
+  BigInt r_lo{0};
+  BigInt r_hi = (BigInt{1} << ct_bits_) - BigInt{1};
+  Bytes seed = prf(key_, to_bytes("smatch-ope-root"));
+
+  while (true) {
+    const BigInt domain_size = d_hi - d_lo + BigInt{1};
+    const BigInt range_size = r_hi - r_lo + BigInt{1};
+
+    if (domain_size == BigInt{1}) {
+      // Verify that c is the ciphertext this key assigns to d_lo.
+      Drbg coins(seed);
+      const BigInt expected = r_lo + BigInt::random_below(coins, range_size);
+      if (expected != c) throw CryptoError("OPE: not a valid ciphertext");
+      return d_lo;
+    }
+
+    const BigInt draws = (range_size + BigInt{1}) >> 1;
+    const BigInt y = r_lo + draws - BigInt{1};
+
+    Drbg coins(seed);
+    const BigInt x = sample_split(domain_size, range_size, draws, coins);
+
+    if (c <= y) {
+      if (x.is_zero()) throw CryptoError("OPE: not a valid ciphertext");
+      d_hi = d_lo + x - BigInt{1};
+      r_hi = y;
+      seed = child_seed(key_, seed, false);
+    } else {
+      if (x == domain_size) throw CryptoError("OPE: not a valid ciphertext");
+      d_lo = d_lo + x;
+      r_lo = y + BigInt{1};
+      seed = child_seed(key_, seed, true);
+    }
+  }
+}
+
+Dpe::Dpe(BigInt a, BigInt b) : a_(std::move(a)), b_(std::move(b)) {
+  if (a_ <= BigInt{0}) throw CryptoError("DPE: scale must be positive");
+}
+
+Dpe Dpe::from_key(BytesView key, std::size_t scale_bits) {
+  Drbg coins = prf_stream(key, to_bytes("smatch-dpe-params"));
+  BigInt a = BigInt::random_bits(coins, scale_bits);
+  BigInt b = BigInt::random_bits(coins, scale_bits);
+  return Dpe(std::move(a), std::move(b));
+}
+
+BigInt Dpe::encrypt(const BigInt& m) const { return a_ * m + b_; }
+
+BigInt Dpe::decrypt(const BigInt& c) const {
+  auto [q, r] = BigInt::div_mod(c - b_, a_);
+  if (!r.is_zero()) throw CryptoError("DPE: not a valid ciphertext");
+  return q;
+}
+
+}  // namespace smatch

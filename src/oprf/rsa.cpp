@@ -1,0 +1,43 @@
+#include "oprf/rsa.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/error.hpp"
+
+namespace smatch {
+
+RsaKeyPair::RsaKeyPair(RsaPublicKey pub, BigInt d, BigInt p, BigInt q)
+    : pub_(std::move(pub)), d_(std::move(d)), p_(std::move(p)), q_(std::move(q)) {
+  dp_ = d_ % (p_ - BigInt{1});
+  dq_ = d_ % (q_ - BigInt{1});
+  qinv_ = q_.inv_mod(p_);
+}
+
+RsaKeyPair RsaKeyPair::generate(RandomSource& rng, std::size_t bits) {
+  if (bits < 64) throw CryptoError("RSA: modulus too small");
+  const BigInt e{65537};
+  while (true) {
+    const BigInt p = random_prime(rng, bits / 2);
+    const BigInt q = random_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt phi = (p - BigInt{1}) * (q - BigInt{1});
+    if (BigInt::gcd(e, phi) != BigInt{1}) continue;
+    BigInt d = e.inv_mod(phi);
+    return RsaKeyPair({n, e}, std::move(d), p, q);
+  }
+}
+
+BigInt RsaKeyPair::public_op(const BigInt& x) const {
+  return x.pow_mod(pub_.e, pub_.n);
+}
+
+BigInt RsaKeyPair::private_op(const BigInt& x) const {
+  // Garner's CRT recombination.
+  const BigInt m1 = x.pow_mod(dp_, p_);
+  const BigInt m2 = x.pow_mod(dq_, q_);
+  const BigInt h = BigInt::mul_mod(qinv_, (m1 - m2).mod(p_), p_);
+  return (m2 + q_ * h).mod(pub_.n);
+}
+
+}  // namespace smatch

@@ -1,0 +1,44 @@
+// Minimal RSA key generation and raw exponentiation, the substrate for the
+// RSA-OPRF (blind-RSA oblivious PRF) of paper Section III.
+//
+// This is deliberately "textbook" RSA: the OPRF only needs the trapdoor
+// permutation x -> x^d, never padding-based encryption.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/bigint.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+};
+
+class RsaKeyPair {
+ public:
+  /// Generates an RSA modulus of `bits` bits with e = 65537.
+  static RsaKeyPair generate(RandomSource& rng, std::size_t bits);
+
+  [[nodiscard]] const RsaPublicKey& public_key() const { return pub_; }
+  [[nodiscard]] const BigInt& n() const { return pub_.n; }
+  [[nodiscard]] const BigInt& e() const { return pub_.e; }
+  [[nodiscard]] const BigInt& d() const { return d_; }
+
+  /// x^e mod n.
+  [[nodiscard]] BigInt public_op(const BigInt& x) const;
+  /// x^d mod n via CRT (about 4x faster than a plain exponentiation).
+  [[nodiscard]] BigInt private_op(const BigInt& x) const;
+
+ private:
+  RsaKeyPair(RsaPublicKey pub, BigInt d, BigInt p, BigInt q);
+
+  RsaPublicKey pub_;
+  BigInt d_;
+  // CRT components.
+  BigInt p_, q_, dp_, dq_, qinv_;
+};
+
+}  // namespace smatch

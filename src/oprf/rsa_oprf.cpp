@@ -1,0 +1,60 @@
+#include "oprf/rsa_oprf.hpp"
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+
+BigInt oprf_fdh(BytesView m, const BigInt& n) {
+  // Expand SHA-256(m) to modulus width + 128 bits with HKDF, then reduce.
+  // The 128 surplus bits make the mod-n bias negligible.
+  const std::size_t out_len = (n.bit_length() + 7) / 8 + 16;
+  const Bytes digest = Sha256::hash(m);
+  const Bytes wide = hkdf_expand(digest, to_bytes("smatch-oprf-fdh"), out_len);
+  BigInt h = BigInt::from_bytes(wide).mod(n);
+  // Avoid the degenerate fixed points 0 and 1.
+  if (h <= BigInt{1}) h += BigInt{2};
+  return h;
+}
+
+OprfResponse RsaOprfServer::evaluate(const OprfRequest& req) const {
+  if (req.blinded <= BigInt{0} || req.blinded >= key_.n()) {
+    throw CryptoError("OPRF: blinded element out of range");
+  }
+  return {key_.private_op(req.blinded)};
+}
+
+Bytes RsaOprfServer::evaluate_direct(BytesView m) const {
+  const BigInt h = oprf_fdh(m, key_.n());
+  const BigInt sig = key_.private_op(h);
+  return hmac_sha256(to_bytes("smatch-oprf-out"), sig.to_bytes_padded((key_.n().bit_length() + 7) / 8));
+}
+
+RsaOprfClient::RsaOprfClient(RsaPublicKey server_key, BytesView m, RandomSource& rng)
+    : server_key_(std::move(server_key)) {
+  hashed_input_ = oprf_fdh(m, server_key_.n);
+  // Blinding factor must be invertible mod n; random values virtually
+  // always are, but check anyway.
+  do {
+    blind_ = BigInt::random_below(rng, server_key_.n - BigInt{2}) + BigInt{2};
+  } while (BigInt::gcd(blind_, server_key_.n) != BigInt{1});
+  const BigInt s_e = blind_.pow_mod(server_key_.e, server_key_.n);
+  request_.blinded = BigInt::mul_mod(hashed_input_, s_e, server_key_.n);
+}
+
+Bytes RsaOprfClient::finalize(const OprfResponse& resp) const {
+  if (resp.evaluated <= BigInt{0} || resp.evaluated >= server_key_.n) {
+    throw CryptoError("OPRF: evaluated element out of range");
+  }
+  const BigInt s_inv = blind_.inv_mod(server_key_.n);
+  const BigInt unblinded = BigInt::mul_mod(resp.evaluated, s_inv, server_key_.n);
+  // Verify the server actually applied the trapdoor: unblinded^e == h(m).
+  if (unblinded.pow_mod(server_key_.e, server_key_.n) != hashed_input_) {
+    throw CryptoError("OPRF: server response failed verification");
+  }
+  const std::size_t len = (server_key_.n.bit_length() + 7) / 8;
+  return hmac_sha256(to_bytes("smatch-oprf-out"), unblinded.to_bytes_padded(len));
+}
+
+}  // namespace smatch

@@ -1,0 +1,69 @@
+// RSA-OPRF: the oblivious pseudo-random function of paper Section III.
+//
+// Protocol (client input m, server secret (N, d)):
+//   client:  x = h(m) * s^e mod N          (s random, blinds h(m))
+//   server:  y = x^d mod N                 (learns nothing about m)
+//   client:  r = h'(y * s^{-1} mod N)      (= h'(h(m)^d), the PRF value)
+//
+// S-MATCH runs the user's hashed fuzzy vector through this OPRF so that the
+// final profile key cannot be brute-forced offline from a guessed profile:
+// each guess costs a round with the (rate-limitable) key server.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "oprf/rsa.hpp"
+
+namespace smatch {
+
+/// First client flow: the blinded element sent to the server.
+struct OprfRequest {
+  BigInt blinded;  // x = h(m) * s^e mod N
+};
+
+/// Server flow: the evaluated blinded element.
+struct OprfResponse {
+  BigInt evaluated;  // y = x^d mod N
+};
+
+/// The OPRF evaluator (key server). Holds the RSA trapdoor.
+class RsaOprfServer {
+ public:
+  explicit RsaOprfServer(RsaKeyPair key) : key_(std::move(key)) {}
+
+  [[nodiscard]] const RsaPublicKey& public_key() const { return key_.public_key(); }
+
+  /// Evaluates one blinded request. Rejects out-of-range elements.
+  [[nodiscard]] OprfResponse evaluate(const OprfRequest& req) const;
+
+  /// Unblinded evaluation h'(h(m)^d) — test oracle only; a real server
+  /// never sees m.
+  [[nodiscard]] Bytes evaluate_direct(BytesView m) const;
+
+ private:
+  RsaKeyPair key_;
+};
+
+/// Client side: blind, then unblind+hash. One instance per protocol run.
+class RsaOprfClient {
+ public:
+  /// Blinds input m under the server public key using randomness from rng.
+  RsaOprfClient(RsaPublicKey server_key, BytesView m, RandomSource& rng);
+
+  [[nodiscard]] const OprfRequest& request() const { return request_; }
+
+  /// Consumes the server response and outputs the 32-byte PRF value
+  /// r = h'(h(m)^d). Throws CryptoError if the response is inconsistent.
+  [[nodiscard]] Bytes finalize(const OprfResponse& resp) const;
+
+ private:
+  RsaPublicKey server_key_;
+  BigInt hashed_input_;  // h(m), kept to verify the server response
+  BigInt blind_;         // s
+  OprfRequest request_;
+};
+
+/// Full-domain hash h: deterministic map of bytes into [2, n-1).
+[[nodiscard]] BigInt oprf_fdh(BytesView m, const BigInt& n);
+
+}  // namespace smatch

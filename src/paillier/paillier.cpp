@@ -1,0 +1,78 @@
+#include "paillier/paillier.hpp"
+
+#include "bigint/prime.hpp"
+#include "common/error.hpp"
+
+namespace smatch {
+namespace {
+
+// L(x) = (x - 1) / n.
+BigInt l_function(const BigInt& x, const BigInt& n) {
+  return (x - BigInt{1}) / n;
+}
+
+}  // namespace
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m, RandomSource& rng) const {
+  if (m.is_negative() || m >= n) throw CryptoError("Paillier: plaintext out of range");
+  // With g = n + 1: g^m = 1 + m*n (mod n^2), saving one exponentiation.
+  const BigInt g_m = (BigInt{1} + m * n).mod(n_sq);
+  BigInt r;
+  do {
+    r = BigInt::random_below(rng, n - BigInt{1}) + BigInt{1};
+  } while (BigInt::gcd(r, n) != BigInt{1});
+  const BigInt r_n = r.pow_mod(n, n_sq);
+  return BigInt::mul_mod(g_m, r_n, n_sq);
+}
+
+BigInt PaillierPublicKey::add(const BigInt& c1, const BigInt& c2) const {
+  return BigInt::mul_mod(c1, c2, n_sq);
+}
+
+BigInt PaillierPublicKey::add_plain(const BigInt& c, const BigInt& k) const {
+  const BigInt g_k = (BigInt{1} + k.mod(n) * n).mod(n_sq);
+  return BigInt::mul_mod(c, g_k, n_sq);
+}
+
+BigInt PaillierPublicKey::mul_plain(const BigInt& c, const BigInt& k) const {
+  return c.pow_mod(k.mod(n), n_sq);
+}
+
+BigInt PaillierPublicKey::negate(const BigInt& c) const {
+  return mul_plain(c, n - BigInt{1});
+}
+
+PaillierKeyPair PaillierKeyPair::generate(RandomSource& rng, std::size_t bits) {
+  if (bits < 64) throw CryptoError("Paillier: modulus too small");
+  while (true) {
+    const BigInt p = random_prime(rng, bits / 2);
+    const BigInt q = random_prime(rng, bits - bits / 2);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    // p*q coprime with (p-1)(q-1) holds automatically for same-size primes,
+    // but verify to be safe.
+    const BigInt phi = (p - BigInt{1}) * (q - BigInt{1});
+    if (BigInt::gcd(n, phi) != BigInt{1}) continue;
+
+    PaillierPublicKey pub{n, n * n};
+    const BigInt lambda = BigInt::lcm(p - BigInt{1}, q - BigInt{1});
+    // g = n + 1: mu = (L(g^lambda mod n^2))^{-1} mod n.
+    const BigInt g = n + BigInt{1};
+    const BigInt mu = l_function(g.pow_mod(lambda, pub.n_sq), n).inv_mod(n);
+    return PaillierKeyPair(std::move(pub), lambda, mu);
+  }
+}
+
+BigInt PaillierKeyPair::decrypt(const BigInt& c) const {
+  if (c.is_negative() || c >= pub_.n_sq) throw CryptoError("Paillier: ciphertext out of range");
+  const BigInt u = c.pow_mod(lambda_, pub_.n_sq);
+  return BigInt::mul_mod(l_function(u, pub_.n), mu_, pub_.n);
+}
+
+BigInt PaillierKeyPair::decrypt_signed(const BigInt& c) const {
+  const BigInt m = decrypt(c);
+  return m > (pub_.n >> 1) ? m - pub_.n : m;
+}
+
+}  // namespace smatch

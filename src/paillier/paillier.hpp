@@ -1,0 +1,48 @@
+// Paillier additively homomorphic cryptosystem (EUROCRYPT'99).
+//
+// This is the substrate for the homoPM baseline (Zhang et al., INFOCOM'12)
+// that the paper's Figures 4(c-e) and 5(a-c) compare S-MATCH against.
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "common/random.hpp"
+
+namespace smatch {
+
+struct PaillierPublicKey {
+  BigInt n;        // modulus
+  BigInt n_sq;     // n^2, cached
+
+  /// Encrypts m in [0, n) with fresh randomness.
+  [[nodiscard]] BigInt encrypt(const BigInt& m, RandomSource& rng) const;
+  /// E(a) * E(b) -> E(a + b mod n).
+  [[nodiscard]] BigInt add(const BigInt& c1, const BigInt& c2) const;
+  /// E(a), k -> E(a + k mod n).
+  [[nodiscard]] BigInt add_plain(const BigInt& c, const BigInt& k) const;
+  /// E(a), k -> E(a * k mod n).
+  [[nodiscard]] BigInt mul_plain(const BigInt& c, const BigInt& k) const;
+  /// E(a) -> E(-a mod n).
+  [[nodiscard]] BigInt negate(const BigInt& c) const;
+};
+
+class PaillierKeyPair {
+ public:
+  static PaillierKeyPair generate(RandomSource& rng, std::size_t bits);
+
+  [[nodiscard]] const PaillierPublicKey& public_key() const { return pub_; }
+  /// Decrypts to [0, n).
+  [[nodiscard]] BigInt decrypt(const BigInt& c) const;
+  /// Decrypts, mapping residues above n/2 to negatives (two's-complement
+  /// style signed decoding used by distance protocols).
+  [[nodiscard]] BigInt decrypt_signed(const BigInt& c) const;
+
+ private:
+  PaillierKeyPair(PaillierPublicKey pub, BigInt lambda, BigInt mu)
+      : pub_(std::move(pub)), lambda_(std::move(lambda)), mu_(std::move(mu)) {}
+
+  PaillierPublicKey pub_;
+  BigInt lambda_;  // lcm(p-1, q-1)
+  BigInt mu_;      // (L(g^lambda mod n^2))^{-1} mod n
+};
+
+}  // namespace smatch

@@ -1,0 +1,143 @@
+// Adaptive-width extension tests (paper Section X future work):
+// per-attribute widths sized from attribute entropy, heterogeneous
+// chains, and the end-to-end pipeline under adaptive configs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(AdaptiveWidths, MeetsEntropyTargetPerAttribute) {
+  const DatasetSpec spec = infocom06_spec();
+  std::vector<std::vector<double>> probs;
+  for (const auto& a : spec.attributes) probs.push_back(a.probs);
+
+  const AdaptiveWidths w = AdaptiveWidths::for_target(probs, 64.0);
+  ASSERT_EQ(w.bits.size(), probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_GE(EntropyMapper(probs[i], w.bits[i]).mapped_entropy(), 64.0) << "attr " << i;
+  }
+  EXPECT_GE(w.achieved_entropy(probs), 64.0);
+}
+
+TEST(AdaptiveWidths, WidthTracksAlphabetSize) {
+  // A 2-value attribute needs ~T+2 bits; a 512-value attribute ~T+10.
+  const std::vector<double> small(2, 0.5);
+  const std::vector<double> large(512, 1.0 / 512);
+  const AdaptiveWidths w = AdaptiveWidths::for_target({small, large}, 64.0);
+  EXPECT_LT(w.bits[0], w.bits[1]);
+  EXPECT_GE(w.bits[1], 74u);  // 64 + lg(512) + 1
+  EXPECT_LE(w.bits[0], 70u);
+}
+
+TEST(AdaptiveWidths, BeatsWorstCaseUniformSizing) {
+  // Uniform sizing must use max_i(width_i) for every attribute; adaptive
+  // uses just what each needs, so the chain shrinks.
+  const DatasetSpec spec = weibo_spec(1);
+  std::vector<std::vector<double>> probs;
+  for (const auto& a : spec.attributes) probs.push_back(a.probs);
+  const AdaptiveWidths w = AdaptiveWidths::for_target(probs, 64.0);
+  const std::size_t worst = *std::max_element(w.bits.begin(), w.bits.end());
+  EXPECT_LT(w.chain_bits(), worst * probs.size());
+}
+
+TEST(AdaptiveWidths, RejectsBadTargets) {
+  EXPECT_THROW((void)AdaptiveWidths::for_target({{0.5, 0.5}}, 0.0), Error);
+  EXPECT_THROW((void)AdaptiveWidths::for_target({{0.5, 0.5}}, -3.0), Error);
+}
+
+TEST(HeterogeneousChain, RoundTripWithMixedWidths) {
+  const AttributeChain chain(std::vector<std::size_t>{8, 32, 16, 64});
+  EXPECT_EQ(chain.chain_bits(), 120u);
+  Drbg rng(1);
+  const Bytes key = rng.bytes(32);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<BigInt> mapped = {
+        BigInt{rng.below(1u << 8)},
+        BigInt{rng.below(1u << 31)},
+        BigInt{rng.below(1u << 16)},
+        BigInt::random_below(rng, BigInt{1} << 64),
+    };
+    EXPECT_EQ(chain.disassemble(chain.assemble(mapped, key), key), mapped);
+  }
+}
+
+TEST(HeterogeneousChain, EnforcesPerAttributeWidths) {
+  const AttributeChain chain(std::vector<std::size_t>{8, 16});
+  Drbg rng(2);
+  const Bytes key = rng.bytes(32);
+  // 256 exceeds the 8-bit slot even though it fits the 16-bit one.
+  EXPECT_THROW((void)chain.assemble({BigInt{256}, BigInt{1}}, key), Error);
+  EXPECT_NO_THROW((void)chain.assemble({BigInt{255}, BigInt{65535}}, key));
+  EXPECT_THROW(AttributeChain(std::vector<std::size_t>{}), Error);
+  EXPECT_THROW(AttributeChain(std::vector<std::size_t>{8, 0}), Error);
+}
+
+TEST(AdaptiveEndToEnd, PipelineMatchesAndShrinksUploads) {
+  Drbg rng(3);
+  DatasetSpec spec;
+  spec.name = "adaptive";
+  spec.num_users = 10;
+  // One low-entropy and two high-entropy attributes.
+  spec.attributes = {AttributeSpec::landmark("lm", 1.0, 0.7),
+                     AttributeSpec::uniform("u1", 6.0),
+                     AttributeSpec::uniform("u2", 6.0)};
+
+  SchemeParams params;
+  params.attribute_bits = 96;  // uniform baseline sized for the worst attribute
+  params.rs_threshold = 8;
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+
+  ClientConfig uniform_cfg = make_client_config(spec, params, group);
+  ClientConfig adaptive_cfg = uniform_cfg;
+  adaptive_cfg.adaptive_widths =
+      AdaptiveWidths::for_target(adaptive_cfg.attribute_probs, 64.0).bits;
+
+  RsaOprfServer oprf(RsaKeyPair::generate(rng, 512));
+  MatchServer server;
+
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 2, 0);
+  std::vector<Client> clients;
+  std::size_t adaptive_bytes = 0;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), adaptive_cfg);
+    clients.back().generate_key(oprf, rng);
+    const Bytes wire = clients.back().make_upload(rng).serialize();
+    adaptive_bytes = wire.size();
+    server.ingest(UploadMessage::parse(wire));
+  }
+
+  // Matching and verification work end-to-end under adaptive widths.
+  std::size_t matched = 0, verified = 0;
+  for (auto& c : clients) {
+    const QueryResult r = server.match(c.make_query(1, 1), 5);
+    matched += r.entries.size();
+    verified += c.count_verified(r);
+  }
+  EXPECT_GT(matched, 0u);
+  EXPECT_EQ(matched, verified);
+
+  // And uploads are smaller than the uniform worst-case sizing.
+  Client uniform_client(99, ds.profile(0), uniform_cfg);
+  uniform_client.generate_key(oprf, rng);
+  const std::size_t uniform_bytes = uniform_client.make_upload(rng).serialize().size();
+  EXPECT_LT(adaptive_bytes, uniform_bytes);
+}
+
+TEST(AdaptiveEndToEnd, MismatchedWidthTableRejected) {
+  const DatasetSpec spec = infocom06_spec();
+  ClientConfig cfg = make_client_config(
+      spec, SchemeParams{}, std::make_shared<const ModpGroup>(ModpGroup::test_512()));
+  cfg.adaptive_widths = {64, 64};  // 2 widths for 6 attributes
+  EXPECT_THROW(Client(1, Profile{1, 2, 3, 4, 5, 6}, cfg), Error);
+}
+
+}  // namespace
+}  // namespace smatch

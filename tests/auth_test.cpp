@@ -1,0 +1,121 @@
+// Verification-protocol tests: honest tokens verify, forged or
+// wrong-key or wrong-identity tokens are rejected.
+#include <gtest/gtest.h>
+
+#include "core/auth.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+std::shared_ptr<const ModpGroup> test_group() {
+  static const auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  return group;
+}
+
+TEST(AuthScheme, HonestTokenVerifies) {
+  const AuthScheme auth(test_group());
+  Drbg rng(1);
+  const Bytes key = rng.bytes(32);
+  const BigInt secret = auth.random_secret(rng);
+  const Bytes token = auth.make_token(key, secret, 42, rng);
+  EXPECT_EQ(token.size(), auth.token_size());
+  EXPECT_TRUE(auth.verify_token(key, token, 42));
+}
+
+TEST(AuthScheme, WrongProfileKeyRejected) {
+  // The core security property: a user whose profile key differs (i.e.,
+  // whose profile is not close) learns nothing and cannot validate.
+  const AuthScheme auth(test_group());
+  Drbg rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes other_key = rng.bytes(32);
+  const Bytes token = auth.make_token(key, auth.random_secret(rng), 7, rng);
+  EXPECT_FALSE(auth.verify_token(other_key, token, 7));
+}
+
+TEST(AuthScheme, WrongIdentityRejected) {
+  // A malicious server claiming the token belongs to a different user is
+  // caught: the tag binds g^{s * ID}.
+  const AuthScheme auth(test_group());
+  Drbg rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes token = auth.make_token(key, auth.random_secret(rng), 1001, rng);
+  EXPECT_TRUE(auth.verify_token(key, token, 1001));
+  EXPECT_FALSE(auth.verify_token(key, token, 1002));
+}
+
+TEST(AuthScheme, ForgedTokenRejected) {
+  const AuthScheme auth(test_group());
+  Drbg rng(4);
+  const Bytes key = rng.bytes(32);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Bytes forged = rng.bytes(auth.token_size());
+    EXPECT_FALSE(auth.verify_token(key, forged, 5));
+  }
+}
+
+TEST(AuthScheme, BitFlippedTokenRejected) {
+  const AuthScheme auth(test_group());
+  Drbg rng(5);
+  const Bytes key = rng.bytes(32);
+  const Bytes token = auth.make_token(key, auth.random_secret(rng), 9, rng);
+  for (std::size_t pos : {std::size_t{0}, token.size() / 2, token.size() - 1}) {
+    Bytes tampered = token;
+    tampered[pos] ^= 0x01;
+    EXPECT_FALSE(auth.verify_token(key, tampered, 9)) << "pos=" << pos;
+  }
+}
+
+TEST(AuthScheme, TruncatedTokenRejected) {
+  const AuthScheme auth(test_group());
+  Drbg rng(6);
+  const Bytes key = rng.bytes(32);
+  const Bytes token = auth.make_token(key, auth.random_secret(rng), 9, rng);
+  const Bytes truncated(token.begin(), token.end() - 1);
+  EXPECT_FALSE(auth.verify_token(key, truncated, 9));
+  EXPECT_FALSE(auth.verify_token(key, Bytes{}, 9));
+}
+
+TEST(AuthScheme, TokensAreRandomized) {
+  // Fresh IV per token: re-issuing does not produce linkable ciphertexts.
+  const AuthScheme auth(test_group());
+  Drbg rng(7);
+  const Bytes key = rng.bytes(32);
+  const BigInt secret = auth.random_secret(rng);
+  const Bytes t1 = auth.make_token(key, secret, 3, rng);
+  const Bytes t2 = auth.make_token(key, secret, 3, rng);
+  EXPECT_NE(t1, t2);
+  EXPECT_TRUE(auth.verify_token(key, t1, 3));
+  EXPECT_TRUE(auth.verify_token(key, t2, 3));
+}
+
+TEST(AuthScheme, SharedKeyGroupMembersCanVerifyEachOther) {
+  // Users B and C share a profile key; both can verify each other's
+  // tokens, while A (different key) can verify neither (the paper's
+  // Section VI example).
+  const AuthScheme auth(test_group());
+  Drbg rng(8);
+  const Bytes kp1 = rng.bytes(32);  // B and C
+  const Bytes kp2 = rng.bytes(32);  // A
+  const Bytes token_b = auth.make_token(kp1, auth.random_secret(rng), 2, rng);
+  const Bytes token_c = auth.make_token(kp1, auth.random_secret(rng), 3, rng);
+  const Bytes token_a = auth.make_token(kp2, auth.random_secret(rng), 1, rng);
+  EXPECT_TRUE(auth.verify_token(kp1, token_c, 3));   // B verifies C
+  EXPECT_TRUE(auth.verify_token(kp1, token_b, 2));   // C verifies B
+  EXPECT_FALSE(auth.verify_token(kp1, token_a, 1));  // B cannot verify A
+  EXPECT_FALSE(auth.verify_token(kp2, token_b, 2));  // A cannot verify B
+}
+
+TEST(AuthScheme, WorksWithRfc3526Group) {
+  const AuthScheme auth(std::make_shared<const ModpGroup>(ModpGroup::rfc3526_2048()));
+  Drbg rng(9);
+  const Bytes key = rng.bytes(32);
+  const Bytes token = auth.make_token(key, auth.random_secret(rng), 77, rng);
+  EXPECT_EQ(token.size(), 16 + 256 + 32);
+  EXPECT_TRUE(auth.verify_token(key, token, 77));
+  EXPECT_FALSE(auth.verify_token(key, token, 78));
+}
+
+}  // namespace
+}  // namespace smatch

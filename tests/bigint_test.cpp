@@ -1,0 +1,351 @@
+// Unit and property tests for the arbitrary-precision integer substrate.
+#include <gtest/gtest.h>
+
+#include "bigint/bigint.hpp"
+#include "bigint/prime.hpp"
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(BigIntBasic, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_decimal(), "0");
+}
+
+TEST(BigIntBasic, FromUnsigned) {
+  BigInt v{std::uint64_t{0xffffffffffffffffULL}};
+  EXPECT_EQ(v.to_decimal(), "18446744073709551615");
+  EXPECT_EQ(v.bit_length(), 64u);
+}
+
+TEST(BigIntBasic, FromNegativeSigned) {
+  BigInt v{std::int64_t{-42}};
+  EXPECT_TRUE(v.is_negative());
+  EXPECT_EQ(v.to_decimal(), "-42");
+  EXPECT_EQ((-v).to_decimal(), "42");
+}
+
+TEST(BigIntBasic, Int64MinDoesNotOverflow) {
+  BigInt v{std::int64_t{INT64_MIN}};
+  EXPECT_EQ(v.to_decimal(), "-9223372036854775808");
+}
+
+TEST(BigIntBasic, DecimalRoundTrip) {
+  const std::string s = "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_decimal(s).to_decimal(), s);
+  EXPECT_EQ(BigInt::from_decimal("-" + s).to_decimal(), "-" + s);
+}
+
+TEST(BigIntBasic, HexRoundTrip) {
+  const std::string s = "deadbeefcafebabe0123456789abcdef00ff";
+  EXPECT_EQ(BigInt::from_hex_string(s).to_hex_string(), s);
+  EXPECT_EQ(BigInt::from_hex_string("0x10").to_decimal(), "16");
+}
+
+TEST(BigIntBasic, BytesRoundTrip) {
+  const Bytes b = {0x01, 0x02, 0x03, 0xff};
+  EXPECT_EQ(BigInt::from_bytes(b).to_bytes(), b);
+  EXPECT_EQ(BigInt{}.to_bytes(), Bytes{});
+}
+
+TEST(BigIntBasic, PaddedBytes) {
+  BigInt v{0x1234u};
+  const Bytes padded = v.to_bytes_padded(4);
+  EXPECT_EQ(padded, (Bytes{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_THROW((void)v.to_bytes_padded(1), CryptoError);
+}
+
+TEST(BigIntBasic, InvalidParsesThrow) {
+  EXPECT_THROW((void)BigInt::from_decimal(""), SerdeError);
+  EXPECT_THROW((void)BigInt::from_decimal("12x"), SerdeError);
+  EXPECT_THROW((void)BigInt::from_hex_string("zz"), SerdeError);
+}
+
+TEST(BigIntArith, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_hex_string("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((a + BigInt{1}).to_hex_string(), "100000000000000000000000000000000");
+}
+
+TEST(BigIntArith, SubtractionBorrow) {
+  BigInt a = BigInt::from_hex_string("100000000000000000000000000000000");
+  EXPECT_EQ((a - BigInt{1}).to_hex_string(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigIntArith, SignedAddSub) {
+  EXPECT_EQ((BigInt{5} + BigInt{-7}).to_decimal(), "-2");
+  EXPECT_EQ((BigInt{-5} + BigInt{7}).to_decimal(), "2");
+  EXPECT_EQ((BigInt{-5} - BigInt{-7}).to_decimal(), "2");
+  EXPECT_EQ((BigInt{5} - BigInt{5}).to_decimal(), "0");
+}
+
+TEST(BigIntArith, MultiplyKnown) {
+  BigInt a = BigInt::from_decimal("123456789123456789");
+  BigInt b = BigInt::from_decimal("987654321987654321");
+  EXPECT_EQ((a * b).to_decimal(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntArith, MultiplySigns) {
+  EXPECT_EQ((BigInt{-3} * BigInt{4}).to_decimal(), "-12");
+  EXPECT_EQ((BigInt{-3} * BigInt{-4}).to_decimal(), "12");
+  EXPECT_EQ((BigInt{-3} * BigInt{0}).to_decimal(), "0");
+}
+
+TEST(BigIntArith, DivModTruncatedSemantics) {
+  // Truncated toward zero; remainder carries the dividend's sign.
+  EXPECT_EQ((BigInt{7} / BigInt{2}).to_decimal(), "3");
+  EXPECT_EQ((BigInt{-7} / BigInt{2}).to_decimal(), "-3");
+  EXPECT_EQ((BigInt{7} % BigInt{-2}).to_decimal(), "1");
+  EXPECT_EQ((BigInt{-7} % BigInt{2}).to_decimal(), "-1");
+}
+
+TEST(BigIntArith, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(BigInt{1} / BigInt{0}), CryptoError);
+  EXPECT_THROW((void)(BigInt{1} % BigInt{0}), CryptoError);
+}
+
+TEST(BigIntArith, ModAlwaysNonNegative) {
+  EXPECT_EQ(BigInt{-7}.mod(BigInt{3}).to_decimal(), "2");
+  EXPECT_EQ(BigInt{7}.mod(BigInt{3}).to_decimal(), "1");
+}
+
+TEST(BigIntArith, Shifts) {
+  BigInt a{1};
+  EXPECT_EQ((a << 200).bit_length(), 201u);
+  EXPECT_EQ(((a << 200) >> 200).to_decimal(), "1");
+  EXPECT_EQ((BigInt{0xff} >> 4).to_decimal(), "15");
+  EXPECT_EQ((BigInt{0xff} >> 9).to_decimal(), "0");
+}
+
+TEST(BigIntArith, BitAccess) {
+  BigInt v = BigInt::from_hex_string("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+}
+
+// Property sweep: division identity a == q*b + r with |r| < |b| across
+// many random operand widths.
+class BigIntDivisionProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BigIntDivisionProperty, Identity) {
+  const auto [a_bits, b_bits] = GetParam();
+  Drbg rng(static_cast<std::uint64_t>(a_bits * 1000 + b_bits));
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt a = BigInt::random_bits(rng, static_cast<std::size_t>(a_bits));
+    BigInt b = BigInt::random_bits(rng, static_cast<std::size_t>(b_bits));
+    auto [q, r] = BigInt::div_mod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.abs() < b.abs());
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BigIntDivisionProperty,
+    ::testing::Values(std::pair{64, 64}, std::pair{128, 64}, std::pair{256, 128},
+                      std::pair{512, 256}, std::pair{1024, 512}, std::pair{2048, 1024},
+                      std::pair{100, 65}, std::pair{130, 129}, std::pair{4096, 2048}));
+
+TEST(BigIntArith, MulMatchesSquareOfSum) {
+  // (a+b)^2 == a^2 + 2ab + b^2 exercises add/mul interplay at many widths.
+  Drbg rng(42);
+  for (std::size_t bits : {16u, 64u, 200u, 1000u, 3000u}) {
+    BigInt a = BigInt::random_bits(rng, bits);
+    BigInt b = BigInt::random_bits(rng, bits);
+    BigInt lhs = (a + b) * (a + b);
+    BigInt rhs = a * a + (a * b << 1) + b * b;
+    EXPECT_EQ(lhs, rhs) << "bits=" << bits;
+  }
+}
+
+TEST(BigIntModular, PowModKnown) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt{2}.pow_mod(BigInt{10}, BigInt{1000}).to_decimal(), "24");
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigInt p = BigInt::from_decimal("1000000007");
+  EXPECT_EQ(BigInt{12345}.pow_mod(p - BigInt{1}, p).to_decimal(), "1");
+}
+
+TEST(BigIntModular, PowModEdgeCases) {
+  EXPECT_EQ(BigInt{5}.pow_mod(BigInt{0}, BigInt{7}).to_decimal(), "1");
+  EXPECT_EQ(BigInt{5}.pow_mod(BigInt{3}, BigInt{1}).to_decimal(), "0");
+  EXPECT_THROW((void)BigInt{5}.pow_mod(BigInt{-1}, BigInt{7}), CryptoError);
+}
+
+TEST(BigIntModular, PowModMatchesIteratedMultiplication) {
+  Drbg rng(7);
+  const BigInt m = BigInt::from_decimal("1000003");
+  for (int iter = 0; iter < 20; ++iter) {
+    const BigInt base = BigInt::random_below(rng, m);
+    const std::uint64_t e = rng.below(200);
+    BigInt expected{1};
+    for (std::uint64_t i = 0; i < e; ++i) expected = BigInt::mul_mod(expected, base, m);
+    EXPECT_EQ(base.pow_mod(BigInt{e}, m), expected);
+  }
+}
+
+TEST(BigIntModular, MontgomeryMatchesGenericPath) {
+  // Odd moduli of >= 8 limbs take the Montgomery path; even moduli the
+  // generic one. Cross-check them through the identity
+  // a^e mod (m*2) in {a^e mod m ...}: compute x = a^e mod 2m (generic,
+  // even modulus) and verify x mod m == a^e mod m (Montgomery).
+  Drbg rng(43);
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt m = BigInt::random_bits(rng, 520);
+    if (m.is_even()) m += BigInt{1};
+    const BigInt a = BigInt::random_below(rng, m);
+    const BigInt e = BigInt::random_bits(rng, 130);
+    const BigInt via_mont = a.pow_mod(e, m);        // odd, 9 limbs: Montgomery
+    const BigInt via_generic = a.pow_mod(e, m << 1) // even: generic path
+                                   .mod(m);
+    EXPECT_EQ(via_mont, via_generic) << "iter " << iter;
+  }
+}
+
+TEST(BigIntModular, MontgomeryExponentLaws) {
+  // a^(e1+e2) == a^e1 * a^e2 and (a^e1)^e2 == a^(e1*e2) on the
+  // Montgomery path.
+  Drbg rng(44);
+  const BigInt m = BigInt::random_bits(rng, 1024);
+  const BigInt m_odd = m.is_odd() ? m : m + BigInt{1};
+  for (int iter = 0; iter < 5; ++iter) {
+    const BigInt a = BigInt::random_below(rng, m_odd);
+    const BigInt e1 = BigInt::random_bits(rng, 100);
+    const BigInt e2 = BigInt::random_bits(rng, 100);
+    EXPECT_EQ(a.pow_mod(e1 + e2, m_odd),
+              BigInt::mul_mod(a.pow_mod(e1, m_odd), a.pow_mod(e2, m_odd), m_odd));
+    EXPECT_EQ(a.pow_mod(e1, m_odd).pow_mod(e2, m_odd), a.pow_mod(e1 * e2, m_odd));
+  }
+}
+
+TEST(BigIntModular, MontgomeryEdgeValues) {
+  Drbg rng(45);
+  BigInt m = BigInt::random_bits(rng, 640);
+  if (m.is_even()) m += BigInt{1};
+  EXPECT_EQ(BigInt{0}.pow_mod(BigInt{5}, m), BigInt{0});
+  EXPECT_EQ(BigInt{1}.pow_mod(BigInt::random_bits(rng, 300), m), BigInt{1});
+  EXPECT_EQ((m - BigInt{1}).pow_mod(BigInt{2}, m), BigInt{1});  // (-1)^2
+  EXPECT_EQ(m.pow_mod(BigInt{3}, m), BigInt{0});                // m ≡ 0
+  // Fermat on a large prime (Montgomery path).
+  const BigInt p = random_prime(rng, 512);
+  const BigInt a = BigInt::random_below(rng, p - BigInt{2}) + BigInt{1};
+  EXPECT_EQ(a.pow_mod(p - BigInt{1}, p), BigInt{1});
+}
+
+TEST(BigIntModular, InvModCorrect) {
+  Drbg rng(11);
+  const BigInt m = BigInt::from_decimal("1000000007");
+  for (int iter = 0; iter < 30; ++iter) {
+    const BigInt a = BigInt::random_below(rng, m - BigInt{1}) + BigInt{1};
+    const BigInt inv = a.inv_mod(m);
+    EXPECT_EQ(BigInt::mul_mod(a, inv, m).to_decimal(), "1");
+  }
+}
+
+TEST(BigIntModular, InvModNonInvertibleThrows) {
+  EXPECT_THROW((void)BigInt{6}.inv_mod(BigInt{9}), CryptoError);
+  EXPECT_THROW((void)BigInt{0}.inv_mod(BigInt{7}), CryptoError);
+}
+
+TEST(BigIntModular, ExtGcdBezout) {
+  Drbg rng(13);
+  for (int iter = 0; iter < 30; ++iter) {
+    BigInt a = BigInt::random_bits(rng, 96);
+    BigInt b = BigInt::random_bits(rng, 80);
+    BigInt x, y;
+    const BigInt g = BigInt::ext_gcd(a, b, x, y);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_EQ(g, BigInt::gcd(a, b));
+  }
+}
+
+TEST(BigIntModular, GcdLcmKnown) {
+  EXPECT_EQ(BigInt::gcd(BigInt{48}, BigInt{36}).to_decimal(), "12");
+  EXPECT_EQ(BigInt::lcm(BigInt{4}, BigInt{6}).to_decimal(), "12");
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{5}).to_decimal(), "5");
+  EXPECT_EQ(BigInt::lcm(BigInt{0}, BigInt{5}).to_decimal(), "0");
+}
+
+TEST(BigIntMisc, IsqrtExact) {
+  Drbg rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    BigInt a = BigInt::random_bits(rng, 300);
+    const BigInt s = a.isqrt();
+    EXPECT_TRUE(s * s <= a);
+    EXPECT_TRUE((s + BigInt{1}) * (s + BigInt{1}) > a);
+  }
+  EXPECT_EQ(BigInt{144}.isqrt().to_decimal(), "12");
+  EXPECT_EQ(BigInt{143}.isqrt().to_decimal(), "11");
+  EXPECT_EQ(BigInt{0}.isqrt().to_decimal(), "0");
+}
+
+TEST(BigIntMisc, RandomBelowInRangeAndCoversSmallRange) {
+  Drbg rng(19);
+  const BigInt bound{10};
+  bool seen[10] = {};
+  for (int iter = 0; iter < 500; ++iter) {
+    const BigInt v = BigInt::random_below(rng, bound);
+    ASSERT_TRUE(v < bound);
+    ASSERT_FALSE(v.is_negative());
+    seen[v.to_u64()] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(BigIntMisc, RandomBitsHasExactWidth) {
+  Drbg rng(23);
+  for (std::size_t bits : {1u, 7u, 8u, 63u, 64u, 65u, 511u}) {
+    EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigIntMisc, ToLongDoubleApproximation) {
+  const BigInt v = BigInt{1} << 100;
+  const long double ld = v.to_long_double();
+  EXPECT_NEAR(static_cast<double>(ld / 1.2676506002282294e30L), 1.0, 1e-9);
+  EXPECT_LT((-v).to_long_double(), 0.0L);
+}
+
+TEST(Prime, SmallKnownPrimes) {
+  Drbg rng(29);
+  for (std::uint64_t p : {2u, 3u, 5u, 97u, 65537u}) {
+    EXPECT_TRUE(is_probable_prime(BigInt{p}, rng)) << p;
+  }
+  for (std::uint64_t c : {1u, 4u, 100u, 65539u * 3u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt{c}, rng)) << c;
+  }
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  Drbg rng(31);
+  // 561, 1105, 1729 fool the Fermat test but not Miller-Rabin.
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt{c}, rng)) << c;
+  }
+}
+
+TEST(Prime, RandomPrimeHasRequestedSize) {
+  Drbg rng(37);
+  for (std::size_t bits : {32u, 64u, 128u, 256u}) {
+    const BigInt p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, SafePrimeStructure) {
+  Drbg rng(41);
+  const BigInt p = random_safe_prime(rng, 64);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(is_probable_prime(p, rng));
+  EXPECT_TRUE(is_probable_prime((p - BigInt{1}) >> 1, rng));
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,98 @@
+// Attribute-chaining tests: keyed permutation stability, assembly and
+// disassembly round trips, and the chain-order comparability invariant.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/chain.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+Bytes key_a() { return to_bytes("profile-key-A-0123456789abcdef"); }
+Bytes key_b() { return to_bytes("profile-key-B-0123456789abcdef"); }
+
+TEST(AttributeChain, PermutationIsKeyedAndStable) {
+  const AttributeChain chain(8, 16);
+  const auto p1 = chain.permutation(key_a());
+  const auto p2 = chain.permutation(key_a());
+  const auto p3 = chain.permutation(key_b());
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  // Must be a permutation of 0..7.
+  std::vector<bool> seen(8, false);
+  for (std::size_t i : p1) {
+    ASSERT_LT(i, 8u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(AttributeChain, AssembleDisassembleRoundTrip) {
+  const AttributeChain chain(5, 32);
+  Drbg rng(1);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<BigInt> mapped;
+    for (int i = 0; i < 5; ++i) {
+      mapped.push_back(BigInt::random_below(rng, BigInt{1} << 32));
+    }
+    const BigInt assembled = chain.assemble(mapped, key_a());
+    EXPECT_LE(assembled.bit_length(), chain.chain_bits());
+    EXPECT_EQ(chain.disassemble(assembled, key_a()), mapped);
+  }
+}
+
+TEST(AttributeChain, DifferentKeysChainDifferently) {
+  const AttributeChain chain(6, 16);
+  Drbg rng(2);
+  std::vector<BigInt> mapped;
+  for (int i = 0; i < 6; ++i) mapped.push_back(BigInt{rng.below(1u << 16)});
+  // With overwhelming probability the two keyed orders differ, so the
+  // assembled integers differ.
+  EXPECT_NE(chain.assemble(mapped, key_a()), chain.assemble(mapped, key_b()));
+}
+
+TEST(AttributeChain, WrongKeyDisassemblyScrambles) {
+  const AttributeChain chain(6, 16);
+  Drbg rng(3);
+  std::vector<BigInt> mapped;
+  for (int i = 0; i < 6; ++i) mapped.push_back(BigInt{rng.below(1u << 16)});
+  const BigInt assembled = chain.assemble(mapped, key_a());
+  EXPECT_NE(chain.disassemble(assembled, key_b()), mapped);
+}
+
+TEST(AttributeChain, SharedKeyChainsAreOrderComparable) {
+  // Two users under the same key: if every mapped attribute of u is <=
+  // that of v, then chain(u) <= chain(v) (the high-order position is the
+  // same attribute for both).
+  const AttributeChain chain(4, 16);
+  Drbg rng(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<BigInt> lo, hi;
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t base = rng.below(1u << 15);
+      lo.push_back(BigInt{base});
+      hi.push_back(BigInt{base + rng.below(1u << 15)});
+    }
+    EXPECT_TRUE(chain.assemble(lo, key_a()) <= chain.assemble(hi, key_a()));
+  }
+}
+
+TEST(AttributeChain, SingleAttribute) {
+  const AttributeChain chain(1, 64);
+  const std::vector<BigInt> mapped = {BigInt{12345}};
+  EXPECT_EQ(chain.disassemble(chain.assemble(mapped, key_a()), key_a()), mapped);
+}
+
+TEST(AttributeChain, RejectsBadInput) {
+  const AttributeChain chain(3, 8);
+  EXPECT_THROW((void)chain.assemble({BigInt{1}}, key_a()), Error);  // arity
+  EXPECT_THROW((void)chain.assemble({BigInt{1}, BigInt{2}, BigInt{256}}, key_a()),
+               Error);  // width overflow
+  EXPECT_THROW((void)chain.disassemble(BigInt{1} << 25, key_a()), Error);
+  EXPECT_THROW(AttributeChain(0, 8), Error);
+  EXPECT_THROW(AttributeChain(3, 0), Error);
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,244 @@
+// Known-answer (NIST/RFC) and property tests for the crypto substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/prf.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg).subspan(0, split));
+    h.update(BytesView(msg).subspan(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(to_hex(Sha512::hash(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(to_hex(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(HmacSha256, Rfc4231TestCase1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231TestCase2) {
+  EXPECT_EQ(to_hex(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231TestCase3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869TestCase1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(ikm, salt, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengthLimit) {
+  const Bytes prk(32, 1);
+  EXPECT_NO_THROW((void)hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW((void)hkdf_expand(prk, {}, 255 * 32 + 1), CryptoError);
+}
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex({ct, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  std::uint8_t back[16];
+  cipher.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex({back, 16}), to_hex(pt));
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex({ct, 16}), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  std::uint8_t ct[16];
+  cipher.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex({ct, 16}), "8ea2b7ca516745bfeafc49904b496089");
+  std::uint8_t back[16];
+  cipher.decrypt_block(ct, back);
+  EXPECT_EQ(to_hex({back, 16}), to_hex(pt));
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), CryptoError);
+  EXPECT_THROW(Aes(Bytes(33, 0)), CryptoError);
+  EXPECT_THROW(Aes(Bytes{}), CryptoError);
+}
+
+TEST(AesCtr, RoundTripVariousLengths) {
+  Drbg rng(99);
+  const Bytes key = rng.bytes(32);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 1000u}) {
+    const Bytes pt = rng.bytes(len);
+    const Bytes blob = aes_ctr_encrypt(key, pt, rng);
+    EXPECT_EQ(blob.size(), len + 16);
+    EXPECT_EQ(aes_ctr_decrypt(key, blob), pt) << "len=" << len;
+  }
+}
+
+TEST(AesCtr, CounterIncrementsAcrossBlockBoundary) {
+  // An IV of all-0xff exercises the big-endian carry chain.
+  const Bytes key(32, 0x42);
+  const Bytes iv(16, 0xff);
+  const Bytes pt(48, 0x00);
+  const Bytes ks = aes_ctr(key, iv, pt);
+  // Keystream blocks must differ (counter must actually advance).
+  EXPECT_NE(Bytes(ks.begin(), ks.begin() + 16), Bytes(ks.begin() + 16, ks.begin() + 32));
+  EXPECT_NE(Bytes(ks.begin() + 16, ks.begin() + 32), Bytes(ks.begin() + 32, ks.end()));
+}
+
+TEST(AesCtr, WrongKeyGarbles) {
+  Drbg rng(100);
+  const Bytes key1 = rng.bytes(32);
+  const Bytes key2 = rng.bytes(32);
+  const Bytes pt = to_bytes("attack at dawn");
+  const Bytes blob = aes_ctr_encrypt(key1, pt, rng);
+  EXPECT_NE(aes_ctr_decrypt(key2, blob), pt);
+}
+
+TEST(AesCtr, TooShortBlobThrows) {
+  EXPECT_THROW((void)aes_ctr_decrypt(Bytes(32, 0), Bytes(15, 0)), CryptoError);
+}
+
+TEST(Drbg, MatchesChaCha20KeystreamVector) {
+  // ChaCha20 block with all-zero key, counter 0, nonce 0 (RFC 7539 A.1).
+  Drbg rng(Bytes{});
+  const Bytes out = rng.bytes(32);
+  EXPECT_EQ(to_hex(out),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7");
+}
+
+TEST(Drbg, DeterministicAndSeedSensitive) {
+  Drbg a(1234u);
+  Drbg b(1234u);
+  Drbg c(1235u);
+  const Bytes x = a.bytes(64);
+  EXPECT_EQ(x, b.bytes(64));
+  EXPECT_NE(x, c.bytes(64));
+}
+
+TEST(Drbg, ForkIndependence) {
+  Drbg parent(7u);
+  Drbg child1 = parent.fork(to_bytes("one"));
+  Drbg parent2(7u);
+  (void)parent2.bytes(32);  // same state advance as fork consumed
+  Drbg child2 = parent2.fork(to_bytes("two"));
+  EXPECT_NE(child1.bytes(32), child2.bytes(32));
+}
+
+TEST(Drbg, BelowIsUniformish) {
+  Drbg rng(55u);
+  std::size_t counts[7] = {};
+  for (int i = 0; i < 7000; ++i) ++counts[rng.below(7)];
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, 800u);
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+TEST(Prf, DeterministicKeyedStreams) {
+  const Bytes key = to_bytes("key");
+  Drbg s1 = prf_stream(key, to_bytes("ctx"));
+  Drbg s2 = prf_stream(key, to_bytes("ctx"));
+  Drbg s3 = prf_stream(key, to_bytes("other"));
+  const Bytes a = s1.bytes(48);
+  EXPECT_EQ(a, s2.bytes(48));
+  EXPECT_NE(a, s3.bytes(48));
+}
+
+TEST(BytesUtil, HexRoundTrip) {
+  const Bytes b = {0x00, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(from_hex(to_hex(b)), b);
+  EXPECT_EQ(from_hex("DEADbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_THROW((void)from_hex("abc"), SerdeError);
+  EXPECT_THROW((void)from_hex("zz"), SerdeError);
+}
+
+TEST(BytesUtil, CtEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("sama")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("sam")));
+}
+
+TEST(BytesUtil, XorAndConcat) {
+  const Bytes a = {0xf0, 0x0f};
+  const Bytes b = {0x0f, 0x0f};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xff, 0x00}));
+  EXPECT_THROW((void)xor_bytes(a, Bytes{0x01}), CryptoError);
+  EXPECT_EQ(concat({a, b}), (Bytes{0xf0, 0x0f, 0x0f, 0x0f}));
+}
+
+}  // namespace
+}  // namespace smatch

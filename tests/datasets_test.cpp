@@ -1,0 +1,146 @@
+// Dataset generator and statistics tests: the generated populations must
+// reproduce the paper's Table II properties.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "datasets/stats.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(AttributeSpec, LandmarkHitsEntropyAndTopProb) {
+  const auto spec = AttributeSpec::landmark("x", 1.45, 0.65);
+  EXPECT_NEAR(spec.entropy(), 1.45, 0.08);
+  EXPECT_NEAR(spec.probs[0], 0.65, 1e-9);
+  double total = 0;
+  for (double p : spec.probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AttributeSpec, UniformHitsEntropy) {
+  const auto spec = AttributeSpec::uniform("x", 5.34);
+  EXPECT_NEAR(spec.entropy(), 5.34, 0.05);
+}
+
+TEST(AttributeSpec, RejectsUnreachableTargets) {
+  EXPECT_THROW((void)AttributeSpec::landmark("x", 0.1, 0.5), Error);
+  EXPECT_THROW((void)AttributeSpec::landmark("x", 1.0, 0.0), Error);
+  EXPECT_THROW((void)AttributeSpec::landmark("x", 1.0, 1.0), Error);
+}
+
+struct TableIIRow {
+  const char* name;
+  std::size_t nodes;
+  std::size_t attrs;
+  double avg, max, min;
+  std::size_t landmarks_06, landmarks_08;
+};
+
+class TableII : public ::testing::TestWithParam<TableIIRow> {};
+
+TEST_P(TableII, GeneratedDatasetMatchesPaperStats) {
+  const auto row = GetParam();
+  DatasetSpec spec;
+  if (std::string(row.name) == "Infocom06") spec = infocom06_spec();
+  else if (std::string(row.name) == "Sigcomm09") spec = sigcomm09_spec();
+  else spec = weibo_spec(20000);
+
+  Drbg rng(99);
+  const Dataset ds = Dataset::generate(spec, rng);
+  EXPECT_EQ(ds.num_attributes(), row.attrs);
+  if (std::string(row.name) != "Weibo") EXPECT_EQ(ds.num_users(), row.nodes);
+
+  const DatasetStats stats = analyze_dataset(ds);
+  // Quota sampling reproduces the spec closely; small datasets carry some
+  // rounding noise, hence the tolerances.
+  EXPECT_NEAR(stats.avg_entropy, row.avg, 0.35);
+  EXPECT_NEAR(stats.max_entropy, row.max, 0.45);
+  EXPECT_NEAR(stats.min_entropy, row.min, 0.25);
+  EXPECT_EQ(stats.landmark_count(0.6), row.landmarks_06);
+  EXPECT_EQ(stats.landmark_count(0.8), row.landmarks_08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, TableII,
+    ::testing::Values(TableIIRow{"Infocom06", 78, 6, 3.10, 5.34, 0.82, 2, 1},
+                      TableIIRow{"Sigcomm09", 76, 6, 3.40, 5.62, 0.86, 3, 1},
+                      TableIIRow{"Weibo", 20000, 17, 5.14, 9.21, 0.54, 5, 3}));
+
+TEST(Dataset, GenerateIsDeterministicPerSeed) {
+  Drbg rng1(7), rng2(7), rng3(8);
+  const auto spec = infocom06_spec();
+  EXPECT_EQ(Dataset::generate(spec, rng1).profiles(), Dataset::generate(spec, rng2).profiles());
+  EXPECT_NE(Dataset::generate(spec, rng1).profiles(), Dataset::generate(spec, rng3).profiles());
+}
+
+TEST(Dataset, ValuesStayInAlphabet) {
+  Drbg rng(3);
+  const auto spec = sigcomm09_spec();
+  const Dataset ds = Dataset::generate(spec, rng);
+  for (const auto& p : ds.profiles()) {
+    ASSERT_EQ(p.size(), spec.attributes.size());
+    for (std::size_t a = 0; a < p.size(); ++a) {
+      EXPECT_LT(p[a], spec.attributes[a].num_values());
+    }
+  }
+}
+
+TEST(Dataset, ClusteredGenerationBoundsJitter) {
+  Drbg rng(5);
+  const auto spec = infocom06_spec();
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 8, 2);
+  ASSERT_EQ(ds.communities().size(), ds.num_users());
+  // Users in the same community must be within Chebyshev distance
+  // 2*jitter of each other.
+  for (std::size_t i = 0; i < ds.num_users(); ++i) {
+    for (std::size_t j = i + 1; j < ds.num_users(); ++j) {
+      if (ds.communities()[i] != ds.communities()[j]) continue;
+      std::uint32_t dist = 0;
+      for (std::size_t a = 0; a < ds.num_attributes(); ++a) {
+        const auto d = ds.profile(i)[a] > ds.profile(j)[a]
+                           ? ds.profile(i)[a] - ds.profile(j)[a]
+                           : ds.profile(j)[a] - ds.profile(i)[a];
+        dist = std::max(dist, d);
+      }
+      EXPECT_LE(dist, 4u);
+    }
+  }
+}
+
+TEST(Dataset, ClusteredRejectsZeroClusters) {
+  Drbg rng(6);
+  EXPECT_THROW((void)Dataset::generate_clustered(infocom06_spec(), rng, 0, 1), Error);
+}
+
+TEST(Stats, SampleEntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(sample_entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_entropy({5, 5, 5}), 0.0);
+  EXPECT_NEAR(sample_entropy({1, 2}), 1.0, 1e-12);
+  EXPECT_NEAR(sample_entropy({1, 2, 3, 4}), 2.0, 1e-12);
+}
+
+TEST(Stats, LandmarkDetection) {
+  DatasetSpec spec;
+  spec.name = "t";
+  spec.num_users = 100;
+  spec.attributes = {AttributeSpec::landmark("lm", 0.9, 0.85),
+                     AttributeSpec::uniform("u", 4.0)};
+  Drbg rng(9);
+  const Dataset ds = Dataset::generate(spec, rng);
+  const auto stats = analyze_dataset(ds);
+  EXPECT_TRUE(stats.attributes[0].is_landmark(0.6));
+  EXPECT_TRUE(stats.attributes[0].is_landmark(0.8));
+  EXPECT_FALSE(stats.attributes[1].is_landmark(0.6));
+  EXPECT_EQ(stats.landmark_count(0.8), 1u);
+}
+
+TEST(Stats, AnalyzeAttributeOutOfRangeThrows) {
+  Drbg rng(10);
+  const Dataset ds = Dataset::generate(infocom06_spec(), rng);
+  EXPECT_THROW((void)analyze_attribute(ds, 99), Error);
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,131 @@
+// Entropy-increase (big-jump mapping) tests: order preservation across
+// slots, uniformity of the mapped distribution, entropy accounting, and
+// the landmark-flattening property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/entropy_map.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/stats.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(EntropyMapper, MappedValuesStayInOwnSlot) {
+  const EntropyMapper mapper({0.3, 0.4, 0.2, 0.1}, 64);
+  Drbg rng(1);
+  for (AttrValue v = 0; v < 4; ++v) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const BigInt mapped = mapper.map(v, rng);
+      EXPECT_TRUE(mapped >= mapper.slot_base(v));
+      EXPECT_TRUE(mapped < mapper.slot_base(v) + mapper.subrange_size(v));
+      EXPECT_EQ(mapper.unmap(mapped), v);
+    }
+  }
+}
+
+TEST(EntropyMapper, BigJumpPreservesValueOrder) {
+  const EntropyMapper mapper({0.25, 0.25, 0.25, 0.25}, 32);
+  Drbg rng(2);
+  // Any mapped image of value i is below any image of value j > i.
+  for (AttrValue lo = 0; lo < 3; ++lo) {
+    for (int iter = 0; iter < 30; ++iter) {
+      const BigInt a = mapper.map(lo, rng);
+      const BigInt b = mapper.map(lo + 1, rng);
+      EXPECT_TRUE(a < b);
+    }
+  }
+}
+
+TEST(EntropyMapper, SubrangeSizesProportionalToProbability) {
+  const EntropyMapper mapper({0.5, 0.25, 0.25}, 32);
+  // R_0 should be about twice R_1 == R_2.
+  const double r0 = static_cast<double>(mapper.subrange_size(0).to_long_double());
+  const double r1 = static_cast<double>(mapper.subrange_size(1).to_long_double());
+  const double r2 = static_cast<double>(mapper.subrange_size(2).to_long_double());
+  EXPECT_NEAR(r0 / r1, 2.0, 0.01);
+  EXPECT_NEAR(r1 / r2, 1.0, 0.01);
+}
+
+TEST(EntropyMapper, MappedEntropyIsNearLgDelta) {
+  // With R_j = p_j * Delta, the mapped distribution is uniform over Delta
+  // strings: entropy = lg(Delta) = k - lg(n) - 1.
+  const std::size_t k = 64;
+  const EntropyMapper mapper({0.3, 0.4, 0.2, 0.1}, k);
+  const double expected = static_cast<double>(k) - std::log2(4.0) - 1.0;
+  EXPECT_NEAR(mapper.mapped_entropy(), expected, 0.01);
+}
+
+TEST(EntropyMapper, EntropyIncreasesWithPlaintextSize) {
+  const std::vector<double> probs = {0.85, 0.05, 0.05, 0.05};
+  double prev = 0.0;
+  for (std::size_t k : {16u, 32u, 64u, 128u, 256u}) {
+    const EntropyMapper mapper(probs, k);
+    const double h = mapper.mapped_entropy();
+    EXPECT_GT(h, prev);
+    EXPECT_LT(h, static_cast<double>(k));  // below perfect entropy
+    prev = h;
+  }
+}
+
+TEST(EntropyMapper, FlattensLandmarkDistribution) {
+  // A tau=0.85 landmark value becomes statistically invisible after
+  // mapping: bucket the mapped strings by slot-free hashing into 16 bins
+  // and check no bin dominates.
+  const std::vector<double> probs = {0.85, 0.05, 0.05, 0.05};
+  const EntropyMapper mapper(probs, 32);
+  Drbg rng(3);
+  std::vector<std::uint64_t> mapped_samples;
+  for (int iter = 0; iter < 4000; ++iter) {
+    // Draw a value from the skewed distribution, then map it.
+    const double u = static_cast<double>(rng.u64() >> 11) * 0x1p-53;
+    AttrValue v = u < 0.85 ? 0 : (u < 0.90 ? 1 : (u < 0.95 ? 2 : 3));
+    mapped_samples.push_back(mapper.map(v, rng).to_u64());
+  }
+  // The raw value distribution has entropy ~1.0 bits; the mapped samples,
+  // viewed at any fixed granularity, must look much flatter. Quantize the
+  // mapped space into 64 equal bins and compare entropies.
+  std::vector<std::uint64_t> bins;
+  bins.reserve(mapped_samples.size());
+  for (std::uint64_t m : mapped_samples) bins.push_back(m >> 26);  // 2^32/2^26 = 64 bins
+  std::map<std::uint64_t, std::size_t> counts;
+  for (std::uint64_t b : bins) ++counts[b];
+  double max_freq = 0.0;
+  for (const auto& [bin, count] : counts) {
+    max_freq = std::max(max_freq, static_cast<double>(count) / static_cast<double>(bins.size()));
+  }
+  // The raw distribution's landmark carried 85% of the mass; after the
+  // big-jump mapping no fixed-granularity bucket carries more than ~1/4.
+  EXPECT_LT(max_freq, 0.25);
+  EXPECT_GT(sample_entropy(bins), 3.0);
+}
+
+TEST(EntropyMapper, SameValueMapsToDifferentStrings) {
+  // The one-to-N property: repeated uploads of the same value produce
+  // (almost surely) distinct mapped strings.
+  const EntropyMapper mapper({0.5, 0.5}, 64);
+  Drbg rng(4);
+  const BigInt a = mapper.map(0, rng);
+  const BigInt b = mapper.map(0, rng);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mapper.unmap(a), mapper.unmap(b));
+}
+
+TEST(EntropyMapper, RejectsBadParameters) {
+  EXPECT_THROW(EntropyMapper({1.0}, 64), Error);            // 1 value
+  EXPECT_THROW(EntropyMapper({0.5, 0.5}, 2), Error);        // k too small
+  EXPECT_THROW(EntropyMapper({0.5, 1.5}, 64), Error);       // bad probability
+  Drbg rng(9);
+  EXPECT_THROW((void)EntropyMapper({0.5, 0.5}, 64).map(2, rng), Error);  // value out of range
+}
+
+TEST(EntropyMapper, UnmapRejectsOutOfSpace) {
+  const EntropyMapper mapper({0.5, 0.5}, 16);
+  EXPECT_THROW((void)mapper.unmap(BigInt{1} << 17), Error);
+  EXPECT_THROW((void)mapper.unmap(BigInt{-1}), Error);
+}
+
+}  // namespace
+}  // namespace smatch

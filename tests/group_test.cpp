@@ -1,0 +1,84 @@
+// ModpGroup tests: safe-prime structure, QR-subgroup membership, and the
+// exponent laws the verification protocol depends on.
+#include <gtest/gtest.h>
+
+#include "bigint/prime.hpp"
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "group/modp_group.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(ModpGroup, Test512IsSafePrimeGroup) {
+  const ModpGroup g = ModpGroup::test_512();
+  Drbg rng(1);
+  EXPECT_EQ(g.p().bit_length(), 512u);
+  EXPECT_TRUE(is_probable_prime(g.p(), rng, 16));
+  EXPECT_TRUE(is_probable_prime(g.q(), rng, 16));
+  EXPECT_EQ(g.p(), (g.q() << 1) + BigInt{1});
+}
+
+TEST(ModpGroup, Rfc3526GroupValidates) {
+  const ModpGroup g = ModpGroup::rfc3526_2048();
+  EXPECT_EQ(g.p().bit_length(), 2048u);
+  EXPECT_EQ(g.element_bytes(), 256u);
+  // Generator lies in the QR subgroup of order q.
+  EXPECT_TRUE(g.contains(g.g()));
+}
+
+TEST(ModpGroup, GeneratorPowersStayInSubgroup) {
+  const ModpGroup g = ModpGroup::test_512();
+  Drbg rng(2);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt e = g.random_exponent(rng);
+    EXPECT_TRUE(g.contains(g.pow_g(e)));
+  }
+}
+
+TEST(ModpGroup, ExponentLaws) {
+  const ModpGroup g = ModpGroup::test_512();
+  Drbg rng(3);
+  const BigInt a = g.random_exponent(rng);
+  const BigInt b = g.random_exponent(rng);
+  // (g^a)^b == (g^b)^a == g^{ab mod q}.
+  EXPECT_EQ(g.pow(g.pow_g(a), b), g.pow(g.pow_g(b), a));
+  EXPECT_EQ(g.pow(g.pow_g(a), b), g.pow_g(BigInt::mul_mod(a, b, g.q())));
+}
+
+TEST(ModpGroup, ContainsRejectsNonMembers) {
+  const ModpGroup g = ModpGroup::test_512();
+  EXPECT_FALSE(g.contains(BigInt{0}));
+  EXPECT_FALSE(g.contains(g.p()));
+  // A quadratic non-residue: g^odd * non-square... simplest: find x with
+  // x^q != 1. p-1 is not in the QR subgroup (it has order 2).
+  EXPECT_FALSE(g.contains(g.p() - BigInt{1}));
+}
+
+TEST(ModpGroup, RandomExponentInRange) {
+  const ModpGroup g = ModpGroup::test_512();
+  Drbg rng(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    const BigInt e = g.random_exponent(rng);
+    EXPECT_TRUE(e >= BigInt{1});
+    EXPECT_TRUE(e < g.q());
+  }
+}
+
+TEST(ModpGroup, GenerateSmallGroup) {
+  Drbg rng(5);
+  const ModpGroup g = ModpGroup::generate(rng, 96);
+  EXPECT_EQ(g.p().bit_length(), 96u);
+  EXPECT_TRUE(g.contains(g.g()));
+  EXPECT_TRUE(is_probable_prime(g.p(), rng, 16));
+  EXPECT_TRUE(is_probable_prime(g.q(), rng, 16));
+}
+
+TEST(ModpGroup, RejectsDegenerateParameters) {
+  EXPECT_THROW(ModpGroup(BigInt{5}, BigInt{2}), CryptoError);
+  // Seed 1 squares to 1: degenerate generator.
+  EXPECT_THROW(ModpGroup(ModpGroup::test_512().p(), BigInt{1}), CryptoError);
+}
+
+}  // namespace
+}  // namespace smatch

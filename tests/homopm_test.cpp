@@ -1,0 +1,161 @@
+// homoPM baseline tests: the Paillier-based matching must produce the
+// same nearest-neighbour answers as a plaintext computation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/homopm.hpp"
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+HomoPmParams small_params() {
+  HomoPmParams p;
+  p.plaintext_bits = 32;  // modulus clamps to 1024 anyway; fast enough
+  return p;
+}
+
+const PaillierKeyPair& cached_keys() {
+  static const PaillierKeyPair kp = [] {
+    Drbg rng(31337);
+    return PaillierKeyPair::generate(rng, small_params().modulus_bits());
+  }();
+  return kp;
+}
+
+std::uint64_t squared_l2(const Profile& a, const Profile& b) {
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t diff = static_cast<std::int64_t>(a[i]) - static_cast<std::int64_t>(b[i]);
+    d += static_cast<std::uint64_t>(diff * diff);
+  }
+  return d;
+}
+
+TEST(HomoPm, TopKMatchesPlaintextRanking) {
+  Drbg rng(1);
+  const Profile querier_profile = {10, 20, 30, 40};
+  std::map<UserId, Profile> others = {
+      {2, {11, 21, 29, 41}},   // close
+      {3, {50, 60, 70, 80}},   // far
+      {4, {10, 20, 30, 42}},   // closest
+      {5, {15, 25, 35, 45}},   // medium
+      {6, {100, 1, 200, 3}},   // farthest
+  };
+
+  HomoPmServer server(small_params());
+  for (const auto& [id, p] : others) server.ingest(id, p);
+  server.ingest(1, querier_profile);
+
+  HomoPmQuerier querier(querier_profile, small_params(), cached_keys());
+  const HomoPmQuery query = querier.make_query(rng);
+  const HomoPmResponse resp = server.evaluate(1, query, rng);
+  EXPECT_EQ(resp.enc_distances.size(), others.size());
+
+  const std::vector<UserId> top2 = querier.rank(resp, 2);
+  // Plaintext ground truth.
+  std::vector<std::pair<std::uint64_t, UserId>> truth;
+  for (const auto& [id, p] : others) truth.emplace_back(squared_l2(querier_profile, p), id);
+  std::sort(truth.begin(), truth.end());
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], truth[0].second);
+  EXPECT_EQ(top2[1], truth[1].second);
+}
+
+TEST(HomoPm, BlindingPreservesRankButHidesDistance) {
+  Drbg rng(2);
+  const Profile qp = {1, 2, 3, 4};
+  HomoPmServer server(small_params());
+  server.ingest(2, {1, 2, 3, 5});
+  server.ingest(3, {9, 9, 9, 9});
+
+  HomoPmQuerier querier(qp, small_params(), cached_keys());
+  const auto query = querier.make_query(rng);
+  const auto resp = server.evaluate(1, query, rng);
+
+  // Decrypted values are blinded: they exceed any true squared distance.
+  for (const auto& [id, enc] : resp.enc_distances) {
+    const BigInt blinded = cached_keys().decrypt(enc);
+    EXPECT_TRUE(blinded > BigInt{std::uint64_t{1} << 32});
+  }
+  // Yet the ranking is still correct.
+  EXPECT_EQ(querier.rank(resp, 1), std::vector<UserId>{2});
+}
+
+TEST(HomoPm, ServerCountsModularOps) {
+  Drbg rng(3);
+  const Profile qp = {1, 2, 3, 4};
+  HomoPmServer server(small_params());
+  for (UserId id = 2; id <= 11; ++id) server.ingest(id, {id, id, id, id});
+  HomoPmQuerier querier(qp, small_params(), cached_keys());
+  const auto query = querier.make_query(rng);
+  EXPECT_EQ(server.modular_ops(), 0u);
+  (void)server.evaluate(1, query, rng);
+  // 10 candidates x (2 per attribute x 4 attributes + 2).
+  EXPECT_EQ(server.modular_ops(), 10u * (2 * 4 + 2));
+}
+
+TEST(HomoPm, QueryWireSizeScalesWithModulus) {
+  HomoPmParams small = small_params();
+  HomoPmParams big;
+  big.plaintext_bits = 1024;
+  EXPECT_GT(big.modulus_bits(), small.modulus_bits());
+
+  HomoPmQuery q;
+  q.enc_neg_2a.resize(6);
+  EXPECT_GT(q.wire_bytes(big), q.wire_bytes(small));
+  // d+1 ciphertexts of 2n bits plus the modulus itself.
+  const std::size_t nb = (small.modulus_bits() + 7) / 8;
+  EXPECT_EQ(q.wire_bytes(small), nb + 7 * 2 * nb);
+}
+
+TEST(HomoPm, WireRoundTripPreservesMatching) {
+  // Serialize the query and response across a (virtual) wire; the
+  // protocol must still produce the same ranking.
+  Drbg rng(6);
+  const Profile qp = {3, 1, 4, 1};
+  HomoPmServer server(small_params());
+  server.ingest(2, {3, 1, 4, 2});
+  server.ingest(3, {50, 60, 70, 80});
+
+  HomoPmQuerier querier(qp, small_params(), cached_keys());
+  const HomoPmQuery query = HomoPmQuery::parse(querier.make_query(rng).serialize());
+  const HomoPmResponse resp =
+      HomoPmResponse::parse(server.evaluate(1, query, rng).serialize());
+  EXPECT_EQ(querier.rank(resp, 1), std::vector<UserId>{2});
+}
+
+TEST(HomoPm, WireParsersRejectGarbage) {
+  EXPECT_THROW((void)HomoPmQuery::parse(Bytes{1, 2}), SerdeError);
+  EXPECT_THROW((void)HomoPmResponse::parse(Bytes{9}), SerdeError);
+  // Absurd counts must be rejected before allocation.
+  Writer w;
+  w.u32(0xffffffff);
+  EXPECT_THROW((void)HomoPmResponse::parse(w.bytes()), SerdeError);
+}
+
+TEST(HomoPm, MismatchedArityThrows) {
+  Drbg rng(4);
+  HomoPmServer server(small_params());
+  server.ingest(2, {1, 2, 3});  // 3 attributes
+  HomoPmQuerier querier({1, 2, 3, 4}, small_params(), cached_keys());
+  const auto query = querier.make_query(rng);
+  EXPECT_THROW((void)server.evaluate(1, query, rng), ProtocolError);
+}
+
+TEST(HomoPm, ExcludesQuerierFromCandidates) {
+  Drbg rng(5);
+  HomoPmServer server(small_params());
+  server.ingest(1, {1, 1, 1, 1});
+  server.ingest(2, {2, 2, 2, 2});
+  HomoPmQuerier querier({1, 1, 1, 1}, small_params(), cached_keys());
+  const auto resp = server.evaluate(1, querier.make_query(rng), rng);
+  ASSERT_EQ(resp.enc_distances.size(), 1u);
+  EXPECT_EQ(resp.enc_distances[0].first, 2u);
+}
+
+}  // namespace
+}  // namespace smatch

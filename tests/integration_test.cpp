@@ -1,0 +1,278 @@
+// End-to-end S-MATCH protocol tests: the full pipeline (Keygen with OPRF,
+// InitData, Enc, upload over the simulated channel, Match, Auth, Vf),
+// matching correctness on community-structured data, malicious-server
+// detection, and the PR-KK collusion containment property.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/smatch.hpp"
+#include "crypto/prf.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "net/channel.hpp"
+
+namespace smatch {
+namespace {
+
+struct Deployment {
+  std::shared_ptr<const ModpGroup> group;
+  RsaOprfServer oprf;
+  ClientConfig config;
+  MatchServer server;
+  SimChannel channel;
+  std::vector<Client> clients;
+
+  explicit Deployment(const DatasetSpec& spec, const Dataset& ds, SchemeParams params,
+                      Drbg& rng)
+      : group(std::make_shared<const ModpGroup>(ModpGroup::test_512())),
+        oprf(RsaKeyPair::generate(rng, 512)),
+        config(make_client_config(spec, params, group)) {
+    clients.reserve(ds.num_users());
+    for (std::size_t u = 0; u < ds.num_users(); ++u) {
+      clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+      clients.back().generate_key(oprf, rng);
+      const UploadMessage up = clients.back().make_upload(rng);
+      // Ship over the wire: serialize, count bytes, parse on the server.
+      const Bytes wire = up.serialize();
+      channel.send_to_server(wire, "upload");
+      server.ingest(UploadMessage::parse(wire));
+    }
+  }
+};
+
+SchemeParams fast_params() {
+  SchemeParams p;
+  p.attribute_bits = 32;  // keep OPE recursion shallow for tests
+  p.rs_threshold = 8;
+  return p;
+}
+
+
+// Communities must stay distinct after quantization (cell width theta+1),
+// so integration workloads use wide uniform alphabets (64 values per
+// attribute) rather than the narrow Table II alphabets.
+DatasetSpec wide_spec(std::size_t num_users) {
+  DatasetSpec spec;
+  spec.name = "wide";
+  spec.num_users = num_users;
+  for (int i = 0; i < 6; ++i) {
+    spec.attributes.push_back(AttributeSpec::uniform("attr" + std::to_string(i), 6.0));
+  }
+  return spec;
+}
+
+TEST(EndToEnd, SameCommunityUsersMatchAndVerify) {
+  Drbg rng(1);
+  const DatasetSpec spec = wide_spec(24);
+  // 3 tight communities: everyone in a community shares a profile key.
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 3, 0);
+  Deployment dep(spec, ds, fast_params(), rng);
+
+  // Every user's query returns only same-community users, all verifiable.
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    Client& querier = dep.clients[u];
+    const QueryRequest q = querier.make_query(7, 1000 + static_cast<std::uint64_t>(u));
+    const QueryResult r = dep.server.match(QueryRequest::parse(q.serialize()), 5);
+
+    for (const auto& entry : r.entries) {
+      const std::size_t other = entry.user_id - 1;
+      EXPECT_EQ(ds.communities()[u], ds.communities()[other])
+          << "user " << u + 1 << " matched foreign user " << entry.user_id;
+      EXPECT_TRUE(querier.verify_entry(entry));
+    }
+    // With jitter 0, every community member shares the key; expect
+    // matches whenever the community has other members.
+    std::size_t community_size = 0;
+    for (std::size_t v = 0; v < ds.num_users(); ++v) {
+      if (ds.communities()[v] == ds.communities()[u]) ++community_size;
+    }
+    if (community_size > 1) {
+      EXPECT_FALSE(r.entries.empty());
+    }
+  }
+}
+
+TEST(EndToEnd, JitteredCommunitiesStillMatchMostly) {
+  Drbg rng(2);
+  const DatasetSpec spec = wide_spec(30);
+  SchemeParams params = fast_params();
+  params.rs_threshold = 9;
+  // Jitter 2 << quantization width 8: most users stay in their cell.
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 3, 2);
+  Deployment dep(spec, ds, params, rng);
+
+  std::size_t with_matches = 0;
+  std::size_t verified = 0, total = 0;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const QueryResult r = dep.server.match(dep.clients[u].make_query(1, 1), 5);
+    if (!r.entries.empty()) ++with_matches;
+    for (const auto& e : r.entries) {
+      ++total;
+      if (dep.clients[u].verify_entry(e)) ++verified;
+    }
+  }
+  // Same-key entries always verify.
+  EXPECT_EQ(verified, total);
+  EXPECT_GT(with_matches, ds.num_users() / 2);
+}
+
+TEST(EndToEnd, MaliciousServerAttacksAreDetected) {
+  Drbg rng(3);
+  const DatasetSpec spec = wide_spec(16);
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 2, 0);
+  Deployment dep(spec, ds, fast_params(), rng);
+
+  // Find a querier with at least one honest match.
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    Client& querier = dep.clients[u];
+    const QueryResult honest = dep.server.match(querier.make_query(1, 1), 5);
+    if (honest.entries.empty()) continue;
+
+    EXPECT_EQ(querier.count_verified(honest), honest.entries.size());
+
+    // Attack 1: forge tokens.
+    const QueryResult forged = tamper_result(honest, ServerAttack::kForgeToken, rng);
+    EXPECT_EQ(querier.count_verified(forged), 0u);
+
+    // Attack 2: return real tokens under swapped identities.
+    const QueryResult swapped = tamper_result(honest, ServerAttack::kSwapIdentity, rng);
+    EXPECT_EQ(querier.count_verified(swapped), 0u);
+
+    // Attack 3: substitute users from a different community.
+    std::vector<MatchEntry> foreign;
+    for (std::size_t v = 0; v < ds.num_users(); ++v) {
+      if (ds.communities()[v] != ds.communities()[u]) {
+        const QueryResult other = dep.server.match(dep.clients[v].make_query(2, 2), 1);
+        for (const auto& e : other.entries) foreign.push_back(e);
+        if (!foreign.empty()) break;
+      }
+    }
+    if (!foreign.empty()) {
+      const QueryResult substituted =
+          tamper_result(honest, ServerAttack::kForeignUser, rng, foreign);
+      EXPECT_EQ(querier.count_verified(substituted), 0u);
+    }
+    return;  // one querier suffices
+  }
+  FAIL() << "no querier with matches found";
+}
+
+TEST(EndToEnd, CollusionLeaksOnlyOwnGroup) {
+  // PR-KK (Theorem 2): a user colluding with the server exposes only the
+  // m users in their own key group, never the other N - m.
+  Drbg rng(4);
+  const DatasetSpec spec = wide_spec(20);
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 4, 0);
+  Deployment dep(spec, ds, fast_params(), rng);
+
+  const std::size_t colluder = 0;
+  const Bytes& colluder_key = dep.clients[colluder].profile_key().key;
+  const Bytes& colluder_index = dep.clients[colluder].profile_key().index;
+
+  std::size_t exposed = 0;
+  for (std::size_t v = 0; v < ds.num_users(); ++v) {
+    const bool same_index = dep.clients[v].profile_key().index == colluder_index;
+    const bool same_community = ds.communities()[v] == ds.communities()[colluder];
+    EXPECT_EQ(same_index, same_community);
+    if (same_index) {
+      ++exposed;
+      // The colluder's key decrypts group members' tokens...
+      const UploadMessage up = dep.clients[v].make_upload(rng);
+      EXPECT_TRUE(dep.clients[colluder].auth().verify_token(
+          colluder_key, up.auth_token, up.user_id));
+    } else {
+      // ...but nothing outside the group.
+      const UploadMessage up = dep.clients[v].make_upload(rng);
+      EXPECT_FALSE(dep.clients[colluder].auth().verify_token(
+          colluder_key, up.auth_token, up.user_id));
+    }
+  }
+  EXPECT_LT(exposed, ds.num_users());  // m << N
+}
+
+TEST(EndToEnd, ServerSeesOnlyCiphertextAndOrder) {
+  // Honest-but-curious server: the upload must contain no attribute value
+  // in the clear, and chains in one group must decrypt only with the key.
+  Drbg rng(5);
+  const DatasetSpec spec = wide_spec(8);
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 1, 0);
+  Deployment dep(spec, ds, fast_params(), rng);
+
+  const UploadMessage up = dep.clients[0].make_upload(rng);
+  // The ciphertext is not the plaintext chain: decrypting with the right
+  // key works, a wrong key cannot reproduce it.
+  const std::size_t pt_bits = fast_params().chain_bits(ds.num_attributes());
+  const Ope right(prf(dep.clients[0].profile_key().key, to_bytes("smatch-ope-key")),
+                  pt_bits, pt_bits + fast_params().ope_slack_bits);
+  const BigInt chain = right.decrypt(up.chain_cipher);
+  EXPECT_LE(chain.bit_length(), pt_bits);
+  EXPECT_NE(chain, up.chain_cipher);
+}
+
+TEST(EndToEnd, QueryResultOrderReflectsChainDistance) {
+  // Users in one key group with increasing single-attribute values: the
+  // k-nearest answer must be the order-adjacent users (Definition 4).
+  Drbg rng(6);
+  DatasetSpec spec;
+  spec.name = "ladder";
+  spec.num_users = 5;
+  spec.attributes = {AttributeSpec::uniform("a", 4.0), AttributeSpec::uniform("b", 4.0)};
+
+  SchemeParams params = fast_params();
+  params.quant_width = 16;  // one big quantization cell: everyone shares a key
+
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  const ClientConfig config = make_client_config(spec, params, group);
+  RsaOprfServer oprf(RsaKeyPair::generate(rng, 512));
+  MatchServer server;
+
+  std::vector<Client> clients;
+  for (UserId id = 1; id <= 5; ++id) {
+    // Profiles 0,0 / 1,1 / ... / 4,4 — all within one cell of width 16.
+    clients.emplace_back(id, Profile{id - 1, id - 1}, config);
+    clients.back().generate_key(oprf, rng);
+    server.ingest(clients.back().make_upload(rng));
+  }
+  ASSERT_EQ(server.num_groups(), 1u);
+
+  // Querier 3 (profile 2,2): its 2 order-nearest are users 2 and 4.
+  const QueryResult r = server.match(clients[2].make_query(1, 1), 2);
+  ASSERT_EQ(r.entries.size(), 2u);
+  std::vector<UserId> ids = {r.entries[0].user_id, r.entries[1].user_id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<UserId>{2, 4}));
+}
+
+TEST(EndToEnd, ChannelAccountsUploadBytes) {
+  Drbg rng(7);
+  const DatasetSpec spec = wide_spec(4);
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 1, 0);
+  Deployment dep(spec, ds, fast_params(), rng);
+
+  EXPECT_EQ(dep.channel.uplink().messages, 4u);
+  EXPECT_GT(dep.channel.uplink().bytes, 0u);
+  EXPECT_GT(dep.channel.uplink().sim_seconds, 0.0);
+  EXPECT_EQ(dep.channel.bytes_by_label().at("upload"), dep.channel.uplink().bytes);
+}
+
+TEST(EndToEnd, ClientRequiresKeyBeforeUpload) {
+  Drbg rng(8);
+  const auto spec = infocom06_spec();
+  const ClientConfig config = make_client_config(
+      spec, fast_params(), std::make_shared<const ModpGroup>(ModpGroup::test_512()));
+  Client c(1, Profile{1, 2, 3, 4, 5, 6}, config);
+  EXPECT_THROW((void)c.make_upload(rng), Error);
+  EXPECT_THROW((void)c.profile_key(), Error);
+}
+
+TEST(EndToEnd, ProfileArityMismatchRejected) {
+  const auto spec = infocom06_spec();
+  const ClientConfig config = make_client_config(
+      spec, fast_params(), std::make_shared<const ModpGroup>(ModpGroup::test_512()));
+  EXPECT_THROW(Client(1, Profile{1, 2}, config), Error);
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,104 @@
+// Key-server endpoint tests: wire-level Keygen equals in-process Keygen,
+// rate limiting meters brute-force attempts, malformed input rejected.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/key_server.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+RsaKeyPair test_rsa() {
+  Drbg rng(777);
+  return RsaKeyPair::generate(rng, 512);
+}
+
+SchemeParams test_params() {
+  SchemeParams p;
+  p.rs_threshold = 8;
+  return p;
+}
+
+TEST(KeyServer, WireKeygenMatchesInProcessKeygen) {
+  Drbg rng(1);
+  RsaKeyPair rsa = test_rsa();
+  const RsaOprfServer direct(RsaKeyPair{rsa});  // copy for the oracle
+  KeyServer server(std::move(rsa));
+
+  const FuzzyKeyGen kg(test_params(), 6);
+  const Profile profile = {10, 20, 30, 40, 50, 60};
+
+  KeygenSession session(kg, profile, server.public_key(), 1, rng);
+  const Bytes response = server.handle(session.request_wire());
+  const ProfileKey over_wire = session.finalize(response);
+
+  const ProfileKey in_process = kg.derive(profile, direct, rng);
+  EXPECT_EQ(over_wire.key, in_process.key);
+  EXPECT_EQ(over_wire.index, in_process.index);
+  EXPECT_EQ(server.evaluations(), 1u);
+}
+
+TEST(KeyServer, RateLimitsPerClient) {
+  Drbg rng(2);
+  KeyServer server(test_rsa(), /*requests_per_epoch=*/3);
+  const FuzzyKeyGen kg(test_params(), 6);
+
+  // A curious client probing guessed profiles: the 4th probe is refused.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    KeygenSession s(kg, Profile{i, i, i, i, i, i}, server.public_key(), 42, rng);
+    EXPECT_NO_THROW((void)server.handle(s.request_wire()));
+  }
+  KeygenSession s4(kg, Profile{9, 9, 9, 9, 9, 9}, server.public_key(), 42, rng);
+  EXPECT_THROW((void)server.handle(s4.request_wire()), ProtocolError);
+
+  // Other clients are unaffected; a new epoch resets the budget.
+  KeygenSession other(kg, Profile{1, 1, 1, 1, 1, 1}, server.public_key(), 43, rng);
+  EXPECT_NO_THROW((void)server.handle(other.request_wire()));
+  server.next_epoch();
+  KeygenSession s5(kg, Profile{9, 9, 9, 9, 9, 9}, server.public_key(), 42, rng);
+  EXPECT_NO_THROW((void)server.handle(s5.request_wire()));
+}
+
+TEST(KeyServer, UnlimitedBudgetWhenZero) {
+  Drbg rng(3);
+  KeyServer server(test_rsa(), 0);
+  const FuzzyKeyGen kg(test_params(), 6);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    KeygenSession s(kg, Profile{i, 0, 0, 0, 0, 0}, server.public_key(), 7, rng);
+    EXPECT_NO_THROW((void)server.handle(s.request_wire()));
+  }
+  EXPECT_EQ(server.evaluations(), 20u);
+}
+
+TEST(KeyServer, RejectsMalformedAndOutOfRangeRequests) {
+  Drbg rng(4);
+  KeyServer server(test_rsa());
+  EXPECT_THROW((void)server.handle(Bytes{1, 2, 3}), SerdeError);
+  // Blinded element 0 is outside the RSA group.
+  const Bytes zero_req = KeyRequest{1, BigInt{0}}.serialize();
+  EXPECT_THROW((void)server.handle(zero_req), CryptoError);
+}
+
+TEST(KeyServer, ClientDetectsTamperedResponse) {
+  Drbg rng(5);
+  KeyServer server(test_rsa());
+  const FuzzyKeyGen kg(test_params(), 6);
+  KeygenSession session(kg, Profile{1, 2, 3, 4, 5, 6}, server.public_key(), 1, rng);
+  const Bytes response = server.handle(session.request_wire());
+  KeyResponse tampered = KeyResponse::parse(response);
+  tampered.evaluated += BigInt{1};
+  EXPECT_THROW((void)session.finalize(tampered.serialize()), CryptoError);
+}
+
+TEST(KeyServer, MessagesRoundTrip) {
+  const KeyRequest req{77, BigInt::from_decimal("123456789123456789")};
+  const KeyRequest back = KeyRequest::parse(req.serialize());
+  EXPECT_EQ(back.client_id, 77u);
+  EXPECT_EQ(back.blinded, req.blinded);
+  const KeyResponse resp{BigInt{42}};
+  EXPECT_EQ(KeyResponse::parse(resp.serialize()).evaluated, BigInt{42});
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,141 @@
+// Fuzzy key generation tests: equal keys for close profiles, distinct
+// keys for distant ones, determinism, OPRF integration, and the PR-KK
+// structural property (key leakage confined to the key group).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/keygen.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/sha2.hpp"
+
+namespace smatch {
+namespace {
+
+const RsaOprfServer& key_server() {
+  static const RsaOprfServer server = [] {
+    Drbg rng(555);
+    return RsaOprfServer(RsaKeyPair::generate(rng, 512));
+  }();
+  return server;
+}
+
+SchemeParams params_with_theta(std::uint32_t theta) {
+  SchemeParams p;
+  p.rs_threshold = theta;
+  return p;
+}
+
+TEST(FuzzyKeyGen, IdenticalProfilesDeriveIdenticalKeys) {
+  const FuzzyKeyGen kg(params_with_theta(8), 6);
+  Drbg rng(1);
+  const Profile a = {10, 20, 30, 40, 50, 60};
+  const ProfileKey k1 = kg.derive(a, key_server(), rng);
+  const ProfileKey k2 = kg.derive(a, key_server(), rng);
+  EXPECT_EQ(k1.key, k2.key);
+  EXPECT_EQ(k1.index, k2.index);
+  EXPECT_EQ(k1.key.size(), 32u);
+  EXPECT_NE(k1.key, k1.index);
+}
+
+TEST(FuzzyKeyGen, CloseProfilesShareKeys) {
+  // Within a quantization cell (width quant_width, round-to-nearest),
+  // small perturbations leave the fuzzy vector unchanged.
+  const FuzzyKeyGen kg(params_with_theta(8), 6);  // quant_width defaults to 8
+  Drbg rng(2);
+  const Profile center = {80, 160, 240, 320, 400, 480};  // multiples of the cell width
+  const ProfileKey kc = kg.derive(center, key_server(), rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    Profile jittered = center;
+    for (auto& v : jittered) {
+      v = v - 3 + static_cast<AttrValue>(rng.below(4));  // stays inside the cell
+    }
+    const ProfileKey kj = kg.derive(jittered, key_server(), rng);
+    EXPECT_EQ(kc.key, kj.key) << "trial " << trial;
+  }
+}
+
+TEST(FuzzyKeyGen, DistantProfilesGetDifferentKeys) {
+  const FuzzyKeyGen kg(params_with_theta(8), 6);
+  Drbg rng(3);
+  const Profile a = {10, 20, 30, 40, 50, 60};
+  const Profile b = {100, 200, 300, 400, 500, 600};
+  EXPECT_NE(kg.derive(a, key_server(), rng).key, kg.derive(b, key_server(), rng).key);
+}
+
+TEST(FuzzyKeyGen, ThetaChangesTheKey) {
+  // The threshold is bound into the key material: different deployments
+  // never collide.
+  Drbg rng(4);
+  const Profile a = {10, 20, 30, 40, 50, 60};
+  const FuzzyKeyGen kg5(params_with_theta(5), 6);
+  const FuzzyKeyGen kg9(params_with_theta(9), 6);
+  EXPECT_NE(kg5.derive(a, key_server(), rng).key, kg9.derive(a, key_server(), rng).key);
+}
+
+TEST(FuzzyKeyGen, QuantizeRoundsToNearest) {
+  const FuzzyKeyGen kg(params_with_theta(8), 3);  // quant_width 8
+  const auto s = kg.quantize({0, 3, 4});
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 0);  // 3 + 4 = 7 < 8
+  EXPECT_EQ(s[2], 1);  // 4 + 4 = 8 -> cell 1
+}
+
+TEST(FuzzyKeyGen, QuantWidthChangesTheClustering) {
+  SchemeParams coarse = params_with_theta(8);
+  coarse.quant_width = 32;
+  SchemeParams fine = params_with_theta(8);
+  fine.quant_width = 2;
+  const FuzzyKeyGen kg_coarse(coarse, 2);
+  const FuzzyKeyGen kg_fine(fine, 2);
+  // 5 and 14 share a width-32 cell (round-to-nearest: both land in cell 0)
+  // but not a width-2 cell.
+  EXPECT_EQ(kg_coarse.key_material({5, 5}), kg_coarse.key_material({14, 14}));
+  EXPECT_NE(kg_fine.key_material({5, 5}), kg_fine.key_material({14, 14}));
+}
+
+TEST(FuzzyKeyGen, CodeParametersDeriveFromThetaAndArity) {
+  for (std::size_t d : {3u, 6u, 17u}) {
+    for (std::uint32_t theta : {5u, 8u, 10u}) {
+      const FuzzyKeyGen kg(params_with_theta(theta), d);
+      EXPECT_EQ(kg.code().n(), d * kg.rep());
+      EXPECT_EQ(kg.code().n() - kg.code().k(), 2 * theta);
+      EXPECT_GE(kg.code().k(), 2u);
+    }
+  }
+}
+
+TEST(FuzzyKeyGen, FuzzyVectorIsDeterministic) {
+  const FuzzyKeyGen kg(params_with_theta(7), 6);
+  const Profile a = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(kg.fuzzy_vector(a), kg.fuzzy_vector(a));
+  EXPECT_EQ(kg.key_material(a), kg.key_material(a));
+}
+
+TEST(FuzzyKeyGen, KeyIndexIsHashOfKey) {
+  Drbg rng(5);
+  const FuzzyKeyGen kg(params_with_theta(8), 6);
+  const ProfileKey pk = kg.derive({1, 2, 3, 4, 5, 6}, key_server(), rng);
+  // index = h(K_up): recomputable from the key alone, which is what lets
+  // the server group by index without learning the key.
+  EXPECT_EQ(pk.index, FuzzyKeyGen::from_oprf_output(pk.key).index);
+}
+
+TEST(FuzzyKeyGen, RejectsArityMismatch) {
+  const FuzzyKeyGen kg(params_with_theta(8), 6);
+  EXPECT_THROW((void)kg.quantize({1, 2, 3}), Error);
+}
+
+TEST(FuzzyKeyGen, OprfPreventsOfflineDerivation) {
+  // Without the key server, key material alone must not determine the
+  // final key: the OPRF output differs from any public hash of it.
+  Drbg rng(6);
+  const FuzzyKeyGen kg(params_with_theta(8), 6);
+  const Profile a = {1, 2, 3, 4, 5, 6};
+  const Bytes material = kg.key_material(a);
+  const ProfileKey pk = kg.derive(a, key_server(), rng);
+  EXPECT_NE(pk.key, material);
+  EXPECT_NE(pk.key, Sha256::hash(material));
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,127 @@
+// mOPE tests: order-preserving codes, interactivity accounting, and the
+// mutation (rebalancing) behaviour that makes it unsuitable for the
+// S-MATCH setting (paper Section II).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "ope/mope.hpp"
+
+namespace smatch {
+namespace {
+
+Bytes mope_key() {
+  Drbg rng(99);
+  return rng.bytes(16);
+}
+
+TEST(Mope, DetEncryptionRoundTrip) {
+  const MopeClient client(mope_key());
+  for (std::uint64_t v : {0ull, 1ull, 1234567890ull, ~0ull}) {
+    const Bytes ct = client.encrypt(v);
+    EXPECT_EQ(ct.size(), 16u);
+    EXPECT_EQ(client.decrypt(ct), v);
+    EXPECT_EQ(client.encrypt(v), ct);  // deterministic
+  }
+  EXPECT_THROW((void)client.decrypt(Bytes(15, 0)), CryptoError);
+  EXPECT_THROW(MopeClient(Bytes(5, 0)), CryptoError);
+}
+
+TEST(Mope, CodesPreservePlaintextOrder) {
+  const MopeClient client(mope_key());
+  MopeServer server;
+  Drbg rng(1);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> inserted;  // (value, code)
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.u64() >> 16;
+    const std::uint64_t code = server.insert(client.encrypt(v), client);
+    inserted.emplace_back(v, code);
+  }
+  // Refresh codes (rebalancing may have changed earlier ones).
+  for (auto& [v, code] : inserted) {
+    code = server.encoding_of(client.encrypt(v)).value();
+  }
+  for (const auto& [v1, c1] : inserted) {
+    for (const auto& [v2, c2] : inserted) {
+      EXPECT_EQ(v1 < v2, c1 < c2) << v1 << " vs " << v2;
+    }
+  }
+}
+
+TEST(Mope, DuplicateInsertReturnsSameCode) {
+  const MopeClient client(mope_key());
+  MopeServer server;
+  const std::uint64_t c1 = server.insert(client.encrypt(42), client);
+  const std::uint64_t c2 = server.insert(client.encrypt(42), client);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(server.size(), 1u);
+}
+
+TEST(Mope, InteractionRoundsGrowWithTreeDepth) {
+  // The interactivity the paper objects to: every insert costs one round
+  // trip per visited node.
+  const MopeClient client(mope_key());
+  MopeServer server;
+  Drbg rng(2);
+  for (int i = 0; i < 128; ++i) {
+    (void)server.insert(client.encrypt(rng.u64()), client);
+  }
+  // 128 random inserts: >= n-1 rounds in total (first insert is free),
+  // on the order of n * log n.
+  EXPECT_GE(server.interaction_rounds(), 127u);
+  EXPECT_LE(server.interaction_rounds(), 128u * 64u);
+  // Our non-interactive OPE costs zero rounds by construction — the
+  // comparison bench (ablation_mope_interaction) quantifies this.
+}
+
+TEST(Mope, SequentialInsertTriggersRebalanceAndMutatesCodes) {
+  const MopeClient client(mope_key());
+  MopeServer server;
+  // Strictly increasing inserts build a right spine: depth exceeds the
+  // code width at kCodeBits inserts and forces a rebalance.
+  const std::uint64_t first_code = server.insert(client.encrypt(0), client);
+  for (std::uint64_t v = 1; v < MopeServer::kCodeBits + 4; ++v) {
+    (void)server.insert(client.encrypt(v), client);
+  }
+  EXPECT_GE(server.rebalances(), 1u);
+  // The first element's code has changed: mutability in action.
+  const std::uint64_t new_code = server.encoding_of(client.encrypt(0)).value();
+  EXPECT_NE(new_code, first_code);
+  // And order still holds across all entries.
+  std::uint64_t prev_code = 0;
+  std::uint64_t prev_value = 0;
+  bool first = true;
+  for (const auto& [ct, code] : server.entries()) {
+    const std::uint64_t v = client.decrypt(ct);
+    if (!first) {
+      EXPECT_GT(v, prev_value);
+      EXPECT_GT(code, prev_code);
+    }
+    first = false;
+    prev_value = v;
+    prev_code = code;
+  }
+}
+
+TEST(Mope, EncodingOfUnknownCiphertextIsEmpty) {
+  const MopeClient client(mope_key());
+  MopeServer server;
+  (void)server.insert(client.encrypt(1), client);
+  EXPECT_FALSE(server.encoding_of(client.encrypt(2)).has_value());
+}
+
+TEST(Mope, EntriesAreSortedByCode) {
+  const MopeClient client(mope_key());
+  MopeServer server;
+  Drbg rng(3);
+  for (int i = 0; i < 64; ++i) (void)server.insert(client.encrypt(rng.u64()), client);
+  const auto entries = server.entries();
+  EXPECT_EQ(entries.size(), server.size());
+  EXPECT_TRUE(std::is_sorted(entries.begin(), entries.end(),
+                             [](const auto& a, const auto& b) { return a.second < b.second; }));
+}
+
+}  // namespace
+}  // namespace smatch

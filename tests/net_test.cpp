@@ -1,0 +1,65 @@
+// SimChannel / LinkModel tests: byte accounting, label breakdown, and the
+// 802.11n transfer-time model used by the communication-cost figures.
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(LinkModel, TransferTimeDecomposes) {
+  const LinkModel link{.bandwidth_mbps = 53.0, .latency_ms = 2.0};
+  // Zero payload: pure latency.
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 0.002);
+  // 53 Mbit at 53 Mbps = 1 second + latency.
+  const std::size_t bytes = 53 * 1000 * 1000 / 8;
+  EXPECT_NEAR(link.transfer_seconds(bytes), 1.002, 1e-9);
+}
+
+TEST(SimChannel, CountsBothDirectionsIndependently) {
+  SimChannel ch;
+  (void)ch.send_to_server(Bytes(100, 0));
+  (void)ch.send_to_server(Bytes(50, 0));
+  (void)ch.send_to_client(Bytes(7, 0));
+  EXPECT_EQ(ch.uplink().messages, 2u);
+  EXPECT_EQ(ch.uplink().bytes, 150u);
+  EXPECT_EQ(ch.downlink().messages, 1u);
+  EXPECT_EQ(ch.downlink().bytes, 7u);
+  EXPECT_EQ(ch.total_bytes(), 157u);
+}
+
+TEST(SimChannel, AccumulatesSimulatedTime) {
+  SimChannel ch(LinkModel{.bandwidth_mbps = 1.0, .latency_ms = 10.0});
+  const double t1 = ch.send_to_server(Bytes(1000, 0));
+  const double t2 = ch.send_to_server(Bytes(1000, 0));
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_NEAR(ch.uplink().sim_seconds, t1 + t2, 1e-12);
+  // 8000 bits at 1 Mbps = 8 ms, plus 10 ms latency.
+  EXPECT_NEAR(t1, 0.018, 1e-9);
+}
+
+TEST(SimChannel, LabelsBreakDownTraffic) {
+  SimChannel ch;
+  (void)ch.send_to_server(Bytes(10, 0), "upload");
+  (void)ch.send_to_server(Bytes(20, 0), "upload");
+  (void)ch.send_to_server(Bytes(5, 0), "query");
+  (void)ch.send_to_client(Bytes(9, 0), "result");
+  (void)ch.send_to_client(Bytes(3, 0));  // unlabeled: counted, not broken down
+  EXPECT_EQ(ch.bytes_by_label().at("upload"), 30u);
+  EXPECT_EQ(ch.bytes_by_label().at("query"), 5u);
+  EXPECT_EQ(ch.bytes_by_label().at("result"), 9u);
+  EXPECT_EQ(ch.bytes_by_label().count(""), 0u);
+  EXPECT_EQ(ch.total_bytes(), 47u);
+}
+
+TEST(SimChannel, ResetClearsEverything) {
+  SimChannel ch;
+  (void)ch.send_to_server(Bytes(10, 0), "x");
+  ch.reset();
+  EXPECT_EQ(ch.total_bytes(), 0u);
+  EXPECT_EQ(ch.uplink().messages, 0u);
+  EXPECT_TRUE(ch.bytes_by_label().empty());
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,187 @@
+// OPE tests: the order-preservation property (the "P" of the PPE
+// Definition 1, with Test(c1,c2) = [c1 >= c2]), round trips, determinism,
+// and invalid-ciphertext rejection, across small and big-integer domains.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+namespace smatch {
+namespace {
+
+Bytes test_key(std::uint64_t seed) {
+  Drbg rng(seed);
+  return rng.bytes(32);
+}
+
+struct OpeParam {
+  std::size_t pt_bits;
+  std::size_t ct_bits;
+};
+
+class OpeProperty : public ::testing::TestWithParam<OpeParam> {};
+
+TEST_P(OpeProperty, PreservesOrderOnRandomPairs) {
+  const auto [pt_bits, ct_bits] = GetParam();
+  const Ope ope(test_key(pt_bits * 131 + ct_bits), pt_bits, ct_bits);
+  Drbg rng(pt_bits + ct_bits);
+  const BigInt bound = BigInt{1} << pt_bits;
+  for (int iter = 0; iter < 40; ++iter) {
+    const BigInt m1 = BigInt::random_below(rng, bound);
+    const BigInt m2 = BigInt::random_below(rng, bound);
+    const BigInt c1 = ope.encrypt(m1);
+    const BigInt c2 = ope.encrypt(m2);
+    // m1 >= m2  <=>  c1 >= c2 (Definition 1's publicly computable Test).
+    EXPECT_EQ(m1 >= m2, c1 >= c2) << m1.to_decimal() << " vs " << m2.to_decimal();
+    EXPECT_EQ(m1 == m2, c1 == c2);
+    EXPECT_LT(c1.bit_length(), ct_bits + 1);
+  }
+}
+
+TEST_P(OpeProperty, DecryptInvertsEncrypt) {
+  const auto [pt_bits, ct_bits] = GetParam();
+  const Ope ope(test_key(pt_bits * 733 + ct_bits), pt_bits, ct_bits);
+  Drbg rng(pt_bits * 7 + ct_bits);
+  const BigInt bound = BigInt{1} << pt_bits;
+  for (int iter = 0; iter < 15; ++iter) {
+    const BigInt m = BigInt::random_below(rng, bound);
+    EXPECT_EQ(ope.decrypt(ope.encrypt(m)), m);
+  }
+  // Domain endpoints.
+  EXPECT_EQ(ope.decrypt(ope.encrypt(BigInt{0})), BigInt{0});
+  EXPECT_EQ(ope.decrypt(ope.encrypt(bound - BigInt{1})), bound - BigInt{1});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OpeProperty,
+                         ::testing::Values(OpeParam{4, 8}, OpeParam{8, 16},
+                                           OpeParam{8, 12}, OpeParam{16, 32},
+                                           OpeParam{32, 48}, OpeParam{64, 128},
+                                           OpeParam{128, 192}, OpeParam{384, 448}));
+
+TEST(Ope, DeterministicUnderSameKey) {
+  const Ope a(test_key(1), 32, 64);
+  const Ope b(test_key(1), 32, 64);
+  Drbg rng(3);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt m = BigInt::random_below(rng, BigInt{1} << 32);
+    EXPECT_EQ(a.encrypt(m), b.encrypt(m));
+  }
+}
+
+TEST(Ope, DifferentKeysGiveDifferentMaps) {
+  const Ope a(test_key(1), 32, 64);
+  const Ope b(test_key(2), 32, 64);
+  Drbg rng(5);
+  int differing = 0;
+  for (int iter = 0; iter < 20; ++iter) {
+    const BigInt m = BigInt::random_below(rng, BigInt{1} << 32);
+    if (a.encrypt(m) != b.encrypt(m)) ++differing;
+  }
+  EXPECT_GE(differing, 19);
+}
+
+TEST(Ope, ExhaustiveSmallDomainIsStrictlyMonotone) {
+  const Ope ope(test_key(9), 6, 12);
+  BigInt prev{-1};
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const BigInt c = ope.encrypt(BigInt{m});
+    EXPECT_TRUE(c > prev) << "m=" << m;
+    EXPECT_EQ(ope.decrypt(c), BigInt{m});
+    prev = c;
+  }
+}
+
+TEST(Ope, EqualSizesDegenerateToIdentity) {
+  // The paper's N = M setting: the only order-preserving injection from a
+  // space onto itself is the identity.
+  const Ope ope(test_key(11), 10, 10);
+  for (std::uint64_t m : {0ull, 1ull, 500ull, 1023ull}) {
+    EXPECT_EQ(ope.encrypt(BigInt{m}), BigInt{m});
+  }
+}
+
+TEST(Ope, RejectsOutOfDomainPlaintext) {
+  const Ope ope(test_key(13), 16, 32);
+  EXPECT_THROW((void)ope.encrypt(BigInt{1} << 16), CryptoError);
+  EXPECT_THROW((void)ope.encrypt(BigInt{-1}), CryptoError);
+}
+
+TEST(Ope, RejectsInvalidCiphertext) {
+  const Ope ope(test_key(17), 8, 20);
+  // Collect the valid ciphertexts; anything else must be rejected.
+  std::vector<BigInt> valid;
+  for (std::uint64_t m = 0; m < 256; ++m) valid.push_back(ope.encrypt(BigInt{m}));
+  Drbg rng(19);
+  int rejected = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigInt c = BigInt::random_below(rng, BigInt{1} << 20);
+    if (std::find(valid.begin(), valid.end(), c) != valid.end()) continue;
+    EXPECT_THROW((void)ope.decrypt(c), CryptoError);
+    ++rejected;
+  }
+  EXPECT_GT(rejected, 30);
+}
+
+TEST(Ope, RejectsBadParameters) {
+  EXPECT_THROW(Ope(test_key(23), 0, 8), CryptoError);
+  EXPECT_THROW(Ope(test_key(23), 16, 8), CryptoError);
+}
+
+TEST(Ope, BigDomainOrderSpotChecks) {
+  // 1024-bit domain: ordered plaintext ladder must produce an ordered
+  // ciphertext ladder.
+  const Ope ope(test_key(29), 1024, 1088);
+  Drbg rng(31);
+  std::vector<BigInt> ms;
+  for (int i = 0; i < 8; ++i) ms.push_back(BigInt::random_below(rng, BigInt{1} << 1024));
+  std::sort(ms.begin(), ms.end());
+  BigInt prev{-1};
+  for (const auto& m : ms) {
+    const BigInt c = ope.encrypt(m);
+    EXPECT_TRUE(c > prev || m == ms.front());
+    prev = c;
+  }
+}
+
+TEST(Ope, HugeDomainBeyondLongDoubleRange) {
+  // 20000-bit domains push intermediate population sizes past the
+  // long-double exponent range (2^16384); the log-space sampler must
+  // stay finite and the cipher must still round-trip and preserve order.
+  const Ope ope(test_key(43), 20000, 20064);
+  Drbg rng(47);
+  const BigInt m1 = BigInt::random_below(rng, BigInt{1} << 20000);
+  const BigInt m2 = BigInt::random_below(rng, BigInt{1} << 20000);
+  const BigInt c1 = ope.encrypt(m1);
+  const BigInt c2 = ope.encrypt(m2);
+  EXPECT_EQ(m1 < m2, c1 < c2);
+  EXPECT_EQ(ope.decrypt(c1), m1);
+}
+
+TEST(Dpe, DistancePropertyAndRoundTrip) {
+  const Dpe dpe = Dpe::from_key(test_key(37), 32);
+  Drbg rng(41);
+  for (int iter = 0; iter < 30; ++iter) {
+    const BigInt m1 = BigInt{rng.below(1u << 20)};
+    const BigInt m2 = BigInt{rng.below(1u << 20)};
+    const BigInt m3 = BigInt{rng.below(1u << 20)};
+    const BigInt c1 = dpe.encrypt(m1), c2 = dpe.encrypt(m2), c3 = dpe.encrypt(m3);
+    // |m1-m2| >= |m2-m3|  <=>  |c1-c2| >= |c2-c3|  (PPE with k=3).
+    const bool plain = (m1 - m2).abs() >= (m2 - m3).abs();
+    const bool cipher = (c1 - c2).abs() >= (c2 - c3).abs();
+    EXPECT_EQ(plain, cipher);
+    EXPECT_EQ(dpe.decrypt(c1), m1);
+  }
+}
+
+TEST(Dpe, RejectsNonCiphertext) {
+  const Dpe dpe(BigInt{1000}, BigInt{7});
+  EXPECT_EQ(dpe.decrypt(BigInt{1007}), BigInt{1});
+  EXPECT_THROW((void)dpe.decrypt(BigInt{1008}), CryptoError);
+  EXPECT_THROW(Dpe(BigInt{0}, BigInt{1}), CryptoError);
+}
+
+}  // namespace
+}  // namespace smatch

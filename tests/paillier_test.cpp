@@ -1,0 +1,98 @@
+// Paillier cryptosystem tests: round trips and the homomorphic identities
+// the homoPM baseline relies on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+#include "paillier/paillier.hpp"
+
+namespace smatch {
+namespace {
+
+const PaillierKeyPair& shared_keys() {
+  static const PaillierKeyPair kp = [] {
+    Drbg rng(2024);
+    return PaillierKeyPair::generate(rng, 512);
+  }();
+  return kp;
+}
+
+TEST(Paillier, EncryptDecryptRoundTrip) {
+  const auto& kp = shared_keys();
+  Drbg rng(1);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt m = BigInt::random_below(rng, kp.public_key().n);
+    EXPECT_EQ(kp.decrypt(kp.public_key().encrypt(m, rng)), m);
+  }
+}
+
+TEST(Paillier, EncryptionIsRandomized) {
+  const auto& kp = shared_keys();
+  Drbg rng(2);
+  const BigInt m{42};
+  const BigInt c1 = kp.public_key().encrypt(m, rng);
+  const BigInt c2 = kp.public_key().encrypt(m, rng);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(kp.decrypt(c1), kp.decrypt(c2));
+}
+
+TEST(Paillier, AdditiveHomomorphism) {
+  const auto& kp = shared_keys();
+  const auto& pk = kp.public_key();
+  Drbg rng(3);
+  for (int iter = 0; iter < 10; ++iter) {
+    const BigInt a = BigInt::random_below(rng, BigInt{1} << 128);
+    const BigInt b = BigInt::random_below(rng, BigInt{1} << 128);
+    const BigInt c = pk.add(pk.encrypt(a, rng), pk.encrypt(b, rng));
+    EXPECT_EQ(kp.decrypt(c), a + b);
+  }
+}
+
+TEST(Paillier, PlaintextAdditionAndMultiplication) {
+  const auto& kp = shared_keys();
+  const auto& pk = kp.public_key();
+  Drbg rng(4);
+  const BigInt a{1000}, k{37};
+  const BigInt enc_a = pk.encrypt(a, rng);
+  EXPECT_EQ(kp.decrypt(pk.add_plain(enc_a, k)), a + k);
+  EXPECT_EQ(kp.decrypt(pk.mul_plain(enc_a, k)), a * k);
+}
+
+TEST(Paillier, NegationAndSignedDecrypt) {
+  const auto& kp = shared_keys();
+  const auto& pk = kp.public_key();
+  Drbg rng(5);
+  const BigInt a{123456};
+  const BigInt neg = pk.negate(pk.encrypt(a, rng));
+  EXPECT_EQ(kp.decrypt_signed(neg), -a);
+  EXPECT_EQ(kp.decrypt(neg), pk.n - a);
+}
+
+TEST(Paillier, BlindedDistanceShapeUsedByHomoPm) {
+  // E(a^2) * E(-2a)^b * g^{b^2} decrypts to (a-b)^2.
+  const auto& kp = shared_keys();
+  const auto& pk = kp.public_key();
+  Drbg rng(6);
+  const BigInt a{900}, b{650};
+  const BigInt enc = pk.add_plain(
+      pk.add(pk.encrypt(a * a, rng), pk.mul_plain(pk.encrypt(pk.n - (a << 1), rng), b)),
+      b * b);
+  EXPECT_EQ(kp.decrypt(enc), (a - b) * (a - b));
+}
+
+TEST(Paillier, RejectsOutOfRangeInputs) {
+  const auto& kp = shared_keys();
+  const auto& pk = kp.public_key();
+  Drbg rng(7);
+  EXPECT_THROW((void)pk.encrypt(pk.n, rng), CryptoError);
+  EXPECT_THROW((void)pk.encrypt(BigInt{-1}, rng), CryptoError);
+  EXPECT_THROW((void)kp.decrypt(pk.n_sq), CryptoError);
+}
+
+TEST(Paillier, RejectsTinyModulus) {
+  Drbg rng(8);
+  EXPECT_THROW((void)PaillierKeyPair::generate(rng, 32), CryptoError);
+}
+
+}  // namespace
+}  // namespace smatch

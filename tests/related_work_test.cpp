@@ -1,0 +1,153 @@
+// Tests for the Table I comparator baselines: DH-PSI attribute-level
+// matching (LCY11/FindU-style) and the ZLL13-style two-party SE scheme —
+// including the specific limitations the paper attributes to each.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/pairwise_match.hpp"
+#include "baseline/psi_match.hpp"
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+const ModpGroup& psi_group() {
+  static const ModpGroup g = ModpGroup::test_512();
+  return g;
+}
+
+TEST(PsiMatch, ComputesExactIntersectionCardinality) {
+  Drbg rng(1);
+  const AttributeSet a = {"jazz", "hiking", "go", "espresso"};
+  const AttributeSet b = {"rock", "hiking", "espresso", "chess", "go"};
+  EXPECT_EQ(psi_intersection(a, b, psi_group(), rng), 3u);
+}
+
+TEST(PsiMatch, DisjointAndIdenticalSets) {
+  Drbg rng(2);
+  const AttributeSet a = {"x", "y"};
+  const AttributeSet b = {"p", "q", "r"};
+  EXPECT_EQ(psi_intersection(a, b, psi_group(), rng), 0u);
+  EXPECT_EQ(psi_intersection(a, a, psi_group(), rng), 2u);
+}
+
+TEST(PsiMatch, BlindedElementsHideAttributes) {
+  Drbg rng(3);
+  const AttributeSet a = {"secret-interest"};
+  PsiParty party(a, psi_group(), rng);
+  const auto blinded = party.round1(rng);
+  ASSERT_EQ(blinded.size(), 1u);
+  // The wire element is not the bare attribute hash (blinding applied).
+  PsiParty party2(a, psi_group(), rng);
+  const auto blinded2 = party2.round1(rng);
+  EXPECT_NE(blinded[0], blinded2[0]);  // fresh secrets, different view
+}
+
+TEST(PsiMatch, RejectsMalformedInput) {
+  Drbg rng(4);
+  EXPECT_THROW(PsiParty(AttributeSet{}, psi_group(), rng), Error);
+  PsiParty party({"a"}, psi_group(), rng);
+  EXPECT_THROW((void)party.respond({BigInt{0}}), Error);
+  EXPECT_THROW((void)party.respond({psi_group().p()}), Error);
+}
+
+TEST(PsiMatch, AttributeLevelOnlyMissesCloseValues) {
+  // The paper's Section II criticism: PSI-style schemes "are not able to
+  // differentiate users with different attribute values". Profiles one
+  // unit apart on every attribute intersect in NOTHING, even though
+  // S-MATCH's fine-grained matching would rank them adjacent.
+  Drbg rng(5);
+  const std::vector<std::uint32_t> u = {10, 20, 30};
+  const std::vector<std::uint32_t> v = {11, 21, 31};  // Chebyshev distance 1
+  EXPECT_EQ(psi_intersection(profile_to_set(u), profile_to_set(v), psi_group(), rng), 0u);
+  // Equal values do intersect.
+  const std::vector<std::uint32_t> w = {10, 20, 31};
+  EXPECT_EQ(psi_intersection(profile_to_set(u), profile_to_set(w), psi_group(), rng), 2u);
+}
+
+std::shared_ptr<const ModpGroup> pw_group() {
+  static const auto g = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  return g;
+}
+
+TEST(PairwiseMatch, SessionAgreesSymmetrically) {
+  Drbg rng(6);
+  PairwiseUser alice(1, {10, 20, 30}, pw_group(), 16, rng);
+  PairwiseUser bob(2, {11, 19, 30}, pw_group(), 16, rng);
+
+  const PairwiseMessage from_bob = bob.make_message(alice.dh_public());
+  const PairwiseMessage from_alice = alice.make_message(bob.dh_public());
+
+  const BigInt threshold = BigInt{1} << 36;  // generous chain-gap bound
+  const auto a_view = alice.evaluate(bob.dh_public(), from_bob, threshold);
+  const auto b_view = bob.evaluate(alice.dh_public(), from_alice, threshold);
+  EXPECT_TRUE(a_view.verified);
+  EXPECT_TRUE(b_view.verified);
+  EXPECT_EQ(a_view.matched, b_view.matched);
+  EXPECT_TRUE(a_view.matched);
+}
+
+TEST(PairwiseMatch, DistantProfilesDoNotMatch) {
+  Drbg rng(7);
+  PairwiseUser alice(1, {10, 20, 30}, pw_group(), 16, rng);
+  PairwiseUser carol(3, {60000, 2, 59999}, pw_group(), 16, rng);
+  const auto view =
+      alice.evaluate(carol.dh_public(), carol.make_message(alice.dh_public()), BigInt{1} << 20);
+  EXPECT_TRUE(view.verified);
+  EXPECT_FALSE(view.matched);
+}
+
+TEST(PairwiseMatch, TamperedMessageFailsVerification) {
+  Drbg rng(8);
+  PairwiseUser alice(1, {1, 2, 3}, pw_group(), 16, rng);
+  PairwiseUser bob(2, {1, 2, 4}, pw_group(), 16, rng);
+  PairwiseMessage msg = bob.make_message(alice.dh_public());
+  msg.chain_cipher += BigInt{1};
+  const auto view = alice.evaluate(bob.dh_public(), msg, BigInt{1} << 30);
+  EXPECT_FALSE(view.verified);
+  EXPECT_FALSE(view.matched);
+
+  PairwiseMessage bad_tag = bob.make_message(alice.dh_public());
+  bad_tag.tag[0] ^= 1;
+  EXPECT_FALSE(alice.evaluate(bob.dh_public(), bad_tag, BigInt{1} << 30).verified);
+}
+
+TEST(PairwiseMatch, WrongSessionKeyCannotForge) {
+  // A third party (or the server) without the pairwise key cannot craft a
+  // message Alice accepts as Bob's.
+  Drbg rng(9);
+  PairwiseUser alice(1, {1, 2, 3}, pw_group(), 16, rng);
+  PairwiseUser bob(2, {1, 2, 4}, pw_group(), 16, rng);
+  PairwiseUser mallory(9, {1, 2, 4}, pw_group(), 16, rng);
+  // Mallory builds a message keyed to her own DH secret and replays it as
+  // if from Bob.
+  const PairwiseMessage forged = mallory.make_message(alice.dh_public());
+  (void)bob;
+  const auto view = alice.evaluate(bob.dh_public(), forged, BigInt{1} << 30);
+  EXPECT_FALSE(view.verified);
+}
+
+TEST(PairwiseMatch, QuadraticSessionScaling) {
+  // The paper's scalability criticism, in numbers: matching N users
+  // pairwise needs N(N-1)/2 sessions of fixed byte cost.
+  Drbg rng(10);
+  PairwiseUser probe(1, {1, 2, 3, 4, 5, 6}, pw_group(), 64, rng);
+  const std::size_t per_session = probe.session_bytes();
+  EXPECT_GT(per_session, 2 * pw_group()->element_bytes());
+  const auto total = [per_session](std::size_t n) { return n * (n - 1) / 2 * per_session; };
+  EXPECT_EQ(total(100), 4950u * per_session);
+  EXPECT_GT(total(1000), 100u * total(100));  // super-linear growth
+}
+
+TEST(PairwiseMatch, RejectsBadParameters) {
+  Drbg rng(11);
+  EXPECT_THROW(PairwiseUser(1, {}, pw_group(), 16, rng), Error);
+  EXPECT_THROW(PairwiseUser(1, {70000}, pw_group(), 16, rng), Error);
+  PairwiseUser alice(1, {1}, pw_group(), 16, rng);
+  EXPECT_THROW((void)alice.make_message(BigInt{0}), Error);
+}
+
+}  // namespace
+}  // namespace smatch

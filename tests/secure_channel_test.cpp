@@ -1,0 +1,106 @@
+// Encrypt-then-MAC secure-channel tests (paper Section VIII), plus the
+// MatchServer replay-protection policy for timestamped queries.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/server.hpp"
+#include "crypto/drbg.hpp"
+#include "net/secure_channel.hpp"
+
+namespace smatch {
+namespace {
+
+SessionKeys test_keys() {
+  Drbg rng(61);
+  return make_session_keys(rng.bytes(48));
+}
+
+TEST(SecureChannel, SealOpenRoundTrip) {
+  Drbg rng(1);
+  const SessionKeys keys = test_keys();
+  SecureSender sender(keys.client_to_server);
+  SecureReceiver receiver(keys.client_to_server);
+  for (std::size_t len : {0u, 1u, 100u, 5000u}) {
+    const Bytes msg = rng.bytes(len);
+    EXPECT_EQ(receiver.open(sender.seal(msg, rng)), msg) << "len=" << len;
+  }
+  EXPECT_EQ(sender.records_sent(), 4u);
+}
+
+TEST(SecureChannel, DirectionsUseIndependentKeys) {
+  const SessionKeys keys = test_keys();
+  EXPECT_NE(keys.client_to_server, keys.server_to_client);
+  Drbg rng(2);
+  SecureSender c2s(keys.client_to_server);
+  SecureReceiver wrong_dir(keys.server_to_client);
+  EXPECT_THROW((void)wrong_dir.open(c2s.seal(to_bytes("hello"), rng)), CryptoError);
+}
+
+TEST(SecureChannel, TamperedRecordFailsMac) {
+  Drbg rng(3);
+  const SessionKeys keys = test_keys();
+  SecureSender sender(keys.client_to_server);
+  const Bytes record = sender.seal(to_bytes("profile upload"), rng);
+  for (std::size_t pos : {std::size_t{0}, record.size() / 2, record.size() - 1}) {
+    SecureReceiver receiver(keys.client_to_server);
+    Bytes bad = record;
+    bad[pos] ^= 0x01;
+    EXPECT_THROW((void)receiver.open(bad), CryptoError) << "pos=" << pos;
+  }
+}
+
+TEST(SecureChannel, ReplayAndReorderDetected) {
+  Drbg rng(4);
+  const SessionKeys keys = test_keys();
+  SecureSender sender(keys.client_to_server);
+  SecureReceiver receiver(keys.client_to_server);
+  const Bytes r0 = sender.seal(to_bytes("first"), rng);
+  const Bytes r1 = sender.seal(to_bytes("second"), rng);
+  EXPECT_EQ(receiver.open(r0), to_bytes("first"));
+  // Replay of r0: rejected.
+  EXPECT_THROW((void)receiver.open(r0), ProtocolError);
+  // r1 still opens in order.
+  EXPECT_EQ(receiver.open(r1), to_bytes("second"));
+
+  // Out-of-order delivery: a fresh receiver seeing r1 first rejects it.
+  SecureReceiver reordered(keys.client_to_server);
+  SecureSender sender2(keys.client_to_server);
+  (void)sender2.seal(to_bytes("x"), rng);
+  const Bytes second = sender2.seal(to_bytes("y"), rng);
+  EXPECT_THROW((void)reordered.open(second), ProtocolError);
+}
+
+TEST(SecureChannel, TruncatedAndBadKeysRejected) {
+  Drbg rng(5);
+  EXPECT_THROW(SecureSender(Bytes(63, 0)), CryptoError);
+  EXPECT_THROW(SecureReceiver(Bytes(0, 0)), CryptoError);
+  SecureReceiver receiver(test_keys().client_to_server);
+  EXPECT_THROW((void)receiver.open(Bytes(10, 0)), CryptoError);
+}
+
+TEST(ReplayProtection, ServerRejectsStaleQueryTimestamps) {
+  MatchServer server;
+  server.set_replay_protection(true);
+  UploadMessage up;
+  up.user_id = 1;
+  up.key_index = Bytes(32, 1);
+  up.chain_cipher = BigInt{5};
+  up.chain_cipher_bits = 32;
+  server.ingest(up);
+  up.user_id = 2;
+  up.chain_cipher = BigInt{9};
+  server.ingest(up);
+
+  EXPECT_NO_THROW((void)server.match({1, 1000, 1}, 5));
+  // Replay (same timestamp) and stale (older) queries rejected.
+  EXPECT_THROW((void)server.match({2, 1000, 1}, 5), ProtocolError);
+  EXPECT_THROW((void)server.match({3, 999, 1}, 5), ProtocolError);
+  // Fresh timestamp accepted; other users independent.
+  EXPECT_NO_THROW((void)server.match({4, 1001, 1}, 5));
+  EXPECT_NO_THROW((void)server.match({5, 1000, 2}, 5));
+  // match_within enforces the same policy.
+  EXPECT_THROW((void)server.match_within({6, 900, 1}, 2), ProtocolError);
+}
+
+}  // namespace
+}  // namespace smatch

@@ -1,0 +1,128 @@
+// Wire-format robustness: Writer/Reader primitives, plus deterministic
+// fuzz over truncations and bit flips of every protocol message type —
+// parsers must throw SerdeError (or reject cleanly), never crash.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "core/key_server.hpp"
+#include "core/messages.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+TEST(Serde, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.var_bytes(to_bytes("payload"));
+  w.str("name");
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.var_bytes(), to_bytes("payload"));
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(Serde, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.bytes(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(Serde, TruncationThrows) {
+  Writer w;
+  w.u64(42);
+  const Bytes full = w.bytes();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Reader r(BytesView(full).subspan(0, len));
+    EXPECT_THROW((void)r.u64(), SerdeError) << len;
+  }
+}
+
+TEST(Serde, VarBytesLengthLies) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.var_bytes(), SerdeError);
+}
+
+TEST(Serde, FinishRejectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.bytes());
+  (void)r.u8();
+  EXPECT_THROW(r.finish(), SerdeError);
+}
+
+// Deterministic fuzz: every prefix truncation and 200 random bit flips of
+// each message type must either parse to something or throw SerdeError.
+template <typename Message>
+void fuzz_message(const Message& msg, std::uint64_t seed) {
+  const Bytes wire = msg.serialize();
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    try {
+      (void)Message::parse(BytesView(wire).subspan(0, len));
+    } catch (const SerdeError&) {
+      // expected
+    }
+  }
+
+  Drbg rng(seed);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes mutated = wire;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    try {
+      (void)Message::parse(mutated);
+    } catch (const SerdeError&) {
+      // expected
+    }
+  }
+}
+
+TEST(SerdeFuzz, UploadMessageNeverCrashes) {
+  UploadMessage up;
+  up.user_id = 7;
+  up.key_index = Bytes(32, 0xaa);
+  up.chain_cipher = BigInt::from_decimal("987654321987654321");
+  up.chain_cipher_bits = 96;
+  up.auth_token = Bytes(80, 0xbb);
+  fuzz_message(up, 1);
+}
+
+TEST(SerdeFuzz, QueryMessagesNeverCrash) {
+  fuzz_message(QueryRequest{1, 2, 3}, 2);
+  QueryResult res;
+  res.query_id = 9;
+  res.timestamp = 99;
+  res.entries = {{1, Bytes(40, 1)}, {2, Bytes(40, 2)}};
+  fuzz_message(res, 3);
+}
+
+TEST(SerdeFuzz, KeyServerMessagesNeverCrash) {
+  fuzz_message(KeyRequest{5, BigInt::from_decimal("123456789000000")}, 4);
+  fuzz_message(KeyResponse{BigInt::from_decimal("42424242424242")}, 5);
+}
+
+TEST(SerdeFuzz, HugeClaimedLengthsRejectedWithoutAllocation) {
+  // A length prefix of ~4 GiB on a tiny buffer must throw, not allocate.
+  Writer w;
+  w.u32(7);                 // user id (UploadMessage layout)
+  w.u32(0xffffffff);        // key_index length: absurd
+  EXPECT_THROW((void)UploadMessage::parse(w.bytes()), SerdeError);
+}
+
+}  // namespace
+}  // namespace smatch

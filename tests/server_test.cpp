@@ -1,0 +1,220 @@
+// MatchServer and wire-message tests: grouping, Algorithm Match (EXTRA /
+// SORT / FIND), re-upload semantics, serialization round trips, and the
+// tamper helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/server.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+namespace {
+
+UploadMessage make_upload(UserId id, const Bytes& index, std::uint64_t chain) {
+  UploadMessage up;
+  up.user_id = id;
+  up.key_index = index;
+  up.chain_cipher = BigInt{chain};
+  up.chain_cipher_bits = 64;
+  up.auth_token = to_bytes("token-" + std::to_string(id));
+  return up;
+}
+
+TEST(Messages, UploadRoundTrip) {
+  const UploadMessage up = make_upload(7, Bytes(32, 0xab), 123456789);
+  const UploadMessage back = UploadMessage::parse(up.serialize());
+  EXPECT_EQ(back.user_id, up.user_id);
+  EXPECT_EQ(back.key_index, up.key_index);
+  EXPECT_EQ(back.chain_cipher, up.chain_cipher);
+  EXPECT_EQ(back.chain_cipher_bits, up.chain_cipher_bits);
+  EXPECT_EQ(back.auth_token, up.auth_token);
+}
+
+TEST(Messages, UploadSizeMatchesPaperFormula) {
+  // l_id + l_h + l_ciph + chain bits: the Eq. (9)-style accounting.
+  UploadMessage up = make_upload(7, Bytes(32, 1), 1);
+  up.chain_cipher_bits = 384;
+  const std::size_t expected = 4 /*id*/ + 4 + 32 /*h(K)*/ + 4 + 384 / 8 /*chain*/ +
+                               4 + up.auth_token.size();
+  EXPECT_EQ(up.serialize().size(), expected);
+}
+
+TEST(Messages, QueryAndResultRoundTrip) {
+  const QueryRequest q{42, 1699999999, 7};
+  const QueryRequest qb = QueryRequest::parse(q.serialize());
+  EXPECT_EQ(qb.query_id, 42u);
+  EXPECT_EQ(qb.timestamp, 1699999999u);
+  EXPECT_EQ(qb.user_id, 7u);
+
+  QueryResult r;
+  r.query_id = 42;
+  r.timestamp = 1699999999;
+  r.entries = {{1, to_bytes("t1")}, {2, to_bytes("t2")}};
+  const QueryResult rb = QueryResult::parse(r.serialize());
+  ASSERT_EQ(rb.entries.size(), 2u);
+  EXPECT_EQ(rb.entries[0].user_id, 1u);
+  EXPECT_EQ(rb.entries[1].auth_token, to_bytes("t2"));
+}
+
+TEST(Messages, ParseRejectsGarbage) {
+  EXPECT_THROW((void)UploadMessage::parse(Bytes{1, 2, 3}), SerdeError);
+  EXPECT_THROW((void)QueryRequest::parse(Bytes{}), SerdeError);
+  Bytes valid = QueryRequest{1, 2, 3}.serialize();
+  valid.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)QueryRequest::parse(valid), SerdeError);
+}
+
+TEST(MatchServer, GroupsByKeyIndex) {
+  MatchServer server;
+  const Bytes g1(32, 1), g2(32, 2);
+  server.ingest(make_upload(1, g1, 10));
+  server.ingest(make_upload(2, g1, 20));
+  server.ingest(make_upload(3, g2, 30));
+  EXPECT_EQ(server.num_users(), 3u);
+  EXPECT_EQ(server.num_groups(), 2u);
+  EXPECT_EQ(server.group_size_of(1), 2u);
+  EXPECT_EQ(server.group_size_of(3), 1u);
+  EXPECT_EQ(server.group_size_of(99), 0u);
+}
+
+TEST(MatchServer, MatchReturnsOrderNearestNeighbours) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  // Chain order: 10 < 20 < 30 < 40 < 50.
+  for (UserId id = 1; id <= 5; ++id) server.ingest(make_upload(id, g, id * 10));
+  const QueryResult r = server.match({1, 0, 3}, 2);  // querier has chain 30
+  ASSERT_EQ(r.entries.size(), 2u);
+  std::vector<UserId> ids = {r.entries[0].user_id, r.entries[1].user_id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<UserId>{2, 4}));  // chains 20 and 40
+}
+
+TEST(MatchServer, MatchWidensWhenOneSideRunsOut) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  for (UserId id = 1; id <= 5; ++id) server.ingest(make_upload(id, g, id * 10));
+  // Querier is the smallest element: all k must come from above.
+  const QueryResult r = server.match({1, 0, 1}, 3);
+  ASSERT_EQ(r.entries.size(), 3u);
+  std::vector<UserId> ids;
+  for (const auto& e : r.entries) ids.push_back(e.user_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<UserId>{2, 3, 4}));
+}
+
+TEST(MatchServer, MatchNeverReturnsQuerierOrForeignGroups) {
+  MatchServer server;
+  const Bytes g1(32, 1), g2(32, 2);
+  for (UserId id = 1; id <= 4; ++id) server.ingest(make_upload(id, g1, id));
+  for (UserId id = 10; id <= 14; ++id) server.ingest(make_upload(id, g2, id));
+  const QueryResult r = server.match({5, 0, 2}, 10);
+  EXPECT_EQ(r.entries.size(), 3u);  // only 3 other members in g1
+  for (const auto& e : r.entries) {
+    EXPECT_NE(e.user_id, 2u);
+    EXPECT_LT(e.user_id, 10u);  // never from g2
+  }
+}
+
+TEST(MatchServer, SmallGroupReturnsFewerThanK) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  server.ingest(make_upload(1, g, 10));
+  const QueryResult r = server.match({1, 0, 1}, 5);
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST(MatchServer, UnknownQuerierThrows) {
+  MatchServer server;
+  EXPECT_THROW((void)server.match({1, 0, 99}, 5), ProtocolError);
+}
+
+TEST(MatchServer, ReUploadReplacesAndCanMoveGroups) {
+  MatchServer server;
+  const Bytes g1(32, 1), g2(32, 2);
+  server.ingest(make_upload(1, g1, 10));
+  server.ingest(make_upload(2, g1, 20));
+  EXPECT_EQ(server.group_size_of(1), 2u);
+  // User 1 re-uploads with a new profile key (profile changed).
+  server.ingest(make_upload(1, g2, 99));
+  EXPECT_EQ(server.num_users(), 2u);
+  EXPECT_EQ(server.group_size_of(1), 1u);
+  EXPECT_EQ(server.group_size_of(2), 1u);
+}
+
+TEST(MatchServer, QueryEchoesIdAndTimestamp) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  server.ingest(make_upload(1, g, 10));
+  server.ingest(make_upload(2, g, 20));
+  const QueryResult r = server.match({77, 123456, 1}, 1);
+  EXPECT_EQ(r.query_id, 77u);
+  EXPECT_EQ(r.timestamp, 123456u);
+}
+
+TEST(MatchServer, ComparisonCounterAdvances) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  for (UserId id = 1; id <= 50; ++id) server.ingest(make_upload(id, g, id * 3));
+  const auto before = server.comparisons();
+  (void)server.match({1, 0, 25}, 5);
+  EXPECT_GT(server.comparisons(), before);
+}
+
+TEST(MatchServer, MaxDistanceMatchingReturnsRankNeighbourhood) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  for (UserId id = 1; id <= 9; ++id) server.ingest(make_upload(id, g, id * 10));
+  // Querier 5 (middle), max order distance 2 -> users 3,4,6,7.
+  const QueryResult r = server.match_within({1, 0, 5}, 2);
+  ASSERT_EQ(r.entries.size(), 4u);
+  // Ordered by increasing rank distance: 4,6 then 3,7.
+  EXPECT_EQ(r.entries[0].user_id, 4u);
+  EXPECT_EQ(r.entries[1].user_id, 6u);
+  EXPECT_EQ(r.entries[2].user_id, 3u);
+  EXPECT_EQ(r.entries[3].user_id, 7u);
+}
+
+TEST(MatchServer, MaxDistanceMatchingClampsAtGroupEdges) {
+  MatchServer server;
+  const Bytes g(32, 1);
+  for (UserId id = 1; id <= 4; ++id) server.ingest(make_upload(id, g, id * 10));
+  // Querier 1 (smallest): only higher-ranked neighbours exist.
+  const QueryResult r = server.match_within({1, 0, 1}, 10);
+  ASSERT_EQ(r.entries.size(), 3u);
+  EXPECT_EQ(r.entries[0].user_id, 2u);
+  // Zero distance returns nothing; unknown querier throws.
+  EXPECT_TRUE(server.match_within({1, 0, 1}, 0).entries.empty());
+  EXPECT_THROW((void)server.match_within({1, 0, 99}, 1), ProtocolError);
+}
+
+TEST(TamperResult, ForgeTokenChangesTokens) {
+  Drbg rng(1);
+  QueryResult honest;
+  honest.entries = {{1, Bytes(16, 0xaa)}, {2, Bytes(16, 0xbb)}};
+  const QueryResult fake = tamper_result(honest, ServerAttack::kForgeToken, rng);
+  ASSERT_EQ(fake.entries.size(), 2u);
+  EXPECT_NE(fake.entries[0].auth_token, honest.entries[0].auth_token);
+  EXPECT_EQ(fake.entries[0].user_id, honest.entries[0].user_id);
+}
+
+TEST(TamperResult, SwapIdentityChangesIds) {
+  Drbg rng(2);
+  QueryResult honest;
+  honest.entries = {{1, Bytes(16, 0xaa)}};
+  const QueryResult fake = tamper_result(honest, ServerAttack::kSwapIdentity, rng);
+  EXPECT_NE(fake.entries[0].user_id, 1u);
+  EXPECT_EQ(fake.entries[0].auth_token, honest.entries[0].auth_token);
+}
+
+TEST(TamperResult, ForeignUserSubstitutes) {
+  Drbg rng(3);
+  QueryResult honest;
+  honest.entries = {{1, Bytes(16, 0xaa)}};
+  const std::vector<MatchEntry> foreign = {{9, Bytes(16, 0xcc)}};
+  const QueryResult fake = tamper_result(honest, ServerAttack::kForeignUser, rng, foreign);
+  ASSERT_EQ(fake.entries.size(), 1u);
+  EXPECT_EQ(fake.entries[0].user_id, 9u);
+}
+
+}  // namespace
+}  // namespace smatch
