@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_widths.dir/ablation_adaptive_widths.cpp.o"
+  "CMakeFiles/ablation_adaptive_widths.dir/ablation_adaptive_widths.cpp.o.d"
+  "ablation_adaptive_widths"
+  "ablation_adaptive_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

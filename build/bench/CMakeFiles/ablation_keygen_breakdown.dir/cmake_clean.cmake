@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_keygen_breakdown.dir/ablation_keygen_breakdown.cpp.o"
+  "CMakeFiles/ablation_keygen_breakdown.dir/ablation_keygen_breakdown.cpp.o.d"
+  "ablation_keygen_breakdown"
+  "ablation_keygen_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keygen_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

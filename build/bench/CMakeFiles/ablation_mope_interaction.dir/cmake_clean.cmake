@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mope_interaction.dir/ablation_mope_interaction.cpp.o"
+  "CMakeFiles/ablation_mope_interaction.dir/ablation_mope_interaction.cpp.o.d"
+  "ablation_mope_interaction"
+  "ablation_mope_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mope_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

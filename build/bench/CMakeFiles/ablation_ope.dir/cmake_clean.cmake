@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ope.dir/ablation_ope.cpp.o"
+  "CMakeFiles/ablation_ope.dir/ablation_ope.cpp.o.d"
+  "ablation_ope"
+  "ablation_ope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

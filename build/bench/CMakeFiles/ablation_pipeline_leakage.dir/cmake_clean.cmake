@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_leakage.dir/ablation_pipeline_leakage.cpp.o"
+  "CMakeFiles/ablation_pipeline_leakage.dir/ablation_pipeline_leakage.cpp.o.d"
+  "ablation_pipeline_leakage"
+  "ablation_pipeline_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quant_width.dir/ablation_quant_width.cpp.o"
+  "CMakeFiles/ablation_quant_width.dir/ablation_quant_width.cpp.o.d"
+  "ablation_quant_width"
+  "ablation_quant_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quant_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

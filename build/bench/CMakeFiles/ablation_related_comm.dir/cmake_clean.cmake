@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_related_comm.dir/ablation_related_comm.cpp.o"
+  "CMakeFiles/ablation_related_comm.dir/ablation_related_comm.cpp.o.d"
+  "ablation_related_comm"
+  "ablation_related_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_related_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

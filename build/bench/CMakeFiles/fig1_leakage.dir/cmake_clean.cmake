@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_leakage.dir/fig1_leakage.cpp.o"
+  "CMakeFiles/fig1_leakage.dir/fig1_leakage.cpp.o.d"
+  "fig1_leakage"
+  "fig1_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_entropy.dir/fig4a_entropy.cpp.o"
+  "CMakeFiles/fig4a_entropy.dir/fig4a_entropy.cpp.o.d"
+  "fig4a_entropy"
+  "fig4a_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_tpr.dir/fig4b_tpr.cpp.o"
+  "CMakeFiles/fig4b_tpr.dir/fig4b_tpr.cpp.o.d"
+  "fig4b_tpr"
+  "fig4b_tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

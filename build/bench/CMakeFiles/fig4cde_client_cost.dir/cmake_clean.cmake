@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4cde_client_cost.dir/fig4cde_client_cost.cpp.o"
+  "CMakeFiles/fig4cde_client_cost.dir/fig4cde_client_cost.cpp.o.d"
+  "fig4cde_client_cost"
+  "fig4cde_client_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4cde_client_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

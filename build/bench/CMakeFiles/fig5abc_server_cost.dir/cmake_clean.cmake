@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5abc_server_cost.dir/fig5abc_server_cost.cpp.o"
+  "CMakeFiles/fig5abc_server_cost.dir/fig5abc_server_cost.cpp.o.d"
+  "fig5abc_server_cost"
+  "fig5abc_server_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5abc_server_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

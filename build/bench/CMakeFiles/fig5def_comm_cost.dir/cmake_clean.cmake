@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5def_comm_cost.dir/fig5def_comm_cost.cpp.o"
+  "CMakeFiles/fig5def_comm_cost.dir/fig5def_comm_cost.cpp.o.d"
+  "fig5def_comm_cost"
+  "fig5def_comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5def_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_friend_finder.dir/conference_friend_finder.cpp.o"
+  "CMakeFiles/conference_friend_finder.dir/conference_friend_finder.cpp.o.d"
+  "conference_friend_finder"
+  "conference_friend_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_friend_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_attack_demo.dir/leakage_attack_demo.cpp.o"
+  "CMakeFiles/leakage_attack_demo.dir/leakage_attack_demo.cpp.o.d"
+  "leakage_attack_demo"
+  "leakage_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_baseline.dir/homopm.cpp.o"
+  "CMakeFiles/smatch_baseline.dir/homopm.cpp.o.d"
+  "CMakeFiles/smatch_baseline.dir/pairwise_match.cpp.o"
+  "CMakeFiles/smatch_baseline.dir/pairwise_match.cpp.o.d"
+  "CMakeFiles/smatch_baseline.dir/psi_match.cpp.o"
+  "CMakeFiles/smatch_baseline.dir/psi_match.cpp.o.d"
+  "libsmatch_baseline.a"
+  "libsmatch_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

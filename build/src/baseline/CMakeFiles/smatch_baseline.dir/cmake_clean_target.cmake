@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmatch_baseline.a"
+)

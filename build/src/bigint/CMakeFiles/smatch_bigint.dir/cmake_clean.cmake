@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/smatch_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/smatch_bigint.dir/prime.cpp.o"
+  "CMakeFiles/smatch_bigint.dir/prime.cpp.o.d"
+  "libsmatch_bigint.a"
+  "libsmatch_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

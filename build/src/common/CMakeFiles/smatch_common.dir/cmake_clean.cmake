@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_common.dir/bytes.cpp.o"
+  "CMakeFiles/smatch_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/smatch_common.dir/serde.cpp.o"
+  "CMakeFiles/smatch_common.dir/serde.cpp.o.d"
+  "libsmatch_common.a"
+  "libsmatch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/smatch_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/auth.cpp" "src/core/CMakeFiles/smatch_core.dir/auth.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/auth.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/smatch_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/smatch_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/entropy_map.cpp" "src/core/CMakeFiles/smatch_core.dir/entropy_map.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/entropy_map.cpp.o.d"
+  "/root/repo/src/core/key_server.cpp" "src/core/CMakeFiles/smatch_core.dir/key_server.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/key_server.cpp.o.d"
+  "/root/repo/src/core/keygen.cpp" "src/core/CMakeFiles/smatch_core.dir/keygen.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/keygen.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/smatch_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/smatch_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/smatch_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/smatch_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/smatch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/smatch_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/smatch_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/oprf/CMakeFiles/smatch_oprf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ope/CMakeFiles/smatch_ope.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/smatch_datasets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_core.dir/adaptive.cpp.o"
+  "CMakeFiles/smatch_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/auth.cpp.o"
+  "CMakeFiles/smatch_core.dir/auth.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/chain.cpp.o"
+  "CMakeFiles/smatch_core.dir/chain.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/client.cpp.o"
+  "CMakeFiles/smatch_core.dir/client.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/entropy_map.cpp.o"
+  "CMakeFiles/smatch_core.dir/entropy_map.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/key_server.cpp.o"
+  "CMakeFiles/smatch_core.dir/key_server.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/keygen.cpp.o"
+  "CMakeFiles/smatch_core.dir/keygen.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/messages.cpp.o"
+  "CMakeFiles/smatch_core.dir/messages.cpp.o.d"
+  "CMakeFiles/smatch_core.dir/server.cpp.o"
+  "CMakeFiles/smatch_core.dir/server.cpp.o.d"
+  "libsmatch_core.a"
+  "libsmatch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_crypto.dir/aes.cpp.o"
+  "CMakeFiles/smatch_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/smatch_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/smatch_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/smatch_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/smatch_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/smatch_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/smatch_crypto.dir/sha2.cpp.o.d"
+  "libsmatch_crypto.a"
+  "libsmatch_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_datasets.dir/dataset.cpp.o"
+  "CMakeFiles/smatch_datasets.dir/dataset.cpp.o.d"
+  "CMakeFiles/smatch_datasets.dir/stats.cpp.o"
+  "CMakeFiles/smatch_datasets.dir/stats.cpp.o.d"
+  "libsmatch_datasets.a"
+  "libsmatch_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

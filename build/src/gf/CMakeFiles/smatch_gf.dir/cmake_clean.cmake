@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_gf.dir/galois.cpp.o"
+  "CMakeFiles/smatch_gf.dir/galois.cpp.o.d"
+  "CMakeFiles/smatch_gf.dir/reed_solomon.cpp.o"
+  "CMakeFiles/smatch_gf.dir/reed_solomon.cpp.o.d"
+  "libsmatch_gf.a"
+  "libsmatch_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

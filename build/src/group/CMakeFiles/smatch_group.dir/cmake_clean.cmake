@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_group.dir/modp_group.cpp.o"
+  "CMakeFiles/smatch_group.dir/modp_group.cpp.o.d"
+  "libsmatch_group.a"
+  "libsmatch_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

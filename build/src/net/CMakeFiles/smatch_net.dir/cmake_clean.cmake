@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_net.dir/channel.cpp.o"
+  "CMakeFiles/smatch_net.dir/channel.cpp.o.d"
+  "CMakeFiles/smatch_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/smatch_net.dir/secure_channel.cpp.o.d"
+  "libsmatch_net.a"
+  "libsmatch_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_ope.dir/mope.cpp.o"
+  "CMakeFiles/smatch_ope.dir/mope.cpp.o.d"
+  "CMakeFiles/smatch_ope.dir/ope.cpp.o"
+  "CMakeFiles/smatch_ope.dir/ope.cpp.o.d"
+  "libsmatch_ope.a"
+  "libsmatch_ope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_ope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

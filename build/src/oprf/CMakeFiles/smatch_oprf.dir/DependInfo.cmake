@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oprf/rsa.cpp" "src/oprf/CMakeFiles/smatch_oprf.dir/rsa.cpp.o" "gcc" "src/oprf/CMakeFiles/smatch_oprf.dir/rsa.cpp.o.d"
+  "/root/repo/src/oprf/rsa_oprf.cpp" "src/oprf/CMakeFiles/smatch_oprf.dir/rsa_oprf.cpp.o" "gcc" "src/oprf/CMakeFiles/smatch_oprf.dir/rsa_oprf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/smatch_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/smatch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_oprf.dir/rsa.cpp.o"
+  "CMakeFiles/smatch_oprf.dir/rsa.cpp.o.d"
+  "CMakeFiles/smatch_oprf.dir/rsa_oprf.cpp.o"
+  "CMakeFiles/smatch_oprf.dir/rsa_oprf.cpp.o.d"
+  "libsmatch_oprf.a"
+  "libsmatch_oprf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_oprf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_paillier.dir/paillier.cpp.o"
+  "CMakeFiles/smatch_paillier.dir/paillier.cpp.o.d"
+  "libsmatch_paillier.a"
+  "libsmatch_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmatch_paillier.a"
+)

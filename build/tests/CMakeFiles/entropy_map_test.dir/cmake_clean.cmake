@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_map_test.dir/entropy_map_test.cpp.o"
+  "CMakeFiles/entropy_map_test.dir/entropy_map_test.cpp.o.d"
+  "entropy_map_test"
+  "entropy_map_test.pdb"
+  "entropy_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homopm_test.dir/homopm_test.cpp.o"
+  "CMakeFiles/homopm_test.dir/homopm_test.cpp.o.d"
+  "homopm_test"
+  "homopm_test.pdb"
+  "homopm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homopm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_server_test.dir/key_server_test.cpp.o"
+  "CMakeFiles/key_server_test.dir/key_server_test.cpp.o.d"
+  "key_server_test"
+  "key_server_test.pdb"
+  "key_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mope_test.dir/mope_test.cpp.o"
+  "CMakeFiles/mope_test.dir/mope_test.cpp.o.d"
+  "mope_test"
+  "mope_test.pdb"
+  "mope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

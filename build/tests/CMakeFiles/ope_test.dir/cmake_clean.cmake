@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ope_test.dir/ope_test.cpp.o"
+  "CMakeFiles/ope_test.dir/ope_test.cpp.o.d"
+  "ope_test"
+  "ope_test.pdb"
+  "ope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

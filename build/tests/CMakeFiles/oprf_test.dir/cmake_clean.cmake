@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oprf_test.dir/oprf_test.cpp.o"
+  "CMakeFiles/oprf_test.dir/oprf_test.cpp.o.d"
+  "oprf_test"
+  "oprf_test.pdb"
+  "oprf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oprf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

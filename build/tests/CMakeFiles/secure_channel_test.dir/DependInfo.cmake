@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/secure_channel_test.cpp" "tests/CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o" "gcc" "tests/CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/smatch_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smatch_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/smatch_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/smatch_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/oprf/CMakeFiles/smatch_oprf.dir/DependInfo.cmake"
+  "/root/repo/build/src/group/CMakeFiles/smatch_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/ope/CMakeFiles/smatch_ope.dir/DependInfo.cmake"
+  "/root/repo/build/src/paillier/CMakeFiles/smatch_paillier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/smatch_bigint.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/smatch_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/ope_test[1]_include.cmake")
+include("/root/repo/build/tests/oprf_test[1]_include.cmake")
+include("/root/repo/build/tests/paillier_test[1]_include.cmake")
+include("/root/repo/build/tests/group_test[1]_include.cmake")
+include("/root/repo/build/tests/entropy_map_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/keygen_test[1]_include.cmake")
+include("/root/repo/build/tests/auth_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_test[1]_include.cmake")
+include("/root/repo/build/tests/homopm_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/mope_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/related_work_test[1]_include.cmake")
+include("/root/repo/build/tests/key_server_test[1]_include.cmake")
+include("/root/repo/build/tests/secure_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/serde_test[1]_include.cmake")
