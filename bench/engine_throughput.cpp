@@ -1,0 +1,150 @@
+// Sharded engine throughput: sequential match() vs match_batch() on a
+// large synthetic population.
+//
+// The batch path wins twice: queries fan out across shards on the
+// internal thread pool, and each key group is sorted once per batch
+// instead of once per query (SORT — the dominant server cost — amortizes
+// over every query hitting the same group). The harness verifies that the
+// batch results are entry-for-entry identical to the sequential path
+// before reporting any number.
+//
+// Run:   ./build/bench/engine_throughput            (12k users, full run)
+//        ./build/bench/engine_throughput --smoke    (small; used by ctest)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+
+using namespace smatch;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Workload {
+  std::vector<UploadMessage> uploads;
+  std::vector<QueryRequest> queries;
+};
+
+Workload make_workload(std::size_t users, std::size_t groups, std::size_t chain_bits) {
+  Drbg rng(2014);
+  std::vector<Bytes> indexes;
+  indexes.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) indexes.push_back(rng.bytes(32));
+
+  Workload w;
+  w.uploads.reserve(users);
+  w.queries.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    UploadMessage up;
+    up.user_id = static_cast<UserId>(u + 1);
+    up.key_index = indexes[u % groups];
+    up.chain_cipher = BigInt::random_bits(rng, chain_bits);
+    up.chain_cipher_bits = static_cast<std::uint32_t>(chain_bits);
+    up.auth_token = Bytes(304, 0);
+    w.uploads.push_back(std::move(up));
+    w.queries.push_back({static_cast<std::uint32_t>(u), 0, static_cast<UserId>(u + 1)});
+  }
+  return w;
+}
+
+bool identical(const std::vector<StatusOr<QueryResult>>& batch,
+               const std::vector<QueryResult>& sequential) {
+  if (batch.size() != sequential.size()) return false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].is_ok()) return false;
+    const auto& b = batch[i]->entries;
+    const auto& s = sequential[i].entries;
+    if (b.size() != s.size()) return false;
+    for (std::size_t e = 0; e < b.size(); ++e) {
+      if (b[e].user_id != s[e].user_id || b[e].auth_token != s[e].auth_token) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t users = smoke ? 800 : 12000;
+  const std::size_t groups = smoke ? 16 : 96;
+  const std::size_t chain_bits = 6 * 64 + 64;  // Infocom06-like, k = 64
+  const std::size_t shards = 8;
+  const std::size_t threads = 4;
+  const std::size_t k = 5;
+
+  const Workload w = make_workload(users, groups, chain_bits);
+
+  MatchServer server(ServerOptions{.num_shards = shards, .batch_threads = threads});
+  auto t0 = Clock::now();
+  for (const Status& s : server.ingest_batch(w.uploads)) {
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  const double ingest_ms = ms_since(t0);
+
+  // Sequential baseline: one match() per query.
+  const std::uint64_t comparisons_before_seq = server.comparisons();
+  t0 = Clock::now();
+  std::vector<QueryResult> sequential;
+  sequential.reserve(w.queries.size());
+  for (const auto& q : w.queries) {
+    auto r = server.match(q, k);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "sequential match failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    sequential.push_back(std::move(*r));
+  }
+  const double seq_ms = ms_since(t0);
+  const std::uint64_t seq_comparisons = server.comparisons() - comparisons_before_seq;
+
+  // Batch path: same queries, one call.
+  const std::uint64_t comparisons_before_batch = server.comparisons();
+  t0 = Clock::now();
+  const auto batched = server.match_batch(w.queries, k);
+  const double batch_ms = ms_since(t0);
+  const std::uint64_t batch_comparisons = server.comparisons() - comparisons_before_batch;
+
+  if (!identical(batched, sequential)) {
+    std::fprintf(stderr, "FAIL: batch results differ from sequential results\n");
+    return 1;
+  }
+
+  const ServerMetrics m = server.metrics();
+  const double seq_qps = static_cast<double>(users) / (seq_ms / 1e3);
+  const double batch_qps = static_cast<double>(users) / (batch_ms / 1e3);
+  const double speedup = seq_ms / batch_ms;
+
+  std::printf("ENGINE THROUGHPUT: sequential match() vs match_batch()\n");
+  std::printf("  population: %zu users, %zu key groups, %zu-bit chains\n", users, groups,
+              chain_bits);
+  std::printf("  engine:     %zu shards, %zu batch threads, k = %zu\n\n", shards, threads,
+              k);
+  std::printf("  ingest_batch:     %10.1f ms  (%.0f uploads/s)\n", ingest_ms,
+              static_cast<double>(users) / (ingest_ms / 1e3));
+  std::printf("  sequential match: %10.1f ms  (%.0f queries/s, %llu comparisons)\n",
+              seq_ms, seq_qps, static_cast<unsigned long long>(seq_comparisons));
+  std::printf("  match_batch:      %10.1f ms  (%.0f queries/s, %llu comparisons, "
+              "%llu group sorts)\n",
+              batch_ms, batch_qps, static_cast<unsigned long long>(batch_comparisons),
+              static_cast<unsigned long long>(m.batch_group_sorts));
+  std::printf("\n  results identical: yes (entry-for-entry, %zu queries)\n",
+              sequential.size());
+  std::printf("  batch speedup: %.1fx  %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x target met)" : "(below 2x target!)");
+
+  if (smoke) return 0;  // timing thresholds are only meaningful full-size
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -91,7 +91,7 @@ double measure_tpr(const char* name, std::size_t num_users, std::size_t d,
   for (std::size_t u = 0; u < num_users; ++u) {
     clients.emplace_back(static_cast<UserId>(u + 1), w.profiles[u], config);
     clients.back().generate_key(key_server, rng);
-    server.ingest(clients.back().make_upload(rng));
+    (void)server.ingest(clients.back().make_upload(rng));
   }
 
   double recall_sum = 0.0;
@@ -104,7 +104,7 @@ double measure_tpr(const char* name, std::size_t num_users, std::size_t d,
     }
     if (truth == 0) continue;
 
-    const QueryResult r = server.match(clients[u].make_query(1, 1), kTopK);
+    const QueryResult r = server.match(clients[u].make_query(1, 1), kTopK).value();
     std::size_t found = 0;
     for (const auto& e : r.entries) {
       if (profile_distance(w.profiles[u], w.profiles[e.user_id - 1]) <= theta) ++found;

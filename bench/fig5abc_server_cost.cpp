@@ -65,15 +65,21 @@ void bench_smatch_server(benchmark::State& state, const DatasetInfo& info) {
     up.chain_cipher = BigInt::random_bits(rng, chain_bits);
     up.chain_cipher_bits = static_cast<std::uint32_t>(chain_bits);
     up.auth_token = Bytes(304, 0);
-    server.ingest(up);
+    (void)server.ingest(up);
   }
 
   const QueryRequest query{1, 1, 1};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(server.match(query, 5));
+    benchmark::DoNotOptimize(server.match(query, 5).value());
   }
+  const ServerMetrics m = server.metrics();
   state.counters["plaintext_bits"] = static_cast<double>(k);
   state.counters["users_total"] = static_cast<double>(info.users);
+  state.counters["matches"] = static_cast<double>(m.matches);
+  state.counters["comparisons"] = static_cast<double>(m.comparisons);
+  state.counters["comparisons_per_match"] =
+      m.matches == 0 ? 0.0
+                     : static_cast<double>(m.comparisons) / static_cast<double>(m.matches);
 }
 
 const PaillierKeyPair& paillier_keys(std::size_t modulus_bits) {

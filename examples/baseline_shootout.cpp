@@ -48,12 +48,12 @@ int main() {
   for (std::size_t u = 0; u < num_users; ++u) {
     clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
     clients.back().generate_key(key_server, rng);
-    server.ingest(clients.back().make_upload(rng));
+    (void)server.ingest(clients.back().make_upload(rng));
   }
   const double smatch_client_total = ms_since(t0);
 
   t0 = Clock::now();
-  const QueryResult result = server.match(clients[0].make_query(1, 1), 5);
+  const QueryResult result = server.match(clients[0].make_query(1, 1), 5).value();
   const double smatch_server = ms_since(t0);
 
   t0 = Clock::now();

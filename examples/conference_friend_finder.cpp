@@ -51,8 +51,8 @@ int main() {
     phones.emplace_back(static_cast<UserId>(u + 1), attendees.profile(u), config);
     phones.back().generate_key(key_server, rng);
     const Bytes wire = phones.back().make_upload(rng).serialize();
-    wifi.send_to_server(wire, "upload");
-    server.ingest(UploadMessage::parse(wire));
+    wifi.send_to_server(wire, MessageKind::kUpload);
+    (void)server.ingest(UploadMessage::parse(wire).value());
   }
 
   std::printf("attendees: %zu   key groups: %zu   upload traffic: %llu bytes "
@@ -65,10 +65,10 @@ int main() {
   const std::size_t querier = 17;
   const Client& me = phones[querier];
   const Bytes query_wire = me.make_query(1, 1700000000).serialize();
-  wifi.send_to_server(query_wire, "query");
+  wifi.send_to_server(query_wire, MessageKind::kQuery);
 
-  const QueryResult result = server.match(QueryRequest::parse(query_wire), 5);
-  wifi.send_to_client(result.serialize(), "result");
+  const QueryResult result = server.match(QueryRequest::parse(query_wire).value(), 5).value();
+  wifi.send_to_client(result.serialize(), MessageKind::kResult);
 
   std::printf("attendee %u (community %zu) asked for 5 similar people:\n",
               me.id(), attendees.communities()[querier]);
@@ -85,15 +85,15 @@ int main() {
   std::printf("verified %zu/%zu matches\n\n", verified, result.entries.size());
 
   // What does the untrusted server actually hold? Group sizes and opaque
-  // ciphertext order, nothing else.
-  std::map<std::size_t, std::size_t> histogram;
-  for (std::size_t u = 0; u < attendees.num_users(); ++u) {
-    ++histogram[server.group_size_of(static_cast<UserId>(u + 1))];
+  // ciphertext order, nothing else — straight from the engine metrics.
+  const ServerMetrics metrics = server.metrics();
+  std::printf("server-side key-group size histogram (size -> #groups):\n");
+  for (const auto& [size, count] : metrics.group_size_histogram) {
+    std::printf("  %2zu -> %llu\n", size, static_cast<unsigned long long>(count));
   }
-  std::printf("server-side key-group size histogram (size -> #users):\n");
-  for (const auto& [size, count] : histogram) {
-    std::printf("  %2zu -> %zu\n", size, count);
-  }
+  std::printf("engine: %zu shard(s), %llu ciphertext comparisons for this query\n",
+              server.num_shards(),
+              static_cast<unsigned long long>(metrics.comparisons));
   std::printf("\ntotal traffic: %llu bytes up, %llu bytes down\n",
               static_cast<unsigned long long>(wifi.uplink().bytes),
               static_cast<unsigned long long>(wifi.downlink().bytes));

@@ -43,8 +43,9 @@ int main() {
   Client carol(3, Profile{60, 5, 10, 62}, config);   // far from both
 
   for (Client* c : {&alice, &bob, &carol}) {
-    c->generate_key(key_server, rng);        // Keygen (fuzzy RSD + OPRF)
-    server.ingest(c->make_upload(rng));      // InitData + Enc + Auth
+    c->generate_key(key_server, rng);                  // Keygen (fuzzy RSD + OPRF)
+    const Status s = server.ingest(c->make_upload(rng));  // InitData + Enc + Auth
+    if (!s.is_ok()) std::printf("upload rejected: %s\n", s.to_string().c_str());
   }
 
   std::printf("users uploaded: %zu, key groups on server: %zu\n",
@@ -55,9 +56,13 @@ int main() {
               alice.profile_key().index == carol.profile_key().index ? "yes" : "no");
 
   // --- Alice queries for her top-5 nearest profiles ------------------------
-  const QueryResult result = server.match(alice.make_query(/*query_id=*/1,
-                                                           /*timestamp=*/1700000000),
-                                          /*k=*/5);
+  const QueryRequest query = alice.make_query(/*query_id=*/1, /*timestamp=*/1700000000);
+  const StatusOr<QueryResult> matched = server.match(query, /*k=*/5);
+  if (!matched.is_ok()) {
+    std::printf("match failed: %s\n", matched.status().to_string().c_str());
+    return 1;
+  }
+  const QueryResult& result = *matched;
   std::printf("\nquery returned %zu match(es):\n", result.entries.size());
   for (const auto& entry : result.entries) {
     const bool ok = alice.verify_entry(entry);  // Vf

@@ -72,7 +72,7 @@ int main() {
 
     // Sealed upload: the server opens and ingests.
     const Bytes sealed = phone_tx.seal(phone.make_upload(rng).serialize(), rng);
-    server.ingest(UploadMessage::parse(server_rx.open(sealed)));
+    (void)server.ingest(UploadMessage::parse(server_rx.open(sealed)).value());
   }
   std::printf("enrolled %zu phones in %zu key groups; key server evaluations: %llu\n\n",
               server.num_users(), server.num_groups(),
@@ -80,17 +80,21 @@ int main() {
 
   // --- Query + verify ------------------------------------------------------
   Client& alice = phones[0];
-  const QueryResult result = server.match(alice.make_query(1, /*timestamp=*/5000), 5);
+  const QueryRequest query = alice.make_query(1, /*timestamp=*/5000);
+  const QueryResult result = server.match(query, 5).value();
+  const auto report = alice.verify_result(query, result).value();
   std::printf("alice's top-5 query returned %zu match(es); %zu verified\n",
-              result.entries.size(), alice.count_verified(result));
+              result.entries.size(), report.verified.size());
 
   // --- Attacks the stack rejects -------------------------------------------
-  // 1. Replayed query timestamp.
-  try {
-    (void)server.match(alice.make_query(2, 5000), 5);
+  // 1. Replayed query timestamp: a typed status, not an exception.
+  const auto replayed = server.match(alice.make_query(2, 5000), 5);
+  if (!replayed.is_ok() && replayed.code() == StatusCode::kStaleTimestamp) {
+    std::printf("replayed query: rejected by the server (%s; %llu rejection(s) so far)\n",
+                replayed.status().to_string().c_str(),
+                static_cast<unsigned long long>(server.metrics().replay_rejections));
+  } else {
     std::printf("replayed query: ACCEPTED (bug!)\n");
-  } catch (const ProtocolError&) {
-    std::printf("replayed query: rejected by the server\n");
   }
   // 2. Key-server brute force beyond the per-epoch budget.
   std::size_t refused = 0;

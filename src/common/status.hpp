@@ -1,0 +1,120 @@
+// Exception-free error reporting for the service-facing hot paths.
+//
+// The matching server, the wire parsers, and client-side verification all
+// report failures through Status / StatusOr<T> instead of throwing: a
+// production match loop handling millions of queries cannot afford stack
+// unwinding for routine conditions (unknown querier, replayed timestamp,
+// malformed message). Exceptions remain the right tool for programmer
+// errors and construction-time misconfiguration (see common/error.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace smatch {
+
+/// Canonical error space of the S-MATCH service API.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kUnknownUser,          // querier never uploaded a profile
+  kStaleTimestamp,       // replayed or out-of-order query timestamp
+  kMalformedMessage,     // truncated / corrupted / inconsistent wire data
+  kEmptyGroup,           // querier's key group vanished mid-operation
+  kUnsupportedVersion,   // wire header carries an unknown format version
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kUnknownUser: return "UNKNOWN_USER";
+    case StatusCode::kStaleTimestamp: return "STALE_TIMESTAMP";
+    case StatusCode::kMalformedMessage: return "MALFORMED_MESSAGE";
+    case StatusCode::kEmptyGroup: return "EMPTY_GROUP";
+    case StatusCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+  }
+  return "INVALID_CODE";
+}
+
+/// A success-or-error result. Ok statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{smatch::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining why there is none.
+///
+/// `value()` throws Error when no value is held — an explicit escape hatch
+/// for callers (tests, examples) that have already established success or
+/// want fail-fast semantics; service code should branch on `is_ok()`.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.is_ok()) {
+      throw Error("StatusOr constructed from an ok Status without a value");
+    }
+  }
+  StatusOr(StatusCode code, std::string message)
+      : StatusOr(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] StatusCode code() const { return status_.code(); }
+
+  [[nodiscard]] T& value() & { return checked(); }
+  [[nodiscard]] const T& value() const& { return const_cast<StatusOr*>(this)->checked(); }
+  [[nodiscard]] T&& value() && { return std::move(checked()); }
+
+  [[nodiscard]] T& operator*() { return *value_; }
+  [[nodiscard]] const T& operator*() const { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+  /// The held value, or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  T& checked() {
+    if (!value_.has_value()) {
+      throw Error("StatusOr::value on error status — " + status_.to_string());
+    }
+    return *value_;
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace smatch

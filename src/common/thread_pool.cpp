@@ -1,0 +1,104 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace smatch {
+
+/// Shared completion state for one parallel_for call.
+struct Batch {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The caller participates in parallel_for, so spawn one fewer worker.
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(const Task& task) {
+  std::exception_ptr error;
+  try {
+    for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // Notify while still holding the lock: the waiter may destroy the Batch
+  // the instant it observes pending == 0, so the cv must not be touched
+  // after the mutex is released.
+  std::lock_guard lk(task.batch->mu);
+  if (error && !task.batch->error) task.batch->error = error;
+  --task.batch->pending;
+  task.batch->done_cv.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    run_task(task);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads = num_threads();
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(n, threads);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  Batch batch;
+  batch.pending = chunks;
+
+  // Enqueue all but the first chunk; the caller runs the first one.
+  std::size_t begin = base + (extra > 0 ? 1 : 0);
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      queue_.push_back({begin, begin + len, &fn, &batch});
+      begin += len;
+    }
+  }
+  work_cv_.notify_all();
+
+  run_task({0, base + (extra > 0 ? 1 : 0), &fn, &batch});
+
+  std::unique_lock lk(batch.mu);
+  batch.done_cv.wait(lk, [&batch] { return batch.pending == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace smatch

@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for the batch entry points of the
+// matching engine.
+//
+// Deliberately minimal: `parallel_for` partitions an index range into
+// contiguous chunks, runs them on the workers, and blocks the caller until
+// every chunk finished. With one worker (or a one-element range) the work
+// runs inline on the calling thread — batch APIs stay cheap on small
+// machines and deterministic to profile.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smatch {
+
+struct Batch;  // per-parallel_for completion state (thread_pool.cpp)
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), split into per-worker chunks, and
+  /// returns when all calls completed. The calling thread participates.
+  /// Exceptions thrown by fn propagate std::terminate-free: the first one
+  /// is rethrown on the caller after the range drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    Batch* batch = nullptr;
+  };
+
+  void worker_loop();
+  void run_task(const Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace smatch

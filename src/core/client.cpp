@@ -127,4 +127,21 @@ std::size_t Client::count_verified(const QueryResult& result) const {
   return n;
 }
 
+StatusOr<Client::VerifiedResult> Client::verify_result(const QueryRequest& query,
+                                                       const QueryResult& result) const {
+  if (result.query_id != query.query_id || result.timestamp != query.timestamp) {
+    return Status(StatusCode::kMalformedMessage,
+                  "result does not echo the query id/timestamp");
+  }
+  VerifiedResult report;
+  for (const auto& e : result.entries) {
+    if (verify_entry(e)) {
+      report.verified.push_back(e);
+    } else {
+      ++report.rejected;
+    }
+  }
+  return report;
+}
+
 }  // namespace smatch

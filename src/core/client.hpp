@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.hpp"
 #include "core/auth.hpp"
 #include "core/chain.hpp"
 #include "core/entropy_map.hpp"
@@ -68,6 +69,20 @@ class Client {
   [[nodiscard]] bool verify_entry(const MatchEntry& entry) const;
   /// Convenience: number of entries that verify.
   [[nodiscard]] std::size_t count_verified(const QueryResult& result) const;
+
+  /// Outcome of verifying a whole QueryResult (exception-free hot path).
+  struct VerifiedResult {
+    std::vector<MatchEntry> verified;  // entries that passed Vf
+    std::size_t rejected = 0;          // entries that failed Vf
+    [[nodiscard]] bool all_verified() const { return rejected == 0; }
+  };
+
+  /// Vf over a full result, echo-checked against the query that produced
+  /// it: kMalformedMessage when the result does not echo the query id and
+  /// timestamp (a mixed-up or spliced response), otherwise the per-entry
+  /// verification outcome. Never throws on tampered input.
+  [[nodiscard]] StatusOr<VerifiedResult> verify_result(const QueryRequest& query,
+                                                       const QueryResult& result) const;
 
   /// OPE ciphertext width for this deployment (serialization).
   [[nodiscard]] std::size_t chain_cipher_bits() const;

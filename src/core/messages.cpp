@@ -5,8 +5,47 @@
 
 namespace smatch {
 
+namespace {
+
+void write_header(Writer& w) {
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+}
+
+/// Consumes and validates the magic + version header. Ok on success.
+Status read_header(Reader& r) {
+  if (r.u16() != kWireMagic) {
+    return {StatusCode::kMalformedMessage, "bad wire magic"};
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    return {StatusCode::kUnsupportedVersion,
+            "wire version " + std::to_string(version) + " (expected " +
+                std::to_string(kWireVersion) + ")"};
+  }
+  return Status::ok();
+}
+
+/// Runs a Reader-based parse body, mapping SerdeError (truncation, length
+/// lies, trailing bytes) to kMalformedMessage — parse never throws.
+template <typename Message, typename Body>
+StatusOr<Message> parse_guarded(BytesView data, Body&& body) {
+  try {
+    Reader r(data);
+    if (Status header = read_header(r); !header.is_ok()) return header;
+    Message m = body(r);
+    r.finish();
+    return m;
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage, e.what());
+  }
+}
+
+}  // namespace
+
 Bytes UploadMessage::serialize() const {
   Writer w;
+  write_header(w);
   w.u32(user_id);
   w.var_bytes(key_index);
   w.u32(chain_cipher_bits);
@@ -15,38 +54,40 @@ Bytes UploadMessage::serialize() const {
   return w.take();
 }
 
-UploadMessage UploadMessage::parse(BytesView data) {
-  Reader r(data);
-  UploadMessage m;
-  m.user_id = r.u32();
-  m.key_index = r.var_bytes();
-  m.chain_cipher_bits = r.u32();
-  m.chain_cipher = BigInt::from_bytes(r.raw((m.chain_cipher_bits + 7) / 8));
-  m.auth_token = r.var_bytes();
-  r.finish();
-  return m;
+StatusOr<UploadMessage> UploadMessage::parse(BytesView data) {
+  return parse_guarded<UploadMessage>(data, [](Reader& r) {
+    UploadMessage m;
+    m.user_id = r.u32();
+    m.key_index = r.var_bytes();
+    m.chain_cipher_bits = r.u32();
+    m.chain_cipher = BigInt::from_bytes(r.raw((m.chain_cipher_bits + 7) / 8));
+    m.auth_token = r.var_bytes();
+    return m;
+  });
 }
 
 Bytes QueryRequest::serialize() const {
   Writer w;
+  write_header(w);
   w.u32(query_id);
   w.u64(timestamp);
   w.u32(user_id);
   return w.take();
 }
 
-QueryRequest QueryRequest::parse(BytesView data) {
-  Reader r(data);
-  QueryRequest q;
-  q.query_id = r.u32();
-  q.timestamp = r.u64();
-  q.user_id = r.u32();
-  r.finish();
-  return q;
+StatusOr<QueryRequest> QueryRequest::parse(BytesView data) {
+  return parse_guarded<QueryRequest>(data, [](Reader& r) {
+    QueryRequest q;
+    q.query_id = r.u32();
+    q.timestamp = r.u64();
+    q.user_id = r.u32();
+    return q;
+  });
 }
 
 Bytes QueryResult::serialize() const {
   Writer w;
+  write_header(w);
   w.u32(query_id);
   w.u64(timestamp);
   w.u32(static_cast<std::uint32_t>(entries.size()));
@@ -57,24 +98,24 @@ Bytes QueryResult::serialize() const {
   return w.take();
 }
 
-QueryResult QueryResult::parse(BytesView data) {
-  Reader r(data);
-  QueryResult q;
-  q.query_id = r.u32();
-  q.timestamp = r.u64();
-  const std::uint32_t count = r.u32();
-  // Never trust a wire-supplied count for the allocation size: each entry
-  // needs at least 8 bytes, so anything beyond remaining()/8 is malformed.
-  if (count > r.remaining() / 8 + 1) throw SerdeError("entry count exceeds message size");
-  q.entries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    MatchEntry e;
-    e.user_id = r.u32();
-    e.auth_token = r.var_bytes();
-    q.entries.push_back(std::move(e));
-  }
-  r.finish();
-  return q;
+StatusOr<QueryResult> QueryResult::parse(BytesView data) {
+  return parse_guarded<QueryResult>(data, [](Reader& r) {
+    QueryResult q;
+    q.query_id = r.u32();
+    q.timestamp = r.u64();
+    const std::uint32_t count = r.u32();
+    // Never trust a wire-supplied count for the allocation size: each entry
+    // needs at least 8 bytes, so anything beyond remaining()/8 is malformed.
+    if (count > r.remaining() / 8 + 1) throw SerdeError("entry count exceeds message size");
+    q.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      MatchEntry e;
+      e.user_id = r.u32();
+      e.auth_token = r.var_bytes();
+      q.entries.push_back(std::move(e));
+    }
+    return q;
+  });
 }
 
 }  // namespace smatch

@@ -4,8 +4,12 @@
 // Query:   u -> S : Q_q = <q, t, ID_v>
 // Result:  S -> u : R_q = <q, t, ID_1, ciph_1, ..., ID_k, ciph_k>
 //
-// All messages serialize through common/serde.hpp; the byte counts of
-// these encodings are what the communication-cost benchmarks measure.
+// Every message is framed by a 3-byte versioned header — u16 magic "SM"
+// followed by a u8 format version — so future wire changes can coexist
+// with old readers. Parsers return StatusOr: kMalformedMessage for
+// truncation/corruption, kUnsupportedVersion for an unknown version byte;
+// they never throw. Byte counts of these encodings are what the
+// communication-cost benchmarks measure.
 #pragma once
 
 #include <cstdint>
@@ -13,9 +17,17 @@
 
 #include "bigint/bigint.hpp"
 #include "common/bytes.hpp"
+#include "common/status.hpp"
 #include "core/types.hpp"
 
 namespace smatch {
+
+/// "SM" in ASCII: the first two bytes of every serialized message.
+inline constexpr std::uint16_t kWireMagic = 0x534D;
+/// Current wire-format version (header layout v1, this file).
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Serialized size of the magic + version header.
+inline constexpr std::size_t kWireHeaderBytes = 3;
 
 /// Profile upload (paper Eq. 3 plus the verification token).
 struct UploadMessage {
@@ -26,7 +38,7 @@ struct UploadMessage {
   Bytes auth_token;       // ciph_u
 
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static UploadMessage parse(BytesView data);
+  [[nodiscard]] static StatusOr<UploadMessage> parse(BytesView data);
 };
 
 /// Profile-matching query Q_q = <q, t, ID_v>.
@@ -36,7 +48,7 @@ struct QueryRequest {
   UserId user_id = 0;
 
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static QueryRequest parse(BytesView data);
+  [[nodiscard]] static StatusOr<QueryRequest> parse(BytesView data);
 };
 
 /// One matched user in a query result.
@@ -52,7 +64,7 @@ struct QueryResult {
   std::vector<MatchEntry> entries;
 
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static QueryResult parse(BytesView data);
+  [[nodiscard]] static StatusOr<QueryResult> parse(BytesView data);
 };
 
 }  // namespace smatch

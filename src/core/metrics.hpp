@@ -1,0 +1,42 @@
+// Observability for the sharded matching engine.
+//
+// The engine keeps lock-free per-shard counters (relaxed atomics — these
+// are statistics, not synchronization); `MatchServer::metrics()` folds
+// them into a plain-value `ServerMetrics` snapshot that benchmarks and
+// operators can read without stopping traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace smatch {
+
+/// Per-shard slice of a metrics snapshot.
+struct ShardMetrics {
+  std::uint64_t ingests = 0;      // uploads routed to this shard
+  std::uint64_t matches = 0;      // match/match_within/batch lookups served
+  std::uint64_t comparisons = 0;  // ciphertext comparisons spent sorting
+  std::uint64_t groups = 0;       // key groups currently resident
+  std::uint64_t users = 0;        // records currently resident
+};
+
+/// A consistent-enough point-in-time view of the engine. Counters are
+/// monotonic; residency numbers reflect the moment of the snapshot.
+struct ServerMetrics {
+  std::vector<ShardMetrics> shards;
+
+  // Totals across shards.
+  std::uint64_t ingests = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t comparisons = 0;       // the paper's server-cost metric
+  std::uint64_t replay_rejections = 0; // queries dropped as stale/replayed
+  std::uint64_t batch_group_sorts = 0; // group sorts amortized by match_batch
+
+  /// Key-group size -> number of groups of that size, over all shards.
+  /// The m of the PR-KK bound: the histogram is exactly what a curious
+  /// server learns about population structure.
+  std::map<std::size_t, std::uint64_t> group_size_histogram;
+};
+
+}  // namespace smatch

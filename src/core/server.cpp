@@ -2,74 +2,144 @@
 
 #include <algorithm>
 
-#include "common/error.hpp"
-
 namespace smatch {
 
-void MatchServer::ingest(const UploadMessage& upload) {
-  if (upload.key_index.empty()) throw ProtocolError("upload without key index");
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
-  // Replace any previous upload from this user (periodic re-upload in the
-  // system model).
-  if (auto it = user_group_.find(upload.user_id); it != user_group_.end()) {
-    auto& old_group = groups_[it->second];
-    std::erase_if(old_group, [&](const Record& r) { return r.id == upload.user_id; });
-    if (old_group.empty()) groups_.erase(it->second);
-    user_group_.erase(it);
+MatchServer::MatchServer(ServerOptions options)
+    : batch_threads_(options.batch_threads) {
+  const std::size_t n = std::max<std::size_t>(1, options.num_shards);
+  shards_.reserve(n);
+  directory_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    directory_.push_back(std::make_unique<DirectoryShard>());
   }
-
-  groups_[upload.key_index].push_back(
-      {upload.user_id, upload.chain_cipher, upload.auth_token});
-  user_group_[upload.user_id] = upload.key_index;
+  replay_protection_.store(options.replay_protection, kRelaxed);
 }
 
-std::size_t MatchServer::sorted_group(UserId querier,
-                                      std::vector<const Record*>& out) const {
-  const auto group_it = user_group_.find(querier);
-  if (group_it == user_group_.end()) {
-    throw ProtocolError("match: unknown querier");
+std::size_t MatchServer::shard_index(const Bytes& key_index) const {
+  // Key-index prefix -> shard. h(K_up) is a hash, so the first two bytes
+  // are uniform; two bytes keep the modulo unbiased up to 2^16 shards.
+  std::size_t prefix = key_index[0];
+  if (key_index.size() > 1) prefix = prefix << 8 | key_index[1];
+  return prefix % shards_.size();
+}
+
+MatchServer::Shard& MatchServer::shard_for(const Bytes& key_index) {
+  return *shards_[shard_index(key_index)];
+}
+
+const MatchServer::Shard& MatchServer::shard_for(const Bytes& key_index) const {
+  return *shards_[shard_index(key_index)];
+}
+
+MatchServer::DirectoryShard& MatchServer::directory_for(UserId user) {
+  return *directory_[user % directory_.size()];
+}
+
+const MatchServer::DirectoryShard& MatchServer::directory_for(UserId user) const {
+  return *directory_[user % directory_.size()];
+}
+
+ThreadPool& MatchServer::pool() {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(batch_threads_); });
+  return *pool_;
+}
+
+Status MatchServer::ingest(const UploadMessage& upload) {
+  if (upload.key_index.empty()) {
+    return {StatusCode::kMalformedMessage, "upload without key index"};
   }
 
-  // EXTRA: the querier's key group (h(K_vp) filter).
-  const auto& members = groups_.at(group_it->second);
+  // The directory lock serializes all operations on this user; data-shard
+  // locks are taken strictly after it and never two at a time.
+  DirectoryShard& dir = directory_for(upload.user_id);
+  std::unique_lock dir_lock(dir.mu);
 
+  // Replace any previous upload from this user (periodic re-upload in the
+  // system model), possibly moving it between shards.
+  if (auto it = dir.key_of.find(upload.user_id); it != dir.key_of.end()) {
+    Shard& old_shard = shard_for(it->second);
+    std::unique_lock old_lock(old_shard.mu);
+    if (auto git = old_shard.groups.find(it->second); git != old_shard.groups.end()) {
+      std::erase_if(git->second, [&](const Record& r) { return r.id == upload.user_id; });
+      if (git->second.empty()) old_shard.groups.erase(git);
+    }
+  }
+
+  Shard& shard = shard_for(upload.key_index);
+  {
+    std::unique_lock shard_lock(shard.mu);
+    shard.groups[upload.key_index].push_back(
+        {upload.user_id, upload.chain_cipher, upload.auth_token});
+  }
+  shard.ingests.fetch_add(1, kRelaxed);
+  dir.key_of[upload.user_id] = upload.key_index;
+  return Status::ok();
+}
+
+std::vector<Status> MatchServer::ingest_batch(std::span<const UploadMessage> uploads) {
+  std::vector<Status> statuses(uploads.size());
+  pool().parallel_for(uploads.size(),
+                      [&](std::size_t i) { statuses[i] = ingest(uploads[i]); });
+  return statuses;
+}
+
+Status MatchServer::route_query(const QueryRequest& query, Bytes& key_index) {
+  DirectoryShard& dir = directory_for(query.user_id);
+  if (!replay_protection_.load(kRelaxed)) {
+    std::shared_lock lk(dir.mu);
+    const auto it = dir.key_of.find(query.user_id);
+    if (it == dir.key_of.end()) return {StatusCode::kUnknownUser, "match: unknown querier"};
+    key_index = it->second;
+    return Status::ok();
+  }
+
+  // Replay protection mutates the per-user clock: exclusive lock.
+  std::unique_lock lk(dir.mu);
+  const auto it = dir.key_of.find(query.user_id);
+  if (it == dir.key_of.end()) return {StatusCode::kUnknownUser, "match: unknown querier"};
+  auto [clock, inserted] = dir.last_query_time.try_emplace(query.user_id, query.timestamp);
+  if (!inserted) {
+    if (query.timestamp <= clock->second) {
+      replay_rejections_.fetch_add(1, kRelaxed);
+      return {StatusCode::kStaleTimestamp, "match: stale or replayed query timestamp"};
+    }
+    clock->second = query.timestamp;
+  }
+  key_index = it->second;
+  return Status::ok();
+}
+
+void MatchServer::sort_group(const std::vector<Record>& members,
+                             std::vector<const Record*>& out,
+                             std::uint64_t& comparisons) {
   // SORT by OPE ciphertext == sort by plaintext chain order.
   out.clear();
   out.reserve(members.size());
   for (const auto& r : members) out.push_back(&r);
-  std::sort(out.begin(), out.end(), [this](const Record* a, const Record* b) {
-    ++comparisons_;
+  std::sort(out.begin(), out.end(), [&comparisons](const Record* a, const Record* b) {
+    ++comparisons;
     return a->chain < b->chain;
   });
+}
 
+Status MatchServer::collect_knn(const std::vector<const Record*>& sorted, UserId querier,
+                                std::size_t k, QueryResult& result) {
   // FIND the querier's position.
-  const auto pos_it = std::find_if(out.begin(), out.end(),
+  const auto pos_it = std::find_if(sorted.begin(), sorted.end(),
                                    [&](const Record* r) { return r->id == querier; });
-  return static_cast<std::size_t>(pos_it - out.begin());
-}
-
-void MatchServer::check_freshness(const QueryRequest& query) const {
-  if (!replay_protection_) return;
-  auto [it, inserted] = last_query_time_.try_emplace(query.user_id, query.timestamp);
-  if (!inserted) {
-    if (query.timestamp <= it->second) {
-      throw ProtocolError("match: stale or replayed query timestamp");
-    }
-    it->second = query.timestamp;
+  if (pos_it == sorted.end()) {
+    return {StatusCode::kEmptyGroup, "match: querier missing from its key group"};
   }
-}
-
-QueryResult MatchServer::match(const QueryRequest& query, std::size_t k) const {
-  check_freshness(query);
-  std::vector<const Record*> sorted;
-  const std::size_t pos = sorted_group(query.user_id, sorted);
+  const auto pos = static_cast<std::size_t>(pos_it - sorted.begin());
 
   // Return up to k/2 neighbours on each side (Algorithm Match), widening
   // to the other side when one side runs out.
-  QueryResult result;
-  result.query_id = query.query_id;
-  result.timestamp = query.timestamp;
-
   std::size_t lo = pos;  // exclusive walk downward
   std::size_t hi = pos;  // exclusive walk upward
   while (result.entries.size() < k && (lo > 0 || hi + 1 < sorted.size())) {
@@ -83,18 +153,19 @@ QueryResult MatchServer::match(const QueryRequest& query, std::size_t k) const {
       result.entries.push_back({sorted[hi]->id, sorted[hi]->auth_token});
     }
   }
-  return result;
+  return Status::ok();
 }
 
-QueryResult MatchServer::match_within(const QueryRequest& query,
-                                      std::size_t max_order_distance) const {
-  check_freshness(query);
-  std::vector<const Record*> sorted;
-  const std::size_t pos = sorted_group(query.user_id, sorted);
+Status MatchServer::collect_within(const std::vector<const Record*>& sorted,
+                                   UserId querier, std::size_t max_order_distance,
+                                   QueryResult& result) {
+  const auto pos_it = std::find_if(sorted.begin(), sorted.end(),
+                                   [&](const Record* r) { return r->id == querier; });
+  if (pos_it == sorted.end()) {
+    return {StatusCode::kEmptyGroup, "match: querier missing from its key group"};
+  }
+  const auto pos = static_cast<std::size_t>(pos_it - sorted.begin());
 
-  QueryResult result;
-  result.query_id = query.query_id;
-  result.timestamp = query.timestamp;
   // Alternate outward so entries come back in increasing order distance.
   for (std::size_t d = 1; d <= max_order_distance; ++d) {
     if (pos >= d) {
@@ -106,13 +177,193 @@ QueryResult MatchServer::match_within(const QueryRequest& query,
       result.entries.push_back({r->id, r->auth_token});
     }
   }
+  return Status::ok();
+}
+
+StatusOr<QueryResult> MatchServer::match(const QueryRequest& query, std::size_t k) {
+  Bytes key_index;
+  if (Status routed = route_query(query, key_index); !routed.is_ok()) return routed;
+
+  Shard& shard = shard_for(key_index);
+  QueryResult result;
+  result.query_id = query.query_id;
+  result.timestamp = query.timestamp;
+  {
+    std::shared_lock lk(shard.mu);
+    const auto git = shard.groups.find(key_index);
+    if (git == shard.groups.end()) {
+      // The group moved between directory lookup and shard read (racing
+      // re-upload); the caller simply retries.
+      return Status(StatusCode::kEmptyGroup, "match: querier's key group is gone");
+    }
+    std::vector<const Record*> sorted;
+    std::uint64_t comparisons = 0;
+    sort_group(git->second, sorted, comparisons);
+    shard.comparisons.fetch_add(comparisons, kRelaxed);
+    if (Status s = collect_knn(sorted, query.user_id, k, result); !s.is_ok()) return s;
+  }
+  shard.matches.fetch_add(1, kRelaxed);
   return result;
 }
 
+StatusOr<QueryResult> MatchServer::match_within(const QueryRequest& query,
+                                                std::size_t max_order_distance) {
+  Bytes key_index;
+  if (Status routed = route_query(query, key_index); !routed.is_ok()) return routed;
+
+  Shard& shard = shard_for(key_index);
+  QueryResult result;
+  result.query_id = query.query_id;
+  result.timestamp = query.timestamp;
+  {
+    std::shared_lock lk(shard.mu);
+    const auto git = shard.groups.find(key_index);
+    if (git == shard.groups.end()) {
+      return Status(StatusCode::kEmptyGroup, "match: querier's key group is gone");
+    }
+    std::vector<const Record*> sorted;
+    std::uint64_t comparisons = 0;
+    sort_group(git->second, sorted, comparisons);
+    shard.comparisons.fetch_add(comparisons, kRelaxed);
+    if (Status s = collect_within(sorted, query.user_id, max_order_distance, result);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  shard.matches.fetch_add(1, kRelaxed);
+  return result;
+}
+
+std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
+    std::span<const QueryRequest> queries, std::size_t k) {
+  std::vector<StatusOr<QueryResult>> results;
+  results.reserve(queries.size());
+
+  // Phase 1 — route every query through the directory in submission order
+  // (replay clocks advance exactly as they would sequentially) and bucket
+  // the survivors by data shard.
+  std::vector<Bytes> keys(queries.size());
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Status routed = route_query(queries[i], keys[i]);
+    if (routed.is_ok()) {
+      by_shard[shard_index(keys[i])].push_back(i);
+      results.emplace_back(QueryResult{});  // placeholder, overwritten below
+    } else {
+      results.emplace_back(std::move(routed));
+    }
+  }
+
+  std::vector<std::size_t> active;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+
+  // Phase 2 — per shard, under one shared lock: sort each key group once
+  // for the whole batch, then answer every query against the cached order.
+  pool().parallel_for(active.size(), [&](std::size_t a) {
+    Shard& shard = *shards_[active[a]];
+    std::shared_lock lk(shard.mu);
+    std::map<Bytes, std::vector<const Record*>> sorted_cache;
+    std::uint64_t comparisons = 0;
+    std::uint64_t sorts = 0;
+    std::uint64_t served = 0;
+
+    for (const std::size_t i : by_shard[active[a]]) {
+      auto [cached, fresh] = sorted_cache.try_emplace(keys[i]);
+      if (fresh) {
+        // Groups are erased when emptied, so an absent key leaves the
+        // cached vector empty — the kEmptyGroup marker below.
+        if (const auto git = shard.groups.find(keys[i]); git != shard.groups.end()) {
+          sort_group(git->second, cached->second, comparisons);
+          ++sorts;
+        }
+      }
+      if (cached->second.empty()) {
+        results[i] = Status(StatusCode::kEmptyGroup, "match: querier's key group is gone");
+        continue;
+      }
+      QueryResult result;
+      result.query_id = queries[i].query_id;
+      result.timestamp = queries[i].timestamp;
+      if (Status s = collect_knn(cached->second, queries[i].user_id, k, result);
+          s.is_ok()) {
+        results[i] = std::move(result);
+        ++served;
+      } else {
+        results[i] = std::move(s);
+      }
+    }
+    shard.comparisons.fetch_add(comparisons, kRelaxed);
+    shard.matches.fetch_add(served, kRelaxed);
+    batch_group_sorts_.fetch_add(sorts, kRelaxed);
+  });
+  return results;
+}
+
+std::size_t MatchServer::num_users() const {
+  std::size_t n = 0;
+  for (const auto& dir : directory_) {
+    std::shared_lock lk(dir->mu);
+    n += dir->key_of.size();
+  }
+  return n;
+}
+
+std::size_t MatchServer::num_groups() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lk(shard->mu);
+    n += shard->groups.size();
+  }
+  return n;
+}
+
 std::size_t MatchServer::group_size_of(UserId user) const {
-  const auto it = user_group_.find(user);
-  if (it == user_group_.end()) return 0;
-  return groups_.at(it->second).size();
+  Bytes key_index;
+  {
+    const DirectoryShard& dir = directory_for(user);
+    std::shared_lock lk(dir.mu);
+    const auto it = dir.key_of.find(user);
+    if (it == dir.key_of.end()) return 0;
+    key_index = it->second;
+  }
+  const Shard& shard = shard_for(key_index);
+  std::shared_lock lk(shard.mu);
+  const auto git = shard.groups.find(key_index);
+  return git == shard.groups.end() ? 0 : git->second.size();
+}
+
+ServerMetrics MatchServer::metrics() const {
+  ServerMetrics m;
+  m.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardMetrics s;
+    s.ingests = shard->ingests.load(kRelaxed);
+    s.matches = shard->matches.load(kRelaxed);
+    s.comparisons = shard->comparisons.load(kRelaxed);
+    {
+      std::shared_lock lk(shard->mu);
+      s.groups = shard->groups.size();
+      for (const auto& [key, members] : shard->groups) {
+        s.users += members.size();
+        ++m.group_size_histogram[members.size()];
+      }
+    }
+    m.ingests += s.ingests;
+    m.matches += s.matches;
+    m.comparisons += s.comparisons;
+    m.shards.push_back(s);
+  }
+  m.replay_rejections = replay_rejections_.load(kRelaxed);
+  m.batch_group_sorts = batch_group_sorts_.load(kRelaxed);
+  return m;
+}
+
+std::uint64_t MatchServer::comparisons() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->comparisons.load(kRelaxed);
+  return n;
 }
 
 QueryResult tamper_result(const QueryResult& honest, ServerAttack attack,

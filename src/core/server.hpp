@@ -1,76 +1,176 @@
-// The untrusted matching server (Algorithm Match in paper Fig. 3).
+// The untrusted matching server (Algorithm Match in paper Fig. 3), grown
+// into a sharded, thread-safe service engine.
 //
 // The server never sees plaintext attributes: it stores OPE-encrypted
 // chains grouped by the hashed profile key h(K_up), and answers a query
 // by (EXTRA) filtering to the querier's group, (SORT) ordering the group
 // by ciphertext — valid because OPE preserves plaintext order — and
 // (FIND) returning the k order-nearest users around the querier.
+//
+// Engine layout
+// -------------
+//   * The h(K_up) -> group index is sharded by key-index prefix; each
+//     data shard is guarded by its own std::shared_mutex, so ingest and
+//     match on different shards run fully concurrently and reads on one
+//     shard run concurrently with each other.
+//   * A user directory (UserId -> key index, sharded by user id) routes
+//     queries to the right data shard and carries the per-user replay
+//     clock. Lock order is always directory -> data shard, one of each.
+//   * Batch entry points (`ingest_batch`, `match_batch`) fan out across
+//     an internal thread pool; `match_batch` additionally sorts each key
+//     group once per batch instead of once per query, which is where the
+//     big sequential-vs-batch throughput win comes from (see
+//     bench/engine_throughput.cpp).
+//
+// Error handling: the public API reports failures through Status /
+// StatusOr (kUnknownUser, kStaleTimestamp, kMalformedMessage,
+// kEmptyGroup) and never throws on the query/ingest hot paths. The old
+// throw-on-everything API was removed in the service redesign; see
+// docs/PROTOCOL.md for the deprecation notes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <optional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "common/random.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "core/messages.hpp"
+#include "core/metrics.hpp"
 
 namespace smatch {
 
+/// Engine sizing. Defaults suit tests and examples; a service deployment
+/// scales shards with core count and group cardinality.
+struct ServerOptions {
+  /// Data shards (key-index prefix -> shard). Also the user-directory
+  /// shard count. Clamped to >= 1.
+  std::size_t num_shards = 8;
+  /// Worker threads for the batch entry points; 0 = hardware concurrency.
+  std::size_t batch_threads = 0;
+  /// Reject non-increasing per-user query timestamps (Q_q = <q, t, ID>).
+  /// Off by default: benchmarks re-issue identical queries.
+  bool replay_protection = false;
+};
+
 class MatchServer {
  public:
-  /// Stores (or replaces) a user's encrypted profile.
-  void ingest(const UploadMessage& upload);
+  MatchServer() : MatchServer(ServerOptions{}) {}
+  explicit MatchServer(ServerOptions options);
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// Stores (or replaces) a user's encrypted profile. Thread-safe.
+  /// kMalformedMessage when the upload carries no key index.
+  Status ingest(const UploadMessage& upload);
+
+  /// Batch ingest: uploads fan out over the internal pool. statuses[i]
+  /// corresponds to uploads[i]. When a batch contains several uploads for
+  /// the same user, the last-writer wins but the order is unspecified —
+  /// callers that care about per-user ordering must not split one user's
+  /// re-uploads across a batch.
+  [[nodiscard]] std::vector<Status> ingest_batch(std::span<const UploadMessage> uploads);
 
   /// Algorithm Match (kNN): the k order-nearest users in the querier's
   /// key group (excluding the querier). Returns fewer entries when the
-  /// group is small; throws ProtocolError for an unknown querier.
-  [[nodiscard]] QueryResult match(const QueryRequest& query, std::size_t k) const;
+  /// group is small. kUnknownUser for an unregistered querier,
+  /// kStaleTimestamp under replay protection. Thread-safe.
+  [[nodiscard]] StatusOr<QueryResult> match(const QueryRequest& query, std::size_t k);
 
   /// MAX-distance matching (the alternative algorithm of Section VI):
   /// every group member whose order distance |O(A'_u) - O(A'_v)|
   /// (Definition 4: difference of sorted positions) is at most
   /// `max_order_distance`. Entries are ordered by increasing distance.
-  [[nodiscard]] QueryResult match_within(const QueryRequest& query,
-                                         std::size_t max_order_distance) const;
+  [[nodiscard]] StatusOr<QueryResult> match_within(const QueryRequest& query,
+                                                   std::size_t max_order_distance);
 
-  [[nodiscard]] std::size_t num_users() const { return user_group_.size(); }
-  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  /// Batch kNN: results[i] corresponds to queries[i] and is entry-for-
+  /// entry identical to what sequential `match(queries[i], k)` returns.
+  /// Work is partitioned by shard across the pool, and each key group is
+  /// sorted once per batch (amortizing SORT over all queries that hit the
+  /// same group).
+  [[nodiscard]] std::vector<StatusOr<QueryResult>> match_batch(
+      std::span<const QueryRequest> queries, std::size_t k);
+
+  [[nodiscard]] std::size_t num_users() const;
+  [[nodiscard]] std::size_t num_groups() const;
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   /// Size of the key group a user belongs to (the m of the PR-KK bound).
   [[nodiscard]] std::size_t group_size_of(UserId user) const;
 
-  /// Cumulative ciphertext comparisons performed by match() — the
-  /// server-cost metric that is independent of wall-clock noise.
-  [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
+  /// Point-in-time metrics snapshot (per-shard counters, group-size
+  /// histogram, replay rejections). Safe to call under traffic.
+  [[nodiscard]] ServerMetrics metrics() const;
 
-  /// Replay protection for the timestamped queries (Q_q = <q, t, ID>):
-  /// when enabled, each user's queries must carry strictly increasing
-  /// timestamps; a replayed or stale query is rejected with
-  /// ProtocolError. Off by default (benchmarks re-issue queries).
+  /// Cumulative ciphertext comparisons performed by the match paths — the
+  /// server-cost metric that is independent of wall-clock noise.
+  [[nodiscard]] std::uint64_t comparisons() const;
+
   void set_replay_protection(bool on) { replay_protection_ = on; }
 
- protected:
+ private:
   struct Record {
     UserId id = 0;
     BigInt chain;
     Bytes auth_token;
   };
 
-  [[nodiscard]] const std::map<Bytes, std::vector<Record>>& groups() const { return groups_; }
+  /// One slice of the h(K_up) -> group index.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<Bytes, std::vector<Record>> groups;
+    std::atomic<std::uint64_t> ingests{0};
+    std::atomic<std::uint64_t> matches{0};
+    std::atomic<std::uint64_t> comparisons{0};
+  };
 
- private:
-  /// EXTRA + SORT + FIND: fills `out` with the querier's key group sorted
-  /// by ciphertext and returns the querier's position in it. Throws
-  /// ProtocolError for an unknown querier.
-  std::size_t sorted_group(UserId querier, std::vector<const Record*>& out) const;
+  /// One slice of the UserId -> key-index directory (+ replay clocks).
+  struct DirectoryShard {
+    mutable std::shared_mutex mu;
+    std::map<UserId, Bytes> key_of;
+    std::map<UserId, std::uint64_t> last_query_time;
+  };
 
-  void check_freshness(const QueryRequest& query) const;
+  Shard& shard_for(const Bytes& key_index);
+  const Shard& shard_for(const Bytes& key_index) const;
+  std::size_t shard_index(const Bytes& key_index) const;
+  DirectoryShard& directory_for(UserId user);
+  const DirectoryShard& directory_for(UserId user) const;
 
-  std::map<Bytes, std::vector<Record>> groups_;  // h(K_up) -> members
-  std::map<UserId, Bytes> user_group_;
-  mutable std::uint64_t comparisons_ = 0;
-  bool replay_protection_ = false;
-  mutable std::map<UserId, std::uint64_t> last_query_time_;
+  /// Directory lookup + replay check. On success fills `key_index`.
+  Status route_query(const QueryRequest& query, Bytes& key_index);
+
+  /// SORT: the group sorted by OPE ciphertext (== plaintext chain order).
+  /// Caller must hold the shard lock. Counts comparator invocations into
+  /// `comparisons`.
+  static void sort_group(const std::vector<Record>& members,
+                         std::vector<const Record*>& out, std::uint64_t& comparisons);
+
+  /// FIND the querier + walk outward. Shared by the sequential and batch
+  /// paths so their results are identical by construction.
+  static Status collect_knn(const std::vector<const Record*>& sorted, UserId querier,
+                            std::size_t k, QueryResult& result);
+  static Status collect_within(const std::vector<const Record*>& sorted, UserId querier,
+                               std::size_t max_order_distance, QueryResult& result);
+
+  ThreadPool& pool();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<DirectoryShard>> directory_;
+  std::atomic<std::uint64_t> replay_rejections_{0};
+  std::atomic<std::uint64_t> batch_group_sorts_{0};
+  std::atomic<bool> replay_protection_{false};
+
+  std::size_t batch_threads_ = 0;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Fault-injection wrappers modelling the malicious server of the threat

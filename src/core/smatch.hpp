@@ -12,6 +12,7 @@
 // Quickstart: see examples/quickstart.cpp.
 #pragma once
 
+#include "common/status.hpp"   // IWYU pragma: export
 #include "core/adaptive.hpp"   // IWYU pragma: export
 #include "core/auth.hpp"       // IWYU pragma: export
 #include "core/chain.hpp"      // IWYU pragma: export
@@ -20,5 +21,6 @@
 #include "core/keygen.hpp"     // IWYU pragma: export
 #include "core/key_server.hpp" // IWYU pragma: export
 #include "core/messages.hpp"   // IWYU pragma: export
+#include "core/metrics.hpp"    // IWYU pragma: export
 #include "core/server.hpp"     // IWYU pragma: export
 #include "core/types.hpp"      // IWYU pragma: export

@@ -2,27 +2,27 @@
 
 namespace smatch {
 
-double SimChannel::record(DirectionStats& dir, BytesView payload, const std::string& label) {
+double SimChannel::record(DirectionStats& dir, BytesView payload, MessageKind kind) {
   ++dir.messages;
   dir.bytes += payload.size();
   const double secs = link_.transfer_seconds(payload.size());
   dir.sim_seconds += secs;
-  if (!label.empty()) by_label_[label] += payload.size();
+  by_kind_[static_cast<std::size_t>(kind)] += payload.size();
   return secs;
 }
 
-double SimChannel::send_to_server(BytesView payload, const std::string& label) {
-  return record(uplink_, payload, label);
+double SimChannel::send_to_server(BytesView payload, MessageKind kind) {
+  return record(uplink_, payload, kind);
 }
 
-double SimChannel::send_to_client(BytesView payload, const std::string& label) {
-  return record(downlink_, payload, label);
+double SimChannel::send_to_client(BytesView payload, MessageKind kind) {
+  return record(downlink_, payload, kind);
 }
 
 void SimChannel::reset() {
   uplink_ = {};
   downlink_ = {};
-  by_label_.clear();
+  by_kind_.fill(0);
 }
 
 }  // namespace smatch

@@ -5,15 +5,43 @@
 // and every protocol message passes through a SimChannel that records
 // message counts, bytes, and models transfer time. The communication-cost
 // figures (5d-f) are produced from these counters.
+//
+// Traffic is attributed per MessageKind (a closed enum, not free-form
+// strings) so the byte breakdown cannot be skewed by label typos.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
-#include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 
 namespace smatch {
+
+/// Protocol message classes the byte accounting distinguishes.
+enum class MessageKind : std::uint8_t {
+  kUpload = 0,  // UploadMessage (Eq. 3 + verification token)
+  kQuery,       // QueryRequest Q_q
+  kResult,      // QueryResult R_q
+  kAuth,        // session-layer handshake / auth traffic
+  kOprf,        // key-server OPRF round (KeyRequest/KeyResponse)
+  kOther,       // anything else (default)
+};
+
+inline constexpr std::size_t kNumMessageKinds = 6;
+
+/// Human-readable kind name for the benchmark tables.
+[[nodiscard]] constexpr std::string_view to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kUpload: return "upload";
+    case MessageKind::kQuery: return "query";
+    case MessageKind::kResult: return "result";
+    case MessageKind::kAuth: return "auth";
+    case MessageKind::kOprf: return "oprf";
+    case MessageKind::kOther: return "other";
+  }
+  return "invalid";
+}
 
 /// Link model: fixed per-message latency plus serialization delay.
 struct LinkModel {
@@ -39,27 +67,30 @@ class SimChannel {
 
   /// Records an uplink (client -> server) message; returns simulated
   /// transfer seconds.
-  double send_to_server(BytesView payload, const std::string& label = {});
+  double send_to_server(BytesView payload, MessageKind kind = MessageKind::kOther);
   /// Records a downlink (server -> client) message.
-  double send_to_client(BytesView payload, const std::string& label = {});
+  double send_to_client(BytesView payload, MessageKind kind = MessageKind::kOther);
 
   [[nodiscard]] const DirectionStats& uplink() const { return uplink_; }
   [[nodiscard]] const DirectionStats& downlink() const { return downlink_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return uplink_.bytes + downlink_.bytes; }
-  /// Byte totals by caller-supplied label (e.g. "upload", "auth", "query").
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& bytes_by_label() const {
-    return by_label_;
+  /// Byte totals per message kind (both directions).
+  [[nodiscard]] const std::array<std::uint64_t, kNumMessageKinds>& bytes_by_kind() const {
+    return by_kind_;
+  }
+  [[nodiscard]] std::uint64_t bytes_of(MessageKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)];
   }
 
   void reset();
 
  private:
-  double record(DirectionStats& dir, BytesView payload, const std::string& label);
+  double record(DirectionStats& dir, BytesView payload, MessageKind kind);
 
   LinkModel link_;
   DirectionStats uplink_;
   DirectionStats downlink_;
-  std::map<std::string, std::uint64_t> by_label_;
+  std::array<std::uint64_t, kNumMessageKinds> by_kind_{};
 };
 
 }  // namespace smatch

@@ -111,13 +111,13 @@ TEST(AdaptiveEndToEnd, PipelineMatchesAndShrinksUploads) {
     clients.back().generate_key(oprf, rng);
     const Bytes wire = clients.back().make_upload(rng).serialize();
     adaptive_bytes = wire.size();
-    server.ingest(UploadMessage::parse(wire));
+    ASSERT_TRUE(server.ingest(UploadMessage::parse(wire).value()).is_ok());
   }
 
   // Matching and verification work end-to-end under adaptive widths.
   std::size_t matched = 0, verified = 0;
   for (auto& c : clients) {
-    const QueryResult r = server.match(c.make_query(1, 1), 5);
+    const QueryResult r = server.match(c.make_query(1, 1), 5).value();
     matched += r.entries.size();
     verified += c.count_verified(r);
   }

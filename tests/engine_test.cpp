@@ -1,0 +1,299 @@
+// Sharded match-engine tests: the Status-based error surface (unknown
+// querier, stale timestamps, malformed/truncated wire data, tampered
+// results), batch-vs-sequential equivalence, and a multi-threaded
+// ingest/match stress test meant to run under ThreadSanitizer
+// (-DSMATCH_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "net/channel.hpp"
+
+namespace smatch {
+namespace {
+
+UploadMessage make_upload(UserId id, const Bytes& index, std::uint64_t chain) {
+  UploadMessage up;
+  up.user_id = id;
+  up.key_index = index;
+  up.chain_cipher = BigInt{chain};
+  up.chain_cipher_bits = 64;
+  up.auth_token = to_bytes("token-" + std::to_string(id));
+  return up;
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100, [](std::size_t i) {
+        if (i == 57) throw Error("boom");
+      }),
+      Error);
+  // Pool is still usable afterwards.
+  std::atomic<std::size_t> n{0};
+  pool.parallel_for(10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Typed error paths
+
+TEST(EngineErrors, UnknownQuerier) {
+  MatchServer server;
+  EXPECT_EQ(server.match({1, 0, 42}, 5).code(), StatusCode::kUnknownUser);
+  EXPECT_EQ(server.match_within({1, 0, 42}, 2).code(), StatusCode::kUnknownUser);
+}
+
+TEST(EngineErrors, StaleAndReplayedTimestamps) {
+  MatchServer server(ServerOptions{.replay_protection = true});
+  const Bytes g(32, 1);
+  ASSERT_TRUE(server.ingest(make_upload(1, g, 10)).is_ok());
+  ASSERT_TRUE(server.ingest(make_upload(2, g, 20)).is_ok());
+
+  EXPECT_TRUE(server.match({1, 1000, 1}, 5).is_ok());
+  // Replay (same timestamp) and stale (older) queries rejected.
+  EXPECT_EQ(server.match({2, 1000, 1}, 5).code(), StatusCode::kStaleTimestamp);
+  EXPECT_EQ(server.match({3, 999, 1}, 5).code(), StatusCode::kStaleTimestamp);
+  // Fresh timestamp accepted; other users independent.
+  EXPECT_TRUE(server.match({4, 1001, 1}, 5).is_ok());
+  EXPECT_TRUE(server.match({5, 1000, 2}, 5).is_ok());
+  // match_within enforces the same policy.
+  EXPECT_EQ(server.match_within({6, 900, 1}, 2).code(), StatusCode::kStaleTimestamp);
+  // An unknown querier never touches the replay clock.
+  EXPECT_EQ(server.match({7, 5000, 99}, 5).code(), StatusCode::kUnknownUser);
+  EXPECT_EQ(server.metrics().replay_rejections, 3u);
+}
+
+TEST(EngineErrors, TruncatedAndCorruptedWireData) {
+  const Bytes wire = make_upload(3, Bytes(32, 5), 77).serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto parsed = UploadMessage::parse(BytesView(wire).subspan(0, len));
+    ASSERT_FALSE(parsed.is_ok()) << "truncation to " << len << " parsed";
+    EXPECT_EQ(parsed.code(), StatusCode::kMalformedMessage);
+  }
+  // A version bump is distinguishable from corruption.
+  Bytes versioned = wire;
+  versioned[2] = kWireVersion + 3;
+  EXPECT_EQ(UploadMessage::parse(versioned).code(), StatusCode::kUnsupportedVersion);
+}
+
+TEST(EngineErrors, TamperedResultsYieldZeroVerifiedWithoutThrowing) {
+  // Full client stack so verification is real: one community, everyone
+  // shares a profile key.
+  Drbg rng(41);
+  DatasetSpec spec;
+  spec.name = "engine-tamper";
+  spec.num_users = 8;
+  for (int i = 0; i < 6; ++i) {
+    spec.attributes.push_back(AttributeSpec::uniform("a" + std::to_string(i), 6.0));
+  }
+  SchemeParams params;
+  params.attribute_bits = 32;
+  params.rs_threshold = 8;
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  const ClientConfig config = make_client_config(spec, params, group);
+  RsaOprfServer oprf(RsaKeyPair::generate(rng, 512));
+  const Dataset ds = Dataset::generate_clustered(spec, rng, 1, 0);
+
+  MatchServer server;
+  std::vector<Client> clients;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+    clients.back().generate_key(oprf, rng);
+    ASSERT_TRUE(server.ingest(clients.back().make_upload(rng)).is_ok());
+  }
+
+  const QueryRequest q = clients[0].make_query(9, 100);
+  const QueryResult honest = server.match(q, 5).value();
+  ASSERT_FALSE(honest.entries.empty());
+
+  const auto honest_report = clients[0].verify_result(q, honest);
+  ASSERT_TRUE(honest_report.is_ok());
+  EXPECT_TRUE(honest_report->all_verified());
+  EXPECT_EQ(honest_report->verified.size(), honest.entries.size());
+
+  for (const ServerAttack attack :
+       {ServerAttack::kForgeToken, ServerAttack::kSwapIdentity}) {
+    const QueryResult fake = tamper_result(honest, attack, rng);
+    const auto report = clients[0].verify_result(q, fake);
+    ASSERT_TRUE(report.is_ok());  // tampering is reported, not thrown
+    EXPECT_TRUE(report->verified.empty());
+    EXPECT_EQ(report->rejected, fake.entries.size());
+  }
+
+  // A response that does not echo the query is a typed error.
+  QueryResult spliced = honest;
+  spliced.query_id ^= 1;
+  EXPECT_EQ(clients[0].verify_result(q, spliced).code(), StatusCode::kMalformedMessage);
+}
+
+// ---------------------------------------------------------------------------
+// Batch equivalence
+
+TEST(EngineBatch, MatchBatchEqualsSequentialMatch) {
+  MatchServer batch_server(ServerOptions{.num_shards = 8, .batch_threads = 4});
+  MatchServer seq_server(ServerOptions{.num_shards = 1});
+  Drbg rng(17);
+  std::vector<Bytes> indexes;
+  for (int g = 0; g < 12; ++g) indexes.push_back(rng.bytes(32));
+
+  std::vector<UploadMessage> uploads;
+  for (UserId id = 1; id <= 300; ++id) {
+    uploads.push_back(make_upload(id, indexes[id % 12], rng.below(1u << 30)));
+  }
+  for (const Status& s : batch_server.ingest_batch(uploads)) ASSERT_TRUE(s.is_ok());
+  for (const auto& up : uploads) ASSERT_TRUE(seq_server.ingest(up).is_ok());
+  EXPECT_EQ(batch_server.num_users(), 300u);
+
+  std::vector<QueryRequest> queries;
+  for (UserId id = 1; id <= 300; ++id) queries.push_back({id, 0, id});
+  queries.push_back({999, 0, 4242});  // unknown querier mid-batch
+
+  const auto batched = batch_server.match_batch(queries, 5);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto sequential = seq_server.match(queries[i], 5);
+    ASSERT_EQ(batched[i].is_ok(), sequential.is_ok()) << i;
+    if (!batched[i].is_ok()) {
+      EXPECT_EQ(batched[i].code(), sequential.code());
+      continue;
+    }
+    ASSERT_EQ(batched[i]->entries.size(), sequential->entries.size()) << i;
+    for (std::size_t e = 0; e < sequential->entries.size(); ++e) {
+      EXPECT_EQ(batched[i]->entries[e].user_id, sequential->entries[e].user_id);
+      EXPECT_EQ(batched[i]->entries[e].auth_token, sequential->entries[e].auth_token);
+    }
+  }
+
+  // The batch path amortizes SORT: one sort per distinct live group, and
+  // strictly fewer comparisons than 300 sequential sorts.
+  const ServerMetrics m = batch_server.metrics();
+  EXPECT_EQ(m.batch_group_sorts, 12u);
+  EXPECT_LT(m.comparisons, seq_server.comparisons());
+}
+
+TEST(EngineBatch, BatchReplayClocksAdvanceInSubmissionOrder) {
+  MatchServer server(ServerOptions{.replay_protection = true});
+  const Bytes g(32, 9);
+  ASSERT_TRUE(server.ingest(make_upload(1, g, 1)).is_ok());
+  ASSERT_TRUE(server.ingest(make_upload(2, g, 2)).is_ok());
+
+  const std::vector<QueryRequest> queries = {
+      {1, 100, 1}, {2, 100, 1}, {3, 101, 1}, {4, 50, 2}};
+  const auto results = server.match_batch(queries, 3);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].is_ok());
+  EXPECT_EQ(results[1].code(), StatusCode::kStaleTimestamp);  // replay of t=100
+  EXPECT_TRUE(results[2].is_ok());                            // fresh t=101
+  EXPECT_TRUE(results[3].is_ok());                            // other user
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress (run under -DSMATCH_SANITIZE=thread)
+
+TEST(EngineStress, ConcurrentIngestAndMatchKeepInvariants) {
+  MatchServer server(ServerOptions{.num_shards = 8, .batch_threads = 2});
+  constexpr std::size_t kUsers = 64;
+  constexpr std::size_t kGroups = 6;
+  constexpr int kRoundsPerWriter = 40;
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 3;
+
+  // Deterministic per-thread key indexes: every group index is shared.
+  std::vector<Bytes> indexes;
+  for (std::size_t gi = 0; gi < kGroups; ++gi) {
+    indexes.push_back(Bytes(32, static_cast<std::uint8_t>(0x10 + gi * 13)));
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  // Writers continuously re-upload users, moving them between groups.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Drbg rng(1000 + w);
+      for (int round = 0; round < kRoundsPerWriter; ++round) {
+        for (UserId id = 1; id <= kUsers; ++id) {
+          const Bytes& index = indexes[(id + round + w) % kGroups];
+          const Status s = server.ingest(make_upload(id, index, rng.below(1u << 20)));
+          if (!s.is_ok()) failed.store(true);
+        }
+      }
+    });
+  }
+
+  // Readers hammer match / match_batch / metrics. Every status must be a
+  // well-typed code; results may legitimately be kUnknownUser early on or
+  // kEmptyGroup during a re-upload race.
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<QueryRequest> queries;
+      for (UserId id = 1; id <= kUsers; ++id) queries.push_back({1, 0, id});
+      for (int round = 0; round < kRoundsPerWriter; ++round) {
+        for (UserId id = 1; id <= kUsers; ++id) {
+          const auto res = server.match({1, 0, id}, 4);
+          if (!res.is_ok() && res.code() != StatusCode::kUnknownUser &&
+              res.code() != StatusCode::kEmptyGroup) {
+            failed.store(true);
+          }
+        }
+        if (r == 0) {
+          for (const auto& res : server.match_batch(queries, 4)) {
+            if (!res.is_ok() && res.code() != StatusCode::kUnknownUser &&
+                res.code() != StatusCode::kEmptyGroup) {
+              failed.store(true);
+            }
+          }
+        }
+        const ServerMetrics m = server.metrics();
+        if (m.ingests > static_cast<std::uint64_t>(kWriters) * kRoundsPerWriter * kUsers) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiescent invariants: every user registered exactly once, resident in
+  // exactly one group, and totals agree across views.
+  EXPECT_EQ(server.num_users(), kUsers);
+  const ServerMetrics m = server.metrics();
+  std::uint64_t resident = 0;
+  for (const auto& s : m.shards) resident += s.users;
+  EXPECT_EQ(resident, kUsers);
+  EXPECT_EQ(m.ingests, static_cast<std::uint64_t>(kWriters) * kRoundsPerWriter * kUsers);
+  std::uint64_t histogram_users = 0;
+  for (const auto& [size, count] : m.group_size_histogram) {
+    histogram_users += size * count;
+  }
+  EXPECT_EQ(histogram_users, kUsers);
+  for (UserId id = 1; id <= kUsers; ++id) {
+    EXPECT_GE(server.group_size_of(id), 1u) << id;
+    const auto res = server.match({1, 0, id}, 4);
+    EXPECT_TRUE(res.is_ok()) << res.status().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace smatch

@@ -36,8 +36,9 @@ struct Deployment {
       const UploadMessage up = clients.back().make_upload(rng);
       // Ship over the wire: serialize, count bytes, parse on the server.
       const Bytes wire = up.serialize();
-      channel.send_to_server(wire, "upload");
-      server.ingest(UploadMessage::parse(wire));
+      channel.send_to_server(wire, MessageKind::kUpload);
+      const Status ingested = server.ingest(UploadMessage::parse(wire).value());
+      EXPECT_TRUE(ingested.is_ok()) << ingested.to_string();
     }
   }
 };
@@ -74,7 +75,7 @@ TEST(EndToEnd, SameCommunityUsersMatchAndVerify) {
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
     Client& querier = dep.clients[u];
     const QueryRequest q = querier.make_query(7, 1000 + static_cast<std::uint64_t>(u));
-    const QueryResult r = dep.server.match(QueryRequest::parse(q.serialize()), 5);
+    const QueryResult r = dep.server.match(QueryRequest::parse(q.serialize()).value(), 5).value();
 
     for (const auto& entry : r.entries) {
       const std::size_t other = entry.user_id - 1;
@@ -106,7 +107,7 @@ TEST(EndToEnd, JitteredCommunitiesStillMatchMostly) {
   std::size_t with_matches = 0;
   std::size_t verified = 0, total = 0;
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
-    const QueryResult r = dep.server.match(dep.clients[u].make_query(1, 1), 5);
+    const QueryResult r = dep.server.match(dep.clients[u].make_query(1, 1), 5).value();
     if (!r.entries.empty()) ++with_matches;
     for (const auto& e : r.entries) {
       ++total;
@@ -127,7 +128,7 @@ TEST(EndToEnd, MaliciousServerAttacksAreDetected) {
   // Find a querier with at least one honest match.
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
     Client& querier = dep.clients[u];
-    const QueryResult honest = dep.server.match(querier.make_query(1, 1), 5);
+    const QueryResult honest = dep.server.match(querier.make_query(1, 1), 5).value();
     if (honest.entries.empty()) continue;
 
     EXPECT_EQ(querier.count_verified(honest), honest.entries.size());
@@ -144,7 +145,7 @@ TEST(EndToEnd, MaliciousServerAttacksAreDetected) {
     std::vector<MatchEntry> foreign;
     for (std::size_t v = 0; v < ds.num_users(); ++v) {
       if (ds.communities()[v] != ds.communities()[u]) {
-        const QueryResult other = dep.server.match(dep.clients[v].make_query(2, 2), 1);
+        const QueryResult other = dep.server.match(dep.clients[v].make_query(2, 2), 1).value();
         for (const auto& e : other.entries) foreign.push_back(e);
         if (!foreign.empty()) break;
       }
@@ -233,12 +234,12 @@ TEST(EndToEnd, QueryResultOrderReflectsChainDistance) {
     // Profiles 0,0 / 1,1 / ... / 4,4 — all within one cell of width 16.
     clients.emplace_back(id, Profile{id - 1, id - 1}, config);
     clients.back().generate_key(oprf, rng);
-    server.ingest(clients.back().make_upload(rng));
+    ASSERT_TRUE(server.ingest(clients.back().make_upload(rng)).is_ok());
   }
   ASSERT_EQ(server.num_groups(), 1u);
 
   // Querier 3 (profile 2,2): its 2 order-nearest are users 2 and 4.
-  const QueryResult r = server.match(clients[2].make_query(1, 1), 2);
+  const QueryResult r = server.match(clients[2].make_query(1, 1), 2).value();
   ASSERT_EQ(r.entries.size(), 2u);
   std::vector<UserId> ids = {r.entries[0].user_id, r.entries[1].user_id};
   std::sort(ids.begin(), ids.end());
@@ -254,7 +255,7 @@ TEST(EndToEnd, ChannelAccountsUploadBytes) {
   EXPECT_EQ(dep.channel.uplink().messages, 4u);
   EXPECT_GT(dep.channel.uplink().bytes, 0u);
   EXPECT_GT(dep.channel.uplink().sim_seconds, 0.0);
-  EXPECT_EQ(dep.channel.bytes_by_label().at("upload"), dep.channel.uplink().bytes);
+  EXPECT_EQ(dep.channel.bytes_of(MessageKind::kUpload), dep.channel.uplink().bytes);
 }
 
 TEST(EndToEnd, ClientRequiresKeyBeforeUpload) {

@@ -1,5 +1,5 @@
-// SimChannel / LinkModel tests: byte accounting, label breakdown, and the
-// 802.11n transfer-time model used by the communication-cost figures.
+// SimChannel / LinkModel tests: byte accounting, per-kind breakdown, and
+// the 802.11n transfer-time model used by the communication-cost figures.
 #include <gtest/gtest.h>
 
 #include "net/channel.hpp"
@@ -38,27 +38,36 @@ TEST(SimChannel, AccumulatesSimulatedTime) {
   EXPECT_NEAR(t1, 0.018, 1e-9);
 }
 
-TEST(SimChannel, LabelsBreakDownTraffic) {
+TEST(SimChannel, KindsBreakDownTraffic) {
   SimChannel ch;
-  (void)ch.send_to_server(Bytes(10, 0), "upload");
-  (void)ch.send_to_server(Bytes(20, 0), "upload");
-  (void)ch.send_to_server(Bytes(5, 0), "query");
-  (void)ch.send_to_client(Bytes(9, 0), "result");
-  (void)ch.send_to_client(Bytes(3, 0));  // unlabeled: counted, not broken down
-  EXPECT_EQ(ch.bytes_by_label().at("upload"), 30u);
-  EXPECT_EQ(ch.bytes_by_label().at("query"), 5u);
-  EXPECT_EQ(ch.bytes_by_label().at("result"), 9u);
-  EXPECT_EQ(ch.bytes_by_label().count(""), 0u);
+  (void)ch.send_to_server(Bytes(10, 0), MessageKind::kUpload);
+  (void)ch.send_to_server(Bytes(20, 0), MessageKind::kUpload);
+  (void)ch.send_to_server(Bytes(5, 0), MessageKind::kQuery);
+  (void)ch.send_to_client(Bytes(9, 0), MessageKind::kResult);
+  (void)ch.send_to_client(Bytes(3, 0));  // unclassified: counted under kOther
+  EXPECT_EQ(ch.bytes_of(MessageKind::kUpload), 30u);
+  EXPECT_EQ(ch.bytes_of(MessageKind::kQuery), 5u);
+  EXPECT_EQ(ch.bytes_of(MessageKind::kResult), 9u);
+  EXPECT_EQ(ch.bytes_of(MessageKind::kOther), 3u);
+  EXPECT_EQ(ch.bytes_of(MessageKind::kAuth), 0u);
+  EXPECT_EQ(ch.bytes_of(MessageKind::kOprf), 0u);
   EXPECT_EQ(ch.total_bytes(), 47u);
+  // Every kind has a stable printable name for the benchmark tables.
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+    EXPECT_NE(to_string(static_cast<MessageKind>(k)), "invalid");
+    sum += ch.bytes_by_kind()[k];
+  }
+  EXPECT_EQ(sum, ch.total_bytes());
 }
 
 TEST(SimChannel, ResetClearsEverything) {
   SimChannel ch;
-  (void)ch.send_to_server(Bytes(10, 0), "x");
+  (void)ch.send_to_server(Bytes(10, 0), MessageKind::kAuth);
   ch.reset();
   EXPECT_EQ(ch.total_bytes(), 0u);
   EXPECT_EQ(ch.uplink().messages, 0u);
-  EXPECT_TRUE(ch.bytes_by_label().empty());
+  for (const std::uint64_t b : ch.bytes_by_kind()) EXPECT_EQ(b, 0u);
 }
 
 }  // namespace

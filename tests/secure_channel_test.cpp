@@ -86,20 +86,21 @@ TEST(ReplayProtection, ServerRejectsStaleQueryTimestamps) {
   up.key_index = Bytes(32, 1);
   up.chain_cipher = BigInt{5};
   up.chain_cipher_bits = 32;
-  server.ingest(up);
+  ASSERT_TRUE(server.ingest(up).is_ok());
   up.user_id = 2;
   up.chain_cipher = BigInt{9};
-  server.ingest(up);
+  ASSERT_TRUE(server.ingest(up).is_ok());
 
-  EXPECT_NO_THROW((void)server.match({1, 1000, 1}, 5));
+  EXPECT_TRUE(server.match({1, 1000, 1}, 5).is_ok());
   // Replay (same timestamp) and stale (older) queries rejected.
-  EXPECT_THROW((void)server.match({2, 1000, 1}, 5), ProtocolError);
-  EXPECT_THROW((void)server.match({3, 999, 1}, 5), ProtocolError);
+  EXPECT_EQ(server.match({2, 1000, 1}, 5).code(), StatusCode::kStaleTimestamp);
+  EXPECT_EQ(server.match({3, 999, 1}, 5).code(), StatusCode::kStaleTimestamp);
   // Fresh timestamp accepted; other users independent.
-  EXPECT_NO_THROW((void)server.match({4, 1001, 1}, 5));
-  EXPECT_NO_THROW((void)server.match({5, 1000, 2}, 5));
+  EXPECT_TRUE(server.match({4, 1001, 1}, 5).is_ok());
+  EXPECT_TRUE(server.match({5, 1000, 2}, 5).is_ok());
   // match_within enforces the same policy.
-  EXPECT_THROW((void)server.match_within({6, 900, 1}, 2), ProtocolError);
+  EXPECT_EQ(server.match_within({6, 900, 1}, 2).code(), StatusCode::kStaleTimestamp);
+  EXPECT_EQ(server.metrics().replay_rejections, 3u);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // parsers must throw SerdeError (or reject cleanly), never crash.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "common/error.hpp"
 #include "common/serde.hpp"
 #include "core/key_server.hpp"
@@ -66,16 +68,23 @@ TEST(Serde, FinishRejectsTrailingBytes) {
 }
 
 // Deterministic fuzz: every prefix truncation and 200 random bit flips of
-// each message type must either parse to something or throw SerdeError.
+// each message type must be handled cleanly — versioned protocol messages
+// return a non-ok Status (parse never throws), legacy key-server messages
+// throw SerdeError. Neither may crash.
 template <typename Message>
 void fuzz_message(const Message& msg, std::uint64_t seed) {
+  constexpr bool kStatusParse =
+      !std::is_same_v<decltype(Message::parse(BytesView{})), Message>;
   const Bytes wire = msg.serialize();
 
   for (std::size_t len = 0; len < wire.size(); ++len) {
     try {
-      (void)Message::parse(BytesView(wire).subspan(0, len));
+      auto parsed = Message::parse(BytesView(wire).subspan(0, len));
+      if constexpr (kStatusParse) {
+        EXPECT_FALSE(parsed.is_ok()) << "truncation to " << len << " parsed";
+      }
     } catch (const SerdeError&) {
-      // expected
+      EXPECT_FALSE(kStatusParse) << "Status-based parse threw";
     }
   }
 
@@ -85,9 +94,16 @@ void fuzz_message(const Message& msg, std::uint64_t seed) {
     const std::size_t pos = rng.below(mutated.size());
     mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
     try {
-      (void)Message::parse(mutated);
+      auto parsed = Message::parse(mutated);
+      if constexpr (kStatusParse) {
+        // A flip inside the 3-byte header must never parse as current-
+        // version traffic.
+        if (pos < kWireHeaderBytes) {
+          EXPECT_FALSE(parsed.is_ok()) << pos;
+        }
+      }
     } catch (const SerdeError&) {
-      // expected
+      EXPECT_FALSE(kStatusParse) << "Status-based parse threw";
     }
   }
 }
@@ -117,11 +133,14 @@ TEST(SerdeFuzz, KeyServerMessagesNeverCrash) {
 }
 
 TEST(SerdeFuzz, HugeClaimedLengthsRejectedWithoutAllocation) {
-  // A length prefix of ~4 GiB on a tiny buffer must throw, not allocate.
+  // A length prefix of ~4 GiB on a tiny buffer must be rejected cleanly,
+  // not allocated.
   Writer w;
-  w.u32(7);                 // user id (UploadMessage layout)
+  w.u16(kWireMagic);        // valid header (UploadMessage layout)
+  w.u8(kWireVersion);
+  w.u32(7);                 // user id
   w.u32(0xffffffff);        // key_index length: absurd
-  EXPECT_THROW((void)UploadMessage::parse(w.bytes()), SerdeError);
+  EXPECT_EQ(UploadMessage::parse(w.bytes()).code(), StatusCode::kMalformedMessage);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // MatchServer and wire-message tests: grouping, Algorithm Match (EXTRA /
-// SORT / FIND), re-upload semantics, serialization round trips, and the
-// tamper helpers.
+// SORT / FIND), re-upload semantics, serialization round trips (versioned
+// header), the Status-based error API, and the tamper helpers.
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "common/error.hpp"
 #include "core/server.hpp"
@@ -22,7 +24,9 @@ UploadMessage make_upload(UserId id, const Bytes& index, std::uint64_t chain) {
 
 TEST(Messages, UploadRoundTrip) {
   const UploadMessage up = make_upload(7, Bytes(32, 0xab), 123456789);
-  const UploadMessage back = UploadMessage::parse(up.serialize());
+  const StatusOr<UploadMessage> parsed = UploadMessage::parse(up.serialize());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const UploadMessage& back = *parsed;
   EXPECT_EQ(back.user_id, up.user_id);
   EXPECT_EQ(back.key_index, up.key_index);
   EXPECT_EQ(back.chain_cipher, up.chain_cipher);
@@ -31,17 +35,26 @@ TEST(Messages, UploadRoundTrip) {
 }
 
 TEST(Messages, UploadSizeMatchesPaperFormula) {
-  // l_id + l_h + l_ciph + chain bits: the Eq. (9)-style accounting.
+  // Header + l_id + l_h + l_ciph + chain bits: the Eq. (9)-style
+  // accounting plus the 3-byte magic/version frame.
   UploadMessage up = make_upload(7, Bytes(32, 1), 1);
   up.chain_cipher_bits = 384;
-  const std::size_t expected = 4 /*id*/ + 4 + 32 /*h(K)*/ + 4 + 384 / 8 /*chain*/ +
-                               4 + up.auth_token.size();
+  const std::size_t expected = kWireHeaderBytes + 4 /*id*/ + 4 + 32 /*h(K)*/ +
+                               4 + 384 / 8 /*chain*/ + 4 + up.auth_token.size();
   EXPECT_EQ(up.serialize().size(), expected);
+}
+
+TEST(Messages, SerializedHeaderIsMagicThenVersion) {
+  const Bytes wire = QueryRequest{1, 2, 3}.serialize();
+  ASSERT_GE(wire.size(), kWireHeaderBytes);
+  EXPECT_EQ(wire[0], 0x53);  // 'S'
+  EXPECT_EQ(wire[1], 0x4d);  // 'M'
+  EXPECT_EQ(wire[2], kWireVersion);
 }
 
 TEST(Messages, QueryAndResultRoundTrip) {
   const QueryRequest q{42, 1699999999, 7};
-  const QueryRequest qb = QueryRequest::parse(q.serialize());
+  const QueryRequest qb = QueryRequest::parse(q.serialize()).value();
   EXPECT_EQ(qb.query_id, 42u);
   EXPECT_EQ(qb.timestamp, 1699999999u);
   EXPECT_EQ(qb.user_id, 7u);
@@ -50,26 +63,42 @@ TEST(Messages, QueryAndResultRoundTrip) {
   r.query_id = 42;
   r.timestamp = 1699999999;
   r.entries = {{1, to_bytes("t1")}, {2, to_bytes("t2")}};
-  const QueryResult rb = QueryResult::parse(r.serialize());
+  const QueryResult rb = QueryResult::parse(r.serialize()).value();
   ASSERT_EQ(rb.entries.size(), 2u);
   EXPECT_EQ(rb.entries[0].user_id, 1u);
   EXPECT_EQ(rb.entries[1].auth_token, to_bytes("t2"));
 }
 
 TEST(Messages, ParseRejectsGarbage) {
-  EXPECT_THROW((void)UploadMessage::parse(Bytes{1, 2, 3}), SerdeError);
-  EXPECT_THROW((void)QueryRequest::parse(Bytes{}), SerdeError);
+  EXPECT_EQ(UploadMessage::parse(Bytes{1, 2, 3}).code(), StatusCode::kMalformedMessage);
+  EXPECT_EQ(QueryRequest::parse(Bytes{}).code(), StatusCode::kMalformedMessage);
   Bytes valid = QueryRequest{1, 2, 3}.serialize();
   valid.push_back(0);  // trailing garbage
-  EXPECT_THROW((void)QueryRequest::parse(valid), SerdeError);
+  EXPECT_EQ(QueryRequest::parse(valid).code(), StatusCode::kMalformedMessage);
+}
+
+TEST(Messages, ParseRejectsWrongMagicAndUnknownVersion) {
+  Bytes wire = QueryRequest{1, 2, 3}.serialize();
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(QueryRequest::parse(bad_magic).code(), StatusCode::kMalformedMessage);
+
+  Bytes future_version = wire;
+  future_version[2] = kWireVersion + 1;
+  const auto parsed = QueryRequest::parse(future_version);
+  EXPECT_EQ(parsed.code(), StatusCode::kUnsupportedVersion);
+  // All three message types enforce the header.
+  Bytes up_wire = make_upload(1, Bytes(32, 1), 5).serialize();
+  up_wire[2] = 99;
+  EXPECT_EQ(UploadMessage::parse(up_wire).code(), StatusCode::kUnsupportedVersion);
 }
 
 TEST(MatchServer, GroupsByKeyIndex) {
   MatchServer server;
   const Bytes g1(32, 1), g2(32, 2);
-  server.ingest(make_upload(1, g1, 10));
-  server.ingest(make_upload(2, g1, 20));
-  server.ingest(make_upload(3, g2, 30));
+  EXPECT_TRUE(server.ingest(make_upload(1, g1, 10)).is_ok());
+  EXPECT_TRUE(server.ingest(make_upload(2, g1, 20)).is_ok());
+  EXPECT_TRUE(server.ingest(make_upload(3, g2, 30)).is_ok());
   EXPECT_EQ(server.num_users(), 3u);
   EXPECT_EQ(server.num_groups(), 2u);
   EXPECT_EQ(server.group_size_of(1), 2u);
@@ -77,12 +106,20 @@ TEST(MatchServer, GroupsByKeyIndex) {
   EXPECT_EQ(server.group_size_of(99), 0u);
 }
 
+TEST(MatchServer, IngestRejectsMissingKeyIndex) {
+  MatchServer server;
+  UploadMessage up = make_upload(1, Bytes{}, 10);
+  const Status s = server.ingest(up);
+  EXPECT_EQ(s.code(), StatusCode::kMalformedMessage);
+  EXPECT_EQ(server.num_users(), 0u);
+}
+
 TEST(MatchServer, MatchReturnsOrderNearestNeighbours) {
   MatchServer server;
   const Bytes g(32, 1);
   // Chain order: 10 < 20 < 30 < 40 < 50.
-  for (UserId id = 1; id <= 5; ++id) server.ingest(make_upload(id, g, id * 10));
-  const QueryResult r = server.match({1, 0, 3}, 2);  // querier has chain 30
+  for (UserId id = 1; id <= 5; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g, id * 10)).is_ok());
+  const QueryResult r = server.match({1, 0, 3}, 2).value();  // querier has chain 30
   ASSERT_EQ(r.entries.size(), 2u);
   std::vector<UserId> ids = {r.entries[0].user_id, r.entries[1].user_id};
   std::sort(ids.begin(), ids.end());
@@ -92,9 +129,9 @@ TEST(MatchServer, MatchReturnsOrderNearestNeighbours) {
 TEST(MatchServer, MatchWidensWhenOneSideRunsOut) {
   MatchServer server;
   const Bytes g(32, 1);
-  for (UserId id = 1; id <= 5; ++id) server.ingest(make_upload(id, g, id * 10));
+  for (UserId id = 1; id <= 5; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g, id * 10)).is_ok());
   // Querier is the smallest element: all k must come from above.
-  const QueryResult r = server.match({1, 0, 1}, 3);
+  const QueryResult r = server.match({1, 0, 1}, 3).value();
   ASSERT_EQ(r.entries.size(), 3u);
   std::vector<UserId> ids;
   for (const auto& e : r.entries) ids.push_back(e.user_id);
@@ -105,9 +142,9 @@ TEST(MatchServer, MatchWidensWhenOneSideRunsOut) {
 TEST(MatchServer, MatchNeverReturnsQuerierOrForeignGroups) {
   MatchServer server;
   const Bytes g1(32, 1), g2(32, 2);
-  for (UserId id = 1; id <= 4; ++id) server.ingest(make_upload(id, g1, id));
-  for (UserId id = 10; id <= 14; ++id) server.ingest(make_upload(id, g2, id));
-  const QueryResult r = server.match({5, 0, 2}, 10);
+  for (UserId id = 1; id <= 4; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g1, id)).is_ok());
+  for (UserId id = 10; id <= 14; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g2, id)).is_ok());
+  const QueryResult r = server.match({5, 0, 2}, 10).value();
   EXPECT_EQ(r.entries.size(), 3u);  // only 3 other members in g1
   for (const auto& e : r.entries) {
     EXPECT_NE(e.user_id, 2u);
@@ -118,24 +155,26 @@ TEST(MatchServer, MatchNeverReturnsQuerierOrForeignGroups) {
 TEST(MatchServer, SmallGroupReturnsFewerThanK) {
   MatchServer server;
   const Bytes g(32, 1);
-  server.ingest(make_upload(1, g, 10));
-  const QueryResult r = server.match({1, 0, 1}, 5);
+  ASSERT_TRUE(server.ingest(make_upload(1, g, 10)).is_ok());
+  const QueryResult r = server.match({1, 0, 1}, 5).value();
   EXPECT_TRUE(r.entries.empty());
 }
 
-TEST(MatchServer, UnknownQuerierThrows) {
+TEST(MatchServer, UnknownQuerierReturnsStatus) {
   MatchServer server;
-  EXPECT_THROW((void)server.match({1, 0, 99}, 5), ProtocolError);
+  const auto r = server.match({1, 0, 99}, 5);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), StatusCode::kUnknownUser);
 }
 
 TEST(MatchServer, ReUploadReplacesAndCanMoveGroups) {
   MatchServer server;
   const Bytes g1(32, 1), g2(32, 2);
-  server.ingest(make_upload(1, g1, 10));
-  server.ingest(make_upload(2, g1, 20));
+  ASSERT_TRUE(server.ingest(make_upload(1, g1, 10)).is_ok());
+  ASSERT_TRUE(server.ingest(make_upload(2, g1, 20)).is_ok());
   EXPECT_EQ(server.group_size_of(1), 2u);
   // User 1 re-uploads with a new profile key (profile changed).
-  server.ingest(make_upload(1, g2, 99));
+  ASSERT_TRUE(server.ingest(make_upload(1, g2, 99)).is_ok());
   EXPECT_EQ(server.num_users(), 2u);
   EXPECT_EQ(server.group_size_of(1), 1u);
   EXPECT_EQ(server.group_size_of(2), 1u);
@@ -144,9 +183,9 @@ TEST(MatchServer, ReUploadReplacesAndCanMoveGroups) {
 TEST(MatchServer, QueryEchoesIdAndTimestamp) {
   MatchServer server;
   const Bytes g(32, 1);
-  server.ingest(make_upload(1, g, 10));
-  server.ingest(make_upload(2, g, 20));
-  const QueryResult r = server.match({77, 123456, 1}, 1);
+  ASSERT_TRUE(server.ingest(make_upload(1, g, 10)).is_ok());
+  ASSERT_TRUE(server.ingest(make_upload(2, g, 20)).is_ok());
+  const QueryResult r = server.match({77, 123456, 1}, 1).value();
   EXPECT_EQ(r.query_id, 77u);
   EXPECT_EQ(r.timestamp, 123456u);
 }
@@ -154,18 +193,48 @@ TEST(MatchServer, QueryEchoesIdAndTimestamp) {
 TEST(MatchServer, ComparisonCounterAdvances) {
   MatchServer server;
   const Bytes g(32, 1);
-  for (UserId id = 1; id <= 50; ++id) server.ingest(make_upload(id, g, id * 3));
+  for (UserId id = 1; id <= 50; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g, id * 3)).is_ok());
   const auto before = server.comparisons();
-  (void)server.match({1, 0, 25}, 5);
+  (void)server.match({1, 0, 25}, 5).value();
   EXPECT_GT(server.comparisons(), before);
+}
+
+TEST(MatchServer, MetricsSnapshotTracksTraffic) {
+  MatchServer server(ServerOptions{.num_shards = 4});
+  EXPECT_EQ(server.num_shards(), 4u);
+  Drbg rng(7);
+  // Spread 40 users over 10 random key groups.
+  std::vector<Bytes> indexes;
+  for (int g = 0; g < 10; ++g) indexes.push_back(rng.bytes(32));
+  for (UserId id = 1; id <= 40; ++id) {
+    ASSERT_TRUE(server.ingest(make_upload(id, indexes[id % 10], id * 7)).is_ok());
+  }
+  for (UserId id = 1; id <= 40; ++id) (void)server.match({1, 0, id}, 3).value();
+
+  const ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.shards.size(), 4u);
+  EXPECT_EQ(m.ingests, 40u);
+  EXPECT_EQ(m.matches, 40u);
+  EXPECT_GT(m.comparisons, 0u);
+  EXPECT_EQ(m.comparisons, server.comparisons());
+  std::uint64_t users = 0, groups = 0;
+  for (const auto& s : m.shards) {
+    users += s.users;
+    groups += s.groups;
+  }
+  EXPECT_EQ(users, 40u);
+  EXPECT_EQ(groups, server.num_groups());
+  // Histogram over all shards: 10 groups of 4 users each.
+  ASSERT_EQ(m.group_size_histogram.size(), 1u);
+  EXPECT_EQ(m.group_size_histogram.at(4), 10u);
 }
 
 TEST(MatchServer, MaxDistanceMatchingReturnsRankNeighbourhood) {
   MatchServer server;
   const Bytes g(32, 1);
-  for (UserId id = 1; id <= 9; ++id) server.ingest(make_upload(id, g, id * 10));
+  for (UserId id = 1; id <= 9; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g, id * 10)).is_ok());
   // Querier 5 (middle), max order distance 2 -> users 3,4,6,7.
-  const QueryResult r = server.match_within({1, 0, 5}, 2);
+  const QueryResult r = server.match_within({1, 0, 5}, 2).value();
   ASSERT_EQ(r.entries.size(), 4u);
   // Ordered by increasing rank distance: 4,6 then 3,7.
   EXPECT_EQ(r.entries[0].user_id, 4u);
@@ -177,14 +246,34 @@ TEST(MatchServer, MaxDistanceMatchingReturnsRankNeighbourhood) {
 TEST(MatchServer, MaxDistanceMatchingClampsAtGroupEdges) {
   MatchServer server;
   const Bytes g(32, 1);
-  for (UserId id = 1; id <= 4; ++id) server.ingest(make_upload(id, g, id * 10));
+  for (UserId id = 1; id <= 4; ++id) ASSERT_TRUE(server.ingest(make_upload(id, g, id * 10)).is_ok());
   // Querier 1 (smallest): only higher-ranked neighbours exist.
-  const QueryResult r = server.match_within({1, 0, 1}, 10);
+  const QueryResult r = server.match_within({1, 0, 1}, 10).value();
   ASSERT_EQ(r.entries.size(), 3u);
   EXPECT_EQ(r.entries[0].user_id, 2u);
-  // Zero distance returns nothing; unknown querier throws.
-  EXPECT_TRUE(server.match_within({1, 0, 1}, 0).entries.empty());
-  EXPECT_THROW((void)server.match_within({1, 0, 99}, 1), ProtocolError);
+  // Zero distance returns nothing; unknown querier is a typed error.
+  EXPECT_TRUE(server.match_within({1, 0, 1}, 0).value().entries.empty());
+  EXPECT_EQ(server.match_within({1, 0, 99}, 1).code(), StatusCode::kUnknownUser);
+}
+
+TEST(Status, CodesRoundTripToStrings) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_EQ(to_string(StatusCode::kUnknownUser), "UNKNOWN_USER");
+  const Status s(StatusCode::kStaleTimestamp, "t=5");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "STALE_TIMESTAMP: t=5");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, StatusOrValueThrowsOnlyOnError) {
+  StatusOr<int> ok(42);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+  StatusOr<int> err(StatusCode::kEmptyGroup, "gone");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.value_or(7), 7);
+  EXPECT_THROW((void)err.value(), Error);
 }
 
 TEST(TamperResult, ForgeTokenChangesTokens) {
