@@ -5,6 +5,7 @@
 //   Keygen -> InitData -> Enc -> upload -> Match -> Auth/Vf.
 //
 // Build & run:  ./build/examples/quickstart
+#include <array>
 #include <cstdio>
 
 #include "core/smatch.hpp"
@@ -34,17 +35,24 @@ int main() {
   const ClientConfig config = make_client_config(spec, params, group);
 
   // --- Infrastructure ------------------------------------------------------
-  RsaOprfServer key_server(RsaKeyPair::generate(rng, 1024));  // OPRF evaluator
-  MatchServer server;                                         // untrusted matcher
+  KeyServer key_server(RsaKeyPair::generate(rng, 1024));  // rate-limited OPRF service
+  MatchServer server;                                     // untrusted matcher
 
   // --- Users ---------------------------------------------------------------
   Client alice(1, Profile{20, 33, 40, 50}, config);
   Client bob(2, Profile{22, 30, 38, 49}, config);    // close to Alice (same cells)
   Client carol(3, Profile{60, 5, 10, 62}, config);   // far from both
 
-  for (Client* c : {&alice, &bob, &carol}) {
-    c->generate_key(key_server, rng);                  // Keygen (fuzzy RSD + OPRF)
-    const Status s = server.ingest(c->make_upload(rng));  // InitData + Enc + Auth
+  // Keygen over the wire (one batched OPRF round), then upload. Failures
+  // come back as a Status per client — kBudgetExhausted when the key
+  // server's rate limit trips, kMalformedMessage for damaged wire.
+  const std::array<Client*, 3> users = {&alice, &bob, &carol};
+  for (const StatusOr<UploadMessage>& up : enroll_batch(users, key_server, rng)) {
+    if (!up.is_ok()) {
+      std::printf("enrollment failed: %s\n", up.status().to_string().c_str());
+      return 1;
+    }
+    const Status s = server.ingest(*up);  // InitData + Enc + Auth
     if (!s.is_ok()) std::printf("upload rejected: %s\n", s.to_string().c_str());
   }
 

@@ -67,8 +67,17 @@ int main() {
     // Wire-level Keygen (rate limited at the key server).
     KeygenSession keygen(phone.keygen(), phone.profile(), key_server.public_key(),
                          phone.id(), rng);
-    const Bytes key_resp = key_server.handle(keygen.request_wire());
-    phone.set_profile_key(keygen.finalize(key_resp), phone.auth().random_secret(rng));
+    const StatusOr<Bytes> key_resp = key_server.handle(keygen.request_wire());
+    if (!key_resp.is_ok()) {
+      std::printf("keygen refused: %s\n", key_resp.status().to_string().c_str());
+      return 1;
+    }
+    StatusOr<ProfileKey> key = keygen.finalize(*key_resp);
+    if (!key.is_ok()) {
+      std::printf("keygen finalize failed: %s\n", key.status().to_string().c_str());
+      return 1;
+    }
+    phone.set_profile_key(std::move(*key), phone.auth().random_secret(rng));
 
     // Sealed upload: the server opens and ingests.
     const Bytes sealed = phone_tx.seal(phone.make_upload(rng).serialize(), rng);
@@ -96,18 +105,21 @@ int main() {
   } else {
     std::printf("replayed query: ACCEPTED (bug!)\n");
   }
-  // 2. Key-server brute force beyond the per-epoch budget.
+  // 2. Key-server brute force beyond the per-epoch budget: each probe
+  // past the budget comes back as kBudgetExhausted (a status, never an
+  // exception).
   std::size_t refused = 0;
   for (std::uint32_t guess = 0; guess < 8; ++guess) {
-    try {
-      KeygenSession probe(alice.keygen(), Profile{guess, guess, guess, guess},
-                          key_server.public_key(), alice.id(), rng);
-      (void)key_server.handle(probe.request_wire());
-    } catch (const ProtocolError&) {
+    KeygenSession probe(alice.keygen(), Profile{guess, guess, guess, guess},
+                        key_server.public_key(), alice.id(), rng);
+    if (key_server.handle(probe.request_wire()).code() == StatusCode::kBudgetExhausted) {
       ++refused;
     }
   }
-  std::printf("profile brute-force probes refused by rate limit: %zu/8\n", refused);
+  std::printf("profile brute-force probes refused by rate limit: %zu/8 "
+              "(%llu budget rejections total)\n",
+              refused,
+              static_cast<unsigned long long>(key_server.metrics().budget_rejections));
   // 3. Forged match results.
   const QueryResult forged = tamper_result(result, ServerAttack::kForgeToken, rng);
   std::printf("forged results verifying: %zu/%zu (expect 0)\n",

@@ -510,48 +510,83 @@ struct MontgomeryCtx {
 }  // namespace
 
 BigInt BigInt::pow_mod_montgomery(const BigInt& e, const BigInt& m) const {
-  const MontgomeryCtx ctx(m.limbs_);
-  const std::size_t n = ctx.k();
+  // One-shot path: build the reusable context and evaluate once. Callers
+  // with a fixed (e, m) pair hold a ModExpContext instead and amortize the
+  // setup (R^2 division, exponent windows) across evaluations.
+  return ModExpContext(e, m).pow(*this);
+}
 
-  // R^2 mod m, computed once with a plain division.
-  const BigInt r2_big = (BigInt{1} << (128 * n)).mod(m);
-  std::vector<u64> r2 = r2_big.limbs_;
-  r2.resize(n, 0);
+ModExpContext::ModExpContext(const BigInt& exponent, const BigInt& modulus)
+    : exponent_(exponent), modulus_(modulus) {
+  if (modulus_.is_zero() || modulus_.neg_) {
+    throw CryptoError("ModExpContext: modulus must be positive");
+  }
+  if (exponent_.neg_) throw CryptoError("ModExpContext: negative exponent");
+  montgomery_ = modulus_.is_odd() && modulus_.limbs_.size() >= 8;
+  if (!montgomery_) return;
 
-  // Into the Montgomery domain: mont(x) = REDC(x * R^2).
-  std::vector<u64> base = mod(m).limbs_;
-  base.resize(n, 0);
-  std::vector<u64> scratch;
-  std::vector<u64> mont_base(n);
-  ctx.mul(base, r2, mont_base, scratch);
+  const std::size_t n = modulus_.limbs_.size();
+  const MontgomeryCtx ctx(modulus_.limbs_);
+
+  // R^2 mod m, one full-width division — the dominant per-call setup cost
+  // pow_mod pays and this context pays once.
+  const BigInt r2_big = (BigInt{1} << (128 * n)).mod(modulus_);
+  r2_ = r2_big.limbs_;
+  r2_.resize(n, 0);
 
   // mont(1) = R mod m = REDC(R^2).
-  std::vector<u64> t = r2;
+  std::vector<u64> t = r2_;
   t.resize(2 * n + 1, 0);
-  std::vector<u64> acc(n);
-  ctx.reduce(t, acc);
+  one_.resize(n);
+  ctx.reduce(t, one_);
+
+  // Fixed-window decomposition of the exponent, most significant digit
+  // first, so evaluations skip the per-bit scan.
+  const std::size_t digits = (exponent_.bit_length() + 3) / 4;
+  windows_.resize(digits);
+  for (std::size_t d = 0; d < digits; ++d) {
+    const std::size_t lo = (digits - 1 - d) * 4;
+    unsigned w = 0;
+    for (int s = 3; s >= 0; --s) {
+      w = w << 1 | static_cast<unsigned>(exponent_.bit(lo + static_cast<std::size_t>(s)));
+    }
+    windows_[d] = static_cast<std::uint8_t>(w);
+  }
+}
+
+BigInt ModExpContext::pow(const BigInt& base) const {
+  if (modulus_.is_zero()) throw CryptoError("ModExpContext: pow on an empty context");
+  if (modulus_ == BigInt{1}) return BigInt{};
+  if (exponent_.is_zero()) return BigInt{1};
+  if (!montgomery_) return base.pow_mod(exponent_, modulus_);
+
+  // Rebuilding the REDC helper is just the Newton inversion of m[0] —
+  // nanoseconds — while r2_/one_/windows_ carry the expensive state.
+  const MontgomeryCtx ctx(modulus_.limbs_);
+  const std::size_t n = ctx.k();
+
+  // Into the Montgomery domain: mont(x) = REDC(x * R^2).
+  std::vector<u64> b = base.mod(modulus_).limbs_;
+  b.resize(n, 0);
+  std::vector<u64> scratch;
+  std::vector<u64> mont_base(n);
+  ctx.mul(b, r2_, mont_base, scratch);
 
   // 4-bit window table of mont_base powers.
   std::array<std::vector<u64>, 16> table;
-  table[0] = acc;  // mont(1)
+  table[0] = one_;
   table[1] = mont_base;
   for (std::size_t i = 2; i < 16; ++i) {
     table[i].resize(n);
     ctx.mul(table[i - 1], mont_base, table[i], scratch);
   }
 
-  const std::size_t bits = e.bit_length();
-  std::size_t top = (bits + 3) / 4 * 4;
+  std::vector<u64> acc = one_;
   std::vector<u64> tmp(n);
-  while (top >= 4) {
-    top -= 4;
+  for (const std::uint8_t window : windows_) {
     for (int s = 0; s < 4; ++s) {
       ctx.mul(acc, acc, tmp, scratch);
       acc.swap(tmp);
-    }
-    unsigned window = 0;
-    for (int s = 3; s >= 0; --s) {
-      window = window << 1 | static_cast<unsigned>(e.bit(top + static_cast<std::size_t>(s)));
     }
     if (window != 0) {
       ctx.mul(acc, table[window], tmp, scratch);
@@ -560,7 +595,7 @@ BigInt BigInt::pow_mod_montgomery(const BigInt& e, const BigInt& m) const {
   }
 
   // Out of the domain: REDC(acc).
-  t.assign(2 * n + 1, 0);
+  std::vector<u64> t(2 * n + 1, 0);
   std::copy(acc.begin(), acc.end(), t.begin());
   std::vector<u64> result(n);
   ctx.reduce(t, result);

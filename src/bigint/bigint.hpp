@@ -112,6 +112,8 @@ class BigInt {
   [[nodiscard]] long double to_long_double() const;
 
  private:
+  friend class ModExpContext;
+
   [[nodiscard]] BigInt pow_mod_generic(const BigInt& e, const BigInt& m) const;
   [[nodiscard]] BigInt pow_mod_montgomery(const BigInt& e, const BigInt& m) const;
   [[nodiscard]] static int cmp_mag(const BigInt& a, const BigInt& b);
@@ -127,6 +129,39 @@ class BigInt {
   std::vector<std::uint64_t> limbs_;
   // Sign; never true when limbs_ is empty.
   bool neg_ = false;
+};
+
+/// Reusable fixed-exponent modular exponentiation: base^e mod m for a
+/// (exponent, modulus) pair fixed at construction.
+///
+/// Precomputes everything that does not depend on the base — the
+/// Montgomery parameters of the modulus (R^2 mod m, the Montgomery one)
+/// and the 4-bit fixed-window decomposition of the exponent — so repeated
+/// evaluations skip the per-call setup `pow_mod` pays (one full-width
+/// division for R^2 plus the exponent bit scan). `pow()` is const and
+/// thread-safe: one context can serve concurrent evaluations, which is how
+/// the RSA-OPRF key service shares its per-CRT-prime contexts across a
+/// batch thread pool.
+///
+/// Moduli outside the Montgomery fast path (even, or narrower than the
+/// crossover) fall back to plain `BigInt::pow_mod` per call.
+class ModExpContext {
+ public:
+  /// An empty context; `pow` must not be called until one is assigned.
+  ModExpContext() = default;
+  /// Requires e >= 0 and m > 0 (throws CryptoError otherwise).
+  ModExpContext(const BigInt& exponent, const BigInt& modulus);
+
+  /// base^exponent mod modulus. Thread-safe on a shared context.
+  [[nodiscard]] BigInt pow(const BigInt& base) const;
+
+ private:
+  BigInt exponent_;
+  BigInt modulus_;
+  bool montgomery_ = false;
+  std::vector<std::uint64_t> r2_;      // R^2 mod m (R = 2^(64k))
+  std::vector<std::uint64_t> one_;     // R mod m, the Montgomery one
+  std::vector<std::uint8_t> windows_;  // 4-bit exponent digits, MSB first
 };
 
 }  // namespace smatch

@@ -25,6 +25,7 @@ enum class StatusCode : std::uint8_t {
   kMalformedMessage,     // truncated / corrupted / inconsistent wire data
   kEmptyGroup,           // querier's key group vanished mid-operation
   kUnsupportedVersion,   // wire header carries an unknown format version
+  kBudgetExhausted,      // client exceeded its per-epoch OPRF budget
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -35,6 +36,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kMalformedMessage: return "MALFORMED_MESSAGE";
     case StatusCode::kEmptyGroup: return "EMPTY_GROUP";
     case StatusCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case StatusCode::kBudgetExhausted: return "BUDGET_EXHAUSTED";
   }
   return "INVALID_CODE";
 }

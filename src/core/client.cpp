@@ -1,6 +1,7 @@
 #include "core/client.hpp"
 
 #include "common/error.hpp"
+#include "crypto/drbg.hpp"
 #include "crypto/prf.hpp"
 
 namespace smatch {
@@ -142,6 +143,70 @@ StatusOr<Client::VerifiedResult> Client::verify_result(const QueryRequest& query
     }
   }
   return report;
+}
+
+std::vector<StatusOr<UploadMessage>> enroll_batch(std::span<Client* const> clients,
+                                                  KeyServer& key_server,
+                                                  RandomSource& rng, ThreadPool* pool) {
+  const std::size_t n = clients.size();
+  const auto run = [&](std::size_t count, const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr) {
+      pool->parallel_for(count, fn);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    }
+  };
+
+  // Fork one child generator per client up front (the only stage that
+  // touches the shared RandomSource), so everything after runs on any
+  // thread without contention.
+  std::vector<Drbg> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs.emplace_back(rng.bytes(32));
+
+  // Stage 1 — per-client blinding plus all key-independent profile work
+  // (verification secret, entropy mapping), hoisted ahead of the OPRF
+  // round so stage 3 only runs what genuinely needs the derived key.
+  std::vector<std::optional<KeygenSession>> sessions(n);
+  std::vector<BigInt> secrets(n);
+  std::vector<std::vector<BigInt>> mapped(n);
+  std::vector<Bytes> wires(n);
+  run(n, [&](std::size_t i) {
+    Client& c = *clients[i];
+    sessions[i].emplace(c.keygen(), c.profile(), key_server.public_key(), c.id(), rngs[i]);
+    secrets[i] = c.auth().random_secret(rngs[i]);
+    mapped[i] = c.init_data(rngs[i]);
+    wires[i] = sessions[i]->request_wire();
+  });
+
+  // Stage 2 — one batched OPRF round against the key service.
+  const std::vector<StatusOr<Bytes>> responses = key_server.handle_batch(wires);
+
+  // Stage 3 — unblind, install the key, and finish the upload (chaining,
+  // OPE encryption, auth token), fanned across the pool.
+  std::vector<StatusOr<UploadMessage>> results(
+      n, Status(StatusCode::kMalformedMessage, "client not processed"));
+  run(n, [&](std::size_t i) {
+    if (!responses[i].is_ok()) {
+      results[i] = responses[i].status();
+      return;
+    }
+    StatusOr<ProfileKey> key = sessions[i]->finalize(*responses[i]);
+    if (!key.is_ok()) {
+      results[i] = key.status();
+      return;
+    }
+    Client& c = *clients[i];
+    c.set_profile_key(std::move(*key), secrets[i]);
+    UploadMessage up;
+    up.user_id = c.id();
+    up.key_index = c.profile_key().index;
+    up.chain_cipher = c.encrypt_chain(mapped[i]);
+    up.chain_cipher_bits = static_cast<std::uint32_t>(c.chain_cipher_bits());
+    up.auth_token = c.make_auth_token(rngs[i]);
+    results[i] = std::move(up);
+  });
+  return results;
 }
 
 }  // namespace smatch

@@ -6,10 +6,14 @@
 #include <optional>
 #include <vector>
 
+#include <span>
+
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "core/auth.hpp"
 #include "core/chain.hpp"
 #include "core/entropy_map.hpp"
+#include "core/key_server.hpp"
 #include "core/keygen.hpp"
 #include "core/messages.hpp"
 #include "core/types.hpp"
@@ -103,5 +107,25 @@ class Client {
   std::optional<ProfileKey> key_;
   BigInt secret_;  // s_u
 };
+
+/// Batched wire-format enrollment: runs Keygen for many clients in one
+/// key-server round and assembles their upload messages.
+///
+/// The pipeline hoists the key-independent profile work (entropy mapping)
+/// out of the OPRF critical path, ships every blinded request through one
+/// `KeyServer::handle_batch()` call, then fans the post-round work
+/// (unblinding, chaining, OPE encryption, auth tokens) across `pool`.
+/// Each client draws from an independent child generator forked off `rng`
+/// up front, so the parallel stages are deterministic given the seed and
+/// free of RandomSource contention.
+///
+/// On success, clients[i] has its profile key installed and results[i]
+/// holds its upload; on failure results[i] carries the key-server or
+/// finalization Status (kBudgetExhausted, kMalformedMessage, ...) and the
+/// client is left without a key. Clients must be distinct objects. With
+/// `pool == nullptr` the client-side stages run inline on the caller.
+[[nodiscard]] std::vector<StatusOr<UploadMessage>> enroll_batch(
+    std::span<Client* const> clients, KeyServer& key_server, RandomSource& rng,
+    ThreadPool* pool = nullptr);
 
 }  // namespace smatch

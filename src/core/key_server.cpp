@@ -1,55 +1,152 @@
 #include "core/key_server.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/serde.hpp"
+#include "core/messages.hpp"
 
 namespace smatch {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 Bytes KeyRequest::serialize() const {
   Writer w;
+  wire::write_header(w);
   w.u32(client_id);
   w.var_bytes(blinded.to_bytes());
   return w.take();
 }
 
-KeyRequest KeyRequest::parse(BytesView data) {
-  Reader r(data);
-  KeyRequest req;
-  req.client_id = r.u32();
-  req.blinded = BigInt::from_bytes(r.var_bytes());
-  r.finish();
-  return req;
+StatusOr<KeyRequest> KeyRequest::parse(BytesView data) {
+  return wire::parse_framed<KeyRequest>(data, [](Reader& r) {
+    KeyRequest req;
+    req.client_id = r.u32();
+    req.blinded = BigInt::from_bytes(r.var_bytes());
+    return req;
+  });
 }
 
 Bytes KeyResponse::serialize() const {
   Writer w;
+  wire::write_header(w);
   w.var_bytes(evaluated.to_bytes());
   return w.take();
 }
 
-KeyResponse KeyResponse::parse(BytesView data) {
-  Reader r(data);
-  KeyResponse resp;
-  resp.evaluated = BigInt::from_bytes(r.var_bytes());
-  r.finish();
-  return resp;
+StatusOr<KeyResponse> KeyResponse::parse(BytesView data) {
+  return wire::parse_framed<KeyResponse>(data, [](Reader& r) {
+    KeyResponse resp;
+    resp.evaluated = BigInt::from_bytes(r.var_bytes());
+    return resp;
+  });
 }
 
-KeyServer::KeyServer(RsaKeyPair key, std::uint32_t requests_per_epoch)
-    : oprf_(std::move(key)), budget_(requests_per_epoch) {}
+KeyServer::KeyServer(RsaKeyPair key, KeyServerOptions options)
+    : oprf_(std::move(key)),
+      budget_(options.requests_per_epoch),
+      batch_threads_(options.batch_threads) {
+  const std::size_t n = std::max<std::size_t>(1, options.num_shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<BudgetShard>());
+}
 
-Bytes KeyServer::handle(BytesView request_wire) {
-  const KeyRequest req = KeyRequest::parse(request_wire);
+ThreadPool& KeyServer::pool() {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(batch_threads_); });
+  return *pool_;
+}
+
+StatusOr<Bytes> KeyServer::handle(BytesView request_wire) {
+  StatusOr<KeyRequest> req = KeyRequest::parse(request_wire);
+  if (!req.is_ok()) {
+    auto& counter = req.code() == StatusCode::kUnsupportedVersion ? version_rejections_
+                                                                  : malformed_rejections_;
+    counter.fetch_add(1, kRelaxed);
+    return req.status();
+  }
+
+  // Range-check before touching the trapdoor so the crypto layer never
+  // throws on attacker-controlled input.
+  if (req->blinded <= BigInt{0} || req->blinded >= public_key().n) {
+    malformed_rejections_.fetch_add(1, kRelaxed);
+    return Status(StatusCode::kMalformedMessage,
+                  "key server: blinded element outside the RSA group");
+  }
+
+  BudgetShard& shard = shard_for(req->client_id);
   if (budget_ != 0) {
-    std::uint32_t& used = counts_[req.client_id];
+    std::unique_lock lk(shard.mu);
+    std::uint32_t& used = shard.used[req->client_id];
     if (used >= budget_) {
-      throw ProtocolError("key server: request budget exhausted for client");
+      lk.unlock();
+      shard.budget_rejections.fetch_add(1, kRelaxed);
+      return Status(StatusCode::kBudgetExhausted,
+                    "key server: request budget exhausted for client");
     }
     ++used;
   }
-  const OprfResponse resp = oprf_.evaluate({req.blinded});
-  ++evaluations_;
+
+  // The expensive part — x^d mod N — runs outside any lock: the RSA
+  // contexts inside RsaKeyPair are read-only and shared by every worker.
+  const OprfResponse resp = oprf_.evaluate({req->blinded});
+  shard.evaluations.fetch_add(1, kRelaxed);
   return KeyResponse{resp.evaluated}.serialize();
+}
+
+std::vector<StatusOr<Bytes>> KeyServer::handle_batch(std::span<const Bytes> requests) {
+  std::vector<StatusOr<Bytes>> results(
+      requests.size(), Status(StatusCode::kMalformedMessage, "request not processed"));
+  pool().parallel_for(requests.size(),
+                      [&](std::size_t i) { results[i] = handle(requests[i]); });
+  {
+    std::lock_guard lk(batch_mu_);
+    ++batches_;
+    batched_requests_ += requests.size();
+    ++batch_size_histogram_[requests.size()];
+  }
+  return results;
+}
+
+void KeyServer::next_epoch() {
+  for (auto& shard : shards_) {
+    std::unique_lock lk(shard->mu);
+    shard->used.clear();
+  }
+}
+
+std::uint64_t KeyServer::evaluations() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->evaluations.load(kRelaxed);
+  return n;
+}
+
+KeyServerMetrics KeyServer::metrics() const {
+  KeyServerMetrics m;
+  m.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    KeyShardMetrics s;
+    s.evaluations = shard->evaluations.load(kRelaxed);
+    s.budget_rejections = shard->budget_rejections.load(kRelaxed);
+    {
+      std::shared_lock lk(shard->mu);
+      s.clients = shard->used.size();
+    }
+    m.evaluations += s.evaluations;
+    m.budget_rejections += s.budget_rejections;
+    m.shards.push_back(s);
+  }
+  m.malformed_rejections = malformed_rejections_.load(kRelaxed);
+  m.version_rejections = version_rejections_.load(kRelaxed);
+  {
+    std::lock_guard lk(batch_mu_);
+    m.batches = batches_;
+    m.batched_requests = batched_requests_;
+    m.batch_size_histogram = batch_size_histogram_;
+  }
+  return m;
 }
 
 KeygenSession::KeygenSession(const FuzzyKeyGen& keygen, const Profile& profile,
@@ -62,9 +159,16 @@ Bytes KeygenSession::request_wire() const {
   return KeyRequest{client_id_, oprf_client_.request().blinded}.serialize();
 }
 
-ProfileKey KeygenSession::finalize(BytesView response_wire) const {
-  const KeyResponse resp = KeyResponse::parse(response_wire);
-  return FuzzyKeyGen::from_oprf_output(oprf_client_.finalize({resp.evaluated}));
+StatusOr<ProfileKey> KeygenSession::finalize(BytesView response_wire) const {
+  StatusOr<KeyResponse> resp = KeyResponse::parse(response_wire);
+  if (!resp.is_ok()) return resp.status();
+  try {
+    return FuzzyKeyGen::from_oprf_output(oprf_client_.finalize({resp->evaluated}));
+  } catch (const CryptoError& e) {
+    // Out-of-range element or a failed unblinded^e == h(m) check: the
+    // response is not an honest evaluation of our request.
+    return Status(StatusCode::kMalformedMessage, e.what());
+  }
 }
 
 }  // namespace smatch

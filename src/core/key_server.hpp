@@ -1,66 +1,164 @@
-// The OPRF key server as a network endpoint.
+// The OPRF key service: the second server of the system, redesigned as a
+// concurrent engine symmetric with the matching engine (core/server.hpp).
 //
 // FuzzyKeyGen::derive() runs the OPRF against an in-process object; this
-// endpoint exposes the same round as wire messages so deployments (and
-// the communication benchmarks) can run Keygen over a real channel:
+// service exposes the same round as wire messages so deployments (and the
+// communication benchmarks) can run Keygen over a real channel:
 //
 //   client -> server : KeyRequest  { client_id, blinded element }
 //   server -> client : KeyResponse { evaluated element }
 //
+// Both messages carry the versioned magic+version wire header shared by
+// every protocol message (core/messages.hpp).
+//
 // The OPRF's security story depends on the server being able to meter
 // evaluations (each offline profile guess costs one round), so the
-// endpoint enforces a per-client request budget per epoch — exceeding it
-// is rejected, which is what makes brute-forcing the low-entropy profile
-// space through the server impractical.
+// service enforces a per-client request budget per epoch — exceeding it
+// returns kBudgetExhausted, which is what makes brute-forcing the
+// low-entropy profile space through the server impractical.
+//
+// Service layout
+// --------------
+//   * Per-client budget state is sharded by client id; each shard is
+//     guarded by its own std::shared_mutex, so concurrent requests from
+//     different clients never contend on one lock. Only budget-shard
+//     locks exist and at most one is held at a time — there is no lock
+//     ordering to get wrong.
+//   * `handle_batch()` fans requests out across an internal thread pool.
+//     RSA-OPRF evaluations amortize their modular-exponentiation setup
+//     through the ModExpContext instances cached inside RsaKeyPair
+//     (Montgomery parameters + fixed-window exponent decomposition per
+//     CRT prime, built once per key and shared read-only by all workers);
+//     see bench/keygen_throughput.cpp for the measured effect.
+//   * `KeyServerMetrics` (core/metrics.hpp) snapshots per-shard counters,
+//     rejection totals, and the batch-size histogram without stopping
+//     traffic.
+//
+// Error handling: the public API reports failures through Status /
+// StatusOr (kBudgetExhausted, kMalformedMessage, kUnsupportedVersion) and
+// never throws — this was the last throwing server endpoint, removed in
+// the key-service redesign. Exceptions remain for construction-time
+// misconfiguration only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "core/keygen.hpp"
+#include "core/metrics.hpp"
 #include "core/types.hpp"
 #include "oprf/rsa_oprf.hpp"
 
 namespace smatch {
 
+/// Blinded OPRF request (x = h(m)·s^e mod N), framed like every other
+/// protocol message: versioned header, then the body.
 struct KeyRequest {
   UserId client_id = 0;
   BigInt blinded;
 
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static KeyRequest parse(BytesView data);
+  /// kMalformedMessage for truncation/corruption/bad magic,
+  /// kUnsupportedVersion for an unknown version byte. Never throws.
+  [[nodiscard]] static StatusOr<KeyRequest> parse(BytesView data);
 };
 
+/// Evaluated element (y = x^d mod N), same framing.
 struct KeyResponse {
   BigInt evaluated;
 
   [[nodiscard]] Bytes serialize() const;
-  [[nodiscard]] static KeyResponse parse(BytesView data);
+  /// Same Status contract as KeyRequest::parse. Never throws.
+  [[nodiscard]] static StatusOr<KeyResponse> parse(BytesView data);
+};
+
+/// Service sizing. Defaults suit tests and examples; a deployment scales
+/// shards and threads with core count.
+struct KeyServerOptions {
+  /// Per-client OPRF budget per epoch (0 = unlimited).
+  std::uint32_t requests_per_epoch = 16;
+  /// Budget-state shards (client id -> shard). Clamped to >= 1.
+  std::size_t num_shards = 8;
+  /// Worker threads for handle_batch; 0 = hardware concurrency.
+  std::size_t batch_threads = 0;
 };
 
 class KeyServer {
  public:
-  /// `requests_per_epoch`: per-client OPRF budget (0 = unlimited).
-  explicit KeyServer(RsaKeyPair key, std::uint32_t requests_per_epoch = 16);
+  /// Convenience constructor matching the historical signature.
+  explicit KeyServer(RsaKeyPair key, std::uint32_t requests_per_epoch = 16)
+      : KeyServer(std::move(key), KeyServerOptions{.requests_per_epoch = requests_per_epoch}) {}
+  KeyServer(RsaKeyPair key, KeyServerOptions options);
+
+  KeyServer(const KeyServer&) = delete;
+  KeyServer& operator=(const KeyServer&) = delete;
 
   [[nodiscard]] const RsaPublicKey& public_key() const { return oprf_.public_key(); }
 
   /// Handles one serialized KeyRequest; returns a serialized KeyResponse.
-  /// Throws ProtocolError when the client exceeded its budget and
-  /// CryptoError/SerdeError on malformed requests.
-  [[nodiscard]] Bytes handle(BytesView request_wire);
+  /// kMalformedMessage for unparseable wire or a blinded element outside
+  /// the RSA group, kUnsupportedVersion for an unknown wire version,
+  /// kBudgetExhausted when the client spent its per-epoch budget.
+  /// Thread-safe; never throws.
+  [[nodiscard]] StatusOr<Bytes> handle(BytesView request_wire);
 
-  /// Starts a new rate-limit epoch (e.g. daily).
-  void next_epoch() { counts_.clear(); }
+  /// Batch entry point: requests fan out over the internal pool;
+  /// results[i] corresponds to requests[i] and equals what sequential
+  /// `handle(requests[i])` would return (budget charging is per-request
+  /// atomic, so when a batch carries more requests from one client than
+  /// budget remains, exactly the remaining number succeed — which ones is
+  /// unspecified).
+  [[nodiscard]] std::vector<StatusOr<Bytes>> handle_batch(std::span<const Bytes> requests);
 
-  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  /// Starts a new rate-limit epoch (e.g. daily): every client's budget
+  /// resets; cumulative metrics keep counting.
+  void next_epoch();
+
+  /// Total OPRF evaluations served (all shards, all epochs).
+  [[nodiscard]] std::uint64_t evaluations() const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Point-in-time metrics snapshot. Safe to call under traffic.
+  [[nodiscard]] KeyServerMetrics metrics() const;
 
  private:
+  /// One slice of the client id -> budget-used map.
+  struct BudgetShard {
+    mutable std::shared_mutex mu;
+    std::map<UserId, std::uint32_t> used;
+    std::atomic<std::uint64_t> evaluations{0};
+    std::atomic<std::uint64_t> budget_rejections{0};
+  };
+
+  BudgetShard& shard_for(UserId client) { return *shards_[client % shards_.size()]; }
+
+  ThreadPool& pool();
+
   RsaOprfServer oprf_;
   std::uint32_t budget_;
-  std::map<UserId, std::uint32_t> counts_;
-  std::uint64_t evaluations_ = 0;
+  std::vector<std::unique_ptr<BudgetShard>> shards_;
+  std::atomic<std::uint64_t> malformed_rejections_{0};
+  std::atomic<std::uint64_t> version_rejections_{0};
+
+  // Batch bookkeeping (cold: once per handle_batch call).
+  mutable std::mutex batch_mu_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  std::map<std::size_t, std::uint64_t> batch_size_histogram_;
+
+  std::size_t batch_threads_ = 0;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Client-side keygen over the wire: produces the request for a profile
@@ -71,9 +169,13 @@ class KeygenSession {
                 const RsaPublicKey& server_key, UserId client_id, RandomSource& rng);
 
   [[nodiscard]] Bytes request_wire() const;
-  /// Throws CryptoError when the server response fails the blind-RSA
-  /// consistency check.
-  [[nodiscard]] ProfileKey finalize(BytesView response_wire) const;
+
+  /// Parses the server response, unblinds it, and checks the blind-RSA
+  /// consistency equation unblinded^e == h(m). kMalformedMessage /
+  /// kUnsupportedVersion for wire damage; kMalformedMessage also when the
+  /// consistency check fails (a tampered response or cheating key
+  /// server). Never throws.
+  [[nodiscard]] StatusOr<ProfileKey> finalize(BytesView response_wire) const;
 
  private:
   UserId client_id_;

@@ -48,8 +48,11 @@ class FuzzyKeyGen {
   /// K' = H(T(v)) with the scheme parameters bound in.
   [[nodiscard]] Bytes key_material(const Profile& a) const;
 
-  /// Full derivation including the interactive OPRF round (executed
-  /// in-process against the key server object).
+  /// Full derivation including the interactive OPRF round, executed
+  /// in-process against the OPRF evaluator object. Deployments that run
+  /// Keygen over the wire use KeygenSession / KeyServer
+  /// (core/key_server.hpp), whose Status-based flow derives bit-identical
+  /// keys; this shortcut exists for tests and single-process benchmarks.
   [[nodiscard]] ProfileKey derive(const Profile& a, const RsaOprfServer& oprf,
                                   RandomSource& rng) const;
   /// Derivation from already-finalized OPRF output.

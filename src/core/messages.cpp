@@ -5,14 +5,13 @@
 
 namespace smatch {
 
-namespace {
+namespace wire {
 
 void write_header(Writer& w) {
   w.u16(kWireMagic);
   w.u8(kWireVersion);
 }
 
-/// Consumes and validates the magic + version header. Ok on success.
 Status read_header(Reader& r) {
   if (r.u16() != kWireMagic) {
     return {StatusCode::kMalformedMessage, "bad wire magic"};
@@ -26,26 +25,11 @@ Status read_header(Reader& r) {
   return Status::ok();
 }
 
-/// Runs a Reader-based parse body, mapping SerdeError (truncation, length
-/// lies, trailing bytes) to kMalformedMessage — parse never throws.
-template <typename Message, typename Body>
-StatusOr<Message> parse_guarded(BytesView data, Body&& body) {
-  try {
-    Reader r(data);
-    if (Status header = read_header(r); !header.is_ok()) return header;
-    Message m = body(r);
-    r.finish();
-    return m;
-  } catch (const SerdeError& e) {
-    return Status(StatusCode::kMalformedMessage, e.what());
-  }
-}
-
-}  // namespace
+}  // namespace wire
 
 Bytes UploadMessage::serialize() const {
   Writer w;
-  write_header(w);
+  wire::write_header(w);
   w.u32(user_id);
   w.var_bytes(key_index);
   w.u32(chain_cipher_bits);
@@ -55,7 +39,7 @@ Bytes UploadMessage::serialize() const {
 }
 
 StatusOr<UploadMessage> UploadMessage::parse(BytesView data) {
-  return parse_guarded<UploadMessage>(data, [](Reader& r) {
+  return wire::parse_framed<UploadMessage>(data, [](Reader& r) {
     UploadMessage m;
     m.user_id = r.u32();
     m.key_index = r.var_bytes();
@@ -68,7 +52,7 @@ StatusOr<UploadMessage> UploadMessage::parse(BytesView data) {
 
 Bytes QueryRequest::serialize() const {
   Writer w;
-  write_header(w);
+  wire::write_header(w);
   w.u32(query_id);
   w.u64(timestamp);
   w.u32(user_id);
@@ -76,7 +60,7 @@ Bytes QueryRequest::serialize() const {
 }
 
 StatusOr<QueryRequest> QueryRequest::parse(BytesView data) {
-  return parse_guarded<QueryRequest>(data, [](Reader& r) {
+  return wire::parse_framed<QueryRequest>(data, [](Reader& r) {
     QueryRequest q;
     q.query_id = r.u32();
     q.timestamp = r.u64();
@@ -87,7 +71,7 @@ StatusOr<QueryRequest> QueryRequest::parse(BytesView data) {
 
 Bytes QueryResult::serialize() const {
   Writer w;
-  write_header(w);
+  wire::write_header(w);
   w.u32(query_id);
   w.u64(timestamp);
   w.u32(static_cast<std::uint32_t>(entries.size()));
@@ -99,7 +83,7 @@ Bytes QueryResult::serialize() const {
 }
 
 StatusOr<QueryResult> QueryResult::parse(BytesView data) {
-  return parse_guarded<QueryResult>(data, [](Reader& r) {
+  return wire::parse_framed<QueryResult>(data, [](Reader& r) {
     QueryResult q;
     q.query_id = r.u32();
     q.timestamp = r.u64();

@@ -6,17 +6,21 @@
 //
 // Every message is framed by a 3-byte versioned header — u16 magic "SM"
 // followed by a u8 format version — so future wire changes can coexist
-// with old readers. Parsers return StatusOr: kMalformedMessage for
+// with old readers. This includes the key-service messages
+// (KeyRequest/KeyResponse in core/key_server.hpp), which build on the
+// wire:: helpers below. Parsers return StatusOr: kMalformedMessage for
 // truncation/corruption, kUnsupportedVersion for an unknown version byte;
 // they never throw. Byte counts of these encodings are what the
 // communication-cost benchmarks measure.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bigint/bigint.hpp"
 #include "common/bytes.hpp"
+#include "common/serde.hpp"
 #include "common/status.hpp"
 #include "core/types.hpp"
 
@@ -28,6 +32,33 @@ inline constexpr std::uint16_t kWireMagic = 0x534D;
 inline constexpr std::uint8_t kWireVersion = 1;
 /// Serialized size of the magic + version header.
 inline constexpr std::size_t kWireHeaderBytes = 3;
+
+namespace wire {
+
+/// Appends the 3-byte magic + version header.
+void write_header(Writer& w);
+
+/// Consumes and validates the header: kMalformedMessage on bad magic,
+/// kUnsupportedVersion on an unknown version byte, ok otherwise.
+[[nodiscard]] Status read_header(Reader& r);
+
+/// Runs a Reader-based parse body under the versioned header, mapping
+/// SerdeError (truncation, length lies, trailing bytes) to
+/// kMalformedMessage. Framed parsers never throw.
+template <typename Message, typename Body>
+[[nodiscard]] StatusOr<Message> parse_framed(BytesView data, Body&& body) {
+  try {
+    Reader r(data);
+    if (Status header = read_header(r); !header.is_ok()) return header;
+    Message m = std::forward<Body>(body)(r);
+    r.finish();
+    return m;
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage, e.what());
+  }
+}
+
+}  // namespace wire
 
 /// Profile upload (paper Eq. 3 plus the verification token).
 struct UploadMessage {

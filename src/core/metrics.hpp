@@ -1,9 +1,10 @@
-// Observability for the sharded matching engine.
+// Observability for the sharded services: the matching engine and the
+// OPRF key service.
 //
-// The engine keeps lock-free per-shard counters (relaxed atomics — these
-// are statistics, not synchronization); `MatchServer::metrics()` folds
-// them into a plain-value `ServerMetrics` snapshot that benchmarks and
-// operators can read without stopping traffic.
+// Both servers keep lock-free per-shard counters (relaxed atomics — these
+// are statistics, not synchronization); `MatchServer::metrics()` and
+// `KeyServer::metrics()` fold them into plain-value snapshots that
+// benchmarks and operators can read without stopping traffic.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +38,31 @@ struct ServerMetrics {
   /// The m of the PR-KK bound: the histogram is exactly what a curious
   /// server learns about population structure.
   std::map<std::size_t, std::uint64_t> group_size_histogram;
+};
+
+/// Per-shard slice of the key-service metrics snapshot.
+struct KeyShardMetrics {
+  std::uint64_t evaluations = 0;        // OPRF evaluations served
+  std::uint64_t budget_rejections = 0;  // requests refused over budget
+  std::uint64_t clients = 0;            // clients with budget state this epoch
+};
+
+/// Point-in-time view of the OPRF key service (mirrors ServerMetrics).
+/// Counters are monotonic across epochs; `clients` reflects the snapshot.
+struct KeyServerMetrics {
+  std::vector<KeyShardMetrics> shards;
+
+  // Totals across shards.
+  std::uint64_t evaluations = 0;        // the paper's rate-metering unit
+  std::uint64_t budget_rejections = 0;  // kBudgetExhausted responses
+  std::uint64_t malformed_rejections = 0;  // kMalformedMessage (wire or range)
+  std::uint64_t version_rejections = 0;    // kUnsupportedVersion wire headers
+
+  // Batch amortization.
+  std::uint64_t batches = 0;            // handle_batch invocations
+  std::uint64_t batched_requests = 0;   // requests served through batches
+  /// Batch size -> number of handle_batch calls of that size.
+  std::map<std::size_t, std::uint64_t> batch_size_histogram;
 };
 
 }  // namespace smatch

@@ -24,7 +24,8 @@ enum class MessageKind : std::uint8_t {
   kQuery,       // QueryRequest Q_q
   kResult,      // QueryResult R_q
   kAuth,        // session-layer handshake / auth traffic
-  kOprf,        // key-server OPRF round (KeyRequest/KeyResponse)
+  kOprf,        // key-service OPRF round (versioned KeyRequest/KeyResponse,
+                // single or batched — see core/key_server.hpp)
   kOther,       // anything else (default)
 };
 

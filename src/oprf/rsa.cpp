@@ -10,6 +10,8 @@ RsaKeyPair::RsaKeyPair(RsaPublicKey pub, BigInt d, BigInt p, BigInt q)
   dp_ = d_ % (p_ - BigInt{1});
   dq_ = d_ % (q_ - BigInt{1});
   qinv_ = q_.inv_mod(p_);
+  dp_ctx_ = ModExpContext(dp_, p_);
+  dq_ctx_ = ModExpContext(dq_, q_);
 }
 
 RsaKeyPair RsaKeyPair::generate(RandomSource& rng, std::size_t bits) {
@@ -33,9 +35,9 @@ BigInt RsaKeyPair::public_op(const BigInt& x) const {
 }
 
 BigInt RsaKeyPair::private_op(const BigInt& x) const {
-  // Garner's CRT recombination.
-  const BigInt m1 = x.pow_mod(dp_, p_);
-  const BigInt m2 = x.pow_mod(dq_, q_);
+  // Garner's CRT recombination, over the precomputed per-prime contexts.
+  const BigInt m1 = dp_ctx_.pow(x);
+  const BigInt m2 = dq_ctx_.pow(x);
   const BigInt h = BigInt::mul_mod(qinv_, (m1 - m2).mod(p_), p_);
   return (m2 + q_ * h).mod(pub_.n);
 }

@@ -30,6 +30,8 @@ class RsaKeyPair {
   /// x^e mod n.
   [[nodiscard]] BigInt public_op(const BigInt& x) const;
   /// x^d mod n via CRT (about 4x faster than a plain exponentiation).
+  /// Thread-safe: the precomputed per-prime contexts are read-only, so a
+  /// key service can fan evaluations across a pool on one key pair.
   [[nodiscard]] BigInt private_op(const BigInt& x) const;
 
  private:
@@ -39,6 +41,9 @@ class RsaKeyPair {
   BigInt d_;
   // CRT components.
   BigInt p_, q_, dp_, dq_, qinv_;
+  // Reused across private_op calls: Montgomery parameters + fixed-window
+  // exponent decompositions for x^dp mod p and x^dq mod q.
+  ModExpContext dp_ctx_, dq_ctx_;
 };
 
 }  // namespace smatch

@@ -53,7 +53,11 @@ class RsaOprfClient {
   [[nodiscard]] const OprfRequest& request() const { return request_; }
 
   /// Consumes the server response and outputs the 32-byte PRF value
-  /// r = h'(h(m)^d). Throws CryptoError if the response is inconsistent.
+  /// r = h'(h(m)^d). Throws CryptoError if the response is inconsistent
+  /// (out-of-range element, or the unblinded value fails the
+  /// unblinded^e == h(m) check). This is the low-level primitive; the
+  /// service-facing wrapper KeygenSession::finalize (core/key_server.hpp)
+  /// converts these failures into a Status and never throws.
   [[nodiscard]] Bytes finalize(const OprfResponse& resp) const;
 
  private:

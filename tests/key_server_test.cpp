@@ -1,10 +1,19 @@
-// Key-server endpoint tests: wire-level Keygen equals in-process Keygen,
-// rate limiting meters brute-force attempts, malformed input rejected.
+// Key-service tests: wire-level Keygen equals in-process Keygen, batch
+// equals sequential bit-for-bit, budgets meter brute-force attempts
+// across epochs, and every error path (truncated/bit-flipped wire,
+// unknown version, tampering) comes back as a Status — the public API
+// never throws. The concurrency tests are meant to also run under TSan
+// (scripts/ci.sh builds this target with -DSMATCH_SANITIZE=thread).
 #include <gtest/gtest.h>
 
-#include "common/error.hpp"
+#include <thread>
+#include <vector>
+
+#include "core/client.hpp"
 #include "core/key_server.hpp"
 #include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "group/modp_group.hpp"
 
 namespace smatch {
 namespace {
@@ -30,34 +39,82 @@ TEST(KeyServer, WireKeygenMatchesInProcessKeygen) {
   const Profile profile = {10, 20, 30, 40, 50, 60};
 
   KeygenSession session(kg, profile, server.public_key(), 1, rng);
-  const Bytes response = server.handle(session.request_wire());
-  const ProfileKey over_wire = session.finalize(response);
+  const StatusOr<Bytes> response = server.handle(session.request_wire());
+  ASSERT_TRUE(response.is_ok());
+  const StatusOr<ProfileKey> over_wire = session.finalize(*response);
+  ASSERT_TRUE(over_wire.is_ok());
 
   const ProfileKey in_process = kg.derive(profile, direct, rng);
-  EXPECT_EQ(over_wire.key, in_process.key);
-  EXPECT_EQ(over_wire.index, in_process.index);
+  EXPECT_EQ(over_wire->key, in_process.key);
+  EXPECT_EQ(over_wire->index, in_process.index);
   EXPECT_EQ(server.evaluations(), 1u);
 }
 
-TEST(KeyServer, RateLimitsPerClient) {
+TEST(KeyServer, BatchKeysBitIdenticalToSequential) {
+  Drbg rng(11);
+  RsaKeyPair rsa = test_rsa();
+  KeyServer seq_server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 0});
+  KeyServer batch_server(std::move(rsa),
+                         KeyServerOptions{.requests_per_epoch = 0, .batch_threads = 4});
+
+  const FuzzyKeyGen kg(test_params(), 6);
+  std::vector<KeygenSession> sessions;
+  std::vector<Bytes> wires;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const Profile p = {i * 7, i * 5 + 1, i, 2 * i, 100 - i, i + 3};
+    sessions.emplace_back(kg, p, seq_server.public_key(), i + 1, rng);
+    wires.push_back(sessions.back().request_wire());
+  }
+
+  // The same blinded request through both servers (same RSA key) must
+  // finalize to byte-identical ProfileKeys.
+  const std::vector<StatusOr<Bytes>> batched = batch_server.handle_batch(wires);
+  ASSERT_EQ(batched.size(), wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const StatusOr<Bytes> seq_resp = seq_server.handle(wires[i]);
+    ASSERT_TRUE(seq_resp.is_ok());
+    ASSERT_TRUE(batched[i].is_ok()) << batched[i].status().to_string();
+    const StatusOr<ProfileKey> seq_key = sessions[i].finalize(*seq_resp);
+    const StatusOr<ProfileKey> batch_key = sessions[i].finalize(*batched[i]);
+    ASSERT_TRUE(seq_key.is_ok());
+    ASSERT_TRUE(batch_key.is_ok());
+    EXPECT_EQ(seq_key->key, batch_key->key);
+    EXPECT_EQ(seq_key->index, batch_key->index);
+  }
+
+  const KeyServerMetrics m = batch_server.metrics();
+  EXPECT_EQ(m.evaluations, wires.size());
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.batched_requests, wires.size());
+  EXPECT_EQ(m.batch_size_histogram.at(wires.size()), 1u);
+}
+
+TEST(KeyServer, BudgetExhaustionAcrossEpochs) {
   Drbg rng(2);
   KeyServer server(test_rsa(), /*requests_per_epoch=*/3);
   const FuzzyKeyGen kg(test_params(), 6);
 
-  // A curious client probing guessed profiles: the 4th probe is refused.
-  for (std::uint32_t i = 0; i < 3; ++i) {
-    KeygenSession s(kg, Profile{i, i, i, i, i, i}, server.public_key(), 42, rng);
-    EXPECT_NO_THROW((void)server.handle(s.request_wire()));
-  }
-  KeygenSession s4(kg, Profile{9, 9, 9, 9, 9, 9}, server.public_key(), 42, rng);
-  EXPECT_THROW((void)server.handle(s4.request_wire()), ProtocolError);
+  const auto probe = [&](UserId client, std::uint32_t salt) {
+    KeygenSession s(kg, Profile{salt, salt, salt, salt, salt, salt},
+                    server.public_key(), client, rng);
+    return server.handle(s.request_wire());
+  };
 
-  // Other clients are unaffected; a new epoch resets the budget.
-  KeygenSession other(kg, Profile{1, 1, 1, 1, 1, 1}, server.public_key(), 43, rng);
-  EXPECT_NO_THROW((void)server.handle(other.request_wire()));
+  // A curious client probing guessed profiles: the 4th probe is refused.
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_TRUE(probe(42, i).is_ok());
+  EXPECT_EQ(probe(42, 9).code(), StatusCode::kBudgetExhausted);
+
+  // Other clients are unaffected.
+  EXPECT_TRUE(probe(43, 1).is_ok());
+
+  // A new epoch resets the budget — and the next epoch meters it again.
   server.next_epoch();
-  KeygenSession s5(kg, Profile{9, 9, 9, 9, 9, 9}, server.public_key(), 42, rng);
-  EXPECT_NO_THROW((void)server.handle(s5.request_wire()));
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_TRUE(probe(42, 20 + i).is_ok());
+  EXPECT_EQ(probe(42, 30).code(), StatusCode::kBudgetExhausted);
+
+  const KeyServerMetrics m = server.metrics();
+  EXPECT_EQ(m.budget_rejections, 2u);
+  EXPECT_EQ(m.evaluations, 7u);
 }
 
 TEST(KeyServer, UnlimitedBudgetWhenZero) {
@@ -66,18 +123,59 @@ TEST(KeyServer, UnlimitedBudgetWhenZero) {
   const FuzzyKeyGen kg(test_params(), 6);
   for (std::uint32_t i = 0; i < 20; ++i) {
     KeygenSession s(kg, Profile{i, 0, 0, 0, 0, 0}, server.public_key(), 7, rng);
-    EXPECT_NO_THROW((void)server.handle(s.request_wire()));
+    EXPECT_TRUE(server.handle(s.request_wire()).is_ok());
   }
   EXPECT_EQ(server.evaluations(), 20u);
 }
 
-TEST(KeyServer, RejectsMalformedAndOutOfRangeRequests) {
+TEST(KeyServer, MalformedWireRejectedWithoutThrowing) {
   Drbg rng(4);
   KeyServer server(test_rsa());
-  EXPECT_THROW((void)server.handle(Bytes{1, 2, 3}), SerdeError);
-  // Blinded element 0 is outside the RSA group.
-  const Bytes zero_req = KeyRequest{1, BigInt{0}}.serialize();
-  EXPECT_THROW((void)server.handle(zero_req), CryptoError);
+  const FuzzyKeyGen kg(test_params(), 6);
+  KeygenSession session(kg, Profile{1, 2, 3, 4, 5, 6}, server.public_key(), 1, rng);
+  const Bytes wire = session.request_wire();
+
+  // Garbage and every prefix truncation: kMalformedMessage, no throw.
+  EXPECT_EQ(server.handle(Bytes{1, 2, 3}).code(), StatusCode::kMalformedMessage);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto r = server.handle(BytesView(wire).subspan(0, len));
+    EXPECT_FALSE(r.is_ok()) << "truncation to " << len << " accepted";
+  }
+
+  // Bit flips never crash; header flips never parse as current traffic.
+  for (int iter = 0; iter < 100; ++iter) {
+    Bytes mutated = wire;
+    const std::size_t pos = rng.below(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    const auto r = server.handle(mutated);
+    if (pos < kWireHeaderBytes) EXPECT_FALSE(r.is_ok()) << pos;
+  }
+
+  // Blinded element outside the RSA group (0 and n) is malformed, not a
+  // crypto exception.
+  EXPECT_EQ(server.handle(KeyRequest{1, BigInt{0}}.serialize()).code(),
+            StatusCode::kMalformedMessage);
+  EXPECT_EQ(server.handle(KeyRequest{1, server.public_key().n}.serialize()).code(),
+            StatusCode::kMalformedMessage);
+  EXPECT_GT(server.metrics().malformed_rejections, 0u);
+}
+
+TEST(KeyServer, UnknownWireVersionRejected) {
+  Drbg rng(6);
+  KeyServer server(test_rsa());
+  const FuzzyKeyGen kg(test_params(), 6);
+  KeygenSession session(kg, Profile{1, 2, 3, 4, 5, 6}, server.public_key(), 1, rng);
+  Bytes wire = session.request_wire();
+  wire[2] = kWireVersion + 1;  // header = magic:u16 || version:u8
+  EXPECT_EQ(server.handle(wire).code(), StatusCode::kUnsupportedVersion);
+  EXPECT_EQ(server.metrics().version_rejections, 1u);
+  EXPECT_EQ(server.evaluations(), 0u);
+
+  // The client rejects a version-bumped response the same way.
+  KeyResponse resp{BigInt{42}};
+  Bytes resp_wire = resp.serialize();
+  resp_wire[2] = kWireVersion + 1;
+  EXPECT_EQ(session.finalize(resp_wire).code(), StatusCode::kUnsupportedVersion);
 }
 
 TEST(KeyServer, ClientDetectsTamperedResponse) {
@@ -85,19 +183,166 @@ TEST(KeyServer, ClientDetectsTamperedResponse) {
   KeyServer server(test_rsa());
   const FuzzyKeyGen kg(test_params(), 6);
   KeygenSession session(kg, Profile{1, 2, 3, 4, 5, 6}, server.public_key(), 1, rng);
-  const Bytes response = server.handle(session.request_wire());
-  KeyResponse tampered = KeyResponse::parse(response);
-  tampered.evaluated += BigInt{1};
-  EXPECT_THROW((void)session.finalize(tampered.serialize()), CryptoError);
+  const StatusOr<Bytes> response = server.handle(session.request_wire());
+  ASSERT_TRUE(response.is_ok());
+
+  StatusOr<KeyResponse> tampered = KeyResponse::parse(*response);
+  ASSERT_TRUE(tampered.is_ok());
+  tampered->evaluated += BigInt{1};
+  EXPECT_EQ(session.finalize(tampered->serialize()).code(),
+            StatusCode::kMalformedMessage);
+
+  // Truncated responses are wire damage, also Status not throw.
+  const Bytes& good = *response;
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(session.finalize(BytesView(good).subspan(0, len)).is_ok());
+  }
 }
 
 TEST(KeyServer, MessagesRoundTrip) {
   const KeyRequest req{77, BigInt::from_decimal("123456789123456789")};
-  const KeyRequest back = KeyRequest::parse(req.serialize());
-  EXPECT_EQ(back.client_id, 77u);
-  EXPECT_EQ(back.blinded, req.blinded);
+  const StatusOr<KeyRequest> back = KeyRequest::parse(req.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->client_id, 77u);
+  EXPECT_EQ(back->blinded, req.blinded);
   const KeyResponse resp{BigInt{42}};
-  EXPECT_EQ(KeyResponse::parse(resp.serialize()).evaluated, BigInt{42});
+  const StatusOr<KeyResponse> rback = KeyResponse::parse(resp.serialize());
+  ASSERT_TRUE(rback.is_ok());
+  EXPECT_EQ(rback->evaluated, BigInt{42});
+}
+
+TEST(KeyServer, EnrollBatchInstallsKeysAndReportsFailures) {
+  Drbg rng(8);
+  // Budget of 2 with 3 clients sharing one client id spread across
+  // distinct ids: give each its own id so all succeed, then a second
+  // enrollment round for one id hits the budget.
+  KeyServer server(test_rsa(), /*requests_per_epoch=*/2);
+
+  DatasetSpec spec;
+  spec.name = "enroll-batch";
+  spec.num_users = 3;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    spec.attributes.push_back(AttributeSpec::uniform(name, 6.0));
+  }
+  SchemeParams params = test_params();
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  const ClientConfig config = make_client_config(spec, params, group);
+
+  // quant_width = 8: alice and bob both quantize to {2, 4, 5, 6}; carol
+  // is several cells away on every attribute.
+  Client alice(1, Profile{17, 33, 41, 49}, config);
+  Client bob(2, Profile{15, 31, 39, 47}, config);
+  Client carol(3, Profile{60, 5, 10, 62}, config);
+  const std::array<Client*, 3> phones = {&alice, &bob, &carol};
+
+  ThreadPool pool(2);
+  const auto enrolled = enroll_batch(phones, server, rng, &pool);
+  ASSERT_EQ(enrolled.size(), 3u);
+  for (std::size_t i = 0; i < enrolled.size(); ++i) {
+    ASSERT_TRUE(enrolled[i].is_ok()) << enrolled[i].status().to_string();
+    EXPECT_EQ(enrolled[i]->user_id, phones[i]->id());
+    EXPECT_EQ(enrolled[i]->key_index, phones[i]->profile_key().index);
+    EXPECT_FALSE(enrolled[i]->auth_token.empty());
+  }
+  // Similar profiles share a key group; the outlier does not.
+  EXPECT_EQ(alice.profile_key().index, bob.profile_key().index);
+  EXPECT_NE(alice.profile_key().index, carol.profile_key().index);
+
+  // Re-enrolling alice twice more exhausts her budget of 2: the second
+  // round carries a kBudgetExhausted entry instead of an upload.
+  const std::array<Client*, 1> just_alice = {&alice};
+  EXPECT_TRUE(enroll_batch(just_alice, server, rng, &pool)[0].is_ok());
+  EXPECT_EQ(enroll_batch(just_alice, server, rng, &pool)[0].code(),
+            StatusCode::kBudgetExhausted);
+}
+
+// Concurrency: hammer one server from several threads — mixed valid,
+// over-budget, and malformed traffic — then check the books balance.
+// Run under TSan via scripts/ci.sh.
+TEST(KeyServerStress, ConcurrentHandleAndMetricsAreRaceFree) {
+  Drbg setup_rng(99);
+  KeyServer server(test_rsa(),
+                   KeyServerOptions{.requests_per_epoch = 8, .num_shards = 4});
+  const FuzzyKeyGen kg(test_params(), 6);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 16;
+
+  // Pre-build wires on the main thread (sessions need the shared rng).
+  std::vector<std::vector<Bytes>> wires(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      const auto v = static_cast<std::uint32_t>(t * kPerThread + i);
+      KeygenSession s(kg, Profile{v, v, v, v, v, v}, server.public_key(),
+                      /*client_id=*/static_cast<UserId>(t % 2), setup_rng);
+      wires[t].push_back(s.request_wire());
+    }
+  }
+
+  std::atomic<std::uint64_t> ok{0}, over_budget{0}, malformed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Every 4th request is garbage.
+        const StatusOr<Bytes> r = (i % 4 == 3)
+                                      ? server.handle(Bytes{0x00, 0x01, 0x02})
+                                      : server.handle(wires[t][i]);
+        if (r.is_ok()) {
+          ++ok;
+        } else if (r.code() == StatusCode::kBudgetExhausted) {
+          ++over_budget;
+        } else {
+          ++malformed;
+        }
+        if (i == kPerThread / 2) (void)server.metrics();  // snapshot under fire
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Two client ids, budget 8 each: exactly 16 evaluations; the rest of
+  // the valid traffic bounced off the budget.
+  EXPECT_EQ(ok.load(), 16u);
+  EXPECT_EQ(server.evaluations(), 16u);
+  const KeyServerMetrics m = server.metrics();
+  EXPECT_EQ(m.evaluations, 16u);
+  EXPECT_EQ(m.budget_rejections, over_budget.load());
+  EXPECT_EQ(m.malformed_rejections, malformed.load());
+  EXPECT_EQ(ok + over_budget + malformed, kThreads * kPerThread);
+}
+
+TEST(KeyServerStress, ConcurrentBatchesShareOneBudgetLedger) {
+  KeyServer server(test_rsa(),
+                   KeyServerOptions{.requests_per_epoch = 4, .num_shards = 2,
+                                    .batch_threads = 3});
+  Drbg rng(123);
+  const FuzzyKeyGen kg(test_params(), 6);
+
+  // 3 clients x 8 requests each, shuffled into one batch: each client
+  // gets exactly 4 evaluations regardless of scheduling.
+  std::vector<Bytes> wires;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (UserId client = 1; client <= 3; ++client) {
+      KeygenSession s(kg, Profile{i, client, i, client, i, client},
+                      server.public_key(), client, rng);
+      wires.push_back(s.request_wire());
+    }
+  }
+  const auto results = server.handle_batch(wires);
+  std::size_t ok = 0, rejected = 0;
+  for (const auto& r : results) {
+    if (r.is_ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.code(), StatusCode::kBudgetExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok, 12u);
+  EXPECT_EQ(rejected, 12u);
+  EXPECT_EQ(server.evaluations(), 12u);
 }
 
 }  // namespace

@@ -68,9 +68,10 @@ TEST(Serde, FinishRejectsTrailingBytes) {
 }
 
 // Deterministic fuzz: every prefix truncation and 200 random bit flips of
-// each message type must be handled cleanly — versioned protocol messages
-// return a non-ok Status (parse never throws), legacy key-server messages
-// throw SerdeError. Neither may crash.
+// each message type must be handled cleanly. All protocol messages now
+// carry the versioned header and parse into a StatusOr (never throwing);
+// the throwing branch below is kept so the template still covers any
+// future message that opts out of the Status contract.
 template <typename Message>
 void fuzz_message(const Message& msg, std::uint64_t seed) {
   constexpr bool kStatusParse =
