@@ -37,7 +37,7 @@ double encrypt_ms(Client& client, Drbg& rng) {
 
 void report(const char* label, ClientConfig config, const Profile& profile,
             const RsaOprfServer& oprf, double min_entropy, Drbg& rng) {
-  Client client(1, profile, config);
+  Client client = Client::create(1, profile, config).value();
   client.generate_key(oprf, rng);
   const double ms = encrypt_ms(client, rng);
   const std::size_t bytes = client.make_upload(rng).serialize().size();

@@ -88,7 +88,9 @@ void initdata_plus_enc(benchmark::State& state) {
     spec.attributes.push_back(AttributeSpec::uniform("a" + std::to_string(i), 8.0));
   }
   auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
-  Client client(1, test_profile(), make_client_config(spec, params_for(k), group));
+  Client client =
+      Client::create(1, test_profile(), make_client_config(spec, params_for(k), group))
+          .value();
   Drbg rng(4);
   client.generate_key(oprf_server(), rng);
   for (auto _ : state) {

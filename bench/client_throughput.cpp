@@ -1,0 +1,218 @@
+// Client pipeline throughput: sequential vs batched fleet enrollment
+// (enroll_and_upload_batch), plus a single-core microbench isolating the
+// OPE node cache (the Popa-style recursion-state memoization inside Ope).
+//
+// The harness proves the paths are interchangeable before timing anything:
+// a warmup round enrolls two identical fleets — one sequential with a
+// single-threaded key server, one batched over a ThreadPool — and every
+// upload wire must be byte-identical. Only then are fresh fleets timed.
+//
+// The >= 3x batched-vs-sequential acceptance gate only applies to full
+// runs on machines with >= 8 hardware threads; the batch win is thread
+// parallelism (client-side RSA blinding, OPE walks, and auth-token
+// modexps all fan out), which a small container cannot exhibit. The
+// single-core ratio is reported separately: with one worker the batch
+// path must not cost materially more than the sequential one.
+//
+// Run:   ./build/bench/client_throughput            (64 clients, RSA-1024)
+//        ./build/bench/client_throughput --smoke    (8 clients, RSA-512; ctest)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/key_server.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "group/modp_group.hpp"
+
+using namespace smatch;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+constexpr std::size_t kAttributes = 6;
+
+ClientConfig make_config(std::size_t attribute_bits) {
+  DatasetSpec spec;
+  spec.name = "throughput";
+  spec.num_users = 1;
+  for (std::size_t i = 0; i < kAttributes; ++i) {
+    spec.attributes.push_back(AttributeSpec::uniform("a" + std::to_string(i), 8.0));
+  }
+  SchemeParams params;
+  params.attribute_bits = attribute_bits;
+  params.rs_threshold = 8;
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  return make_client_config(spec, params, group);
+}
+
+std::vector<Client> make_fleet(const ClientConfig& config, std::size_t n,
+                               std::uint64_t seed) {
+  Drbg rng(seed);
+  std::vector<Client> fleet;
+  fleet.reserve(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    Profile p;
+    for (std::size_t a = 0; a < kAttributes; ++a) {
+      p.push_back(static_cast<AttrValue>(rng.below(256)));
+    }
+    fleet.push_back(Client::create(static_cast<UserId>(u + 1), p, config).value());
+  }
+  return fleet;
+}
+
+std::vector<Client*> ptrs(std::vector<Client>& fleet) {
+  std::vector<Client*> out;
+  out.reserve(fleet.size());
+  for (auto& c : fleet) out.push_back(&c);
+  return out;
+}
+
+// Enrolls a fresh fleet and returns (elapsed ms, serialized uploads).
+struct EnrollRun {
+  double ms = 0;
+  std::vector<Bytes> wires;
+};
+
+EnrollRun run_enroll(const ClientConfig& config, std::size_t n, const RsaKeyPair& rsa,
+                     std::size_t server_threads, ThreadPool* pool,
+                     std::uint64_t enroll_seed) {
+  std::vector<Client> fleet = make_fleet(config, n, /*seed=*/1);
+  KeyServer server(RsaKeyPair{rsa},
+                   KeyServerOptions{.requests_per_epoch = 0,
+                                    .batch_threads = server_threads});
+  std::vector<Client*> clients = ptrs(fleet);
+  Drbg rng(enroll_seed);
+  const auto t0 = Clock::now();
+  const auto uploads = enroll_and_upload_batch(clients, server, rng, pool);
+  EnrollRun run;
+  run.ms = ms_since(t0);
+  for (const auto& up : uploads) {
+    if (!up.is_ok()) {
+      std::fprintf(stderr, "FAIL: enrollment error: %s\n",
+                   up.status().to_string().c_str());
+      std::exit(1);
+    }
+    run.wires.push_back(up->serialize());
+  }
+  return run;
+}
+
+// Node-cache microbench: the same plaintext stream through a cached and
+// an uncached Ope under one key, single-threaded. Returns the speedup.
+double ope_cache_speedup(std::size_t pt_bits, std::size_t iters) {
+  Drbg rng(2718);
+  const Bytes key = rng.bytes(32);
+  std::vector<BigInt> plain;
+  plain.reserve(iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    plain.push_back(BigInt::random_below(rng, BigInt{1} << pt_bits));
+  }
+
+  const Ope uncached(key, pt_bits, pt_bits + 64, /*cache_nodes=*/0);
+  auto t0 = Clock::now();
+  std::vector<BigInt> cold;
+  cold.reserve(iters);
+  for (const BigInt& m : plain) cold.push_back(uncached.encrypt(m));
+  const double cold_ms = ms_since(t0);
+
+  const Ope cached(key, pt_bits, pt_bits + 64);
+  t0 = Clock::now();
+  std::vector<BigInt> warm;
+  warm.reserve(iters);
+  for (const BigInt& m : plain) warm.push_back(cached.encrypt(m));
+  const double warm_ms = ms_since(t0);
+
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (cold[i] != warm[i]) {
+      std::fprintf(stderr, "FAIL: cached OPE ciphertext %zu differs\n", i);
+      std::exit(1);
+    }
+  }
+  const OpeCacheStats stats = cached.cache_stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  std::printf("  ope %zu-bit:        uncached %8.1f ms, cached %8.1f ms"
+              "  (%.2fx, hit rate %.0f%%, %zu encryptions)\n",
+              pt_bits, cold_ms, warm_ms, cold_ms / warm_ms,
+              total == 0 ? 0.0 : 100.0 * static_cast<double>(stats.hits) / total,
+              iters);
+  return cold_ms / warm_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t fleet_size = smoke ? 8 : 64;
+  const std::size_t rsa_bits = smoke ? 512 : 1024;
+  const std::size_t attribute_bits = smoke ? 32 : 64;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  const ClientConfig config = make_config(attribute_bits);
+  Drbg key_rng(2014);
+  const RsaKeyPair rsa = RsaKeyPair::generate(key_rng, rsa_bits);
+
+  // Identity phase (untimed warmup): the batched pipeline must be
+  // byte-for-byte the sequential one before any timing is trusted.
+  ThreadPool pool;
+  {
+    const EnrollRun seq = run_enroll(config, fleet_size, rsa, /*server_threads=*/1,
+                                     /*pool=*/nullptr, /*enroll_seed=*/7);
+    const EnrollRun par = run_enroll(config, fleet_size, rsa, /*server_threads=*/0,
+                                     &pool, /*enroll_seed=*/7);
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+      if (seq.wires[i] != par.wires[i]) {
+        std::fprintf(stderr, "FAIL: batched upload %zu differs from sequential\n", i);
+        return 1;
+      }
+    }
+  }
+
+  // Timed phase: fresh fleets, fresh servers, same profiles and seeds.
+  const EnrollRun seq = run_enroll(config, fleet_size, rsa, 1, nullptr, 11);
+  const EnrollRun par = run_enroll(config, fleet_size, rsa, 0, &pool, 11);
+  ThreadPool single(1);
+  const EnrollRun one = run_enroll(config, fleet_size, rsa, 1, &single, 11);
+
+  const double speedup = seq.ms / par.ms;
+  const double single_ratio = seq.ms / one.ms;
+
+  std::printf("CLIENT THROUGHPUT: sequential vs batched fleet enrollment\n");
+  std::printf("  workload:   %zu clients x %zu attributes, k = %zu bits, RSA-%zu, "
+              "%u hardware threads\n",
+              fleet_size, kAttributes, attribute_bits, rsa_bits, cores);
+  std::printf("  identity:   warmup fleets byte-identical (%zu uploads)\n\n",
+              fleet_size);
+  std::printf("  sequential enroll: %8.1f ms  (%.0f clients/s)\n", seq.ms,
+              static_cast<double>(fleet_size) / (seq.ms / 1e3));
+  std::printf("  batched enroll:    %8.1f ms  (%.0f clients/s)\n", par.ms,
+              static_cast<double>(fleet_size) / (par.ms / 1e3));
+  std::printf("  batch speedup:     %.2fx   (single-core ratio %.2fx)\n\n", speedup,
+              single_ratio);
+
+  const double cache = ope_cache_speedup(attribute_bits * kAttributes,
+                                         smoke ? 24 : 200);
+
+  if (smoke) return 0;  // timing gates are only meaningful full-size
+  if (cache < 0.9) {  // sanity: the node cache must never cost on net
+    std::fprintf(stderr, "FAIL: cached OPE slower than uncached (%.2fx)\n", cache);
+    return 1;
+  }
+  if (cores >= 8 && speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: batch speedup %.2fx below 3x on %u cores\n", speedup,
+                 cores);
+    return 1;
+  }
+  std::printf("  gate: %s\n",
+              cores >= 8 ? (speedup >= 3.0 ? ">= 3x on >= 8 cores met" : "unreachable")
+                         : "skipped (< 8 hardware threads)");
+  return 0;
+}

@@ -89,7 +89,8 @@ double measure_tpr(const char* name, std::size_t num_users, std::size_t d,
   std::vector<Client> clients;
   clients.reserve(num_users);
   for (std::size_t u = 0; u < num_users; ++u) {
-    clients.emplace_back(static_cast<UserId>(u + 1), w.profiles[u], config);
+    clients.push_back(
+        Client::create(static_cast<UserId>(u + 1), w.profiles[u], config).value());
     clients.back().generate_key(key_server, rng);
     (void)server.ingest(clients.back().make_upload(rng));
   }

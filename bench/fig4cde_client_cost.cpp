@@ -63,9 +63,10 @@ std::unique_ptr<Client> make_client(const DatasetInfo& info, std::size_t k_bits)
   SchemeParams params;
   params.attribute_bits = k_bits;
   params.rs_threshold = 8;
-  auto client = std::make_unique<Client>(
-      1, first_profile(info.spec), make_client_config(info.spec, params, auth_group()));
-  return client;
+  return std::make_unique<Client>(
+      Client::create(1, first_profile(info.spec),
+                     make_client_config(info.spec, params, auth_group()))
+          .value());
 }
 
 // PM: Keygen + InitData + Enc.

@@ -46,7 +46,8 @@ int main() {
   std::vector<Client> clients;
   auto t0 = Clock::now();
   for (std::size_t u = 0; u < num_users; ++u) {
-    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+    clients.push_back(
+        Client::create(static_cast<UserId>(u + 1), ds.profile(u), config).value());
     clients.back().generate_key(key_server, rng);
     (void)server.ingest(clients.back().make_upload(rng));
   }

@@ -48,7 +48,8 @@ int main() {
   std::vector<Client> phones;
   phones.reserve(attendees.num_users());
   for (std::size_t u = 0; u < attendees.num_users(); ++u) {
-    phones.emplace_back(static_cast<UserId>(u + 1), attendees.profile(u), config);
+    phones.push_back(
+        Client::create(static_cast<UserId>(u + 1), attendees.profile(u), config).value());
     phones.back().generate_key(key_server, rng);
     const Bytes wire = phones.back().make_upload(rng).serialize();
     wifi.send_to_server(wire, MessageKind::kUpload);

@@ -39,15 +39,17 @@ int main() {
   MatchServer server;                                     // untrusted matcher
 
   // --- Users ---------------------------------------------------------------
-  Client alice(1, Profile{20, 33, 40, 50}, config);
-  Client bob(2, Profile{22, 30, 38, 49}, config);    // close to Alice (same cells)
-  Client carol(3, Profile{60, 5, 10, 62}, config);   // far from both
+  // Client::create validates the profile against the published config and
+  // reports misconfiguration as a Status (value() asserts success here).
+  Client alice = Client::create(1, Profile{20, 33, 40, 50}, config).value();
+  Client bob = Client::create(2, Profile{22, 30, 38, 49}, config).value();   // close to Alice
+  Client carol = Client::create(3, Profile{60, 5, 10, 62}, config).value();  // far from both
 
   // Keygen over the wire (one batched OPRF round), then upload. Failures
   // come back as a Status per client — kBudgetExhausted when the key
   // server's rate limit trips, kMalformedMessage for damaged wire.
   const std::array<Client*, 3> users = {&alice, &bob, &carol};
-  for (const StatusOr<UploadMessage>& up : enroll_batch(users, key_server, rng)) {
+  for (const StatusOr<UploadMessage>& up : enroll_and_upload_batch(users, key_server, rng)) {
     if (!up.is_ok()) {
       std::printf("enrollment failed: %s\n", up.status().to_string().c_str());
       return 1;

@@ -52,7 +52,8 @@ int main() {
   const Dataset population = Dataset::generate_clustered(spec, rng, 3, 0);
   std::vector<Client> phones;
   for (std::size_t u = 0; u < population.num_users(); ++u) {
-    phones.emplace_back(static_cast<UserId>(u + 1), population.profile(u), config);
+    phones.push_back(
+        Client::create(static_cast<UserId>(u + 1), population.profile(u), config).value());
     Client& phone = phones.back();
 
     // DH handshake -> session keys for the EtM channel.

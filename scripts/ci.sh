@@ -21,12 +21,27 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== client pipeline: property + differential suites, OPE cache gate =="
+./build/tests/ope_property_test
+./build/tests/golden_vectors_test
+pipeline_out=$(./build/tests/client_pipeline_test)
+echo "$pipeline_out" | tail -3
+# The differential suite prints the OPE node-cache hit counter; a zero
+# means the memoization layer silently stopped engaging.
+hits=$(echo "$pipeline_out" | sed -n 's/^ope-cache-hits=//p')
+if [[ -z "$hits" || "$hits" -eq 0 ]]; then
+  echo "FAIL: OPE cache-hit counter read zero (got: '${hits:-missing}')" >&2
+  exit 1
+fi
+echo "ok (ope-cache-hits=$hits)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target engine_test key_server_test
+  cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
+  ./build-tsan/tests/client_pipeline_test
 fi
 
 echo "== ci: all gates passed =="

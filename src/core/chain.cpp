@@ -34,8 +34,14 @@ std::vector<std::size_t> AttributeChain::permutation(BytesView profile_key) cons
 
 BigInt AttributeChain::assemble(const std::vector<BigInt>& mapped,
                                 BytesView profile_key) const {
-  if (mapped.size() != widths_.size()) throw Error("AttributeChain: arity mismatch");
-  const auto perm = permutation(profile_key);
+  return assemble(mapped, permutation(profile_key));
+}
+
+BigInt AttributeChain::assemble(const std::vector<BigInt>& mapped,
+                                const std::vector<std::size_t>& perm) const {
+  if (mapped.size() != widths_.size() || perm.size() != widths_.size()) {
+    throw Error("AttributeChain: arity mismatch");
+  }
   BigInt chain;
   for (std::size_t i = 0; i < perm.size(); ++i) {
     const std::size_t attr = perm[i];
@@ -51,10 +57,15 @@ BigInt AttributeChain::assemble(const std::vector<BigInt>& mapped,
 
 std::vector<BigInt> AttributeChain::disassemble(const BigInt& chain,
                                                 BytesView profile_key) const {
+  return disassemble(chain, permutation(profile_key));
+}
+
+std::vector<BigInt> AttributeChain::disassemble(
+    const BigInt& chain, const std::vector<std::size_t>& perm) const {
   if (chain.is_negative() || chain.bit_length() > chain_bits()) {
     throw Error("AttributeChain: chain out of range");
   }
-  const auto perm = permutation(profile_key);
+  if (perm.size() != widths_.size()) throw Error("AttributeChain: arity mismatch");
   std::vector<BigInt> mapped(widths_.size());
   BigInt rest = chain;
   for (std::size_t i = perm.size(); i-- > 0;) {

@@ -42,10 +42,17 @@ class AttributeChain {
   /// Every mapped value must fit its attribute's width.
   [[nodiscard]] BigInt assemble(const std::vector<BigInt>& mapped,
                                 BytesView profile_key) const;
+  /// Same, with the keyed order precomputed via permutation() — the batch
+  /// pipeline hoists the keyed Fisher-Yates out of its per-profile loop.
+  [[nodiscard]] BigInt assemble(const std::vector<BigInt>& mapped,
+                                const std::vector<std::size_t>& perm) const;
 
   /// Splits a chain back into mapped values in original attribute order.
   [[nodiscard]] std::vector<BigInt> disassemble(const BigInt& chain,
                                                 BytesView profile_key) const;
+  /// Same, with the keyed order precomputed via permutation().
+  [[nodiscard]] std::vector<BigInt> disassemble(const BigInt& chain,
+                                                const std::vector<std::size_t>& perm) const;
 
  private:
   std::vector<std::size_t> widths_;

@@ -1,10 +1,34 @@
 #include "core/client.hpp"
 
+#include <atomic>
+#include <map>
+#include <mutex>
+
 #include "common/error.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/prf.hpp"
 
 namespace smatch {
+
+/// Pipeline statistics. Hot counters are relaxed atomics (statistics, not
+/// synchronization); batch bookkeeping is cold (once per batch call).
+struct ClientCounters {
+  std::atomic<std::uint64_t> encryptions{0};
+  std::atomic<std::uint64_t> uploads{0};
+
+  mutable std::mutex batch_mu;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_uploads = 0;
+  std::map<std::size_t, std::uint64_t> batch_size_histogram;
+
+  void count_batch(std::size_t size) {
+    std::lock_guard<std::mutex> lock(batch_mu);
+    ++batches;
+    batched_uploads += size;
+    ++batch_size_histogram[size];
+  }
+};
+
 namespace {
 
 std::size_t width_of(const ClientConfig& config, std::size_t attr) {
@@ -30,6 +54,16 @@ AttributeChain make_chain(const ClientConfig& config) {
   return AttributeChain(std::move(widths));
 }
 
+/// Runs fn over [0, n) on the pool, or inline when no pool was supplied.
+void fan_out(ThreadPool* pool, std::size_t n,
+             const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 ClientConfig make_client_config(const DatasetSpec& spec, const SchemeParams& params,
@@ -42,6 +76,30 @@ ClientConfig make_client_config(const DatasetSpec& spec, const SchemeParams& par
   return cfg;
 }
 
+StatusOr<Client> Client::create(UserId id, Profile profile, ClientConfig config) {
+  if (profile.size() != config.attribute_probs.size()) {
+    return Status(StatusCode::kMalformedMessage,
+                  "Client: profile arity does not match configured attributes");
+  }
+  if (!config.adaptive_widths.empty() &&
+      config.adaptive_widths.size() != profile.size()) {
+    return Status(StatusCode::kMalformedMessage,
+                  "Client: adaptive width table arity mismatch");
+  }
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (profile[i] >= config.attribute_probs[i].size()) {
+      return Status(StatusCode::kMalformedMessage,
+                    "Client: attribute value outside the published distribution");
+    }
+  }
+  try {
+    return Client(id, std::move(profile), std::move(config));
+  } catch (const Error& e) {
+    // Unusable published config (degenerate distributions, zero widths...).
+    return Status(StatusCode::kMalformedMessage, e.what());
+  }
+}
+
 Client::Client(UserId id, Profile profile, ClientConfig config)
     : id_(id),
       profile_(std::move(profile)),
@@ -49,24 +107,35 @@ Client::Client(UserId id, Profile profile, ClientConfig config)
       mappers_(make_mappers(config_)),
       chain_(make_chain(config_)),
       keygen_(config_.params, config_.attribute_probs.size()),
-      auth_(config_.group) {
-  if (profile_.size() != config_.attribute_probs.size()) {
-    throw Error("Client: profile arity does not match configured attributes");
+      auth_(config_.group),
+      counters_(std::make_unique<ClientCounters>()) {
+  // The profile is fixed for this client's lifetime: resolve each
+  // attribute's entropy-map sub-range once instead of per upload.
+  prepared_.reserve(profile_.size());
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    prepared_.push_back(mappers_[i].prepare(profile_[i]));
   }
-  if (!config_.adaptive_widths.empty() &&
-      config_.adaptive_widths.size() != profile_.size()) {
-    throw Error("Client: adaptive width table arity mismatch");
-  }
+}
+
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+void Client::install_key(ProfileKey key, const BigInt& secret) {
+  key_ = std::move(key);
+  secret_ = secret;
+  const std::size_t pt_bits = chain_.chain_bits();
+  ope_.emplace(prf(key_->key, to_bytes("smatch-ope-key")), pt_bits,
+               pt_bits + config_.params.ope_slack_bits, config_.ope_cache_nodes);
+  perm_ = chain_.permutation(key_->key);
 }
 
 void Client::generate_key(const RsaOprfServer& oprf, RandomSource& rng) {
-  key_ = keygen_.derive(profile_, oprf, rng);
-  secret_ = auth_.random_secret(rng);
+  install_key(keygen_.derive(profile_, oprf, rng), auth_.random_secret(rng));
 }
 
 void Client::set_profile_key(ProfileKey key, const BigInt& secret) {
-  key_ = std::move(key);
-  secret_ = secret;
+  install_key(std::move(key), secret);
 }
 
 const ProfileKey& Client::profile_key() const {
@@ -76,17 +145,11 @@ const ProfileKey& Client::profile_key() const {
 
 std::vector<BigInt> Client::init_data(RandomSource& rng) const {
   std::vector<BigInt> mapped;
-  mapped.reserve(profile_.size());
-  for (std::size_t i = 0; i < profile_.size(); ++i) {
-    mapped.push_back(mappers_[i].map(profile_[i], rng));
+  mapped.reserve(prepared_.size());
+  for (const auto& pv : prepared_) {
+    mapped.push_back(EntropyMapper::map_prepared(pv, rng));
   }
   return mapped;
-}
-
-Ope Client::make_ope() const {
-  const std::size_t pt_bits = chain_.chain_bits();
-  return Ope(prf(profile_key().key, to_bytes("smatch-ope-key")), pt_bits,
-             pt_bits + config_.params.ope_slack_bits);
 }
 
 std::size_t Client::chain_cipher_bits() const {
@@ -94,8 +157,9 @@ std::size_t Client::chain_cipher_bits() const {
 }
 
 BigInt Client::encrypt_chain(const std::vector<BigInt>& mapped) const {
-  const BigInt chain = chain_.assemble(mapped, profile_key().key);
-  return make_ope().encrypt(chain);
+  (void)profile_key();  // key required
+  counters_->encryptions.fetch_add(1, std::memory_order_relaxed);
+  return ope_->encrypt(chain_.assemble(mapped, perm_));
 }
 
 Bytes Client::make_auth_token(RandomSource& rng) const {
@@ -109,11 +173,67 @@ UploadMessage Client::make_upload(RandomSource& rng) const {
   up.chain_cipher = encrypt_chain(init_data(rng));
   up.chain_cipher_bits = static_cast<std::uint32_t>(chain_cipher_bits());
   up.auth_token = make_auth_token(rng);
+  counters_->uploads.fetch_add(1, std::memory_order_relaxed);
   return up;
 }
 
 QueryRequest Client::make_query(std::uint32_t query_id, std::uint64_t timestamp) const {
   return {query_id, timestamp, id_};
+}
+
+StatusOr<std::vector<BigInt>> Client::encrypt_batch(
+    const std::vector<std::vector<BigInt>>& mapped_batch, ThreadPool* pool) const {
+  if (!key_) {
+    return Status(StatusCode::kMalformedMessage, "Client: profile key not generated yet");
+  }
+  // Validate everything up front so the fan-out stage cannot fail.
+  for (const auto& mapped : mapped_batch) {
+    if (mapped.size() != chain_.num_attributes()) {
+      return Status(StatusCode::kMalformedMessage,
+                    "Client: mapped vector arity does not match the chain");
+    }
+    for (std::size_t a = 0; a < mapped.size(); ++a) {
+      if (mapped[a].is_negative() || mapped[a].bit_length() > chain_.attribute_bits(a)) {
+        return Status(StatusCode::kMalformedMessage,
+                      "Client: mapped value exceeds its attribute width");
+      }
+    }
+  }
+  std::vector<BigInt> ciphertexts(mapped_batch.size());
+  fan_out(pool, mapped_batch.size(), [&](std::size_t i) {
+    ciphertexts[i] = ope_->encrypt(chain_.assemble(mapped_batch[i], perm_));
+  });
+  counters_->encryptions.fetch_add(mapped_batch.size(), std::memory_order_relaxed);
+  counters_->count_batch(mapped_batch.size());
+  return ciphertexts;
+}
+
+StatusOr<std::vector<UploadMessage>> Client::make_upload_batch(std::size_t count,
+                                                               RandomSource& rng,
+                                                               ThreadPool* pool) const {
+  if (!key_) {
+    return Status(StatusCode::kMalformedMessage, "Client: profile key not generated yet");
+  }
+  // Fork one child generator per upload up front (the only step that may
+  // not run concurrently), so the fan-out is deterministic given the seed
+  // and identical with or without a pool.
+  std::vector<Drbg> rngs;
+  rngs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) rngs.emplace_back(rng.bytes(32));
+
+  std::vector<UploadMessage> uploads(count);
+  fan_out(pool, count, [&](std::size_t i) {
+    UploadMessage& up = uploads[i];
+    up.user_id = id_;
+    up.key_index = key_->index;
+    up.chain_cipher = ope_->encrypt(chain_.assemble(init_data(rngs[i]), perm_));
+    up.chain_cipher_bits = static_cast<std::uint32_t>(chain_cipher_bits());
+    up.auth_token = auth_.make_token(key_->key, secret_, id_, rngs[i]);
+  });
+  counters_->encryptions.fetch_add(count, std::memory_order_relaxed);
+  counters_->uploads.fetch_add(count, std::memory_order_relaxed);
+  counters_->count_batch(count);
+  return uploads;
 }
 
 bool Client::verify_entry(const MatchEntry& entry) const {
@@ -145,17 +265,30 @@ StatusOr<Client::VerifiedResult> Client::verify_result(const QueryRequest& query
   return report;
 }
 
-std::vector<StatusOr<UploadMessage>> enroll_batch(std::span<Client* const> clients,
-                                                  KeyServer& key_server,
-                                                  RandomSource& rng, ThreadPool* pool) {
+ClientMetrics Client::metrics() const {
+  ClientMetrics m;
+  m.encryptions = counters_->encryptions.load(std::memory_order_relaxed);
+  m.uploads = counters_->uploads.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(counters_->batch_mu);
+    m.batches = counters_->batches;
+    m.batched_uploads = counters_->batched_uploads;
+    m.batch_size_histogram = counters_->batch_size_histogram;
+  }
+  if (ope_) {
+    const OpeCacheStats cache = ope_->cache_stats();
+    m.ope_cache_hits = cache.hits;
+    m.ope_cache_misses = cache.misses;
+    m.ope_cache_evictions = cache.evictions;
+    m.ope_cache_entries = cache.entries;
+  }
+  return m;
+}
+
+std::vector<StatusOr<UploadMessage>> enroll_and_upload_batch(
+    std::span<Client* const> clients, KeyServer& key_server, RandomSource& rng,
+    ThreadPool* pool) {
   const std::size_t n = clients.size();
-  const auto run = [&](std::size_t count, const std::function<void(std::size_t)>& fn) {
-    if (pool != nullptr) {
-      pool->parallel_for(count, fn);
-    } else {
-      for (std::size_t i = 0; i < count; ++i) fn(i);
-    }
-  };
 
   // Fork one child generator per client up front (the only stage that
   // touches the shared RandomSource), so everything after runs on any
@@ -171,7 +304,7 @@ std::vector<StatusOr<UploadMessage>> enroll_batch(std::span<Client* const> clien
   std::vector<BigInt> secrets(n);
   std::vector<std::vector<BigInt>> mapped(n);
   std::vector<Bytes> wires(n);
-  run(n, [&](std::size_t i) {
+  fan_out(pool, n, [&](std::size_t i) {
     Client& c = *clients[i];
     sessions[i].emplace(c.keygen(), c.profile(), key_server.public_key(), c.id(), rngs[i]);
     secrets[i] = c.auth().random_secret(rngs[i]);
@@ -186,7 +319,7 @@ std::vector<StatusOr<UploadMessage>> enroll_batch(std::span<Client* const> clien
   // OPE encryption, auth token), fanned across the pool.
   std::vector<StatusOr<UploadMessage>> results(
       n, Status(StatusCode::kMalformedMessage, "client not processed"));
-  run(n, [&](std::size_t i) {
+  fan_out(pool, n, [&](std::size_t i) {
     if (!responses[i].is_ok()) {
       results[i] = responses[i].status();
       return;

@@ -1,5 +1,19 @@
 // The S-MATCH mobile client: implements the user side of the scheme
 // tuple (Keygen, InitData, Enc, Auth, Vf) from paper Fig. 3.
+//
+// The encryption pipeline is engineered like the two server engines:
+//   * One cached OPE instance per installed profile key (ope/ope.hpp):
+//     repeated encryptions memoize the recursion-tree nodes they share,
+//     so re-uploads stop re-sampling the hypergeometric splits of common
+//     path prefixes. The keyed chain permutation and the profile's
+//     entropy-map sub-ranges are likewise resolved once, not per upload.
+//   * Batch entry points (`encrypt_batch`, `make_upload_batch`, and the
+//     fleet-wide `enroll_and_upload_batch`) fan the per-upload work —
+//     entropy increase, chaining, OPE, auth tokens — across a caller
+//     ThreadPool and report failures through StatusOr, never by throwing.
+//   * `ClientMetrics` (core/metrics.hpp) snapshots the pipeline counters
+//     and the OPE cache hit/miss numbers, mirroring ServerMetrics and
+//     KeyServerMetrics.
 #pragma once
 
 #include <memory>
@@ -16,10 +30,13 @@
 #include "core/key_server.hpp"
 #include "core/keygen.hpp"
 #include "core/messages.hpp"
+#include "core/metrics.hpp"
 #include "core/types.hpp"
 #include "ope/ope.hpp"
 
 namespace smatch {
+
+struct ClientCounters;  // pipeline statistics (client.cpp)
 
 /// Deployment-wide public configuration every client shares.
 struct ClientConfig {
@@ -33,6 +50,9 @@ struct ClientConfig {
   /// when non-empty, attribute i occupies adaptive_widths[i] bits instead
   /// of the uniform params.attribute_bits. See core/adaptive.hpp.
   std::vector<std::size_t> adaptive_widths;
+  /// OPE node-cache capacity for this deployment's clients (nodes; 0
+  /// disables caching — ciphertexts are identical either way).
+  std::size_t ope_cache_nodes = Ope::kDefaultCacheNodes;
 };
 
 /// Builds a deployment config from a dataset's published attribute
@@ -43,8 +63,18 @@ struct ClientConfig {
 
 class Client {
  public:
-  /// Throws Error when the profile arity does not match the config.
-  Client(UserId id, Profile profile, ClientConfig config);
+  /// Validated construction: kMalformedMessage when the profile arity
+  /// does not match the configured attributes, the adaptive width table
+  /// is mis-sized, or the published distributions are unusable. Never
+  /// throws — this replaced the historical throwing constructor.
+  [[nodiscard]] static StatusOr<Client> create(UserId id, Profile profile,
+                                               ClientConfig config);
+
+  ~Client();
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   [[nodiscard]] UserId id() const { return id_; }
   [[nodiscard]] const Profile& profile() const { return profile_; }
@@ -69,6 +99,25 @@ class Client {
   [[nodiscard]] UploadMessage make_upload(RandomSource& rng) const;
   [[nodiscard]] QueryRequest make_query(std::uint32_t query_id, std::uint64_t timestamp) const;
 
+  /// Enc over many already-mapped uploads: ciphertexts[i] corresponds to
+  /// mapped_batch[i], fanned across `pool` (inline when null). The walks
+  /// share the key's OPE node cache, so a batch costs far fewer split
+  /// samples than independent encryptions. kMalformedMessage when no
+  /// profile key is installed or an input violates the chain layout;
+  /// never throws, and ciphertexts are byte-identical to sequential
+  /// encrypt_chain calls.
+  [[nodiscard]] StatusOr<std::vector<BigInt>> encrypt_batch(
+      const std::vector<std::vector<BigInt>>& mapped_batch,
+      ThreadPool* pool = nullptr) const;
+
+  /// Full InitData + Enc + Auth for `count` independent uploads, fanned
+  /// across `pool`. Each upload draws from a child generator forked off
+  /// `rng` up front, so results are deterministic given the seed and
+  /// identical whether or not a pool is supplied. kMalformedMessage when
+  /// no profile key is installed; never throws.
+  [[nodiscard]] StatusOr<std::vector<UploadMessage>> make_upload_batch(
+      std::size_t count, RandomSource& rng, ThreadPool* pool = nullptr) const;
+
   /// Vf for a single result entry.
   [[nodiscard]] bool verify_entry(const MatchEntry& entry) const;
   /// Convenience: number of entries that verify.
@@ -91,11 +140,19 @@ class Client {
   /// OPE ciphertext width for this deployment (serialization).
   [[nodiscard]] std::size_t chain_cipher_bits() const;
 
+  /// Pipeline counters + OPE cache numbers. Safe to call concurrently
+  /// with the batch entry points.
+  [[nodiscard]] ClientMetrics metrics() const;
+
   [[nodiscard]] const FuzzyKeyGen& keygen() const { return keygen_; }
   [[nodiscard]] const AuthScheme& auth() const { return auth_; }
 
  private:
-  [[nodiscard]] Ope make_ope() const;
+  Client(UserId id, Profile profile, ClientConfig config);
+
+  /// Installs the key and builds the key-derived hot-path state (cached
+  /// OPE instance, chain permutation).
+  void install_key(ProfileKey key, const BigInt& secret);
 
   UserId id_;
   Profile profile_;
@@ -106,6 +163,12 @@ class Client {
   AuthScheme auth_;
   std::optional<ProfileKey> key_;
   BigInt secret_;  // s_u
+
+  // Hot-path state resolved once instead of per upload.
+  std::vector<EntropyMapper::PreparedValue> prepared_;  // this profile's sub-ranges
+  std::optional<Ope> ope_;                              // cached; rebuilt per key
+  std::vector<std::size_t> perm_;                       // keyed chain order
+  std::unique_ptr<ClientCounters> counters_;
 };
 
 /// Batched wire-format enrollment: runs Keygen for many clients in one
@@ -124,7 +187,7 @@ class Client {
 /// finalization Status (kBudgetExhausted, kMalformedMessage, ...) and the
 /// client is left without a key. Clients must be distinct objects. With
 /// `pool == nullptr` the client-side stages run inline on the caller.
-[[nodiscard]] std::vector<StatusOr<UploadMessage>> enroll_batch(
+[[nodiscard]] std::vector<StatusOr<UploadMessage>> enroll_and_upload_batch(
     std::span<Client* const> clients, KeyServer& key_server, RandomSource& rng,
     ThreadPool* pool = nullptr);
 

@@ -59,6 +59,14 @@ BigInt EntropyMapper::map(AttrValue value, RandomSource& rng) const {
   return slot_base(value) + BigInt::random_below(rng, subrange_size(value));
 }
 
+EntropyMapper::PreparedValue EntropyMapper::prepare(AttrValue value) const {
+  return {slot_base(value), subrange_size(value)};
+}
+
+BigInt EntropyMapper::map_prepared(const PreparedValue& pv, RandomSource& rng) {
+  return pv.base + BigInt::random_below(rng, pv.size);
+}
+
 AttrValue EntropyMapper::unmap(const BigInt& mapped) const {
   if (mapped.is_negative()) throw Error("EntropyMapper: mapped value negative");
   const BigInt slot = mapped / slot_width_;

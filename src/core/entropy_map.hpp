@@ -38,6 +38,18 @@ class EntropyMapper {
   /// Recovers the value (slot index) from a mapped string.
   [[nodiscard]] AttrValue unmap(const BigInt& mapped) const;
 
+  /// A value's sub-range resolved once: repeated map() calls for a fixed
+  /// value (a client re-uploading its profile) skip the per-call range
+  /// checks and slot arithmetic. Produced by prepare(), consumed by
+  /// map_prepared(); draws identical coins to map(), so the two paths
+  /// yield identical strings for identical rng states.
+  struct PreparedValue {
+    BigInt base;  // first string of the sub-range
+    BigInt size;  // R_j strings available
+  };
+  [[nodiscard]] PreparedValue prepare(AttrValue value) const;
+  [[nodiscard]] static BigInt map_prepared(const PreparedValue& pv, RandomSource& rng);
+
   /// First string of value j's sub-range: floor(2^k * j / n).
   [[nodiscard]] BigInt slot_base(AttrValue value) const;
   /// Number of strings R_j available to value j.

@@ -1,10 +1,13 @@
-// Observability for the sharded services: the matching engine and the
-// OPRF key service.
+// Observability for the engines on both sides of the protocol: the
+// matching engine, the OPRF key service, and the client encryption
+// pipeline.
 //
-// Both servers keep lock-free per-shard counters (relaxed atomics — these
+// The servers keep lock-free per-shard counters (relaxed atomics — these
 // are statistics, not synchronization); `MatchServer::metrics()` and
 // `KeyServer::metrics()` fold them into plain-value snapshots that
 // benchmarks and operators can read without stopping traffic.
+// `Client::metrics()` does the same for the per-device pipeline, folding
+// in the OPE node-cache counters (ope/ope.hpp).
 #pragma once
 
 #include <cstdint>
@@ -62,6 +65,26 @@ struct KeyServerMetrics {
   std::uint64_t batches = 0;            // handle_batch invocations
   std::uint64_t batched_requests = 0;   // requests served through batches
   /// Batch size -> number of handle_batch calls of that size.
+  std::map<std::size_t, std::uint64_t> batch_size_histogram;
+};
+
+/// Point-in-time view of one client's encryption pipeline (mirrors
+/// ServerMetrics / KeyServerMetrics). Counters are monotonic over the
+/// client's lifetime; the cache numbers reflect the current profile key's
+/// OPE instance (they reset when a new key is installed).
+struct ClientMetrics {
+  std::uint64_t encryptions = 0;      // chain OPE encryptions performed
+  std::uint64_t uploads = 0;          // upload messages assembled
+  std::uint64_t batches = 0;          // batch entry-point invocations
+  std::uint64_t batched_uploads = 0;  // uploads/ciphertexts produced via batches
+
+  // OPE node cache (the InitData/Enc hot path's memoization layer).
+  std::uint64_t ope_cache_hits = 0;
+  std::uint64_t ope_cache_misses = 0;
+  std::uint64_t ope_cache_evictions = 0;
+  std::uint64_t ope_cache_entries = 0;
+
+  /// Batch size -> number of batch calls of that size.
   std::map<std::size_t, std::uint64_t> batch_size_histogram;
 };
 

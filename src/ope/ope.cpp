@@ -1,6 +1,11 @@
 #include "ope/ope.hpp"
 
+#include <bit>
 #include <cmath>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
 #include "crypto/prf.hpp"
@@ -76,12 +81,84 @@ Bytes child_seed(BytesView key, BytesView seed, bool right_branch) {
 
 }  // namespace
 
-Ope::Ope(Bytes key, std::size_t plaintext_bits, std::size_t ciphertext_bits)
+// LRU map from recursion path ('L'/'R' per level, "" = root) to the
+// node's memoized state. Evictions are safe: every walk descends from the
+// root, so an evicted node's seed is always re-derivable from the level
+// above via one PRF call.
+struct Ope::NodeCache {
+  struct Entry {
+    std::string path;
+    BigInt value;  // split x (interior) or ciphertext offset (leaf)
+    Bytes seed;    // this node's PRF seed (children derive from it)
+  };
+
+  // Only paths up to this depth are cached. n independent walks share
+  // ~log2(n) top levels, so hits concentrate where the tree is widest-
+  // domained and sampling is most expensive; consulting the cache on the
+  // long random tail below would hash an O(depth)-byte key per level and
+  // churn the LRU for nodes that are never revisited. Sized a little past
+  // the depth at which a full binary tree exceeds the capacity.
+  explicit NodeCache(std::size_t capacity)
+      : capacity(capacity), max_path(std::bit_width(capacity) + 8) {}
+
+  /// On hit, copies the memoized value/seed out and refreshes recency.
+  bool lookup(const std::string& path, BigInt& value, Bytes& seed) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find(path);
+    if (it == map.end()) {
+      ++misses;
+      return false;
+    }
+    lru.splice(lru.end(), lru, it->second);  // most recently used
+    value = it->second->value;
+    seed = it->second->seed;
+    ++hits;
+    return true;
+  }
+
+  void insert(const std::string& path, const BigInt& value, const Bytes& seed) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (map.find(path) != map.end()) return;  // another thread raced us
+    if (map.size() >= capacity) {
+      map.erase(lru.front().path);
+      lru.pop_front();
+      ++evictions;
+    }
+    lru.push_back(Entry{path, value, seed});
+    map.emplace(path, std::prev(lru.end()));
+  }
+
+  [[nodiscard]] OpeCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return {hits, misses, evictions, map.size(), capacity};
+  }
+
+  mutable std::mutex mu;
+  std::size_t capacity;
+  std::size_t max_path;
+  std::list<Entry> lru;  // front = least recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> map;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+Ope::Ope(Bytes key, std::size_t plaintext_bits, std::size_t ciphertext_bits,
+         std::size_t cache_nodes)
     : key_(std::move(key)), pt_bits_(plaintext_bits), ct_bits_(ciphertext_bits) {
   if (pt_bits_ == 0) throw CryptoError("OPE: plaintext_bits must be >= 1");
   if (ct_bits_ < pt_bits_) {
     throw CryptoError("OPE: ciphertext space must not be smaller than plaintext space");
   }
+  if (cache_nodes > 0) cache_ = std::make_unique<NodeCache>(cache_nodes);
+}
+
+Ope::~Ope() = default;
+Ope::Ope(Ope&&) noexcept = default;
+Ope& Ope::operator=(Ope&&) noexcept = default;
+
+OpeCacheStats Ope::cache_stats() const {
+  return cache_ ? cache_->stats() : OpeCacheStats{};
 }
 
 BigInt Ope::sample_split(const BigInt& domain_size, const BigInt& range_size,
@@ -148,6 +225,29 @@ BigInt Ope::sample_split(const BigInt& domain_size, const BigInt& range_size,
   return x;
 }
 
+BigInt Ope::node_value(const std::string& path, bool leaf, const BigInt& domain_size,
+                       const BigInt& range_size, Bytes& seed) const {
+  BigInt value;
+  const bool cacheable = cache_ && path.size() <= cache_->max_path;
+  if (cacheable && cache_->lookup(path, value, seed)) return value;
+
+  // Miss: derive this node's seed from the parent's (the walk hands us the
+  // parent seed in `seed`; the root derives from the key alone), then
+  // sample. Concurrent walks may compute the same node twice — the value
+  // is deterministic, so the duplicate insert is a no-op.
+  seed = path.empty() ? prf(key_, to_bytes("smatch-ope-root"))
+                      : child_seed(key_, seed, path.back() == 'R');
+  Drbg coins(seed);
+  if (leaf) {
+    value = BigInt::random_below(coins, range_size);
+  } else {
+    const BigInt draws = (range_size + BigInt{1}) >> 1;  // ceil(N/2)
+    value = sample_split(domain_size, range_size, draws, coins);
+  }
+  if (cacheable) cache_->insert(path, value, seed);
+  return value;
+}
+
 BigInt Ope::encrypt(const BigInt& m) const {
   if (m.is_negative() || m.bit_length() > pt_bits_) {
     throw CryptoError("OPE: plaintext out of domain");
@@ -156,35 +256,34 @@ BigInt Ope::encrypt(const BigInt& m) const {
   BigInt d_hi = (BigInt{1} << pt_bits_) - BigInt{1};
   BigInt r_lo{0};
   BigInt r_hi = (BigInt{1} << ct_bits_) - BigInt{1};
-  Bytes seed = prf(key_, to_bytes("smatch-ope-root"));
+  std::string path;  // current node: branch taken at each level so far
+  path.reserve(ct_bits_);
+  Bytes seed;  // parent seed on entry to node_value, node seed after
 
   while (true) {
     const BigInt domain_size = d_hi - d_lo + BigInt{1};
     const BigInt range_size = r_hi - r_lo + BigInt{1};
 
     if (domain_size == BigInt{1}) {
-      // Leaf: one plaintext left (the path determines it); sample its
-      // ciphertext uniformly in the remaining range.
-      Drbg coins(seed);
-      return r_lo + BigInt::random_below(coins, range_size);
+      // Leaf: one plaintext left (the path determines it); its ciphertext
+      // sits at a memoized uniform offset in the remaining range.
+      return r_lo + node_value(path, /*leaf=*/true, domain_size, range_size, seed);
     }
 
     // Interior node: split the range in half, sample how many domain
     // points land in the left half.
     const BigInt draws = (range_size + BigInt{1}) >> 1;  // ceil(N/2)
     const BigInt y = r_lo + draws - BigInt{1};           // last left-half slot
-
-    Drbg coins(seed);
-    const BigInt x = sample_split(domain_size, range_size, draws, coins);
+    const BigInt x = node_value(path, /*leaf=*/false, domain_size, range_size, seed);
 
     if (m < d_lo + x) {
       d_hi = d_lo + x - BigInt{1};
       r_hi = y;
-      seed = child_seed(key_, seed, false);
+      path.push_back('L');
     } else {
       d_lo = d_lo + x;
       r_lo = y + BigInt{1};
-      seed = child_seed(key_, seed, true);
+      path.push_back('R');
     }
   }
 }
@@ -197,7 +296,9 @@ BigInt Ope::decrypt(const BigInt& c) const {
   BigInt d_hi = (BigInt{1} << pt_bits_) - BigInt{1};
   BigInt r_lo{0};
   BigInt r_hi = (BigInt{1} << ct_bits_) - BigInt{1};
-  Bytes seed = prf(key_, to_bytes("smatch-ope-root"));
+  std::string path;
+  path.reserve(ct_bits_);
+  Bytes seed;
 
   while (true) {
     const BigInt domain_size = d_hi - d_lo + BigInt{1};
@@ -205,28 +306,26 @@ BigInt Ope::decrypt(const BigInt& c) const {
 
     if (domain_size == BigInt{1}) {
       // Verify that c is the ciphertext this key assigns to d_lo.
-      Drbg coins(seed);
-      const BigInt expected = r_lo + BigInt::random_below(coins, range_size);
+      const BigInt expected =
+          r_lo + node_value(path, /*leaf=*/true, domain_size, range_size, seed);
       if (expected != c) throw CryptoError("OPE: not a valid ciphertext");
       return d_lo;
     }
 
     const BigInt draws = (range_size + BigInt{1}) >> 1;
     const BigInt y = r_lo + draws - BigInt{1};
-
-    Drbg coins(seed);
-    const BigInt x = sample_split(domain_size, range_size, draws, coins);
+    const BigInt x = node_value(path, /*leaf=*/false, domain_size, range_size, seed);
 
     if (c <= y) {
       if (x.is_zero()) throw CryptoError("OPE: not a valid ciphertext");
       d_hi = d_lo + x - BigInt{1};
       r_hi = y;
-      seed = child_seed(key_, seed, false);
+      path.push_back('L');
     } else {
       if (x == domain_size) throw CryptoError("OPE: not a valid ciphertext");
       d_lo = d_lo + x;
       r_lo = y + BigInt{1};
-      seed = child_seed(key_, seed, true);
+      path.push_back('R');
     }
   }
 }

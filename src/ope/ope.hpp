@@ -4,51 +4,108 @@
 // Enc maps [0, 2^plaintext_bits) into [0, 2^ciphertext_bits) such that
 // m1 <= m2  <=>  Enc(m1) <= Enc(m2). The map is determined entirely by the
 // secret key: both encryption and decryption walk the same recursive
-// range-bisection, re-deriving the hypergeometric split at every node from
-// a PRF keyed on the OPE key.
+// range-bisection, deriving the hypergeometric split at every node from a
+// PRF keyed on the OPE key.
 //
 // Sampling: exact hypergeometric inversion for small populations, a
 // deterministic normal-approximated sample (clamped to the valid support)
 // for big-integer populations — see DESIGN.md substitution #3. Order
 // preservation holds structurally for any in-support sampler.
+//
+// Node cache: the recursion tree is fixed per key, so repeated
+// encryptions under one key revisit the same nodes — every walk starts at
+// the root, and close plaintexts share long path prefixes. Following the
+// state-persistence idea of Popa et al.'s mOPE tree, each Ope keeps an
+// LRU cache keyed on the recursion path that memoizes the sampled split
+// (or leaf ciphertext offset) and the node's PRF seed. Cached nodes skip
+// the DRBG setup and hypergeometric sampling entirely; evicted interior
+// nodes are transparently recomputed from the seed chain. Caching is
+// confined to the top of the tree (a depth a little past where a full
+// binary tree would exceed the capacity): that is where independent walks
+// actually share prefixes and where the per-node sampling is most
+// expensive, while the long distinct tails below would only churn the
+// LRU. The cache is internally synchronized, so one (const) Ope may
+// encrypt and decrypt concurrently from many threads.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
 
 #include "bigint/bigint.hpp"
 #include "common/bytes.hpp"
 
 namespace smatch {
 
+/// Point-in-time counters of one Ope instance's node cache. Hits/misses/
+/// evictions are monotonic; `entries` is the resident node count at the
+/// snapshot. All zero (capacity included) for an uncached instance.
+struct OpeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+};
+
 class Ope {
  public:
+  /// Default node-cache capacity: deep enough for the full path of a few
+  /// dozen recent ciphertexts at production widths (~200 levels each).
+  static constexpr std::size_t kDefaultCacheNodes = 4096;
+
   /// Key is arbitrary bytes (32 recommended). Requires
   /// ciphertext_bits >= plaintext_bits >= 1.
+  /// `cache_nodes` bounds the node cache (0 disables caching; results are
+  /// byte-identical either way — the cache memoizes deterministic values).
   /// Note: when ciphertext_bits == plaintext_bits the only order-preserving
   /// injection is the identity; the paper's "N = M" setting degenerates to
   /// exactly that, so callers wanting a non-trivial cipher should leave
   /// slack (default in core: ciphertext_bits = plaintext_bits + 64).
-  Ope(Bytes key, std::size_t plaintext_bits, std::size_t ciphertext_bits);
+  Ope(Bytes key, std::size_t plaintext_bits, std::size_t ciphertext_bits,
+      std::size_t cache_nodes = kDefaultCacheNodes);
+  ~Ope();
+
+  Ope(Ope&&) noexcept;
+  Ope& operator=(Ope&&) noexcept;
+  Ope(const Ope&) = delete;
+  Ope& operator=(const Ope&) = delete;
 
   [[nodiscard]] std::size_t plaintext_bits() const { return pt_bits_; }
   [[nodiscard]] std::size_t ciphertext_bits() const { return ct_bits_; }
 
   /// Encrypts m in [0, 2^plaintext_bits); throws CryptoError out of range.
+  /// Thread-safe.
   [[nodiscard]] BigInt encrypt(const BigInt& m) const;
   /// Decrypts c back to its plaintext; throws CryptoError when c is not a
-  /// valid ciphertext under this key.
+  /// valid ciphertext under this key. Thread-safe.
   [[nodiscard]] BigInt decrypt(const BigInt& c) const;
 
+  /// Node-cache counters. Safe to call concurrently with encrypt/decrypt.
+  [[nodiscard]] OpeCacheStats cache_stats() const;
+
  private:
+  struct NodeCache;  // LRU over recursion-path keys (ope.cpp)
+
   /// Deterministic hypergeometric-ish sample: number of the `domain`
   /// points that fall at or below the range midpoint, drawn from coins
   /// bound (via a keyed path seed) to the recursion node.
   [[nodiscard]] BigInt sample_split(const BigInt& domain_size, const BigInt& range_size,
                                     const BigInt& draws, RandomSource& coins) const;
 
+  /// The node's memoized value — split x for an interior node, ciphertext
+  /// offset for a leaf — computing and caching it on a miss. `seed` must
+  /// hold the parent node's seed on entry (ignored for the root) and holds
+  /// this node's seed on return.
+  [[nodiscard]] BigInt node_value(const std::string& path, bool leaf,
+                                  const BigInt& domain_size, const BigInt& range_size,
+                                  Bytes& seed) const;
+
   Bytes key_;
   std::size_t pt_bits_;
   std::size_t ct_bits_;
+  std::unique_ptr<NodeCache> cache_;  // null when cache_nodes == 0
 };
 
 /// Distance-preserving encryption (Ozsoyoglu et al.): E(m) = a*m + b.

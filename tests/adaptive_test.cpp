@@ -107,7 +107,8 @@ TEST(AdaptiveEndToEnd, PipelineMatchesAndShrinksUploads) {
   std::vector<Client> clients;
   std::size_t adaptive_bytes = 0;
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
-    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), adaptive_cfg);
+    clients.push_back(
+        Client::create(static_cast<UserId>(u + 1), ds.profile(u), adaptive_cfg).value());
     clients.back().generate_key(oprf, rng);
     const Bytes wire = clients.back().make_upload(rng).serialize();
     adaptive_bytes = wire.size();
@@ -125,7 +126,7 @@ TEST(AdaptiveEndToEnd, PipelineMatchesAndShrinksUploads) {
   EXPECT_EQ(matched, verified);
 
   // And uploads are smaller than the uniform worst-case sizing.
-  Client uniform_client(99, ds.profile(0), uniform_cfg);
+  Client uniform_client = Client::create(99, ds.profile(0), uniform_cfg).value();
   uniform_client.generate_key(oprf, rng);
   const std::size_t uniform_bytes = uniform_client.make_upload(rng).serialize().size();
   EXPECT_LT(adaptive_bytes, uniform_bytes);
@@ -136,7 +137,8 @@ TEST(AdaptiveEndToEnd, MismatchedWidthTableRejected) {
   ClientConfig cfg = make_client_config(
       spec, SchemeParams{}, std::make_shared<const ModpGroup>(ModpGroup::test_512()));
   cfg.adaptive_widths = {64, 64};  // 2 widths for 6 attributes
-  EXPECT_THROW(Client(1, Profile{1, 2, 3, 4, 5, 6}, cfg), Error);
+  EXPECT_EQ(Client::create(1, Profile{1, 2, 3, 4, 5, 6}, cfg).code(),
+            StatusCode::kMalformedMessage);
 }
 
 }  // namespace

@@ -118,7 +118,8 @@ TEST(EngineErrors, TamperedResultsYieldZeroVerifiedWithoutThrowing) {
   MatchServer server;
   std::vector<Client> clients;
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
-    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+    clients.push_back(
+        Client::create(static_cast<UserId>(u + 1), ds.profile(u), config).value());
     clients.back().generate_key(oprf, rng);
     ASSERT_TRUE(server.ingest(clients.back().make_upload(rng)).is_ok());
   }

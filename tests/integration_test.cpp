@@ -31,7 +31,7 @@ struct Deployment {
         config(make_client_config(spec, params, group)) {
     clients.reserve(ds.num_users());
     for (std::size_t u = 0; u < ds.num_users(); ++u) {
-      clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+      clients.push_back(Client::create(static_cast<UserId>(u + 1), ds.profile(u), config).value());
       clients.back().generate_key(oprf, rng);
       const UploadMessage up = clients.back().make_upload(rng);
       // Ship over the wire: serialize, count bytes, parse on the server.
@@ -232,7 +232,7 @@ TEST(EndToEnd, QueryResultOrderReflectsChainDistance) {
   std::vector<Client> clients;
   for (UserId id = 1; id <= 5; ++id) {
     // Profiles 0,0 / 1,1 / ... / 4,4 — all within one cell of width 16.
-    clients.emplace_back(id, Profile{id - 1, id - 1}, config);
+    clients.push_back(Client::create(id, Profile{id - 1, id - 1}, config).value());
     clients.back().generate_key(oprf, rng);
     ASSERT_TRUE(server.ingest(clients.back().make_upload(rng)).is_ok());
   }
@@ -263,16 +263,22 @@ TEST(EndToEnd, ClientRequiresKeyBeforeUpload) {
   const auto spec = infocom06_spec();
   const ClientConfig config = make_client_config(
       spec, fast_params(), std::make_shared<const ModpGroup>(ModpGroup::test_512()));
-  Client c(1, Profile{1, 2, 3, 4, 5, 6}, config);
+  Client c = Client::create(1, Profile{1, 2, 3, 4, 5, 6}, config).value();
   EXPECT_THROW((void)c.make_upload(rng), Error);
   EXPECT_THROW((void)c.profile_key(), Error);
+  // The batch entry points report the missing key as a Status instead.
+  EXPECT_EQ(c.make_upload_batch(2, rng).code(), StatusCode::kMalformedMessage);
+  EXPECT_EQ(c.encrypt_batch({}).code(), StatusCode::kMalformedMessage);
 }
 
 TEST(EndToEnd, ProfileArityMismatchRejected) {
   const auto spec = infocom06_spec();
   const ClientConfig config = make_client_config(
       spec, fast_params(), std::make_shared<const ModpGroup>(ModpGroup::test_512()));
-  EXPECT_THROW(Client(1, Profile{1, 2}, config), Error);
+  // The factory reports misconfiguration as a Status; there is no longer
+  // a throwing constructor to reach.
+  EXPECT_EQ(Client::create(1, Profile{1, 2}, config).code(),
+            StatusCode::kMalformedMessage);
 }
 
 }  // namespace

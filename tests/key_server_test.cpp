@@ -230,13 +230,13 @@ TEST(KeyServer, EnrollBatchInstallsKeysAndReportsFailures) {
 
   // quant_width = 8: alice and bob both quantize to {2, 4, 5, 6}; carol
   // is several cells away on every attribute.
-  Client alice(1, Profile{17, 33, 41, 49}, config);
-  Client bob(2, Profile{15, 31, 39, 47}, config);
-  Client carol(3, Profile{60, 5, 10, 62}, config);
+  Client alice = Client::create(1, Profile{17, 33, 41, 49}, config).value();
+  Client bob = Client::create(2, Profile{15, 31, 39, 47}, config).value();
+  Client carol = Client::create(3, Profile{60, 5, 10, 62}, config).value();
   const std::array<Client*, 3> phones = {&alice, &bob, &carol};
 
   ThreadPool pool(2);
-  const auto enrolled = enroll_batch(phones, server, rng, &pool);
+  const auto enrolled = enroll_and_upload_batch(phones, server, rng, &pool);
   ASSERT_EQ(enrolled.size(), 3u);
   for (std::size_t i = 0; i < enrolled.size(); ++i) {
     ASSERT_TRUE(enrolled[i].is_ok()) << enrolled[i].status().to_string();
@@ -251,8 +251,8 @@ TEST(KeyServer, EnrollBatchInstallsKeysAndReportsFailures) {
   // Re-enrolling alice twice more exhausts her budget of 2: the second
   // round carries a kBudgetExhausted entry instead of an upload.
   const std::array<Client*, 1> just_alice = {&alice};
-  EXPECT_TRUE(enroll_batch(just_alice, server, rng, &pool)[0].is_ok());
-  EXPECT_EQ(enroll_batch(just_alice, server, rng, &pool)[0].code(),
+  EXPECT_TRUE(enroll_and_upload_batch(just_alice, server, rng, &pool)[0].is_ok());
+  EXPECT_EQ(enroll_and_upload_batch(just_alice, server, rng, &pool)[0].code(),
             StatusCode::kBudgetExhausted);
 }
 

@@ -1,0 +1,199 @@
+// Seeded property tests for the cached OPE: random keys and random
+// plaintext/ciphertext widths (including the degenerate equal-width
+// setting), order preservation, round trips, rejection paths, and the
+// heterogeneous-width chain composition the client pipeline relies on.
+// Every trial also runs as a cached-vs-uncached differential: the node
+// cache memoizes deterministic values, so it must never change a single
+// ciphertext bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/chain.hpp"
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+namespace smatch {
+namespace {
+
+struct Widths {
+  std::size_t pt;
+  std::size_t ct;
+};
+
+// Random plaintext width in [1, 96] with ciphertext slack in [1, 64].
+Widths random_widths(Drbg& rng) {
+  const std::size_t pt = 1 + rng.below(96);
+  return {pt, pt + 1 + rng.below(64)};
+}
+
+TEST(OpeRandomized, OrderRoundTripAndCacheAgreementAcrossRandomWidths) {
+  Drbg rng(20250806);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto [pt, ct] = random_widths(rng);
+    const Bytes key = rng.bytes(32);
+    const Ope cached(key, pt, ct);
+    const Ope uncached(key, pt, ct, /*cache_nodes=*/0);
+    const BigInt bound = BigInt{1} << pt;
+
+    BigInt prev_m{-1}, prev_c{-1};
+    for (int iter = 0; iter < 12; ++iter) {
+      const BigInt m = BigInt::random_below(rng, bound);
+      const BigInt c = cached.encrypt(m);
+      // The cache must be invisible in the ciphertexts.
+      EXPECT_EQ(c, uncached.encrypt(m)) << "pt=" << pt << " ct=" << ct;
+      // Definition 1's publicly computable Test on successive draws.
+      if (prev_m >= BigInt{0}) {
+        EXPECT_EQ(m >= prev_m, c >= prev_c);
+        EXPECT_EQ(m == prev_m, c == prev_c);
+      }
+      EXPECT_LE(c.bit_length(), ct);
+      EXPECT_EQ(cached.decrypt(c), m);
+      EXPECT_EQ(uncached.decrypt(c), m);
+      prev_m = m;
+      prev_c = c;
+    }
+  }
+}
+
+TEST(OpeRandomized, EqualWidthsDegenerateToIdentityUnderRandomKeys) {
+  // The paper's N = M setting: the only order-preserving injection of a
+  // space onto itself is the identity, whatever the key.
+  Drbg rng(42001);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t bits = 1 + rng.below(48);
+    const Ope ope(rng.bytes(32), bits, bits);
+    const BigInt bound = BigInt{1} << bits;
+    for (int iter = 0; iter < 6; ++iter) {
+      const BigInt m = BigInt::random_below(rng, bound);
+      EXPECT_EQ(ope.encrypt(m), m);
+    }
+    EXPECT_EQ(ope.encrypt(bound - BigInt{1}), bound - BigInt{1});
+  }
+}
+
+TEST(OpeRandomized, RejectionPathsAcrossRandomWidths) {
+  Drbg rng(515151);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto [pt, ct] = random_widths(rng);
+    const Ope ope(rng.bytes(32), pt, ct);
+    const BigInt pt_bound = BigInt{1} << pt;
+    const BigInt ct_bound = BigInt{1} << ct;
+
+    // Out-of-domain plaintexts are always rejected.
+    EXPECT_THROW((void)ope.encrypt(pt_bound), CryptoError);
+    EXPECT_THROW((void)ope.encrypt(pt_bound + BigInt::random_below(rng, pt_bound)),
+                 CryptoError);
+    EXPECT_THROW((void)ope.encrypt(BigInt{-1}), CryptoError);
+
+    // A random range point either decrypts to a plaintext that re-encrypts
+    // to exactly it, or it is not a ciphertext and must be rejected.
+    for (int iter = 0; iter < 8; ++iter) {
+      const BigInt c = BigInt::random_below(rng, ct_bound);
+      try {
+        const BigInt m = ope.decrypt(c);
+        EXPECT_EQ(ope.encrypt(m), c);
+      } catch (const CryptoError&) {
+        // Expected for non-image points.
+      }
+    }
+    // Beyond the range entirely: never a valid ciphertext.
+    EXPECT_THROW((void)ope.decrypt(ct_bound), CryptoError);
+  }
+}
+
+TEST(OpeRandomized, AdaptiveWidthChainsRoundTripThroughOpe) {
+  // The client pipeline composition: heterogeneous per-attribute widths
+  // (the Section X adaptive extension) are chained in a keyed order, the
+  // chain is OPE-encrypted, and decrypt + disassemble must restore every
+  // mapped value. Chain order must survive encryption too.
+  Drbg rng(909090);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t d = 3 + rng.below(4);
+    std::vector<std::size_t> widths;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      widths.push_back(2 + rng.below(24));
+      total += widths.back();
+    }
+    const AttributeChain chain(widths);
+    ASSERT_EQ(chain.chain_bits(), total);
+
+    const Bytes profile_key = rng.bytes(32);
+    const auto perm = chain.permutation(profile_key);
+    const Ope ope(rng.bytes(32), total, total + 64);
+
+    std::vector<BigInt> prev_mapped;
+    BigInt prev_chain{-1}, prev_cipher{-1};
+    for (int iter = 0; iter < 6; ++iter) {
+      std::vector<BigInt> mapped;
+      for (std::size_t i = 0; i < d; ++i) {
+        mapped.push_back(BigInt::random_below(rng, BigInt{1} << widths[i]));
+      }
+      const BigInt assembled = chain.assemble(mapped, perm);
+      // The precomputed-permutation overload is the keyed one, hoisted.
+      EXPECT_EQ(assembled, chain.assemble(mapped, BytesView(profile_key)));
+
+      const BigInt cipher = ope.encrypt(assembled);
+      EXPECT_EQ(ope.decrypt(cipher), assembled);
+      EXPECT_EQ(chain.disassemble(assembled, perm), mapped);
+      if (iter > 0) {
+        EXPECT_EQ(assembled >= prev_chain, cipher >= prev_cipher);
+      }
+      prev_chain = assembled;
+      prev_cipher = cipher;
+      prev_mapped = mapped;
+    }
+  }
+}
+
+TEST(OpeRandomized, TinyCacheEvictsYetStaysCorrect) {
+  // A cache far smaller than one walk forces evictions on every
+  // encryption; correctness must not depend on residency.
+  Drbg rng(333);
+  const Bytes key = rng.bytes(32);
+  const Ope tiny(key, 48, 96, /*cache_nodes=*/8);
+  const Ope uncached(key, 48, 96, /*cache_nodes=*/0);
+  const BigInt bound = BigInt{1} << 48;
+  for (int iter = 0; iter < 40; ++iter) {
+    const BigInt m = BigInt::random_below(rng, bound);
+    const BigInt c = tiny.encrypt(m);
+    EXPECT_EQ(c, uncached.encrypt(m));
+    EXPECT_EQ(tiny.decrypt(c), m);
+  }
+  const OpeCacheStats stats = tiny.cache_stats();
+  EXPECT_EQ(stats.capacity, 8u);
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(OpeRandomized, CacheStatsCountHitsAndUncachedStaysZero) {
+  Drbg rng(777);
+  const Bytes key = rng.bytes(32);
+  const Ope cached(key, 64, 128);
+  const Ope uncached(key, 64, 128, /*cache_nodes=*/0);
+
+  const BigInt m = BigInt::random_below(rng, BigInt{1} << 64);
+  (void)cached.encrypt(m);
+  const OpeCacheStats first = cached.cache_stats();
+  EXPECT_GT(first.misses, 0u);
+
+  // The second walk of the same plaintext replays the cached path.
+  (void)cached.encrypt(m);
+  const OpeCacheStats second = cached.cache_stats();
+  EXPECT_GE(second.hits, first.misses);
+  EXPECT_EQ(second.misses, first.misses);
+
+  (void)uncached.encrypt(m);
+  const OpeCacheStats none = uncached.cache_stats();
+  EXPECT_EQ(none.hits, 0u);
+  EXPECT_EQ(none.misses, 0u);
+  EXPECT_EQ(none.capacity, 0u);
+  EXPECT_EQ(none.entries, 0u);
+}
+
+}  // namespace
+}  // namespace smatch

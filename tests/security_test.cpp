@@ -138,7 +138,8 @@ TEST(PrKkGame, AdvantageIsGroupFractionOfPopulation) {
   std::vector<Client> clients;
   std::vector<UploadMessage> uploads;
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
-    clients.emplace_back(static_cast<UserId>(u + 1), ds.profile(u), config);
+    clients.push_back(
+        Client::create(static_cast<UserId>(u + 1), ds.profile(u), config).value());
     clients.back().generate_key(oprf, rng);
     uploads.push_back(clients.back().make_upload(rng));
   }
