@@ -1,0 +1,75 @@
+// Machine-readable benchmark output: every throughput bench accepts
+// `--json <path>` and writes a flat BENCH_<name>.json with its scalar
+// results (throughput, speedups) plus p50/p99/count summaries of the
+// latency histograms the observability layer collects (obs/histogram.hpp).
+// scripts/ci.sh and plotting scripts consume these instead of scraping
+// the human-readable tables.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace smatch::bench {
+
+/// Returns the value following `flag` in argv, or nullptr when absent.
+inline const char* arg_after(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// True when `flag` appears anywhere in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Accumulates one flat JSON object and writes it in one shot.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+
+  /// Adds `<key>_{count,p50_ns,p99_ns}` from a latency histogram.
+  void add_hist(const std::string& key, const obs::HistogramSnapshot& h) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+    fields_.emplace_back(key + "_count", buf);
+    std::snprintf(buf, sizeof buf, "%" PRIu64, h.p50());
+    fields_.emplace_back(key + "_p50_ns", buf);
+    std::snprintf(buf, sizeof buf, "%" PRIu64, h.p99());
+    fields_.emplace_back(key + "_p99_ns", buf);
+  }
+
+  /// Writes {"name":..., fields...} to `path`; returns false on I/O error.
+  [[nodiscard]] bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"name\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace smatch::bench

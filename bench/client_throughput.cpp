@@ -16,12 +16,14 @@
 //
 // Run:   ./build/bench/client_throughput            (64 clients, RSA-1024)
 //        ./build/bench/client_throughput --smoke    (8 clients, RSA-512; ctest)
+//        add --json <path> to also write a machine-readable result file
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/client.hpp"
 #include "core/key_server.hpp"
 #include "crypto/drbg.hpp"
@@ -76,10 +78,13 @@ std::vector<Client*> ptrs(std::vector<Client>& fleet) {
   return out;
 }
 
-// Enrolls a fresh fleet and returns (elapsed ms, serialized uploads).
+// Enrolls a fresh fleet and returns (elapsed ms, serialized uploads,
+// fleet-merged pipeline latency histograms).
 struct EnrollRun {
   double ms = 0;
   std::vector<Bytes> wires;
+  obs::HistogramSnapshot encrypt_ns;
+  obs::HistogramSnapshot upload_ns;
 };
 
 EnrollRun run_enroll(const ClientConfig& config, std::size_t n, const RsaKeyPair& rsa,
@@ -102,6 +107,11 @@ EnrollRun run_enroll(const ClientConfig& config, std::size_t n, const RsaKeyPair
       std::exit(1);
     }
     run.wires.push_back(up->serialize());
+  }
+  for (const Client& c : fleet) {
+    const ClientMetrics cm = c.metrics();
+    run.encrypt_ns.merge(cm.encrypt_latency_ns);
+    run.upload_ns.merge(cm.upload_latency_ns);
   }
   return run;
 }
@@ -150,7 +160,8 @@ double ope_cache_speedup(std::size_t pt_bits, std::size_t iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const char* json_path = bench::arg_after(argc, argv, "--json");
   const std::size_t fleet_size = smoke ? 8 : 64;
   const std::size_t rsa_bits = smoke ? 512 : 1024;
   const std::size_t attribute_bits = smoke ? 32 : 64;
@@ -200,6 +211,26 @@ int main(int argc, char** argv) {
 
   const double cache = ope_cache_speedup(attribute_bits * kAttributes,
                                          smoke ? 24 : 200);
+
+  if (json_path != nullptr) {
+    bench::JsonResult json("client_throughput");
+    json.add("fleet_size", static_cast<double>(fleet_size));
+    json.add("rsa_bits", static_cast<double>(rsa_bits));
+    json.add("sequential_ms", seq.ms);
+    json.add("batch_ms", par.ms);
+    json.add("sequential_cps", static_cast<double>(fleet_size) / (seq.ms / 1e3));
+    json.add("batch_cps", static_cast<double>(fleet_size) / (par.ms / 1e3));
+    json.add("batch_speedup", speedup);
+    json.add("single_core_ratio", single_ratio);
+    json.add("ope_cache_speedup", cache);
+    json.add_hist("encrypt_latency", par.encrypt_ns);
+    json.add_hist("upload_latency", par.upload_ns);
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  json: %s\n", json_path);
+  }
 
   if (smoke) return 0;  // timing gates are only meaningful full-size
   if (cache < 0.9) {  // sanity: the node cache must never cost on net

@@ -10,12 +10,14 @@
 //
 // Run:   ./build/bench/engine_throughput            (12k users, full run)
 //        ./build/bench/engine_throughput --smoke    (small; used by ctest)
+//        add --json <path> to also write a machine-readable result file
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/smatch.hpp"
 #include "crypto/drbg.hpp"
 
@@ -74,7 +76,8 @@ bool identical(const std::vector<StatusOr<QueryResult>>& batch,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const char* json_path = bench::arg_after(argc, argv, "--json");
   const std::size_t users = smoke ? 800 : 12000;
   const std::size_t groups = smoke ? 16 : 96;
   const std::size_t chain_bits = 6 * 64 + 64;  // Infocom06-like, k = 64
@@ -144,6 +147,26 @@ int main(int argc, char** argv) {
               sequential.size());
   std::printf("  batch speedup: %.1fx  %s\n", speedup,
               speedup >= 2.0 ? "(>= 2x target met)" : "(below 2x target!)");
+
+  if (json_path != nullptr) {
+    bench::JsonResult json("engine_throughput");
+    json.add("users", static_cast<double>(users));
+    json.add("groups", static_cast<double>(groups));
+    json.add("ingest_ms", ingest_ms);
+    json.add("sequential_ms", seq_ms);
+    json.add("batch_ms", batch_ms);
+    json.add("sequential_qps", seq_qps);
+    json.add("batch_qps", batch_qps);
+    json.add("batch_speedup", speedup);
+    json.add_hist("ingest_latency", m.ingest_latency_ns);
+    json.add_hist("match_latency", m.match_latency_ns);
+    json.add_hist("pool_task_run", m.pool.task_run_ns);
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  json: %s\n", json_path);
+  }
 
   if (smoke) return 0;  // timing thresholds are only meaningful full-size
   return speedup >= 2.0 ? 0 : 1;

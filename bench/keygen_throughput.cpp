@@ -14,12 +14,14 @@
 //
 // Run:   ./build/bench/keygen_throughput            (RSA-1024, 128 requests)
 //        ./build/bench/keygen_throughput --smoke    (RSA-512, small; ctest)
+//        add --json <path> to also write a machine-readable result file
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/key_server.hpp"
 #include "crypto/drbg.hpp"
 
@@ -79,7 +81,8 @@ double modexp_reuse_speedup(std::size_t bits, std::size_t iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const char* json_path = bench::arg_after(argc, argv, "--json");
   const std::size_t rsa_bits = smoke ? 512 : 1024;
   const std::size_t requests = smoke ? 12 : 128;
   const unsigned cores = std::thread::hardware_concurrency();
@@ -151,6 +154,25 @@ int main(int argc, char** argv) {
               requests);
 
   const double reuse = modexp_reuse_speedup(rsa_bits, smoke ? 6 : 96);
+
+  if (json_path != nullptr) {
+    bench::JsonResult json("keygen_throughput");
+    json.add("requests", static_cast<double>(requests));
+    json.add("rsa_bits", static_cast<double>(rsa_bits));
+    json.add("sequential_ms", seq_ms);
+    json.add("batch_ms", batch_ms);
+    json.add("sequential_rps", seq_rps);
+    json.add("batch_rps", batch_rps);
+    json.add("batch_speedup", speedup);
+    json.add("modexp_reuse_speedup", reuse);
+    json.add_hist("handle_latency", m.handle_latency_ns);
+    json.add_hist("modexp_latency", m.modexp_latency_ns);
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  json: %s\n", json_path);
+  }
 
   if (smoke) return 0;  // timing gates are only meaningful full-size
   if (reuse < 0.9) {  // sanity: the reused context must not cost extra

@@ -35,13 +35,41 @@ if [[ -z "$hits" || "$hits" -eq 0 ]]; then
 fi
 echo "ok (ope-cache-hits=$hits)"
 
+echo "== obs: kill-switch build (-DSMATCH_OBS=OFF) + overhead gate =="
+# The OFF tree proves the instrumentation compiles out cleanly and that
+# protocol bytes are unaffected (golden vectors must still match).
+cmake -B build-obs-off -S . -DSMATCH_OBS=OFF >/dev/null
+cmake --build build-obs-off -j --target obs_test golden_vectors_test obs_overhead
+./build-obs-off/tests/obs_test
+./build-obs-off/tests/golden_vectors_test
+
+# Overhead gate: the same end-to-end workload from both trees, best of 5.
+# obs_overhead exits nonzero on a malformed trace artifact or one that
+# does not span all three engines, so artifact validity is gated here too.
+on_out=$(./build/bench/obs_overhead --runs 5 \
+  --trace build/obs_trace.json --prom build/obs_metrics.prom)
+echo "$on_out" | tail -4
+off_out=$(./build-obs-off/bench/obs_overhead --runs 5)
+on_ms=$(echo "$on_out" | sed -n 's/^workload_ms=//p')
+off_ms=$(echo "$off_out" | sed -n 's/^workload_ms=//p')
+if [[ -z "$on_ms" || -z "$off_ms" ]]; then
+  echo "FAIL: obs_overhead did not report workload_ms" >&2
+  exit 1
+fi
+if ! awk -v on="$on_ms" -v off="$off_ms" 'BEGIN { exit !(on <= off * 1.05) }'; then
+  echo "FAIL: instrumentation overhead above 5%: on=${on_ms}ms off=${off_ms}ms" >&2
+  exit 1
+fi
+echo "ok (on=${on_ms}ms off=${off_ms}ms, trace + prometheus artifacts in build/)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test
+  cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
   ./build-tsan/tests/client_pipeline_test
+  ./build-tsan/tests/obs_test
 fi
 
 echo "== ci: all gates passed =="

@@ -1,9 +1,29 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "obs/trace.hpp"
+
 namespace smatch {
+
+namespace {
+
+/// Steady-clock ns for the wait/run histograms; 0 when timing is
+/// compiled out so the cold fields stay inert.
+std::uint64_t timing_now_ns() {
+#if SMATCH_OBS_ENABLED
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 /// Shared completion state for one parallel_for call.
 struct Batch {
@@ -34,12 +54,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(const Task& task) {
+  const std::uint64_t start_ns = timing_now_ns();
+#if SMATCH_OBS_ENABLED
+  if (task.enqueue_ns != 0) wait_hist_.record(start_ns - task.enqueue_ns);
+#endif
   std::exception_ptr error;
   try {
     for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
   } catch (...) {
     error = std::current_exception();
   }
+#if SMATCH_OBS_ENABLED
+  run_hist_.record(timing_now_ns() - start_ns);
+#endif
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   // Notify while still holding the lock: the waiter may destroy the Batch
   // the instant it observes pending == 0, so the cv must not be touched
   // after the mutex is released.
@@ -69,11 +97,15 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t threads = num_threads();
   if (threads == 1 || n == 1) {
+    SMATCH_SPAN_HIST("pool.parallel_for", &run_hist_);
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  SMATCH_SPAN("pool.parallel_for");
 
   const std::size_t chunks = std::min(n, threads);
   const std::size_t base = n / chunks;
@@ -83,22 +115,39 @@ void ThreadPool::parallel_for(std::size_t n,
   batch.pending = chunks;
 
   // Enqueue all but the first chunk; the caller runs the first one.
+  const std::uint64_t enqueue_ns = timing_now_ns();
   std::size_t begin = base + (extra > 0 ? 1 : 0);
   {
     std::lock_guard lk(mu_);
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t len = base + (c < extra ? 1 : 0);
-      queue_.push_back({begin, begin + len, &fn, &batch});
+      queue_.push_back({begin, begin + len, &fn, &batch, enqueue_ns});
       begin += len;
     }
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
   }
   work_cv_.notify_all();
 
-  run_task({0, base + (extra > 0 ? 1 : 0), &fn, &batch});
+  // The caller-run chunk never queued: no wait time to attribute.
+  run_task({0, base + (extra > 0 ? 1 : 0), &fn, &batch, 0});
 
   std::unique_lock lk(batch.mu);
   batch.done_cv.wait(lk, [&batch] { return batch.pending == 0; });
   if (batch.error) std::rethrow_exception(batch.error);
+}
+
+PoolMetrics ThreadPool::metrics() const {
+  PoolMetrics m;
+  m.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  m.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mu_);
+    m.queue_depth = queue_.size();
+    m.peak_queue_depth = peak_queue_depth_;
+  }
+  m.task_wait_ns = wait_hist_.snapshot();
+  m.task_run_ns = run_hist_.snapshot();
+  return m;
 }
 
 }  // namespace smatch

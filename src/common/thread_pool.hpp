@@ -8,17 +8,35 @@
 // machines and deterministic to profile.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace smatch {
 
 struct Batch;  // per-parallel_for completion state (thread_pool.cpp)
+
+/// Point-in-time view of a pool's scheduling behaviour, mirroring the
+/// engine metrics style (core/metrics.hpp). Counters are monotonic;
+/// `queue_depth` reflects the snapshot. The wait/run histograms are in
+/// nanoseconds and stay empty when instrumentation is compiled out
+/// (-DSMATCH_OBS=OFF).
+struct PoolMetrics {
+  std::uint64_t tasks_executed = 0;    // chunks run (workers + caller)
+  std::uint64_t parallel_fors = 0;     // parallel_for invocations
+  std::uint64_t queue_depth = 0;       // queued chunks right now
+  std::uint64_t peak_queue_depth = 0;  // high-water mark of the queue
+  obs::HistogramSnapshot task_wait_ns;  // enqueue -> dequeue latency
+  obs::HistogramSnapshot task_run_ns;   // chunk execution time
+};
 
 class ThreadPool {
  public:
@@ -37,22 +55,34 @@ class ThreadPool {
   /// is rethrown on the caller after the range drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Scheduling metrics snapshot. Safe to call under traffic.
+  [[nodiscard]] PoolMetrics metrics() const;
+
  private:
   struct Task {
     std::size_t begin = 0;
     std::size_t end = 0;
     const std::function<void(std::size_t)>* fn = nullptr;
     Batch* batch = nullptr;
+    std::uint64_t enqueue_ns = 0;  // 0 when timing is compiled out
   };
 
   void worker_loop();
   void run_task(const Task& task);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
+
+  // Scheduling statistics (relaxed atomics on the hot path; the queue
+  // depths are only ever touched under mu_).
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> parallel_fors_{0};
+  std::uint64_t peak_queue_depth_ = 0;
+  obs::Histogram wait_hist_;
+  obs::Histogram run_hist_;
 };
 
 }  // namespace smatch

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/prf.hpp"
+#include "obs/trace.hpp"
 
 namespace smatch {
 
@@ -15,6 +16,10 @@ namespace smatch {
 struct ClientCounters {
   std::atomic<std::uint64_t> encryptions{0};
   std::atomic<std::uint64_t> uploads{0};
+
+  // Stage latency, fed by SMATCH_SPAN_HIST on the Enc/upload paths.
+  obs::Histogram encrypt_hist;
+  obs::Histogram upload_hist;
 
   mutable std::mutex batch_mu;
   std::uint64_t batches = 0;
@@ -144,6 +149,7 @@ const ProfileKey& Client::profile_key() const {
 }
 
 std::vector<BigInt> Client::init_data(RandomSource& rng) const {
+  SMATCH_SPAN("client.init_data");
   std::vector<BigInt> mapped;
   mapped.reserve(prepared_.size());
   for (const auto& pv : prepared_) {
@@ -158,19 +164,35 @@ std::size_t Client::chain_cipher_bits() const {
 
 BigInt Client::encrypt_chain(const std::vector<BigInt>& mapped) const {
   (void)profile_key();  // key required
+  SMATCH_SPAN_HIST("client.encrypt_chain", &counters_->encrypt_hist);
   counters_->encryptions.fetch_add(1, std::memory_order_relaxed);
   return ope_->encrypt(chain_.assemble(mapped, perm_));
 }
 
 Bytes Client::make_auth_token(RandomSource& rng) const {
+  SMATCH_SPAN("client.auth_token");
   return auth_.make_token(profile_key().key, secret_, id_, rng);
 }
 
 UploadMessage Client::make_upload(RandomSource& rng) const {
+  SMATCH_SPAN_HIST("client.make_upload", &counters_->upload_hist);
   UploadMessage up;
   up.user_id = id_;
   up.key_index = profile_key().index;
   up.chain_cipher = encrypt_chain(init_data(rng));
+  up.chain_cipher_bits = static_cast<std::uint32_t>(chain_cipher_bits());
+  up.auth_token = make_auth_token(rng);
+  counters_->uploads.fetch_add(1, std::memory_order_relaxed);
+  return up;
+}
+
+UploadMessage Client::assemble_upload(const std::vector<BigInt>& mapped,
+                                      RandomSource& rng) const {
+  SMATCH_SPAN_HIST("client.make_upload", &counters_->upload_hist);
+  UploadMessage up;
+  up.user_id = id_;
+  up.key_index = profile_key().index;
+  up.chain_cipher = encrypt_chain(mapped);
   up.chain_cipher_bits = static_cast<std::uint32_t>(chain_cipher_bits());
   up.auth_token = make_auth_token(rng);
   counters_->uploads.fetch_add(1, std::memory_order_relaxed);
@@ -201,6 +223,7 @@ StatusOr<std::vector<BigInt>> Client::encrypt_batch(
   }
   std::vector<BigInt> ciphertexts(mapped_batch.size());
   fan_out(pool, mapped_batch.size(), [&](std::size_t i) {
+    SMATCH_SPAN_HIST("client.encrypt_chain", &counters_->encrypt_hist);
     ciphertexts[i] = ope_->encrypt(chain_.assemble(mapped_batch[i], perm_));
   });
   counters_->encryptions.fetch_add(mapped_batch.size(), std::memory_order_relaxed);
@@ -223,6 +246,7 @@ StatusOr<std::vector<UploadMessage>> Client::make_upload_batch(std::size_t count
 
   std::vector<UploadMessage> uploads(count);
   fan_out(pool, count, [&](std::size_t i) {
+    SMATCH_SPAN_HIST("client.make_upload", &counters_->upload_hist);
     UploadMessage& up = uploads[i];
     up.user_id = id_;
     up.key_index = key_->index;
@@ -282,6 +306,8 @@ ClientMetrics Client::metrics() const {
     m.ope_cache_evictions = cache.evictions;
     m.ope_cache_entries = cache.entries;
   }
+  m.encrypt_latency_ns = counters_->encrypt_hist.snapshot();
+  m.upload_latency_ns = counters_->upload_hist.snapshot();
   return m;
 }
 
@@ -304,7 +330,9 @@ std::vector<StatusOr<UploadMessage>> enroll_and_upload_batch(
   std::vector<BigInt> secrets(n);
   std::vector<std::vector<BigInt>> mapped(n);
   std::vector<Bytes> wires(n);
+  SMATCH_SPAN("client.enroll_batch");
   fan_out(pool, n, [&](std::size_t i) {
+    SMATCH_SPAN("client.enroll.blind");
     Client& c = *clients[i];
     sessions[i].emplace(c.keygen(), c.profile(), key_server.public_key(), c.id(), rngs[i]);
     secrets[i] = c.auth().random_secret(rngs[i]);
@@ -313,13 +341,18 @@ std::vector<StatusOr<UploadMessage>> enroll_and_upload_batch(
   });
 
   // Stage 2 — one batched OPRF round against the key service.
-  const std::vector<StatusOr<Bytes>> responses = key_server.handle_batch(wires);
+  std::vector<StatusOr<Bytes>> responses;
+  {
+    SMATCH_SPAN("client.enroll.oprf_round");
+    responses = key_server.handle_batch(wires);
+  }
 
   // Stage 3 — unblind, install the key, and finish the upload (chaining,
   // OPE encryption, auth token), fanned across the pool.
   std::vector<StatusOr<UploadMessage>> results(
       n, Status(StatusCode::kMalformedMessage, "client not processed"));
   fan_out(pool, n, [&](std::size_t i) {
+    SMATCH_SPAN("client.enroll.finalize");
     if (!responses[i].is_ok()) {
       results[i] = responses[i].status();
       return;
@@ -331,13 +364,7 @@ std::vector<StatusOr<UploadMessage>> enroll_and_upload_batch(
     }
     Client& c = *clients[i];
     c.set_profile_key(std::move(*key), secrets[i]);
-    UploadMessage up;
-    up.user_id = c.id();
-    up.key_index = c.profile_key().index;
-    up.chain_cipher = c.encrypt_chain(mapped[i]);
-    up.chain_cipher_bits = static_cast<std::uint32_t>(c.chain_cipher_bits());
-    up.auth_token = c.make_auth_token(rngs[i]);
-    results[i] = std::move(up);
+    results[i] = c.assemble_upload(mapped[i], rngs[i]);
   });
   return results;
 }

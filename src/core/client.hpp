@@ -97,6 +97,11 @@ class Client {
 
   /// Full upload message (InitData + Enc + Auth). Requires a key.
   [[nodiscard]] UploadMessage make_upload(RandomSource& rng) const;
+  /// Upload from an already-mapped InitData vector (Enc + Auth only);
+  /// what enroll_and_upload_batch uses after its blind stage mapped the
+  /// profile. Requires a key. Bytes identical to assembling by hand.
+  [[nodiscard]] UploadMessage assemble_upload(const std::vector<BigInt>& mapped,
+                                              RandomSource& rng) const;
   [[nodiscard]] QueryRequest make_query(std::uint32_t query_id, std::uint64_t timestamp) const;
 
   /// Enc over many already-mapped uploads: ciphertexts[i] corresponds to

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/serde.hpp"
 #include "core/messages.hpp"
+#include "obs/trace.hpp"
 
 namespace smatch {
 
@@ -54,12 +55,15 @@ KeyServer::KeyServer(RsaKeyPair key, KeyServerOptions options)
 }
 
 ThreadPool& KeyServer::pool() {
-  std::call_once(pool_once_,
-                 [this] { pool_ = std::make_unique<ThreadPool>(batch_threads_); });
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(batch_threads_);
+    pool_ready_.store(true, std::memory_order_release);
+  });
   return *pool_;
 }
 
 StatusOr<Bytes> KeyServer::handle(BytesView request_wire) {
+  SMATCH_SPAN_HIST("keyserver.handle", &handle_hist_);
   StatusOr<KeyRequest> req = KeyRequest::parse(request_wire);
   if (!req.is_ok()) {
     auto& counter = req.code() == StatusCode::kUnsupportedVersion ? version_rejections_
@@ -91,12 +95,17 @@ StatusOr<Bytes> KeyServer::handle(BytesView request_wire) {
 
   // The expensive part — x^d mod N — runs outside any lock: the RSA
   // contexts inside RsaKeyPair are read-only and shared by every worker.
-  const OprfResponse resp = oprf_.evaluate({req->blinded});
+  OprfResponse resp;
+  {
+    SMATCH_SPAN_HIST("keyserver.modexp", &modexp_hist_);
+    resp = oprf_.evaluate({req->blinded});
+  }
   shard.evaluations.fetch_add(1, kRelaxed);
   return KeyResponse{resp.evaluated}.serialize();
 }
 
 std::vector<StatusOr<Bytes>> KeyServer::handle_batch(std::span<const Bytes> requests) {
+  SMATCH_SPAN("keyserver.handle_batch");
   std::vector<StatusOr<Bytes>> results(
       requests.size(), Status(StatusCode::kMalformedMessage, "request not processed"));
   pool().parallel_for(requests.size(),
@@ -146,6 +155,9 @@ KeyServerMetrics KeyServer::metrics() const {
     m.batched_requests = batched_requests_;
     m.batch_size_histogram = batch_size_histogram_;
   }
+  m.handle_latency_ns = handle_hist_.snapshot();
+  m.modexp_latency_ns = modexp_hist_.snapshot();
+  if (pool_ready_.load(std::memory_order_acquire)) m.pool = pool_->metrics();
   return m;
 }
 

@@ -56,6 +56,7 @@
 #include "core/keygen.hpp"
 #include "core/metrics.hpp"
 #include "core/types.hpp"
+#include "obs/histogram.hpp"
 #include "oprf/rsa_oprf.hpp"
 
 namespace smatch {
@@ -156,9 +157,15 @@ class KeyServer {
   std::uint64_t batched_requests_ = 0;
   std::map<std::size_t, std::uint64_t> batch_size_histogram_;
 
+  // Stage latency, fed by SMATCH_SPAN_HIST on the handle path; folded
+  // into KeyServerMetrics.
+  obs::Histogram handle_hist_;
+  obs::Histogram modexp_hist_;
+
   std::size_t batch_threads_ = 0;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> pool_ready_{false};  // pool_ safe to read when true
 };
 
 /// Client-side keygen over the wire: produces the request for a profile

@@ -8,11 +8,23 @@
 // benchmarks and operators can read without stopping traffic.
 // `Client::metrics()` does the same for the per-device pipeline, folding
 // in the OPE node-cache counters (ope/ope.hpp).
+//
+// Beyond the counters, every snapshot carries stage-latency histograms
+// (obs/histogram.hpp, log2 buckets, nanoseconds) fed by the SMATCH_SPAN_
+// HIST instrumentation on the hot paths, plus the internal thread pool's
+// scheduling metrics. The histograms answer the p50/p90/p99 questions of
+// the paper's cost evaluation (Figs. 4c-e, 5a-c) under live traffic; they
+// stay empty when instrumentation is compiled out (-DSMATCH_OBS=OFF).
+// core/metrics_export.hpp publishes these snapshots into an
+// obs::Registry for the Prometheus/JSON exporters.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/histogram.hpp"
 
 namespace smatch {
 
@@ -41,6 +53,14 @@ struct ServerMetrics {
   /// The m of the PR-KK bound: the histogram is exactly what a curious
   /// server learns about population structure.
   std::map<std::size_t, std::uint64_t> group_size_histogram;
+
+  // Stage latency (ns): per-operation, identical for the sequential and
+  // batch entry points (batch paths record each query they serve).
+  obs::HistogramSnapshot ingest_latency_ns;
+  obs::HistogramSnapshot match_latency_ns;
+
+  /// Internal batch pool scheduling (empty until a batch entry point ran).
+  PoolMetrics pool;
 };
 
 /// Per-shard slice of the key-service metrics snapshot.
@@ -66,6 +86,14 @@ struct KeyServerMetrics {
   std::uint64_t batched_requests = 0;   // requests served through batches
   /// Batch size -> number of handle_batch calls of that size.
   std::map<std::size_t, std::uint64_t> batch_size_histogram;
+
+  // Stage latency (ns): the full handle() path and the RSA-CRT
+  // exponentiation inside it (the paper's dominant key-service cost).
+  obs::HistogramSnapshot handle_latency_ns;
+  obs::HistogramSnapshot modexp_latency_ns;
+
+  /// Internal batch pool scheduling (empty until handle_batch ran).
+  PoolMetrics pool;
 };
 
 /// Point-in-time view of one client's encryption pipeline (mirrors
@@ -86,6 +114,11 @@ struct ClientMetrics {
 
   /// Batch size -> number of batch calls of that size.
   std::map<std::size_t, std::uint64_t> batch_size_histogram;
+
+  // Stage latency (ns): chain-OPE encryption (the client-cost metric of
+  // Fig. 4c-e) and full upload assembly (InitData + Enc + Auth).
+  obs::HistogramSnapshot encrypt_latency_ns;
+  obs::HistogramSnapshot upload_latency_ns;
 };
 
 }  // namespace smatch

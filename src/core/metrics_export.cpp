@@ -1,0 +1,101 @@
+#include "core/metrics_export.hpp"
+
+#include <string>
+
+namespace smatch {
+
+namespace {
+
+std::string joined(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  out += '_';
+  out += name;
+  return out;
+}
+
+void export_pool(obs::Registry& registry, const PoolMetrics& m,
+                 const std::string& prefix) {
+  registry.publish_value(prefix + "_tasks_total", static_cast<double>(m.tasks_executed));
+  registry.publish_value(prefix + "_parallel_fors_total",
+                         static_cast<double>(m.parallel_fors));
+  registry.publish_value(prefix + "_queue_depth", static_cast<double>(m.queue_depth),
+                         /*as_gauge=*/true);
+  registry.publish_value(prefix + "_peak_queue_depth",
+                         static_cast<double>(m.peak_queue_depth), /*as_gauge=*/true);
+  registry.publish(prefix + "_task_wait_ns", m.task_wait_ns);
+  registry.publish(prefix + "_task_run_ns", m.task_run_ns);
+}
+
+}  // namespace
+
+void export_metrics(obs::Registry& registry, const ServerMetrics& m,
+                    std::string_view prefix) {
+  const std::string p = joined(prefix, "match");
+  registry.publish_value(p + "_ingests_total", static_cast<double>(m.ingests));
+  registry.publish_value(p + "_matches_total", static_cast<double>(m.matches));
+  registry.publish_value(p + "_comparisons_total", static_cast<double>(m.comparisons));
+  registry.publish_value(p + "_replay_rejections_total",
+                         static_cast<double>(m.replay_rejections));
+  registry.publish_value(p + "_batch_group_sorts_total",
+                         static_cast<double>(m.batch_group_sorts));
+  registry.publish(p + "_ingest_latency_ns", m.ingest_latency_ns);
+  registry.publish(p + "_match_latency_ns", m.match_latency_ns);
+  export_pool(registry, m.pool, p + "_pool");
+}
+
+void export_metrics(obs::Registry& registry, const KeyServerMetrics& m,
+                    std::string_view prefix) {
+  const std::string p = joined(prefix, "keyserver");
+  registry.publish_value(p + "_evaluations_total", static_cast<double>(m.evaluations));
+  registry.publish_value(p + "_budget_rejections_total",
+                         static_cast<double>(m.budget_rejections));
+  registry.publish_value(p + "_malformed_rejections_total",
+                         static_cast<double>(m.malformed_rejections));
+  registry.publish_value(p + "_version_rejections_total",
+                         static_cast<double>(m.version_rejections));
+  registry.publish_value(p + "_batches_total", static_cast<double>(m.batches));
+  registry.publish(p + "_handle_latency_ns", m.handle_latency_ns);
+  registry.publish(p + "_modexp_latency_ns", m.modexp_latency_ns);
+  export_pool(registry, m.pool, p + "_pool");
+}
+
+void export_metrics(obs::Registry& registry, const ClientMetrics& m,
+                    std::string_view prefix) {
+  const std::string p = joined(prefix, "client");
+  registry.publish_value(p + "_encryptions_total", static_cast<double>(m.encryptions));
+  registry.publish_value(p + "_uploads_total", static_cast<double>(m.uploads));
+  registry.publish_value(p + "_batches_total", static_cast<double>(m.batches));
+  registry.publish_value(p + "_ope_cache_hits_total",
+                         static_cast<double>(m.ope_cache_hits));
+  registry.publish_value(p + "_ope_cache_misses_total",
+                         static_cast<double>(m.ope_cache_misses));
+  registry.publish_value(p + "_ope_cache_entries",
+                         static_cast<double>(m.ope_cache_entries), /*as_gauge=*/true);
+  registry.publish(p + "_encrypt_latency_ns", m.encrypt_latency_ns);
+  registry.publish(p + "_upload_latency_ns", m.upload_latency_ns);
+}
+
+void export_metrics(obs::Registry& registry, const PoolMetrics& m,
+                    std::string_view prefix) {
+  export_pool(registry, m, joined(prefix, "pool"));
+}
+
+void export_metrics(obs::Registry& registry, const SimChannel& channel,
+                    std::string_view prefix) {
+  const std::string p = joined(prefix, "channel");
+  registry.publish_value(p + "_uplink_bytes_total",
+                         static_cast<double>(channel.uplink().bytes));
+  registry.publish_value(p + "_downlink_bytes_total",
+                         static_cast<double>(channel.downlink().bytes));
+  for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    const std::string base = p + "_" + std::string(to_string(kind));
+    registry.publish_value(base + "_bytes_total",
+                           static_cast<double>(channel.bytes_of(kind)));
+    registry.publish_value(base + "_messages_total",
+                           static_cast<double>(channel.messages_of(kind)));
+    registry.publish(base + "_sim_latency_ns", channel.latency_of(kind));
+  }
+}
+
+}  // namespace smatch

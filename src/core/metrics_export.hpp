@@ -1,0 +1,53 @@
+// Publishes engine metrics snapshots into an obs::Registry so one
+// exporter endpoint (Prometheus exposition text or JSON) covers the whole
+// pipeline: matching engine, OPRF key service, client pipeline, thread
+// pools, and the simulated transport.
+//
+// The engines own their instruments (core/metrics.hpp folds them into
+// per-instance snapshots); these helpers copy a snapshot into the
+// registry under stable metric names with the given prefix (default
+// "smatch"). Re-publishing refreshes the exported values, so an operator
+// loop is just:
+//
+//   obs::Registry& reg = obs::Registry::global();
+//   export_metrics(reg, server.metrics());
+//   export_metrics(reg, key_server.metrics());
+//   serve(reg.prometheus_text());
+//
+// Metric names are documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <string_view>
+
+#include "core/metrics.hpp"
+#include "net/channel.hpp"
+#include "obs/registry.hpp"
+
+namespace smatch {
+
+/// Matching engine: counters + ingest/match latency + pool scheduling,
+/// under `<prefix>_match_*`.
+void export_metrics(obs::Registry& registry, const ServerMetrics& m,
+                    std::string_view prefix = "smatch");
+
+/// OPRF key service: counters + handle/modexp latency + pool scheduling,
+/// under `<prefix>_keyserver_*`.
+void export_metrics(obs::Registry& registry, const KeyServerMetrics& m,
+                    std::string_view prefix = "smatch");
+
+/// Client pipeline: counters + encrypt/upload latency + OPE cache,
+/// under `<prefix>_client_*`.
+void export_metrics(obs::Registry& registry, const ClientMetrics& m,
+                    std::string_view prefix = "smatch");
+
+/// A thread pool on its own (the engines' internal pools ride along in
+/// their snapshots), under `<prefix>_pool_*`.
+void export_metrics(obs::Registry& registry, const PoolMetrics& m,
+                    std::string_view prefix = "smatch");
+
+/// Simulated transport: per-kind bytes, message counts, and simulated
+/// transfer-latency histograms, under `<prefix>_channel_*`.
+void export_metrics(obs::Registry& registry, const SimChannel& channel,
+                    std::string_view prefix = "smatch");
+
+}  // namespace smatch

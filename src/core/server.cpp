@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace smatch {
 
 namespace {
@@ -45,12 +47,15 @@ const MatchServer::DirectoryShard& MatchServer::directory_for(UserId user) const
 }
 
 ThreadPool& MatchServer::pool() {
-  std::call_once(pool_once_,
-                 [this] { pool_ = std::make_unique<ThreadPool>(batch_threads_); });
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(batch_threads_);
+    pool_ready_.store(true, std::memory_order_release);
+  });
   return *pool_;
 }
 
 Status MatchServer::ingest(const UploadMessage& upload) {
+  SMATCH_SPAN_HIST("match.ingest", &ingest_hist_);
   if (upload.key_index.empty()) {
     return {StatusCode::kMalformedMessage, "upload without key index"};
   }
@@ -83,6 +88,7 @@ Status MatchServer::ingest(const UploadMessage& upload) {
 }
 
 std::vector<Status> MatchServer::ingest_batch(std::span<const UploadMessage> uploads) {
+  SMATCH_SPAN("match.ingest_batch");
   std::vector<Status> statuses(uploads.size());
   pool().parallel_for(uploads.size(),
                       [&](std::size_t i) { statuses[i] = ingest(uploads[i]); });
@@ -181,6 +187,7 @@ Status MatchServer::collect_within(const std::vector<const Record*>& sorted,
 }
 
 StatusOr<QueryResult> MatchServer::match(const QueryRequest& query, std::size_t k) {
+  SMATCH_SPAN_HIST("match.match", &match_hist_);
   Bytes key_index;
   if (Status routed = route_query(query, key_index); !routed.is_ok()) return routed;
 
@@ -208,6 +215,7 @@ StatusOr<QueryResult> MatchServer::match(const QueryRequest& query, std::size_t 
 
 StatusOr<QueryResult> MatchServer::match_within(const QueryRequest& query,
                                                 std::size_t max_order_distance) {
+  SMATCH_SPAN_HIST("match.match_within", &match_hist_);
   Bytes key_index;
   if (Status routed = route_query(query, key_index); !routed.is_ok()) return routed;
 
@@ -236,6 +244,7 @@ StatusOr<QueryResult> MatchServer::match_within(const QueryRequest& query,
 
 std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
     std::span<const QueryRequest> queries, std::size_t k) {
+  SMATCH_SPAN("match.match_batch");
   std::vector<StatusOr<QueryResult>> results;
   results.reserve(queries.size());
 
@@ -270,6 +279,9 @@ std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
     std::uint64_t served = 0;
 
     for (const std::size_t i : by_shard[active[a]]) {
+      // Per-query latency lands in the same histogram the sequential path
+      // feeds, so the snapshot is comparable across entry points.
+      SMATCH_SPAN_HIST("match.match", &match_hist_);
       auto [cached, fresh] = sorted_cache.try_emplace(keys[i]);
       if (fresh) {
         // Groups are erased when emptied, so an absent key leaves the
@@ -357,6 +369,9 @@ ServerMetrics MatchServer::metrics() const {
   }
   m.replay_rejections = replay_rejections_.load(kRelaxed);
   m.batch_group_sorts = batch_group_sorts_.load(kRelaxed);
+  m.ingest_latency_ns = ingest_hist_.snapshot();
+  m.match_latency_ns = match_hist_.snapshot();
+  if (pool_ready_.load(std::memory_order_acquire)) m.pool = pool_->metrics();
   return m;
 }
 

@@ -43,6 +43,7 @@
 #include "common/thread_pool.hpp"
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
+#include "obs/histogram.hpp"
 
 namespace smatch {
 
@@ -168,9 +169,15 @@ class MatchServer {
   std::atomic<std::uint64_t> batch_group_sorts_{0};
   std::atomic<bool> replay_protection_{false};
 
+  // Stage latency, fed by SMATCH_SPAN_HIST on the ingest/match paths
+  // (sequential and batch alike); folded into ServerMetrics.
+  obs::Histogram ingest_hist_;
+  obs::Histogram match_hist_;
+
   std::size_t batch_threads_ = 0;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> pool_ready_{false};  // pool_ safe to read when true
 };
 
 /// Fault-injection wrappers modelling the malicious server of the threat

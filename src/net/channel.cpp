@@ -1,5 +1,7 @@
 #include "net/channel.hpp"
 
+#include <cmath>
+
 namespace smatch {
 
 double SimChannel::record(DirectionStats& dir, BytesView payload, MessageKind kind) {
@@ -7,7 +9,10 @@ double SimChannel::record(DirectionStats& dir, BytesView payload, MessageKind ki
   dir.bytes += payload.size();
   const double secs = link_.transfer_seconds(payload.size());
   dir.sim_seconds += secs;
-  by_kind_[static_cast<std::size_t>(kind)] += payload.size();
+  const auto k = static_cast<std::size_t>(kind);
+  by_kind_[k] += payload.size();
+  ++msgs_by_kind_[k];
+  latency_by_kind_[k].record(static_cast<std::uint64_t>(std::llround(secs * 1e9)));
   return secs;
 }
 
@@ -23,6 +28,8 @@ void SimChannel::reset() {
   uplink_ = {};
   downlink_ = {};
   by_kind_.fill(0);
+  msgs_by_kind_.fill(0);
+  for (auto& h : latency_by_kind_) h.reset();
 }
 
 }  // namespace smatch

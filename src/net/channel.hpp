@@ -15,6 +15,7 @@
 #include <string_view>
 
 #include "common/bytes.hpp"
+#include "obs/histogram.hpp"
 
 namespace smatch {
 
@@ -82,7 +83,22 @@ class SimChannel {
   [[nodiscard]] std::uint64_t bytes_of(MessageKind kind) const {
     return by_kind_[static_cast<std::size_t>(kind)];
   }
+  /// Message counts per kind (both directions) — the companion of
+  /// bytes_by_kind(), so per-message overheads are attributable too.
+  [[nodiscard]] const std::array<std::uint64_t, kNumMessageKinds>& messages_by_kind()
+      const {
+    return msgs_by_kind_;
+  }
+  [[nodiscard]] std::uint64_t messages_of(MessageKind kind) const {
+    return msgs_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  /// Simulated one-way transfer latency distribution for a kind, in
+  /// nanoseconds (log2 buckets — see obs/histogram.hpp).
+  [[nodiscard]] obs::HistogramSnapshot latency_of(MessageKind kind) const {
+    return latency_by_kind_[static_cast<std::size_t>(kind)].snapshot();
+  }
 
+  /// Clears every counter, per-kind attribution, and latency histogram.
   void reset();
 
  private:
@@ -92,6 +108,8 @@ class SimChannel {
   DirectionStats uplink_;
   DirectionStats downlink_;
   std::array<std::uint64_t, kNumMessageKinds> by_kind_{};
+  std::array<std::uint64_t, kNumMessageKinds> msgs_by_kind_{};
+  std::array<obs::Histogram, kNumMessageKinds> latency_by_kind_;
 };
 
 }  // namespace smatch

@@ -1,0 +1,64 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace smatch::obs {
+
+std::size_t histogram_bucket(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_bound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= kNumHistogramBuckets) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested order statistic, 1-based: ceil(q * count),
+  // clamped to [1, count] so q == 0 still lands on a real sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return histogram_bucket_bound(b);
+  }
+  return histogram_bucket_bound(kNumHistogramBuckets - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    s.count += s.buckets[b];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace smatch::obs

@@ -1,0 +1,84 @@
+// Mergeable, thread-safe latency histograms with log2 bucketing.
+//
+// A `Histogram` is a fixed array of 64 relaxed-atomic buckets: a recorded
+// value v lands in bucket bit_width(v), i.e. bucket 0 holds v == 0 and
+// bucket i (i >= 1) holds v in [2^(i-1), 2^i).  Recording is a single
+// relaxed fetch_add — these are statistics, not synchronization — so the
+// hot paths of the engines (core/server.hpp, core/key_server.hpp,
+// core/client.hpp) and the worker pool (common/thread_pool.hpp) can feed
+// one histogram from many threads without contention.
+//
+// `snapshot()` folds the live buckets into a plain-value
+// `HistogramSnapshot` that is copyable, mergeable across shards/instances,
+// and answers quantile queries with at most one-bucket error (the p50/p90/
+// p99 numbers of the metrics snapshots and the Prometheus exporter in
+// obs/registry.hpp).  Values are unit-agnostic; by convention the
+// instrumentation layer records nanoseconds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace smatch::obs {
+
+/// Number of log2 buckets; covers the whole uint64 range.
+inline constexpr std::size_t kNumHistogramBuckets = 64;
+
+/// Bucket index for a value: 0 for v == 0, otherwise bit_width(v), so
+/// bucket i collects [2^(i-1), 2^i).
+[[nodiscard]] std::size_t histogram_bucket(std::uint64_t value);
+
+/// Inclusive upper bound of a bucket (the representative a quantile query
+/// returns). Bucket 0 -> 0; bucket i -> 2^i - 1.
+[[nodiscard]] std::uint64_t histogram_bucket_bound(std::size_t bucket);
+
+/// Plain-value, copyable view of a histogram. Merge folds shards or
+/// instances together; quantile estimates carry at most one bucket of
+/// error (the estimate is the upper bound of the bucket holding the
+/// requested rank).
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kNumHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Rank-q value (q in [0, 1]); 0 when empty. q <= 0 returns the first
+  /// occupied bucket's bound, q >= 1 the last one's.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Live histogram: concurrent `record()` from any thread, snapshot/reset
+/// from observers. Not copyable (atomics); owners expose snapshots.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Clears every bucket. Not atomic against concurrent record();
+  /// intended for quiescent resets (tests, SimChannel::reset).
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace smatch::obs

@@ -1,0 +1,172 @@
+#include "obs/registry.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace smatch::obs {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, auto... args) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+}
+
+/// One Prometheus histogram family: cumulative le-bucket counts over the
+/// log2 scheme (le bounds are the inclusive bucket upper bounds, in the
+/// recorded unit — nanoseconds by convention), then _sum and _count.
+void append_prometheus_histogram(std::string& out, const std::string& name,
+                                 const HistogramSnapshot& snap) {
+  append_f(out, "# TYPE %s histogram\n", name.c_str());
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+    if (snap.buckets[b] == 0) continue;  // elide empty buckets: log2 spans 64 of them
+    cumulative += snap.buckets[b];
+    append_f(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name.c_str(),
+             histogram_bucket_bound(b), cumulative);
+  }
+  append_f(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(), snap.count);
+  append_f(out, "%s_sum %" PRIu64 "\n", name.c_str(), snap.sum);
+  append_f(out, "%s_count %" PRIu64 "\n", name.c_str(), snap.count);
+}
+
+void append_json_histogram(std::string& out, const std::string& name,
+                           const HistogramSnapshot& snap, bool& first) {
+  if (!first) out += ",";
+  first = false;
+  append_f(out,
+           "\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"p50\":%" PRIu64
+           ",\"p90\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"mean\":%.1f}",
+           name.c_str(), snap.count, snap.sum, snap.p50(), snap.p90(), snap.p99(),
+           snap.mean());
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+std::atomic<std::uint64_t>* Registry::counter(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[sanitize_metric_name(name)];
+  if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+  return slot.get();
+}
+
+std::atomic<std::int64_t>* Registry::gauge(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[sanitize_metric_name(name)];
+  if (!slot) slot = std::make_unique<std::atomic<std::int64_t>>(0);
+  return slot.get();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[sanitize_metric_name(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void Registry::publish(std::string_view name, const HistogramSnapshot& snapshot) {
+  std::lock_guard lk(mu_);
+  published_[sanitize_metric_name(name)] = snapshot;
+}
+
+void Registry::publish_value(std::string_view name, double value, bool as_gauge) {
+  std::lock_guard lk(mu_);
+  published_values_[sanitize_metric_name(name)] = {value, as_gauge};
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard lk(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    append_f(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(),
+             c->load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, g] : gauges_) {
+    append_f(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(), name.c_str(),
+             g->load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, vt] : published_values_) {
+    append_f(out, "# TYPE %s %s\n%s %.17g\n", name.c_str(),
+             vt.second ? "gauge" : "counter", name.c_str(), vt.first);
+  }
+  for (const auto& [name, h] : histograms_) {
+    append_prometheus_histogram(out, name, h->snapshot());
+  }
+  for (const auto& [name, snap] : published_) {
+    append_prometheus_histogram(out, name, snap);
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard lk(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    append_f(out, "\"%s\":%" PRIu64, name.c_str(),
+             c->load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, vt] : published_values_) {
+    if (vt.second) continue;
+    if (!first) out += ",";
+    first = false;
+    append_f(out, "\"%s\":%.17g", name.c_str(), vt.first);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    append_f(out, "\"%s\":%" PRId64, name.c_str(),
+             g->load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, vt] : published_values_) {
+    if (!vt.second) continue;
+    if (!first) out += ",";
+    first = false;
+    append_f(out, "\"%s\":%.17g", name.c_str(), vt.first);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    append_json_histogram(out, name, h->snapshot(), first);
+  }
+  for (const auto& [name, snap] : published_) {
+    append_json_histogram(out, name, snap, first);
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  published_.clear();
+  published_values_.clear();
+}
+
+}  // namespace smatch::obs

@@ -1,0 +1,82 @@
+// Named metric registry with Prometheus-exposition-text and JSON
+// exporters.
+//
+// Two kinds of entries coexist:
+//
+//   * Live metrics — `counter()` / `gauge()` / `histogram()` get-or-create
+//     a named instrument and hand back a stable pointer the caller can
+//     update lock-free forever after (the registry owns the storage).
+//     Process-wide stage metrics register here.
+//   * Published snapshots — the engines own their instruments and fold
+//     them into per-instance metrics structs (core/metrics.hpp);
+//     `publish()` / `publish_value()` copy such a snapshot into the
+//     registry under a name so one exporter endpoint covers engine-owned
+//     state too (core/metrics_export.hpp does this for all three engines,
+//     the thread pools, and SimChannel). Re-publishing a name replaces
+//     the previous snapshot.
+//
+// Exporters render whatever is present at call time. Histograms follow
+// the log2-bucket scheme of obs/histogram.hpp with nanosecond-valued
+// `le` bounds (docs/OBSERVABILITY.md documents the format); names are
+// sanitized to the Prometheus charset ([a-zA-Z0-9_:]).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+
+namespace smatch::obs {
+
+/// Replaces every character outside [a-zA-Z0-9_:] with '_' (Prometheus
+/// metric-name charset); prefixes '_' when the name starts with a digit.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry.
+  static Registry& global();
+
+  /// Get-or-create a live monotonic counter. The pointer stays valid for
+  /// the registry's lifetime; increment with fetch_add(relaxed).
+  [[nodiscard]] std::atomic<std::uint64_t>* counter(std::string_view name);
+  /// Get-or-create a live gauge (a settable signed level).
+  [[nodiscard]] std::atomic<std::int64_t>* gauge(std::string_view name);
+  /// Get-or-create a live histogram.
+  [[nodiscard]] Histogram* histogram(std::string_view name);
+
+  /// Stores (or replaces) an externally owned histogram snapshot under
+  /// `name`; exported exactly like a live histogram.
+  void publish(std::string_view name, const HistogramSnapshot& snapshot);
+  /// Stores (or replaces) an externally owned scalar under `name`.
+  /// `as_gauge` selects the exported Prometheus type.
+  void publish_value(std::string_view name, double value, bool as_gauge = false);
+
+  /// Prometheus exposition text (text/plain version 0.0.4) of every entry.
+  [[nodiscard]] std::string prometheus_text() const;
+  /// JSON snapshot: counters/gauges as numbers, histograms as
+  /// {count, sum, p50, p90, p99, mean}.
+  [[nodiscard]] std::string json() const;
+
+  /// Drops every entry (tests).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, HistogramSnapshot> published_;
+  std::map<std::string, std::pair<double, bool>> published_values_;  // value, as_gauge
+};
+
+}  // namespace smatch::obs

@@ -1,0 +1,327 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace smatch::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread span bookkeeping: a small exported tid (first-span order)
+/// and the current span-stack depth.
+struct ThreadState {
+  std::uint32_t id;
+  std::uint32_t depth = 0;
+};
+
+ThreadState& thread_state() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local ThreadState state{next.fetch_add(1, std::memory_order_relaxed)};
+  return state;
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer() { ring_.resize(kDefaultCapacity); }
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::begin(std::size_t capacity) {
+  std::lock_guard lk(mu_);
+  if (capacity != 0) ring_.assign(capacity, TraceEvent{});
+  next_ = 0;
+  base_ns_ = steady_now_ns();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceBuffer::end() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceBuffer::push(const TraceEvent& event) {
+  std::lock_guard lk(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  TraceEvent& slot = ring_[next_ % ring_.size()];
+  slot = event;
+  // Spans carry absolute steady-clock ns; store relative to begin().
+  slot.start_ns = event.start_ns >= base_ns_ ? event.start_ns - base_ns_ : 0;
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceEvent> out;
+  const std::size_t n = std::min<std::uint64_t>(next_, ring_.size());
+  out.reserve(n);
+  // Oldest first: when the ring wrapped, the oldest surviving slot is the
+  // one the next push would overwrite.
+  const std::size_t start = next_ > ring_.size() ? next_ % ring_.size() : 0;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard lk(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceBuffer::now_ns() const {
+  std::lock_guard lk(mu_);
+  const std::uint64_t now = steady_now_ns();
+  return now >= base_ns_ ? now - base_ns_ : 0;
+}
+
+std::string TraceBuffer::chrome_json() const {
+  std::vector<TraceEvent> evs = events();
+  // Chrome's importer tolerates any order, but sorted-by-start output
+  // makes the artifact diffable and lets the validator check nesting with
+  // one forward pass. Parents sort ahead of the children they enclose.
+  std::stable_sort(evs.begin(), evs.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.depth < b.depth;
+  });
+
+  std::string out = "[\n";
+  char line[256];
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    // ts/dur are microseconds; three decimals preserve the ns timestamps.
+    std::snprintf(line, sizeof line,
+                  "{\"name\":\"%s\",\"cat\":\"smatch\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}%s\n",
+                  e.name, static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.duration_ns) / 1e3, e.thread, e.depth,
+                  i + 1 < evs.size() ? "," : "");
+    out += line;
+  }
+  out += "]\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace validation: a purpose-built parser for the exact JSON subset
+// chrome_json() emits (array of flat objects, string/number/object
+// values, no escape sequences). Shared by tests/obs_test.cpp and
+// bench/obs_overhead.cpp so the CI artifact gate and the unit tests agree
+// on what "well-formed" means.
+
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  double ts = -1.0;
+  double dur = -1.0;
+  long tid = -1;
+  long depth = -1;
+};
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error = {};
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) {
+      error = std::string("expected '") + c + "' at offset " + std::to_string(i);
+      return false;
+    }
+    ++i;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') {
+      error = "expected string at offset " + std::to_string(i);
+      return false;
+    }
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        error = "escape sequences not expected in trace output";
+        return false;
+      }
+      out += s[i++];
+    }
+    if (i >= s.size()) {
+      error = "unterminated string";
+      return false;
+    }
+    ++i;
+    return true;
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == '-' || s[i] == '+' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) {
+      error = "expected number at offset " + std::to_string(i);
+      return false;
+    }
+    out = std::stod(s.substr(start, i - start));
+    return true;
+  }
+
+  /// Parses one event object, tolerating unknown keys.
+  bool parse_event(ParsedEvent& ev) {
+    if (!expect('{')) return false;
+    for (;;) {
+      std::string key;
+      if (!parse_string(key) || !expect(':')) return false;
+      if (key == "args") {
+        if (!expect('{')) return false;
+        for (;;) {
+          std::string akey;
+          double aval = 0;
+          if (!parse_string(akey) || !expect(':') || !parse_number(aval)) return false;
+          if (akey == "depth") ev.depth = static_cast<long>(aval);
+          skip_ws();
+          if (i < s.size() && s[i] == ',') {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        if (!expect('}')) return false;
+      } else {
+        skip_ws();
+        if (i < s.size() && s[i] == '"') {
+          std::string val;
+          if (!parse_string(val)) return false;
+          if (key == "name") ev.name = val;
+          if (key == "ph") ev.ph = val;
+        } else {
+          double val = 0;
+          if (!parse_number(val)) return false;
+          if (key == "ts") ev.ts = val;
+          if (key == "dur") ev.dur = val;
+          if (key == "tid") ev.tid = static_cast<long>(val);
+        }
+      }
+      skip_ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return expect('}');
+  }
+};
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, std::string* error,
+                           std::size_t* distinct_names) {
+  Parser p{json};
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  if (!p.expect('[')) return fail(p.error);
+  std::vector<ParsedEvent> events;
+  p.skip_ws();
+  if (p.i < json.size() && json[p.i] != ']') {
+    for (;;) {
+      ParsedEvent ev;
+      if (!p.parse_event(ev)) return fail(p.error);
+      events.push_back(std::move(ev));
+      p.skip_ws();
+      if (p.i < json.size() && json[p.i] == ',') {
+        ++p.i;
+        continue;
+      }
+      break;
+    }
+  }
+  if (!p.expect(']')) return fail(p.error);
+
+  std::set<std::string> names;
+  double prev_ts = -1.0;
+  // Per (tid, depth): [start, end] in ns of the latest span seen there,
+  // for the nesting check below.
+  std::map<std::pair<long, long>, std::pair<std::uint64_t, std::uint64_t>> latest;
+  for (const ParsedEvent& ev : events) {
+    if (ev.name.empty()) return fail("event without a name");
+    if (ev.ph != "X") return fail("event phase is not 'X' (complete)");
+    if (ev.ts < 0.0 || ev.dur < 0.0) return fail("negative or missing ts/dur");
+    if (ev.tid < 0 || ev.depth < 0) return fail("missing tid or args.depth");
+    if (ev.ts < prev_ts) return fail("events not sorted by start timestamp");
+    prev_ts = ev.ts;
+    names.insert(ev.name);
+
+    const auto start = static_cast<std::uint64_t>(std::llround(ev.ts * 1e3));
+    const auto end = start + static_cast<std::uint64_t>(std::llround(ev.dur * 1e3));
+    if (ev.depth > 0) {
+      const auto parent = latest.find({ev.tid, ev.depth - 1});
+      if (parent == latest.end()) {
+        return fail("span '" + ev.name + "' at depth " + std::to_string(ev.depth) +
+                    " has no enclosing span");
+      }
+      if (start < parent->second.first || end > parent->second.second) {
+        return fail("span '" + ev.name + "' is not nested inside its parent");
+      }
+    }
+    latest[{ev.tid, ev.depth}] = {start, end};
+  }
+
+  if (distinct_names != nullptr) *distinct_names = names.size();
+  return true;
+}
+
+#if SMATCH_OBS_ENABLED
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* hist)
+    : name_(nullptr), hist_(hist), start_ns_(0), depth_(0) {
+  // Skip the clock reads entirely when the span would go nowhere.
+  if (hist == nullptr && !TraceBuffer::instance().enabled()) return;
+  name_ = name;
+  depth_ = thread_state().depth++;
+  start_ns_ = steady_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  const std::uint64_t end_ns = steady_now_ns();
+  ThreadState& state = thread_state();
+  --state.depth;
+  const std::uint64_t dur = end_ns - start_ns_;
+  if (hist_ != nullptr) hist_->record(dur);
+  TraceBuffer& buf = TraceBuffer::instance();
+  if (buf.enabled()) buf.push({name_, start_ns_, dur, state.id, depth_});
+}
+
+#endif  // SMATCH_OBS_ENABLED
+
+}  // namespace smatch::obs

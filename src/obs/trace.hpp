@@ -1,0 +1,142 @@
+// Scoped spans and a process-wide trace buffer, exported as Chrome
+// trace-event JSON (open chrome://tracing or https://ui.perfetto.dev and
+// load the file).
+//
+// Usage on a hot path:
+//
+//   BigInt Ope::encrypt(const BigInt& m) const {
+//     SMATCH_SPAN("ope.encrypt");
+//     ...
+//   }
+//
+// The macro plants an RAII `ScopedSpan`. When the span closes it pushes a
+// complete ('X') trace event — name, thread, start, duration, nesting
+// depth — into a bounded ring buffer (oldest events are overwritten under
+// sustained load; `TraceBuffer::dropped()` counts the overwrites).
+// `SMATCH_SPAN_HIST(name, hist)` additionally records the duration, in
+// nanoseconds, into an obs::Histogram — the engines use this form so one
+// clock pair feeds both the trace and the latency metrics.
+//
+// Cost model: tracing is off by default at runtime; a closed span then
+// costs two steady_clock reads plus one relaxed load (or, for the _HIST
+// form, one histogram record). `trace_begin()` arms the buffer.
+//
+// Compile-time kill switch: building with -DSMATCH_OBS=OFF (cmake option;
+// defines SMATCH_OBS_ENABLED=0) expands both macros to nothing — no span
+// object, no clock reads, no histogram feed. Protocol bytes are identical
+// either way: observability never touches RNG state or message payloads
+// (tests/golden_vectors_test.cpp passes in both builds).
+//
+// Per-thread span stacks give each event its nesting depth; threads are
+// numbered in first-span order so exported tids are small and stable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+#ifndef SMATCH_OBS_ENABLED
+#define SMATCH_OBS_ENABLED 1
+#endif
+
+namespace smatch::obs {
+
+/// One closed span. Timestamps are steady-clock nanoseconds relative to
+/// the trace_begin() call that armed the buffer.
+struct TraceEvent {
+  const char* name = "";        // static string supplied by SMATCH_SPAN
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;     // small first-span-order thread number
+  std::uint32_t depth = 0;      // span-stack depth at open (0 = top level)
+};
+
+/// Bounded ring of closed spans. One process-wide instance
+/// (`TraceBuffer::instance()`); all members are thread-safe.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  static TraceBuffer& instance();
+
+  /// Arms the buffer: clears previous events, re-zeroes the time base,
+  /// and starts accepting spans. Capacity 0 keeps the current one.
+  void begin(std::size_t capacity = 0);
+  /// Stops accepting spans; recorded events stay readable.
+  void end();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void push(const TraceEvent& event);
+
+  /// Events recorded since begin(), oldest first (ring order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Spans overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Chrome trace-event JSON (array-of-objects form) of the buffered
+  /// events, sorted by start time. Loadable in Perfetto as-is.
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Nanoseconds since the last begin() (the spans' time base).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+ private:
+  TraceBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_ = 0;  // total pushes since begin()
+  std::uint64_t base_ns_ = 0;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Validates Chrome trace-event JSON produced by chrome_json(): parses the
+/// array, checks the required fields, non-negative monotonic-by-sort
+/// timestamps, and proper nesting (a depth-d+1 span must start inside the
+/// enclosing depth-d span on the same thread). On success fills
+/// `distinct_names` with the number of unique span names. On failure
+/// returns false and describes the problem in `error`.
+[[nodiscard]] bool validate_chrome_trace(const std::string& json, std::string* error,
+                                         std::size_t* distinct_names);
+
+#if SMATCH_OBS_ENABLED
+
+/// RAII span: opens at construction, closes (and publishes) at scope
+/// exit. Use through SMATCH_SPAN / SMATCH_SPAN_HIST, not directly.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* hist = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::uint64_t start_ns_;  // absolute steady-clock ns
+  std::uint32_t depth_;
+};
+
+#define SMATCH_OBS_CONCAT_IMPL(a, b) a##b
+#define SMATCH_OBS_CONCAT(a, b) SMATCH_OBS_CONCAT_IMPL(a, b)
+#define SMATCH_SPAN(name) \
+  ::smatch::obs::ScopedSpan SMATCH_OBS_CONCAT(smatch_span_, __LINE__)(name)
+#define SMATCH_SPAN_HIST(name, hist) \
+  ::smatch::obs::ScopedSpan SMATCH_OBS_CONCAT(smatch_span_, __LINE__)(name, hist)
+
+#else  // SMATCH_OBS_ENABLED
+
+#define SMATCH_SPAN(name) ((void)0)
+#define SMATCH_SPAN_HIST(name, hist) ((void)(hist))
+
+#endif  // SMATCH_OBS_ENABLED
+
+}  // namespace smatch::obs

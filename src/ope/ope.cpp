@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "crypto/prf.hpp"
+#include "obs/trace.hpp"
 
 namespace smatch {
 namespace {
@@ -249,6 +250,7 @@ BigInt Ope::node_value(const std::string& path, bool leaf, const BigInt& domain_
 }
 
 BigInt Ope::encrypt(const BigInt& m) const {
+  SMATCH_SPAN("ope.encrypt");
   if (m.is_negative() || m.bit_length() > pt_bits_) {
     throw CryptoError("OPE: plaintext out of domain");
   }

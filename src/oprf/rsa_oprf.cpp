@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha2.hpp"
+#include "obs/trace.hpp"
 
 namespace smatch {
 
@@ -19,6 +20,7 @@ BigInt oprf_fdh(BytesView m, const BigInt& n) {
 }
 
 OprfResponse RsaOprfServer::evaluate(const OprfRequest& req) const {
+  SMATCH_SPAN("oprf.evaluate");
   if (req.blinded <= BigInt{0} || req.blinded >= key_.n()) {
     throw CryptoError("OPRF: blinded element out of range");
   }
@@ -33,6 +35,7 @@ Bytes RsaOprfServer::evaluate_direct(BytesView m) const {
 
 RsaOprfClient::RsaOprfClient(RsaPublicKey server_key, BytesView m, RandomSource& rng)
     : server_key_(std::move(server_key)) {
+  SMATCH_SPAN("oprf.blind");
   hashed_input_ = oprf_fdh(m, server_key_.n);
   // Blinding factor must be invertible mod n; random values virtually
   // always are, but check anyway.
@@ -44,6 +47,7 @@ RsaOprfClient::RsaOprfClient(RsaPublicKey server_key, BytesView m, RandomSource&
 }
 
 Bytes RsaOprfClient::finalize(const OprfResponse& resp) const {
+  SMATCH_SPAN("oprf.unblind");
   if (resp.evaluated <= BigInt{0} || resp.evaluated >= server_key_.n) {
     throw CryptoError("OPRF: evaluated element out of range");
   }

@@ -15,6 +15,7 @@
 #include "crypto/drbg.hpp"
 #include "datasets/dataset.hpp"
 #include "net/channel.hpp"
+#include "obs/trace.hpp"  // SMATCH_OBS_ENABLED for the PoolMetrics asserts
 
 namespace smatch {
 namespace {
@@ -191,6 +192,22 @@ TEST(EngineBatch, MatchBatchEqualsSequentialMatch) {
   const ServerMetrics m = batch_server.metrics();
   EXPECT_EQ(m.batch_group_sorts, 12u);
   EXPECT_LT(m.comparisons, seq_server.comparisons());
+
+  // Batch paths ran through the engine's pool, and the snapshot says so.
+  EXPECT_GE(m.pool.parallel_fors, 2u);  // ingest_batch + match_batch
+  EXPECT_GT(m.pool.tasks_executed, 0u);
+  EXPECT_EQ(m.pool.queue_depth, 0u);  // drained after the barrier
+#if SMATCH_OBS_ENABLED
+  // The scheduling histograms fold into the same snapshot.
+  EXPECT_EQ(m.pool.task_run_ns.count, m.pool.tasks_executed);
+  EXPECT_GT(m.pool.task_run_ns.sum, 0u);
+  // So do the engine's own latency histograms.
+  EXPECT_EQ(m.ingest_latency_ns.count, m.ingests);
+  EXPECT_EQ(m.match_latency_ns.count, m.matches);
+  EXPECT_GT(m.match_latency_ns.p99(), 0u);
+#endif
+  // The sequential engine never created a pool; its snapshot stays zero.
+  EXPECT_EQ(seq_server.metrics().pool.parallel_fors, 0u);
 }
 
 TEST(EngineBatch, BatchReplayClocksAdvanceInSubmissionOrder) {

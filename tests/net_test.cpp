@@ -61,6 +61,26 @@ TEST(SimChannel, KindsBreakDownTraffic) {
   EXPECT_EQ(sum, ch.total_bytes());
 }
 
+TEST(SimChannel, CountsMessagesPerKind) {
+  SimChannel ch;
+  (void)ch.send_to_server(Bytes(10, 0), MessageKind::kUpload);
+  (void)ch.send_to_server(Bytes(20, 0), MessageKind::kUpload);
+  (void)ch.send_to_client(Bytes(9, 0), MessageKind::kResult);
+  (void)ch.send_to_client(Bytes(3, 0));
+  EXPECT_EQ(ch.messages_of(MessageKind::kUpload), 2u);
+  EXPECT_EQ(ch.messages_of(MessageKind::kResult), 1u);
+  EXPECT_EQ(ch.messages_of(MessageKind::kOther), 1u);
+  EXPECT_EQ(ch.messages_of(MessageKind::kQuery), 0u);
+  // Per-kind counts partition the direction totals.
+  std::uint64_t sum = 0;
+  for (const std::uint64_t m : ch.messages_by_kind()) sum += m;
+  EXPECT_EQ(sum, ch.uplink().messages + ch.downlink().messages);
+  // Each recorded message contributes one simulated-latency sample.
+  EXPECT_EQ(ch.latency_of(MessageKind::kUpload).count, 2u);
+  EXPECT_GT(ch.latency_of(MessageKind::kUpload).p50(), 0u);
+  EXPECT_EQ(ch.latency_of(MessageKind::kQuery).count, 0u);
+}
+
 TEST(SimChannel, ResetClearsEverything) {
   SimChannel ch;
   (void)ch.send_to_server(Bytes(10, 0), MessageKind::kAuth);
@@ -68,6 +88,8 @@ TEST(SimChannel, ResetClearsEverything) {
   EXPECT_EQ(ch.total_bytes(), 0u);
   EXPECT_EQ(ch.uplink().messages, 0u);
   for (const std::uint64_t b : ch.bytes_by_kind()) EXPECT_EQ(b, 0u);
+  for (const std::uint64_t m : ch.messages_by_kind()) EXPECT_EQ(m, 0u);
+  EXPECT_EQ(ch.latency_of(MessageKind::kAuth).count, 0u);
 }
 
 }  // namespace

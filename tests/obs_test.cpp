@@ -1,0 +1,398 @@
+// Observability-layer tests: histogram quantile accuracy against a
+// sorted-vector reference, snapshot merging, trace ring-buffer overflow,
+// Chrome-trace JSON well-formedness (parse + monotonic, properly nested
+// timestamps), the Prometheus/JSON exporters, and a concurrent-recording
+// stress meant to run under ThreadSanitizer (-DSMATCH_SANITIZE=thread).
+//
+// Everything here must also pass in a -DSMATCH_OBS=OFF build (the
+// compile-time kill switch): the span-driven expectations are guarded on
+// SMATCH_OBS_ENABLED, and the histogram/registry/validator layers are
+// plain library code that never compiles out.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/client.hpp"
+#include "core/key_server.hpp"
+#include "core/metrics_export.hpp"
+#include "core/server.hpp"
+#include "crypto/drbg.hpp"
+#include "datasets/dataset.hpp"
+#include "group/modp_group.hpp"
+#include "net/channel.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+namespace {
+
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::TraceBuffer;
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(ObsHistogram, BucketSchemeIsLog2) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  EXPECT_EQ(obs::histogram_bucket_bound(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_bound(10), 1023u);
+  // A value always sits inside its own bucket's bound.
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 4096ull, 123456789ull}) {
+    EXPECT_LE(v, obs::histogram_bucket_bound(obs::histogram_bucket(v)));
+  }
+}
+
+TEST(ObsHistogram, QuantilesWithinOneBucketOfSortedReference) {
+  // Seeded log-uniform samples: magnitudes spread over ~12 octaves, the
+  // shape of real latency data.
+  std::mt19937_64 rng(2014);
+  std::vector<std::uint64_t> samples;
+  Histogram hist;
+  for (int i = 0; i < 20000; ++i) {
+    const int octave = static_cast<int>(rng() % 12);
+    const std::uint64_t v = (std::uint64_t{1} << octave) + rng() % (1u << octave);
+    samples.push_back(v);
+    hist.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    // Reference order statistic at rank ceil(q * n), 1-based.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank == 0) rank = 1;
+    const std::uint64_t reference = samples[rank - 1];
+    const std::uint64_t estimate = snap.quantile(q);
+    const long ref_bucket = static_cast<long>(obs::histogram_bucket(reference));
+    const long est_bucket = static_cast<long>(obs::histogram_bucket(estimate));
+    EXPECT_LE(std::abs(ref_bucket - est_bucket), 1)
+        << "q=" << q << " reference=" << reference << " estimate=" << estimate;
+  }
+}
+
+TEST(ObsHistogram, MergeEqualsRecordingEverythingInOne) {
+  std::mt19937_64 rng(7);
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng() % 1000000;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot reference = combined.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.quantile(q), reference.quantile(q));
+  }
+}
+
+TEST(ObsHistogram, EmptyAndResetBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0u);
+  EXPECT_EQ(h.snapshot().mean(), 0.0);
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.snapshot().sum, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer + Chrome JSON
+
+#if SMATCH_OBS_ENABLED
+
+TEST(ObsTrace, RingBufferOverflowKeepsNewestAndCountsDrops) {
+  TraceBuffer& buf = TraceBuffer::instance();
+  buf.begin(/*capacity=*/64);
+  for (int i = 0; i < 200; ++i) {
+    SMATCH_SPAN("overflow.span");
+  }
+  buf.end();
+  EXPECT_EQ(buf.capacity(), 64u);
+  const auto events = buf.events();
+  EXPECT_EQ(events.size(), 64u);
+  EXPECT_EQ(buf.dropped(), 200u - 64u);
+  // Oldest-first ring order: start timestamps are non-decreasing.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+  }
+  // Flat spans still export as a valid trace.
+  std::string error;
+  std::size_t names = 0;
+  EXPECT_TRUE(obs::validate_chrome_trace(buf.chrome_json(), &error, &names)) << error;
+  EXPECT_EQ(names, 1u);
+}
+
+TEST(ObsTrace, NestedSpansExportWellFormedJson) {
+  TraceBuffer& buf = TraceBuffer::instance();
+  buf.begin(/*capacity=*/1024);
+  for (int i = 0; i < 10; ++i) {
+    SMATCH_SPAN("outer");
+    {
+      SMATCH_SPAN("middle");
+      { SMATCH_SPAN("inner"); }
+      { SMATCH_SPAN("inner"); }
+    }
+  }
+  buf.end();
+  const std::vector<obs::TraceEvent> events = buf.events();
+  ASSERT_EQ(events.size(), 40u);
+
+  std::string error;
+  std::size_t names = 0;
+  ASSERT_TRUE(obs::validate_chrome_trace(buf.chrome_json(), &error, &names)) << error;
+  EXPECT_EQ(names, 3u);
+
+  // Depths recorded from the per-thread span stack.
+  std::size_t by_depth[3] = {0, 0, 0};
+  for (const auto& e : events) {
+    ASSERT_LT(e.depth, 3u);
+    ++by_depth[e.depth];
+  }
+  EXPECT_EQ(by_depth[0], 10u);
+  EXPECT_EQ(by_depth[1], 10u);
+  EXPECT_EQ(by_depth[2], 20u);
+}
+
+TEST(ObsTrace, DisabledBufferRecordsNothing) {
+  TraceBuffer& buf = TraceBuffer::instance();
+  buf.begin(/*capacity=*/64);
+  buf.end();
+  { SMATCH_SPAN("ignored"); }
+  EXPECT_TRUE(buf.events().empty());
+}
+
+// End to end: a miniature enroll -> ingest -> match workload must leave
+// spans from all three engines (and the crypto layers under them) in one
+// trace — the property the CI artifact gate checks at full size.
+TEST(ObsTrace, EndToEndWorkloadCoversAllThreeEngines) {
+  DatasetSpec spec;
+  spec.name = "obs-e2e";
+  spec.num_users = 3;
+  for (int i = 0; i < 4; ++i) {
+    spec.attributes.push_back(AttributeSpec::uniform("a" + std::to_string(i), 4.0));
+  }
+  SchemeParams params;
+  params.attribute_bits = 16;
+  params.rs_threshold = 8;
+  params.quant_width = 16;  // one quantization cell: the fleet shares a key group
+  const ClientConfig config = make_client_config(
+      spec, params, std::make_shared<const ModpGroup>(ModpGroup::test_512()));
+
+  Drbg rng(99);
+  KeyServer key_server(RsaKeyPair::generate(rng, 512),
+                       KeyServerOptions{.requests_per_epoch = 0, .batch_threads = 1});
+  std::vector<Client> fleet;
+  for (UserId id = 1; id <= 3; ++id) {
+    fleet.push_back(Client::create(id, Profile{1, 2, 3, 4}, config).value());
+  }
+  std::vector<Client*> clients{&fleet[0], &fleet[1], &fleet[2]};
+
+  TraceBuffer& buf = TraceBuffer::instance();
+  buf.begin(/*capacity=*/1 << 14);
+  const auto uploads = enroll_and_upload_batch(clients, key_server, rng);
+  MatchServer server(ServerOptions{.num_shards = 2, .batch_threads = 1});
+  for (const auto& up : uploads) {
+    ASSERT_TRUE(up.is_ok()) << up.status().to_string();
+    ASSERT_TRUE(server.ingest(*up).is_ok());
+  }
+  ASSERT_TRUE(server.match(fleet[0].make_query(1, 1), 2).is_ok());
+  buf.end();
+
+  std::string error;
+  std::size_t names = 0;
+  ASSERT_TRUE(obs::validate_chrome_trace(buf.chrome_json(), &error, &names)) << error;
+  EXPECT_GE(names, 6u);
+
+  std::set<std::string> seen;
+  for (const auto& e : buf.events()) seen.insert(e.name);
+  for (const char* required :
+       {"client.enroll_batch", "client.encrypt_chain", "ope.encrypt",
+        "keyserver.handle", "keyserver.modexp", "match.ingest", "match.match"}) {
+    EXPECT_TRUE(seen.count(required)) << "missing span: " << required;
+  }
+}
+
+#endif  // SMATCH_OBS_ENABLED
+
+TEST(ObsTrace, ValidatorRejectsMalformedTraces) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_chrome_trace("not json", &error, nullptr));
+  EXPECT_FALSE(obs::validate_chrome_trace("[{\"name\":\"x\"}]", &error, nullptr));
+  // Out-of-order timestamps.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"([{"name":"a","ph":"X","ts":5.0,"dur":1.0,"pid":1,"tid":0,"args":{"depth":0}},
+          {"name":"b","ph":"X","ts":1.0,"dur":1.0,"pid":1,"tid":0,"args":{"depth":0}}])",
+      &error, nullptr));
+  EXPECT_NE(error.find("sorted"), std::string::npos);
+  // A child that escapes its parent's interval.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"([{"name":"a","ph":"X","ts":0.0,"dur":1.0,"pid":1,"tid":0,"args":{"depth":0}},
+          {"name":"b","ph":"X","ts":0.5,"dur":9.0,"pid":1,"tid":0,"args":{"depth":1}}])",
+      &error, nullptr));
+  EXPECT_NE(error.find("nested"), std::string::npos);
+  // A depth-1 span with no parent at all.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+      R"([{"name":"b","ph":"X","ts":0.5,"dur":1.0,"pid":1,"tid":0,"args":{"depth":1}}])",
+      &error, nullptr));
+  // The empty trace is well-formed.
+  std::size_t names = 99;
+  EXPECT_TRUE(obs::validate_chrome_trace("[]", &error, &names));
+  EXPECT_EQ(names, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exporters
+
+TEST(ObsRegistry, SanitizesMetricNames) {
+  EXPECT_EQ(obs::sanitize_metric_name("ope.encrypt-p99"), "ope_encrypt_p99");
+  EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::sanitize_metric_name("already_fine:total"), "already_fine:total");
+}
+
+TEST(ObsRegistry, PrometheusTextExportsAllKinds) {
+  obs::Registry reg;
+  reg.counter("requests.total")->fetch_add(7, std::memory_order_relaxed);
+  reg.gauge("queue.depth")->store(3, std::memory_order_relaxed);
+  Histogram* h = reg.histogram("latency.ns");
+  h->record(100);
+  h->record(1000);
+  h->record(100000);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_sum 101100"), std::string::npos);
+  EXPECT_NE(text.find("latency_ns_count 3"), std::string::npos);
+
+  // Cumulative le buckets: the +Inf count equals the total, every bound
+  // in the output is a 2^i - 1 log2 bucket edge.
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"requests_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\":{\"count\":3"), std::string::npos);
+}
+
+TEST(ObsRegistry, PublishedSnapshotsAndValuesExport) {
+  obs::Registry reg;
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 64; ++v) h.record(v * 1000);
+  reg.publish("engine.stage_ns", h.snapshot());
+  reg.publish_value("engine.ops_total", 12345.0);
+  reg.publish_value("engine.residency", 42.0, /*as_gauge=*/true);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE engine_stage_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("engine_stage_ns_count 64"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE engine_residency gauge"), std::string::npos);
+
+  // Re-publishing replaces, not accumulates.
+  reg.publish_value("engine.ops_total", 5.0);
+  EXPECT_NE(reg.prometheus_text().find("engine_ops_total 5"), std::string::npos);
+}
+
+TEST(ObsRegistry, EngineSnapshotsPublishThroughExportGlue) {
+  obs::Registry reg;
+  MatchServer server(ServerOptions{.num_shards = 2, .batch_threads = 2});
+  Drbg rng(1);
+  UploadMessage up;
+  up.user_id = 1;
+  up.key_index = rng.bytes(32);
+  up.chain_cipher = BigInt{123};
+  up.chain_cipher_bits = 64;
+  up.auth_token = to_bytes("tok");
+  ASSERT_TRUE(server.ingest(up).is_ok());
+  export_metrics(reg, server.metrics());
+
+  SimChannel channel;
+  channel.send_to_server(up.serialize(), MessageKind::kUpload);
+  export_metrics(reg, channel);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("smatch_match_ingests_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE smatch_match_ingest_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("smatch_channel_upload_messages_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE smatch_channel_upload_sim_latency_ns histogram"),
+            std::string::npos);
+#if SMATCH_OBS_ENABLED
+  EXPECT_NE(text.find("smatch_match_ingest_latency_ns_count 1"), std::string::npos);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (run under -DSMATCH_SANITIZE=thread)
+
+TEST(ObsStress, ConcurrentRecordingFromPoolWorkers) {
+  ThreadPool pool(4);
+  Histogram hist;
+  obs::Registry reg;
+  std::atomic<std::uint64_t>* counter = reg.counter("stress.ops");
+#if SMATCH_OBS_ENABLED
+  TraceBuffer::instance().begin(/*capacity=*/4096);
+#endif
+
+  constexpr std::size_t kOps = 20000;
+  pool.parallel_for(kOps, [&](std::size_t i) {
+    SMATCH_SPAN_HIST("stress.op", &hist);
+    hist.record(i);
+    counter->fetch_add(1, std::memory_order_relaxed);
+    if (i % 1024 == 0) {
+      // Snapshots and exports race with recording by design.
+      (void)hist.snapshot();
+      (void)reg.prometheus_text();
+    }
+  });
+
+#if SMATCH_OBS_ENABLED
+  TraceBuffer::instance().end();
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(TraceBuffer::instance().chrome_json(), &error,
+                                         nullptr))
+      << error;
+  // kOps direct records + kOps span-driven records.
+  EXPECT_EQ(hist.count(), 2 * kOps);
+#else
+  EXPECT_EQ(hist.count(), kOps);
+#endif
+  EXPECT_EQ(counter->load(std::memory_order_relaxed), kOps);
+
+  const PoolMetrics pm = pool.metrics();
+  EXPECT_GT(pm.tasks_executed, 0u);
+  EXPECT_GE(pm.parallel_fors, 1u);
+#if SMATCH_OBS_ENABLED
+  EXPECT_GT(pm.task_run_ns.count, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace smatch
