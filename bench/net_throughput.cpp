@@ -1,0 +1,197 @@
+// Transport/session throughput: request-response RPCs per second through
+// the full net stack (frame codec -> session envelopes -> dispatcher ->
+// replay cache), compared across the in-process transport and real
+// loopback TCP, single-connection and concurrent, plus a seeded-loss run
+// that prices the retry machinery.
+//
+// Run:  ./build/bench/net_throughput            (full size)
+//       ./build/bench/net_throughput --smoke    (small; used by ctest)
+//       add --json <path> to also write a machine-readable result file
+//       (scripts/ci.sh gates on BENCH_net.json appearing and parsing).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "net/fault.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/registry.hpp"
+
+using namespace smatch;
+
+namespace {
+
+constexpr std::chrono::milliseconds kIo{2000};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Bytes payload_of(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i);
+  return out;
+}
+
+FrameDispatcher echo_dispatcher() {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kOther, [](BytesView body) -> StatusOr<Bytes> {
+    return Bytes(body.begin(), body.end());
+  });
+  return dispatcher;
+}
+
+struct RunResult {
+  double ms = 0.0;
+  std::uint64_t retries = 0;
+  bool ok = true;
+};
+
+/// `calls` sequential RPCs over one connection; returns elapsed time.
+RunResult drive(Transport& conn, std::size_t calls, std::size_t payload_bytes,
+                std::uint64_t seed, const RetryPolicy& policy = {}) {
+  SessionClient session(conn, policy, seed);
+  const Bytes body = payload_of(payload_bytes);
+  RunResult r;
+  const double t0 = now_ms();
+  for (std::size_t i = 0; i < calls; ++i) {
+    if (!session.call(MessageKind::kOther, body).is_ok()) r.ok = false;
+  }
+  r.ms = now_ms() - t0;
+  r.retries = session.stats().retries;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const char* json_path = bench::arg_after(argc, argv, "--json");
+  const std::size_t calls = smoke ? 300 : 5000;
+  const std::size_t payload = 512;  // ~ an S-MATCH upload frame
+  const std::size_t fanout = smoke ? 2 : 4;
+
+  const FrameDispatcher dispatcher = echo_dispatcher();
+
+  // --- In-process transport, one connection -------------------------------
+  NetServer inproc_server(dispatcher, /*workers=*/2);
+  auto [inproc_client, inproc_end] = InProcTransport::make_pair();
+  inproc_server.attach(std::move(inproc_end));
+  const RunResult inproc = drive(*inproc_client, calls, payload, /*seed=*/1);
+  (void)inproc_client->close();
+  inproc_server.stop();
+
+  // --- Loopback TCP, one connection ---------------------------------------
+  NetServer tcp_server(dispatcher, /*workers=*/fanout + 1);
+  if (Status s = tcp_server.start(0); !s.is_ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto tcp_conn = TcpTransport::connect("127.0.0.1", tcp_server.port(), kIo);
+  if (!tcp_conn.is_ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", tcp_conn.status().to_string().c_str());
+    return 1;
+  }
+  const RunResult tcp = drive(**tcp_conn, calls, payload, /*seed=*/2);
+  (void)(*tcp_conn)->close();  // frees its worker for the concurrent fleet
+
+  // --- Loopback TCP, `fanout` concurrent connections ----------------------
+  std::vector<std::unique_ptr<Transport>> conns;
+  for (std::size_t c = 0; c < fanout; ++c) {
+    auto conn = TcpTransport::connect("127.0.0.1", tcp_server.port(), kIo);
+    if (!conn.is_ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", conn.status().to_string().c_str());
+      return 1;
+    }
+    conns.push_back(std::move(*conn));
+  }
+  std::atomic<bool> all_ok{true};
+  const double t0 = now_ms();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < fanout; ++c) {
+    threads.emplace_back([&, c] {
+      const RunResult r = drive(*conns[c], calls / fanout, payload, /*seed=*/10 + c);
+      if (!r.ok) all_ok.store(false);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double concurrent_ms = now_ms() - t0;
+  for (auto& conn : conns) (void)conn->close();
+
+  // --- Seeded 20% loss over TCP: what retries cost ------------------------
+  auto lossy_conn = TcpTransport::connect("127.0.0.1", tcp_server.port(), kIo);
+  if (!lossy_conn.is_ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", lossy_conn.status().to_string().c_str());
+    return 1;
+  }
+  FaultSpec faults;
+  faults.drop = 0.2;
+  faults.seed = 9;
+  FaultInjector injector(faults);
+  (*lossy_conn)->set_fault_injector(&injector);
+  RetryPolicy lossy_policy;
+  lossy_policy.max_attempts = 8;
+  lossy_policy.attempt_timeout = std::chrono::milliseconds{200};
+  lossy_policy.initial_backoff = std::chrono::milliseconds{1};
+  lossy_policy.max_backoff = std::chrono::milliseconds{8};
+  const std::size_t lossy_calls = calls / 10;
+  const RunResult lossy =
+      drive(**lossy_conn, lossy_calls, payload, /*seed=*/3, lossy_policy);
+  (void)(*lossy_conn)->close();
+  tcp_server.stop();
+
+  if (!inproc.ok || !tcp.ok || !all_ok.load() || !lossy.ok) {
+    std::fprintf(stderr, "FAIL: at least one RPC did not complete\n");
+    return 1;
+  }
+
+  const double inproc_rps = 1e3 * static_cast<double>(calls) / inproc.ms;
+  const double tcp_rps = 1e3 * static_cast<double>(calls) / tcp.ms;
+  const double concurrent_rps =
+      1e3 * static_cast<double>(calls / fanout * fanout) / concurrent_ms;
+  const double lossy_rps = 1e3 * static_cast<double>(lossy_calls) / lossy.ms;
+
+  std::printf("NET THROUGHPUT: %zu-byte echo RPCs through the session stack%s\n\n",
+              payload, smoke ? " (smoke)" : "");
+  std::printf("  %-28s %10s %12s %10s\n", "configuration", "calls", "rps", "retries");
+  std::printf("  %-28s %10zu %12.0f %10llu\n", "inproc, 1 connection", calls,
+              inproc_rps, static_cast<unsigned long long>(inproc.retries));
+  std::printf("  %-28s %10zu %12.0f %10llu\n", "tcp loopback, 1 connection", calls,
+              tcp_rps, static_cast<unsigned long long>(tcp.retries));
+  std::printf("  %-28s %10zu %12.0f %10s\n", "tcp loopback, concurrent",
+              calls / fanout * fanout, concurrent_rps, "-");
+  std::printf("  %-28s %10zu %12.0f %10llu\n", "tcp + 20% seeded loss",
+              lossy_calls, lossy_rps, static_cast<unsigned long long>(lossy.retries));
+
+  const auto rtt = obs::Registry::global().histogram("smatch_net_rtt_ns")->snapshot();
+  std::printf("\n  session RTT: p50 %.1f us, p99 %.1f us over %llu calls\n",
+              static_cast<double>(rtt.p50()) / 1e3, static_cast<double>(rtt.p99()) / 1e3,
+              static_cast<unsigned long long>(rtt.count));
+
+  if (json_path != nullptr) {
+    bench::JsonResult json("net_throughput");
+    json.add("calls", static_cast<double>(calls));
+    json.add("payload_bytes", static_cast<double>(payload));
+    json.add("inproc_rps", inproc_rps);
+    json.add("tcp_rps", tcp_rps);
+    json.add("tcp_concurrent_rps", concurrent_rps);
+    json.add("tcp_concurrent_connections", static_cast<double>(fanout));
+    json.add("lossy_rps", lossy_rps);
+    json.add("lossy_retries", static_cast<double>(lossy.retries));
+    json.add_hist("session_rtt", rtt);
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  wrote %s\n", json_path);
+  }
+  return 0;
+}

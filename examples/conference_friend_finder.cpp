@@ -2,19 +2,26 @@
 // scenario at Infocom06 scale.
 //
 // 78 attendees form research communities (shared country / affiliation /
-// topic interests). Each phone uploads an encrypted profile; an attendee
-// then asks the untrusted conference server for the 5 most similar people
-// nearby, verifies every result, and is shown what the server itself can
-// (and cannot) see.
+// topic interests). Each phone enrolls against the rate-limited key
+// service and uploads an encrypted profile — every round travels through
+// the Transport API (net/transport.hpp) and a NetServer serving the
+// dispatcher, exactly like a TCP deployment; here the link is an
+// in-process pair whose byte accounting feeds the paper's 802.11n
+// SimChannel model. An attendee then asks the untrusted conference server
+// for the 5 most similar people nearby, verifies every result, and is
+// shown what the server itself can (and cannot) see.
 //
 // Build & run:  ./build/examples/conference_friend_finder
 #include <cstdio>
 #include <map>
 
+#include "core/service.hpp"
 #include "core/smatch.hpp"
 #include "crypto/drbg.hpp"
 #include "datasets/dataset.hpp"
 #include "net/channel.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/server.hpp"
 
 using namespace smatch;
 
@@ -41,8 +48,15 @@ int main() {
   auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
   const ClientConfig config = make_client_config(spec, params, group);
 
-  RsaOprfServer key_server(RsaKeyPair::generate(rng, 1024));
+  // The two servers, wired behind one dispatcher and served like a TCP
+  // deployment (enrolment needs one OPRF round per attendee, so the key
+  // budget is off for this walkthrough).
+  KeyServer key_server(RsaKeyPair::generate(rng, 1024),
+                       KeyServerOptions{.requests_per_epoch = 0});
   MatchServer server;
+  SmatchService service(server, key_server, /*top_k=*/5);
+  NetServer net(service.dispatcher(), /*workers=*/2);
+
   SimChannel wifi({.bandwidth_mbps = 53.0, .latency_ms = 2.0});  // the paper's 802.11n link
 
   std::vector<Client> phones;
@@ -50,40 +64,48 @@ int main() {
   for (std::size_t u = 0; u < attendees.num_users(); ++u) {
     phones.push_back(
         Client::create(static_cast<UserId>(u + 1), attendees.profile(u), config).value());
-    phones.back().generate_key(key_server, rng);
-    const Bytes wire = phones.back().make_upload(rng).serialize();
-    wifi.send_to_server(wire, MessageKind::kUpload);
-    (void)server.ingest(UploadMessage::parse(wire).value());
+
+    // One connection per phone: Keygen over the wire, then the upload.
+    auto [phone_end, server_end] = InProcTransport::make_pair(&wifi);
+    net.attach(std::move(server_end));
+    RemoteClient remote(phones.back(), *phone_end, key_server.public_key());
+    if (Status s = remote.enroll(rng); !s.is_ok()) {
+      std::printf("enroll failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    if (Status s = remote.upload(rng); !s.is_ok()) {
+      std::printf("upload failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    (void)phone_end->close();
   }
 
-  std::printf("attendees: %zu   key groups: %zu   upload traffic: %llu bytes "
+  std::printf("attendees: %zu   key groups: %zu   uplink traffic: %llu bytes "
               "(%.1f ms simulated on 802.11n)\n\n",
               server.num_users(), server.num_groups(),
               static_cast<unsigned long long>(wifi.uplink().bytes),
               wifi.uplink().sim_seconds * 1e3);
 
-  // One attendee looks for friends.
+  // One attendee looks for friends: a kQuery round plus Vf on the result.
   const std::size_t querier = 17;
-  const Client& me = phones[querier];
-  const Bytes query_wire = me.make_query(1, 1700000000).serialize();
-  wifi.send_to_server(query_wire, MessageKind::kQuery);
-
-  const QueryResult result = server.match(QueryRequest::parse(query_wire).value(), 5).value();
-  wifi.send_to_client(result.serialize(), MessageKind::kResult);
+  Client& me = phones[querier];
+  auto [my_end, their_end] = InProcTransport::make_pair(&wifi);
+  net.attach(std::move(their_end));
+  RemoteClient remote(me, *my_end, key_server.public_key());
+  const auto report = remote.query(1, 1700000000).value();
 
   std::printf("attendee %u (community %zu) asked for 5 similar people:\n",
               me.id(), attendees.communities()[querier]);
-  std::size_t verified = 0;
-  for (const auto& entry : result.entries) {
-    const bool ok = me.verify_entry(entry);
-    verified += ok;
-    std::printf("  matched attendee %-3u community %zu  distance %-3u  verify: %s\n",
+  for (const auto& entry : report.verified) {
+    std::printf("  matched attendee %-3u community %zu  distance %-3u  verify: PASS\n",
                 entry.user_id, attendees.communities()[entry.user_id - 1],
                 profile_distance(attendees.profile(querier),
-                                 attendees.profile(entry.user_id - 1)),
-                ok ? "PASS" : "FAIL");
+                                 attendees.profile(entry.user_id - 1)));
   }
-  std::printf("verified %zu/%zu matches\n\n", verified, result.entries.size());
+  std::printf("verified %zu match(es), rejected %zu\n\n", report.verified.size(),
+              report.rejected);
+  (void)my_end->close();
+  net.stop();
 
   // What does the untrusted server actually hold? Group sizes and opaque
   // ciphertext order, nothing else — straight from the engine metrics.
@@ -95,8 +117,13 @@ int main() {
   std::printf("engine: %zu shard(s), %llu ciphertext comparisons for this query\n",
               server.num_shards(),
               static_cast<unsigned long long>(metrics.comparisons));
-  std::printf("\ntotal traffic: %llu bytes up, %llu bytes down\n",
+  std::printf("\ntotal traffic: %llu bytes up, %llu bytes down "
+              "(upload %llu, query %llu, result %llu, oprf %llu)\n",
               static_cast<unsigned long long>(wifi.uplink().bytes),
-              static_cast<unsigned long long>(wifi.downlink().bytes));
+              static_cast<unsigned long long>(wifi.downlink().bytes),
+              static_cast<unsigned long long>(wifi.bytes_of(MessageKind::kUpload)),
+              static_cast<unsigned long long>(wifi.bytes_of(MessageKind::kQuery)),
+              static_cast<unsigned long long>(wifi.bytes_of(MessageKind::kResult)),
+              static_cast<unsigned long long>(wifi.bytes_of(MessageKind::kOprf)));
   return 0;
 }

@@ -2,23 +2,40 @@
 // section describes, end to end —
 //
 //   * Encrypt-then-MAC session channels (Section VIII "Communication"),
-//     keyed by a Diffie-Hellman handshake;
-//   * key generation over the wire against a rate-limited OPRF key server;
+//     keyed by a Diffie-Hellman handshake and layered as a SecureTransport
+//     decorator under the session/RPC stack (net/secure_channel.hpp);
+//   * key generation over the wire against a rate-limited OPRF key server,
+//     through the same Transport API a TCP deployment uses;
 //   * adaptive per-attribute plaintext widths (the Section X extension);
 //   * a replay-protected matching server;
-//   * verification of every result, plus a replay/forgery attempt that
-//     the stack rejects.
+//   * verification of every result, plus replay/forgery attempts that
+//     the stack rejects — every rejection a typed Status off the wire.
 //
 // Build & run:  ./build/examples/secure_deployment
 #include <cstdio>
 #include <memory>
 
+#include "core/service.hpp"
 #include "core/smatch.hpp"
 #include "crypto/drbg.hpp"
 #include "datasets/dataset.hpp"
+#include "net/inproc_transport.hpp"
 #include "net/secure_channel.hpp"
+#include "net/server.hpp"
 
 using namespace smatch;
+
+namespace {
+
+/// DH handshake over the deployment group -> per-direction EtM keys.
+SessionKeys handshake(const ModpGroup& group, RandomSource& rng) {
+  const BigInt client_eph = group.random_exponent(rng);
+  const BigInt server_eph = group.random_exponent(rng);
+  const BigInt shared = group.pow(group.pow_g(server_eph), client_eph);
+  return make_session_keys(shared.to_bytes_padded(group.element_bytes()));
+}
+
+}  // namespace
 
 int main() {
   Drbg rng(2026);
@@ -46,9 +63,11 @@ int main() {
   KeyServer key_server(RsaKeyPair::generate(rng, 1024), /*requests_per_epoch=*/4);
   MatchServer server;
   server.set_replay_protection(true);
+  SmatchService service(server, key_server, /*top_k=*/5);
+  NetServer net(service.dispatcher(), /*workers=*/2);
 
-  // --- Enrolment: each phone runs Keygen over the wire and uploads through
-  // an Encrypt-then-MAC session.
+  // --- Enrolment: each phone runs Keygen and uploads through an
+  // Encrypt-then-MAC channel under the session layer.
   const Dataset population = Dataset::generate_clustered(spec, rng, 3, 0);
   std::vector<Client> phones;
   for (std::size_t u = 0; u < population.num_users(); ++u) {
@@ -56,33 +75,23 @@ int main() {
         Client::create(static_cast<UserId>(u + 1), population.profile(u), config).value());
     Client& phone = phones.back();
 
-    // DH handshake -> session keys for the EtM channel.
-    const BigInt client_eph = group->random_exponent(rng);
-    const BigInt server_eph = group->random_exponent(rng);
-    const BigInt shared = group->pow(group->pow_g(server_eph), client_eph);
-    const SessionKeys session =
-        make_session_keys(shared.to_bytes_padded(group->element_bytes()));
-    SecureSender phone_tx(session.client_to_server);
-    SecureReceiver server_rx(session.client_to_server);
+    // DH handshake -> EtM session over an in-process transport pair; the
+    // server end is served by the same worker pool a TCP listener feeds.
+    const SessionKeys session = handshake(*group, rng);
+    auto [phone_end, server_end] = InProcTransport::make_pair();
+    auto secure_phone = SecureTransport::client_end(std::move(phone_end), session, rng);
+    net.attach(SecureTransport::server_end(std::move(server_end), session, rng));
 
-    // Wire-level Keygen (rate limited at the key server).
-    KeygenSession keygen(phone.keygen(), phone.profile(), key_server.public_key(),
-                         phone.id(), rng);
-    const StatusOr<Bytes> key_resp = key_server.handle(keygen.request_wire());
-    if (!key_resp.is_ok()) {
-      std::printf("keygen refused: %s\n", key_resp.status().to_string().c_str());
+    RemoteClient remote(phone, *secure_phone, key_server.public_key());
+    if (Status s = remote.enroll(rng); !s.is_ok()) {
+      std::printf("keygen refused: %s\n", s.to_string().c_str());
       return 1;
     }
-    StatusOr<ProfileKey> key = keygen.finalize(*key_resp);
-    if (!key.is_ok()) {
-      std::printf("keygen finalize failed: %s\n", key.status().to_string().c_str());
+    if (Status s = remote.upload(rng); !s.is_ok()) {
+      std::printf("upload refused: %s\n", s.to_string().c_str());
       return 1;
     }
-    phone.set_profile_key(std::move(*key), phone.auth().random_secret(rng));
-
-    // Sealed upload: the server opens and ingests.
-    const Bytes sealed = phone_tx.seal(phone.make_upload(rng).serialize(), rng);
-    (void)server.ingest(UploadMessage::parse(server_rx.open(sealed)).value());
+    (void)secure_phone->close();
   }
   std::printf("enrolled %zu phones in %zu key groups; key server evaluations: %llu\n\n",
               server.num_users(), server.num_groups(),
@@ -90,15 +99,21 @@ int main() {
 
   // --- Query + verify ------------------------------------------------------
   Client& alice = phones[0];
-  const QueryRequest query = alice.make_query(1, /*timestamp=*/5000);
-  const QueryResult result = server.match(query, 5).value();
-  const auto report = alice.verify_result(query, result).value();
-  std::printf("alice's top-5 query returned %zu match(es); %zu verified\n",
-              result.entries.size(), report.verified.size());
+  const SessionKeys alice_session = handshake(*group, rng);
+  auto [alice_end, alice_server_end] = InProcTransport::make_pair();
+  auto alice_secure =
+      SecureTransport::client_end(std::move(alice_end), alice_session, rng);
+  net.attach(SecureTransport::server_end(std::move(alice_server_end), alice_session, rng));
+  RemoteClient alice_remote(alice, *alice_secure, key_server.public_key());
+
+  const auto report = alice_remote.query(1, /*timestamp=*/5000).value();
+  std::printf("alice's top-5 query returned %zu verified match(es), %zu rejected\n",
+              report.verified.size(), report.rejected);
 
   // --- Attacks the stack rejects -------------------------------------------
-  // 1. Replayed query timestamp: a typed status, not an exception.
-  const auto replayed = server.match(alice.make_query(2, 5000), 5);
+  // 1. Replayed query timestamp: the server's typed status comes back
+  // through the session envelope, not as an exception.
+  const auto replayed = alice_remote.query(2, 5000);
   if (!replayed.is_ok() && replayed.code() == StatusCode::kStaleTimestamp) {
     std::printf("replayed query: rejected by the server (%s; %llu rejection(s) so far)\n",
                 replayed.status().to_string().c_str(),
@@ -107,13 +122,16 @@ int main() {
     std::printf("replayed query: ACCEPTED (bug!)\n");
   }
   // 2. Key-server brute force beyond the per-epoch budget: each probe
-  // past the budget comes back as kBudgetExhausted (a status, never an
-  // exception).
+  // past the budget comes back as kBudgetExhausted over the wire.
+  // Distinct session seed: request ids must not collide with the ids
+  // alice's RemoteClient already used on this connection.
+  SessionClient probe_session(*alice_secure, {}, /*seed=*/0xa11ce);
   std::size_t refused = 0;
   for (std::uint32_t guess = 0; guess < 8; ++guess) {
     KeygenSession probe(alice.keygen(), Profile{guess, guess, guess, guess},
                         key_server.public_key(), alice.id(), rng);
-    if (key_server.handle(probe.request_wire()).code() == StatusCode::kBudgetExhausted) {
+    if (probe_session.call(MessageKind::kOprf, probe.request_wire()).code() ==
+        StatusCode::kBudgetExhausted) {
       ++refused;
     }
   }
@@ -121,9 +139,13 @@ int main() {
               "(%llu budget rejections total)\n",
               refused,
               static_cast<unsigned long long>(key_server.metrics().budget_rejections));
-  // 3. Forged match results.
-  const QueryResult forged = tamper_result(result, ServerAttack::kForgeToken, rng);
+  // 3. Forged match results: tampered tokens fail Vf locally.
+  const QueryRequest forged_query = alice.make_query(3, 5001);
+  const QueryResult honest = server.match(forged_query, 5).value();
+  const QueryResult forged = tamper_result(honest, ServerAttack::kForgeToken, rng);
   std::printf("forged results verifying: %zu/%zu (expect 0)\n",
               alice.count_verified(forged), forged.entries.size());
+  (void)alice_secure->close();
+  net.stop();
   return 0;
 }

@@ -62,14 +62,32 @@ if ! awk -v on="$on_ms" -v off="$off_ms" 'BEGIN { exit !(on <= off * 1.05) }'; t
 fi
 echo "ok (on=${on_ms}ms off=${off_ms}ms, trace + prometheus artifacts in build/)"
 
+echo "== net: loopback TCP + fault-injection suites, throughput gate =="
+# The full S-MATCH flow over real localhost TCP (byte parity with the
+# in-process transport) and the seeded drop/corrupt/reorder suites.
+./build/tests/transport_test
+./build/tests/tcp_loopback_test
+# Throughput bench must run and emit a parseable BENCH_net.json.
+./build/bench/net_throughput --smoke --json build/BENCH_net.json | tail -4
+for key in inproc_rps tcp_rps tcp_concurrent_rps session_rtt_count; do
+  if ! grep -q "\"$key\"" build/BENCH_net.json; then
+    echo "FAIL: BENCH_net.json missing \"$key\"" >&2
+    exit 1
+  fi
+done
+echo "ok (BENCH_net.json in build/)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test
+  cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test \
+    transport_test tcp_loopback_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
   ./build-tsan/tests/client_pipeline_test
   ./build-tsan/tests/obs_test
+  ./build-tsan/tests/transport_test
+  ./build-tsan/tests/tcp_loopback_test
 fi
 
 echo "== ci: all gates passed =="

@@ -26,6 +26,9 @@ enum class StatusCode : std::uint8_t {
   kEmptyGroup,           // querier's key group vanished mid-operation
   kUnsupportedVersion,   // wire header carries an unknown format version
   kBudgetExhausted,      // client exceeded its per-epoch OPRF budget
+  kTimeout,              // per-call transport deadline expired
+  kConnectionReset,      // peer closed / refused / reset the transport
+  kRetriesExhausted,     // session layer gave up after its retry budget
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
@@ -37,6 +40,9 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kEmptyGroup: return "EMPTY_GROUP";
     case StatusCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
     case StatusCode::kBudgetExhausted: return "BUDGET_EXHAUSTED";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kConnectionReset: return "CONNECTION_RESET";
+    case StatusCode::kRetriesExhausted: return "RETRIES_EXHAUSTED";
   }
   return "INVALID_CODE";
 }

@@ -1,0 +1,25 @@
+#include "common/wire.hpp"
+
+#include <string>
+
+namespace smatch::wire {
+
+void write_header(Writer& w) {
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+}
+
+Status read_header(Reader& r) {
+  if (r.u16() != kWireMagic) {
+    return {StatusCode::kMalformedMessage, "bad wire magic"};
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    return {StatusCode::kUnsupportedVersion,
+            "wire version " + std::to_string(version) + " (expected " +
+                std::to_string(kWireVersion) + ")"};
+  }
+  return Status::ok();
+}
+
+}  // namespace smatch::wire

@@ -1,0 +1,53 @@
+// The versioned wire header and framing helpers shared by every S-MATCH
+// protocol message — protocol payloads (core/messages.hpp,
+// core/key_server.hpp) and the transport session envelope (net/session.hpp)
+// alike. Lives in common/ so both the net layer and the core layer can
+// frame messages without a dependency cycle; core/messages.hpp re-exports
+// these names, so existing includes keep working.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/serde.hpp"
+#include "common/status.hpp"
+
+namespace smatch {
+
+/// "SM" in ASCII: the first two bytes of every serialized message.
+inline constexpr std::uint16_t kWireMagic = 0x534D;
+/// Current wire-format version (header layout v1).
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Serialized size of the magic + version header.
+inline constexpr std::size_t kWireHeaderBytes = 3;
+
+namespace wire {
+
+/// Appends the 3-byte magic + version header.
+void write_header(Writer& w);
+
+/// Consumes and validates the header: kMalformedMessage on bad magic,
+/// kUnsupportedVersion on an unknown version byte, ok otherwise.
+[[nodiscard]] Status read_header(Reader& r);
+
+/// Runs a Reader-based parse body under the versioned header, mapping
+/// SerdeError (truncation, length lies, trailing bytes) to
+/// kMalformedMessage. Framed parsers never throw.
+template <typename Message, typename Body>
+[[nodiscard]] StatusOr<Message> parse_framed(BytesView data, Body&& body) {
+  try {
+    Reader r(data);
+    if (Status header = read_header(r); !header.is_ok()) return header;
+    Message m = std::forward<Body>(body)(r);
+    r.finish();
+    return m;
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage, e.what());
+  }
+}
+
+}  // namespace wire
+
+}  // namespace smatch

@@ -5,35 +5,14 @@
 
 namespace smatch {
 
-namespace wire {
-
-void write_header(Writer& w) {
-  w.u16(kWireMagic);
-  w.u8(kWireVersion);
-}
-
-Status read_header(Reader& r) {
-  if (r.u16() != kWireMagic) {
-    return {StatusCode::kMalformedMessage, "bad wire magic"};
-  }
-  const std::uint8_t version = r.u8();
-  if (version != kWireVersion) {
-    return {StatusCode::kUnsupportedVersion,
-            "wire version " + std::to_string(version) + " (expected " +
-                std::to_string(kWireVersion) + ")"};
-  }
-  return Status::ok();
-}
-
-}  // namespace wire
-
 Bytes UploadMessage::serialize() const {
   Writer w;
   wire::write_header(w);
   w.u32(user_id);
   w.var_bytes(key_index);
   w.u32(chain_cipher_bits);
-  w.raw(chain_cipher.to_bytes_padded((chain_cipher_bits + 7) / 8));
+  w.raw(chain_cipher.to_bytes_padded(
+      (static_cast<std::size_t>(chain_cipher_bits) + 7) / 8));
   w.var_bytes(auth_token);
   return w.take();
 }
@@ -44,7 +23,14 @@ StatusOr<UploadMessage> UploadMessage::parse(BytesView data) {
     m.user_id = r.u32();
     m.key_index = r.var_bytes();
     m.chain_cipher_bits = r.u32();
-    m.chain_cipher = BigInt::from_bytes(r.raw((m.chain_cipher_bits + 7) / 8));
+    // Cap before the width arithmetic: near-UINT32_MAX values would wrap
+    // `bits + 7` in u32 math to a tiny byte count and "parse" an absurd
+    // width against an empty cipher.
+    if (m.chain_cipher_bits > kMaxChainCipherBits) {
+      throw SerdeError("chain cipher width exceeds limit");
+    }
+    m.chain_cipher = BigInt::from_bytes(
+        r.raw((static_cast<std::size_t>(m.chain_cipher_bits) + 7) / 8));
     m.auth_token = r.var_bytes();
     return m;
   });

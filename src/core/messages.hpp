@@ -22,43 +22,15 @@
 #include "common/bytes.hpp"
 #include "common/serde.hpp"
 #include "common/status.hpp"
+#include "common/wire.hpp"  // kWireMagic / kWireVersion / wire:: helpers
 #include "core/types.hpp"
 
 namespace smatch {
 
-/// "SM" in ASCII: the first two bytes of every serialized message.
-inline constexpr std::uint16_t kWireMagic = 0x534D;
-/// Current wire-format version (header layout v1, this file).
-inline constexpr std::uint8_t kWireVersion = 1;
-/// Serialized size of the magic + version header.
-inline constexpr std::size_t kWireHeaderBytes = 3;
-
-namespace wire {
-
-/// Appends the 3-byte magic + version header.
-void write_header(Writer& w);
-
-/// Consumes and validates the header: kMalformedMessage on bad magic,
-/// kUnsupportedVersion on an unknown version byte, ok otherwise.
-[[nodiscard]] Status read_header(Reader& r);
-
-/// Runs a Reader-based parse body under the versioned header, mapping
-/// SerdeError (truncation, length lies, trailing bytes) to
-/// kMalformedMessage. Framed parsers never throw.
-template <typename Message, typename Body>
-[[nodiscard]] StatusOr<Message> parse_framed(BytesView data, Body&& body) {
-  try {
-    Reader r(data);
-    if (Status header = read_header(r); !header.is_ok()) return header;
-    Message m = std::forward<Body>(body)(r);
-    r.finish();
-    return m;
-  } catch (const SerdeError& e) {
-    return Status(StatusCode::kMalformedMessage, e.what());
-  }
-}
-
-}  // namespace wire
+/// Upper bound on a serialized chain-cipher width. The OPE expansion of a
+/// realistic attribute chain is a few thousand bits; anything near 2^32
+/// is an attack on the parser's length arithmetic, not a profile.
+inline constexpr std::uint32_t kMaxChainCipherBits = 1u << 20;
 
 /// Profile upload (paper Eq. 3 plus the verification token).
 struct UploadMessage {

@@ -1,0 +1,67 @@
+#include "core/service.hpp"
+
+#include <utility>
+
+#include "core/messages.hpp"
+
+namespace smatch {
+
+SmatchService::SmatchService(MatchServer& match_server, KeyServer& key_server,
+                             std::size_t top_k) {
+  dispatcher_.register_handler(
+      MessageKind::kUpload, [&match_server](BytesView body) -> StatusOr<Bytes> {
+        StatusOr<UploadMessage> upload = UploadMessage::parse(body);
+        if (!upload.is_ok()) return upload.status();
+        if (Status s = match_server.ingest(*upload); !s.is_ok()) return s;
+        return Bytes{};
+      });
+  dispatcher_.register_handler(
+      MessageKind::kQuery,
+      [&match_server, top_k](BytesView body) -> StatusOr<Bytes> {
+        StatusOr<QueryRequest> query = QueryRequest::parse(body);
+        if (!query.is_ok()) return query.status();
+        StatusOr<QueryResult> result = match_server.match(*query, top_k);
+        if (!result.is_ok()) return result.status();
+        return result->serialize();
+      });
+  dispatcher_.register_handler(
+      MessageKind::kOprf, [&key_server](BytesView body) -> StatusOr<Bytes> {
+        return key_server.handle(body);
+      });
+}
+
+RemoteClient::RemoteClient(Client& client, Transport& transport,
+                           const RsaPublicKey& key_server_public_key,
+                           RetryPolicy policy, std::uint64_t seed)
+    : client_(client),
+      session_(transport, policy, seed),
+      key_server_public_key_(key_server_public_key) {}
+
+Status RemoteClient::enroll(RandomSource& rng) {
+  KeygenSession keygen(client_.keygen(), client_.profile(), key_server_public_key_,
+                       client_.id(), rng);
+  StatusOr<Bytes> response = session_.call(MessageKind::kOprf, keygen.request_wire());
+  if (!response.is_ok()) return response.status();
+  StatusOr<ProfileKey> key = keygen.finalize(*response);
+  if (!key.is_ok()) return key.status();
+  client_.set_profile_key(std::move(*key), client_.auth().random_secret(rng));
+  return Status::ok();
+}
+
+Status RemoteClient::upload(RandomSource& rng) {
+  const UploadMessage message = client_.make_upload(rng);
+  StatusOr<Bytes> response = session_.call(MessageKind::kUpload, message.serialize());
+  return response.is_ok() ? Status::ok() : response.status();
+}
+
+StatusOr<Client::VerifiedResult> RemoteClient::query(std::uint32_t query_id,
+                                                     std::uint64_t timestamp) {
+  const QueryRequest request = client_.make_query(query_id, timestamp);
+  StatusOr<Bytes> response = session_.call(MessageKind::kQuery, request.serialize());
+  if (!response.is_ok()) return response.status();
+  StatusOr<QueryResult> result = QueryResult::parse(*response);
+  if (!result.is_ok()) return result.status();
+  return client_.verify_result(request, *result);
+}
+
+}  // namespace smatch

@@ -1,0 +1,80 @@
+// Wires the S-MATCH engines behind the transport layer.
+//
+// SmatchService binds a MatchServer and a KeyServer to the per-kind
+// handlers of a net::FrameDispatcher, so one NetServer (or a bare
+// serve_connection loop) exposes the whole protocol:
+//
+//   kUpload -> MatchServer::ingest            (empty response body)
+//   kQuery  -> MatchServer::match(q, top_k)   (serialized QueryResult)
+//   kOprf   -> KeyServer::handle              (serialized KeyResponse)
+//
+// RemoteClient is the connected mode of core/client.hpp: the same
+// Keygen / InitData+Enc+Auth / Match / Vf pipeline, but every round
+// travels through a SessionClient over a real Transport — localhost TCP
+// and the in-process pair produce byte-identical protocol payloads, so
+// the fig5 communication-cost numbers hold over the wire.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "core/client.hpp"
+#include "core/key_server.hpp"
+#include "core/server.hpp"
+#include "net/session.hpp"
+
+namespace smatch {
+
+/// Binds engine endpoints to dispatcher handlers. The engines outlive
+/// the dispatcher (the handlers capture references).
+class SmatchService {
+ public:
+  /// `top_k` is the k of every kNN answer this service gives — the wire
+  /// QueryRequest (paper Fig. 2) carries no k, so it is service policy.
+  SmatchService(MatchServer& match_server, KeyServer& key_server,
+                std::size_t top_k = 5);
+
+  /// A dispatcher serving all three endpoints. Valid while both engines
+  /// live; safe to copy into any number of servers.
+  [[nodiscard]] const FrameDispatcher& dispatcher() const { return dispatcher_; }
+
+ private:
+  FrameDispatcher dispatcher_;
+};
+
+/// Client-side connected mode: drives a Client's protocol rounds through
+/// a session over one Transport. Not thread-safe (one per thread, like
+/// SessionClient).
+class RemoteClient {
+ public:
+  /// `transport` must outlive the RemoteClient. `seed` makes the retry
+  /// jitter and request-id sequence reproducible.
+  RemoteClient(Client& client, Transport& transport,
+               const RsaPublicKey& key_server_public_key,
+               RetryPolicy policy = {}, std::uint64_t seed = 0x5eed);
+
+  /// Keygen over the wire: blinded OPRF round (kOprf) + verification
+  /// secret; installs the profile key on success.
+  [[nodiscard]] Status enroll(RandomSource& rng);
+
+  /// InitData + Enc + Auth, shipped as one kUpload round. Requires a key
+  /// (enroll first).
+  [[nodiscard]] Status upload(RandomSource& rng);
+
+  /// Match + Vf: one kQuery round, response parsed and verified against
+  /// the query echo. Returns the verified entries (kMalformedMessage for
+  /// a spliced or tampered response).
+  [[nodiscard]] StatusOr<Client::VerifiedResult> query(std::uint32_t query_id,
+                                                       std::uint64_t timestamp);
+
+  [[nodiscard]] const SessionStats& session_stats() const { return session_.stats(); }
+  [[nodiscard]] Client& client() { return client_; }
+
+ private:
+  Client& client_;
+  SessionClient session_;
+  const RsaPublicKey& key_server_public_key_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,67 @@
+#include "net/fault.hpp"
+
+#include "obs/registry.hpp"
+
+namespace smatch {
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+bool FaultInjector::roll(double probability) {
+  if (probability <= 0.0) return false;
+  // 53-bit uniform in [0, 1): plenty for test-grade probabilities.
+  const double u = static_cast<double>(rng_.u64() >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+std::vector<Bytes> FaultInjector::on_send(Bytes frame,
+                                          std::chrono::milliseconds* delayed_out) {
+  obs::Registry& reg = obs::Registry::global();
+  std::lock_guard lk(mu_);
+  if (delayed_out != nullptr) *delayed_out = std::chrono::milliseconds{0};
+
+  if (roll(spec_.drop)) {
+    ++counters_.dropped;
+    reg.counter("smatch_net_fault_dropped_total")->fetch_add(1, std::memory_order_relaxed);
+    // A held frame stays held: the drop eats only this one.
+    return {};
+  }
+  if (roll(spec_.corrupt) && !frame.empty()) {
+    ++counters_.corrupted;
+    reg.counter("smatch_net_fault_corrupted_total")->fetch_add(1, std::memory_order_relaxed);
+    // Flip one bit past the length prefix so the stream stays framed and
+    // the damage lands in the CRC-protected region.
+    const std::size_t lo = frame.size() > 4 ? 4 : 0;
+    const std::size_t pos = lo + rng_.below(frame.size() - lo);
+    frame[pos] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+  if (roll(spec_.delay) && delayed_out != nullptr) {
+    ++counters_.delayed;
+    reg.counter("smatch_net_fault_delayed_total")->fetch_add(1, std::memory_order_relaxed);
+    *delayed_out = spec_.delay_ms;
+  }
+
+  if (held_.has_value()) {
+    // Release the held frame *behind* the current one: swapped order.
+    std::vector<Bytes> out;
+    out.push_back(std::move(frame));
+    out.push_back(std::move(*held_));
+    held_.reset();
+    return out;
+  }
+  if (roll(spec_.reorder)) {
+    ++counters_.reordered;
+    reg.counter("smatch_net_fault_reordered_total")->fetch_add(1, std::memory_order_relaxed);
+    held_ = std::move(frame);
+    return {};
+  }
+  std::vector<Bytes> out;
+  out.push_back(std::move(frame));
+  return out;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+}  // namespace smatch

@@ -1,0 +1,73 @@
+// Seeded fault injection for transports: drop, corrupt, delay, reorder.
+//
+// Both TcpTransport and InProcTransport consult an installed injector on
+// every send, *after* frame encoding — a corrupted frame therefore fails
+// its CRC at the receiver and is silently skipped, so the observable
+// failure mode is "the frame never arrived", exactly like a lost segment
+// on a real link. That makes the session layer's retransmit/backoff logic
+// testable deterministically: the same seed produces the same fault
+// schedule.
+//
+// Thread-safe; fault decisions draw from an internal ChaCha20 DRBG under
+// a mutex. Counters are mirrored into the global metric registry as
+// smatch_net_fault_{dropped,corrupted,delayed,reordered}_total.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch {
+
+/// Fault probabilities (each in [0, 1], evaluated independently per
+/// frame) and the deterministic seed.
+struct FaultSpec {
+  double drop = 0.0;     // frame silently discarded
+  double corrupt = 0.0;  // one random byte of the encoded frame flipped
+  double delay = 0.0;    // send sleeps for delay_ms first
+  double reorder = 0.0;  // frame held back and sent after the next one
+  std::chrono::milliseconds delay_ms{5};
+  std::uint64_t seed = 1;
+};
+
+/// Counters of faults actually applied.
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + corrupted + delayed + reordered;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  /// Applies the fault schedule to one encoded frame, in place.
+  /// Returns the frame(s) to actually put on the wire, in order — empty
+  /// when the frame was dropped, two frames when a previously held frame
+  /// is released behind this one. `delayed_out`, when set, tells the
+  /// caller to sleep before writing (transports sleep outside the lock).
+  [[nodiscard]] std::vector<Bytes> on_send(Bytes frame,
+                                           std::chrono::milliseconds* delayed_out);
+
+  [[nodiscard]] FaultCounters counters() const;
+
+ private:
+  [[nodiscard]] bool roll(double probability);
+
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  Drbg rng_;
+  std::optional<Bytes> held_;  // frame awaiting reorder release
+  FaultCounters counters_;
+};
+
+}  // namespace smatch

@@ -1,0 +1,111 @@
+#include "net/inproc_transport.hpp"
+
+#include <thread>
+
+#include "net/fault.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+
+std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>>
+InProcTransport::make_pair(SimChannel* sim) {
+  auto core = std::make_shared<Core>();
+  core->sim = sim;
+  auto client = std::unique_ptr<InProcTransport>(new InProcTransport(core, true));
+  auto server = std::unique_ptr<InProcTransport>(new InProcTransport(core, false));
+  return {std::move(client), std::move(server)};
+}
+
+InProcTransport::InProcTransport(std::shared_ptr<Core> core, bool is_client)
+    : core_(std::move(core)), is_client_(is_client) {}
+
+InProcTransport::~InProcTransport() { (void)close(); }
+
+Status InProcTransport::send(MessageKind kind, BytesView payload,
+                             std::chrono::milliseconds /*timeout*/) {
+  SMATCH_SPAN("net.send");
+  if (payload.size() > kMaxFramePayload) {
+    return {StatusCode::kMalformedMessage, "payload exceeds frame limit"};
+  }
+  Bytes framed = encode_frame(kind, payload);
+
+  // Account before fault application: an attempted send occupies the link
+  // whether or not the frame survives it.
+  note_sent(kind, payload.size());
+
+  std::vector<Bytes> to_deliver;
+  std::chrono::milliseconds delay{0};
+  if (faults_ != nullptr) {
+    to_deliver = faults_->on_send(std::move(framed), &delay);
+  } else {
+    to_deliver.push_back(std::move(framed));
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+
+  std::lock_guard lk(core_->mu);
+  const bool peer_closed = is_client_ ? core_->server_closed : core_->client_closed;
+  const bool self_closed = is_client_ ? core_->client_closed : core_->server_closed;
+  if (peer_closed || self_closed) {
+    return {StatusCode::kConnectionReset, "in-proc peer closed"};
+  }
+  if (core_->sim != nullptr) {
+    if (is_client_) {
+      (void)core_->sim->send_to_server(payload, kind);
+    } else {
+      (void)core_->sim->send_to_client(payload, kind);
+    }
+  }
+  auto& queue = is_client_ ? core_->to_server : core_->to_client;
+  for (auto& f : to_deliver) queue.push_back(std::move(f));
+  core_->cv.notify_all();
+  return Status::ok();
+}
+
+StatusOr<Frame> InProcTransport::recv(std::chrono::milliseconds timeout) {
+  SMATCH_SPAN("net.recv");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    // Drain anything already buffered in the decoder first.
+    for (;;) {
+      StatusOr<std::optional<Frame>> frame = decoder_.next();
+      if (!frame.is_ok()) {
+        if (frame.code() == StatusCode::kMalformedMessage) {
+          note_crc_drop();
+          continue;  // skip the bad frame, stay in sync
+        }
+        return frame.status();
+      }
+      if (frame->has_value()) {
+        note_received((**frame).kind, (**frame).payload.size());
+        return std::move(**frame);
+      }
+      break;  // need more bytes
+    }
+
+    std::unique_lock lk(core_->mu);
+    auto& queue = is_client_ ? core_->to_client : core_->to_server;
+    const bool ok = core_->cv.wait_until(lk, deadline, [&] {
+      return !queue.empty() || core_->client_closed || core_->server_closed;
+    });
+    if (!queue.empty()) {
+      const Bytes framed = std::move(queue.front());
+      queue.pop_front();
+      lk.unlock();
+      decoder_.feed(framed);
+      continue;
+    }
+    if (core_->client_closed || core_->server_closed) {
+      return Status(StatusCode::kConnectionReset, "in-proc peer closed");
+    }
+    if (!ok) return Status(StatusCode::kTimeout, "in-proc recv deadline expired");
+  }
+}
+
+Status InProcTransport::close() {
+  std::lock_guard lk(core_->mu);
+  (is_client_ ? core_->client_closed : core_->server_closed) = true;
+  core_->cv.notify_all();
+  return Status::ok();
+}
+
+}  // namespace smatch

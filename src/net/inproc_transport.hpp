@@ -1,0 +1,62 @@
+// In-process Transport adapter over the simulated 802.11n link.
+//
+// make_pair() returns the two endpoints of one connection: frames sent on
+// the client end arrive at the server end and vice versa. Every frame is
+// genuinely *encoded* (length prefix + kind + CRC) and decoded through
+// the same FrameDecoder the TCP transport uses, so framing bugs and
+// injected corruption behave identically on both transports; only the
+// socket is simulated.
+//
+// When constructed over a SimChannel, each send also records its payload
+// into the channel's per-kind byte accounting and link model — the
+// communication-cost benchmarks (fig5d-f) keep their exact numbers while
+// speaking the unified Transport API.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/transport.hpp"
+
+namespace smatch {
+
+class InProcTransport final : public Transport {
+ public:
+  /// Both endpoints of a fresh connection: {client end, server end}.
+  /// `sim`, when non-null, receives the byte accounting (client-end sends
+  /// count as uplink, server-end sends as downlink) and must outlive both
+  /// endpoints.
+  [[nodiscard]] static std::pair<std::unique_ptr<InProcTransport>,
+                                 std::unique_ptr<InProcTransport>>
+  make_pair(SimChannel* sim = nullptr);
+
+  ~InProcTransport() override;
+
+  Status send(MessageKind kind, BytesView payload,
+              std::chrono::milliseconds timeout) override;
+  StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
+  Status close() override;
+
+ private:
+  /// State shared by the two endpoints of one connection.
+  struct Core {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> to_client;  // encoded frames awaiting the client end
+    std::deque<Bytes> to_server;
+    bool client_closed = false;
+    bool server_closed = false;
+    SimChannel* sim = nullptr;
+  };
+
+  InProcTransport(std::shared_ptr<Core> core, bool is_client);
+
+  std::shared_ptr<Core> core_;
+  bool is_client_;
+  FrameDecoder decoder_;  // reassembles frames popped from the queue
+};
+
+}  // namespace smatch

@@ -1,5 +1,7 @@
 #include "net/secure_channel.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 #include "common/serde.hpp"
 #include "crypto/aes.hpp"
@@ -42,9 +44,9 @@ SecureReceiver::SecureReceiver(Bytes traffic_key) {
   split_key(std::move(traffic_key), enc_key_, mac_key_);
 }
 
-Bytes SecureReceiver::open(BytesView record) {
+StatusOr<Bytes> SecureReceiver::open(BytesView record) {
   if (record.size() < kSeqLen + kIvLen + kTagLen) {
-    throw CryptoError("secure channel: record too short");
+    return Status(StatusCode::kMalformedMessage, "secure channel: record too short");
   }
   const std::size_t body_len = record.size() - kTagLen;
   const BytesView body = record.subspan(0, body_len);
@@ -52,13 +54,15 @@ Bytes SecureReceiver::open(BytesView record) {
 
   // MAC first (Encrypt-then-MAC verifies before touching the ciphertext).
   if (!ct_equal(hmac_sha256(mac_key_, body), tag)) {
-    throw CryptoError("secure channel: MAC verification failed");
+    return Status(StatusCode::kMalformedMessage,
+                  "secure channel: MAC verification failed");
   }
 
   Reader r(body);
   const std::uint64_t seq = r.u64();
   if (seq != expected_seq_) {
-    throw ProtocolError("secure channel: replayed or out-of-order record");
+    return Status(StatusCode::kStaleTimestamp,
+                  "secure channel: replayed or out-of-order record");
   }
   ++expected_seq_;
 
@@ -75,5 +79,41 @@ SessionKeys make_session_keys(BytesView master_secret) {
       hkdf(master_secret, to_bytes("smatch-etm-salt"), to_bytes("s2c"), 64);
   return keys;
 }
+
+SecureTransport::SecureTransport(std::unique_ptr<Transport> inner, Bytes send_key,
+                                 Bytes recv_key, RandomSource& rng)
+    : inner_(std::move(inner)),
+      sender_(std::move(send_key)),
+      receiver_(std::move(recv_key)),
+      rng_(rng) {}
+
+std::unique_ptr<SecureTransport> SecureTransport::client_end(
+    std::unique_ptr<Transport> inner, const SessionKeys& keys, RandomSource& rng) {
+  return std::make_unique<SecureTransport>(std::move(inner), keys.client_to_server,
+                                           keys.server_to_client, rng);
+}
+
+std::unique_ptr<SecureTransport> SecureTransport::server_end(
+    std::unique_ptr<Transport> inner, const SessionKeys& keys, RandomSource& rng) {
+  return std::make_unique<SecureTransport>(std::move(inner), keys.server_to_client,
+                                           keys.client_to_server, rng);
+}
+
+Status SecureTransport::send(MessageKind kind, BytesView payload,
+                             std::chrono::milliseconds timeout) {
+  note_sent(kind, payload.size());
+  return inner_->send(kind, sender_.seal(payload, rng_), timeout);
+}
+
+StatusOr<Frame> SecureTransport::recv(std::chrono::milliseconds timeout) {
+  StatusOr<Frame> sealed = inner_->recv(timeout);
+  if (!sealed.is_ok()) return sealed;
+  StatusOr<Bytes> plaintext = receiver_.open(sealed->payload);
+  if (!plaintext.is_ok()) return plaintext.status();
+  note_received(sealed->kind, plaintext->size());
+  return Frame{sealed->kind, std::move(*plaintext)};
+}
+
+Status SecureTransport::close() { return inner_->close(); }
 
 }  // namespace smatch

@@ -8,12 +8,27 @@
 //     seq(8) || IV(16) || AES-256-CTR ciphertext || HMAC-SHA256 tag(32)
 // with the MAC over seq || IV || ciphertext. Sequence numbers make
 // replayed or reordered records detectable.
+//
+// Error contract: open() reports wire damage through StatusOr like every
+// other parse path in the system — kMalformedMessage for a truncated
+// record or a failed MAC, kStaleTimestamp for a replayed / out-of-order
+// sequence number — and never throws on attacker-controlled input.
+// Constructors still throw CryptoError for a mis-sized traffic key
+// (construction-time misconfiguration, not wire input).
+//
+// SecureTransport composes this channel with the Transport API
+// (net/transport.hpp): a decorator that seals every outbound frame
+// payload and opens every inbound one, so a session layer or RemoteClient
+// runs over EtM without knowing it.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "common/random.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
 
 namespace smatch {
 
@@ -40,9 +55,10 @@ class SecureReceiver {
  public:
   explicit SecureReceiver(Bytes traffic_key);
 
-  /// Opens a sealed record. Throws CryptoError on a bad MAC or truncated
-  /// record and ProtocolError on a replayed / out-of-order sequence.
-  [[nodiscard]] Bytes open(BytesView record);
+  /// Opens a sealed record. kMalformedMessage on a truncated record or a
+  /// bad MAC, kStaleTimestamp on a replayed / out-of-order sequence.
+  /// Never throws on wire input.
+  [[nodiscard]] StatusOr<Bytes> open(BytesView record);
 
  private:
   Bytes enc_key_;
@@ -58,5 +74,42 @@ struct SessionKeys {
 /// Derives independent per-direction traffic keys from a shared master
 /// secret (e.g. a DH shared element).
 [[nodiscard]] SessionKeys make_session_keys(BytesView master_secret);
+
+/// Transport decorator: Encrypt-then-MAC over any inner Transport.
+///
+/// Outbound frame payloads are sealed before the inner send; inbound
+/// records are opened after the inner recv, so stats() on this layer
+/// counts plaintext protocol bytes while the inner transport counts the
+/// sealed sizes. The EtM stream is strictly ordered — use it over a
+/// reliable inner transport (TCP, in-process pair); a lossy link (fault
+/// injection dropping records below this layer) desynchronizes the
+/// sequence numbers by design, exactly like TLS over a corrupted stream.
+class SecureTransport final : public Transport {
+ public:
+  /// `rng` supplies record IVs and must outlive the transport.
+  SecureTransport(std::unique_ptr<Transport> inner, Bytes send_key,
+                  Bytes recv_key, RandomSource& rng);
+
+  /// The client end of a session: seals with client_to_server, opens
+  /// with server_to_client.
+  [[nodiscard]] static std::unique_ptr<SecureTransport> client_end(
+      std::unique_ptr<Transport> inner, const SessionKeys& keys, RandomSource& rng);
+  /// The server end: the converse key assignment.
+  [[nodiscard]] static std::unique_ptr<SecureTransport> server_end(
+      std::unique_ptr<Transport> inner, const SessionKeys& keys, RandomSource& rng);
+
+  Status send(MessageKind kind, BytesView payload,
+              std::chrono::milliseconds timeout) override;
+  StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
+  Status close() override;
+
+  [[nodiscard]] Transport& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  SecureSender sender_;
+  SecureReceiver receiver_;
+  RandomSource& rng_;
+};
 
 }  // namespace smatch

@@ -1,0 +1,115 @@
+#include "net/server.hpp"
+
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace smatch {
+
+namespace {
+constexpr std::chrono::milliseconds kPollInterval{50};
+}
+
+NetServer::NetServer(FrameDispatcher dispatcher, std::size_t workers)
+    : dispatcher_(std::move(dispatcher)),
+      workers_(workers == 0 ? 1 : workers),
+      pool_(workers_ + 1) {}
+
+NetServer::~NetServer() { stop(); }
+
+Status NetServer::start(std::uint16_t port) {
+  StatusOr<TcpListener> listener = TcpListener::bind(port);
+  if (!listener.is_ok()) return listener.status();
+  port_ = listener->port();
+  listener_.emplace(std::move(*listener));
+  launch();
+  return Status::ok();
+}
+
+void NetServer::attach(std::unique_ptr<Transport> connection) {
+  launch();
+  {
+    std::lock_guard lk(mu_);
+    pending_.push_back(std::move(connection));
+  }
+  pending_cv_.notify_one();
+}
+
+void NetServer::launch() {
+  std::lock_guard lk(mu_);
+  if (launched_) return;
+  launched_ = true;
+  // The runner hosts the blocking parallel_for; with workers_+1 pool
+  // threads and workers_+1 indices, every loop gets its own thread.
+  runner_ = std::thread([this] {
+    pool_.parallel_for(workers_ + 1, [this](std::size_t i) {
+      if (i == 0) {
+        accept_loop();
+      } else {
+        worker_loop();
+      }
+    });
+  });
+}
+
+void NetServer::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!listener_.has_value()) {
+      // In-process-only server: nothing to accept, just idle until stop.
+      std::unique_lock lk(mu_);
+      pending_cv_.wait_for(lk, kPollInterval);
+      continue;
+    }
+    StatusOr<std::unique_ptr<TcpTransport>> conn = listener_->accept(kPollInterval);
+    if (!conn.is_ok()) continue;  // kTimeout: re-check stop and poll again
+    {
+      std::lock_guard lk(mu_);
+      pending_.push_back(std::move(*conn));
+    }
+    pending_cv_.notify_one();
+  }
+  // The accept loop owns the listening socket; closing it here (after the
+  // loop exits) keeps fd lifetime single-threaded.
+  if (listener_.has_value()) listener_->close();
+}
+
+void NetServer::worker_loop() {
+  while (true) {
+    std::unique_ptr<Transport> conn;
+    {
+      std::unique_lock lk(mu_);
+      pending_cv_.wait_for(lk, kPollInterval, [this] {
+        return !pending_.empty() || stop_.load(std::memory_order_relaxed);
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      if (pending_.empty()) continue;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global()
+        .counter("smatch_net_connections_total")
+        ->fetch_add(1, std::memory_order_relaxed);
+    (void)serve_connection(*conn, dispatcher_, stop_, kPollInterval);
+    (void)conn->close();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!launched_) return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  pending_cv_.notify_all();
+  if (runner_.joinable()) runner_.join();
+  // Connections that never got picked up are closed on this thread after
+  // every loop has joined — no concurrent owner remains.
+  std::lock_guard lk(mu_);
+  for (auto& conn : pending_) (void)conn->close();
+  pending_.clear();
+  launched_ = false;
+}
+
+}  // namespace smatch

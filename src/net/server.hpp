@@ -1,0 +1,90 @@
+// Frame server: one listener plus N connection workers on a ThreadPool.
+//
+// The server owns a FrameDispatcher and serves every connection with
+// serve_connection (net/session.hpp): each connection gets its own
+// replay cache, requests are answered in arrival order per connection,
+// and different connections run on different workers.
+//
+// Thread layout: the pool is sized to exactly workers + 1 threads and
+// driven by a single blocking parallel_for(workers + 1) — index 0 runs
+// the accept loop, indices 1..workers run connection workers. With that
+// sizing every loop index gets its own thread, so none of the infinite
+// loops ever share (or starve) a pool thread. A dedicated runner thread
+// hosts the parallel_for so start() returns immediately.
+//
+// Shutdown is cooperative and TSan-clean: stop() only flips an atomic
+// that every loop polls between short timeouts; sockets are closed by
+// the thread that owns them after its loop exits, never from another
+// thread.
+//
+// Two ways in:
+//   * start(port) — bind a TCP listener on 127.0.0.1 (port 0 picks an
+//     ephemeral port, read it back with port()).
+//   * attach(transport) — hand the server one end of an in-process
+//     transport pair (net/inproc_transport.hpp); it is served by the
+//     same workers and dispatcher as a TCP connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "net/session.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace smatch {
+
+class NetServer {
+ public:
+  /// `workers` = concurrent connections served; total threads used is
+  /// workers + 1 (the listener) + 1 (the runner hosting the pool).
+  explicit NetServer(FrameDispatcher dispatcher, std::size_t workers = 2);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` and starts serving. Call at most once.
+  [[nodiscard]] Status start(std::uint16_t port);
+
+  /// The bound TCP port (0 until start() succeeded).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Enqueues an in-process connection for the worker pool. Lazily
+  /// launches the loops, so a TCP-less server works too.
+  void attach(std::unique_ptr<Transport> connection);
+
+  /// Stops every loop and joins. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Connections currently being served.
+  [[nodiscard]] std::size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void launch();       // starts the runner once
+  void accept_loop();  // pool index 0
+  void worker_loop();  // pool indices 1..workers
+
+  FrameDispatcher dispatcher_;
+  std::size_t workers_;
+  ThreadPool pool_;
+  std::thread runner_;
+  bool launched_ = false;  // guarded by mu_
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_{0};
+
+  std::optional<TcpListener> listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<Transport>> pending_;
+};
+
+}  // namespace smatch

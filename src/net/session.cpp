@@ -1,0 +1,248 @@
+#include "net/session.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "common/wire.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void bump(const char* name) {
+  obs::Registry::global().counter(name)->fetch_add(1, std::memory_order_relaxed);
+}
+
+constexpr std::uint8_t kEnvelopeRequest = 0;
+constexpr std::uint8_t kEnvelopeResponse = 1;
+
+/// Serializes a response envelope for `request_id` carrying only an error
+/// status — the shape dispatch() uses for every failure path.
+Bytes error_response(std::uint64_t request_id, StatusCode code,
+                     const std::string& message) {
+  Envelope e;
+  e.is_response = true;
+  e.request_id = request_id;
+  e.status = code;
+  e.body.assign(message.begin(), message.end());
+  return e.serialize();
+}
+
+}  // namespace
+
+Bytes Envelope::serialize() const {
+  Writer w;
+  wire::write_header(w);
+  w.u8(is_response ? kEnvelopeResponse : kEnvelopeRequest);
+  w.u64(request_id);
+  if (is_response) w.u8(static_cast<std::uint8_t>(status));
+  w.var_bytes(body);
+  return w.take();
+}
+
+StatusOr<Envelope> Envelope::parse(BytesView data) {
+  return wire::parse_framed<Envelope>(data, [](Reader& r) {
+    Envelope e;
+    const std::uint8_t type = r.u8();
+    if (type != kEnvelopeRequest && type != kEnvelopeResponse) {
+      throw SerdeError("unknown envelope type");
+    }
+    e.is_response = (type == kEnvelopeResponse);
+    e.request_id = r.u64();
+    if (e.is_response) {
+      const std::uint8_t code = r.u8();
+      if (code > static_cast<std::uint8_t>(StatusCode::kRetriesExhausted)) {
+        throw SerdeError("unknown status code");
+      }
+      e.status = static_cast<StatusCode>(code);
+    }
+    e.body = r.var_bytes();
+    return e;
+  });
+}
+
+SessionClient::SessionClient(Transport& transport, RetryPolicy policy,
+                             std::uint64_t seed)
+    : transport_(transport),
+      policy_(policy),
+      rng_(seed),
+      // High random bits keep concurrent sessions' id spaces disjoint, so a
+      // response can never match another session's outstanding request.
+      next_id_(rng_.u64() | 1) {}
+
+StatusOr<Bytes> SessionClient::call(MessageKind kind, BytesView body) {
+  SMATCH_SPAN("net.call");
+  auto& reg = obs::Registry::global();
+  reg.counter("smatch_net_calls_total")->fetch_add(1, std::memory_order_relaxed);
+  ++stats_.calls;
+
+  Envelope request;
+  request.is_response = false;
+  request.request_id = next_id_++;
+  request.body.assign(body.begin(), body.end());
+  const Bytes frame = request.serialize();
+
+  const auto call_start = Clock::now();
+  Status last(StatusCode::kTimeout, "no attempt made");
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      SMATCH_SPAN("net.retry");
+      ++stats_.retries;
+      reg.counter("smatch_net_retries_total")
+          ->fetch_add(1, std::memory_order_relaxed);
+      // Exponential backoff with seeded jitter: base * 2^(attempt-1),
+      // capped, stretched by a factor in [1, 1 + jitter].
+      std::chrono::milliseconds backoff =
+          policy_.initial_backoff * (1ll << (attempt - 1));
+      backoff = std::min(backoff, policy_.max_backoff);
+      const double stretch =
+          1.0 + policy_.jitter * ((rng_.u64() >> 11) * 0x1.0p-53);
+      const auto jittered = std::chrono::milliseconds(
+          static_cast<long long>(static_cast<double>(backoff.count()) * stretch));
+      reg.histogram("smatch_net_backoff_ns")
+          ->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(jittered)
+                  .count()));
+      std::this_thread::sleep_for(jittered);
+    }
+
+    if (Status s = transport_.send(kind, frame, policy_.attempt_timeout);
+        !s.is_ok()) {
+      if (s.code() == StatusCode::kConnectionReset) return s;
+      last = s;
+      continue;
+    }
+
+    // Drain responses until ours arrives or the attempt deadline passes.
+    // Stale ids (a retransmit answered twice) are counted and skipped.
+    const auto attempt_deadline = Clock::now() + policy_.attempt_timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          attempt_deadline - Clock::now());
+      if (left.count() <= 0) {
+        last = Status(StatusCode::kTimeout, "attempt deadline expired");
+        ++stats_.timeouts;
+        reg.counter("smatch_net_timeouts_total")
+            ->fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      StatusOr<Frame> reply = transport_.recv(left);
+      if (!reply.is_ok()) {
+        if (reply.code() == StatusCode::kConnectionReset) return reply.status();
+        last = reply.status();
+        if (last.code() == StatusCode::kTimeout) {
+          ++stats_.timeouts;
+          reg.counter("smatch_net_timeouts_total")
+              ->fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      StatusOr<Envelope> envelope = Envelope::parse(reply->payload);
+      if (!envelope.is_ok() || !envelope->is_response) continue;  // noise
+      if (envelope->request_id != request.request_id) {
+        ++stats_.stale_responses;
+        bump("smatch_net_stale_responses_total");
+        continue;
+      }
+      reg.histogram("smatch_net_rtt_ns")
+          ->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - call_start)
+                  .count()));
+      if (envelope->status != StatusCode::kOk) {
+        return Status(envelope->status,
+                      std::string(envelope->body.begin(), envelope->body.end()));
+      }
+      return std::move(envelope->body);
+    }
+  }
+  return Status(StatusCode::kRetriesExhausted,
+                "gave up after " + std::to_string(policy_.max_attempts) +
+                    " attempts (last: " + last.message() + ")");
+}
+
+const Bytes* SessionState::lookup(std::uint64_t id) const {
+  const auto it = responses_.find(id);
+  return it == responses_.end() ? nullptr : &it->second;
+}
+
+void SessionState::remember(std::uint64_t id, Bytes response) {
+  if (responses_.count(id) != 0) return;
+  if (order_.size() >= capacity_) {
+    responses_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(id);
+  responses_.emplace(id, std::move(response));
+}
+
+void FrameDispatcher::register_handler(MessageKind kind, Handler handler) {
+  handlers_[static_cast<std::size_t>(kind)] = std::move(handler);
+}
+
+Bytes FrameDispatcher::dispatch(MessageKind kind, BytesView frame_payload,
+                                SessionState& session) const {
+  SMATCH_SPAN("net.dispatch");
+  bump("smatch_net_dispatches_total");
+
+  StatusOr<Envelope> request = Envelope::parse(frame_payload);
+  if (!request.is_ok()) {
+    // Unparseable envelope: no request id to echo. Id 0 is never issued
+    // by SessionClient, so the caller can't confuse this with a reply.
+    return error_response(0, StatusCode::kMalformedMessage,
+                          request.status().message());
+  }
+  if (request->is_response) {
+    return error_response(request->request_id, StatusCode::kMalformedMessage,
+                          "server received a response envelope");
+  }
+  if (const Bytes* cached = session.lookup(request->request_id)) {
+    bump("smatch_net_replays_served_total");
+    return *cached;
+  }
+
+  const Handler& handler = handlers_[static_cast<std::size_t>(kind)];
+  Bytes response;
+  if (!handler) {
+    response = error_response(request->request_id, StatusCode::kMalformedMessage,
+                              "no handler for message kind");
+  } else if (StatusOr<Bytes> result = handler(request->body); result.is_ok()) {
+    Envelope e;
+    e.is_response = true;
+    e.request_id = request->request_id;
+    e.status = StatusCode::kOk;
+    e.body = std::move(*result);
+    response = e.serialize();
+  } else {
+    response = error_response(request->request_id, result.code(),
+                              result.status().message());
+  }
+  session.remember(request->request_id, response);
+  return response;
+}
+
+Status serve_connection(Transport& transport, const FrameDispatcher& dispatcher,
+                        const std::atomic<bool>& stop,
+                        std::chrono::milliseconds poll_interval) {
+  SessionState session;
+  while (!stop.load(std::memory_order_relaxed)) {
+    StatusOr<Frame> frame = transport.recv(poll_interval);
+    if (!frame.is_ok()) {
+      if (frame.code() == StatusCode::kTimeout) continue;  // re-check stop
+      if (frame.code() == StatusCode::kConnectionReset) return Status::ok();
+      return frame.status();
+    }
+    const Bytes response = dispatcher.dispatch(frame->kind, frame->payload, session);
+    if (Status s = transport.send(frame->kind, response, poll_interval);
+        !s.is_ok()) {
+      return s.code() == StatusCode::kConnectionReset ? Status::ok() : s;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace smatch

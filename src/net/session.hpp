@@ -1,0 +1,144 @@
+// Fault-tolerant request/response session layer over a Transport.
+//
+// Envelope format (the frame payload; carries the standard versioned
+// "SM" wire header of common/wire.hpp):
+//
+//   request  := header(3) || type:u8 = 0 || request_id:u64 || var_bytes(body)
+//   response := header(3) || type:u8 = 1 || request_id:u64 || status:u8
+//               || var_bytes(body)
+//
+// Request IDs make retransmits idempotent: the server keeps a bounded
+// per-connection replay cache of recent responses and answers a repeated
+// request_id from the cache without re-running the handler. The client
+// retransmits on timeout with exponential backoff plus seeded jitter and
+// gives up with kRetriesExhausted after the attempt budget. A response's
+// status byte transports the server-side Status code (body = the status
+// message when non-ok), so service errors arrive as typed statuses, never
+// as exceptions.
+//
+// Metrics live in the global registry under smatch_net_*:
+//   smatch_net_calls_total / retries_total / timeouts_total /
+//   replays_served_total / dispatches_total, histograms
+//   smatch_net_rtt_ns and smatch_net_backoff_ns.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/drbg.hpp"
+#include "net/transport.hpp"
+
+namespace smatch {
+
+/// Session envelope, symmetric for both directions.
+struct Envelope {
+  bool is_response = false;
+  std::uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;  // responses only
+  Bytes body;
+
+  [[nodiscard]] Bytes serialize() const;
+  /// kMalformedMessage / kUnsupportedVersion on wire damage. Never throws.
+  [[nodiscard]] static StatusOr<Envelope> parse(BytesView data);
+};
+
+/// Client-side retry schedule. Backoff for attempt n (0-based) is
+/// initial_backoff * 2^n, capped at max_backoff, stretched by a uniform
+/// jitter factor in [1, 1 + jitter].
+struct RetryPolicy {
+  std::size_t max_attempts = 4;
+  std::chrono::milliseconds attempt_timeout{250};  // per-attempt recv deadline
+  std::chrono::milliseconds initial_backoff{5};
+  std::chrono::milliseconds max_backoff{200};
+  double jitter = 0.5;
+};
+
+/// Per-call statistics of a SessionClient.
+struct SessionStats {
+  std::uint64_t calls = 0;
+  std::uint64_t retries = 0;         // retransmits beyond the first attempt
+  std::uint64_t timeouts = 0;        // attempts that expired
+  std::uint64_t stale_responses = 0; // responses for an older request_id
+};
+
+/// One logical RPC channel over a Transport. Not thread-safe: one
+/// SessionClient per calling thread (they may share a Transport only if
+/// the transport is used by a single session at a time).
+class SessionClient {
+ public:
+  /// `seed` drives the request-id sequence and backoff jitter, so a test
+  /// run is reproducible end to end.
+  explicit SessionClient(Transport& transport, RetryPolicy policy = {},
+                         std::uint64_t seed = 0x5eed);
+
+  /// Sends `body` as `kind` and waits for the matching response.
+  /// Status codes from the server pass through verbatim (kUnknownUser,
+  /// kBudgetExhausted, ...); transport failures surface as kTimeout /
+  /// kConnectionReset, and a spent retry budget as kRetriesExhausted.
+  [[nodiscard]] StatusOr<Bytes> call(MessageKind kind, BytesView body);
+
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  [[nodiscard]] Transport& transport() { return transport_; }
+
+ private:
+  Transport& transport_;
+  RetryPolicy policy_;
+  Drbg rng_;
+  std::uint64_t next_id_;
+  SessionStats stats_;
+};
+
+/// Bounded per-connection replay cache: request_id -> serialized response.
+class SessionState {
+ public:
+  explicit SessionState(std::size_t capacity = 128) : capacity_(capacity) {}
+
+  /// The cached response for `id`, or nullptr.
+  [[nodiscard]] const Bytes* lookup(std::uint64_t id) const;
+  void remember(std::uint64_t id, Bytes response);
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint64_t, Bytes> responses_;
+  std::deque<std::uint64_t> order_;
+};
+
+/// Routes request envelopes to per-kind handlers and produces response
+/// envelopes. Shared by every connection of a server; handler
+/// registration happens before serving starts and is immutable after.
+class FrameDispatcher {
+ public:
+  /// A handler gets the request body and returns the response body (or
+  /// the error Status that becomes the envelope's status byte).
+  using Handler = std::function<StatusOr<Bytes>(BytesView)>;
+
+  void register_handler(MessageKind kind, Handler handler);
+
+  /// Handles one request frame: envelope parse, replay-cache lookup,
+  /// handler dispatch, response build. Always returns a response frame
+  /// payload (errors travel inside the envelope). Thread-safe given the
+  /// per-connection `session`  is not shared across threads.
+  [[nodiscard]] Bytes dispatch(MessageKind kind, BytesView frame_payload,
+                               SessionState& session) const;
+
+ private:
+  std::array<Handler, kNumMessageKinds> handlers_;
+};
+
+/// Serves one connection: recv → dispatch → respond, until the peer
+/// closes (returns ok), the transport errors out (returns that status),
+/// or `stop` turns true (checked between recvs, at `poll_interval`
+/// granularity).
+Status serve_connection(Transport& transport, const FrameDispatcher& dispatcher,
+                        const std::atomic<bool>& stop,
+                        std::chrono::milliseconds poll_interval =
+                            std::chrono::milliseconds{50});
+
+}  // namespace smatch

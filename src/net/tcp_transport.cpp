@@ -1,0 +1,297 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "net/fault.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status errno_status(const char* op) {
+  const int err = errno;
+  const StatusCode code = (err == ECONNRESET || err == ECONNREFUSED || err == EPIPE ||
+                           err == ENOTCONN || err == EBADF)
+                              ? StatusCode::kConnectionReset
+                              : StatusCode::kMalformedMessage;
+  return {code, std::string(op) + ": " + std::strerror(err)};
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl");
+  }
+  return Status::ok();
+}
+
+/// Remaining budget in whole milliseconds, clamped for poll(2).
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left.count(), 60'000));
+}
+
+/// Polls one fd for `events`; ok when ready, kTimeout at the deadline,
+/// kConnectionReset on hangup/error.
+Status poll_for(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const int budget = remaining_ms(deadline);
+    if (budget == 0) return {StatusCode::kTimeout, "transport deadline expired"};
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    if (rc == 0) continue;  // loop re-checks the deadline
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      return {StatusCode::kConnectionReset, "socket error"};
+    }
+    // POLLHUP may still have readable data queued; let read() decide.
+    return Status::ok();
+  }
+}
+
+/// Writes the whole buffer, polling for writability between short writes.
+Status write_all(int fd, BytesView data, Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Status ready = poll_for(fd, POLLOUT, deadline); !ready.is_ok()) return ready;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return errno_status("send");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpTransport::connect(
+    const std::string& host, std::uint16_t port, std::chrono::milliseconds timeout) {
+  SMATCH_SPAN("net.connect");
+  const auto deadline = Clock::now() + timeout;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status(StatusCode::kMalformedMessage, "unparseable host " + host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  if (Status nb = set_nonblocking(fd); !nb.is_ok()) {
+    ::close(fd);
+    return nb;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 &&
+      errno != EINPROGRESS) {
+    Status s = errno_status("connect");
+    ::close(fd);
+    return s;
+  }
+  // Non-blocking connect completes when the socket turns writable; the
+  // definitive verdict lives in SO_ERROR.
+  if (Status ready = poll_for(fd, POLLOUT, deadline); !ready.is_ok()) {
+    ::close(fd);
+    return ready;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof so_error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 || so_error != 0) {
+    ::close(fd);
+    return Status(StatusCode::kConnectionReset,
+                  std::string("connect: ") + std::strerror(so_error));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  obs::Registry::global()
+      .counter("smatch_net_connects_total")
+      ->fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<TcpTransport>(new TcpTransport(fd));
+}
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {}
+
+TcpTransport::~TcpTransport() { (void)close(); }
+
+Status TcpTransport::send(MessageKind kind, BytesView payload,
+                          std::chrono::milliseconds timeout) {
+  SMATCH_SPAN("net.send");
+  if (fd_ < 0) return {StatusCode::kConnectionReset, "transport closed"};
+  if (payload.size() > kMaxFramePayload) {
+    return {StatusCode::kMalformedMessage, "payload exceeds frame limit"};
+  }
+  const auto deadline = Clock::now() + timeout;
+  Bytes framed = encode_frame(kind, payload);
+  note_sent(kind, payload.size());
+
+  std::vector<Bytes> to_write;
+  std::chrono::milliseconds delay{0};
+  if (faults_ != nullptr) {
+    to_write = faults_->on_send(std::move(framed), &delay);
+  } else {
+    to_write.push_back(std::move(framed));
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+
+  std::lock_guard lk(send_mu_);
+  for (const Bytes& buf : to_write) {
+    if (Status s = write_all(fd_, buf, deadline); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+StatusOr<Frame> TcpTransport::recv(std::chrono::milliseconds timeout) {
+  SMATCH_SPAN("net.recv");
+  if (fd_ < 0) return Status(StatusCode::kConnectionReset, "transport closed");
+  const auto deadline = Clock::now() + timeout;
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    // Decode everything already buffered before touching the socket.
+    for (;;) {
+      StatusOr<std::optional<Frame>> frame = decoder_.next();
+      if (!frame.is_ok()) {
+        if (frame.code() == StatusCode::kMalformedMessage) {
+          note_crc_drop();
+          continue;  // CRC-failed frame skipped; stream is still in sync
+        }
+        return frame.status();  // unframeable: connection is unusable
+      }
+      if (frame->has_value()) {
+        note_received((**frame).kind, (**frame).payload.size());
+        return std::move(**frame);
+      }
+      break;
+    }
+
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      decoder_.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status(StatusCode::kConnectionReset, "peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status ready = poll_for(fd_, POLLIN, deadline); !ready.is_ok()) return ready;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return errno_status("recv");
+  }
+}
+
+Status TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return Status::ok();
+}
+
+StatusOr<TcpListener> TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 64) < 0) {
+    Status s = errno_status("bind/listen");
+    ::close(fd);
+    return s;
+  }
+  if (Status nb = set_nonblocking(fd); !nb.is_ok()) {
+    ::close(fd);
+    return nb;
+  }
+  // Recover the ephemeral port the kernel picked for port 0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    Status s = errno_status("getsockname");
+    ::close(fd);
+    return s;
+  }
+  return TcpListener(fd, ntohs(bound.sin_port));
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+StatusOr<std::unique_ptr<TcpTransport>> TcpListener::accept(
+    std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status(StatusCode::kConnectionReset, "listener closed");
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      if (Status nb = set_nonblocking(client); !nb.is_ok()) {
+        ::close(client);
+        return nb;
+      }
+      const int one = 1;
+      (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      obs::Registry::global()
+          .counter("smatch_net_accepts_total")
+          ->fetch_add(1, std::memory_order_relaxed);
+      return std::unique_ptr<TcpTransport>(new TcpTransport(client));
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status ready = poll_for(fd_, POLLIN, deadline); !ready.is_ok()) return ready;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return errno_status("accept");
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace smatch

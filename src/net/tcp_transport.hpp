@@ -1,0 +1,76 @@
+// Real TCP Transport over POSIX sockets.
+//
+// Sockets run non-blocking; every call drives its own poll(2) loop
+// against the caller's deadline, so a slow or dead peer surfaces as
+// kTimeout instead of a hung thread. Frames are the length-prefixed
+// CRC-protected records of net/transport.hpp, reassembled from the byte
+// stream by the shared FrameDecoder (TCP does not respect frame
+// boundaries; short reads are the normal case, not an error path).
+//
+// Connect/accept/send/recv are instrumented with net.* spans and the
+// smatch_net_{connects,accepts}_total registry counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace smatch {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Connects to host:port (numeric IPv4 dotted quad or "localhost").
+  /// kConnectionReset when the peer refuses, kTimeout when the handshake
+  /// outlives the deadline.
+  [[nodiscard]] static StatusOr<std::unique_ptr<TcpTransport>> connect(
+      const std::string& host, std::uint16_t port, std::chrono::milliseconds timeout);
+
+  ~TcpTransport() override;
+
+  Status send(MessageKind kind, BytesView payload,
+              std::chrono::milliseconds timeout) override;
+  StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
+  Status close() override;
+
+ private:
+  friend class TcpListener;
+  explicit TcpTransport(int fd);
+
+  int fd_ = -1;
+  std::mutex send_mu_;  // one writer at a time; recv has its own decoder
+  FrameDecoder decoder_;
+};
+
+/// Listening socket; accept() yields connected TcpTransport endpoints.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port —
+  /// read it back with port()).
+  [[nodiscard]] static StatusOr<TcpListener> bind(std::uint16_t port);
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout` for one inbound connection. kTimeout when
+  /// nobody called, kConnectionReset once the listener is closed.
+  [[nodiscard]] StatusOr<std::unique_ptr<TcpTransport>> accept(
+      std::chrono::milliseconds timeout);
+
+  /// Stops accepting; a blocked accept() returns promptly.
+  void close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace smatch

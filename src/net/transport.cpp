@@ -1,0 +1,89 @@
+#include "net/transport.hpp"
+
+#include "common/serde.hpp"
+
+namespace smatch {
+
+namespace {
+
+/// CRC-32 lookup table (IEEE 802.3, reflected polynomial 0xEDB88320),
+/// built once on first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes encode_frame(MessageKind kind, BytesView payload) {
+  Writer w;
+  // len counts kind + payload + crc.
+  w.u32(static_cast<std::uint32_t>(payload.size() + 5));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.raw(payload);
+  // CRC over kind || payload: everything the length prefix frames except
+  // the checksum itself.
+  w.u32(crc32(BytesView(w.bytes()).subspan(4, payload.size() + 1)));
+  return w.take();
+}
+
+void FrameDecoder::feed(BytesView data) {
+  // Compact the consumed prefix before growing the buffer.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  append(buf_, data);
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::next() {
+  const BytesView view = BytesView(buf_).subspan(pos_);
+  if (view.size() < 4) return std::optional<Frame>{};
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len = len << 8 | view[static_cast<std::size_t>(i)];
+  if (len < 5 || len - 5 > kMaxFramePayload) {
+    return Status(StatusCode::kConnectionReset,
+                  "unframeable length prefix " + std::to_string(len));
+  }
+  if (view.size() < 4u + len) return std::optional<Frame>{};
+
+  const BytesView body = view.subspan(4, len - 4);        // kind || payload
+  const BytesView crc_bytes = view.subspan(4 + len - 4);  // trailing u32
+  pos_ += 4u + len;
+
+  std::uint32_t claimed = 0;
+  for (int i = 0; i < 4; ++i) claimed = claimed << 8 | crc_bytes[static_cast<std::size_t>(i)];
+  if (crc32(body) != claimed) {
+    return Status(StatusCode::kMalformedMessage, "frame checksum mismatch");
+  }
+  const std::uint8_t kind_byte = body[0];
+  if (kind_byte >= kNumMessageKinds) {
+    return Status(StatusCode::kMalformedMessage,
+                  "unknown frame kind " + std::to_string(kind_byte));
+  }
+  Frame frame;
+  frame.kind = static_cast<MessageKind>(kind_byte);
+  frame.payload.assign(body.begin() + 1, body.end());
+  return std::optional<Frame>{std::move(frame)};
+}
+
+}  // namespace smatch

@@ -1,0 +1,177 @@
+// The one transport API every S-MATCH byte travels through.
+//
+// The paper's testbed ships protocol messages over a real 802.11n link
+// (Sec. V); this interface abstracts that hop so the same client, server,
+// and benchmark code runs over
+//
+//   * TcpTransport      — real POSIX sockets (net/tcp_transport.hpp),
+//   * InProcTransport   — the in-process simulated link with exact byte
+//                         accounting (net/inproc_transport.hpp), and
+//   * SecureTransport   — an Encrypt-then-MAC decorator over either
+//                         (net/secure_channel.hpp).
+//
+// It replaces the three ad-hoc channel APIs that used to coexist:
+// SimChannel's send/record methods, SecureChannel's throwing calls, and
+// raw wire:: buffers handed around by benches and examples.
+//
+// Wire framing
+// ------------
+// A frame is a length-prefixed record around one protocol payload:
+//
+//   frame := len:u32 || kind:u8 || payload[len-5] || crc:u32
+//
+// `len` is big-endian and counts everything after itself (kind, payload,
+// crc). `kind` is the MessageKind tag the byte accounting attributes
+// traffic to. `crc` is CRC-32 (IEEE) over kind || payload: transports are
+// allowed to deliver corrupted frames (the fault injector does so on
+// purpose), and the CRC lets the receiver drop them silently so the
+// session layer's retransmit logic kicks in — exactly how a lost TCP
+// segment would behave. The payload itself carries the versioned "SM"
+// wire header (core/messages.hpp) like every other protocol message.
+//
+// Error model: every call reports failure through Status / StatusOr with
+// the transport codes added for this subsystem — kTimeout when the
+// per-call deadline expires, kConnectionReset when the peer is gone.
+// Transports never throw on the I/O paths.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/channel.hpp"
+
+namespace smatch {
+
+/// Largest frame payload a peer may claim. A corrupted or hostile length
+/// prefix beyond this is rejected before any allocation happens.
+inline constexpr std::size_t kMaxFramePayload = 1u << 24;  // 16 MiB
+
+/// Serialized overhead a frame adds around its payload
+/// (len:u32 + kind:u8 + crc:u32).
+inline constexpr std::size_t kFrameOverheadBytes = 9;
+
+/// One decoded frame: the payload plus its traffic-accounting tag.
+struct Frame {
+  MessageKind kind = MessageKind::kOther;
+  Bytes payload;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the frame checksum.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Encodes one frame (length prefix + kind + payload + CRC).
+[[nodiscard]] Bytes encode_frame(MessageKind kind, BytesView payload);
+
+/// Incremental frame decoder for a byte stream (TCP segments arrive in
+/// arbitrary chunks; the in-process transport reuses it so both paths
+/// exercise identical parsing).
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes.
+  void feed(BytesView data);
+
+  /// Extracts the next complete frame.
+  ///   * value with frame  — one frame decoded and consumed;
+  ///   * value with nullopt — need more bytes (no complete frame buffered);
+  ///   * kMalformedMessage  — a complete frame failed its CRC or carried an
+  ///     unknown kind byte; the frame was consumed, the stream stays in
+  ///     sync and the caller may keep reading;
+  ///   * kConnectionReset   — the length prefix is unframeable (payload
+  ///     beyond kMaxFramePayload): the stream cannot be resynchronised and
+  ///     the connection must be torn down.
+  [[nodiscard]] StatusOr<std::optional<Frame>> next();
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+/// Per-endpoint traffic accounting, mirroring SimChannel's per-kind
+/// breakdown so byte counts measured over real TCP are directly
+/// comparable with the simulated-channel numbers. Counts are of frame
+/// *payloads* (the protocol bytes); framing overhead is attributable via
+/// the frame counts × kFrameOverheadBytes.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;      // payload bytes
+  std::uint64_t bytes_received = 0;  // payload bytes
+  std::uint64_t crc_drops = 0;       // received frames dropped by checksum
+  std::array<std::uint64_t, kNumMessageKinds> sent_by_kind{};
+  std::array<std::uint64_t, kNumMessageKinds> received_by_kind{};
+
+  [[nodiscard]] std::uint64_t sent_of(MessageKind k) const {
+    return sent_by_kind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t received_of(MessageKind k) const {
+    return received_by_kind[static_cast<std::size_t>(k)];
+  }
+};
+
+class FaultInjector;  // net/fault.hpp
+
+/// Abstract bidirectional frame transport. One instance is one endpoint
+/// of one connection; implementations are safe for one sender and one
+/// receiver thread operating concurrently.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one frame. Blocks at most `timeout`; kTimeout when the
+  /// deadline expires mid-write, kConnectionReset when the peer is gone.
+  [[nodiscard]] virtual Status send(MessageKind kind, BytesView payload,
+                                    std::chrono::milliseconds timeout) = 0;
+
+  /// Receives the next well-formed frame (CRC-failed frames are counted
+  /// and skipped). kTimeout when nothing arrived within the deadline,
+  /// kConnectionReset on EOF / peer close.
+  [[nodiscard]] virtual StatusOr<Frame> recv(std::chrono::milliseconds timeout) = 0;
+
+  /// Closes this endpoint; subsequent sends/recvs on either side report
+  /// kConnectionReset. Idempotent.
+  virtual Status close() = 0;
+
+  /// Installs (or clears) a seeded fault injector consulted on every
+  /// send — see net/fault.hpp. Not owned; caller keeps it alive.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  /// Copy of the per-kind traffic counters.
+  [[nodiscard]] TransportStats stats() const {
+    std::lock_guard lk(stats_mu_);
+    return stats_;
+  }
+
+ protected:
+  void note_sent(MessageKind kind, std::size_t payload_bytes) {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.frames_sent;
+    stats_.bytes_sent += payload_bytes;
+    stats_.sent_by_kind[static_cast<std::size_t>(kind)] += payload_bytes;
+  }
+  void note_received(MessageKind kind, std::size_t payload_bytes) {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.frames_received;
+    stats_.bytes_received += payload_bytes;
+    stats_.received_by_kind[static_cast<std::size_t>(kind)] += payload_bytes;
+  }
+  void note_crc_drop() {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.crc_drops;
+  }
+
+  FaultInjector* faults_ = nullptr;
+
+ private:
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
+};
+
+}  // namespace smatch

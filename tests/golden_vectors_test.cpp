@@ -11,6 +11,8 @@
 #include "common/bytes.hpp"
 #include "core/key_server.hpp"
 #include "core/messages.hpp"
+#include "net/session.hpp"
+#include "net/transport.hpp"
 #include "ope/ope.hpp"
 
 namespace smatch {
@@ -90,6 +92,114 @@ TEST(GoldenVectors, KeyRequestFrameIsStable) {
   ASSERT_TRUE(back.is_ok());
   EXPECT_EQ(back->client_id, 5u);
   EXPECT_EQ(back->blinded, BigInt::from_decimal("98765432109876543210"));
+}
+
+// Transport frame wrapping the golden query: len(4, counts the rest) ||
+// kind(1, kQuery) || payload || crc32(4, over kind || payload).
+constexpr const char* kQueryFrameHex =
+    "0000001801534d010a0b0c0d11223344556677880000002aeeed1f3d";
+
+// Session request envelope carrying the golden query as its body:
+// header || type=0 || request_id=0x1122334455667788 || var_bytes(body).
+constexpr const char* kEnvelopeRequestHex =
+    "534d0100112233445566778800000013534d010a0b0c0d11223344556677880000002a";
+
+// Ok response envelope with an empty body for the same request id.
+constexpr const char* kEnvelopeResponseHex = "534d010111223344556677880000000000";
+
+TEST(GoldenVectors, TransportFrameIsStable) {
+  const Bytes query = from_hex(kQueryHex);
+  EXPECT_EQ(to_hex(encode_frame(MessageKind::kQuery, query)), kQueryFrameHex);
+
+  FrameDecoder decoder;
+  decoder.feed(from_hex(kQueryFrameHex));
+  const StatusOr<std::optional<Frame>> frame = decoder.next();
+  ASSERT_TRUE(frame.is_ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->kind, MessageKind::kQuery);
+  EXPECT_EQ((*frame)->payload, query);
+}
+
+TEST(GoldenVectors, SessionEnvelopesAreStable) {
+  Envelope request;
+  request.is_response = false;
+  request.request_id = 0x1122334455667788ULL;
+  request.body = from_hex(kQueryHex);
+  EXPECT_EQ(to_hex(request.serialize()), kEnvelopeRequestHex);
+
+  Envelope response;
+  response.is_response = true;
+  response.request_id = 0x1122334455667788ULL;
+  response.status = StatusCode::kOk;
+  EXPECT_EQ(to_hex(response.serialize()), kEnvelopeResponseHex);
+
+  const StatusOr<Envelope> back = Envelope::parse(from_hex(kEnvelopeRequestHex));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_FALSE(back->is_response);
+  EXPECT_EQ(back->request_id, 0x1122334455667788ULL);
+  EXPECT_EQ(back->body, from_hex(kQueryHex));
+}
+
+TEST(GoldenVectors, EveryPrefixOfEveryGoldenFrameIsRejected) {
+  // Truncation sweep: a parser fed any strict prefix of a golden frame
+  // must return kMalformedMessage — never parse, never throw.
+  const auto sweep = [](const char* hex, auto parse) {
+    const Bytes full = from_hex(hex);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      EXPECT_EQ(parse(BytesView(full).subspan(0, len)).code(),
+                StatusCode::kMalformedMessage)
+          << hex << " truncated to " << len;
+    }
+  };
+  sweep(kUploadHex, [](BytesView d) { return UploadMessage::parse(d); });
+  sweep(kQueryHex, [](BytesView d) { return QueryRequest::parse(d); });
+  sweep(kKeyRequestHex, [](BytesView d) { return KeyRequest::parse(d); });
+  sweep(kEnvelopeRequestHex, [](BytesView d) { return Envelope::parse(d); });
+  sweep(kEnvelopeResponseHex, [](BytesView d) { return Envelope::parse(d); });
+
+  // At the framing layer a prefix is simply an incomplete frame: the
+  // decoder asks for more bytes and produces nothing.
+  const Bytes frame = from_hex(kQueryFrameHex);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameDecoder decoder;
+    decoder.feed(BytesView(frame).subspan(0, len));
+    const StatusOr<std::optional<Frame>> out = decoder.next();
+    ASSERT_TRUE(out.is_ok()) << len;
+    EXPECT_FALSE(out->has_value()) << len;
+  }
+}
+
+TEST(GoldenVectors, ChainCipherWidthOverflowIsRejected) {
+  // chain_cipher_bits near UINT32_MAX once wrapped the `(bits + 7) / 8`
+  // width arithmetic in 32-bit math down to zero bytes, letting an absurd
+  // width "parse" against an empty cipher. The width cap closes that.
+  Writer w;
+  wire::write_header(w);
+  w.u32(7);                     // user id
+  w.var_bytes(Bytes(32, 0xaa)); // key index
+  w.u32(0xffffffff);            // chain_cipher_bits: wraps to 6 in u32 math
+  w.var_bytes(Bytes(8, 0xbb));  // auth token (would be read as the cipher)
+  EXPECT_EQ(UploadMessage::parse(w.bytes()).code(), StatusCode::kMalformedMessage);
+
+  // Just above the cap: same rejection, no allocation of the fake width.
+  Writer above;
+  wire::write_header(above);
+  above.u32(7);
+  above.var_bytes(Bytes(32, 0xaa));
+  above.u32(kMaxChainCipherBits + 1);
+  EXPECT_EQ(UploadMessage::parse(above.bytes()).code(),
+            StatusCode::kMalformedMessage);
+
+  // At the cap with the matching byte count: still parses.
+  UploadMessage at_cap;
+  at_cap.user_id = 7;
+  at_cap.key_index = Bytes(32, 0xaa);
+  at_cap.chain_cipher = BigInt{1};
+  at_cap.chain_cipher_bits = kMaxChainCipherBits;
+  at_cap.auth_token = Bytes(8, 0xbb);
+  const StatusOr<UploadMessage> parsed = UploadMessage::parse(at_cap.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->chain_cipher, BigInt{1});
 }
 
 TEST(GoldenVectors, CorruptedHeaderIsRejectedNotParsed) {

@@ -22,7 +22,9 @@ TEST(SecureChannel, SealOpenRoundTrip) {
   SecureReceiver receiver(keys.client_to_server);
   for (std::size_t len : {0u, 1u, 100u, 5000u}) {
     const Bytes msg = rng.bytes(len);
-    EXPECT_EQ(receiver.open(sender.seal(msg, rng)), msg) << "len=" << len;
+    const StatusOr<Bytes> opened = receiver.open(sender.seal(msg, rng));
+    ASSERT_TRUE(opened.is_ok()) << "len=" << len;
+    EXPECT_EQ(*opened, msg) << "len=" << len;
   }
   EXPECT_EQ(sender.records_sent(), 4u);
 }
@@ -33,7 +35,8 @@ TEST(SecureChannel, DirectionsUseIndependentKeys) {
   Drbg rng(2);
   SecureSender c2s(keys.client_to_server);
   SecureReceiver wrong_dir(keys.server_to_client);
-  EXPECT_THROW((void)wrong_dir.open(c2s.seal(to_bytes("hello"), rng)), CryptoError);
+  EXPECT_EQ(wrong_dir.open(c2s.seal(to_bytes("hello"), rng)).code(),
+            StatusCode::kMalformedMessage);
 }
 
 TEST(SecureChannel, TamperedRecordFailsMac) {
@@ -45,7 +48,8 @@ TEST(SecureChannel, TamperedRecordFailsMac) {
     SecureReceiver receiver(keys.client_to_server);
     Bytes bad = record;
     bad[pos] ^= 0x01;
-    EXPECT_THROW((void)receiver.open(bad), CryptoError) << "pos=" << pos;
+    EXPECT_EQ(receiver.open(bad).code(), StatusCode::kMalformedMessage)
+        << "pos=" << pos;
   }
 }
 
@@ -56,26 +60,28 @@ TEST(SecureChannel, ReplayAndReorderDetected) {
   SecureReceiver receiver(keys.client_to_server);
   const Bytes r0 = sender.seal(to_bytes("first"), rng);
   const Bytes r1 = sender.seal(to_bytes("second"), rng);
-  EXPECT_EQ(receiver.open(r0), to_bytes("first"));
-  // Replay of r0: rejected.
-  EXPECT_THROW((void)receiver.open(r0), ProtocolError);
+  EXPECT_EQ(receiver.open(r0).value(), to_bytes("first"));
+  // Replay of r0: rejected as a typed status, not an exception.
+  EXPECT_EQ(receiver.open(r0).code(), StatusCode::kStaleTimestamp);
   // r1 still opens in order.
-  EXPECT_EQ(receiver.open(r1), to_bytes("second"));
+  EXPECT_EQ(receiver.open(r1).value(), to_bytes("second"));
 
   // Out-of-order delivery: a fresh receiver seeing r1 first rejects it.
   SecureReceiver reordered(keys.client_to_server);
   SecureSender sender2(keys.client_to_server);
   (void)sender2.seal(to_bytes("x"), rng);
   const Bytes second = sender2.seal(to_bytes("y"), rng);
-  EXPECT_THROW((void)reordered.open(second), ProtocolError);
+  EXPECT_EQ(reordered.open(second).code(), StatusCode::kStaleTimestamp);
 }
 
 TEST(SecureChannel, TruncatedAndBadKeysRejected) {
   Drbg rng(5);
+  // Key sizing is construction-time misconfiguration: still an exception.
   EXPECT_THROW(SecureSender(Bytes(63, 0)), CryptoError);
   EXPECT_THROW(SecureReceiver(Bytes(0, 0)), CryptoError);
+  // Wire input damage is a status.
   SecureReceiver receiver(test_keys().client_to_server);
-  EXPECT_THROW((void)receiver.open(Bytes(10, 0)), CryptoError);
+  EXPECT_EQ(receiver.open(Bytes(10, 0)).code(), StatusCode::kMalformedMessage);
 }
 
 TEST(ReplayProtection, ServerRejectsStaleQueryTimestamps) {

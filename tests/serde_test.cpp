@@ -10,6 +10,7 @@
 #include "core/key_server.hpp"
 #include "core/messages.hpp"
 #include "crypto/drbg.hpp"
+#include "net/session.hpp"
 
 namespace smatch {
 namespace {
@@ -131,6 +132,20 @@ TEST(SerdeFuzz, QueryMessagesNeverCrash) {
 TEST(SerdeFuzz, KeyServerMessagesNeverCrash) {
   fuzz_message(KeyRequest{5, BigInt::from_decimal("123456789000000")}, 4);
   fuzz_message(KeyResponse{BigInt::from_decimal("42424242424242")}, 5);
+}
+
+TEST(SerdeFuzz, SessionEnvelopesNeverCrash) {
+  Envelope request;
+  request.request_id = 0x123456789abcdef0ULL;
+  request.body = Bytes(24, 0xcd);
+  fuzz_message(request, 6);
+
+  Envelope response;
+  response.is_response = true;
+  response.request_id = 7;
+  response.status = StatusCode::kBudgetExhausted;
+  response.body = to_bytes("budget spent");
+  fuzz_message(response, 7);
 }
 
 TEST(SerdeFuzz, HugeClaimedLengthsRejectedWithoutAllocation) {

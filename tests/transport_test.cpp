@@ -1,0 +1,394 @@
+// Transport subsystem tests: frame codec, in-process transport pair,
+// seeded fault injection, session retry/replay semantics, and the
+// NetServer worker pool (also the TSan stress target — scripts/ci.sh
+// runs this binary under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+#include "net/transport.hpp"
+#include "obs/registry.hpp"
+
+namespace smatch {
+namespace {
+
+constexpr std::chrono::milliseconds kIo{1000};
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return out;
+}
+
+// --- Frame codec ----------------------------------------------------------
+
+TEST(FrameCodec, Crc32MatchesTheIeeeCheckValue) {
+  // The standard CRC-32 check string.
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(BytesView{}), 0x00000000u);
+}
+
+TEST(FrameCodec, RoundTripsAcrossSizesAndChunkings) {
+  for (const std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{1000}}) {
+    const Bytes payload = pattern_bytes(size);
+    const Bytes wire = encode_frame(MessageKind::kUpload, payload);
+    EXPECT_EQ(wire.size(), payload.size() + kFrameOverheadBytes);
+
+    // Whole-frame feed and byte-at-a-time feed must both decode it.
+    for (const std::size_t chunk : {wire.size(), std::size_t{1}}) {
+      FrameDecoder decoder;
+      std::size_t off = 0;
+      while (off < wire.size()) {
+        const std::size_t n = std::min(chunk, wire.size() - off);
+        decoder.feed(BytesView(wire).subspan(off, n));
+        off += n;
+      }
+      const StatusOr<std::optional<Frame>> frame = decoder.next();
+      ASSERT_TRUE(frame.is_ok());
+      ASSERT_TRUE(frame->has_value()) << "size=" << size << " chunk=" << chunk;
+      EXPECT_EQ((*frame)->kind, MessageKind::kUpload);
+      EXPECT_EQ((*frame)->payload, payload);
+      EXPECT_EQ(decoder.buffered(), 0u);
+    }
+  }
+}
+
+TEST(FrameCodec, DecodesBackToBackFramesFromOneFeed) {
+  Bytes stream = encode_frame(MessageKind::kQuery, pattern_bytes(10));
+  const Bytes second = encode_frame(MessageKind::kResult, pattern_bytes(20));
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  auto first = decoder.next();
+  ASSERT_TRUE(first.is_ok() && first->has_value());
+  EXPECT_EQ((*first)->kind, MessageKind::kQuery);
+  auto next = decoder.next();
+  ASSERT_TRUE(next.is_ok() && next->has_value());
+  EXPECT_EQ((*next)->kind, MessageKind::kResult);
+  EXPECT_EQ((*next)->payload, pattern_bytes(20));
+}
+
+TEST(FrameCodec, CorruptionIsDroppedAndTheStreamStaysInSync) {
+  Bytes bad = encode_frame(MessageKind::kQuery, pattern_bytes(10));
+  bad[6] ^= 0x40;  // payload bit flip: CRC must catch it
+  const Bytes good = encode_frame(MessageKind::kResult, pattern_bytes(5));
+
+  FrameDecoder decoder;
+  decoder.feed(bad);
+  decoder.feed(good);
+  EXPECT_EQ(decoder.next().code(), StatusCode::kMalformedMessage);
+  // The corrupted frame was consumed; the following frame decodes.
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.is_ok() && frame->has_value());
+  EXPECT_EQ((*frame)->kind, MessageKind::kResult);
+}
+
+TEST(FrameCodec, UnknownKindByteIsMalformed) {
+  Bytes wire = encode_frame(MessageKind::kOther, pattern_bytes(4));
+  wire[4] = 0x2a;  // kind byte outside the MessageKind enum
+  // Re-stamp the CRC so only the kind is wrong, not the checksum.
+  const std::uint32_t crc = crc32(BytesView(wire).subspan(4, wire.size() - 8));
+  for (int i = 0; i < 4; ++i) {
+    wire[wire.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (24 - 8 * i));
+  }
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().code(), StatusCode::kMalformedMessage);
+}
+
+TEST(FrameCodec, UnframeableLengthTearsTheConnectionDown) {
+  Bytes hostile = {0xff, 0xff, 0xff, 0xff, 0x01};  // claims a ~4 GiB frame
+  FrameDecoder decoder;
+  decoder.feed(hostile);
+  EXPECT_EQ(decoder.next().code(), StatusCode::kConnectionReset);
+}
+
+// --- In-process transport -------------------------------------------------
+
+TEST(InProc, SendRecvBothDirectionsWithStats) {
+  auto [client, server] = InProcTransport::make_pair();
+  ASSERT_TRUE(client->send(MessageKind::kUpload, pattern_bytes(100), kIo).is_ok());
+  const auto at_server = server->recv(kIo);
+  ASSERT_TRUE(at_server.is_ok());
+  EXPECT_EQ(at_server->kind, MessageKind::kUpload);
+  EXPECT_EQ(at_server->payload, pattern_bytes(100));
+
+  ASSERT_TRUE(server->send(MessageKind::kResult, pattern_bytes(7), kIo).is_ok());
+  const auto at_client = client->recv(kIo);
+  ASSERT_TRUE(at_client.is_ok());
+  EXPECT_EQ(at_client->payload, pattern_bytes(7));
+
+  // Payload-byte accounting, per kind, both endpoints.
+  EXPECT_EQ(client->stats().sent_of(MessageKind::kUpload), 100u);
+  EXPECT_EQ(server->stats().received_of(MessageKind::kUpload), 100u);
+  EXPECT_EQ(server->stats().sent_of(MessageKind::kResult), 7u);
+  EXPECT_EQ(client->stats().received_of(MessageKind::kResult), 7u);
+  EXPECT_EQ(client->stats().frames_sent, 1u);
+  EXPECT_EQ(client->stats().frames_received, 1u);
+}
+
+TEST(InProc, MirrorsPayloadBytesIntoTheSimChannel) {
+  SimChannel sim;
+  auto [client, server] = InProcTransport::make_pair(&sim);
+  ASSERT_TRUE(client->send(MessageKind::kQuery, pattern_bytes(19), kIo).is_ok());
+  ASSERT_TRUE(server->send(MessageKind::kResult, pattern_bytes(55), kIo).is_ok());
+  EXPECT_EQ(sim.uplink().bytes, 19u);
+  EXPECT_EQ(sim.downlink().bytes, 55u);
+  EXPECT_EQ(sim.bytes_of(MessageKind::kQuery), 19u);
+  EXPECT_EQ(sim.bytes_of(MessageKind::kResult), 55u);
+}
+
+TEST(InProc, TimeoutAndCloseSurfaceAsTypedStatuses) {
+  auto [client, server] = InProcTransport::make_pair();
+  EXPECT_EQ(client->recv(std::chrono::milliseconds{10}).code(), StatusCode::kTimeout);
+
+  ASSERT_TRUE(server->close().is_ok());
+  EXPECT_EQ(client->recv(kIo).code(), StatusCode::kConnectionReset);
+  EXPECT_EQ(client->send(MessageKind::kOther, pattern_bytes(1), kIo).code(),
+            StatusCode::kConnectionReset);
+}
+
+// --- Fault injection ------------------------------------------------------
+
+TEST(Faults, SameSeedSameSchedule) {
+  const FaultSpec spec{.drop = 0.3, .corrupt = 0.2, .seed = 99};
+  for (int round = 0; round < 2; ++round) {
+    FaultInjector a(spec);
+    FaultInjector b(spec);
+    for (int i = 0; i < 50; ++i) {
+      std::chrono::milliseconds da{0};
+      std::chrono::milliseconds db{0};
+      EXPECT_EQ(a.on_send(pattern_bytes(20), &da), b.on_send(pattern_bytes(20), &db));
+    }
+    EXPECT_EQ(a.counters().dropped, b.counters().dropped);
+    EXPECT_EQ(a.counters().corrupted, b.counters().corrupted);
+    EXPECT_GT(a.counters().total(), 0u);
+  }
+}
+
+TEST(Faults, ReorderHoldsAFrameAndReleasesItBehindTheNext) {
+  FaultInjector inject(FaultSpec{.reorder = 1.0, .seed = 3});
+  std::chrono::milliseconds delay{0};
+  const auto first = inject.on_send(pattern_bytes(4), &delay);
+  EXPECT_TRUE(first.empty());  // held back
+  const auto second = inject.on_send(pattern_bytes(8), &delay);
+  ASSERT_EQ(second.size(), 2u);  // the next frame, then the held one
+  EXPECT_EQ(second[0], pattern_bytes(8));
+  EXPECT_EQ(second[1], pattern_bytes(4));
+  EXPECT_EQ(inject.counters().reordered, 1u);  // one reorder event = one held frame
+}
+
+TEST(Faults, CorruptedFramesAreCaughtByTheCrcAndCounted) {
+  auto [client, server] = InProcTransport::make_pair();
+  FaultInjector corrupt(FaultSpec{.corrupt = 1.0, .seed = 11});
+  client->set_fault_injector(&corrupt);
+  ASSERT_TRUE(client->send(MessageKind::kUpload, pattern_bytes(64), kIo).is_ok());
+  // The only frame on the wire is corrupted: the receiver drops it and
+  // times out rather than delivering damaged bytes.
+  EXPECT_EQ(server->recv(std::chrono::milliseconds{50}).code(), StatusCode::kTimeout);
+  EXPECT_EQ(server->stats().crc_drops, 1u);
+  EXPECT_EQ(corrupt.counters().corrupted, 1u);
+}
+
+// --- Session layer --------------------------------------------------------
+
+/// Spins up a serve_connection loop for the server end of a pair.
+class ServedConnection {
+ public:
+  ServedConnection(std::unique_ptr<Transport> server_end, const FrameDispatcher& d)
+      : transport_(std::move(server_end)),
+        thread_([this, &d] { (void)serve_connection(*transport_, d, stop_); }) {}
+  ~ServedConnection() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+ private:
+  std::unique_ptr<Transport> transport_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+FrameDispatcher echo_dispatcher(std::atomic<std::uint64_t>* invocations = nullptr) {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kOther,
+                              [invocations](BytesView body) -> StatusOr<Bytes> {
+                                if (invocations != nullptr) invocations->fetch_add(1);
+                                Bytes out(body.begin(), body.end());
+                                out.push_back(0x21);
+                                return out;
+                              });
+  dispatcher.register_handler(MessageKind::kAuth,
+                              [](BytesView) -> StatusOr<Bytes> {
+                                return Status(StatusCode::kBudgetExhausted,
+                                              "quota spent");
+                              });
+  return dispatcher;
+}
+
+TEST(Session, CallRoundTripsAndErrorsPassThroughTyped) {
+  const FrameDispatcher dispatcher = echo_dispatcher();
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  ServedConnection served(std::move(server_end), dispatcher);
+
+  SessionClient session(*client_end);
+  const StatusOr<Bytes> echoed = session.call(MessageKind::kOther, pattern_bytes(9));
+  ASSERT_TRUE(echoed.is_ok());
+  Bytes expected = pattern_bytes(9);
+  expected.push_back(0x21);
+  EXPECT_EQ(*echoed, expected);
+
+  // Handler errors arrive as the same typed status the handler returned.
+  EXPECT_EQ(session.call(MessageKind::kAuth, {}).code(), StatusCode::kBudgetExhausted);
+  // A kind nobody registered is a malformed request, not a hang.
+  EXPECT_EQ(session.call(MessageKind::kUpload, {}).code(),
+            StatusCode::kMalformedMessage);
+  EXPECT_EQ(session.stats().calls, 3u);
+  EXPECT_EQ(session.stats().retries, 0u);
+}
+
+TEST(Session, RetriesConvergeUnderSeededDrops) {
+  const std::uint64_t retries_before =
+      obs::Registry::global().counter("smatch_net_retries_total")->load();
+
+  const FrameDispatcher dispatcher = echo_dispatcher();
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  ServedConnection served(std::move(server_end), dispatcher);
+
+  FaultInjector drops(FaultSpec{.drop = 0.5, .seed = 7});
+  client_end->set_fault_injector(&drops);
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.attempt_timeout = std::chrono::milliseconds{100};
+  policy.initial_backoff = std::chrono::milliseconds{1};
+  policy.max_backoff = std::chrono::milliseconds{4};
+  SessionClient session(*client_end, policy, /*seed=*/5);
+
+  std::size_t succeeded = 0;
+  for (int i = 0; i < 10; ++i) {
+    succeeded += session.call(MessageKind::kOther, pattern_bytes(16)).is_ok();
+  }
+  EXPECT_EQ(succeeded, 10u) << "retries must recover every dropped request";
+  EXPECT_GT(session.stats().retries, 0u);
+  EXPECT_GT(drops.counters().dropped, 0u);
+
+  // Acceptance check: the retry metric is visible in the global registry.
+  EXPECT_GT(obs::Registry::global().counter("smatch_net_retries_total")->load(),
+            retries_before);
+  EXPECT_NE(obs::Registry::global().json().find("smatch_net_retries_total"),
+            std::string::npos);
+}
+
+TEST(Session, TotalLossExhaustsTheRetryBudget) {
+  const FrameDispatcher dispatcher = echo_dispatcher();
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  ServedConnection served(std::move(server_end), dispatcher);
+
+  FaultInjector blackhole(FaultSpec{.drop = 1.0, .seed = 1});
+  client_end->set_fault_injector(&blackhole);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.attempt_timeout = std::chrono::milliseconds{20};
+  policy.initial_backoff = std::chrono::milliseconds{1};
+  SessionClient session(*client_end, policy);
+  EXPECT_EQ(session.call(MessageKind::kOther, pattern_bytes(3)).code(),
+            StatusCode::kRetriesExhausted);
+  EXPECT_EQ(session.stats().timeouts, 3u);
+}
+
+TEST(Session, ReplayCacheMakesRetransmitsIdempotent) {
+  std::atomic<std::uint64_t> invocations{0};
+  const FrameDispatcher dispatcher = echo_dispatcher(&invocations);
+
+  Envelope request;
+  request.request_id = 42;
+  request.body = pattern_bytes(5);
+  const Bytes wire = request.serialize();
+
+  SessionState state;
+  const Bytes first = dispatcher.dispatch(MessageKind::kOther, wire, state);
+  const Bytes replay = dispatcher.dispatch(MessageKind::kOther, wire, state);
+  EXPECT_EQ(invocations.load(), 1u) << "the handler must run once per request id";
+  EXPECT_EQ(first, replay) << "a retransmit gets the byte-identical response";
+
+  // A fresh id runs the handler again.
+  request.request_id = 43;
+  (void)dispatcher.dispatch(MessageKind::kOther, request.serialize(), state);
+  EXPECT_EQ(invocations.load(), 2u);
+}
+
+TEST(Session, ReplayCacheEvictsBeyondCapacity) {
+  SessionState state(/*capacity=*/2);
+  state.remember(1, pattern_bytes(1));
+  state.remember(2, pattern_bytes(2));
+  state.remember(3, pattern_bytes(3));
+  EXPECT_EQ(state.lookup(1), nullptr);  // evicted, oldest first
+  ASSERT_NE(state.lookup(2), nullptr);
+  ASSERT_NE(state.lookup(3), nullptr);
+}
+
+TEST(Session, DispatcherRejectsGarbageWithoutCrashing) {
+  const FrameDispatcher dispatcher = echo_dispatcher();
+  SessionState state;
+  const Bytes response = dispatcher.dispatch(MessageKind::kOther, pattern_bytes(3), state);
+  const StatusOr<Envelope> parsed = Envelope::parse(response);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->is_response);
+  EXPECT_EQ(parsed->status, StatusCode::kMalformedMessage);
+}
+
+// --- NetServer ------------------------------------------------------------
+
+TEST(NetServer, ServesManyInProcConnectionsConcurrently) {
+  std::atomic<std::uint64_t> invocations{0};
+  NetServer server(echo_dispatcher(&invocations), /*workers=*/4);
+
+  constexpr int kClients = 4;
+  constexpr int kCallsPerClient = 25;
+  std::vector<std::unique_ptr<Transport>> ends;
+  for (int c = 0; c < kClients; ++c) {
+    auto [client_end, server_end] = InProcTransport::make_pair();
+    server.attach(std::move(server_end));
+    ends.push_back(std::move(client_end));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SessionClient session(*ends[static_cast<std::size_t>(c)], RetryPolicy{},
+                            /*seed=*/static_cast<std::uint64_t>(c) + 1);
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        if (!session.call(MessageKind::kOther, pattern_bytes(32)).is_ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(invocations.load(), static_cast<std::uint64_t>(kClients * kCallsPerClient));
+  server.stop();
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TEST(NetServer, StopIsIdempotentAndStopsIdleServers) {
+  NetServer server(echo_dispatcher(), /*workers=*/2);
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  server.attach(std::move(server_end));
+  server.stop();
+  server.stop();  // second stop is a no-op
+}
+
+}  // namespace
+}  // namespace smatch
