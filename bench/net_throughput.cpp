@@ -1,17 +1,33 @@
 // Transport/session throughput: request-response RPCs per second through
-// the full net stack (frame codec -> session envelopes -> dispatcher ->
-// replay cache), compared across the in-process transport and real
-// loopback TCP, single-connection and concurrent, plus a seeded-loss run
-// that prices the retry machinery.
+// the full net stack (frame codec -> session envelopes -> event loop ->
+// dispatcher -> replay cache), compared across the in-process transport
+// and real loopback TCP, plus a seeded-loss run that prices the retry
+// machinery and a connection sweep (100 / 1k / 10k concurrently
+// connected clients against ONE server process).
+//
+// The sweep drives clients from a child process (`--client-driver`,
+// spawned via popen on our own executable): the container caps each
+// process at 20000 file descriptors, so the 10k tier only fits when the
+// server holds its 10k sockets alone and the clients live elsewhere —
+// which is also the honest shape of the claim being measured.
 //
 // Run:  ./build/bench/net_throughput            (full size)
 //       ./build/bench/net_throughput --smoke    (small; used by ctest)
 //       add --json <path> to also write a machine-readable result file
-//       (scripts/ci.sh gates on BENCH_net.json appearing and parsing).
+//       (scripts/ci.sh gates on BENCH_net.json appearing, parsing, and
+//       the 1k tier completing with zero failed requests).
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -28,11 +44,29 @@ using namespace smatch;
 namespace {
 
 constexpr std::chrono::milliseconds kIo{2000};
+constexpr std::chrono::milliseconds kSweepIo{15000};  // connect storms queue
+constexpr std::size_t kPayload = 512;                 // ~ an S-MATCH upload frame
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Lifts RLIMIT_NOFILE to the hard cap so the fd-heavy tiers fit.
+void raise_fd_limit() {
+  struct rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+  }
 }
 
 Bytes payload_of(std::size_t n) {
@@ -70,38 +104,228 @@ RunResult drive(Transport& conn, std::size_t calls, std::size_t payload_bytes,
   return r;
 }
 
+// --- Child process: the client side of one sweep tier ---------------------
+
+/// Opens `conns` loopback connections, keeps ALL of them connected, and
+/// drives `calls_per_conn` RPCs over each from a small thread pool.
+/// Reports on stdout: a CONNECTED line once every socket is up (the
+/// parent samples its connection gauge at that moment) and a RESULT line
+/// with throughput, failure count, and per-call latency quantiles.
+int run_client_driver(std::uint16_t port, std::size_t conns,
+                      std::size_t calls_per_conn) {
+  raise_fd_limit();
+  const std::size_t threads_n = std::min<std::size_t>(conns, 8);
+  std::vector<std::unique_ptr<Transport>> transports(conns);
+  std::atomic<std::uint64_t> connect_failed{0};
+  std::atomic<std::uint64_t> call_failed{0};
+  std::vector<std::vector<std::uint64_t>> latencies(threads_n);
+
+  // Barrier between warm-up and the timed phase: the parent samples its
+  // connection gauge when we print CONNECTED, so every socket must not
+  // only be connected but also *accepted and adopted* server-side by
+  // then — which one completed warm-up RPC per connection guarantees.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t warmed = 0;
+  bool go = false;
+
+  auto slice = [&](std::size_t t) {
+    const std::size_t per = (conns + threads_n - 1) / threads_n;
+    const std::size_t lo = t * per;
+    return std::pair<std::size_t, std::size_t>{lo, std::min(conns, lo + per)};
+  };
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < threads_n; ++t) {
+    threads.emplace_back([&, t] {
+      const auto [lo, hi] = slice(t);
+      // One session per connection, kept across warm-up and the timed
+      // rounds: a fresh session would reuse the seeded request-id
+      // sequence and the server's replay cache would answer from memory.
+      std::vector<std::unique_ptr<SessionClient>> sessions(hi - lo);
+      const Bytes body = payload_of(kPayload);
+      for (std::size_t c = lo; c < hi; ++c) {
+        auto conn = TcpTransport::connect("127.0.0.1", port, kSweepIo);
+        if (!conn.is_ok()) {
+          connect_failed.fetch_add(1);
+          continue;
+        }
+        transports[c] = std::move(*conn);
+        sessions[c - lo] = std::make_unique<SessionClient>(
+            *transports[c], RetryPolicy{}, /*seed=*/c + 1);
+        if (!sessions[c - lo]->call(MessageKind::kOther, body).is_ok()) {
+          call_failed.fetch_add(1);
+        }
+      }
+      {
+        std::unique_lock lk(mu);
+        ++warmed;
+        cv.notify_all();
+        cv.wait(lk, [&] { return go; });
+      }
+      auto& lat = latencies[t];
+      lat.reserve((hi - lo) * calls_per_conn);
+      // Round-robin across the slice so every connection stays live for
+      // the whole tier rather than burning down one at a time.
+      for (std::size_t round = 0; round < calls_per_conn; ++round) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (sessions[c - lo] == nullptr) continue;
+          const std::uint64_t start = now_ns();
+          if (sessions[c - lo]->call(MessageKind::kOther, body).is_ok()) {
+            lat.push_back(now_ns() - start);
+          } else {
+            call_failed.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return warmed == threads_n; });
+  }
+  const std::size_t connected = conns - connect_failed.load();
+  std::printf("CONNECTED %zu\n", connected);
+  std::fflush(stdout);  // the parent samples its gauge on this line
+  const double t0 = now_ms();
+  {
+    std::lock_guard lk(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : threads) th.join();
+  const double elapsed_ms = now_ms() - t0;
+  for (auto& t : transports) {
+    if (t != nullptr) (void)t->close();
+  }
+
+  std::vector<std::uint64_t> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const std::uint64_t p50 = all.empty() ? 0 : all[all.size() / 2];
+  const std::uint64_t p99 = all.empty() ? 0 : all[(all.size() * 99) / 100];
+  const std::uint64_t failed = connect_failed.load() + call_failed.load();
+  std::printf("RESULT conns=%zu calls=%zu failed=%llu elapsed_ms=%.3f "
+              "p50_ns=%llu p99_ns=%llu\n",
+              connected, all.size(), static_cast<unsigned long long>(failed),
+              elapsed_ms, static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99));
+  std::fflush(stdout);
+  return failed == 0 ? 0 : 1;
+}
+
+// --- Parent process: one sweep tier ---------------------------------------
+
+struct TierResult {
+  std::size_t conns = 0;      // requested tier size
+  std::uint64_t calls = 0;    // RPCs completed
+  std::uint64_t failed = 0;   // connects + calls that did not succeed
+  std::int64_t active_peak = 0;  // server's connection gauge at full tier
+  double rps = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  bool ok = false;
+};
+
+/// Spawns the client driver for one tier and collects its report while
+/// the server (owned by the caller) carries the connections.
+TierResult run_tier(const char* exe, const NetServer& net, std::size_t conns,
+                    std::size_t calls_per_conn) {
+  TierResult r;
+  r.conns = conns;
+  char cmd[512];
+  std::snprintf(cmd, sizeof cmd, "'%s' --client-driver %u %zu %zu", exe,
+                static_cast<unsigned>(net.port()), conns, calls_per_conn);
+  std::FILE* child = popen(cmd, "r");
+  if (child == nullptr) {
+    std::fprintf(stderr, "FAIL: could not spawn client driver\n");
+    return r;
+  }
+  char line[512];
+  double elapsed_ms = 0.0;
+  while (std::fgets(line, sizeof line, child) != nullptr) {
+    std::size_t connected = 0;
+    if (std::sscanf(line, "CONNECTED %zu", &connected) == 1) {
+      // Every client socket is up and none have been torn down yet: the
+      // gauge now shows how many this one process actually holds.
+      r.active_peak = net.active_connections();
+      continue;
+    }
+    unsigned long long calls = 0, failed = 0, p50 = 0, p99 = 0;
+    std::size_t got_conns = 0;
+    if (std::sscanf(line,
+                    "RESULT conns=%zu calls=%llu failed=%llu elapsed_ms=%lf "
+                    "p50_ns=%llu p99_ns=%llu",
+                    &got_conns, &calls, &failed, &elapsed_ms, &p50, &p99) == 6) {
+      r.calls = calls;
+      r.failed = failed;
+      r.p50_ns = p50;
+      r.p99_ns = p99;
+      r.ok = true;
+    }
+  }
+  const int status = pclose(child);
+  if (status != 0) r.ok = r.ok && r.failed == 0;
+  if (elapsed_ms > 0.0) r.rps = 1e3 * static_cast<double>(r.calls) / elapsed_ms;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  raise_fd_limit();
+  if (argc >= 5 && std::strcmp(argv[1], "--client-driver") == 0) {
+    return run_client_driver(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                             static_cast<std::size_t>(std::atol(argv[3])),
+                             static_cast<std::size_t>(std::atol(argv[4])));
+  }
+
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const char* json_path = bench::arg_after(argc, argv, "--json");
   const std::size_t calls = smoke ? 300 : 5000;
-  const std::size_t payload = 512;  // ~ an S-MATCH upload frame
   const std::size_t fanout = smoke ? 2 : 4;
 
   const FrameDispatcher dispatcher = echo_dispatcher();
 
   // --- In-process transport, one connection -------------------------------
-  NetServer inproc_server(dispatcher, /*workers=*/2);
+  NetServer inproc_server(dispatcher);
+  {
+    ServerConfig config;  // no tcp_port: in-process only
+    config.dispatch_workers = 2;
+    if (Status s = inproc_server.start(config); !s.is_ok()) {
+      std::fprintf(stderr, "start failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
   auto [inproc_client, inproc_end] = InProcTransport::make_pair();
   inproc_server.attach(std::move(inproc_end));
-  const RunResult inproc = drive(*inproc_client, calls, payload, /*seed=*/1);
+  const RunResult inproc = drive(*inproc_client, calls, kPayload, /*seed=*/1);
   (void)inproc_client->close();
   inproc_server.stop();
 
-  // --- Loopback TCP, one connection ---------------------------------------
-  NetServer tcp_server(dispatcher, /*workers=*/fanout + 1);
-  if (Status s = tcp_server.start(0); !s.is_ok()) {
-    std::fprintf(stderr, "bind failed: %s\n", s.to_string().c_str());
-    return 1;
+  // --- Loopback TCP server: single, fanout, lossy, and sweep tiers all
+  // ride one event-loop server instance.
+  NetServer tcp_server(dispatcher);
+  {
+    ServerConfig config;
+    config.tcp_port = 0;  // ephemeral
+    config.io_threads = 2;
+    config.dispatch_workers = fanout;
+    if (Status s = tcp_server.start(config); !s.is_ok()) {
+      std::fprintf(stderr, "bind failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
+
+  // --- Loopback TCP, one connection ---------------------------------------
   auto tcp_conn = TcpTransport::connect("127.0.0.1", tcp_server.port(), kIo);
   if (!tcp_conn.is_ok()) {
     std::fprintf(stderr, "connect failed: %s\n", tcp_conn.status().to_string().c_str());
     return 1;
   }
-  const RunResult tcp = drive(**tcp_conn, calls, payload, /*seed=*/2);
-  (void)(*tcp_conn)->close();  // frees its worker for the concurrent fleet
+  const RunResult tcp = drive(**tcp_conn, calls, kPayload, /*seed=*/2);
+  (void)(*tcp_conn)->close();
 
   // --- Loopback TCP, `fanout` concurrent connections ----------------------
   std::vector<std::unique_ptr<Transport>> conns;
@@ -118,7 +342,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < fanout; ++c) {
     threads.emplace_back([&, c] {
-      const RunResult r = drive(*conns[c], calls / fanout, payload, /*seed=*/10 + c);
+      const RunResult r = drive(*conns[c], calls / fanout, kPayload, /*seed=*/10 + c);
       if (!r.ok) all_ok.store(false);
     });
   }
@@ -144,8 +368,33 @@ int main(int argc, char** argv) {
   lossy_policy.max_backoff = std::chrono::milliseconds{8};
   const std::size_t lossy_calls = calls / 10;
   const RunResult lossy =
-      drive(**lossy_conn, lossy_calls, payload, /*seed=*/3, lossy_policy);
+      drive(**lossy_conn, lossy_calls, kPayload, /*seed=*/3, lossy_policy);
   (void)(*lossy_conn)->close();
+
+  // --- Connection sweep: 100 / 1k / 10k concurrently connected clients ----
+  // Same server instance; each tier's clients live in a child process so
+  // the per-process fd cap never constrains the server's side.
+  struct Tier {
+    std::size_t conns;
+    std::size_t calls_per_conn;
+  };
+  const std::vector<Tier> tiers = smoke
+      ? std::vector<Tier>{{100, 5}, {1000, 2}, {10000, 1}}
+      : std::vector<Tier>{{100, 50}, {1000, 10}, {10000, 2}};
+  // popen goes through `sh -c`, where /proc/self/exe would name the
+  // shell — resolve our own binary's path up front instead.
+  char exe[256] = {0};
+  if (::readlink("/proc/self/exe", exe, sizeof exe - 1) <= 0) {
+    std::snprintf(exe, sizeof exe, "%s", argv[0]);
+  }
+  std::vector<TierResult> sweep;
+  for (const Tier& tier : tiers) {
+    sweep.push_back(run_tier(exe, tcp_server, tier.conns, tier.calls_per_conn));
+    if (!sweep.back().ok) {
+      std::fprintf(stderr, "FAIL: sweep tier %zu did not complete\n", tier.conns);
+      return 1;
+    }
+  }
   tcp_server.stop();
 
   if (!inproc.ok || !tcp.ok || !all_ok.load() || !lossy.ok) {
@@ -160,7 +409,7 @@ int main(int argc, char** argv) {
   const double lossy_rps = 1e3 * static_cast<double>(lossy_calls) / lossy.ms;
 
   std::printf("NET THROUGHPUT: %zu-byte echo RPCs through the session stack%s\n\n",
-              payload, smoke ? " (smoke)" : "");
+              kPayload, smoke ? " (smoke)" : "");
   std::printf("  %-28s %10s %12s %10s\n", "configuration", "calls", "rps", "retries");
   std::printf("  %-28s %10zu %12.0f %10llu\n", "inproc, 1 connection", calls,
               inproc_rps, static_cast<unsigned long long>(inproc.retries));
@@ -171,6 +420,18 @@ int main(int argc, char** argv) {
   std::printf("  %-28s %10zu %12.0f %10llu\n", "tcp + 20% seeded loss",
               lossy_calls, lossy_rps, static_cast<unsigned long long>(lossy.retries));
 
+  std::printf("\n  connection sweep (one server process, clients in a child):\n");
+  std::printf("  %-14s %10s %10s %10s %12s %12s\n", "connections", "held", "calls",
+              "failed", "p50 us", "p99 us");
+  for (const TierResult& t : sweep) {
+    std::printf("  %-14zu %10lld %10llu %10llu %12.1f %12.1f\n", t.conns,
+                static_cast<long long>(t.active_peak),
+                static_cast<unsigned long long>(t.calls),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<double>(t.p50_ns) / 1e3,
+                static_cast<double>(t.p99_ns) / 1e3);
+  }
+
   const auto rtt = obs::Registry::global().histogram("smatch_net_rtt_ns")->snapshot();
   std::printf("\n  session RTT: p50 %.1f us, p99 %.1f us over %llu calls\n",
               static_cast<double>(rtt.p50()) / 1e3, static_cast<double>(rtt.p99()) / 1e3,
@@ -179,13 +440,21 @@ int main(int argc, char** argv) {
   if (json_path != nullptr) {
     bench::JsonResult json("net_throughput");
     json.add("calls", static_cast<double>(calls));
-    json.add("payload_bytes", static_cast<double>(payload));
+    json.add("payload_bytes", static_cast<double>(kPayload));
     json.add("inproc_rps", inproc_rps);
     json.add("tcp_rps", tcp_rps);
     json.add("tcp_concurrent_rps", concurrent_rps);
     json.add("tcp_concurrent_connections", static_cast<double>(fanout));
     json.add("lossy_rps", lossy_rps);
     json.add("lossy_retries", static_cast<double>(lossy.retries));
+    for (const TierResult& t : sweep) {
+      const std::string prefix = "conns_" + std::to_string(t.conns);
+      json.add(prefix + "_held", static_cast<double>(t.active_peak));
+      json.add(prefix + "_rps", t.rps);
+      json.add(prefix + "_failed", static_cast<double>(t.failed));
+      json.add(prefix + "_p50_ns", static_cast<double>(t.p50_ns));
+      json.add(prefix + "_p99_ns", static_cast<double>(t.p99_ns));
+    }
     json.add_hist("session_rtt", rtt);
     if (!json.write(json_path)) {
       std::fprintf(stderr, "FAIL: could not write %s\n", json_path);

@@ -55,7 +55,13 @@ int main() {
                        KeyServerOptions{.requests_per_epoch = 0});
   MatchServer server;
   SmatchService service(server, key_server, /*top_k=*/5);
-  NetServer net(service.dispatcher(), /*workers=*/2);
+  NetServer net(service.dispatcher());
+  ServerConfig net_config;  // in-process only: no tcp_port
+  net_config.dispatch_workers = 2;
+  if (Status s = net.start(net_config); !s.is_ok()) {
+    std::printf("server start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
 
   SimChannel wifi({.bandwidth_mbps = 53.0, .latency_ms = 2.0});  // the paper's 802.11n link
 

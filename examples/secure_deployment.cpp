@@ -64,7 +64,13 @@ int main() {
   MatchServer server;
   server.set_replay_protection(true);
   SmatchService service(server, key_server, /*top_k=*/5);
-  NetServer net(service.dispatcher(), /*workers=*/2);
+  NetServer net(service.dispatcher());
+  ServerConfig net_config;  // in-process only: no tcp_port
+  net_config.dispatch_workers = 2;
+  if (Status s = net.start(net_config); !s.is_ok()) {
+    std::printf("server start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
 
   // --- Enrolment: each phone runs Keygen and uploads through an
   // Encrypt-then-MAC channel under the session layer.

@@ -29,7 +29,14 @@ enum class StatusCode : std::uint8_t {
   kTimeout,              // per-call transport deadline expired
   kConnectionReset,      // peer closed / refused / reset the transport
   kRetriesExhausted,     // session layer gave up after its retry budget
+  kOverloaded,           // server shed the request (admission control)
+  kWouldBlock,           // nonblocking I/O: no progress possible right now
 };
+
+/// Largest StatusCode a wire envelope may carry. kWouldBlock is a local
+/// control-flow signal of the nonblocking transport API and never
+/// travels on the wire; a peer sending it is malformed.
+inline constexpr StatusCode kMaxWireStatusCode = StatusCode::kOverloaded;
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
   switch (code) {
@@ -43,6 +50,8 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kTimeout: return "TIMEOUT";
     case StatusCode::kConnectionReset: return "CONNECTION_RESET";
     case StatusCode::kRetriesExhausted: return "RETRIES_EXHAUSTED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kWouldBlock: return "WOULD_BLOCK";
   }
   return "INVALID_CODE";
 }

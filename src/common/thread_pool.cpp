@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <utility>
 
 #include "obs/trace.hpp"
 
@@ -58,6 +59,17 @@ void ThreadPool::run_task(const Task& task) {
 #if SMATCH_OBS_ENABLED
   if (task.enqueue_ns != 0) wait_hist_.record(start_ns - task.enqueue_ns);
 #endif
+  if (task.job) {
+    // Single-shot submit() task: no batch to settle, nobody to rethrow
+    // on. An escaping exception would cross a thread boundary with no
+    // owner — let it terminate loudly rather than vanish.
+    task.job();
+#if SMATCH_OBS_ENABLED
+    run_hist_.record(timing_now_ns() - start_ns);
+#endif
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::exception_ptr error;
   try {
     for (std::size_t i = task.begin; i < task.end; ++i) (*task.fn)(i);
@@ -87,11 +99,28 @@ void ThreadPool::worker_loop() {
         if (stopping_) return;
         continue;
       }
-      task = queue_.front();
+      task = std::move(queue_.front());
       queue_.pop_front();
     }
     run_task(task);
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // no worker exists; inline keeps the contract of "runs once"
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    Task t;
+    t.job = std::move(task);
+    t.enqueue_ns = timing_now_ns();
+    queue_.push_back(std::move(t));
+    peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -121,7 +150,7 @@ void ThreadPool::parallel_for(std::size_t n,
     std::lock_guard lk(mu_);
     for (std::size_t c = 1; c < chunks; ++c) {
       const std::size_t len = base + (c < extra ? 1 : 0);
-      queue_.push_back({begin, begin + len, &fn, &batch, enqueue_ns});
+      queue_.push_back({begin, begin + len, &fn, &batch, enqueue_ns, {}});
       begin += len;
     }
     peak_queue_depth_ = std::max<std::uint64_t>(peak_queue_depth_, queue_.size());
@@ -129,7 +158,7 @@ void ThreadPool::parallel_for(std::size_t n,
   work_cv_.notify_all();
 
   // The caller-run chunk never queued: no wait time to attribute.
-  run_task({0, base + (extra > 0 ? 1 : 0), &fn, &batch, 0});
+  run_task({0, base + (extra > 0 ? 1 : 0), &fn, &batch, 0, {}});
 
   std::unique_lock lk(batch.mu);
   batch.done_cv.wait(lk, [&batch] { return batch.pending == 0; });

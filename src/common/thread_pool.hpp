@@ -55,6 +55,16 @@ class ThreadPool {
   /// is rethrown on the caller after the range drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Enqueues one independent fire-and-forget task and returns
+  /// immediately. Tasks already queued when the destructor runs are
+  /// drained before the workers join, so a submitted task always
+  /// executes exactly once. On a pool with no spawned workers
+  /// (`num_threads() == 1`) the task runs inline on the caller — there
+  /// is no thread that could ever pick it up. Exceptions escaping a
+  /// submitted task terminate (they have no caller to rethrow on);
+  /// submitters wrap fallible work in their own error handling.
+  void submit(std::function<void()> task);
+
   /// Scheduling metrics snapshot. Safe to call under traffic.
   [[nodiscard]] PoolMetrics metrics() const;
 
@@ -65,6 +75,7 @@ class ThreadPool {
     const std::function<void(std::size_t)>* fn = nullptr;
     Batch* batch = nullptr;
     std::uint64_t enqueue_ns = 0;  // 0 when timing is compiled out
+    std::function<void()> job;     // single-shot submit() task when set
   };
 
   void worker_loop();

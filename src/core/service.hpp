@@ -8,6 +8,11 @@
 //   kQuery  -> MatchServer::match(q, top_k)   (serialized QueryResult)
 //   kOprf   -> KeyServer::handle              (serialized KeyResponse)
 //
+// Handlers run on NetServer's dispatch pool, concurrently across
+// connections *and* across pipelined requests on one connection — both
+// engines are built for that (shard-level shared_mutex locking), and any
+// future handler must be thread-safe the same way.
+//
 // RemoteClient is the connected mode of core/client.hpp: the same
 // Keygen / InitData+Enc+Auth / Match / Vf pipeline, but every round
 // travels through a SessionClient over a real Transport — localhost TCP

@@ -1,0 +1,328 @@
+#include "net/event_loop.hpp"
+
+#include <chrono>
+#include <fcntl.h>
+#include <unistd.h>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace smatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poller keys reserved for non-connection fds. Connection ids start at 1
+/// and count up, so they can never collide with these.
+constexpr std::uint64_t kWakeupKey = ~0ull;
+constexpr std::uint64_t kExternalBase = ~0ull - 1;  // counts downward
+
+/// Frames one connection may deliver per wakeup before the loop moves on
+/// (fairness); the connection re-enters via the read_again_ ring.
+constexpr std::size_t kMaxFramesPerWakeup = 128;
+
+/// Retry cadence for staged outbound bytes (socket full or delay hold).
+constexpr int kFlushRetryMs = 5;
+
+}  // namespace
+
+IoLoop::IoLoop(const FrameDispatcher& dispatcher, ThreadPool& pool,
+               IoLoopOptions opts, std::atomic<std::size_t>& active)
+    : dispatcher_(dispatcher),
+      pool_(pool),
+      opts_(opts),
+      active_(active),
+      poller_(opts.force_poll_fallback) {
+  auto& reg = obs::Registry::global();
+  conn_gauge_ = reg.gauge("smatch_net_connections_active");
+  inflight_gauge_ = reg.gauge("smatch_net_inflight");
+  shed_requests_ = reg.counter("smatch_net_shed_requests_total");
+  wakeup_hist_ = reg.histogram("smatch_net_loop_wakeup_ns");
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) == 0) {
+    (void)poller_.add(wake_pipe_[0], kWakeupKey, /*want_read=*/true,
+                      /*want_write=*/false);
+  }
+}
+
+IoLoop::~IoLoop() {
+  request_stop();
+  join();
+  // Connections adopted after the loop stopped never reached the thread;
+  // close them here and release their admission slots.
+  for (auto& conn : inbox_) {
+    (void)conn->close();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  inbox_.clear();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void IoLoop::watch_external(int fd, std::function<void()> on_ready) {
+  const std::uint64_t key = kExternalBase - externals_.size();
+  (void)poller_.add(fd, key, /*want_read=*/true, /*want_write=*/false);
+  externals_.emplace_back(key, std::move(on_ready));
+}
+
+void IoLoop::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void IoLoop::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  notify();
+}
+
+void IoLoop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void IoLoop::adopt(std::unique_ptr<Transport> conn) {
+  {
+    std::lock_guard lk(mu_);
+    inbox_.push_back(std::move(conn));
+  }
+  notify();
+}
+
+void IoLoop::notify() {
+  if (wake_pipe_[1] < 0) return;
+  const std::uint8_t byte = 1;
+  (void)::write(wake_pipe_[1], &byte, 1);  // EAGAIN: already signalled
+}
+
+void IoLoop::complete(std::uint64_t conn_id, MessageKind kind, Bytes response) {
+  {
+    std::lock_guard lk(mu_);
+    completions_.push_back({conn_id, kind, std::move(response)});
+  }
+  notify();
+}
+
+void IoLoop::register_conn(std::unique_ptr<Transport> transport) {
+  const int fd = transport->pollable_fd();
+  if (fd < 0) {
+    // NetServer routes readiness-less transports to fallback threads;
+    // reaching here means misrouting — drop rather than crash.
+    (void)transport->close();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  auto conn =
+      std::make_shared<Conn>(id, std::move(transport), opts_.replay_cache_capacity);
+  if (Status s = poller_.add(fd, id, /*want_read=*/true, /*want_write=*/false);
+      !s.is_ok()) {
+    (void)conn->transport->close();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  conns_.emplace(id, std::move(conn));
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
+  conn_gauge_->fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoLoop::close_conn(const std::shared_ptr<Conn>& conn) {
+  if (conns_.erase(conn->id) == 0) return;  // already closed this wakeup
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
+  const int fd = conn->transport->pollable_fd();
+  if (fd >= 0) poller_.remove(fd);
+  (void)conn->transport->close();
+  flush_pending_.erase(conn->id);
+  read_again_.erase(conn->id);
+  conn_gauge_->fetch_sub(1, std::memory_order_relaxed);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool IoLoop::send_or_stage(const std::shared_ptr<Conn>& conn, MessageKind kind,
+                           BytesView response) {
+  Status s = conn->transport->send_some(kind, response);
+  if (s.code() == StatusCode::kWouldBlock) {
+    flush_pending_.insert(conn->id);
+    update_read_interest(conn);
+    return true;
+  }
+  if (!s.is_ok()) {
+    close_conn(conn);
+    return false;
+  }
+  return true;
+}
+
+void IoLoop::update_read_interest(const std::shared_ptr<Conn>& conn) {
+  const bool want =
+      conn->transport->pending_out_bytes() < opts_.max_pending_bytes_per_connection;
+  if (want == conn->read_armed) return;
+  const int fd = conn->transport->pollable_fd();
+  if (fd < 0) return;
+  if (poller_.modify(fd, conn->id, want, /*want_write=*/false).is_ok()) {
+    conn->read_armed = want;
+  }
+}
+
+void IoLoop::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
+  if (conn->inflight.load(std::memory_order_relaxed) >=
+      opts_.max_inflight_per_connection) {
+    // Load-shed on the loop thread: answer with a typed kOverloaded
+    // envelope without running (or queueing) any handler. The response
+    // is deliberately not remembered in the replay cache, so the
+    // client's retransmit succeeds once the backlog drains.
+    shed_requests_->fetch_add(1, std::memory_order_relaxed);
+    StatusOr<Envelope> env = Envelope::parse(frame.payload);
+    if (env.is_ok() && !env->is_response) {
+      const Bytes shed = make_error_envelope(
+          env->request_id, StatusCode::kOverloaded,
+          "connection at max_inflight_per_connection; retry later");
+      (void)send_or_stage(conn, frame.kind, shed);
+    }
+    return;
+  }
+  conn->inflight.fetch_add(1, std::memory_order_relaxed);
+  inflight_gauge_->fetch_add(1, std::memory_order_relaxed);
+  // The task owns a shared_ptr so the session (replay cache) stays alive
+  // even if the loop drops the connection mid-dispatch; the transport is
+  // never touched off-loop.
+  pool_.submit([this, conn, kind = frame.kind, payload = std::move(frame.payload)] {
+    Bytes response = dispatcher_.dispatch(kind, payload, conn->session);
+    complete(conn->id, kind, std::move(response));
+  });
+}
+
+void IoLoop::read_conn(const std::shared_ptr<Conn>& conn) {
+  if (conns_.count(conn->id) == 0) return;
+  std::size_t budget = kMaxFramesPerWakeup;
+  for (;;) {
+    if (budget == 0) {
+      // Decoder-buffered frames never re-signal a level-triggered fd;
+      // park the connection in the re-read ring instead of starving it.
+      read_again_.insert(conn->id);
+      return;
+    }
+    StatusOr<Frame> frame = conn->transport->recv_some();
+    if (!frame.is_ok()) {
+      if (frame.code() == StatusCode::kWouldBlock) break;
+      close_conn(conn);
+      return;
+    }
+    --budget;
+    handle_frame(conn, std::move(*frame));
+    if (conns_.count(conn->id) == 0) return;  // handle_frame may close
+  }
+  update_read_interest(conn);
+}
+
+void IoLoop::run() {
+  std::vector<PollEvent> events;
+  std::vector<std::unique_ptr<Transport>> inbox;
+  std::vector<Completion> completions;
+  std::vector<std::uint64_t> ids;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeout_ms = -1;
+    if (!read_again_.empty()) {
+      timeout_ms = 0;
+    } else if (!flush_pending_.empty()) {
+      timeout_ms = kFlushRetryMs;
+    }
+    StatusOr<std::size_t> n = poller_.wait(events, timeout_ms);
+    if (!n.is_ok()) break;  // poller is broken beyond repair
+    const auto wake_start = Clock::now();
+
+    // 1. Retry staged outbound bytes (socket drained or delay expired).
+    if (!flush_pending_.empty()) {
+      ids.assign(flush_pending_.begin(), flush_pending_.end());
+      for (const std::uint64_t id : ids) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) {
+          flush_pending_.erase(id);
+          continue;
+        }
+        const std::shared_ptr<Conn> conn = it->second;
+        Status s = conn->transport->flush_some();
+        if (s.is_ok()) {
+          flush_pending_.erase(id);
+          update_read_interest(conn);
+        } else if (s.code() != StatusCode::kWouldBlock) {
+          close_conn(conn);
+        }
+      }
+    }
+
+    // 2. Connections that hit the frame budget last wakeup.
+    if (!read_again_.empty()) {
+      ids.assign(read_again_.begin(), read_again_.end());
+      read_again_.clear();
+      for (const std::uint64_t id : ids) {
+        const auto it = conns_.find(id);
+        if (it != conns_.end()) read_conn(it->second);
+      }
+    }
+
+    // 3. Poller events.
+    for (const PollEvent& ev : events) {
+      if (ev.key == kWakeupKey) {
+        std::uint8_t buf[256];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        {
+          std::lock_guard lk(mu_);
+          inbox.swap(inbox_);
+          completions.swap(completions_);
+        }
+        for (auto& transport : inbox) register_conn(std::move(transport));
+        inbox.clear();
+        for (Completion& done : completions) {
+          inflight_gauge_->fetch_sub(1, std::memory_order_relaxed);
+          const auto it = conns_.find(done.conn_id);
+          if (it == conns_.end()) continue;  // connection died mid-dispatch
+          const std::shared_ptr<Conn> conn = it->second;
+          conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+          (void)send_or_stage(conn, done.kind, done.response);
+        }
+        completions.clear();
+        continue;
+      }
+      bool external = false;
+      for (const auto& [key, on_ready] : externals_) {
+        if (ev.key == key) {
+          on_ready();
+          external = true;
+          break;
+        }
+      }
+      if (external) continue;
+      const auto it = conns_.find(ev.key);
+      if (it == conns_.end()) continue;  // closed earlier this wakeup
+      const std::shared_ptr<Conn> conn = it->second;
+      if (ev.readable || ev.hangup) read_conn(conn);
+    }
+
+    wakeup_hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             wake_start)
+            .count()));
+  }
+
+  // Shutdown on the loop thread: the only place connection fds die.
+  {
+    std::lock_guard lk(mu_);
+    inbox.swap(inbox_);
+  }
+  for (auto& transport : inbox) {
+    (void)transport->close();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  inbox.clear();
+  for (auto& [id, conn] : conns_) {
+    const int fd = conn->transport->pollable_fd();
+    if (fd >= 0) poller_.remove(fd);
+    (void)conn->transport->close();
+    conn_gauge_->fetch_sub(1, std::memory_order_relaxed);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+  conn_count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace smatch

@@ -1,0 +1,156 @@
+// IoLoop: one readiness-driven I/O thread multiplexing many connections.
+//
+// Each loop owns a Poller (net/poller.hpp), a wakeup self-pipe, and a set
+// of connections; NetServer shards its connections across N loops. The
+// loop thread is the only thread that ever touches a connection's
+// Transport — pool workers run handlers and hand finished responses back
+// through complete(), which enqueues and pokes the wakeup pipe. That
+// single-owner rule is what keeps fd lifetime and the nonblocking
+// Transport calls race-free without per-connection locks.
+//
+// Per wakeup the loop:
+//   1. retries connections whose outbound bytes stayed staged (socket
+//      full or a fault-injected delay hold) — timer-driven at a few ms,
+//   2. re-reads connections that hit the per-wakeup frame budget (the
+//      decoder may hold complete frames that will never re-signal the
+//      level-triggered fd),
+//   3. processes poller events: wakeup pipe (adopted connections +
+//      completed dispatches), external fds (the TCP listener), and
+//      connection readability.
+//
+// Admission inside the loop: a request arriving while the connection
+// already has max_inflight_per_connection dispatches outstanding is
+// answered immediately with a kOverloaded envelope built on the loop
+// thread — no handler runs, and the shed response is never cached, so a
+// later retransmit can succeed once load drains. A connection whose
+// staged outbound bytes exceed max_pending_bytes_per_connection stops
+// being polled for readability until the backlog drains (backpressure
+// instead of unbounded buffering).
+//
+// Requests on one connection pipeline naturally: every decoded frame is
+// dispatched as its own pool task, and responses go out in completion
+// order — the request-id envelope (net/session.hpp) lets the client match
+// them out of order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "net/poller.hpp"
+#include "net/session.hpp"
+#include "net/transport.hpp"
+#include "obs/histogram.hpp"
+
+namespace smatch {
+
+/// Per-connection limits an IoLoop enforces (NetServer copies these out
+/// of its ServerConfig).
+struct IoLoopOptions {
+  std::size_t max_inflight_per_connection = 64;
+  std::size_t max_pending_bytes_per_connection = 4u << 20;
+  std::size_t replay_cache_capacity = 128;
+  bool force_poll_fallback = false;
+};
+
+class IoLoop {
+ public:
+  /// `dispatcher` and `pool` must outlive the loop; `active` is the
+  /// server-wide connection count this loop decrements as it closes
+  /// connections.
+  IoLoop(const FrameDispatcher& dispatcher, ThreadPool& pool, IoLoopOptions opts,
+         std::atomic<std::size_t>& active);
+  ~IoLoop();
+
+  IoLoop(const IoLoop&) = delete;
+  IoLoop& operator=(const IoLoop&) = delete;
+
+  /// Watches an external readable fd (the TCP listener); `on_ready` runs
+  /// on the loop thread whenever it signals. Call before start().
+  void watch_external(int fd, std::function<void()> on_ready);
+
+  void start();
+  void request_stop();
+  void join();
+
+  /// Hands the loop a connection (thread-safe). The transport must have a
+  /// pollable_fd(); ownership transfers unconditionally — a stopped loop
+  /// closes it and releases its slot in `active`.
+  void adopt(std::unique_ptr<Transport> conn);
+
+  /// Connections currently registered on this loop.
+  [[nodiscard]] std::size_t connections() const {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    std::unique_ptr<Transport> transport;
+    SessionState session;
+    std::atomic<std::size_t> inflight{0};
+    bool read_armed = true;  // loop thread only
+
+    Conn(std::uint64_t id_in, std::unique_ptr<Transport> t, std::size_t replay_cap)
+        : id(id_in), transport(std::move(t)), session(replay_cap) {}
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    MessageKind kind = MessageKind::kOther;
+    Bytes response;
+  };
+
+  void run();
+  void notify();  // pokes the wakeup pipe (any thread)
+  void register_conn(std::unique_ptr<Transport> transport);
+  void read_conn(const std::shared_ptr<Conn>& conn);
+  void handle_frame(const std::shared_ptr<Conn>& conn, Frame frame);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  /// Pool-thread entry: queues a finished response for the loop.
+  void complete(std::uint64_t conn_id, MessageKind kind, Bytes response);
+  /// Sends (or stages) bytes and books the flush-retry set; false when
+  /// the connection died.
+  bool send_or_stage(const std::shared_ptr<Conn>& conn, MessageKind kind,
+                     BytesView response);
+  /// Re-arms / disarms POLLIN from the staged-byte backpressure budget.
+  void update_read_interest(const std::shared_ptr<Conn>& conn);
+
+  const FrameDispatcher& dispatcher_;
+  ThreadPool& pool_;
+  const IoLoopOptions opts_;
+  std::atomic<std::size_t>& active_;
+
+  Poller poller_;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> conn_count_{0};
+
+  // Cross-thread inboxes, drained by the loop on wakeup.
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Transport>> inbox_;
+  std::vector<Completion> completions_;
+
+  // Loop-thread state.
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::unordered_set<std::uint64_t> flush_pending_;  // staged bytes to retry
+  std::unordered_set<std::uint64_t> read_again_;     // frame budget hit
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> externals_;
+
+  // Cached registry handles.
+  std::atomic<std::int64_t>* conn_gauge_ = nullptr;
+  std::atomic<std::int64_t>* inflight_gauge_ = nullptr;
+  std::atomic<std::uint64_t>* shed_requests_ = nullptr;
+  obs::Histogram* wakeup_hist_ = nullptr;
+};
+
+}  // namespace smatch

@@ -29,7 +29,9 @@ namespace smatch {
 struct FaultSpec {
   double drop = 0.0;     // frame silently discarded
   double corrupt = 0.0;  // one random byte of the encoded frame flipped
-  double delay = 0.0;    // send sleeps for delay_ms first
+  double delay = 0.0;    // blocking send sleeps delay_ms; nonblocking
+                         // send_some stages the bytes and holds them
+                         // until the deadline (kWouldBlock meanwhile)
   double reorder = 0.0;  // frame held back and sent after the next one
   std::chrono::milliseconds delay_ms{5};
   std::uint64_t seed = 1;

@@ -1,11 +1,36 @@
 #include "net/inproc_transport.hpp"
 
+#include <algorithm>
+#include <fcntl.h>
 #include <thread>
+#include <unistd.h>
 
 #include "net/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace smatch {
+
+InProcTransport::Core::~Core() {
+  for (int* p : {client_pipe, server_pipe}) {
+    if (p[0] >= 0) ::close(p[0]);
+    if (p[1] >= 0) ::close(p[1]);
+  }
+}
+
+void InProcTransport::Core::notify_locked(bool client_end) {
+  int* p = client_end ? client_pipe : server_pipe;
+  if (p[1] < 0) return;
+  const std::uint8_t byte = 1;
+  (void)::write(p[1], &byte, 1);  // EAGAIN on a full pipe: already readable
+}
+
+void InProcTransport::Core::drain_locked(bool client_end) {
+  int* p = client_end ? client_pipe : server_pipe;
+  if (p[0] < 0) return;
+  std::uint8_t buf[256];
+  while (::read(p[0], buf, sizeof buf) > 0) {
+  }
+}
 
 std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>>
 InProcTransport::make_pair(SimChannel* sim) {
@@ -58,6 +83,7 @@ Status InProcTransport::send(MessageKind kind, BytesView payload,
   auto& queue = is_client_ ? core_->to_server : core_->to_client;
   for (auto& f : to_deliver) queue.push_back(std::move(f));
   core_->cv.notify_all();
+  core_->notify_locked(/*client_end=*/!is_client_);
   return Status::ok();
 }
 
@@ -105,7 +131,136 @@ Status InProcTransport::close() {
   std::lock_guard lk(core_->mu);
   (is_client_ ? core_->client_closed : core_->server_closed) = true;
   core_->cv.notify_all();
+  // Both ends must wake: the peer to observe the reset, this end so a
+  // poller blocked on our own pipe re-evaluates the connection.
+  core_->notify_locked(/*client_end=*/true);
+  core_->notify_locked(/*client_end=*/false);
   return Status::ok();
 }
+
+int InProcTransport::pollable_fd() const {
+  std::lock_guard lk(core_->mu);
+  int* p = is_client_ ? core_->client_pipe : core_->server_pipe;
+  if (p[0] < 0) {
+    if (::pipe2(p, O_NONBLOCK | O_CLOEXEC) != 0) return -1;
+    // Frames queued (or a close flagged) before the pipe existed never
+    // wrote a notify byte — seed one so the first poll sees them.
+    const auto& queue = is_client_ ? core_->to_client : core_->to_server;
+    if (!queue.empty() || core_->client_closed || core_->server_closed) {
+      core_->notify_locked(is_client_);
+    }
+  }
+  return p[0];
+}
+
+StatusOr<Frame> InProcTransport::recv_some() {
+  for (;;) {
+    // Hand out anything the decoder already holds before touching queues.
+    for (;;) {
+      StatusOr<std::optional<Frame>> frame = decoder_.next();
+      if (!frame.is_ok()) {
+        if (frame.code() == StatusCode::kMalformedMessage) {
+          note_crc_drop();
+          continue;  // skip the bad frame, stay in sync
+        }
+        return frame.status();
+      }
+      if (frame->has_value()) {
+        note_received((**frame).kind, (**frame).payload.size());
+        return std::move(**frame);
+      }
+      break;  // need more bytes
+    }
+
+    std::unique_lock lk(core_->mu);
+    // Drain notify bytes while holding mu: any enqueue after the unlock
+    // writes a fresh byte, so readiness is never silently lost.
+    core_->drain_locked(is_client_);
+    auto& queue = is_client_ ? core_->to_client : core_->to_server;
+    if (!queue.empty()) {
+      const Bytes framed = std::move(queue.front());
+      queue.pop_front();
+      lk.unlock();
+      decoder_.feed(framed);
+      continue;
+    }
+    if (core_->client_closed || core_->server_closed) {
+      return Status(StatusCode::kConnectionReset, "in-proc peer closed");
+    }
+    return Status(StatusCode::kWouldBlock, "no complete frame ready");
+  }
+}
+
+Status InProcTransport::send_some(MessageKind kind, BytesView payload) {
+  SMATCH_SPAN("net.send");
+  if (payload.size() > kMaxFramePayload) {
+    return {StatusCode::kMalformedMessage, "payload exceeds frame limit"};
+  }
+  Bytes framed = encode_frame(kind, payload);
+  note_sent(kind, payload.size());
+
+  std::vector<Bytes> to_deliver;
+  std::chrono::milliseconds delay{0};
+  if (faults_ != nullptr) {
+    to_deliver = faults_->on_send(std::move(framed), &delay);
+  } else {
+    to_deliver.push_back(std::move(framed));
+  }
+
+  {
+    std::lock_guard lk(core_->mu);
+    const bool peer_closed = is_client_ ? core_->server_closed : core_->client_closed;
+    const bool self_closed = is_client_ ? core_->client_closed : core_->server_closed;
+    if (peer_closed || self_closed) {
+      return {StatusCode::kConnectionReset, "in-proc peer closed"};
+    }
+    // Sim byte accounting happens at send time (the attempt occupies the
+    // link) exactly like the blocking path, even if a delay fault holds
+    // the frames back.
+    if (core_->sim != nullptr) {
+      if (is_client_) {
+        (void)core_->sim->send_to_server(payload, kind);
+      } else {
+        (void)core_->sim->send_to_client(payload, kind);
+      }
+    }
+  }
+
+  // A delay fault must not stall the event loop: hold the staged frames
+  // until the deadline instead of sleeping. In-order delivery means later
+  // frames wait behind the held ones, like a slow link.
+  if (delay.count() > 0) {
+    hold_until_ = std::max(hold_until_, std::chrono::steady_clock::now() + delay);
+  }
+  for (auto& f : to_deliver) {
+    staged_bytes_ += f.size();
+    staged_.push_back(std::move(f));
+  }
+  return flush_staged();
+}
+
+Status InProcTransport::flush_some() { return flush_staged(); }
+
+Status InProcTransport::flush_staged() {
+  if (staged_.empty()) return Status::ok();
+  if (std::chrono::steady_clock::now() < hold_until_) {
+    return {StatusCode::kWouldBlock, "frames held by injected delay"};
+  }
+  std::lock_guard lk(core_->mu);
+  const bool peer_closed = is_client_ ? core_->server_closed : core_->client_closed;
+  const bool self_closed = is_client_ ? core_->client_closed : core_->server_closed;
+  if (peer_closed || self_closed) {
+    return {StatusCode::kConnectionReset, "in-proc peer closed"};
+  }
+  auto& queue = is_client_ ? core_->to_server : core_->to_client;
+  for (auto& f : staged_) queue.push_back(std::move(f));
+  staged_.clear();
+  staged_bytes_ = 0;
+  core_->cv.notify_all();
+  core_->notify_locked(/*client_end=*/!is_client_);
+  return Status::ok();
+}
+
+std::size_t InProcTransport::pending_out_bytes() const { return staged_bytes_; }
 
 }  // namespace smatch

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "net/transport.hpp"
 
@@ -40,6 +41,17 @@ class InProcTransport final : public Transport {
   StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
   Status close() override;
 
+  // Readiness mode: each endpoint lazily owns a self-pipe whose read end
+  // is the pollable handle. Producers write a notify byte under the same
+  // mutex that guards the frame queues, so a wakeup can never be lost
+  // between "queue checked empty" and "poll started". Delay faults hold
+  // staged frames until the deadline instead of sleeping the loop thread.
+  [[nodiscard]] int pollable_fd() const override;
+  StatusOr<Frame> recv_some() override;
+  Status send_some(MessageKind kind, BytesView payload) override;
+  Status flush_some() override;
+  [[nodiscard]] std::size_t pending_out_bytes() const override;
+
  private:
   /// State shared by the two endpoints of one connection.
   struct Core {
@@ -50,13 +62,36 @@ class InProcTransport final : public Transport {
     bool client_closed = false;
     bool server_closed = false;
     SimChannel* sim = nullptr;
+    // Per-endpoint readiness self-pipes {read, write}, created lazily by
+    // pollable_fd(); -1 while the endpoint never asked for readiness.
+    int client_pipe[2] = {-1, -1};
+    int server_pipe[2] = {-1, -1};
+
+    ~Core();
+    /// Writes one notify byte to an endpoint's pipe (no-op while the pipe
+    /// does not exist or is full — full means already readable). Caller
+    /// holds mu.
+    void notify_locked(bool client_end);
+    /// Consumes buffered notify bytes from an endpoint's pipe. Caller
+    /// holds mu, so a concurrent producer's byte lands after the drain.
+    void drain_locked(bool client_end);
   };
 
   InProcTransport(std::shared_ptr<Core> core, bool is_client);
 
+  /// Moves staged frames into the peer's queue once any delay-fault hold
+  /// expired. Ok when nothing stays staged.
+  Status flush_staged();
+
   std::shared_ptr<Core> core_;
   bool is_client_;
   FrameDecoder decoder_;  // reassembles frames popped from the queue
+
+  // Nonblocking-send staging (only the owning loop thread touches these,
+  // per the readiness-mode single-thread contract).
+  std::vector<Bytes> staged_;
+  std::size_t staged_bytes_ = 0;
+  std::chrono::steady_clock::time_point hold_until_{};
 };
 
 }  // namespace smatch

@@ -1,0 +1,159 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define SMATCH_HAVE_EPOLL 1
+#else
+#define SMATCH_HAVE_EPOLL 0
+#endif
+
+namespace smatch {
+
+namespace {
+
+Status poller_errno(const char* op) {
+  return {StatusCode::kMalformedMessage,
+          std::string(op) + ": " + std::strerror(errno)};
+}
+
+#if SMATCH_HAVE_EPOLL
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;  // level-triggered by default; EPOLLHUP/ERR always reported
+}
+#endif
+
+short poll_mask(bool want_read, bool want_write) {
+  short ev = 0;
+  if (want_read) ev |= POLLIN;
+  if (want_write) ev |= POLLOUT;
+  return ev;
+}
+
+}  // namespace
+
+Poller::Poller(bool force_poll_fallback) {
+#if SMATCH_HAVE_EPOLL
+  if (!force_poll_fallback) {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);  // -1 on failure → fallback
+  }
+#else
+  (void)force_poll_fallback;
+#endif
+}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+Status Poller::add(int fd, std::uint64_t key, bool want_read, bool want_write) {
+#if SMATCH_HAVE_EPOLL
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = key;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return poller_errno("epoll_ctl(ADD)");
+    }
+    return Status::ok();
+  }
+#endif
+  regs_.push_back({fd, key, poll_mask(want_read, want_write)});
+  return Status::ok();
+}
+
+Status Poller::modify(int fd, std::uint64_t key, bool want_read, bool want_write) {
+#if SMATCH_HAVE_EPOLL
+  if (epfd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.u64 = key;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return poller_errno("epoll_ctl(MOD)");
+    }
+    return Status::ok();
+  }
+#endif
+  for (Reg& r : regs_) {
+    if (r.fd == fd) {
+      r.key = key;
+      r.events = poll_mask(want_read, want_write);
+      return Status::ok();
+    }
+  }
+  return {StatusCode::kMalformedMessage, "modify of unregistered fd"};
+}
+
+void Poller::remove(int fd) {
+#if SMATCH_HAVE_EPOLL
+  if (epfd_ >= 0) {
+    epoll_event ev{};  // ignored since Linux 2.6.9, required pre-2.6.9
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    if (regs_[i].fd == fd) {
+      regs_[i] = regs_.back();
+      regs_.pop_back();
+      return;
+    }
+  }
+}
+
+StatusOr<std::size_t> Poller::wait(std::vector<PollEvent>& out, int timeout_ms) {
+  out.clear();
+#if SMATCH_HAVE_EPOLL
+  if (epfd_ >= 0) {
+    epoll_event events[128];
+    for (;;) {
+      const int n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return poller_errno("epoll_wait");
+      }
+      out.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        PollEvent pe;
+        pe.key = events[i].data.u64;
+        pe.readable = (events[i].events & EPOLLIN) != 0;
+        pe.writable = (events[i].events & EPOLLOUT) != 0;
+        pe.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        out.push_back(pe);
+      }
+      return out.size();
+    }
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(regs_.size());
+  for (const Reg& r : regs_) pfds.push_back({r.fd, r.events, 0});
+  for (;;) {
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return poller_errno("poll");
+    }
+    if (n == 0) return std::size_t{0};
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      const short re = pfds[i].revents;
+      if (re == 0) continue;
+      PollEvent pe;
+      pe.key = regs_[i].key;
+      pe.readable = (re & POLLIN) != 0;
+      pe.writable = (re & POLLOUT) != 0;
+      pe.hangup = (re & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out.push_back(pe);
+    }
+    return out.size();
+  }
+}
+
+}  // namespace smatch

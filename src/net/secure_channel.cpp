@@ -114,6 +114,20 @@ StatusOr<Frame> SecureTransport::recv(std::chrono::milliseconds timeout) {
   return Frame{sealed->kind, std::move(*plaintext)};
 }
 
+StatusOr<Frame> SecureTransport::recv_some() {
+  StatusOr<Frame> sealed = inner_->recv_some();
+  if (!sealed.is_ok()) return sealed;  // kWouldBlock passes through untouched
+  StatusOr<Bytes> plaintext = receiver_.open(sealed->payload);
+  if (!plaintext.is_ok()) return plaintext.status();
+  note_received(sealed->kind, plaintext->size());
+  return Frame{sealed->kind, std::move(*plaintext)};
+}
+
+Status SecureTransport::send_some(MessageKind kind, BytesView payload) {
+  note_sent(kind, payload.size());
+  return inner_->send_some(kind, sender_.seal(payload, rng_));
+}
+
 Status SecureTransport::close() { return inner_->close(); }
 
 }  // namespace smatch

@@ -103,6 +103,17 @@ class SecureTransport final : public Transport {
   StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
   Status close() override;
 
+  // Readiness mode: the inner transport supplies the pollable handle and
+  // the nonblocking byte movement; this layer just seals / opens payloads
+  // at the frame boundary.
+  [[nodiscard]] int pollable_fd() const override { return inner_->pollable_fd(); }
+  StatusOr<Frame> recv_some() override;
+  Status send_some(MessageKind kind, BytesView payload) override;
+  Status flush_some() override { return inner_->flush_some(); }
+  [[nodiscard]] std::size_t pending_out_bytes() const override {
+    return inner_->pending_out_bytes();
+  }
+
   [[nodiscard]] Transport& inner() { return *inner_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/registry.hpp"
@@ -7,109 +8,156 @@
 namespace smatch {
 
 namespace {
-constexpr std::chrono::milliseconds kPollInterval{50};
+
+void bump(const char* name) {
+  obs::Registry::global().counter(name)->fetch_add(1, std::memory_order_relaxed);
 }
 
+}  // namespace
+
+NetServer::NetServer(FrameDispatcher dispatcher)
+    : dispatcher_(std::move(dispatcher)) {}
+
 NetServer::NetServer(FrameDispatcher dispatcher, std::size_t workers)
-    : dispatcher_(std::move(dispatcher)),
-      workers_(workers == 0 ? 1 : workers),
-      pool_(workers_ + 1) {}
+    : dispatcher_(std::move(dispatcher)), legacy_workers_(workers) {}
 
 NetServer::~NetServer() { stop(); }
 
+Status NetServer::start(const ServerConfig& config) {
+  std::lock_guard lk(mu_);
+  return start_locked(config);
+}
+
 Status NetServer::start(std::uint16_t port) {
-  StatusOr<TcpListener> listener = TcpListener::bind(port);
-  if (!listener.is_ok()) return listener.status();
-  port_ = listener->port();
-  listener_.emplace(std::move(*listener));
-  launch();
+  ServerConfig config;
+  config.tcp_port = port;
+  if (legacy_workers_ > 0) config.dispatch_workers = legacy_workers_;
+  return start(config);
+}
+
+Status NetServer::start_locked(const ServerConfig& config) {
+  if (started_) {
+    return {StatusCode::kMalformedMessage, "NetServer already started"};
+  }
+  config_ = config;
+  config_.io_threads = std::max<std::size_t>(1, config_.io_threads);
+  config_.dispatch_workers = std::max<std::size_t>(1, config_.dispatch_workers);
+  config_.max_connections = std::max<std::size_t>(1, config_.max_connections);
+  config_.max_inflight_per_connection =
+      std::max<std::size_t>(1, config_.max_inflight_per_connection);
+
+  if (config_.tcp_port.has_value()) {
+    StatusOr<TcpListener> listener = TcpListener::bind(*config_.tcp_port);
+    if (!listener.is_ok()) return listener.status();
+    port_ = listener->port();
+    listener_.emplace(std::move(*listener));
+  }
+
+  // ThreadPool(n) spawns n-1 workers (the caller participates in
+  // parallel_for); submit()-only usage wants dispatch_workers real ones.
+  pool_ = std::make_unique<ThreadPool>(config_.dispatch_workers + 1);
+
+  IoLoopOptions opts;
+  opts.max_inflight_per_connection = config_.max_inflight_per_connection;
+  opts.max_pending_bytes_per_connection = config_.max_pending_bytes_per_connection;
+  opts.replay_cache_capacity = config_.replay_cache_capacity;
+  opts.force_poll_fallback = config_.force_poll_fallback;
+  loops_.reserve(config_.io_threads);
+  for (std::size_t i = 0; i < config_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<IoLoop>(dispatcher_, *pool_, opts, active_));
+  }
+  // Loop 0 owns accept readiness; accepted connections still shard
+  // round-robin across every loop.
+  if (listener_.has_value()) {
+    loops_[0]->watch_external(listener_->fd(), [this] { handle_accept(); });
+  }
+  for (auto& loop : loops_) loop->start();
+  started_ = true;
   return Status::ok();
 }
 
-void NetServer::attach(std::unique_ptr<Transport> connection) {
-  launch();
-  {
-    std::lock_guard lk(mu_);
-    pending_.push_back(std::move(connection));
-  }
-  pending_cv_.notify_one();
-}
-
-void NetServer::launch() {
+void NetServer::ensure_started() {
   std::lock_guard lk(mu_);
-  if (launched_) return;
-  launched_ = true;
-  // The runner hosts the blocking parallel_for; with workers_+1 pool
-  // threads and workers_+1 indices, every loop gets its own thread.
-  runner_ = std::thread([this] {
-    pool_.parallel_for(workers_ + 1, [this](std::size_t i) {
-      if (i == 0) {
-        accept_loop();
-      } else {
-        worker_loop();
-      }
-    });
-  });
+  if (started_) return;
+  ServerConfig config;  // TCP-less defaults for legacy attach()-only use
+  if (legacy_workers_ > 0) config.dispatch_workers = legacy_workers_;
+  (void)start_locked(config);
 }
 
-void NetServer::accept_loop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    if (!listener_.has_value()) {
-      // In-process-only server: nothing to accept, just idle until stop.
-      std::unique_lock lk(mu_);
-      pending_cv_.wait_for(lk, kPollInterval);
+bool NetServer::admit() {
+  std::size_t current = active_.load(std::memory_order_relaxed);
+  while (current < config_.max_connections) {
+    if (active_.compare_exchange_weak(current, current + 1,
+                                      std::memory_order_relaxed)) {
+      bump("smatch_net_connections_total");
+      return true;
+    }
+  }
+  bump("smatch_net_shed_connections_total");
+  return false;
+}
+
+void NetServer::route(std::unique_ptr<Transport> connection) {
+  if (connection->pollable_fd() >= 0) {
+    loops_[rr_.fetch_add(1, std::memory_order_relaxed) % loops_.size()]->adopt(
+        std::move(connection));
+    return;
+  }
+  // No readiness mode: serve with the blocking session loop on its own
+  // thread. The thread idles on recv(poll_interval) to re-check stop_.
+  std::lock_guard lk(mu_);
+  fallback_threads_.emplace_back(
+      [this, conn = std::shared_ptr<Transport>(std::move(connection))] {
+        (void)serve_connection(*conn, dispatcher_, stop_);
+        (void)conn->close();
+        active_.fetch_sub(1, std::memory_order_relaxed);
+      });
+}
+
+void NetServer::attach(std::unique_ptr<Transport> connection) {
+  ensure_started();
+  if (stop_.load(std::memory_order_relaxed)) {
+    (void)connection->close();
+    return;
+  }
+  if (!admit()) {
+    (void)connection->close();
+    return;
+  }
+  route(std::move(connection));
+}
+
+void NetServer::handle_accept() {
+  // Drain the backlog: accept(0ms) tries exactly one nonblocking accept.
+  for (;;) {
+    StatusOr<std::unique_ptr<TcpTransport>> conn =
+        listener_->accept(std::chrono::milliseconds{0});
+    if (!conn.is_ok()) return;  // kTimeout = would block; others retry later
+    if (!admit()) {
+      (void)(*conn)->close();  // shed: beyond max_connections
       continue;
     }
-    StatusOr<std::unique_ptr<TcpTransport>> conn = listener_->accept(kPollInterval);
-    if (!conn.is_ok()) continue;  // kTimeout: re-check stop and poll again
-    {
-      std::lock_guard lk(mu_);
-      pending_.push_back(std::move(*conn));
-    }
-    pending_cv_.notify_one();
-  }
-  // The accept loop owns the listening socket; closing it here (after the
-  // loop exits) keeps fd lifetime single-threaded.
-  if (listener_.has_value()) listener_->close();
-}
-
-void NetServer::worker_loop() {
-  while (true) {
-    std::unique_ptr<Transport> conn;
-    {
-      std::unique_lock lk(mu_);
-      pending_cv_.wait_for(lk, kPollInterval, [this] {
-        return !pending_.empty() || stop_.load(std::memory_order_relaxed);
-      });
-      if (stop_.load(std::memory_order_relaxed)) return;
-      if (pending_.empty()) continue;
-      conn = std::move(pending_.front());
-      pending_.pop_front();
-    }
-    active_.fetch_add(1, std::memory_order_relaxed);
-    obs::Registry::global()
-        .counter("smatch_net_connections_total")
-        ->fetch_add(1, std::memory_order_relaxed);
-    (void)serve_connection(*conn, dispatcher_, stop_, kPollInterval);
-    (void)conn->close();
-    active_.fetch_sub(1, std::memory_order_relaxed);
+    route(std::move(*conn));
   }
 }
 
 void NetServer::stop() {
   {
     std::lock_guard lk(mu_);
-    if (!launched_) return;
+    if (!started_) return;
   }
   stop_.store(true, std::memory_order_relaxed);
-  pending_cv_.notify_all();
-  if (runner_.joinable()) runner_.join();
-  // Connections that never got picked up are closed on this thread after
-  // every loop has joined — no concurrent owner remains.
-  std::lock_guard lk(mu_);
-  for (auto& conn : pending_) (void)conn->close();
-  pending_.clear();
-  launched_ = false;
+  for (auto& loop : loops_) loop->request_stop();
+  for (auto& loop : loops_) loop->join();
+  if (listener_.has_value()) listener_->close();
+  std::vector<std::thread> fallbacks;
+  {
+    std::lock_guard lk(mu_);
+    fallbacks.swap(fallback_threads_);
+  }
+  for (auto& t : fallbacks) {
+    if (t.joinable()) t.join();
+  }
 }
 
 }  // namespace smatch

@@ -1,90 +1,149 @@
-// Frame server: one listener plus N connection workers on a ThreadPool.
+// Frame server: N event-loop I/O threads + a dispatch thread pool.
 //
-// The server owns a FrameDispatcher and serves every connection with
-// serve_connection (net/session.hpp): each connection gets its own
-// replay cache, requests are answered in arrival order per connection,
-// and different connections run on different workers.
+// Connections are sharded round-robin across io_threads IoLoops
+// (net/event_loop.hpp); each loop multiplexes its share with a readiness
+// poller (epoll on Linux, poll fallback), so the process holds tens of
+// thousands of connections with a handful of threads — concurrency is no
+// longer bounded by a thread count. Decoded requests are dispatched as
+// individual ThreadPool tasks and responses are written back by the
+// owning loop in completion order; requests on one connection pipeline,
+// matched by the request-id envelope of net/session.hpp. Each connection
+// keeps its own LRU replay cache, so retransmits stay idempotent.
 //
-// Thread layout: the pool is sized to exactly workers + 1 threads and
-// driven by a single blocking parallel_for(workers + 1) — index 0 runs
-// the accept loop, indices 1..workers run connection workers. With that
-// sizing every loop index gets its own thread, so none of the infinite
-// loops ever share (or starve) a pool thread. A dedicated runner thread
-// hosts the parallel_for so start() returns immediately.
+// Admission control and backpressure are part of the API, not emergent
+// behaviour:
+//   * max_connections — a connection beyond the cap is closed at accept
+//     (smatch_net_shed_connections_total counts them);
+//   * max_inflight_per_connection — a request beyond the cap is answered
+//     with a kOverloaded envelope, no handler runs, the reply is not
+//     replay-cached (a retransmit after load drains succeeds);
+//   * max_pending_bytes_per_connection — a connection whose staged
+//     outbound bytes exceed the budget stops being read until it drains.
 //
-// Shutdown is cooperative and TSan-clean: stop() only flips an atomic
-// that every loop polls between short timeouts; sockets are closed by
-// the thread that owns them after its loop exits, never from another
-// thread.
+// Shutdown is cooperative and TSan-clean: loops are asked to stop and
+// joined; every connection fd is closed by the loop thread that owns it,
+// never from another thread.
 //
 // Two ways in:
-//   * start(port) — bind a TCP listener on 127.0.0.1 (port 0 picks an
-//     ephemeral port, read it back with port()).
+//   * start(ServerConfig{.tcp_port = p}) — bind a TCP listener on
+//     127.0.0.1 (port 0 picks an ephemeral port, read it back with
+//     port()).
 //   * attach(transport) — hand the server one end of an in-process
-//     transport pair (net/inproc_transport.hpp); it is served by the
-//     same workers and dispatcher as a TCP connection.
+//     transport pair (net/inproc_transport.hpp); it is sharded onto the
+//     same loops as a TCP connection (or a dedicated blocking thread if
+//     the transport has no readiness mode).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "common/thread_pool.hpp"
+#include "net/event_loop.hpp"
 #include "net/session.hpp"
 #include "net/tcp_transport.hpp"
 
 namespace smatch {
 
+/// Everything a NetServer needs to know, in one place. Field-by-field
+/// defaults are serviceable for tests; benchmarks and deployments size
+/// io_threads / dispatch_workers / the admission caps explicitly.
+struct ServerConfig {
+  /// Bind 127.0.0.1:*tcp_port when set (0 = ephemeral); nullopt serves
+  /// attach()ed connections only.
+  std::optional<std::uint16_t> tcp_port;
+
+  std::size_t io_threads = 1;        ///< event-loop threads (connections shard)
+  std::size_t dispatch_workers = 2;  ///< ThreadPool threads running handlers
+
+  // Admission control / backpressure.
+  std::size_t max_connections = 16384;
+  std::size_t max_inflight_per_connection = 64;
+  std::size_t max_pending_bytes_per_connection = 4u << 20;  // 4 MiB
+
+  /// Per-connection replay-cache entries (LRU-evicted).
+  std::size_t replay_cache_capacity = 128;
+
+  /// Skip epoll even where it exists — exercises the poll(2) fallback.
+  bool force_poll_fallback = false;
+};
+
 class NetServer {
  public:
-  /// `workers` = concurrent connections served; total threads used is
-  /// workers + 1 (the listener) + 1 (the runner hosting the pool).
-  explicit NetServer(FrameDispatcher dispatcher, std::size_t workers = 2);
+  explicit NetServer(FrameDispatcher dispatcher);
+
+  /// Deprecated: use NetServer(dispatcher) + start(ServerConfig).
+  /// `workers` maps to ServerConfig::dispatch_workers (it never bounded
+  /// concurrent connections under the event-loop design). Kept one PR as
+  /// a migration shim.
+  NetServer(FrameDispatcher dispatcher, std::size_t workers);
+
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Binds 127.0.0.1:`port` and starts serving. Call at most once.
+  /// Binds (when configured) and starts the loops. Call at most once.
+  [[nodiscard]] Status start(const ServerConfig& config);
+
+  /// Deprecated: start(ServerConfig{.tcp_port = port}) with the legacy
+  /// constructor's worker count. Kept one PR as a migration shim.
   [[nodiscard]] Status start(std::uint16_t port);
 
-  /// The bound TCP port (0 until start() succeeded).
+  /// The bound TCP port (0 until a start() with tcp_port succeeded).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Enqueues an in-process connection for the worker pool. Lazily
-  /// launches the loops, so a TCP-less server works too.
+  /// Hands the server one end of a connection. Lazily starts with a
+  /// default TCP-less config if start() was never called. Connections
+  /// beyond max_connections are shed (closed immediately).
   void attach(std::unique_ptr<Transport> connection);
 
   /// Stops every loop and joins. Idempotent; also run by the destructor.
   void stop();
 
-  /// Connections currently being served.
+  /// Connections currently admitted (across all loops and fallbacks).
   [[nodiscard]] std::size_t active_connections() const {
     return active_.load(std::memory_order_relaxed);
   }
 
+  /// The config start() ran with (defaults until then).
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
  private:
-  void launch();       // starts the runner once
-  void accept_loop();  // pool index 0
-  void worker_loop();  // pool indices 1..workers
+  [[nodiscard]] Status start_locked(const ServerConfig& config);
+  void ensure_started();
+  /// Claims an admission slot; false (and a shed tick) at the cap.
+  [[nodiscard]] bool admit();
+  /// Routes an admitted connection to a loop or a fallback thread.
+  void route(std::unique_ptr<Transport> connection);
+  /// Loop-0 callback: accepts until the listener would block.
+  void handle_accept();
 
   FrameDispatcher dispatcher_;
-  std::size_t workers_;
-  ThreadPool pool_;
-  std::thread runner_;
-  bool launched_ = false;  // guarded by mu_
+  ServerConfig config_;
+  std::size_t legacy_workers_ = 0;  // deprecated-ctor value for start(port)
+
+  std::mutex mu_;
+  bool started_ = false;  // guarded by mu_
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> rr_{0};  // round-robin shard cursor
 
   std::optional<TcpListener> listener_;
   std::uint16_t port_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable pending_cv_;
-  std::deque<std::unique_ptr<Transport>> pending_;
+  // Declaration order is destruction order in reverse: the pool dies
+  // before the loops, so in-flight dispatch tasks can still hand their
+  // completions to live IoLoop objects while draining.
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Transports without a readiness mode get one blocking thread each.
+  std::vector<std::thread> fallback_threads_;  // guarded by mu_
 };
 
 }  // namespace smatch

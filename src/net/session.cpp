@@ -20,10 +20,10 @@ void bump(const char* name) {
 constexpr std::uint8_t kEnvelopeRequest = 0;
 constexpr std::uint8_t kEnvelopeResponse = 1;
 
-/// Serializes a response envelope for `request_id` carrying only an error
-/// status — the shape dispatch() uses for every failure path.
-Bytes error_response(std::uint64_t request_id, StatusCode code,
-                     const std::string& message) {
+}  // namespace
+
+Bytes make_error_envelope(std::uint64_t request_id, StatusCode code,
+                          const std::string& message) {
   Envelope e;
   e.is_response = true;
   e.request_id = request_id;
@@ -31,8 +31,6 @@ Bytes error_response(std::uint64_t request_id, StatusCode code,
   e.body.assign(message.begin(), message.end());
   return e.serialize();
 }
-
-}  // namespace
 
 Bytes Envelope::serialize() const {
   Writer w;
@@ -55,7 +53,7 @@ StatusOr<Envelope> Envelope::parse(BytesView data) {
     e.request_id = r.u64();
     if (e.is_response) {
       const std::uint8_t code = r.u8();
-      if (code > static_cast<std::uint8_t>(StatusCode::kRetriesExhausted)) {
+      if (code > static_cast<std::uint8_t>(kMaxWireStatusCode)) {
         throw SerdeError("unknown status code");
       }
       e.status = static_cast<StatusCode>(code);
@@ -165,19 +163,31 @@ StatusOr<Bytes> SessionClient::call(MessageKind kind, BytesView body) {
                     " attempts (last: " + last.message() + ")");
 }
 
-const Bytes* SessionState::lookup(std::uint64_t id) const {
+std::optional<Bytes> SessionState::lookup(std::uint64_t id) {
+  std::lock_guard lk(mu_);
   const auto it = responses_.find(id);
-  return it == responses_.end() ? nullptr : &it->second;
+  if (it == responses_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
 }
 
 void SessionState::remember(std::uint64_t id, Bytes response) {
+  std::lock_guard lk(mu_);
   if (responses_.count(id) != 0) return;
-  if (order_.size() >= capacity_) {
-    responses_.erase(order_.front());
-    order_.pop_front();
+  if (capacity_ == 0) return;
+  if (lru_.size() >= capacity_) {
+    responses_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    bump("smatch_net_replay_evictions_total");
   }
-  order_.push_back(id);
-  responses_.emplace(id, std::move(response));
+  lru_.emplace_front(id, std::move(response));
+  responses_.emplace(id, lru_.begin());
+}
+
+std::uint64_t SessionState::evictions() const {
+  std::lock_guard lk(mu_);
+  return evictions_;
 }
 
 void FrameDispatcher::register_handler(MessageKind kind, Handler handler) {
@@ -193,23 +203,23 @@ Bytes FrameDispatcher::dispatch(MessageKind kind, BytesView frame_payload,
   if (!request.is_ok()) {
     // Unparseable envelope: no request id to echo. Id 0 is never issued
     // by SessionClient, so the caller can't confuse this with a reply.
-    return error_response(0, StatusCode::kMalformedMessage,
-                          request.status().message());
+    return make_error_envelope(0, StatusCode::kMalformedMessage,
+                               request.status().message());
   }
   if (request->is_response) {
-    return error_response(request->request_id, StatusCode::kMalformedMessage,
-                          "server received a response envelope");
+    return make_error_envelope(request->request_id, StatusCode::kMalformedMessage,
+                               "server received a response envelope");
   }
-  if (const Bytes* cached = session.lookup(request->request_id)) {
+  if (std::optional<Bytes> cached = session.lookup(request->request_id)) {
     bump("smatch_net_replays_served_total");
-    return *cached;
+    return std::move(*cached);
   }
 
   const Handler& handler = handlers_[static_cast<std::size_t>(kind)];
   Bytes response;
   if (!handler) {
-    response = error_response(request->request_id, StatusCode::kMalformedMessage,
-                              "no handler for message kind");
+    response = make_error_envelope(request->request_id, StatusCode::kMalformedMessage,
+                                   "no handler for message kind");
   } else if (StatusOr<Bytes> result = handler(request->body); result.is_ok()) {
     Envelope e;
     e.is_response = true;
@@ -218,8 +228,8 @@ Bytes FrameDispatcher::dispatch(MessageKind kind, BytesView frame_payload,
     e.body = std::move(*result);
     response = e.serialize();
   } else {
-    response = error_response(request->request_id, result.code(),
-                              result.status().message());
+    response = make_error_envelope(request->request_id, result.code(),
+                                   result.status().message());
   }
   session.remember(request->request_id, response);
   return response;

@@ -26,9 +26,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -95,20 +97,41 @@ class SessionClient {
   SessionStats stats_;
 };
 
-/// Bounded per-connection replay cache: request_id -> serialized response.
+/// Bounded per-connection replay cache: request_id -> serialized response,
+/// evicting least-recently-used entries at capacity (a hit refreshes the
+/// entry, so an id a slow client keeps retransmitting stays cached while
+/// long-acknowledged ones age out). Evictions land in the
+/// smatch_net_replay_evictions_total counter. Thread-safe: the event loop
+/// probes the cache while pool workers remember completions.
 class SessionState {
  public:
   explicit SessionState(std::size_t capacity = 128) : capacity_(capacity) {}
 
-  /// The cached response for `id`, or nullptr.
-  [[nodiscard]] const Bytes* lookup(std::uint64_t id) const;
+  /// A copy of the cached response for `id` (copy, not pointer: the entry
+  /// may be evicted by a concurrent remember() the moment the lock drops).
+  /// A hit marks the entry most-recently-used.
+  [[nodiscard]] std::optional<Bytes> lookup(std::uint64_t id);
   void remember(std::uint64_t id, Bytes response);
+
+  /// Entries evicted to make room (monotone).
+  [[nodiscard]] std::uint64_t evictions() const;
 
  private:
   std::size_t capacity_;
-  std::map<std::uint64_t, Bytes> responses_;
-  std::deque<std::uint64_t> order_;
+  mutable std::mutex mu_;
+  // MRU at the front; responses_ maps id -> position in lru_.
+  std::list<std::pair<std::uint64_t, Bytes>> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::pair<std::uint64_t, Bytes>>::iterator>
+      responses_;
+  std::uint64_t evictions_ = 0;
 };
+
+/// Serializes a response envelope for `request_id` carrying only an error
+/// status — the shape every failure path uses (dispatch errors, and the
+/// server's kOverloaded load-shedding replies, which are built on the
+/// event-loop thread without running any handler).
+[[nodiscard]] Bytes make_error_envelope(std::uint64_t request_id, StatusCode code,
+                                        const std::string& message);
 
 /// Routes request envelopes to per-kind handlers and produces response
 /// envelopes. Shared by every connection of a server; handler

@@ -1,6 +1,7 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
@@ -203,6 +204,114 @@ StatusOr<Frame> TcpTransport::recv(std::chrono::milliseconds timeout) {
   }
 }
 
+StatusOr<Frame> TcpTransport::recv_some() {
+  if (fd_ < 0) return Status(StatusCode::kConnectionReset, "transport closed");
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    // Hand out anything the decoder already holds before reading more.
+    for (;;) {
+      StatusOr<std::optional<Frame>> frame = decoder_.next();
+      if (!frame.is_ok()) {
+        if (frame.code() == StatusCode::kMalformedMessage) {
+          note_crc_drop();
+          continue;  // CRC-failed frame skipped; stream is still in sync
+        }
+        return frame.status();  // unframeable: connection is unusable
+      }
+      if (frame->has_value()) {
+        note_received((**frame).kind, (**frame).payload.size());
+        return std::move(**frame);
+      }
+      break;
+    }
+
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      decoder_.feed(BytesView(chunk, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status(StatusCode::kConnectionReset, "peer closed connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kWouldBlock, "no complete frame ready");
+    }
+    if (errno == EINTR) continue;
+    return errno_status("recv");
+  }
+}
+
+Status TcpTransport::send_some(MessageKind kind, BytesView payload) {
+  SMATCH_SPAN("net.send");
+  if (fd_ < 0) return {StatusCode::kConnectionReset, "transport closed"};
+  if (payload.size() > kMaxFramePayload) {
+    return {StatusCode::kMalformedMessage, "payload exceeds frame limit"};
+  }
+  Bytes framed = encode_frame(kind, payload);
+  note_sent(kind, payload.size());
+
+  std::vector<Bytes> to_write;
+  std::chrono::milliseconds delay{0};
+  if (faults_ != nullptr) {
+    to_write = faults_->on_send(std::move(framed), &delay);
+  } else {
+    to_write.push_back(std::move(framed));
+  }
+
+  std::lock_guard lk(send_mu_);
+  // A delay fault must not stall the event loop: instead of sleeping,
+  // hold the staged bytes back until the deadline. In-order delivery
+  // means later frames wait behind the held ones, like a slow link.
+  if (delay.count() > 0) {
+    hold_until_ = std::max(hold_until_, Clock::now() + delay);
+  }
+  for (const Bytes& buf : to_write) append(out_buf_, buf);
+  return flush_locked();
+}
+
+Status TcpTransport::flush_some() {
+  std::lock_guard lk(send_mu_);
+  return flush_locked();
+}
+
+Status TcpTransport::flush_locked() {
+  if (fd_ < 0) return {StatusCode::kConnectionReset, "transport closed"};
+  if (out_pos_ == out_buf_.size()) {
+    out_buf_.clear();
+    out_pos_ = 0;
+    return Status::ok();
+  }
+  if (Clock::now() < hold_until_) {
+    return {StatusCode::kWouldBlock, "frames held by injected delay"};
+  }
+  while (out_pos_ < out_buf_.size()) {
+    const ssize_t n = ::send(fd_, out_buf_.data() + out_pos_,
+                             out_buf_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Compact the consumed prefix so the buffer cannot grow unbounded
+      // across partial flushes.
+      if (out_pos_ > 4096) {
+        out_buf_.erase(out_buf_.begin(),
+                       out_buf_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
+        out_pos_ = 0;
+      }
+      return {StatusCode::kWouldBlock, "socket send buffer full"};
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return errno_status("send");
+  }
+  out_buf_.clear();
+  out_pos_ = 0;
+  return Status::ok();
+}
+
+std::size_t TcpTransport::pending_out_bytes() const {
+  std::lock_guard lk(send_mu_);
+  return out_buf_.size() - out_pos_;
+}
+
 Status TcpTransport::close() {
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
@@ -223,7 +332,7 @@ StatusOr<TcpListener> TcpListener::bind(std::uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 64) < 0) {
+      ::listen(fd, SOMAXCONN) < 0) {
     Status s = errno_status("bind/listen");
     ::close(fd);
     return s;

@@ -34,13 +34,32 @@ class TcpTransport final : public Transport {
   StatusOr<Frame> recv(std::chrono::milliseconds timeout) override;
   Status close() override;
 
+  // Readiness mode: the socket itself is the pollable handle. A fault-
+  // injected delay is honoured without blocking by holding staged bytes
+  // until the deadline (flush_some reports kWouldBlock meanwhile).
+  [[nodiscard]] int pollable_fd() const override { return fd_; }
+  StatusOr<Frame> recv_some() override;
+  Status send_some(MessageKind kind, BytesView payload) override;
+  Status flush_some() override;
+  [[nodiscard]] std::size_t pending_out_bytes() const override;
+
  private:
   friend class TcpListener;
   explicit TcpTransport(int fd);
 
+  /// Writes staged bytes until done or EAGAIN; caller holds send_mu_.
+  [[nodiscard]] Status flush_locked();
+
   int fd_ = -1;
-  std::mutex send_mu_;  // one writer at a time; recv has its own decoder
+  mutable std::mutex send_mu_;  // one writer at a time; recv has its own decoder
   FrameDecoder decoder_;
+
+  // Nonblocking-send staging buffer (consumed prefix compacted on flush)
+  // and the fault-injection hold deadline. Guarded by send_mu_ so the
+  // blocking and nonblocking send paths cannot interleave mid-frame.
+  Bytes out_buf_;
+  std::size_t out_pos_ = 0;
+  std::chrono::steady_clock::time_point hold_until_{};
 };
 
 /// Listening socket; accept() yields connected TcpTransport endpoints.
@@ -57,6 +76,10 @@ class TcpListener {
   ~TcpListener();
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The listening socket (nonblocking) for readiness polling; -1 once
+  /// closed. Owned by the listener — callers only ever poll it.
+  [[nodiscard]] int fd() const { return fd_; }
 
   /// Waits up to `timeout` for one inbound connection. kTimeout when
   /// nobody called, kConnectionReset once the listener is closed.

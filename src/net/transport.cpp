@@ -86,4 +86,16 @@ StatusOr<std::optional<Frame>> FrameDecoder::next() {
   return std::optional<Frame>{std::move(frame)};
 }
 
+StatusOr<Frame> Transport::recv_some() {
+  return Status(StatusCode::kMalformedMessage,
+                "transport has no readiness mode (pollable_fd() == -1)");
+}
+
+Status Transport::send_some(MessageKind /*kind*/, BytesView /*payload*/) {
+  return {StatusCode::kMalformedMessage,
+          "transport has no readiness mode (pollable_fd() == -1)"};
+}
+
+Status Transport::flush_some() { return Status::ok(); }
+
 }  // namespace smatch

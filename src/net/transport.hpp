@@ -33,6 +33,18 @@
 // the transport codes added for this subsystem — kTimeout when the
 // per-call deadline expires, kConnectionReset when the peer is gone.
 // Transports never throw on the I/O paths.
+//
+// Two modes
+// ---------
+// The *blocking* calls (send/recv with a deadline) serve one caller
+// thread per connection — SessionClient and the golden tests use them
+// unchanged. The *readiness* calls (pollable_fd + recv_some / send_some /
+// flush_some, all returning kWouldBlock instead of waiting) let one
+// event-loop thread multiplex thousands of connections: the NetServer
+// I/O loops (net/event_loop.hpp) poll pollable_fd() for readability and
+// drive the nonblocking calls on readiness. A connection is driven in
+// exactly one mode at a time; the readiness calls are single-threaded by
+// contract (only the owning loop thread touches them).
 #pragma once
 
 #include <array>
@@ -138,6 +150,43 @@ class Transport {
   /// Closes this endpoint; subsequent sends/recvs on either side report
   /// kConnectionReset. Idempotent.
   virtual Status close() = 0;
+
+  // --- Readiness (nonblocking) mode ---------------------------------------
+  //
+  // Implemented by TcpTransport (the socket fd), InProcTransport (a
+  // self-pipe signalled on enqueue), and SecureTransport (delegates to
+  // its inner transport). The default implementations advertise "no
+  // readiness support" (pollable_fd() == -1); NetServer falls back to a
+  // dedicated blocking serve thread for such transports.
+
+  /// A poll(2)/epoll-able handle that turns readable when recv_some()
+  /// may make progress (bytes or a close arrived). -1 when this
+  /// transport has no readiness mode. The fd is owned by the transport;
+  /// callers only ever poll it.
+  [[nodiscard]] virtual int pollable_fd() const { return -1; }
+
+  /// Nonblocking receive: drains whatever the link has ready and returns
+  /// the next complete well-formed frame. kWouldBlock when no complete
+  /// frame can be assembled right now — poll pollable_fd() and retry.
+  /// Call repeatedly until kWouldBlock: a single readiness event may
+  /// deliver many frames, and buffered frames do not re-signal the fd.
+  [[nodiscard]] virtual StatusOr<Frame> recv_some();
+
+  /// Nonblocking send: encodes the frame, stages it, and writes as much
+  /// as the link accepts without waiting. Ok when fully flushed;
+  /// kWouldBlock when bytes remain staged (flush_some() drives them when
+  /// the link turns writable). Staged bytes are delivered in order
+  /// before any later frame.
+  [[nodiscard]] virtual Status send_some(MessageKind kind, BytesView payload);
+
+  /// Drives previously staged outbound bytes. Ok when the staging buffer
+  /// drained, kWouldBlock when the link is still full (or a fault-
+  /// injected delay holds the bytes back — retry after a short wait).
+  [[nodiscard]] virtual Status flush_some();
+
+  /// Outbound bytes staged but not yet on the wire — the backpressure
+  /// signal NetServer budgets per connection.
+  [[nodiscard]] virtual std::size_t pending_out_bytes() const { return 0; }
 
   /// Installs (or clears) a seeded fault injector consulted on every
   /// send — see net/fault.hpp. Not owned; caller keeps it alive.

@@ -134,11 +134,15 @@ FlowResult run_flow(bool over_tcp, const FaultSpec* faults) {
   KeyServer key_server(RsaKeyPair::generate(rng, 1024), /*requests_per_epoch=*/0);
   MatchServer match_server;
   SmatchService service(match_server, key_server, /*top_k=*/5);
-  NetServer net(service.dispatcher(), /*workers=*/2);
+  NetServer net(service.dispatcher());
 
   std::unique_ptr<Transport> conn;
   if (over_tcp) {
-    EXPECT_TRUE(net.start(0).is_ok());
+    ServerConfig server_config;
+    server_config.tcp_port = 0;  // ephemeral
+    server_config.io_threads = 1;
+    server_config.dispatch_workers = 2;
+    EXPECT_TRUE(net.start(server_config).is_ok());
     auto connected = TcpTransport::connect("127.0.0.1", net.port(), kIo);
     EXPECT_TRUE(connected.is_ok()) << connected.status().to_string();
     conn = std::move(*connected);

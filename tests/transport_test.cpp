@@ -1,10 +1,13 @@
-// Transport subsystem tests: frame codec, in-process transport pair,
-// seeded fault injection, session retry/replay semantics, and the
-// NetServer worker pool (also the TSan stress target — scripts/ci.sh
-// runs this binary under -fsanitize=thread).
+// Transport subsystem tests: frame codec, in-process transport pair
+// (blocking and readiness modes), seeded fault injection, session
+// retry/replay semantics, and the event-loop NetServer — admission
+// control, pipelining, overload shedding, and a 1k-connection churn
+// stress (also the TSan target — scripts/ci.sh runs this binary under
+// -fsanitize=thread).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <poll.h>
 #include <thread>
 #include <vector>
 
@@ -144,6 +147,53 @@ TEST(InProc, MirrorsPayloadBytesIntoTheSimChannel) {
   EXPECT_EQ(sim.downlink().bytes, 55u);
   EXPECT_EQ(sim.bytes_of(MessageKind::kQuery), 19u);
   EXPECT_EQ(sim.bytes_of(MessageKind::kResult), 55u);
+}
+
+TEST(InProc, ReadinessModeDeliversFramesWithoutBlocking) {
+  auto [client, server] = InProcTransport::make_pair();
+  EXPECT_EQ(server->recv_some().code(), StatusCode::kWouldBlock);
+
+  const int fd = server->pollable_fd();
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(client->send_some(MessageKind::kUpload, pattern_bytes(33)).is_ok());
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_EQ(::poll(&pfd, 1, 1000), 1) << "enqueue must signal the pollable fd";
+
+  const auto frame = server->recv_some();
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(frame->kind, MessageKind::kUpload);
+  EXPECT_EQ(frame->payload, pattern_bytes(33));
+  EXPECT_EQ(server->recv_some().code(), StatusCode::kWouldBlock);
+
+  // Close wakes the poller and surfaces as a typed reset once drained.
+  ASSERT_TRUE(client->close().is_ok());
+  pollfd pfd2{fd, POLLIN, 0};
+  ASSERT_EQ(::poll(&pfd2, 1, 1000), 1);
+  EXPECT_EQ(server->recv_some().code(), StatusCode::kConnectionReset);
+}
+
+TEST(InProc, ReadinessDelayFaultHoldsFramesInsteadOfSleeping) {
+  auto [client, server] = InProcTransport::make_pair();
+  FaultInjector delays(FaultSpec{.delay = 1.0,
+                                 .delay_ms = std::chrono::milliseconds{40},
+                                 .seed = 2});
+  client->set_fault_injector(&delays);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status staged = client->send_some(MessageKind::kQuery, pattern_bytes(8));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(staged.code(), StatusCode::kWouldBlock) << "delay must stage, not sleep";
+  EXPECT_LT(elapsed, std::chrono::milliseconds{30});
+  EXPECT_GT(client->pending_out_bytes(), 0u);
+
+  // flush_some keeps reporting kWouldBlock until the hold expires.
+  EXPECT_EQ(client->flush_some().code(), StatusCode::kWouldBlock);
+  std::this_thread::sleep_for(std::chrono::milliseconds{60});
+  ASSERT_TRUE(client->flush_some().is_ok());
+  EXPECT_EQ(client->pending_out_bytes(), 0u);
+  const auto frame = server->recv(kIo);
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(frame->payload, pattern_bytes(8));
 }
 
 TEST(InProc, TimeoutAndCloseSurfaceAsTypedStatuses) {
@@ -332,9 +382,28 @@ TEST(Session, ReplayCacheEvictsBeyondCapacity) {
   state.remember(1, pattern_bytes(1));
   state.remember(2, pattern_bytes(2));
   state.remember(3, pattern_bytes(3));
-  EXPECT_EQ(state.lookup(1), nullptr);  // evicted, oldest first
-  ASSERT_NE(state.lookup(2), nullptr);
-  ASSERT_NE(state.lookup(3), nullptr);
+  EXPECT_FALSE(state.lookup(1).has_value());  // evicted, least recent first
+  ASSERT_TRUE(state.lookup(2).has_value());
+  ASSERT_TRUE(state.lookup(3).has_value());
+  EXPECT_EQ(state.evictions(), 1u);
+}
+
+TEST(Session, ReplayCacheEvictsLeastRecentlyUsedAndCountsIt) {
+  auto& evictions =
+      *obs::Registry::global().counter("smatch_net_replay_evictions_total");
+  const std::uint64_t before = evictions.load();
+
+  SessionState state(/*capacity=*/2);
+  state.remember(1, pattern_bytes(1));
+  state.remember(2, pattern_bytes(2));
+  // A replay hit refreshes id 1; id 2 becomes the eviction candidate.
+  ASSERT_TRUE(state.lookup(1).has_value());
+  state.remember(3, pattern_bytes(3));
+  EXPECT_FALSE(state.lookup(2).has_value()) << "LRU entry must be the one evicted";
+  EXPECT_TRUE(state.lookup(1).has_value());
+  EXPECT_TRUE(state.lookup(3).has_value());
+  EXPECT_EQ(state.evictions(), 1u);
+  EXPECT_EQ(evictions.load(), before + 1);
 }
 
 TEST(Session, DispatcherRejectsGarbageWithoutCrashing) {
@@ -351,7 +420,11 @@ TEST(Session, DispatcherRejectsGarbageWithoutCrashing) {
 
 TEST(NetServer, ServesManyInProcConnectionsConcurrently) {
   std::atomic<std::uint64_t> invocations{0};
-  NetServer server(echo_dispatcher(&invocations), /*workers=*/4);
+  NetServer server(echo_dispatcher(&invocations));
+  ServerConfig config;
+  config.io_threads = 2;
+  config.dispatch_workers = 4;
+  ASSERT_TRUE(server.start(config).is_ok());
 
   constexpr int kClients = 4;
   constexpr int kCallsPerClient = 25;
@@ -382,12 +455,196 @@ TEST(NetServer, ServesManyInProcConnectionsConcurrently) {
   EXPECT_EQ(server.active_connections(), 0u);
 }
 
-TEST(NetServer, StopIsIdempotentAndStopsIdleServers) {
+TEST(NetServer, DeprecatedWorkerCtorStillServes) {
+  // Migration shim for the PR-5 API: NetServer(dispatcher, workers) +
+  // attach(). Slated for removal next PR.
   NetServer server(echo_dispatcher(), /*workers=*/2);
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  server.attach(std::move(server_end));
+  SessionClient session(*client_end);
+  EXPECT_TRUE(session.call(MessageKind::kOther, pattern_bytes(5)).is_ok());
+}
+
+TEST(NetServer, PipelinedRequestsCompleteOutOfOrderOnOneConnection) {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kQuery,
+                              [](BytesView) -> StatusOr<Bytes> {
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds{150});
+                                return to_bytes("slow");
+                              });
+  dispatcher.register_handler(
+      MessageKind::kOprf,
+      [](BytesView) -> StatusOr<Bytes> { return to_bytes("fast"); });
+  NetServer server(std::move(dispatcher));
+  ServerConfig config;
+  config.dispatch_workers = 2;
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  server.attach(std::move(server_end));
+
+  // Two raw request envelopes back to back, no waiting in between.
+  Envelope slow;
+  slow.request_id = 101;
+  Envelope fast;
+  fast.request_id = 202;
+  ASSERT_TRUE(client_end->send(MessageKind::kQuery, slow.serialize(), kIo).is_ok());
+  ASSERT_TRUE(client_end->send(MessageKind::kOprf, fast.serialize(), kIo).is_ok());
+
+  const auto first = client_end->recv(kIo);
+  ASSERT_TRUE(first.is_ok());
+  const auto first_env = Envelope::parse(first->payload);
+  ASSERT_TRUE(first_env.is_ok());
+  EXPECT_EQ(first_env->request_id, 202u)
+      << "the fast response must overtake the slow request it arrived behind";
+  EXPECT_EQ(first_env->body, to_bytes("fast"));
+
+  const auto second = client_end->recv(kIo);
+  ASSERT_TRUE(second.is_ok());
+  const auto second_env = Envelope::parse(second->payload);
+  ASSERT_TRUE(second_env.is_ok());
+  EXPECT_EQ(second_env->request_id, 101u);
+  EXPECT_EQ(second_env->body, to_bytes("slow"));
+}
+
+TEST(NetServer, OverloadReturnsTypedStatusNotAHang) {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kOther,
+                              [](BytesView body) -> StatusOr<Bytes> {
+                                std::this_thread::sleep_for(
+                                    std::chrono::milliseconds{200});
+                                return Bytes(body.begin(), body.end());
+                              });
+  NetServer server(std::move(dispatcher));
+  ServerConfig config;
+  config.max_inflight_per_connection = 1;
+  config.dispatch_workers = 2;
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  server.attach(std::move(server_end));
+
+  Envelope first;
+  first.request_id = 1;
+  Envelope second;
+  second.request_id = 2;
+  ASSERT_TRUE(client_end->send(MessageKind::kOther, first.serialize(), kIo).is_ok());
+  ASSERT_TRUE(client_end->send(MessageKind::kOther, second.serialize(), kIo).is_ok());
+
+  // The shed reply arrives long before the slow in-flight handler ends.
+  const auto shed = client_end->recv(kIo);
+  ASSERT_TRUE(shed.is_ok());
+  const auto shed_env = Envelope::parse(shed->payload);
+  ASSERT_TRUE(shed_env.is_ok());
+  EXPECT_EQ(shed_env->request_id, 2u);
+  EXPECT_EQ(shed_env->status, StatusCode::kOverloaded);
+
+  const auto done = client_end->recv(kIo);
+  ASSERT_TRUE(done.is_ok());
+  const auto done_env = Envelope::parse(done->payload);
+  ASSERT_TRUE(done_env.is_ok());
+  EXPECT_EQ(done_env->request_id, 1u);
+  EXPECT_EQ(done_env->status, StatusCode::kOk);
+
+  // The shed reply was not replay-cached: a retransmit succeeds now.
+  ASSERT_TRUE(client_end->send(MessageKind::kOther, second.serialize(), kIo).is_ok());
+  const auto retry = client_end->recv(kIo);
+  ASSERT_TRUE(retry.is_ok());
+  const auto retry_env = Envelope::parse(retry->payload);
+  ASSERT_TRUE(retry_env.is_ok());
+  EXPECT_EQ(retry_env->status, StatusCode::kOk);
+}
+
+TEST(NetServer, AdmissionCapShedsConnectionsBeyondMax) {
+  auto& shed =
+      *obs::Registry::global().counter("smatch_net_shed_connections_total");
+  const std::uint64_t shed_before = shed.load();
+
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.max_connections = 2;
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  std::vector<std::unique_ptr<Transport>> admitted;
+  for (int i = 0; i < 2; ++i) {
+    auto [client_end, server_end] = InProcTransport::make_pair();
+    server.attach(std::move(server_end));
+    admitted.push_back(std::move(client_end));
+  }
+  auto [third_client, third_server] = InProcTransport::make_pair();
+  server.attach(std::move(third_server));
+
+  // The connection beyond the cap was closed at admission, not queued.
+  EXPECT_EQ(third_client->recv(kIo).code(), StatusCode::kConnectionReset);
+  EXPECT_EQ(shed.load(), shed_before + 1);
+  EXPECT_EQ(server.active_connections(), 2u);
+
+  // Admitted connections keep working.
+  SessionClient session(*admitted[0]);
+  EXPECT_TRUE(session.call(MessageKind::kOther, pattern_bytes(4)).is_ok());
+}
+
+TEST(NetServer, PollFallbackBackendServesRpc) {
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.force_poll_fallback = true;
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  auto [client_end, server_end] = InProcTransport::make_pair();
+  server.attach(std::move(server_end));
+  SessionClient session(*client_end);
+  EXPECT_TRUE(session.call(MessageKind::kOther, pattern_bytes(6)).is_ok());
+}
+
+TEST(NetServer, ChurnOf1kConnectionsOpensServesAndCloses) {
+  std::atomic<std::uint64_t> invocations{0};
+  NetServer server(echo_dispatcher(&invocations));
+  ServerConfig config;
+  config.io_threads = 2;
+  config.dispatch_workers = 2;
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kConnsPerThread = 250;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      for (int i = 0; i < kConnsPerThread; ++i) {
+        auto [client_end, server_end] = InProcTransport::make_pair();
+        server.attach(std::move(server_end));
+        SessionClient session(
+            *client_end, RetryPolicy{},
+            /*seed=*/static_cast<std::uint64_t>(t * kConnsPerThread + i) + 1);
+        if (!session.call(MessageKind::kOther, pattern_bytes(8)).is_ok()) {
+          failures.fetch_add(1);
+        }
+        (void)client_end->close();
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(invocations.load(),
+            static_cast<std::uint64_t>(kThreads * kConnsPerThread));
+  server.stop();
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+TEST(NetServer, StopIsIdempotentAndStopsIdleServers) {
+  NetServer server(echo_dispatcher());
+  ASSERT_TRUE(server.start(ServerConfig{}).is_ok());
   auto [client_end, server_end] = InProcTransport::make_pair();
   server.attach(std::move(server_end));
   server.stop();
   server.stop();  // second stop is a no-op
+}
+
+TEST(NetServer, StartTwiceIsATypedError) {
+  NetServer server(echo_dispatcher());
+  ASSERT_TRUE(server.start(ServerConfig{}).is_ok());
+  EXPECT_FALSE(server.start(ServerConfig{}).is_ok());
 }
 
 }  // namespace
