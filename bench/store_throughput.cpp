@@ -1,0 +1,156 @@
+// Durability cost: ingest throughput with the store off vs on at each
+// fsync policy, recovery (replay) throughput, and checkpoint latency.
+// The numbers quantify exactly what docs/PERSISTENCE.md claims: kNever
+// and kBatch ride the page cache and stay near the in-memory engine,
+// kAlways pays one fsync per upload and is bounded by the disk.
+//
+// Run:  ./build/bench/store_throughput            (full size)
+//       ./build/bench/store_throughput --smoke    (small; used by ctest)
+//       add --json <path> to write BENCH_store.json (scripts/ci.sh gates
+//       on it appearing and carrying all four ingest tiers + recovery).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/server.hpp"
+#include "crypto/drbg.hpp"
+#include "store/store.hpp"
+
+using namespace smatch;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+UploadMessage synthetic_upload(UserId id, std::size_t num_groups) {
+  UploadMessage up;
+  up.user_id = id;
+  up.key_index.assign(32, static_cast<std::uint8_t>(id % num_groups));
+  up.key_index[1] = static_cast<std::uint8_t>((id % num_groups) * 37 + 1);
+  up.chain_cipher = BigInt::from_decimal(std::to_string(1000000007ull * id + 13));
+  up.chain_cipher_bits = 64;
+  Drbg rng(id + 1);
+  up.auth_token = rng.bytes(16);
+  return up;
+}
+
+struct Tier {
+  const char* key;           // JSON field prefix
+  bool store_on;
+  store::FsyncPolicy fsync;
+  std::size_t users;
+};
+
+double run_ingest(const Tier& tier, const std::vector<UploadMessage>& uploads,
+                  const std::string& dir) {
+  MatchServer server(ServerOptions{.num_shards = 8});
+  if (tier.store_on) {
+    fs::remove_all(dir);
+    store::StoreConfig cfg;
+    cfg.directory = dir;
+    cfg.fsync = tier.fsync;
+    if (Status s = server.attach_store(cfg); !s.is_ok()) {
+      std::fprintf(stderr, "attach_store: %s\n", s.message().c_str());
+      return 0.0;
+    }
+  }
+  const double t0 = now_ms();
+  for (std::size_t i = 0; i < tier.users; ++i) {
+    if (!server.ingest(uploads[i]).is_ok()) return 0.0;
+  }
+  const double ms = now_ms() - t0;
+  return ms > 0 ? static_cast<double>(tier.users) / ms * 1000.0 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const char* json_path = bench::arg_after(argc, argv, "--json");
+  const std::size_t n = smoke ? 2000 : 50000;
+  const std::size_t n_always = smoke ? 300 : 2000;  // fsync-per-upload tier
+  const std::size_t groups = 64;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("smatch_store_bench_" + std::to_string(::getpid())))
+          .string();
+
+  std::vector<UploadMessage> uploads;
+  uploads.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    uploads.push_back(synthetic_upload(static_cast<UserId>(i), groups));
+  }
+
+  const Tier tiers[] = {
+      {"ingest_off", false, store::FsyncPolicy::kNever, n},
+      {"ingest_fsync_never", true, store::FsyncPolicy::kNever, n},
+      {"ingest_fsync_batch", true, store::FsyncPolicy::kBatch, n},
+      {"ingest_fsync_always", true, store::FsyncPolicy::kAlways, n_always},
+  };
+
+  bench::JsonResult json("store_throughput");
+  std::printf("%-22s %12s %10s\n", "tier", "uploads", "rps");
+  double last_durable_rps = 0.0;
+  for (const Tier& tier : tiers) {
+    const double rps = run_ingest(tier, uploads, dir);
+    if (rps == 0.0) {
+      std::fprintf(stderr, "%s failed\n", tier.key);
+      return 1;
+    }
+    std::printf("%-22s %12zu %10.0f\n", tier.key, tier.users, rps);
+    json.add(std::string(tier.key) + "_rps", rps);
+    last_durable_rps = rps;
+  }
+  (void)last_durable_rps;
+
+  // Recovery: replay the kAlways run's log (n_always uploads) into a
+  // fresh engine, then measure a checkpoint of the recovered state.
+  {
+    MatchServer recovered(ServerOptions{.num_shards = 8});
+    store::StoreConfig cfg;
+    cfg.directory = dir;
+    cfg.fsync = store::FsyncPolicy::kNever;
+    const double t0 = now_ms();
+    if (Status s = recovered.attach_store(cfg); !s.is_ok()) {
+      std::fprintf(stderr, "recover: %s\n", s.message().c_str());
+      return 1;
+    }
+    const double recover_ms = now_ms() - t0;
+    const double recover_rps =
+        recover_ms > 0
+            ? static_cast<double>(recovered.num_users()) / recover_ms * 1000.0
+            : 0.0;
+    std::printf("%-22s %12zu %10.0f\n", "recover", recovered.num_users(),
+                recover_rps);
+    json.add("recover_rps", recover_rps);
+    json.add("recovered_users", static_cast<double>(recovered.num_users()));
+
+    const double c0 = now_ms();
+    if (Status s = recovered.checkpoint(); !s.is_ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", s.message().c_str());
+      return 1;
+    }
+    const double checkpoint_ms = now_ms() - c0;
+    std::printf("%-22s %12zu %8.1fms\n", "checkpoint", recovered.num_users(),
+                checkpoint_ms);
+    json.add("checkpoint_ms", checkpoint_ms);
+  }
+  fs::remove_all(dir);
+
+  if (json_path != nullptr && !json.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: docs hygiene, the tier-1 build+test gate, and a
-# ThreadSanitizer pass over the concurrency suites.
+# CI entry point: docs hygiene, the tier-1 build+test gate, the store
+# crash-recovery gate, and a ThreadSanitizer pass over the concurrency
+# suites.
 #
 #   ./scripts/ci.sh           # everything
 #   SKIP_TSAN=1 ./scripts/ci.sh
@@ -93,17 +94,55 @@ if ! awk -v f="$failed_1k" -v p="$p99_1k" 'BEGIN { exit !(f == 0 && p < 5e8) }';
 fi
 echo "ok (BENCH_net.json in build/; 1k tier failed=$failed_1k p99_ns=$p99_1k)"
 
+echo "== store: crash-recovery gate (kill -9 mid-ingest), throughput =="
+# Ingest with fsync=always in the background, kill -9 it mid-stream, then
+# reopen the directory and require every recovered kNN answer to match a
+# fresh reference engine byte for byte (the harness prints VERIFIED).
+crash_dir=$(mktemp -d)
+./build/tests/store_crash_harness --mode ingest --dir "$crash_dir" --users 5000 &
+crash_pid=$!
+for _ in $(seq 1 400); do
+  n=$(cat "$crash_dir/progress" 2>/dev/null || echo 0)
+  [[ "$n" =~ ^[0-9]+$ ]] && (( n >= 100 )) && break
+  sleep 0.05
+done
+kill -9 "$crash_pid" 2>/dev/null || true
+wait "$crash_pid" 2>/dev/null || true
+if (( $(cat "$crash_dir/progress") < 100 )); then
+  echo "FAIL: harness never reached 100 ingests before the kill window" >&2
+  exit 1
+fi
+verify_out=$(./build/tests/store_crash_harness --mode verify --dir "$crash_dir")
+echo "$verify_out"
+if ! grep -q "^VERIFIED" <<<"$verify_out"; then
+  echo "FAIL: post-crash recovery did not verify" >&2
+  exit 1
+fi
+rm -rf "$crash_dir"
+# Durability cost bench must run and emit a parseable BENCH_store.json
+# covering all four ingest tiers plus recovery and checkpoint timing.
+./build/bench/store_throughput --smoke --json build/BENCH_store.json | tail -3
+for key in ingest_off_rps ingest_fsync_never_rps ingest_fsync_batch_rps \
+           ingest_fsync_always_rps recover_rps recovered_users checkpoint_ms; do
+  if ! grep -q "\"$key\"" build/BENCH_store.json; then
+    echo "FAIL: BENCH_store.json missing \"$key\"" >&2
+    exit 1
+  fi
+done
+echo "ok (crash gate verified; BENCH_store.json in build/)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test \
-    transport_test tcp_loopback_test
+    transport_test tcp_loopback_test store_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
   ./build-tsan/tests/client_pipeline_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/transport_test
   ./build-tsan/tests/tcp_loopback_test
+  ./build-tsan/tests/store_test
 fi
 
 echo "== ci: all gates passed =="

@@ -16,6 +16,12 @@
 
 namespace smatch {
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the checksum shared by the
+/// transport frame codec (net/transport.hpp) and the durable store's
+/// on-disk records (store/format.hpp). Lives here so both layers frame
+/// records identically without a dependency between them.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
 /// "SM" in ASCII: the first two bytes of every serialized message.
 inline constexpr std::uint16_t kWireMagic = 0x534D;
 /// Current wire-format version (header layout v1).

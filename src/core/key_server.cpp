@@ -91,6 +91,21 @@ StatusOr<Bytes> KeyServer::handle(BytesView request_wire) {
                     "key server: request budget exhausted for client");
     }
     ++used;
+    // Log the charge before evaluating, under the same lock that ordered
+    // it: a crash after the evaluation but before the log would otherwise
+    // refund the request on restart. Failure to log rolls the charge back
+    // so memory and WAL never disagree.
+    if (store_) {
+      Writer w;
+      w.u32(req->client_id);
+      w.u32(used);
+      if (Status s = store_->append(store_->shard_of(req->client_id),
+                                    store::RecordType::kBudget, w.bytes());
+          !s.is_ok()) {
+        --used;
+        return s;
+      }
+    }
   }
 
   // The expensive part — x^d mod N — runs outside any lock: the RSA
@@ -120,10 +135,90 @@ std::vector<StatusOr<Bytes>> KeyServer::handle_batch(std::span<const Bytes> requ
 }
 
 void KeyServer::next_epoch() {
+  // One kEpoch marker per WAL shard: each shard's log replays
+  // independently, so the marker must appear in every log whose clients
+  // it resets. Requests racing this call may land before or after their
+  // shard's marker — budgets are advisory rate-limit state, and the
+  // restored count is correct to within that race.
+  if (store_) {
+    for (std::size_t s = 0; s < store_->shards(); ++s) {
+      (void)store_->append(s, store::RecordType::kEpoch, {});
+    }
+  }
   for (auto& shard : shards_) {
     std::unique_lock lk(shard->mu);
     shard->used.clear();
   }
+}
+
+Status KeyServer::attach_store(const store::StoreConfig& config) {
+  if (store_) {
+    return {StatusCode::kMalformedMessage, "attach_store: store already attached"};
+  }
+  StatusOr<std::unique_ptr<store::ProfileStore>> opened =
+      store::ProfileStore::open(config, shards_.size());
+  if (!opened.is_ok()) return opened.status();
+  store_ = std::move(*opened);
+
+  for (std::size_t s = 0; s < store_->shards(); ++s) {
+    Status replayed = store_->replay(s, [&](const store::StoreRecord& rec) -> Status {
+      switch (rec.type) {
+        case store::RecordType::kBudget: {
+          try {
+            Reader r(rec.payload);
+            const UserId client = r.u32();
+            const std::uint32_t used = r.u32();
+            r.finish();
+            BudgetShard& shard = shard_for(client);
+            std::unique_lock lk(shard.mu);
+            shard.used[client] = used;  // absolute count: last writer wins
+            return Status::ok();
+          } catch (const SerdeError& e) {
+            return Status(StatusCode::kMalformedMessage,
+                          std::string("budget record: ") + e.what());
+          }
+        }
+        case store::RecordType::kEpoch: {
+          // This WAL shard's epoch marker resets exactly the clients whose
+          // records live in this log.
+          for (auto& shard : shards_) {
+            std::unique_lock lk(shard->mu);
+            std::erase_if(shard->used, [&](const auto& entry) {
+              return store_->shard_of(entry.first) == s;
+            });
+          }
+          return Status::ok();
+        }
+        default:
+          return Status(StatusCode::kMalformedMessage,
+                        "key store: unexpected record type");
+      }
+    });
+    if (!replayed.is_ok()) return replayed;
+  }
+  return Status::ok();
+}
+
+Status KeyServer::checkpoint() {
+  if (!store_) {
+    return {StatusCode::kMalformedMessage, "checkpoint: no store attached"};
+  }
+  // Quiesce: every budget charge holds its shard lock, so holding all of
+  // them stops the world for the duration of the snapshot.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  auto cp = store_->begin_checkpoint();
+  for (const auto& shard : shards_) {
+    for (const auto& [client, used] : shard->used) {
+      Writer w;
+      w.u32(client);
+      w.u32(used);
+      cp->add(store_->shard_of(client), store::RecordType::kBudget, w.bytes());
+    }
+  }
+  return cp->commit();
 }
 
 std::uint64_t KeyServer::evaluations() const {

@@ -58,6 +58,7 @@
 #include "core/types.hpp"
 #include "obs/histogram.hpp"
 #include "oprf/rsa_oprf.hpp"
+#include "store/store.hpp"
 
 namespace smatch {
 
@@ -105,6 +106,22 @@ class KeyServer {
 
   [[nodiscard]] const RsaPublicKey& public_key() const { return oprf_.public_key(); }
 
+  /// Attaches (opening or creating) a durable store and replays the
+  /// per-client budget state: kBudget records carry the absolute used
+  /// count (last-writer-wins), kEpoch records clear the clients of their
+  /// WAL shard. Call once, at startup, before serving traffic. After
+  /// this, every budget charge is WAL-logged before the evaluation runs —
+  /// a restarted server keeps enforcing spent budgets instead of handing
+  /// brute-force attackers a fresh allowance.
+  [[nodiscard]] Status attach_store(const store::StoreConfig& config);
+
+  /// Snapshots every client's budget and truncates the WALs. Quiesces by
+  /// holding all budget-shard locks. Error when no store is attached.
+  [[nodiscard]] Status checkpoint();
+
+  /// The attached store (nullptr when persistence is off) — for metrics.
+  [[nodiscard]] const store::ProfileStore* store() const { return store_.get(); }
+
   /// Handles one serialized KeyRequest; returns a serialized KeyResponse.
   /// kMalformedMessage for unparseable wire or a blinded element outside
   /// the RSA group, kUnsupportedVersion for an unknown wire version,
@@ -148,6 +165,7 @@ class KeyServer {
   RsaOprfServer oprf_;
   std::uint32_t budget_;
   std::vector<std::unique_ptr<BudgetShard>> shards_;
+  std::unique_ptr<store::ProfileStore> store_;  // null = persistence off
   std::atomic<std::uint64_t> malformed_rejections_{0};
   std::atomic<std::uint64_t> version_rejections_{0};
 

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 
+#include "common/serde.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace smatch {
 
 namespace {
+
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// The resident-bytes gauge shared by every MatchServer instance.
+std::atomic<std::int64_t>* resident_gauge() {
+  static std::atomic<std::int64_t>* g =
+      obs::Registry::global().gauge("smatch_store_resident_bytes");
+  return g;
+}
+
 }  // namespace
 
 MatchServer::MatchServer(ServerOptions options)
@@ -54,6 +65,138 @@ ThreadPool& MatchServer::pool() {
   return *pool_;
 }
 
+Bytes MatchServer::record_wire(const Bytes& key_index, const Record& r) {
+  UploadMessage upload;
+  upload.user_id = r.id;
+  upload.key_index = key_index;
+  upload.chain_cipher = r.chain;
+  upload.chain_cipher_bits = r.chain_bits;
+  upload.auth_token = r.auth_token;
+  return upload.serialize();
+}
+
+std::size_t MatchServer::record_wire_size(const Bytes& key_index, const Record& r) {
+  // header(3) + user(4) + len+key + bits(4) + chain + len+token — must
+  // track UploadMessage::serialize exactly (store_test pins this).
+  return 3 + 4 + 4 + key_index.size() + 4 + (r.chain_bits + 7) / 8 + 4 +
+         r.auth_token.size();
+}
+
+void MatchServer::touch(Group& group) {
+  group.last_touch = touch_clock_.fetch_add(1, kRelaxed) + 1;
+}
+
+Status MatchServer::ensure_resident(Shard& shard, const Bytes& key_index,
+                                    Group& group) {
+  if (group.resident) return Status::ok();
+  // Page payload: count:u32 || count x var_bytes(upload wire).
+  StatusOr<Bytes> page = store_->read_page(key_index);
+  if (!page.is_ok()) return page.status();
+  try {
+    Reader r(*page);
+    const std::uint32_t count = r.u32();
+    group.members.clear();
+    group.members.reserve(count);
+    std::size_t bytes = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Bytes wire = r.var_bytes();
+      StatusOr<UploadMessage> upload = UploadMessage::parse(wire);
+      if (!upload.is_ok()) return upload.status();
+      group.members.push_back({upload->user_id, upload->chain_cipher,
+                               upload->chain_cipher_bits, upload->auth_token});
+      bytes += wire.size();
+    }
+    r.finish();
+    group.resident = true;
+    group.bytes = bytes;
+    group.count = 0;
+    shard.resident_bytes += bytes;
+    resident_gauge()->fetch_add(static_cast<std::int64_t>(bytes), kRelaxed);
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage,
+                  std::string("page payload: ") + e.what());
+  }
+  return Status::ok();
+}
+
+Status MatchServer::evict_over_budget(Shard& shard, const Bytes& keep) {
+  while (shard.resident_bytes > shard_budget_) {
+    // LRU scan: the coldest resident group other than the one just used.
+    auto victim = shard.groups.end();
+    for (auto it = shard.groups.begin(); it != shard.groups.end(); ++it) {
+      if (!it->second.resident || it->first == keep) continue;
+      if (victim == shard.groups.end() ||
+          it->second.last_touch < victim->second.last_touch) {
+        victim = it;
+      }
+    }
+    if (victim == shard.groups.end()) return Status::ok();  // nothing evictable
+    Group& group = victim->second;
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(group.members.size()));
+    for (const Record& r : group.members) w.var_bytes(record_wire(victim->first, r));
+    if (Status s = store_->write_page(victim->first, w.bytes()); !s.is_ok()) return s;
+    group.count = group.members.size();
+    group.members.clear();
+    group.members.shrink_to_fit();
+    group.resident = false;
+    shard.resident_bytes -= group.bytes;
+    resident_gauge()->fetch_sub(static_cast<std::int64_t>(group.bytes), kRelaxed);
+    group.bytes = 0;
+  }
+  return Status::ok();
+}
+
+Status MatchServer::apply_upload_locked(const UploadMessage& upload,
+                                        DirectoryShard& dir) {
+  // Replace any previous upload from this user (periodic re-upload in the
+  // system model), possibly moving it between shards.
+  if (auto it = dir.key_of.find(upload.user_id); it != dir.key_of.end()) {
+    Shard& old_shard = shard_for(it->second);
+    std::unique_lock old_lock(old_shard.mu);
+    if (auto git = old_shard.groups.find(it->second); git != old_shard.groups.end()) {
+      Group& group = git->second;
+      if (Status s = ensure_resident(old_shard, it->second, group); !s.is_ok()) {
+        return s;
+      }
+      std::erase_if(group.members, [&](const Record& r) {
+        if (r.id != upload.user_id) return false;
+        const std::size_t sz = record_wire_size(it->second, r);
+        group.bytes -= sz;
+        old_shard.resident_bytes -= sz;
+        if (paging_) resident_gauge()->fetch_sub(static_cast<std::int64_t>(sz), kRelaxed);
+        return true;
+      });
+      if (group.members.empty()) {
+        if (store_) store_->drop_page(it->second);
+        old_shard.groups.erase(git);
+      }
+    }
+  }
+
+  Shard& shard = shard_for(upload.key_index);
+  {
+    std::unique_lock shard_lock(shard.mu);
+    Group& group = shard.groups[upload.key_index];
+    if (Status s = ensure_resident(shard, upload.key_index, group); !s.is_ok()) {
+      return s;
+    }
+    group.members.push_back({upload.user_id, upload.chain_cipher,
+                             upload.chain_cipher_bits, upload.auth_token});
+    const std::size_t sz = record_wire_size(upload.key_index, group.members.back());
+    group.bytes += sz;
+    shard.resident_bytes += sz;
+    if (paging_) {
+      resident_gauge()->fetch_add(static_cast<std::int64_t>(sz), kRelaxed);
+      touch(group);
+      if (Status s = evict_over_budget(shard, upload.key_index); !s.is_ok()) return s;
+    }
+  }
+  shard.ingests.fetch_add(1, kRelaxed);
+  dir.key_of[upload.user_id] = upload.key_index;
+  return Status::ok();
+}
+
 Status MatchServer::ingest(const UploadMessage& upload) {
   SMATCH_SPAN_HIST("match.ingest", &ingest_hist_);
   if (upload.key_index.empty()) {
@@ -61,30 +204,163 @@ Status MatchServer::ingest(const UploadMessage& upload) {
   }
 
   // The directory lock serializes all operations on this user; data-shard
-  // locks are taken strictly after it and never two at a time.
+  // locks are taken strictly after it and never two at a time. The WAL
+  // append happens under the same lock, so log order == memory order for
+  // any one user (what makes replay reproduce the pre-crash state).
   DirectoryShard& dir = directory_for(upload.user_id);
   std::unique_lock dir_lock(dir.mu);
-
-  // Replace any previous upload from this user (periodic re-upload in the
-  // system model), possibly moving it between shards.
-  if (auto it = dir.key_of.find(upload.user_id); it != dir.key_of.end()) {
-    Shard& old_shard = shard_for(it->second);
-    std::unique_lock old_lock(old_shard.mu);
-    if (auto git = old_shard.groups.find(it->second); git != old_shard.groups.end()) {
-      std::erase_if(git->second, [&](const Record& r) { return r.id == upload.user_id; });
-      if (git->second.empty()) old_shard.groups.erase(git);
+  if (store_) {
+    if (Status s = store_->append(store_->shard_of(upload.user_id),
+                                  store::RecordType::kUpload, upload.serialize());
+        !s.is_ok()) {
+      return s;
     }
   }
+  return apply_upload_locked(upload, dir);
+}
 
-  Shard& shard = shard_for(upload.key_index);
+Status MatchServer::remove_locked(UserId user, DirectoryShard& dir, bool must_exist) {
+  const auto it = dir.key_of.find(user);
+  if (it == dir.key_of.end()) {
+    return must_exist ? Status(StatusCode::kUnknownUser, "remove: unknown user")
+                      : Status::ok();
+  }
+  Shard& shard = shard_for(it->second);
   {
     std::unique_lock shard_lock(shard.mu);
-    shard.groups[upload.key_index].push_back(
-        {upload.user_id, upload.chain_cipher, upload.auth_token});
+    if (auto git = shard.groups.find(it->second); git != shard.groups.end()) {
+      Group& group = git->second;
+      if (Status s = ensure_resident(shard, it->second, group); !s.is_ok()) return s;
+      std::erase_if(group.members, [&](const Record& r) {
+        if (r.id != user) return false;
+        const std::size_t sz = record_wire_size(it->second, r);
+        group.bytes -= sz;
+        shard.resident_bytes -= sz;
+        if (paging_) resident_gauge()->fetch_sub(static_cast<std::int64_t>(sz), kRelaxed);
+        return true;
+      });
+      if (group.members.empty()) {
+        if (store_) store_->drop_page(it->second);
+        shard.groups.erase(git);
+      }
+    }
   }
-  shard.ingests.fetch_add(1, kRelaxed);
-  dir.key_of[upload.user_id] = upload.key_index;
+  dir.key_of.erase(it);
+  dir.last_query_time.erase(user);
   return Status::ok();
+}
+
+Status MatchServer::remove(UserId user) {
+  DirectoryShard& dir = directory_for(user);
+  std::unique_lock dir_lock(dir.mu);
+  if (dir.key_of.find(user) == dir.key_of.end()) {
+    return {StatusCode::kUnknownUser, "remove: unknown user"};
+  }
+  if (store_) {
+    Writer w;
+    w.u32(user);
+    if (Status s = store_->append(store_->shard_of(user), store::RecordType::kDelete,
+                                  w.bytes());
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  return remove_locked(user, dir, /*must_exist=*/true);
+}
+
+Status MatchServer::attach_store(const store::StoreConfig& config) {
+  if (store_) {
+    return {StatusCode::kMalformedMessage, "attach_store: store already attached"};
+  }
+  StatusOr<std::unique_ptr<store::ProfileStore>> opened =
+      store::ProfileStore::open(config, shards_.size());
+  if (!opened.is_ok()) return opened.status();
+  store_ = std::move(*opened);
+  if (config.memory_budget_bytes != 0) {
+    paging_ = true;
+    shard_budget_ =
+        std::max<std::size_t>(1, config.memory_budget_bytes / shards_.size());
+  }
+
+  for (std::size_t s = 0; s < store_->shards(); ++s) {
+    Status replayed = store_->replay(s, [&](const store::StoreRecord& rec) -> Status {
+      switch (rec.type) {
+        case store::RecordType::kUpload: {
+          StatusOr<UploadMessage> upload = UploadMessage::parse(rec.payload);
+          if (!upload.is_ok()) return upload.status();
+          DirectoryShard& dir = directory_for(upload->user_id);
+          std::unique_lock dir_lock(dir.mu);
+          return apply_upload_locked(*upload, dir);
+        }
+        case store::RecordType::kDelete: {
+          try {
+            Reader r(rec.payload);
+            const UserId user = r.u32();
+            r.finish();
+            DirectoryShard& dir = directory_for(user);
+            std::unique_lock dir_lock(dir.mu);
+            // Idempotent: a delete surviving in the WAL after its user's
+            // records were folded into a snapshot must not error.
+            return remove_locked(user, dir, /*must_exist=*/false);
+          } catch (const SerdeError& e) {
+            return Status(StatusCode::kMalformedMessage,
+                          std::string("delete record: ") + e.what());
+          }
+        }
+        default:
+          return Status(StatusCode::kMalformedMessage,
+                        "match store: unexpected record type");
+      }
+    });
+    if (!replayed.is_ok()) return replayed;
+  }
+  return Status::ok();
+}
+
+Status MatchServer::checkpoint() {
+  SMATCH_SPAN("match.checkpoint");
+  if (!store_) {
+    return {StatusCode::kMalformedMessage, "checkpoint: no store attached"};
+  }
+  // Quiesce: every mutation starts by taking a directory lock, so holding
+  // all of them exclusively stops ingest/remove; in-flight matches only
+  // read. Lock order (directory before data shard) is preserved.
+  std::vector<std::unique_lock<std::shared_mutex>> dir_locks;
+  dir_locks.reserve(directory_.size());
+  for (auto& dir : directory_) dir_locks.emplace_back(dir->mu);
+
+  auto cp = store_->begin_checkpoint();
+  for (auto& shard : shards_) {
+    std::unique_lock shard_lock(shard->mu);
+    for (const auto& [key, group] : shard->groups) {
+      if (group.resident) {
+        for (const Record& r : group.members) {
+          cp->add(store_->shard_of(r.id), store::RecordType::kUpload,
+                  record_wire(key, r));
+        }
+        continue;
+      }
+      // Evicted group: copy the member wires straight out of the page
+      // file without materializing the records.
+      StatusOr<Bytes> page = store_->read_page(key);
+      if (!page.is_ok()) return page.status();
+      try {
+        Reader r(*page);
+        const std::uint32_t count = r.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const Bytes wire = r.var_bytes();
+          // user_id sits right after the 3-byte wire header.
+          Reader id_reader(BytesView(wire).subspan(3, 4));
+          cp->add(store_->shard_of(id_reader.u32()), store::RecordType::kUpload, wire);
+        }
+        r.finish();
+      } catch (const SerdeError& e) {
+        return Status(StatusCode::kMalformedMessage,
+                      std::string("page payload: ") + e.what());
+      }
+    }
+  }
+  return cp->commit();
 }
 
 std::vector<Status> MatchServer::ingest_batch(std::span<const UploadMessage> uploads) {
@@ -130,7 +406,12 @@ void MatchServer::sort_group(const std::vector<Record>& members,
   for (const auto& r : members) out.push_back(&r);
   std::sort(out.begin(), out.end(), [&comparisons](const Record* a, const Record* b) {
     ++comparisons;
-    return a->chain < b->chain;
+    // Tie-break equal ciphertexts by user id: a total order makes the
+    // sorted group — and therefore every kNN answer — byte-identical
+    // after a crash-recovery replay (docs/PERSISTENCE.md).
+    if (a->chain < b->chain) return true;
+    if (b->chain < a->chain) return false;
+    return a->id < b->id;
   });
 }
 
@@ -196,18 +477,34 @@ StatusOr<QueryResult> MatchServer::match(const QueryRequest& query, std::size_t 
   result.query_id = query.query_id;
   result.timestamp = query.timestamp;
   {
-    std::shared_lock lk(shard.mu);
+    // Paging mode mutates the group (fault-in, LRU stamp): exclusive lock.
+    std::shared_lock<std::shared_mutex> read_lock;
+    std::unique_lock<std::shared_mutex> write_lock;
+    if (paging_) {
+      write_lock = std::unique_lock(shard.mu);
+    } else {
+      read_lock = std::shared_lock(shard.mu);
+    }
     const auto git = shard.groups.find(key_index);
     if (git == shard.groups.end()) {
       // The group moved between directory lookup and shard read (racing
       // re-upload); the caller simply retries.
       return Status(StatusCode::kEmptyGroup, "match: querier's key group is gone");
     }
+    if (paging_) {
+      if (Status s = ensure_resident(shard, key_index, git->second); !s.is_ok()) {
+        return s;
+      }
+      touch(git->second);
+    }
     std::vector<const Record*> sorted;
     std::uint64_t comparisons = 0;
-    sort_group(git->second, sorted, comparisons);
+    sort_group(git->second.members, sorted, comparisons);
     shard.comparisons.fetch_add(comparisons, kRelaxed);
     if (Status s = collect_knn(sorted, query.user_id, k, result); !s.is_ok()) return s;
+    if (paging_) {
+      if (Status s = evict_over_budget(shard, key_index); !s.is_ok()) return s;
+    }
   }
   shard.matches.fetch_add(1, kRelaxed);
   return result;
@@ -224,18 +521,33 @@ StatusOr<QueryResult> MatchServer::match_within(const QueryRequest& query,
   result.query_id = query.query_id;
   result.timestamp = query.timestamp;
   {
-    std::shared_lock lk(shard.mu);
+    std::shared_lock<std::shared_mutex> read_lock;
+    std::unique_lock<std::shared_mutex> write_lock;
+    if (paging_) {
+      write_lock = std::unique_lock(shard.mu);
+    } else {
+      read_lock = std::shared_lock(shard.mu);
+    }
     const auto git = shard.groups.find(key_index);
     if (git == shard.groups.end()) {
       return Status(StatusCode::kEmptyGroup, "match: querier's key group is gone");
     }
+    if (paging_) {
+      if (Status s = ensure_resident(shard, key_index, git->second); !s.is_ok()) {
+        return s;
+      }
+      touch(git->second);
+    }
     std::vector<const Record*> sorted;
     std::uint64_t comparisons = 0;
-    sort_group(git->second, sorted, comparisons);
+    sort_group(git->second.members, sorted, comparisons);
     shard.comparisons.fetch_add(comparisons, kRelaxed);
     if (Status s = collect_within(sorted, query.user_id, max_order_distance, result);
         !s.is_ok()) {
       return s;
+    }
+    if (paging_) {
+      if (Status s = evict_over_budget(shard, key_index); !s.is_ok()) return s;
     }
   }
   shard.matches.fetch_add(1, kRelaxed);
@@ -272,7 +584,14 @@ std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
   // for the whole batch, then answer every query against the cached order.
   pool().parallel_for(active.size(), [&](std::size_t a) {
     Shard& shard = *shards_[active[a]];
-    std::shared_lock lk(shard.mu);
+    // Paging mode mutates groups (fault-in, LRU stamps): exclusive lock.
+    std::shared_lock<std::shared_mutex> read_lock;
+    std::unique_lock<std::shared_mutex> write_lock;
+    if (paging_) {
+      write_lock = std::unique_lock(shard.mu);
+    } else {
+      read_lock = std::shared_lock(shard.mu);
+    }
     std::map<Bytes, std::vector<const Record*>> sorted_cache;
     std::uint64_t comparisons = 0;
     std::uint64_t sorts = 0;
@@ -287,7 +606,14 @@ std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
         // Groups are erased when emptied, so an absent key leaves the
         // cached vector empty — the kEmptyGroup marker below.
         if (const auto git = shard.groups.find(keys[i]); git != shard.groups.end()) {
-          sort_group(git->second, cached->second, comparisons);
+          if (paging_) {
+            if (Status s = ensure_resident(shard, keys[i], git->second); !s.is_ok()) {
+              results[i] = std::move(s);
+              continue;
+            }
+            touch(git->second);
+          }
+          sort_group(git->second.members, cached->second, comparisons);
           ++sorts;
         }
       }
@@ -309,6 +635,13 @@ std::vector<StatusOr<QueryResult>> MatchServer::match_batch(
     shard.comparisons.fetch_add(comparisons, kRelaxed);
     shard.matches.fetch_add(served, kRelaxed);
     batch_group_sorts_.fetch_add(sorts, kRelaxed);
+    if (paging_) {
+      // Evict only after the whole batch: sorted_cache holds pointers
+      // into resident members until here. A failed eviction leaves the
+      // shard over budget but loses nothing — the next mutation retries.
+      sorted_cache.clear();
+      (void)evict_over_budget(shard, Bytes{});
+    }
   });
   return results;
 }
@@ -343,7 +676,7 @@ std::size_t MatchServer::group_size_of(UserId user) const {
   const Shard& shard = shard_for(key_index);
   std::shared_lock lk(shard.mu);
   const auto git = shard.groups.find(key_index);
-  return git == shard.groups.end() ? 0 : git->second.size();
+  return git == shard.groups.end() ? 0 : git->second.size();  // evicted: count
 }
 
 ServerMetrics MatchServer::metrics() const {
@@ -357,9 +690,9 @@ ServerMetrics MatchServer::metrics() const {
     {
       std::shared_lock lk(shard->mu);
       s.groups = shard->groups.size();
-      for (const auto& [key, members] : shard->groups) {
-        s.users += members.size();
-        ++m.group_size_histogram[members.size()];
+      for (const auto& [key, group] : shard->groups) {
+        s.users += group.size();
+        ++m.group_size_histogram[group.size()];
       }
     }
     m.ingests += s.ingests;

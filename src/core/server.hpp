@@ -27,6 +27,16 @@
 // kEmptyGroup) and never throws on the query/ingest hot paths. The old
 // throw-on-everything API was removed in the service redesign; see
 // docs/PROTOCOL.md for the deprecation notes.
+//
+// Durability (optional): `attach_store()` opens a store/ProfileStore and
+// replays it, after which every ingest/remove appends a redo record to a
+// per-user WAL shard *before* mutating memory, `checkpoint()` streams the
+// full state into atomically renamed snapshots, and — when the store
+// config sets a memory budget — cold ciphertext groups page out to disk
+// and fault back in on query. Recovered state answers kNN queries
+// byte-identically (the group sort is a total order: ciphertext, then
+// user id). docs/PERSISTENCE.md is the full story; with no store
+// attached the engine behaves exactly as before.
 #pragma once
 
 #include <atomic>
@@ -44,6 +54,7 @@
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
 #include "obs/histogram.hpp"
+#include "store/store.hpp"
 
 namespace smatch {
 
@@ -68,9 +79,30 @@ class MatchServer {
   MatchServer(const MatchServer&) = delete;
   MatchServer& operator=(const MatchServer&) = delete;
 
+  /// Attaches (opening or creating) a durable store and replays it into
+  /// the engine: snapshot first, then each WAL tail. After this call every
+  /// ingest/remove is WAL-logged before it touches memory, and a non-zero
+  /// `config.memory_budget_bytes` turns on cold-group paging. Call once,
+  /// at startup, before serving traffic (the replay itself is not
+  /// concurrent-safe against queries).
+  [[nodiscard]] Status attach_store(const store::StoreConfig& config);
+
+  /// Streams the full engine state into per-shard snapshot files and
+  /// truncates the WALs (store::ProfileStore::Checkpoint). Quiesces the
+  /// engine for the duration by holding every directory lock. No-op
+  /// error when no store is attached.
+  [[nodiscard]] Status checkpoint();
+
+  /// The attached store (nullptr when persistence is off) — for metrics.
+  [[nodiscard]] const store::ProfileStore* store() const { return store_.get(); }
+
   /// Stores (or replaces) a user's encrypted profile. Thread-safe.
   /// kMalformedMessage when the upload carries no key index.
   Status ingest(const UploadMessage& upload);
+
+  /// Forgets a user: directory entry, group record, and replay clock.
+  /// WAL-logged when a store is attached. kUnknownUser when absent.
+  [[nodiscard]] Status remove(UserId user);
 
   /// Batch ingest: uploads fan out over the internal pool. statuses[i]
   /// corresponds to uploads[i]. When a batch contains several uploads for
@@ -120,13 +152,30 @@ class MatchServer {
   struct Record {
     UserId id = 0;
     BigInt chain;
+    std::uint32_t chain_bits = 0;  // upload's fixed serialization width
     Bytes auth_token;
+  };
+
+  /// One h(K_up) key group. Under a memory budget a group can be evicted:
+  /// its members live in a page file (store/pages/) and `members` is
+  /// empty until a query or ingest faults it back in.
+  struct Group {
+    std::vector<Record> members;
+    bool resident = true;
+    std::size_t count = 0;        // member count while evicted
+    std::size_t bytes = 0;        // serialized size of members (resident)
+    std::uint64_t last_touch = 0; // eviction clock stamp (paging mode)
+
+    [[nodiscard]] std::size_t size() const {
+      return resident ? members.size() : count;
+    }
   };
 
   /// One slice of the h(K_up) -> group index.
   struct Shard {
     mutable std::shared_mutex mu;
-    std::map<Bytes, std::vector<Record>> groups;
+    std::map<Bytes, Group> groups;
+    std::size_t resident_bytes = 0;  // guarded by mu (paging mode)
     std::atomic<std::uint64_t> ingests{0};
     std::atomic<std::uint64_t> matches{0};
     std::atomic<std::uint64_t> comparisons{0};
@@ -148,6 +197,28 @@ class MatchServer {
   /// Directory lookup + replay check. On success fills `key_index`.
   Status route_query(const QueryRequest& query, Bytes& key_index);
 
+  /// Ingest body minus validation and WAL logging (shared by the public
+  /// path and store replay). Caller holds `dir.mu` exclusively.
+  Status apply_upload_locked(const UploadMessage& upload, DirectoryShard& dir);
+  /// Remove body minus WAL logging. Caller holds `dir.mu` exclusively.
+  /// `must_exist` selects kUnknownUser vs idempotent-ok (replay).
+  Status remove_locked(UserId user, DirectoryShard& dir, bool must_exist);
+
+  /// Serialized UploadMessage wire bytes / size of one stored record —
+  /// the page-file and snapshot unit (disk holds exactly wire bytes).
+  static Bytes record_wire(const Bytes& key_index, const Record& r);
+  static std::size_t record_wire_size(const Bytes& key_index, const Record& r);
+
+  /// Faults an evicted group back in from its page file. Caller holds
+  /// `shard.mu` exclusively.
+  Status ensure_resident(Shard& shard, const Bytes& key_index, Group& group);
+  /// Pages out least-recently-touched groups until the shard fits its
+  /// budget (never evicts `keep`). Caller holds `shard.mu` exclusively.
+  Status evict_over_budget(Shard& shard, const Bytes& keep);
+  /// Stamps the eviction clock (paging mode; caller holds shard.mu
+  /// exclusively — paging mode never takes shared data-shard locks).
+  void touch(Group& group);
+
   /// SORT: the group sorted by OPE ciphertext (== plaintext chain order).
   /// Caller must hold the shard lock. Counts comparator invocations into
   /// `comparisons`.
@@ -165,6 +236,13 @@ class MatchServer {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<DirectoryShard>> directory_;
+
+  // Durability (null/false when no store is attached).
+  std::unique_ptr<store::ProfileStore> store_;
+  bool paging_ = false;            // memory budget > 0: groups can evict
+  std::size_t shard_budget_ = 0;   // resident-byte budget per data shard
+  std::atomic<std::uint64_t> touch_clock_{0};
+
   std::atomic<std::uint64_t> replay_rejections_{0};
   std::atomic<std::uint64_t> batch_group_sorts_{0};
   std::atomic<bool> replay_protection_{false};

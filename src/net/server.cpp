@@ -18,21 +18,11 @@ void bump(const char* name) {
 NetServer::NetServer(FrameDispatcher dispatcher)
     : dispatcher_(std::move(dispatcher)) {}
 
-NetServer::NetServer(FrameDispatcher dispatcher, std::size_t workers)
-    : dispatcher_(std::move(dispatcher)), legacy_workers_(workers) {}
-
 NetServer::~NetServer() { stop(); }
 
 Status NetServer::start(const ServerConfig& config) {
   std::lock_guard lk(mu_);
   return start_locked(config);
-}
-
-Status NetServer::start(std::uint16_t port) {
-  ServerConfig config;
-  config.tcp_port = port;
-  if (legacy_workers_ > 0) config.dispatch_workers = legacy_workers_;
-  return start(config);
 }
 
 Status NetServer::start_locked(const ServerConfig& config) {
@@ -79,8 +69,7 @@ Status NetServer::start_locked(const ServerConfig& config) {
 void NetServer::ensure_started() {
   std::lock_guard lk(mu_);
   if (started_) return;
-  ServerConfig config;  // TCP-less defaults for legacy attach()-only use
-  if (legacy_workers_ > 0) config.dispatch_workers = legacy_workers_;
+  ServerConfig config;  // TCP-less defaults for attach()-only use
   (void)start_locked(config);
 }
 

@@ -76,12 +76,6 @@ class NetServer {
  public:
   explicit NetServer(FrameDispatcher dispatcher);
 
-  /// Deprecated: use NetServer(dispatcher) + start(ServerConfig).
-  /// `workers` maps to ServerConfig::dispatch_workers (it never bounded
-  /// concurrent connections under the event-loop design). Kept one PR as
-  /// a migration shim.
-  NetServer(FrameDispatcher dispatcher, std::size_t workers);
-
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -89,10 +83,6 @@ class NetServer {
 
   /// Binds (when configured) and starts the loops. Call at most once.
   [[nodiscard]] Status start(const ServerConfig& config);
-
-  /// Deprecated: start(ServerConfig{.tcp_port = port}) with the legacy
-  /// constructor's worker count. Kept one PR as a migration shim.
-  [[nodiscard]] Status start(std::uint16_t port);
 
   /// The bound TCP port (0 until a start() with tcp_port succeeded).
   [[nodiscard]] std::uint16_t port() const { return port_; }
@@ -125,7 +115,6 @@ class NetServer {
 
   FrameDispatcher dispatcher_;
   ServerConfig config_;
-  std::size_t legacy_workers_ = 0;  // deprecated-ctor value for start(port)
 
   std::mutex mu_;
   bool started_ = false;  // guarded by mu_

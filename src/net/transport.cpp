@@ -4,36 +4,6 @@
 
 namespace smatch {
 
-namespace {
-
-/// CRC-32 lookup table (IEEE 802.3, reflected polynomial 0xEDB88320),
-/// built once on first use.
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-}  // namespace
-
-std::uint32_t crc32(BytesView data) {
-  const auto& table = crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : data) {
-    c = table[(c ^ b) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
 Bytes encode_frame(MessageKind kind, BytesView payload) {
   Writer w;
   // len counts kind + payload + crc.

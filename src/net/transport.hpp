@@ -56,6 +56,7 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "common/wire.hpp"  // crc32 — shared with the store's on-disk records
 #include "net/channel.hpp"
 
 namespace smatch {
@@ -74,10 +75,8 @@ struct Frame {
   Bytes payload;
 };
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) — the frame checksum.
-[[nodiscard]] std::uint32_t crc32(BytesView data);
-
-/// Encodes one frame (length prefix + kind + payload + CRC).
+/// Encodes one frame (length prefix + kind + payload + CRC). The frame
+/// checksum is the shared smatch::crc32 of common/wire.hpp.
 [[nodiscard]] Bytes encode_frame(MessageKind kind, BytesView payload);
 
 /// Incremental frame decoder for a byte stream (TCP segments arrive in

@@ -1,0 +1,102 @@
+#include "store/format.hpp"
+
+#include "common/serde.hpp"
+
+namespace smatch::store {
+
+bool is_known_record_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(RecordType::kUpload) &&
+         type <= static_cast<std::uint8_t>(RecordType::kGroupPage);
+}
+
+Bytes encode_file_header(FileKind kind, std::uint32_t shard) {
+  Writer w;
+  w.u16(kWireMagic);
+  w.u8(kStoreVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(shard);
+  return w.take();
+}
+
+Status check_file_header(BytesView data, FileKind kind, std::uint32_t* shard) {
+  if (data.size() < kFileHeaderBytes) {
+    return {StatusCode::kMalformedMessage, "store file shorter than its header"};
+  }
+  Reader r(data.subspan(0, kFileHeaderBytes));
+  if (r.u16() != kWireMagic) {
+    return {StatusCode::kMalformedMessage, "store file: bad magic"};
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kStoreVersion) {
+    return {StatusCode::kUnsupportedVersion,
+            "store file version " + std::to_string(version) + " (expected " +
+                std::to_string(kStoreVersion) + ")"};
+  }
+  if (r.u8() != static_cast<std::uint8_t>(kind)) {
+    return {StatusCode::kMalformedMessage, "store file: unexpected file kind"};
+  }
+  const std::uint32_t s = r.u32();
+  if (shard != nullptr) *shard = s;
+  return Status::ok();
+}
+
+Bytes encode_record(RecordType type, std::uint64_t seq, BytesView payload) {
+  Writer w;
+  // len counts type + seq + payload + crc.
+  w.u32(static_cast<std::uint32_t>(payload.size() + kRecordOverheadBytes - 4));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(seq);
+  w.raw(payload);
+  // CRC over type || seq || payload: everything the length prefix frames
+  // except the checksum itself (same shape as the transport frame).
+  w.u32(crc32(BytesView(w.bytes()).subspan(4, payload.size() + 9)));
+  return w.take();
+}
+
+std::optional<StoreRecord> RecordScanner::next() {
+  if (end_ != ScanEnd::kClean) return std::nullopt;
+  const BytesView view = data_.subspan(pos_);
+  if (view.empty()) return std::nullopt;
+  if (view.size() < 4) {
+    end_ = ScanEnd::kTornTail;
+    return std::nullopt;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(view[0]) << 24 |
+                            static_cast<std::uint32_t>(view[1]) << 16 |
+                            static_cast<std::uint32_t>(view[2]) << 8 |
+                            static_cast<std::uint32_t>(view[3]);
+  if (len < kRecordOverheadBytes - 4 ||
+      len > kMaxRecordPayload + kRecordOverheadBytes - 4) {
+    end_ = ScanEnd::kBadRecord;
+    return std::nullopt;
+  }
+  if (view.size() < 4 + static_cast<std::size_t>(len)) {
+    end_ = ScanEnd::kTornTail;
+    return std::nullopt;
+  }
+  const BytesView body = view.subspan(4, len - 4);  // type || seq || payload
+  const BytesView crc_bytes = view.subspan(static_cast<std::size_t>(len), 4);
+  const std::uint32_t claimed = static_cast<std::uint32_t>(crc_bytes[0]) << 24 |
+                                static_cast<std::uint32_t>(crc_bytes[1]) << 16 |
+                                static_cast<std::uint32_t>(crc_bytes[2]) << 8 |
+                                static_cast<std::uint32_t>(crc_bytes[3]);
+  if (crc32(body) != claimed) {
+    end_ = ScanEnd::kCrcMismatch;
+    return std::nullopt;
+  }
+  if (!is_known_record_type(body[0])) {
+    end_ = ScanEnd::kBadRecord;
+    return std::nullopt;
+  }
+  StoreRecord record;
+  record.type = static_cast<RecordType>(body[0]);
+  record.seq = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    record.seq = record.seq << 8 | body[1 + i];
+  }
+  record.payload.assign(body.begin() + 9, body.end());
+  pos_ += 4 + static_cast<std::size_t>(len);
+  return record;
+}
+
+}  // namespace smatch::store

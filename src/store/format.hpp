@@ -1,0 +1,118 @@
+// On-disk record formats of the durable profile store.
+//
+// Every store file — WAL segments, snapshots, page files, the manifest —
+// opens with one 8-byte file header and then carries CRC-framed records
+// that deliberately mirror the transport frame of net/transport.hpp:
+//
+//   file_header := magic:u16 = 0x534D ("SM") || store_version:u8
+//                  || file_kind:u8 || shard:u32
+//   record      := len:u32 || type:u8 || seq:u64 || payload[len-17]
+//                  || crc:u32
+//
+// `len` is big-endian and counts everything after itself (type, seq,
+// payload, crc). `crc` is the shared CRC-32 (common/wire.hpp) over
+// type || seq || payload. `seq` is the per-shard append sequence number;
+// snapshot and page records carry seq = 0 and the snapshot header records
+// the last WAL sequence it folded in, which is how replay skips WAL
+// records that a crash left behind after a committed snapshot.
+//
+// Record payloads are protocol wire bytes (core/messages.hpp encodings,
+// versioned "SM" header included), never engine-internal structures: the
+// disk carries exactly the structure the wire already leaks, nothing
+// more. docs/PERSISTENCE.md is the normative spec with worked hex
+// examples; tests/golden_vectors_test.cpp pins the bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/wire.hpp"
+
+namespace smatch::store {
+
+/// Current on-disk format version (file header layout v1).
+inline constexpr std::uint8_t kStoreVersion = 1;
+
+/// Serialized size of the file header (magic + version + kind + shard).
+inline constexpr std::size_t kFileHeaderBytes = 8;
+
+/// Serialized overhead a record adds around its payload
+/// (len:u32 + type:u8 + seq:u64 + crc:u32).
+inline constexpr std::size_t kRecordOverheadBytes = 17;
+
+/// Largest record payload a file may claim; a corrupted length prefix
+/// beyond this is treated as tail damage, not an allocation request.
+inline constexpr std::size_t kMaxRecordPayload = 1u << 26;  // 64 MiB
+
+/// What a store file holds. The byte is human-greppable in a hex dump.
+enum class FileKind : std::uint8_t {
+  kWal = 0x57,       // 'W' — append-only write-ahead log
+  kSnapshot = 0x53,  // 'S' — atomically renamed full-state snapshot
+  kPage = 0x50,      // 'P' — one evicted ciphertext group
+  kManifest = 0x4D,  // 'M' — store-wide shard layout
+};
+
+/// What one record means to the engine replaying it. Payloads are opaque
+/// to the store layer; the engines encode/decode them.
+enum class RecordType : std::uint8_t {
+  kUpload = 1,     // payload = UploadMessage wire bytes
+  kDelete = 2,     // payload = wire header || user_id:u32
+  kBudget = 3,     // payload = wire header || client_id:u32 || used:u32
+  kEpoch = 4,      // payload empty: per-shard OPRF budget reset barrier
+  kGroupPage = 5,  // payload = group-page body (see docs/PERSISTENCE.md)
+};
+
+[[nodiscard]] bool is_known_record_type(std::uint8_t type);
+
+/// One decoded store record.
+struct StoreRecord {
+  RecordType type = RecordType::kUpload;
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
+
+/// Encodes the 8-byte file header.
+[[nodiscard]] Bytes encode_file_header(FileKind kind, std::uint32_t shard);
+
+/// Validates a file header: kMalformedMessage on bad magic / wrong kind /
+/// short buffer, kUnsupportedVersion on an unknown store version.
+[[nodiscard]] Status check_file_header(BytesView data, FileKind kind,
+                                       std::uint32_t* shard = nullptr);
+
+/// Encodes one CRC-framed record.
+[[nodiscard]] Bytes encode_record(RecordType type, std::uint64_t seq,
+                                  BytesView payload);
+
+/// How a record scan ended. The distinction matters to recovery: a torn
+/// tail (crash mid-append) is expected and replay simply stops there; a
+/// CRC mismatch is also treated as tail damage but counted separately so
+/// operators can tell bit rot from an interrupted write.
+enum class ScanEnd : std::uint8_t {
+  kClean = 0,     // buffer ended exactly on a record boundary
+  kTornTail,      // trailing bytes too short for the claimed record
+  kCrcMismatch,   // a complete record failed its checksum
+  kBadRecord,     // unknown type byte or an unframeable length
+};
+
+/// Incremental record scanner over one file's bytes (header already
+/// consumed). next() returns the next whole valid record, or nullopt once
+/// the scan ended — after which `end()` says how and `offset()` where.
+class RecordScanner {
+ public:
+  explicit RecordScanner(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::optional<StoreRecord> next();
+
+  [[nodiscard]] ScanEnd end() const { return end_; }
+  /// Byte offset (into the scanned view) of the first unconsumed byte.
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+  ScanEnd end_ = ScanEnd::kClean;
+};
+
+}  // namespace smatch::store

@@ -1,0 +1,285 @@
+#include "store/store.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "common/serde.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+
+/// MANIFEST layout: file header (kind kManifest, shard field 0), then
+/// wal_shards:u32, then crc:u32 over that 4-byte body.
+Bytes encode_manifest(std::uint32_t wal_shards) {
+  Writer w;
+  w.raw(encode_file_header(FileKind::kManifest, 0));
+  Writer body;
+  body.u32(wal_shards);
+  w.raw(body.bytes());
+  w.u32(crc32(body.bytes()));
+  return w.take();
+}
+
+StatusOr<std::uint32_t> parse_manifest(BytesView data) {
+  if (Status s = check_file_header(data, FileKind::kManifest); !s.is_ok()) return s;
+  try {
+    Reader r(data.subspan(kFileHeaderBytes));
+    const std::uint32_t shards = r.u32();
+    const std::uint32_t claimed = r.u32();
+    r.finish();
+    Writer body;
+    body.u32(shards);
+    if (crc32(body.bytes()) != claimed || shards == 0) {
+      return Status(StatusCode::kMalformedMessage, "manifest checksum mismatch");
+    }
+    return shards;
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage,
+                  std::string("manifest: ") + e.what());
+  }
+}
+
+Status fs_error(const char* what, const fs::path& path, const std::error_code& ec) {
+  return {StatusCode::kConnectionReset,
+          std::string(what) + " " + path.string() + ": " + ec.message()};
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ProfileStore>> ProfileStore::open(
+    const StoreConfig& config, std::size_t default_shards) {
+  SMATCH_SPAN("store.open");
+  if (!config.enabled()) {
+    return Status(StatusCode::kMalformedMessage,
+                  "ProfileStore::open with an empty directory");
+  }
+  std::error_code ec;
+  const fs::path root(config.directory);
+  fs::create_directories(root, ec);
+  if (ec) return fs_error("create_directories", root, ec);
+
+  auto store = std::unique_ptr<ProfileStore>(new ProfileStore());
+  store->config_ = config;
+
+  // Shard count: MANIFEST > config.wal_shards > engine default.
+  std::size_t shards = config.wal_shards != 0 ? config.wal_shards : default_shards;
+  shards = shards == 0 ? 1 : shards;
+  const fs::path manifest = root / kManifestName;
+  if (fs::exists(manifest, ec)) {
+    StatusOr<Bytes> data = read_file(manifest.string());
+    if (!data.is_ok()) return data.status();
+    StatusOr<std::uint32_t> parsed = parse_manifest(*data);
+    if (!parsed.is_ok()) return parsed.status();
+    shards = *parsed;
+  } else {
+    if (Status s = write_file_atomic(manifest.string(),
+                                     encode_manifest(static_cast<std::uint32_t>(shards)));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+
+  // Page files are a volatile cache of evicted groups: recovery replays
+  // every group from snapshot + WAL, so stale pages are just deleted.
+  const fs::path pages = root / "pages";
+  fs::remove_all(pages, ec);
+  fs::create_directories(pages, ec);
+  if (ec) return fs_error("create_directories", pages, ec);
+
+  store->wals_.reserve(shards);
+  store->snapshot_last_seq_.assign(shards, 0);
+  for (std::size_t i = 0; i < shards; ++i) {
+    const fs::path dir = root / ("shard-" + std::to_string(i));
+    fs::create_directories(dir, ec);
+    if (ec) return fs_error("create_directories", dir, ec);
+    auto wal = std::make_unique<WalFile>();
+    if (Status s = wal->open((dir / "wal.log").string(), static_cast<std::uint32_t>(i),
+                             config.fsync, config.fsync_batch_bytes);
+        !s.is_ok()) {
+      return s;
+    }
+    store->wals_.push_back(std::move(wal));
+  }
+  return store;
+}
+
+Status ProfileStore::append(std::size_t shard, RecordType type, BytesView payload) {
+  StatusOr<std::uint64_t> seq = wals_[shard]->append(type, payload);
+  if (!seq.is_ok()) return seq.status();
+  return Status::ok();
+}
+
+Status ProfileStore::sync() {
+  for (auto& wal : wals_) {
+    if (Status s = wal->sync(); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status ProfileStore::replay(std::size_t shard,
+                            const std::function<Status(const StoreRecord&)>& apply) {
+  SMATCH_SPAN("store.replay");
+  // Snapshot first: the last committed full state of this shard. The
+  // snapshot file is published by atomic rename, so it is either absent
+  // or complete; damage inside it is disk rot and surfaces as an error
+  // rather than silent data loss.
+  std::uint64_t snapshot_seq = 0;
+  const std::string snap = snapshot_path(shard);
+  std::error_code ec;
+  if (fs::exists(snap, ec)) {
+    StatusOr<Bytes> data = read_file(snap);
+    if (!data.is_ok()) return data.status();
+    if (Status s = check_file_header(*data, FileKind::kSnapshot); !s.is_ok()) return s;
+    try {
+      Reader r(BytesView(*data).subspan(kFileHeaderBytes, 8));
+      snapshot_seq = r.u64();
+    } catch (const SerdeError& e) {
+      return {StatusCode::kMalformedMessage, std::string("snapshot: ") + e.what()};
+    }
+    RecordScanner scanner(BytesView(*data).subspan(kFileHeaderBytes + 8));
+    while (std::optional<StoreRecord> record = scanner.next()) {
+      if (Status s = apply(*record); !s.is_ok()) return s;
+      replayed_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("smatch_store_replay_records_total")->fetch_add(1);
+    }
+    if (scanner.end() != ScanEnd::kClean) {
+      return {StatusCode::kMalformedMessage,
+              "snapshot " + snap + " is damaged (offset " +
+                  std::to_string(scanner.offset()) + ")"};
+    }
+  }
+
+  // Then the WAL tail. Records the snapshot already folded in (a crash
+  // between snapshot rename and WAL reset leaves them behind) are
+  // skipped by sequence number — replaying them twice would be harmless
+  // for uploads (last-writer-wins) but not for deletes, so dedup is
+  // structural, not probabilistic.
+  StatusOr<WalReplayStats> stats = wals_[shard]->replay(snapshot_seq, apply);
+  if (!stats.is_ok()) return stats.status();
+  replayed_.fetch_add(stats->records, std::memory_order_relaxed);
+  replay_skipped_.fetch_add(stats->skipped, std::memory_order_relaxed);
+  torn_tails_.fetch_add(stats->torn_tail, std::memory_order_relaxed);
+  crc_stops_.fetch_add(stats->crc_stopped, std::memory_order_relaxed);
+  snapshot_last_seq_[shard] = snapshot_seq;
+  return Status::ok();
+}
+
+ProfileStore::Checkpoint::Checkpoint(ProfileStore& store)
+    : store_(store), lock_(store.checkpoint_mu_) {
+  pending_.resize(store.shards());
+  last_seq_.resize(store.shards());
+  for (std::size_t i = 0; i < store.shards(); ++i) {
+    // Everything appended before the checkpoint began is covered by the
+    // snapshot the engine is about to stream (the engine holds its locks,
+    // so memory state == WAL state right now).
+    last_seq_[i] = store.wals_[i]->next_seq() - 1;
+    smatch::append(pending_[i], encode_file_header(FileKind::kSnapshot,
+                                                   static_cast<std::uint32_t>(i)));
+    Writer w;
+    w.u64(last_seq_[i]);
+    smatch::append(pending_[i], w.bytes());
+  }
+}
+
+void ProfileStore::Checkpoint::add(std::size_t shard, RecordType type,
+                                   BytesView payload) {
+  smatch::append(pending_[shard], encode_record(type, /*seq=*/0, payload));
+}
+
+Status ProfileStore::Checkpoint::commit() {
+  SMATCH_SPAN("store.checkpoint_commit");
+  if (committed_) return {StatusCode::kMalformedMessage, "checkpoint committed twice"};
+  committed_ = true;
+  // Publish every shard's snapshot before resetting any WAL: a crash
+  // between the two leaves committed snapshots plus WALs whose records
+  // replay() will dedup by sequence number.
+  for (std::size_t i = 0; i < store_.shards(); ++i) {
+    if (Status s = write_file_atomic(store_.snapshot_path(i), pending_[i]);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  for (std::size_t i = 0; i < store_.shards(); ++i) {
+    if (Status s = store_.wals_[i]->reset(); !s.is_ok()) return s;
+    store_.snapshot_last_seq_[i] = last_seq_[i];
+  }
+  store_.snapshots_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("smatch_store_snapshots_total")->fetch_add(1);
+  return Status::ok();
+}
+
+std::unique_ptr<ProfileStore::Checkpoint> ProfileStore::begin_checkpoint() {
+  // The Checkpoint holds checkpoint_mu_ until it is destroyed, so two
+  // concurrent checkpoints serialize rather than interleave WAL resets.
+  return std::unique_ptr<Checkpoint>(new Checkpoint(*this));
+}
+
+Status ProfileStore::write_page(BytesView key, BytesView payload) {
+  Writer w;
+  w.raw(encode_file_header(FileKind::kPage, 0));
+  w.raw(encode_record(RecordType::kGroupPage, /*seq=*/0, payload));
+  if (Status s = write_file_atomic(page_path(key), w.bytes()); !s.is_ok()) return s;
+  pages_written_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("smatch_store_evictions_total")->fetch_add(1);
+  return Status::ok();
+}
+
+StatusOr<Bytes> ProfileStore::read_page(BytesView key) {
+  obs::Histogram* hist = obs::Registry::global().histogram("smatch_store_page_in_ns");
+  SMATCH_SPAN_HIST("store.page_in", hist);
+  StatusOr<Bytes> data = read_file(page_path(key));
+  if (!data.is_ok()) return data.status();
+  if (Status s = check_file_header(*data, FileKind::kPage); !s.is_ok()) return s;
+  RecordScanner scanner(BytesView(*data).subspan(kFileHeaderBytes));
+  std::optional<StoreRecord> record = scanner.next();
+  if (!record.has_value() || record->type != RecordType::kGroupPage ||
+      scanner.end() != ScanEnd::kClean) {
+    return Status(StatusCode::kMalformedMessage,
+                  "page file " + page_path(key) + " is damaged");
+  }
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("smatch_store_page_ins_total")->fetch_add(1);
+  return std::move(record->payload);
+}
+
+void ProfileStore::drop_page(BytesView key) {
+  std::error_code ec;
+  fs::remove(page_path(key), ec);
+}
+
+StoreMetrics ProfileStore::metrics() const {
+  StoreMetrics m;
+  for (const auto& wal : wals_) {
+    m.wal_appends += wal->next_seq() - 1;
+    m.wal_bytes += wal->appended_bytes();
+  }
+  m.replayed_records = replayed_.load(std::memory_order_relaxed);
+  m.replay_skipped = replay_skipped_.load(std::memory_order_relaxed);
+  m.torn_tails = torn_tails_.load(std::memory_order_relaxed);
+  m.crc_stops = crc_stops_.load(std::memory_order_relaxed);
+  m.snapshots = snapshots_.load(std::memory_order_relaxed);
+  m.pages_written = pages_written_.load(std::memory_order_relaxed);
+  m.pages_read = pages_read_.load(std::memory_order_relaxed);
+  return m;
+}
+
+std::string ProfileStore::shard_dir(std::size_t shard) const {
+  return (fs::path(config_.directory) / ("shard-" + std::to_string(shard))).string();
+}
+
+std::string ProfileStore::snapshot_path(std::size_t shard) const {
+  return (fs::path(shard_dir(shard)) / "snapshot.bin").string();
+}
+
+std::string ProfileStore::page_path(BytesView key) const {
+  return (fs::path(config_.directory) / "pages" / (to_hex(key) + ".pg")).string();
+}
+
+}  // namespace smatch::store

@@ -1,0 +1,172 @@
+// The durable layer under the sharded engines: per-shard write-ahead
+// logs, atomically renamed snapshots, and page files for evicted
+// ciphertext groups — the txdb/dbwrapper split applied to S-MATCH: the
+// engines (core/server.hpp, core/key_server.hpp) stay the source of
+// truth in memory and talk to this narrow, payload-opaque interface;
+// nothing here parses a profile.
+//
+// Directory layout (`StoreConfig::directory`):
+//
+//   MANIFEST              store version + WAL shard count
+//   shard-<i>/
+//     wal.log             append-only redo log (store/wal.hpp)
+//     snapshot.bin        last committed full state of this shard
+//   pages/
+//     <hex(key)>.pg       one evicted ciphertext group (volatile cache)
+//
+// Protocol: the engine appends a record *before* mutating memory (WAL =
+// redo log), periodically streams its full state through a Checkpoint
+// (tmp + fsync + rename + WAL reset), and on startup replays
+// snapshot.bin followed by the WAL tail, skipping records whose sequence
+// the snapshot already folded in. Page files are a cache, not a source
+// of truth: recovery deletes them (replay rebuilds every group) and the
+// engine re-evicts under its memory budget.
+//
+// Records are sharded by *user id* (shard_of), not by key index: one
+// user's re-uploads land in one log in order, which — together with the
+// engine's total-order group sort — is what makes recovered kNN answers
+// byte-identical. docs/PERSISTENCE.md is the format spec; the
+// smatch_store_* registry metrics are documented there too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "store/format.hpp"
+#include "store/wal.hpp"
+
+namespace smatch::store {
+
+/// Everything the durable layer needs to know. `directory` empty means
+/// persistence stays off — the engines behave exactly as before.
+struct StoreConfig {
+  /// Root directory of the store (created if absent). Empty = disabled.
+  std::string directory;
+  /// When WAL appends reach the disk.
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Unsynced-byte threshold for FsyncPolicy::kBatch.
+  std::size_t fsync_batch_bytes = 64 * 1024;
+  /// WAL shard count; 0 adopts the engine's shard count on first open.
+  /// An existing store's MANIFEST always wins over this field.
+  std::size_t wal_shards = 0;
+  /// Resident-ciphertext budget for the match engine; 0 = no eviction.
+  /// Groups beyond it page out to `pages/` and fault back on query.
+  std::size_t memory_budget_bytes = 0;
+
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// Point-in-time counters of one ProfileStore instance (the global
+/// smatch_store_* registry metrics aggregate across instances).
+struct StoreMetrics {
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t replay_skipped = 0;   // seq-deduped after a partial snapshot
+  std::uint64_t torn_tails = 0;       // shards whose WAL ended mid-record
+  std::uint64_t crc_stops = 0;        // shards whose WAL ended on a bad CRC
+  std::uint64_t snapshots = 0;        // committed checkpoints
+  std::uint64_t pages_written = 0;    // group evictions
+  std::uint64_t pages_read = 0;       // group fault-ins
+};
+
+class ProfileStore {
+ public:
+  /// Opens (creating if needed) the store rooted at config.directory.
+  /// A fresh directory adopts `default_shards` (or config.wal_shards when
+  /// set) and writes the MANIFEST; an existing one validates the manifest
+  /// and adopts its shard count. Stale page files are removed — recovery
+  /// replays every group back into memory.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ProfileStore>> open(
+      const StoreConfig& config, std::size_t default_shards);
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  [[nodiscard]] std::size_t shards() const { return wals_.size(); }
+  /// The WAL shard a user's records always land in (`user` is the
+  /// 32-bit UserId of core/types.hpp; the store stays below core).
+  [[nodiscard]] std::size_t shard_of(std::uint32_t user) const {
+    return user % wals_.size();
+  }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+  /// Appends one redo record to `shard`'s WAL (fsync per policy).
+  [[nodiscard]] Status append(std::size_t shard, RecordType type, BytesView payload);
+
+  /// Forces an fsync of every shard's WAL.
+  [[nodiscard]] Status sync();
+
+  /// Replays `shard`: snapshot records first (in snapshot order), then
+  /// the WAL tail with seq <= snapshot-last-seq records skipped. Stops
+  /// cleanly at WAL tail damage. `apply` errors abort with that status.
+  [[nodiscard]] Status replay(std::size_t shard,
+                              const std::function<Status(const StoreRecord&)>& apply);
+
+  /// Streams one consistent full state into per-shard snapshot files.
+  /// The engine quiesces itself (holds its locks), add()s every live
+  /// record, then commit()s: tmp files are fsynced, renamed over
+  /// snapshot.bin, and each WAL is reset. Abandoning the object without
+  /// commit() leaves the store untouched.
+  class Checkpoint {
+   public:
+    ~Checkpoint() = default;
+    Checkpoint(const Checkpoint&) = delete;
+    Checkpoint& operator=(const Checkpoint&) = delete;
+
+    /// Adds one record to `shard`'s pending snapshot (seq = 0).
+    void add(std::size_t shard, RecordType type, BytesView payload);
+    /// Publishes every shard's snapshot atomically, then resets the WALs.
+    [[nodiscard]] Status commit();
+
+   private:
+    friend class ProfileStore;
+    explicit Checkpoint(ProfileStore& store);
+    ProfileStore& store_;
+    std::unique_lock<std::mutex> lock_;   // one checkpoint at a time
+    std::vector<Bytes> pending_;          // per-shard record bytes
+    std::vector<std::uint64_t> last_seq_; // per-shard WAL seq at start
+    bool committed_ = false;
+  };
+
+  [[nodiscard]] std::unique_ptr<Checkpoint> begin_checkpoint();
+
+  /// Writes (atomically) the page file for an evicted group.
+  [[nodiscard]] Status write_page(BytesView key, BytesView payload);
+  /// Reads a page file back; kConnectionReset when absent,
+  /// kMalformedMessage when damaged.
+  [[nodiscard]] StatusOr<Bytes> read_page(BytesView key);
+  /// Removes a group's page file (no-op when absent).
+  void drop_page(BytesView key);
+
+  [[nodiscard]] StoreMetrics metrics() const;
+
+ private:
+  ProfileStore() = default;
+
+  [[nodiscard]] std::string shard_dir(std::size_t shard) const;
+  [[nodiscard]] std::string snapshot_path(std::size_t shard) const;
+  [[nodiscard]] std::string page_path(BytesView key) const;
+
+  StoreConfig config_;
+  std::vector<std::unique_ptr<WalFile>> wals_;
+  std::vector<std::uint64_t> snapshot_last_seq_;  // per shard, set at open
+
+  std::mutex checkpoint_mu_;  // one checkpoint at a time
+
+  std::atomic<std::uint64_t> replayed_{0};
+  std::atomic<std::uint64_t> replay_skipped_{0};
+  std::atomic<std::uint64_t> torn_tails_{0};
+  std::atomic<std::uint64_t> crc_stops_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> pages_written_{0};
+  std::atomic<std::uint64_t> pages_read_{0};
+};
+
+}  // namespace smatch::store

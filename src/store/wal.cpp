@@ -1,0 +1,257 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch::store {
+
+namespace {
+
+Status errno_status(const char* what, const std::string& path) {
+  return {StatusCode::kConnectionReset,
+          std::string(what) + " " + path + ": " + std::strerror(errno)};
+}
+
+Status fsync_fd(int fd, const std::string& path) {
+  SMATCH_SPAN("store.fsync");
+  const auto start = std::chrono::steady_clock::now();
+  if (::fsync(fd) != 0) return errno_status("fsync", path);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  obs::Registry::global().counter("smatch_store_fsyncs_total")->fetch_add(1);
+  obs::Registry::global()
+      .histogram("smatch_store_fsync_ns")
+      ->record(static_cast<std::uint64_t>(ns));
+  return Status::ok();
+}
+
+Status fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return errno_status("open dir", dir);
+  Status s = fsync_fd(fd, dir);
+  ::close(fd);
+  return s;
+}
+
+}  // namespace
+
+WalFile::~WalFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalFile::open(const std::string& path, std::uint32_t shard,
+                     FsyncPolicy policy, std::size_t batch_bytes) {
+  std::lock_guard lk(mu_);
+  path_ = path;
+  shard_ = shard;
+  policy_ = policy;
+  batch_bytes_ = batch_bytes == 0 ? 1 : batch_bytes;
+
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return errno_status("open", path);
+
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return errno_status("fstat", path);
+  if (st.st_size == 0) {
+    const Bytes header = encode_file_header(FileKind::kWal, shard);
+    if (Status s = write_all(header); !s.is_ok()) return s;
+    return fsync_now();
+  }
+
+  // Existing log: the header must match before anything is appended.
+  Bytes head(kFileHeaderBytes, 0);
+  const ssize_t n = ::pread(fd_, head.data(), head.size(), 0);
+  if (n < 0) return errno_status("read", path);
+  head.resize(static_cast<std::size_t>(n));
+  std::uint32_t file_shard = 0;
+  if (Status s = check_file_header(head, FileKind::kWal, &file_shard); !s.is_ok()) {
+    return s;
+  }
+  if (file_shard != shard) {
+    return {StatusCode::kMalformedMessage, "wal header names a different shard"};
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint64_t> WalFile::append(RecordType type, BytesView payload) {
+  obs::Histogram* append_hist =
+      obs::Registry::global().histogram("smatch_store_wal_append_ns");
+  SMATCH_SPAN_HIST("store.wal_append", append_hist);
+  std::lock_guard lk(mu_);
+  if (fd_ < 0) return Status(StatusCode::kConnectionReset, "wal not open");
+  const std::uint64_t seq = next_seq_;
+  const Bytes record = encode_record(type, seq, payload);
+  if (Status s = write_all(record); !s.is_ok()) return s;
+  ++next_seq_;
+  appended_bytes_ += record.size();
+  unsynced_ += record.size();
+  obs::Registry::global().counter("smatch_store_wal_appends_total")->fetch_add(1);
+  obs::Registry::global()
+      .counter("smatch_store_wal_bytes_total")
+      ->fetch_add(record.size());
+  if (policy_ == FsyncPolicy::kAlways ||
+      (policy_ == FsyncPolicy::kBatch && unsynced_ >= batch_bytes_)) {
+    if (Status s = fsync_now(); !s.is_ok()) return s;
+  }
+  return seq;
+}
+
+Status WalFile::sync() {
+  std::lock_guard lk(mu_);
+  if (fd_ < 0) return {StatusCode::kConnectionReset, "wal not open"};
+  return fsync_now();
+}
+
+Status WalFile::reset() {
+  std::lock_guard lk(mu_);
+  if (fd_ < 0) return {StatusCode::kConnectionReset, "wal not open"};
+  if (::ftruncate(fd_, 0) != 0) return errno_status("ftruncate", path_);
+  const Bytes header = encode_file_header(FileKind::kWal, shard_);
+  // O_APPEND keeps writing at the (now zero) end of file.
+  if (Status s = write_all(header); !s.is_ok()) return s;
+  unsynced_ = 0;
+  return fsync_now();
+}
+
+StatusOr<WalReplayStats> WalFile::replay(
+    std::uint64_t after_seq, const std::function<Status(const StoreRecord&)>& apply) {
+  // Snapshot the log bytes under mu_, but run the caller's apply callback
+  // outside it: apply re-enters engine locks that are also held around
+  // append() (engine lock -> wal lock), so calling back while holding mu_
+  // would invert that order. Replay runs at attach time, before anything
+  // serves, so nothing appends concurrently with the unlocked scan.
+  Bytes data;
+  {
+    std::lock_guard lk(mu_);
+    if (fd_ < 0) return Status(StatusCode::kConnectionReset, "wal not open");
+    StatusOr<Bytes> r = read_file(path_);
+    if (!r.is_ok()) return r.status();
+    data = std::move(*r);
+  }
+  if (Status s = check_file_header(data, FileKind::kWal); !s.is_ok()) return s;
+
+  WalReplayStats stats;
+  std::uint64_t max_seq_end = 0;  // one past the highest seq seen in the log
+  RecordScanner scanner(BytesView(data).subspan(kFileHeaderBytes));
+  while (std::optional<StoreRecord> record = scanner.next()) {
+    if (record->seq + 1 > max_seq_end) max_seq_end = record->seq + 1;
+    if (record->seq <= after_seq) {
+      ++stats.skipped;
+      obs::Registry::global()
+          .counter("smatch_store_replay_duplicates_skipped_total")
+          ->fetch_add(1);
+      continue;
+    }
+    if (Status s = apply(*record); !s.is_ok()) return s;
+    ++stats.records;
+    obs::Registry::global().counter("smatch_store_replay_records_total")->fetch_add(1);
+  }
+  switch (scanner.end()) {
+    case ScanEnd::kClean:
+      break;
+    case ScanEnd::kTornTail:
+      stats.torn_tail = 1;
+      obs::Registry::global()
+          .counter("smatch_store_torn_tail_records_total")
+          ->fetch_add(1);
+      break;
+    case ScanEnd::kCrcMismatch:
+    case ScanEnd::kBadRecord:
+      stats.crc_stopped = 1;
+      obs::Registry::global()
+          .counter("smatch_store_crc_stop_records_total")
+          ->fetch_add(1);
+      break;
+  }
+  {
+    std::lock_guard lk(mu_);
+    if (max_seq_end > next_seq_) next_seq_ = max_seq_end;
+    stats.next_seq = next_seq_;
+  }
+  return stats;
+}
+
+std::uint64_t WalFile::next_seq() const {
+  std::lock_guard lk(mu_);
+  return next_seq_;
+}
+
+std::uint64_t WalFile::appended_bytes() const {
+  std::lock_guard lk(mu_);
+  return appended_bytes_;
+}
+
+Status WalFile::write_all(BytesView data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write", path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status WalFile::fsync_now() {
+  if (Status s = fsync_fd(fd_, path_); !s.is_ok()) return s;
+  unsynced_ = 0;
+  return Status::ok();
+}
+
+StatusOr<Bytes> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return errno_status("open", path);
+  Bytes out;
+  Bytes chunk(1 << 16, 0);
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status(StatusCode::kMalformedMessage,
+                    "read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.insert(out.end(), chunk.begin(), chunk.begin() + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status write_file_atomic(const std::string& path, BytesView data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return errno_status("open", tmp);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_status("write", tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (Status s = fsync_fd(fd, tmp); !s.is_ok()) {
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return errno_status("rename", tmp);
+  return fsync_parent_dir(path);
+}
+
+}  // namespace smatch::store

@@ -1,0 +1,105 @@
+// One shard's append-only write-ahead log.
+//
+// A WalFile owns a POSIX fd opened for append. Records are framed by
+// store/format.hpp; the file starts with the 8-byte kWal header. Appends
+// are serialized by an internal mutex and assign monotonically increasing
+// per-shard sequence numbers; durability follows the configured fsync
+// policy (kAlways = fsync every append, kBatch = fsync once the unsynced
+// byte count crosses a threshold, kNever = leave it to the OS). replay()
+// scans the whole file, stopping — never failing — at a torn tail or a
+// checksum mismatch, which is exactly the state a kill -9 mid-append
+// leaves behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "store/format.hpp"
+
+namespace smatch::store {
+
+/// When appended records reach the disk platter.
+enum class FsyncPolicy : std::uint8_t {
+  kNever = 0,  // write() only; the OS flushes when it likes
+  kBatch,      // fsync once >= fsync_batch_bytes are unsynced
+  kAlways,     // fsync every append (strongest, slowest)
+};
+
+/// What one replay() pass saw.
+struct WalReplayStats {
+  std::uint64_t records = 0;      // records handed to the callback
+  std::uint64_t skipped = 0;      // seq <= threshold (already snapshotted)
+  std::uint64_t torn_tail = 0;    // 1 when the scan ended on a torn tail
+  std::uint64_t crc_stopped = 0;  // 1 when the scan ended on a bad CRC
+  std::uint64_t next_seq = 1;     // first unused sequence number
+};
+
+class WalFile {
+ public:
+  WalFile() = default;
+  ~WalFile();
+
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  /// Opens (creating if absent) the log at `path` for shard `shard`.
+  /// An existing file must carry a valid kWal header for this shard.
+  [[nodiscard]] Status open(const std::string& path, std::uint32_t shard,
+                            FsyncPolicy policy, std::size_t batch_bytes);
+
+  /// Appends one record and applies the fsync policy. Returns the
+  /// sequence number the record was stamped with.
+  [[nodiscard]] StatusOr<std::uint64_t> append(RecordType type, BytesView payload);
+
+  /// Forces an fsync of everything appended so far.
+  [[nodiscard]] Status sync();
+
+  /// Truncates the log back to a bare header (after a committed
+  /// snapshot). The sequence counter keeps counting — sequence numbers
+  /// are never reused, which is what lets replay dedup against a
+  /// snapshot's last-included sequence.
+  [[nodiscard]] Status reset();
+
+  /// Replays the on-disk log: every whole, checksummed record with
+  /// seq > `after_seq` is handed to `apply` in file order. Stops cleanly
+  /// at a torn tail / CRC mismatch / unknown type and reports which in
+  /// the stats. `apply` returning an error aborts the replay with it.
+  /// Also fast-forwards the in-memory sequence counter past everything
+  /// seen, so post-replay appends extend the history.
+  [[nodiscard]] StatusOr<WalReplayStats> replay(
+      std::uint64_t after_seq, const std::function<Status(const StoreRecord&)>& apply);
+
+  /// Next sequence number an append would use.
+  [[nodiscard]] std::uint64_t next_seq() const;
+
+  /// Bytes appended since open (header excluded).
+  [[nodiscard]] std::uint64_t appended_bytes() const;
+
+ private:
+  [[nodiscard]] Status write_all(BytesView data);
+  [[nodiscard]] Status fsync_now();
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  std::uint32_t shard_ = 0;
+  FsyncPolicy policy_ = FsyncPolicy::kBatch;
+  std::size_t batch_bytes_ = 64 * 1024;
+  std::size_t unsynced_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appended_bytes_ = 0;
+};
+
+/// Reads a whole file into memory. kConnectionReset when it cannot be
+/// opened, kMalformedMessage on a read error.
+[[nodiscard]] StatusOr<Bytes> read_file(const std::string& path);
+
+/// Writes `data` to `path.tmp`, fsyncs it, atomically renames it over
+/// `path`, and fsyncs the containing directory — the crash-safe
+/// publication step snapshots and page files share.
+[[nodiscard]] Status write_file_atomic(const std::string& path, BytesView data);
+
+}  // namespace smatch::store

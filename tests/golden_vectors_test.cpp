@@ -14,6 +14,7 @@
 #include "net/session.hpp"
 #include "net/transport.hpp"
 #include "ope/ope.hpp"
+#include "store/format.hpp"
 
 namespace smatch {
 namespace {
@@ -210,6 +211,37 @@ TEST(GoldenVectors, CorruptedHeaderIsRejectedNotParsed) {
   Bytes bad_version = from_hex(kQueryHex);
   bad_version[2] = 0x7F;
   EXPECT_EQ(QueryRequest::parse(bad_version).code(), StatusCode::kUnsupportedVersion);
+}
+
+TEST(GoldenVectors, WalRecordFrameIsStable) {
+  // The durable store's on-disk framing (docs/PERSISTENCE.md). A diff
+  // here means existing WAL/snapshot files stop replaying and must be
+  // paired with a kStoreVersion bump.
+  //
+  // File header: magic "SM" || store version 1 || kind 'W' || shard 0.
+  EXPECT_EQ(to_hex(store::encode_file_header(store::FileKind::kWal, 0)),
+            "534d015700000000");
+
+  // Record: len=0x58 (88 = 75-byte payload + 13) || type kUpload ||
+  // seq=1 || payload (the golden upload wire — disk stores exactly what
+  // the wire carries) || crc32(type||seq||payload).
+  const std::string record_hex = std::string("00000058") + "01" +
+                                 "0000000000000001" + kUploadHex + "c110b0f3";
+  EXPECT_EQ(
+      to_hex(store::encode_record(store::RecordType::kUpload, 1,
+                                  golden_upload().serialize())),
+      record_hex);
+
+  // And it scans back intact. (RecordScanner views, never owns.)
+  const Bytes record_bytes = from_hex(record_hex);
+  store::RecordScanner scanner(record_bytes);
+  const auto rec = scanner.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->type, store::RecordType::kUpload);
+  EXPECT_EQ(rec->seq, 1u);
+  EXPECT_EQ(to_hex(rec->payload), kUploadHex);
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.end(), store::ScanEnd::kClean);
 }
 
 TEST(GoldenVectors, OpeCiphertextsUnderFixedKeyAreStable) {

@@ -1,0 +1,690 @@
+// Durable-store tests: on-disk framing, WAL replay across torn tails and
+// flipped bits, snapshot/WAL dedup after a simulated crash, byte-identical
+// engine recovery, cold-group eviction under a memory budget, and budget
+// persistence in the key service. The concurrency tests are meant to also
+// run under TSan (scripts/ci.sh builds this target with
+// -DSMATCH_SANITIZE=thread). The kill -9 variant of the recovery story
+// lives in tests/store_crash_harness.cpp, driven by scripts/ci.sh.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/serde.hpp"
+
+#include "core/key_server.hpp"
+#include "core/server.hpp"
+#include "crypto/drbg.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
+#include "store/wal.hpp"
+
+namespace smatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique writable directory, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("smatch_store_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+Bytes file_bytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const fs::path& p, BytesView data) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+/// Deterministic synthetic upload: everything derives from the user id,
+/// so any process (including the crash harness) can regenerate it.
+UploadMessage synthetic_upload(UserId id, std::size_t num_groups = 4) {
+  UploadMessage up;
+  up.user_id = id;
+  up.key_index.assign(32, static_cast<std::uint8_t>(id % num_groups));
+  up.key_index[1] = static_cast<std::uint8_t>((id % num_groups) * 37 + 1);
+  up.chain_cipher = BigInt::from_decimal(std::to_string(1000000007ull * id + 13));
+  up.chain_cipher_bits = 64;
+  Drbg rng(id + 1);
+  up.auth_token = rng.bytes(16);
+  return up;
+}
+
+QueryRequest query_for(UserId id) {
+  QueryRequest q;
+  q.query_id = id * 3 + 1;
+  q.timestamp = id + 100;
+  q.user_id = id;
+  return q;
+}
+
+store::StoreConfig store_config(const TempDir& dir) {
+  store::StoreConfig cfg;
+  cfg.directory = dir.str();
+  cfg.fsync = store::FsyncPolicy::kNever;  // tests don't need platter latency
+  return cfg;
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(StoreFormat, FileHeaderRoundTripsAndRejectsDamage) {
+  const Bytes header = store::encode_file_header(store::FileKind::kSnapshot, 5);
+  ASSERT_EQ(header.size(), store::kFileHeaderBytes);
+  std::uint32_t shard = 0;
+  EXPECT_TRUE(
+      store::check_file_header(header, store::FileKind::kSnapshot, &shard).is_ok());
+  EXPECT_EQ(shard, 5u);
+  // Wrong kind.
+  EXPECT_EQ(store::check_file_header(header, store::FileKind::kWal).code(),
+            StatusCode::kMalformedMessage);
+  // Future version.
+  Bytes versioned = header;
+  versioned[2] = store::kStoreVersion + 1;
+  EXPECT_EQ(store::check_file_header(versioned, store::FileKind::kSnapshot).code(),
+            StatusCode::kUnsupportedVersion);
+  // Truncated.
+  EXPECT_EQ(store::check_file_header(BytesView(header).subspan(0, 7),
+                                     store::FileKind::kSnapshot)
+                .code(),
+            StatusCode::kMalformedMessage);
+}
+
+TEST(StoreFormat, RecordsScanBackInOrder) {
+  Bytes log;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    Bytes payload(seq, static_cast<std::uint8_t>(seq));
+    append(log, store::encode_record(store::RecordType::kUpload, seq, payload));
+  }
+  store::RecordScanner scanner(log);
+  std::uint64_t expect = 1;
+  while (auto rec = scanner.next()) {
+    EXPECT_EQ(rec->seq, expect);
+    EXPECT_EQ(rec->payload.size(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 6u);
+  EXPECT_EQ(scanner.end(), store::ScanEnd::kClean);
+  EXPECT_EQ(scanner.offset(), log.size());
+}
+
+TEST(StoreFormat, TornTailStopsScanCleanly) {
+  Bytes log = store::encode_record(store::RecordType::kUpload, 1, Bytes(8, 0xAA));
+  const std::size_t whole = log.size();
+  append(log, store::encode_record(store::RecordType::kUpload, 2, Bytes(8, 0xBB)));
+  // Chop the second record anywhere: mid-length, mid-body, mid-crc.
+  for (const std::size_t cut : {whole + 2, whole + 10, log.size() - 1}) {
+    store::RecordScanner scanner(BytesView(log).subspan(0, cut));
+    ASSERT_TRUE(scanner.next().has_value());
+    EXPECT_FALSE(scanner.next().has_value());
+    EXPECT_EQ(scanner.end(), store::ScanEnd::kTornTail) << "cut=" << cut;
+    EXPECT_EQ(scanner.offset(), whole);
+  }
+}
+
+TEST(StoreFormat, FlippedBitStopsScanAtCrcMismatch) {
+  Bytes log = store::encode_record(store::RecordType::kUpload, 1, Bytes(8, 0xAA));
+  append(log, store::encode_record(store::RecordType::kDelete, 2, Bytes(4, 0xBB)));
+  Bytes flipped = log;
+  flipped[log.size() - 10] ^= 0x01;  // inside the second record's body
+  store::RecordScanner scanner(flipped);
+  ASSERT_TRUE(scanner.next().has_value());
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.end(), store::ScanEnd::kCrcMismatch);
+}
+
+TEST(StoreFormat, AbsurdLengthStopsScanAsBadRecord) {
+  Bytes log = {0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00};
+  store::RecordScanner scanner(log);
+  EXPECT_FALSE(scanner.next().has_value());
+  EXPECT_EQ(scanner.end(), store::ScanEnd::kBadRecord);
+}
+
+// ------------------------------------------------------------------- wal
+
+TEST(WalFile, AppendReplayRoundTrip) {
+  TempDir dir("wal_roundtrip");
+  store::WalFile wal;
+  ASSERT_TRUE(wal.open((dir.path / "wal.log").string(), 3,
+                       store::FsyncPolicy::kNever, 0)
+                  .is_ok());
+  for (int i = 1; i <= 10; ++i) {
+    const auto seq = wal.append(store::RecordType::kUpload,
+                                Bytes(static_cast<std::size_t>(i), 0x42));
+    ASSERT_TRUE(seq.is_ok());
+    EXPECT_EQ(*seq, static_cast<std::uint64_t>(i));
+  }
+  std::vector<std::uint64_t> seen;
+  const auto stats = wal.replay(0, [&](const store::StoreRecord& rec) {
+    seen.push_back(rec.seq);
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records, 10u);
+  EXPECT_EQ(stats->torn_tail + stats->crc_stopped, 0u);
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(wal.next_seq(), 11u);
+}
+
+TEST(WalFile, SequenceNumbersSurviveResetAndReopen) {
+  TempDir dir("wal_seq");
+  const std::string path = (dir.path / "wal.log").string();
+  {
+    store::WalFile wal;
+    ASSERT_TRUE(wal.open(path, 0, store::FsyncPolicy::kAlways, 0).is_ok());
+    ASSERT_TRUE(wal.append(store::RecordType::kUpload, Bytes{1}).is_ok());
+    ASSERT_TRUE(wal.append(store::RecordType::kUpload, Bytes{2}).is_ok());
+    ASSERT_TRUE(wal.reset().is_ok());
+    // Never reused: the next append continues the history.
+    const auto seq = wal.append(store::RecordType::kUpload, Bytes{3});
+    ASSERT_TRUE(seq.is_ok());
+    EXPECT_EQ(*seq, 3u);
+  }
+  store::WalFile reopened;
+  ASSERT_TRUE(reopened.open(path, 0, store::FsyncPolicy::kNever, 0).is_ok());
+  const auto stats = reopened.replay(0, [](const store::StoreRecord&) {
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records, 1u);
+  EXPECT_EQ(reopened.next_seq(), 4u);
+}
+
+TEST(WalFile, RejectsForeignShardHeader) {
+  TempDir dir("wal_shard");
+  const std::string path = (dir.path / "wal.log").string();
+  {
+    store::WalFile wal;
+    ASSERT_TRUE(wal.open(path, 1, store::FsyncPolicy::kNever, 0).is_ok());
+  }
+  store::WalFile other;
+  EXPECT_EQ(other.open(path, 2, store::FsyncPolicy::kNever, 0).code(),
+            StatusCode::kMalformedMessage);
+}
+
+TEST(WalFile, TruncatedTailReplaysPrefixThenExtends) {
+  TempDir dir("wal_torn");
+  const std::string path = (dir.path / "wal.log").string();
+  {
+    store::WalFile wal;
+    ASSERT_TRUE(wal.open(path, 0, store::FsyncPolicy::kNever, 0).is_ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.append(store::RecordType::kUpload, Bytes(16, 0x11)).is_ok());
+    }
+  }
+  // kill -9 mid-append: the tail record is half there.
+  Bytes raw = file_bytes(path);
+  raw.resize(raw.size() - 7);
+  write_bytes(path, raw);
+
+  store::WalFile wal;
+  ASSERT_TRUE(wal.open(path, 0, store::FsyncPolicy::kNever, 0).is_ok());
+  const auto stats = wal.replay(0, [](const store::StoreRecord&) {
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats.is_ok());
+  EXPECT_EQ(stats->records, 2u);
+  EXPECT_EQ(stats->torn_tail, 1u);
+  // The counter fast-forwarded past the survivors; appends keep working.
+  const auto seq = wal.append(store::RecordType::kUpload, Bytes{9});
+  ASSERT_TRUE(seq.is_ok());
+  EXPECT_EQ(*seq, 3u);
+}
+
+// ----------------------------------------------------------- ProfileStore
+
+TEST(ProfileStore, ManifestPinsShardCountAcrossReopen) {
+  TempDir dir("manifest");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.wal_shards = 3;
+  {
+    auto st = store::ProfileStore::open(cfg, 8);
+    ASSERT_TRUE(st.is_ok());
+    EXPECT_EQ((*st)->shards(), 3u);
+  }
+  // A different config cannot re-shard an existing store.
+  cfg.wal_shards = 7;
+  auto st = store::ProfileStore::open(cfg, 8);
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_EQ((*st)->shards(), 3u);
+}
+
+TEST(ProfileStore, ReplayDedupsWalRecordsAfterCrashBetweenSnapshotAndReset) {
+  TempDir dir("dedup");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.wal_shards = 1;
+  const fs::path wal_path = dir.path / "shard-0" / "wal.log";
+
+  {
+    auto opened = store::ProfileStore::open(cfg, 1);
+    ASSERT_TRUE(opened.is_ok());
+    auto& store = **opened;
+    for (std::uint8_t i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(
+          store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
+    }
+    // Simulate a crash between snapshot rename and WAL truncation: commit
+    // the checkpoint, then put the pre-checkpoint WAL back.
+    const Bytes pre_checkpoint_wal = file_bytes(wal_path);
+    auto cp = store.begin_checkpoint();
+    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x01));
+    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x02));
+    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x03));
+    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x04));
+    ASSERT_TRUE(cp->commit().is_ok());
+    write_bytes(wal_path, pre_checkpoint_wal);
+  }
+
+  auto reopened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(reopened.is_ok());
+  std::size_t applied = 0;
+  ASSERT_TRUE((*reopened)
+                  ->replay(0,
+                           [&](const store::StoreRecord&) {
+                             ++applied;
+                             return Status::ok();
+                           })
+                  .is_ok());
+  // 4 from the snapshot; the 4 stale WAL records are seq-deduped, not
+  // applied twice (which would matter for deletes).
+  EXPECT_EQ(applied, 4u);
+  EXPECT_EQ((*reopened)->metrics().replay_skipped, 4u);
+}
+
+TEST(ProfileStore, PageRoundTripAndDamageDetection) {
+  TempDir dir("pages");
+  auto opened = store::ProfileStore::open(store_config(dir), 1);
+  ASSERT_TRUE(opened.is_ok());
+  auto& store = **opened;
+  const Bytes key(32, 0x7E);
+  const Bytes payload(100, 0x5C);
+  ASSERT_TRUE(store.write_page(key, payload).is_ok());
+  auto back = store.read_page(key);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, payload);
+
+  // Flip one payload bit on disk: the page must be rejected, not served.
+  const fs::path page = dir.path / "pages" / (to_hex(key) + ".pg");
+  Bytes raw = file_bytes(page);
+  raw[raw.size() - 10] ^= 0x80;
+  write_bytes(page, raw);
+  EXPECT_EQ(store.read_page(key).code(), StatusCode::kMalformedMessage);
+
+  store.drop_page(key);
+  EXPECT_FALSE(store.read_page(key).is_ok());
+}
+
+TEST(ProfileStore, StalePagesAreDiscardedAtOpen) {
+  TempDir dir("stale_pages");
+  const Bytes key(32, 0x11);
+  {
+    auto st = store::ProfileStore::open(store_config(dir), 1);
+    ASSERT_TRUE(st.is_ok());
+    ASSERT_TRUE((*st)->write_page(key, Bytes(8, 1)).is_ok());
+  }
+  auto st = store::ProfileStore::open(store_config(dir), 1);
+  ASSERT_TRUE(st.is_ok());
+  // Pages are cache, not truth: a reopen starts clean.
+  EXPECT_FALSE((*st)->read_page(key).is_ok());
+}
+
+// ----------------------------------------------------- MatchServer + store
+
+/// kNN answers of `server` for every user in [1, n], serialized.
+std::vector<Bytes> answers(MatchServer& server, UserId n, std::size_t k = 4) {
+  std::vector<Bytes> out;
+  for (UserId id = 1; id <= n; ++id) {
+    auto result = server.match(query_for(id), k);
+    if (result.is_ok()) {
+      out.push_back(result->serialize());
+    } else {
+      out.push_back(to_bytes("error:" + std::to_string(static_cast<int>(result.code()))));
+    }
+  }
+  return out;
+}
+
+TEST(MatchServerStore, RestartAnswersKnnByteIdentically) {
+  TempDir dir("engine_restart");
+  constexpr UserId kUsers = 60;
+  std::vector<Bytes> before;
+  {
+    MatchServer server(ServerOptions{.num_shards = 4});
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    for (UserId id = 1; id <= kUsers; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+    // Re-uploads move a few users between groups — replay must preserve
+    // last-writer-wins per user.
+    for (UserId id = 1; id <= 10; ++id) {
+      UploadMessage up = synthetic_upload(id);
+      up.key_index.assign(32, static_cast<std::uint8_t>((id + 1) % 4));
+      ASSERT_TRUE(server.ingest(up).is_ok());
+    }
+    before = answers(server, kUsers);
+  }
+
+  MatchServer recovered(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  EXPECT_EQ(recovered.num_users(), kUsers);
+  EXPECT_EQ(answers(recovered, kUsers), before);
+}
+
+TEST(MatchServerStore, CheckpointThenMoreIngestsRecoversBoth) {
+  TempDir dir("engine_checkpoint");
+  constexpr UserId kUsers = 40;
+  std::vector<Bytes> before;
+  {
+    MatchServer server;
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    for (UserId id = 1; id <= kUsers / 2; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+    ASSERT_TRUE(server.checkpoint().is_ok());
+    for (UserId id = kUsers / 2 + 1; id <= kUsers; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+    before = answers(server, kUsers);
+  }
+
+  MatchServer recovered;
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  EXPECT_EQ(recovered.num_users(), kUsers);
+  const auto metrics = recovered.store()->metrics();
+  EXPECT_GT(metrics.replayed_records, 0u);
+  EXPECT_EQ(answers(recovered, kUsers), before);
+}
+
+TEST(MatchServerStore, RemoveIsDurable) {
+  TempDir dir("engine_remove");
+  {
+    MatchServer server;
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    for (UserId id = 1; id <= 8; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+    ASSERT_TRUE(server.remove(3).is_ok());
+    EXPECT_EQ(server.remove(3).code(), StatusCode::kUnknownUser);
+  }
+  MatchServer recovered;
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  EXPECT_EQ(recovered.num_users(), 7u);
+  EXPECT_EQ(recovered.match(query_for(3), 2).code(), StatusCode::kUnknownUser);
+  EXPECT_TRUE(recovered.match(query_for(4), 2).is_ok());
+}
+
+TEST(MatchServerStore, TornWalTailRecoversThePrefix) {
+  TempDir dir("engine_torn");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.wal_shards = 1;  // single log => recovered state is a strict prefix
+  {
+    MatchServer server;
+    ASSERT_TRUE(server.attach_store(cfg).is_ok());
+    for (UserId id = 1; id <= 12; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+  }
+  // Tear the last record (kill -9 mid-write).
+  const fs::path wal = dir.path / "shard-0" / "wal.log";
+  Bytes raw = file_bytes(wal);
+  raw.resize(raw.size() - 5);
+  write_bytes(wal, raw);
+
+  MatchServer recovered;
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(recovered.num_users(), 11u);
+  EXPECT_EQ(recovered.store()->metrics().torn_tails, 1u);
+
+  // The recovered engine equals a fresh engine fed the surviving prefix.
+  MatchServer reference;
+  for (UserId id = 1; id <= 11; ++id) {
+    ASSERT_TRUE(reference.ingest(synthetic_upload(id)).is_ok());
+  }
+  EXPECT_EQ(answers(recovered, 11), answers(reference, 11));
+}
+
+TEST(MatchServerStore, FlippedWalBitRecoversThePrefix) {
+  TempDir dir("engine_flip");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.wal_shards = 1;
+  {
+    MatchServer server;
+    ASSERT_TRUE(server.attach_store(cfg).is_ok());
+    for (UserId id = 1; id <= 12; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+  }
+  // Flip a bit inside the last record's payload.
+  const fs::path wal = dir.path / "shard-0" / "wal.log";
+  Bytes raw = file_bytes(wal);
+  raw[raw.size() - 20] ^= 0x04;
+  write_bytes(wal, raw);
+
+  MatchServer recovered;
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(recovered.num_users(), 11u);
+  EXPECT_EQ(recovered.store()->metrics().crc_stops, 1u);
+}
+
+TEST(MatchServerStore, EvictionPagesGroupsOutAndFaultsThemBackIdentically) {
+  TempDir dir("eviction");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.memory_budget_bytes = 2048;  // a few groups fit; most must page out
+  constexpr UserId kUsers = 80;
+
+  MatchServer budgeted(ServerOptions{.num_shards = 2});
+  ASSERT_TRUE(budgeted.attach_store(cfg).is_ok());
+  MatchServer reference(ServerOptions{.num_shards = 2});
+  for (UserId id = 1; id <= kUsers; ++id) {
+    ASSERT_TRUE(budgeted.ingest(synthetic_upload(id, /*num_groups=*/8)).is_ok());
+    ASSERT_TRUE(reference.ingest(synthetic_upload(id, /*num_groups=*/8)).is_ok());
+  }
+  const auto metrics = budgeted.store()->metrics();
+  EXPECT_GT(metrics.pages_written, 0u) << "budget never forced an eviction";
+
+  // Every query faults its group back in (if evicted) and must answer
+  // exactly like the all-resident reference engine.
+  for (UserId id = 1; id <= kUsers; ++id) {
+    auto a = budgeted.match(query_for(id), 4);
+    auto b = reference.match(query_for(id), 4);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(a->serialize(), b->serialize()) << "user " << id;
+  }
+  EXPECT_GT(budgeted.store()->metrics().pages_read, 0u);
+  // Group bookkeeping survives the round trip.
+  for (UserId id = 1; id <= kUsers; ++id) {
+    EXPECT_EQ(budgeted.group_size_of(id), reference.group_size_of(id));
+  }
+}
+
+TEST(MatchServerStore, EvictedGroupPageBytesRoundTripExactly) {
+  TempDir dir("evict_bytes");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.memory_budget_bytes = 1;  // evict everything not just touched
+  // One data shard so the two groups contend for the same budget.
+  MatchServer server(ServerOptions{.num_shards = 1});
+  ASSERT_TRUE(server.attach_store(cfg).is_ok());
+  for (UserId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(server.ingest(synthetic_upload(id, /*num_groups=*/2)).is_ok());
+  }
+  // Page files hold serialized UploadMessage wires; parse them back and
+  // compare against regenerated uploads byte for byte.
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path / "pages")) {
+    const Bytes raw = file_bytes(entry.path());
+    store::RecordScanner scanner(
+        BytesView(raw).subspan(store::kFileHeaderBytes));
+    const auto rec = scanner.next();
+    ASSERT_TRUE(rec.has_value());
+    Reader r(rec->payload);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Bytes wire = r.var_bytes();
+      const auto up = UploadMessage::parse(wire);
+      ASSERT_TRUE(up.is_ok());
+      EXPECT_EQ(wire, synthetic_upload(up->user_id, 2).serialize());
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(MatchServerStore, MatchBatchEqualsSequentialUnderPaging) {
+  TempDir dir("batch_paging");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.memory_budget_bytes = 2048;
+  MatchServer server(ServerOptions{.num_shards = 2, .batch_threads = 4});
+  ASSERT_TRUE(server.attach_store(cfg).is_ok());
+  std::vector<QueryRequest> queries;
+  for (UserId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(server.ingest(synthetic_upload(id, /*num_groups=*/8)).is_ok());
+    queries.push_back(query_for(id));
+  }
+  const auto batched = server.match_batch(queries, 4);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto sequential = server.match(queries[i], 4);
+    ASSERT_TRUE(batched[i].is_ok());
+    ASSERT_TRUE(sequential.is_ok());
+    EXPECT_EQ(batched[i]->serialize(), sequential->serialize());
+  }
+}
+
+TEST(MatchServerStore, ConcurrentIngestAndMatchUnderPagingStaysConsistent) {
+  TempDir dir("concurrent");
+  store::StoreConfig cfg = store_config(dir);
+  cfg.memory_budget_bytes = 4096;
+  MatchServer server(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(server.attach_store(cfg).is_ok());
+  for (UserId id = 1; id <= 32; ++id) {
+    ASSERT_TRUE(server.ingest(synthetic_upload(id, /*num_groups=*/6)).is_ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const UserId id = static_cast<UserId>((t * kOpsPerThread + i) % 32 + 1);
+        if (i % 3 == 0) {
+          if (!server.ingest(synthetic_upload(id, 6)).is_ok()) failures.fetch_add(1);
+        } else {
+          const auto result = server.match(query_for(id), 3);
+          // kEmptyGroup can race a re-upload; anything else is a bug.
+          if (!result.is_ok() && result.code() != StatusCode::kEmptyGroup) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // And the busy history still replays into an identical engine.
+  std::vector<Bytes> live = answers(server, 32, 3);
+  MatchServer recovered(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(answers(recovered, 32, 3), live);
+}
+
+// ------------------------------------------------------ KeyServer + store
+
+RsaKeyPair test_rsa() {
+  Drbg rng(777);
+  return RsaKeyPair::generate(rng, 512);
+}
+
+Bytes oprf_request(const RsaPublicKey& /*pub*/, UserId client, std::uint64_t salt) {
+  Drbg rng(salt);
+  KeyRequest req;
+  req.client_id = client;
+  // 256 random bits: always inside the 512-bit RSA group.
+  req.blinded = BigInt::from_bytes(rng.bytes(32));
+  return req.serialize();
+}
+
+TEST(KeyServerStore, SpentBudgetsSurviveRestart) {
+  TempDir dir("budgets");
+  RsaKeyPair rsa = test_rsa();
+  const RsaPublicKey pub = rsa.public_key();
+  {
+    KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 3});
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.handle(oprf_request(pub, 9, 1)).is_ok());
+    ASSERT_TRUE(server.handle(oprf_request(pub, 9, 2)).is_ok());
+  }
+  // A restart must not refund the two spent requests.
+  KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 3});
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  EXPECT_TRUE(recovered.handle(oprf_request(pub, 9, 3)).is_ok());
+  EXPECT_EQ(recovered.handle(oprf_request(pub, 9, 4)).code(),
+            StatusCode::kBudgetExhausted);
+}
+
+TEST(KeyServerStore, EpochResetIsDurable) {
+  TempDir dir("epochs");
+  RsaKeyPair rsa = test_rsa();
+  const RsaPublicKey pub = rsa.public_key();
+  {
+    KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 2});
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.handle(oprf_request(pub, 5, 1)).is_ok());
+    ASSERT_TRUE(server.handle(oprf_request(pub, 5, 2)).is_ok());
+    EXPECT_EQ(server.handle(oprf_request(pub, 5, 3)).code(),
+              StatusCode::kBudgetExhausted);
+    server.next_epoch();
+    ASSERT_TRUE(server.handle(oprf_request(pub, 5, 4)).is_ok());
+  }
+  // Replay: 2 charges, epoch marker, 1 charge => 1 used after restart.
+  KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 2});
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  EXPECT_TRUE(recovered.handle(oprf_request(pub, 5, 5)).is_ok());
+  EXPECT_EQ(recovered.handle(oprf_request(pub, 5, 6)).code(),
+            StatusCode::kBudgetExhausted);
+}
+
+TEST(KeyServerStore, CheckpointCompactsTheLogAndRecoversEqually) {
+  TempDir dir("key_checkpoint");
+  RsaKeyPair rsa = test_rsa();
+  const RsaPublicKey pub = rsa.public_key();
+  {
+    KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 4});
+    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    for (UserId client = 1; client <= 6; ++client) {
+      ASSERT_TRUE(server.handle(oprf_request(pub, client, client * 10)).is_ok());
+    }
+    ASSERT_TRUE(server.checkpoint().is_ok());
+    ASSERT_TRUE(server.handle(oprf_request(pub, 1, 99)).is_ok());
+  }
+  KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 4});
+  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  // Client 1 spent 2 of 4; two more succeed, the fifth fails.
+  ASSERT_TRUE(recovered.handle(oprf_request(pub, 1, 100)).is_ok());
+  ASSERT_TRUE(recovered.handle(oprf_request(pub, 1, 101)).is_ok());
+  EXPECT_EQ(recovered.handle(oprf_request(pub, 1, 102)).code(),
+            StatusCode::kBudgetExhausted);
+}
+
+}  // namespace
+}  // namespace smatch

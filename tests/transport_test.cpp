@@ -455,16 +455,6 @@ TEST(NetServer, ServesManyInProcConnectionsConcurrently) {
   EXPECT_EQ(server.active_connections(), 0u);
 }
 
-TEST(NetServer, DeprecatedWorkerCtorStillServes) {
-  // Migration shim for the PR-5 API: NetServer(dispatcher, workers) +
-  // attach(). Slated for removal next PR.
-  NetServer server(echo_dispatcher(), /*workers=*/2);
-  auto [client_end, server_end] = InProcTransport::make_pair();
-  server.attach(std::move(server_end));
-  SessionClient session(*client_end);
-  EXPECT_TRUE(session.call(MessageKind::kOther, pattern_bytes(5)).is_ok());
-}
-
 TEST(NetServer, PipelinedRequestsCompleteOutOfOrderOnOneConnection) {
   FrameDispatcher dispatcher;
   dispatcher.register_handler(MessageKind::kQuery,
