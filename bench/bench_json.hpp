@@ -33,6 +33,32 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+/// JSON string escaping for names/keys/labels (scenario names are
+/// caller-supplied). Quotes, backslashes, and control bytes only — keys
+/// here are ASCII by construction.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Accumulates one flat JSON object and writes it in one shot.
 class JsonResult {
  public:
@@ -42,6 +68,11 @@ class JsonResult {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", value);
     fields_.emplace_back(key, buf);
+  }
+
+  /// Adds a string-valued field (quoted and escaped).
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
   }
 
   /// Adds `<key>_{count,p50_ns,p99_ns}` from a latency histogram.
@@ -59,9 +90,9 @@ class JsonResult {
   [[nodiscard]] bool write(const char* path) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"name\": \"%s\"", name_.c_str());
+    std::fprintf(f, "{\n  \"name\": \"%s\"", json_escape(name_).c_str());
     for (const auto& [key, value] : fields_) {
-      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+      std::fprintf(f, ",\n  \"%s\": %s", json_escape(key).c_str(), value.c_str());
     }
     std::fprintf(f, "\n}\n");
     return std::fclose(f) == 0;

@@ -85,6 +85,15 @@ int main(int argc, char** argv) {
       (fs::temp_directory_path() /
        ("smatch_store_bench_" + std::to_string(::getpid())))
           .string();
+  // Removed on every exit path, including the early error returns —
+  // leaked smatch_store_* directories fail scripts/ci.sh.
+  struct DirGuard {
+    const std::string& d;
+    ~DirGuard() {
+      std::error_code ec;
+      fs::remove_all(d, ec);
+    }
+  } guard{dir};
 
   std::vector<UploadMessage> uploads;
   uploads.reserve(n);
@@ -146,7 +155,6 @@ int main(int argc, char** argv) {
                 checkpoint_ms);
     json.add("checkpoint_ms", checkpoint_ms);
   }
-  fs::remove_all(dir);
 
   if (json_path != nullptr && !json.write(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path);

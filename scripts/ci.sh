@@ -8,6 +8,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The crash gate and the scenario sweep create smatch_store_* temp
+# directories; make sure a failing (or killed) gate cannot leak them.
+crash_dir=""
+crash_pid=""
+cleanup() {
+  if [[ -n "$crash_pid" ]]; then kill -9 "$crash_pid" 2>/dev/null || true; fi
+  if [[ -n "$crash_dir" ]]; then rm -rf "$crash_dir"; fi
+}
+trap cleanup EXIT
+
 echo "== docs: no stale throwing-contract mentions in public headers =="
 # The server surfaces migrated to Status/StatusOr; a header claiming to
 # throw ProtocolError documents an API that no longer exists.
@@ -119,6 +129,8 @@ if ! grep -q "^VERIFIED" <<<"$verify_out"; then
   exit 1
 fi
 rm -rf "$crash_dir"
+crash_dir=""
+crash_pid=""
 # Durability cost bench must run and emit a parseable BENCH_store.json
 # covering all four ingest tiers plus recovery and checkpoint timing.
 ./build/bench/store_throughput --smoke --json build/BENCH_store.json | tail -3
@@ -131,11 +143,53 @@ for key in ingest_off_rps ingest_fsync_never_rps ingest_fsync_batch_rps \
 done
 echo "ok (crash gate verified; BENCH_store.json in build/)"
 
+echo "== scenarios: mixed-workload sweep, adversary + zero-loss gates =="
+# The five standard scenarios over the real stack. Gates: every scenario
+# reports its keys; the fault-injected scenario ends with zero failed
+# requests (the session layer must absorb the injected loss); and the
+# frequency-analysis attacker's advantage over random guessing stays
+# under 10% while the raw-OPE strawman shows the attack itself works.
+./build/bench/scenario_throughput --smoke --json build/BENCH_scenarios.json | tail -7
+scenarios="enroll_storm churn_reenroll hot_query_skew lossy_clients evicting_store"
+for s in $scenarios; do
+  for suffix in rps p99_ns failed attacker_advantage; do
+    if ! grep -q "\"${s}_${suffix}\"" build/BENCH_scenarios.json; then
+      echo "FAIL: BENCH_scenarios.json missing \"${s}_${suffix}\"" >&2
+      exit 1
+    fi
+  done
+  failed=$(sed -n "s/.*\"${s}_failed\": \([0-9.e+]*\).*/\1/p" build/BENCH_scenarios.json)
+  adv=$(sed -n "s/.*\"${s}_attacker_advantage\": \([0-9.e+-]*\).*/\1/p" build/BENCH_scenarios.json)
+  if ! awk -v f="$failed" -v a="$adv" 'BEGIN { exit !(f == 0 && a < 0.10) }'; then
+    echo "FAIL: scenario $s degraded: failed=$failed attacker_advantage=$adv" >&2
+    exit 1
+  fi
+done
+# The strawman contrast: deterministic raw-value OPE must be visibly
+# attackable under the same Zipf workload, or the adversary is toothless.
+raw_adv=$(sed -n 's/.*"enroll_storm_attacker_advantage_raw": \([0-9.e+-]*\).*/\1/p' build/BENCH_scenarios.json)
+if ! awk -v r="$raw_adv" 'BEGIN { exit !(r > 0.10) }'; then
+  echo "FAIL: raw-OPE strawman advantage suspiciously low: $raw_adv" >&2
+  exit 1
+fi
+# Eviction scenario must actually evict and fault back.
+evict=$(sed -n 's/.*"evicting_store_store_evictions": \([0-9.e+]*\).*/\1/p' build/BENCH_scenarios.json)
+if ! awk -v e="$evict" 'BEGIN { exit !(e > 0) }'; then
+  echo "FAIL: evicting_store scenario never evicted (store_evictions=$evict)" >&2
+  exit 1
+fi
+if compgen -G "${TMPDIR:-/tmp}/smatch_store_*" >/dev/null; then
+  echo "FAIL: leaked smatch_store_* temp directories:" >&2
+  ls -d "${TMPDIR:-/tmp}"/smatch_store_* >&2
+  exit 1
+fi
+echo "ok (BENCH_scenarios.json in build/; adversary advantage=$adv raw=$raw_adv)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test \
-    transport_test tcp_loopback_test store_test
+    transport_test tcp_loopback_test store_test scenario_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
   ./build-tsan/tests/client_pipeline_test
@@ -143,6 +197,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   ./build-tsan/tests/transport_test
   ./build-tsan/tests/tcp_loopback_test
   ./build-tsan/tests/store_test
+  ./build-tsan/tests/scenario_test
 fi
 
 echo "== ci: all gates passed =="

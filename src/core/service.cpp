@@ -7,9 +7,11 @@
 namespace smatch {
 
 SmatchService::SmatchService(MatchServer& match_server, KeyServer& key_server,
-                             std::size_t top_k) {
+                             std::size_t top_k, UploadTap upload_tap) {
   dispatcher_.register_handler(
-      MessageKind::kUpload, [&match_server](BytesView body) -> StatusOr<Bytes> {
+      MessageKind::kUpload,
+      [&match_server, tap = std::move(upload_tap)](BytesView body) -> StatusOr<Bytes> {
+        if (tap) tap(body);
         StatusOr<UploadMessage> upload = UploadMessage::parse(body);
         if (!upload.is_ok()) return upload.status();
         if (Status s = match_server.ingest(*upload); !s.is_ok()) return s;

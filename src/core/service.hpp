@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/random.hpp"
 #include "common/status.hpp"
@@ -35,10 +36,17 @@ namespace smatch {
 /// the dispatcher (the handlers capture references).
 class SmatchService {
  public:
+  /// Called with every upload body (serialized UploadMessage wire bytes)
+  /// before it reaches the engine — exactly what a passive eavesdropper
+  /// on the transport sees. The scenario harness's frequency-analysis
+  /// adversary (src/scenario/adversary.hpp) taps here. Must be
+  /// thread-safe: handlers run concurrently on the dispatch pool.
+  using UploadTap = std::function<void(BytesView)>;
+
   /// `top_k` is the k of every kNN answer this service gives — the wire
   /// QueryRequest (paper Fig. 2) carries no k, so it is service policy.
   SmatchService(MatchServer& match_server, KeyServer& key_server,
-                std::size_t top_k = 5);
+                std::size_t top_k = 5, UploadTap upload_tap = nullptr);
 
   /// A dispatcher serving all three endpoints. Valid while both engines
   /// live; safe to copy into any number of servers.

@@ -1,0 +1,159 @@
+#include "scenario/adversary.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/drbg.hpp"
+#include "ope/ope.hpp"
+
+namespace smatch::scenario {
+namespace {
+
+/// Number of bits needed to hold values in [0, cardinality).
+std::size_t bits_for(std::size_t cardinality) {
+  std::size_t bits = 1;
+  while ((1ull << bits) < cardinality) ++bits;
+  return bits;
+}
+
+/// Value indices ranked by probability, descending (index ascending on
+/// ties) — the attacker's guess order.
+std::vector<std::size_t> rank_by_prob(const std::vector<double>& probs) {
+  std::vector<std::size_t> rank(probs.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  std::stable_sort(rank.begin(), rank.end(),
+                   [&](std::size_t a, std::size_t b) { return probs[a] > probs[b]; });
+  return rank;
+}
+
+}  // namespace
+
+std::pair<double, double> frequency_attack(const std::vector<Bytes>& tokens,
+                                           const std::vector<AttrValue>& truth,
+                                           const std::vector<double>& probs) {
+  if (tokens.empty() || tokens.size() != truth.size() || probs.empty()) {
+    return {0.0, 0.0};
+  }
+
+  // Multiplicity of each distinct ciphertext token.
+  std::map<Bytes, std::size_t> counts;
+  for (const Bytes& t : tokens) ++counts[t];
+
+  // Attacker's ciphertext ranking: multiplicity descending. Ties carry no
+  // frequency information, so they are broken by the token's FNV hash —
+  // a stand-in for "the attacker has no better signal than a coin". (An
+  // order-based tie-break would smuggle in the OPE order leakage, which
+  // is a different, accepted channel — see the header comment.)
+  struct Ranked {
+    const Bytes* token;
+    std::size_t count;
+    std::uint64_t hash;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [token, count] : counts) {
+    ranked.push_back({&token, count, fnv1a(token.data(), token.size())});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.hash < b.hash;
+  });
+
+  // Frequency matching: ciphertext rank r guesses the value of
+  // probability rank r (tail ranks all guess the least probable value).
+  const std::vector<std::size_t> value_rank = rank_by_prob(probs);
+  std::map<Bytes, AttrValue> guess;
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const std::size_t vr = std::min(r, value_rank.size() - 1);
+    guess[*ranked[r].token] = static_cast<AttrValue>(value_rank[vr]);
+  }
+
+  const auto blind_guess = static_cast<AttrValue>(value_rank.front());
+  std::size_t hit = 0, blind_hit = 0;
+  for (std::size_t u = 0; u < tokens.size(); ++u) {
+    if (guess.at(tokens[u]) == truth[u]) ++hit;
+    if (truth[u] == blind_guess) ++blind_hit;
+  }
+  const auto n = static_cast<double>(tokens.size());
+  return {static_cast<double>(hit) / n, static_cast<double>(blind_hit) / n};
+}
+
+FrequencyAdversary::FrequencyAdversary(std::vector<std::vector<double>> attribute_probs)
+    : probs_(std::move(attribute_probs)) {}
+
+void FrequencyAdversary::observe(BytesView upload_wire) {
+  StatusOr<UploadMessage> upload = UploadMessage::parse(upload_wire);
+  std::lock_guard lock(mu_);
+  ++observations_;
+  if (!upload.is_ok()) {
+    ++malformed_;
+    return;
+  }
+  latest_[upload->user_id] = Seen{upload->key_index, upload->chain_cipher};
+}
+
+std::size_t FrequencyAdversary::observation_count() const {
+  std::lock_guard lock(mu_);
+  return observations_;
+}
+
+AdversaryReport FrequencyAdversary::report(const std::vector<ProfileVec>& truth) const {
+  std::map<UserId, Seen> latest;
+  AdversaryReport rep;
+  {
+    std::lock_guard lock(mu_);
+    latest = latest_;
+    rep.observations = observations_;
+  }
+
+  // Scoreable users: observed on the wire AND present in the truth table.
+  std::vector<std::size_t> users;        // truth indices
+  std::vector<Bytes> ciphertexts;        // their latest chain ciphertext
+  std::map<Bytes, std::size_t> groups;   // h(K_up) -> group ordinal
+  std::vector<std::size_t> group_of;     // per scored user
+  for (const auto& [id, seen] : latest) {
+    const std::size_t idx = static_cast<std::size_t>(id) - 1;
+    if (id == 0 || idx >= truth.size()) continue;
+    users.push_back(idx);
+    ciphertexts.push_back(seen.chain_cipher.to_bytes());
+    group_of.push_back(groups.emplace(seen.key_index, groups.size()).first->second);
+  }
+  rep.users = users.size();
+  rep.groups = groups.size();
+  if (users.empty() || probs_.empty()) return rep;
+
+  // The strawman the raw advantage is measured against: raw attribute
+  // values OPE-encrypted deterministically (no entropy increase), one
+  // fixed key per attribute. Equal values collide, so multiplicities
+  // mirror the published distribution — the pre-S-MATCH world of fig1.
+  const std::size_t cardinality = probs_.front().size();
+  const std::size_t pt_bits = bits_for(cardinality);
+  double best_adv = -1.0, best_raw = -1.0;
+  for (std::size_t a = 0; a < probs_.size(); ++a) {
+    std::vector<AttrValue> attr_truth;
+    attr_truth.reserve(users.size());
+    for (const std::size_t u : users) attr_truth.push_back(truth[u][a]);
+
+    const auto [acc, blind] = frequency_attack(ciphertexts, attr_truth, probs_[a]);
+    if (acc - blind > best_adv) {
+      best_adv = acc - blind;
+      rep.attack_accuracy = acc;
+      rep.blind_accuracy = blind;
+    }
+
+    Drbg key_rng(0x5ca1ab1eull + a);
+    const Ope raw_ope(key_rng.bytes(32), pt_bits, pt_bits + 16);
+    std::vector<Bytes> raw_cts;
+    raw_cts.reserve(users.size());
+    for (const AttrValue v : attr_truth) {
+      raw_cts.push_back(raw_ope.encrypt(BigInt{v}).to_bytes());
+    }
+    const auto [raw_acc, raw_blind] = frequency_attack(raw_cts, attr_truth, probs_[a]);
+    best_raw = std::max(best_raw, raw_acc - raw_blind);
+  }
+  rep.advantage = best_adv;
+  rep.raw_ope_advantage = best_raw;
+  return rep;
+}
+
+}  // namespace smatch::scenario

@@ -1,0 +1,354 @@
+#include "scenario/scenarios.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/service.hpp"
+#include "core/smatch.hpp"
+#include "crypto/drbg.hpp"
+#include "group/modp_group.hpp"
+#include "net/inproc_transport.hpp"
+#include "net/server.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "store/store.hpp"
+
+namespace smatch::scenario {
+namespace {
+
+constexpr std::chrono::milliseconds kConnectTimeout{5000};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SchemeParams scenario_params() {
+  SchemeParams p;
+  p.attribute_bits = 32;  // shallow OPE recursion: harness-sized chains
+  p.rs_threshold = 8;
+  return p;
+}
+
+/// One client worker: a connection, its fault injector, and the phones
+/// plus connected sessions of its user slice.
+struct Worker {
+  std::size_t lo = 0, hi = 0;  // user-index slice [lo, hi)
+  std::unique_ptr<Transport> conn;
+  std::unique_ptr<FaultInjector> injector;
+  // Fixed-size, slot = user - lo (null where setup failed), so slot
+  // arithmetic can never desync from push order.
+  std::vector<std::unique_ptr<Client>> phones;
+  std::vector<std::unique_ptr<RemoteClient>> remotes;
+  std::vector<bool> enrolled;
+};
+
+/// Runs `fn(worker)` on every worker concurrently and joins.
+template <typename Fn>
+void run_phase(std::vector<Worker>& workers, Fn&& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (Worker& w : workers) {
+    threads.emplace_back([&fn, &w] { fn(w); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::uint64_t registry_count(const char* name) {
+  return obs::Registry::global().counter(name)->load();
+}
+
+}  // namespace
+
+StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
+  const Workload wl = Workload::generate(spec.workload);
+  const std::size_t users = wl.num_users();
+  if (users == 0) return Status(StatusCode::kMalformedMessage, "scenario: empty workload");
+
+  Drbg master(spec.workload.seed);
+  Drbg setup_rng = master.fork(to_bytes("scenario-setup"));
+
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  const ClientConfig config = make_client_config(wl.spec(), scenario_params(), group);
+
+  KeyServer key_server(RsaKeyPair::generate(setup_rng, spec.rsa_bits),
+                       /*requests_per_epoch=*/0);
+  MatchServer match_server(ServerOptions{.num_shards = 4});
+  if (spec.store_budget_bytes > 0) {
+    if (spec.store_dir.empty()) {
+      return Status(StatusCode::kMalformedMessage, "scenario: store budget without dir");
+    }
+    store::StoreConfig store_cfg;
+    store_cfg.directory = spec.store_dir;
+    store_cfg.fsync = store::FsyncPolicy::kNever;
+    store_cfg.memory_budget_bytes = spec.store_budget_bytes;
+    if (Status s = match_server.attach_store(store_cfg); !s.is_ok()) return s;
+  }
+
+  FrequencyAdversary adversary(config.attribute_probs);
+  SmatchService service(match_server, key_server, spec.top_k,
+                        [&adversary](BytesView body) { adversary.observe(body); });
+  NetServer net(service.dispatcher());
+  ServerConfig server_config;
+  if (spec.over_tcp) server_config.tcp_port = 0;  // ephemeral
+  server_config.io_threads = spec.io_threads;
+  server_config.dispatch_workers = spec.dispatch_workers;
+  if (Status s = net.start(server_config); !s.is_ok()) return s;
+
+  const std::uint64_t shed_req_before = registry_count("smatch_net_shed_requests_total");
+  const std::uint64_t shed_conn_before =
+      registry_count("smatch_net_shed_connections_total");
+
+  // --- Workers: contiguous user slices, one connection each -------------
+  const std::size_t n_workers = std::max<std::size_t>(1, spec.connections);
+  const std::size_t per = (users + n_workers - 1) / n_workers;
+  std::vector<Worker> workers(std::min(n_workers, (users + per - 1) / per));
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    Worker& w = workers[i];
+    w.lo = i * per;
+    w.hi = std::min(users, w.lo + per);
+    if (spec.over_tcp) {
+      auto conn = TcpTransport::connect("127.0.0.1", net.port(), kConnectTimeout);
+      if (!conn.is_ok()) return conn.status();
+      w.conn = std::move(*conn);
+    } else {
+      auto [client_end, server_end] = InProcTransport::make_pair();
+      net.attach(std::move(server_end));
+      w.conn = std::move(client_end);
+    }
+    if (spec.faulty) {
+      FaultSpec faults = spec.faults;
+      faults.seed = spec.faults.seed + i;  // distinct stream per connection
+      w.injector = std::make_unique<FaultInjector>(faults);
+      w.conn->set_fault_injector(w.injector.get());
+    }
+    const std::size_t slice = w.hi - w.lo;
+    w.phones.resize(slice);
+    w.remotes.resize(slice);
+    w.enrolled.assign(slice, false);
+  }
+
+  ScenarioResult result;
+  result.name = spec.name;
+  result.workload_digest = wl.digest();
+  obs::Histogram latency;
+  std::atomic<std::uint64_t> failed{0}, ops{0}, enrolled{0}, churned{0};
+  std::atomic<std::uint64_t> queries_done{0}, entries_verified{0};
+
+  const std::uint64_t t0 = now_ns();
+
+  // --- Phase 1: enroll storm — Keygen over OPRF + first upload ----------
+  run_phase(workers, [&](Worker& w) {
+    for (std::size_t u = w.lo; u < w.hi; ++u) {
+      const auto id = static_cast<UserId>(u + 1);
+      // Per-user DRBG off a private parent: fork() advances the parent
+      // stream, so forking a shared master from worker threads would be
+      // both racy and schedule-dependent.
+      Drbg user_rng = Drbg(spec.workload.seed).fork(to_bytes("user-" + std::to_string(id)));
+      auto phone = Client::create(id, wl.profile(u), config);
+      if (!phone.is_ok()) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::size_t slot = u - w.lo;
+      w.phones[slot] = std::make_unique<Client>(std::move(*phone));
+      w.remotes[slot] = std::make_unique<RemoteClient>(
+          *w.phones[slot], *w.conn, key_server.public_key(), spec.policy,
+          /*seed=*/id);
+      RemoteClient& remote = *w.remotes[slot];
+
+      std::uint64_t start = now_ns();
+      const bool enroll_ok = remote.enroll(user_rng).is_ok();
+      latency.record(now_ns() - start);
+      ops.fetch_add(1, std::memory_order_relaxed);
+      if (!enroll_ok) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      start = now_ns();
+      const bool upload_ok = remote.upload(user_rng).is_ok();
+      latency.record(now_ns() - start);
+      ops.fetch_add(1, std::memory_order_relaxed);
+      if (!upload_ok) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      w.enrolled[u - w.lo] = true;
+      enrolled.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // --- Phase 2: churn — re-enroll with changed attributes ---------------
+  if (!wl.churners().empty()) {
+    run_phase(workers, [&](Worker& w) {
+      for (std::size_t u = w.lo; u < w.hi; ++u) {
+        const std::size_t slot = u - w.lo;
+        if (!wl.is_churner(u) || !w.enrolled[slot]) continue;
+        const auto id = static_cast<UserId>(u + 1);
+        Drbg user_rng = Drbg(spec.workload.seed).fork(to_bytes("churn-" + std::to_string(id)));
+        auto phone = Client::create(id, wl.churned_profile(u), config);
+        if (!phone.is_ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Swap the device's profile in place; the RemoteClient's Client&
+        // stays valid and its session (request-id space) continues.
+        *w.phones[slot] = std::move(*phone);
+        RemoteClient& remote = *w.remotes[slot];
+        std::uint64_t start = now_ns();
+        const bool ok = remote.enroll(user_rng).is_ok() &&
+                        remote.upload(user_rng).is_ok();
+        latency.record(now_ns() - start);
+        ops.fetch_add(2, std::memory_order_relaxed);
+        if (ok) {
+          churned.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          w.enrolled[slot] = false;
+        }
+      }
+    });
+  }
+
+  // --- Phase 3: queries with hot-key skew -------------------------------
+  if (spec.queries > 0) {
+    const std::vector<std::size_t> sequence = wl.query_sequence(spec.queries);
+    run_phase(workers, [&](Worker& w) {
+      for (std::size_t i = 0; i < sequence.size(); ++i) {
+        const std::size_t u = sequence[i];
+        if (u < w.lo || u >= w.hi) continue;  // not this worker's user
+        const std::size_t slot = u - w.lo;
+        if (slot >= w.remotes.size() || !w.enrolled[slot]) continue;
+        const std::uint64_t start = now_ns();
+        const auto report = w.remotes[slot]->query(
+            static_cast<std::uint32_t>(i + 1),
+            /*timestamp=*/1700000000 + static_cast<std::uint64_t>(i));
+        latency.record(now_ns() - start);
+        ops.fetch_add(1, std::memory_order_relaxed);
+        if (report.is_ok()) {
+          queries_done.fetch_add(1, std::memory_order_relaxed);
+          entries_verified.fetch_add(report->verified.size(),
+                                     std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  result.elapsed_ms = static_cast<double>(now_ns() - t0) / 1e6;
+
+  for (Worker& w : workers) {
+    for (const auto& remote : w.remotes) {
+      if (remote != nullptr) result.retries += remote->session_stats().retries;
+    }
+    if (w.conn != nullptr) (void)w.conn->close();
+  }
+  net.stop();
+
+  result.ops = ops.load();
+  result.failed_requests = failed.load();
+  result.enrolled = enrolled.load();
+  result.churned = churned.load();
+  result.queries_done = queries_done.load();
+  result.entries_verified = entries_verified.load();
+  result.throughput_rps = result.elapsed_ms > 0.0
+      ? static_cast<double>(result.ops) / result.elapsed_ms * 1e3
+      : 0.0;
+  const obs::HistogramSnapshot lat = latency.snapshot();
+  result.p50_ns = lat.p50();
+  result.p99_ns = lat.p99();
+  result.shed_requests =
+      registry_count("smatch_net_shed_requests_total") - shed_req_before;
+  result.shed_connections =
+      registry_count("smatch_net_shed_connections_total") - shed_conn_before;
+  if (const store::ProfileStore* store = match_server.store(); store != nullptr) {
+    const store::StoreMetrics m = store->metrics();
+    result.store_evictions = m.pages_written;
+    result.store_page_ins = m.pages_read;
+  }
+
+  // The adversary scores against the population's final (post-churn)
+  // profiles — what the server actually holds.
+  std::vector<ProfileVec> truth;
+  truth.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) truth.push_back(wl.final_profile(u));
+  result.adversary = adversary.report(truth);
+  return result;
+}
+
+std::vector<ScenarioSpec> standard_scenarios(std::size_t scale_users,
+                                             std::uint64_t seed,
+                                             const std::string& store_root) {
+  const std::size_t n = std::max<std::size_t>(scale_users, 16);
+  std::vector<ScenarioSpec> specs;
+
+  {
+    ScenarioSpec s;
+    s.name = "enroll_storm";
+    s.workload = {.name = s.name, .num_users = n, .num_attributes = 4,
+                  .cardinality = 32, .zipf_exponent = 1.1,
+                  .churn_fraction = 0.0, .seed = seed};
+    s.connections = 8;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "churn_reenroll";
+    s.workload = {.name = s.name, .num_users = (n * 3) / 4, .num_attributes = 4,
+                  .cardinality = 32, .zipf_exponent = 1.1,
+                  .churn_fraction = 0.3, .seed = seed + 1};
+    s.queries = n / 4;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "hot_query_skew";
+    s.workload = {.name = s.name, .num_users = n / 2, .num_attributes = 4,
+                  .cardinality = 32, .zipf_exponent = 1.3,
+                  .churn_fraction = 0.0, .seed = seed + 2};
+    s.queries = n * 3;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "lossy_clients";
+    s.workload = {.name = s.name, .num_users = n / 4, .num_attributes = 4,
+                  .cardinality = 32, .zipf_exponent = 1.1,
+                  .churn_fraction = 0.0, .seed = seed + 3};
+    s.queries = n / 2;
+    s.connections = 2;
+    s.faulty = true;
+    s.faults.drop = 0.15;
+    s.faults.delay = 0.05;
+    s.faults.delay_ms = std::chrono::milliseconds{2};
+    s.faults.seed = seed + 30;
+    s.policy.max_attempts = 10;
+    s.policy.attempt_timeout = std::chrono::milliseconds{250};
+    s.policy.initial_backoff = std::chrono::milliseconds{2};
+    s.policy.max_backoff = std::chrono::milliseconds{20};
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "evicting_store";
+    s.workload = {.name = s.name, .num_users = n / 2, .num_attributes = 4,
+                  .cardinality = 32, .zipf_exponent = 1.1,
+                  .churn_fraction = 0.0, .seed = seed + 4};
+    s.queries = n * 2;
+    // A budget of ~an eighth of the resident ciphertext bytes: most
+    // groups live in page files and queries keep faulting them back.
+    s.store_budget_bytes = std::max<std::size_t>(512, (n / 2) * 10);
+    s.store_dir = store_root + "/evicting_store";
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace smatch::scenario

@@ -1,0 +1,98 @@
+// Closed-loop mixed-scenario driver: replays named workload scenarios
+// over the real serving stack (RemoteClient -> SessionClient -> TCP ->
+// NetServer event loops -> SmatchService -> sharded engines -> optional
+// durable store) and reports throughput, tail latency, shed/retry
+// counts, and the measured frequency-analysis attacker advantage —
+// bench/scenario_throughput.cpp turns the reports into
+// BENCH_scenarios.json, the standing regression surface for scaling
+// work.
+//
+// A scenario is closed-loop: a fixed population of client workers each
+// drives its own connection synchronously (enroll -> upload -> churn ->
+// query), so offered load follows service rate instead of open-loop
+// overrunning it. Five standard scenarios (standard_scenarios()):
+//
+//   enroll_storm    every user races Keygen+upload through few workers
+//   churn_reenroll  a fraction re-enrolls with changed attributes (new
+//                   profile key: the old group entry is superseded)
+//   hot_query_skew  Zipf-skewed queriers hammer a few hot groups
+//   lossy_clients   seeded drop/delay faults under the session retry
+//                   machinery; must finish with zero failed requests
+//   evicting_store  store-backed engine under a tight memory budget:
+//                   cold groups page out and fault back mid-workload
+//
+// Determinism: given a fixed seed, the workload, every protocol byte,
+// and the adversary's advantage are identical across runs (per-user
+// forked DRBGs make worker scheduling irrelevant); only wall-clock
+// numbers move.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/fault.hpp"
+#include "net/session.hpp"
+#include "scenario/adversary.hpp"
+#include "scenario/workload.hpp"
+
+namespace smatch::scenario {
+
+/// One named scenario, fully specified.
+struct ScenarioSpec {
+  std::string name;
+  WorkloadConfig workload;
+
+  std::size_t queries = 0;          ///< closed-loop query ops after enroll/churn
+  std::size_t connections = 4;      ///< client workers (one connection each)
+  std::size_t io_threads = 2;       ///< server event-loop threads
+  std::size_t dispatch_workers = 4; ///< server handler threads
+  std::size_t top_k = 5;
+  std::size_t rsa_bits = 1024;      ///< key-server OPRF modulus
+
+  bool over_tcp = true;             ///< false: in-process transport pair
+  bool faulty = false;              ///< inject `faults` on every connection
+  FaultSpec faults;
+  RetryPolicy policy;
+
+  /// >0 attaches a durable store with this resident-ciphertext budget
+  /// (bytes) — small budgets force eviction + query fault-back.
+  std::size_t store_budget_bytes = 0;
+  std::string store_dir;            ///< required when store_budget_bytes > 0
+};
+
+/// What one scenario run measured.
+struct ScenarioResult {
+  std::string name;
+  double elapsed_ms = 0.0;
+  double throughput_rps = 0.0;      ///< completed ops / elapsed
+  std::uint64_t ops = 0;            ///< enrolls + uploads + churns + queries
+  std::uint64_t failed_requests = 0;
+  std::uint64_t retries = 0;        ///< session-layer retransmits
+  std::uint64_t shed_requests = 0;  ///< server kOverloaded answers (delta)
+  std::uint64_t shed_connections = 0;
+  std::uint64_t p50_ns = 0;         ///< client-observed per-op latency
+  std::uint64_t p99_ns = 0;
+  std::uint64_t enrolled = 0;
+  std::uint64_t churned = 0;
+  std::uint64_t queries_done = 0;
+  std::uint64_t entries_verified = 0;  ///< Vf-passed match entries
+  std::uint64_t store_evictions = 0;   ///< groups paged out (delta)
+  std::uint64_t store_page_ins = 0;    ///< groups faulted back (delta)
+  std::uint64_t workload_digest = 0;   ///< seed-determined; byte-stable
+  AdversaryReport adversary;
+};
+
+/// Runs one scenario end to end over a freshly built stack. Returns the
+/// measurements; a Status only for harness-level failures (bind errors,
+/// store setup) — per-request failures are counted, not fatal.
+[[nodiscard]] StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec);
+
+/// The five standard scenarios at a given population scale. `store_root`
+/// hosts the evicting_store scenario's directory (a subdirectory is
+/// created and must be cleaned by the caller).
+[[nodiscard]] std::vector<ScenarioSpec> standard_scenarios(
+    std::size_t scale_users, std::uint64_t seed, const std::string& store_root);
+
+}  // namespace smatch::scenario

@@ -1,0 +1,180 @@
+#include "scenario/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "crypto/drbg.hpp"
+
+namespace smatch::scenario {
+namespace {
+
+constexpr std::size_t kNoChurn = static_cast<std::size_t>(-1);
+
+/// Uniform double in [0, 1) from the workload's DRBG.
+double uniform01(RandomSource& rng) {
+  return static_cast<double>(rng.u64() >> 11) * 0x1.0p-53;
+}
+
+/// Inverse-CDF sample from a pmf.
+std::size_t sample_pmf(const std::vector<double>& probs, RandomSource& rng) {
+  const double u = uniform01(rng);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    cum += probs[i];
+    if (u < cum) return i;
+  }
+  return probs.size() - 1;
+}
+
+std::uint64_t fnv_u64(std::uint64_t v, std::uint64_t h) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return fnv1a(buf, sizeof buf, h);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<double> zipf_probs(std::size_t n, double s) {
+  if (n == 0) throw Error("zipf_probs: empty support");
+  std::vector<double> probs(n);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    probs[r] = 1.0 / std::pow(static_cast<double>(r + 1), s);
+    norm += probs[r];
+  }
+  for (double& p : probs) p /= norm;
+  return probs;
+}
+
+DatasetSpec zipf_spec(const WorkloadConfig& config) {
+  DatasetSpec spec;
+  spec.name = config.name;
+  spec.num_users = config.num_users;
+  const std::vector<double> probs =
+      zipf_probs(config.cardinality, config.zipf_exponent);
+  for (std::size_t a = 0; a < config.num_attributes; ++a) {
+    AttributeSpec attr;
+    attr.name = config.name + "_attr" + std::to_string(a);
+    attr.probs = probs;
+    spec.attributes.push_back(std::move(attr));
+  }
+  return spec;
+}
+
+Workload Workload::generate(const WorkloadConfig& config) {
+  Drbg master(config.seed);
+  Drbg profile_rng = master.fork(to_bytes("scenario-profiles"));
+  Dataset dataset = Dataset::generate(zipf_spec(config), profile_rng);
+  Workload wl(config, std::move(dataset));
+
+  const auto churn_count = static_cast<std::size_t>(
+      config.churn_fraction * static_cast<double>(config.num_users));
+  if (churn_count > 0) {
+    // Churners are a seeded sample of users; a Fisher-Yates prefix of a
+    // permutation keeps the draw uniform and deterministic.
+    Drbg churn_rng = master.fork(to_bytes("scenario-churn"));
+    std::vector<std::size_t> order(config.num_users);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = 0; i < churn_count; ++i) {
+      const std::size_t j = i + churn_rng.below(order.size() - i);
+      std::swap(order[i], order[j]);
+    }
+    wl.churners_.assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(churn_count));
+    std::sort(wl.churners_.begin(), wl.churners_.end());
+
+    const std::vector<double> probs =
+        zipf_probs(config.cardinality, config.zipf_exponent);
+    wl.churn_slot_.assign(config.num_users, kNoChurn);
+    wl.churned_.reserve(churn_count);
+    for (std::size_t slot = 0; slot < wl.churners_.size(); ++slot) {
+      const std::size_t user = wl.churners_[slot];
+      Drbg user_rng = churn_rng.fork(to_bytes("churn-user-" + std::to_string(user)));
+      ProfileVec replacement = wl.dataset_.profile(user);
+      // Re-sample each attribute with probability 1/2...
+      for (std::size_t a = 0; a < replacement.size(); ++a) {
+        if (user_rng.below(2) == 0) {
+          replacement[a] = static_cast<AttrValue>(sample_pmf(probs, user_rng));
+        }
+      }
+      // ...and force attribute 0 into a different quantization cell (the
+      // engines quantize with SchemeParams::quant_width, default 8) so the
+      // re-enrollment derives a fresh profile key. The scenario driver and
+      // the churn integration test both rely on the key changing.
+      constexpr AttrValue kQuantWidth = 8;
+      const AttrValue old_cell = wl.dataset_.profile(user)[0] / kQuantWidth;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        if (replacement[0] / kQuantWidth != old_cell) break;
+        replacement[0] = static_cast<AttrValue>(sample_pmf(probs, user_rng));
+      }
+      if (replacement[0] / kQuantWidth == old_cell) {
+        // Zipf mass can concentrate in one cell; shift deterministically.
+        replacement[0] = static_cast<AttrValue>(
+            (old_cell * kQuantWidth + kQuantWidth) % config.cardinality);
+      }
+      wl.churn_slot_[user] = slot;
+      wl.churned_.push_back(std::move(replacement));
+    }
+  }
+  return wl;
+}
+
+Workload::Workload(WorkloadConfig config, Dataset dataset)
+    : config_(std::move(config)), dataset_(std::move(dataset)) {}
+
+const ProfileVec& Workload::churned_profile(std::size_t user) const {
+  if (!is_churner(user)) throw Error("Workload: user is not in the churn set");
+  return churned_[churn_slot_[user]];
+}
+
+bool Workload::is_churner(std::size_t user) const {
+  return user < churn_slot_.size() && churn_slot_[user] != kNoChurn;
+}
+
+std::vector<std::size_t> Workload::query_sequence(std::size_t n) const {
+  // Zipf popularity over a seeded permutation of users: rank r of the
+  // permutation issues ~1/(r+1)^s of the queries. The permutation keeps
+  // "hot" decoupled from user id (and therefore from WAL shard).
+  Drbg rng = Drbg(config_.seed).fork(to_bytes("scenario-queries"));
+  std::vector<std::size_t> perm(num_users());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  const std::vector<double> popularity =
+      zipf_probs(num_users(), std::max(config_.zipf_exponent, 0.5));
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(perm[sample_pmf(popularity, rng)]);
+  }
+  return out;
+}
+
+std::uint64_t Workload::digest() const {
+  std::uint64_t h = fnv_u64(config_.seed, fnv_u64(num_users(), 1469598103934665603ull));
+  h = fnv_u64(config_.cardinality, h);
+  h = fnv_u64(config_.num_attributes, h);
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    for (const AttrValue v : dataset_.profile(u)) h = fnv_u64(v, h);
+  }
+  for (std::size_t i = 0; i < churners_.size(); ++i) {
+    h = fnv_u64(churners_[i], h);
+    for (const AttrValue v : churned_[i]) h = fnv_u64(v, h);
+  }
+  return h;
+}
+
+}  // namespace smatch::scenario

@@ -1,0 +1,99 @@
+// Seeded workload synthesis for the scenario harness (bench/
+// scenario_throughput.cpp, tests/scenario_test.cpp).
+//
+// Every bench before this layer fed the engines small uniform inputs;
+// the regimes that actually stress S-MATCH are skewed ones. Real social
+// attributes are Zipf-distributed (a handful of landmark values own most
+// of the mass), which is exactly where the paper's entropy-increase
+// mechanism earns its keep (fig1/fig4a) and where group-size skew leans
+// on the sharded group sort and the store's eviction policy.
+//
+// A Workload is fully determined by its WorkloadConfig: profiles are
+// drawn through the datasets layer (quota sampling against a Zipf
+// DatasetSpec) from a Drbg forked off `seed`, the churn set and the
+// churned replacement profiles come from independent forks, and the
+// hot-key query sequence is Zipf over users. Two Workloads generated
+// from equal configs are identical member for member — `digest()` is
+// the cheap way to assert that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+
+namespace smatch::scenario {
+
+/// Knobs of one synthetic population. Defaults are smoke-test sized.
+struct WorkloadConfig {
+  std::string name = "zipf";
+  std::size_t num_users = 128;
+  std::size_t num_attributes = 4;
+  /// Distinct values per attribute (the Zipf support).
+  std::size_t cardinality = 32;
+  /// Rank-frequency slope s: P(rank r) ~ 1/r^s. 0 = uniform.
+  double zipf_exponent = 1.0;
+  /// Fraction of users that later re-enroll with changed attributes.
+  double churn_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Normalized Zipf probability mass: probs[r] ~ 1/(r+1)^s, summing to 1.
+[[nodiscard]] std::vector<double> zipf_probs(std::size_t n, double s);
+
+/// A DatasetSpec whose every attribute is Zipf(cardinality, exponent).
+[[nodiscard]] DatasetSpec zipf_spec(const WorkloadConfig& config);
+
+class Workload {
+ public:
+  /// Deterministic: equal configs produce identical workloads.
+  [[nodiscard]] static Workload generate(const WorkloadConfig& config);
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+  [[nodiscard]] const DatasetSpec& spec() const { return dataset_.spec(); }
+  [[nodiscard]] const Dataset& dataset() const { return dataset_; }
+  [[nodiscard]] std::size_t num_users() const { return dataset_.num_users(); }
+  [[nodiscard]] const ProfileVec& profile(std::size_t user) const {
+    return dataset_.profile(user);
+  }
+
+  /// User indices that churn (floor(churn_fraction * num_users) of them),
+  /// in ascending order.
+  [[nodiscard]] const std::vector<std::size_t>& churners() const { return churners_; }
+  /// Replacement profile of a churner. At least one attribute lands in a
+  /// different fuzzy-quantization cell of width `quant_width`, so the
+  /// re-enrolled user derives a different profile key (their old group
+  /// entry must be superseded, not joined).
+  [[nodiscard]] const ProfileVec& churned_profile(std::size_t user) const;
+  [[nodiscard]] bool is_churner(std::size_t user) const;
+
+  /// The user's profile after all churn has been applied.
+  [[nodiscard]] const ProfileVec& final_profile(std::size_t user) const {
+    return is_churner(user) ? churned_profile(user) : profile(user);
+  }
+
+  /// `n` querier indices with hot-key skew: user popularity is Zipf with
+  /// the config exponent over a seeded permutation of users, so a few
+  /// users (and therefore a few h(K_up) groups) absorb most queries.
+  [[nodiscard]] std::vector<std::size_t> query_sequence(std::size_t n) const;
+
+  /// FNV-1a over every profile, churn replacement, and config knob —
+  /// equal digests mean byte-identical workloads.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  Workload(WorkloadConfig config, Dataset dataset);
+
+  WorkloadConfig config_;
+  Dataset dataset_;
+  std::vector<std::size_t> churners_;              // ascending user indices
+  std::vector<ProfileVec> churned_;                // parallel to churners_
+  std::vector<std::size_t> churn_slot_;            // user -> churners_ index or npos
+};
+
+/// FNV-1a 64-bit over a byte span; the harness's digest primitive.
+[[nodiscard]] std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n,
+                                  std::uint64_t h = 1469598103934665603ull);
+
+}  // namespace smatch::scenario

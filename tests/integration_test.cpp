@@ -3,7 +3,9 @@
 // matching correctness on community-structured data, malicious-server
 // detection, and the PR-KK collusion containment property.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "common/error.hpp"
@@ -12,6 +14,7 @@
 #include "crypto/drbg.hpp"
 #include "datasets/dataset.hpp"
 #include "net/channel.hpp"
+#include "store/store.hpp"
 
 namespace smatch {
 namespace {
@@ -269,6 +272,117 @@ TEST(EndToEnd, ClientRequiresKeyBeforeUpload) {
   // The batch entry points report the missing key as a Status instead.
   EXPECT_EQ(c.make_upload_batch(2, rng).code(), StatusCode::kMalformedMessage);
   EXPECT_EQ(c.encrypt_batch({}).code(), StatusCode::kMalformedMessage);
+}
+
+TEST(EndToEnd, ChurnReenrollSupersedesOldGroupAndSurvivesRestart) {
+  namespace fs = std::filesystem;
+  Drbg seedr(9);
+  const DatasetSpec spec = wide_spec(18);
+  Drbg data_rng = seedr.fork(to_bytes("data"));
+  const Dataset ds = Dataset::generate_clustered(spec, data_rng, 3, 0);
+
+  auto group = std::make_shared<const ModpGroup>(ModpGroup::test_512());
+  const ClientConfig config = make_client_config(spec, fast_params(), group);
+  RsaOprfServer oprf(RsaKeyPair::generate(seedr, 512));
+
+  // Build every upload wire once (per-user forked DRBGs), so the
+  // in-memory and store-backed servers ingest byte-identical streams.
+  std::vector<Client> clients;
+  std::vector<Bytes> wires;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    clients.push_back(Client::create(static_cast<UserId>(u + 1), ds.profile(u), config).value());
+    Drbg r = seedr.fork(to_bytes("user-" + std::to_string(u)));
+    clients.back().generate_key(oprf, r);
+    wires.push_back(clients.back().make_upload(r).serialize());
+  }
+
+  // Churn: user 0 re-enrolls with a different community's profile — a
+  // new fuzzy key, so the old group entry must be superseded, not joined.
+  const std::size_t x = 0;
+  std::size_t donor = x;
+  std::size_t old_peer = x;
+  for (std::size_t u = 1; u < ds.num_users(); ++u) {
+    if (ds.communities()[u] != ds.communities()[x] && donor == x) donor = u;
+    if (ds.communities()[u] == ds.communities()[x] && old_peer == x) old_peer = u;
+  }
+  ASSERT_NE(donor, x);
+  ASSERT_NE(old_peer, x);
+  Client churned = Client::create(static_cast<UserId>(x + 1), ds.profile(donor), config).value();
+  Drbg churn_rng = seedr.fork(to_bytes("churn"));
+  churned.generate_key(oprf, churn_rng);
+  wires.push_back(churned.make_upload(churn_rng).serialize());
+
+  const fs::path store_dir =
+      fs::temp_directory_path() /
+      ("smatch_store_churn_it_" + std::to_string(::getpid()));
+  struct Guard {
+    const fs::path& d;
+    ~Guard() {
+      std::error_code ec;
+      fs::remove_all(d, ec);
+    }
+  } guard{store_dir};
+  fs::remove_all(store_dir);
+
+  // Deterministic query set replayed against every server build.
+  std::vector<Bytes> requests;
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    Client& q = (u == x) ? churned : clients[u];
+    requests.push_back(q.make_query(static_cast<std::uint32_t>(u + 1), 1000 + u).serialize());
+  }
+
+  auto drive = [&](MatchServer& server) {
+    for (const Bytes& wire : wires) {
+      ASSERT_TRUE(server.ingest(UploadMessage::parse(wire).value()).is_ok());
+    }
+  };
+  auto answers = [&](MatchServer& server) {
+    std::vector<Bytes> out;
+    for (const Bytes& req : requests) {
+      out.push_back(server.match(QueryRequest::parse(req).value(), 5).value().serialize());
+    }
+    return out;
+  };
+
+  MatchServer mem;
+  drive(mem);
+  EXPECT_EQ(mem.num_users(), ds.num_users());  // re-ingest replaced, not added
+
+  // Old group superseded: x's former peer no longer matches x...
+  const QueryResult old_side =
+      mem.match(QueryRequest::parse(requests[old_peer]).value(), 18).value();
+  for (const auto& e : old_side.entries) EXPECT_NE(e.user_id, x + 1);
+  // ...and the new group contains x, verifiably (Auth/Vf still hold).
+  const QueryResult new_side =
+      mem.match(QueryRequest::parse(requests[donor]).value(), 18).value();
+  bool found = false;
+  for (const auto& e : new_side.entries) found |= (e.user_id == x + 1);
+  EXPECT_TRUE(found);
+  const QueryResult own =
+      mem.match(QueryRequest::parse(requests[x]).value(), 18).value();
+  EXPECT_FALSE(own.entries.empty());
+  for (const auto& e : own.entries) EXPECT_TRUE(churned.verify_entry(e));
+
+  // Store-backed path: same ingest stream, then a crash-free restart
+  // (fresh engine replaying the WAL). All three answer streams must be
+  // byte-identical.
+  const std::vector<Bytes> mem_answers = answers(mem);
+  {
+    MatchServer durable;
+    store::StoreConfig cfg;
+    cfg.directory = store_dir.string();
+    cfg.fsync = store::FsyncPolicy::kNever;
+    ASSERT_TRUE(durable.attach_store(cfg).is_ok());
+    drive(durable);
+    EXPECT_EQ(answers(durable), mem_answers);
+  }
+  MatchServer recovered;
+  store::StoreConfig cfg;
+  cfg.directory = store_dir.string();
+  cfg.fsync = store::FsyncPolicy::kNever;
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(recovered.num_users(), ds.num_users());
+  EXPECT_EQ(answers(recovered), mem_answers);
 }
 
 TEST(EndToEnd, ProfileArityMismatchRejected) {

@@ -152,11 +152,18 @@ int main(int argc, char** argv) {
   if (mode == "ingest") return ingest(dir, users);
   if (mode == "verify") return verify(dir);
   if (mode == "smoke") {
+    // Cleans up on the failure returns too — a leaked smatch_store_*
+    // directory fails the scripts/ci.sh stray-tempdir check.
+    struct DirGuard {
+      const std::string& d;
+      ~DirGuard() {
+        std::error_code ec;
+        fs::remove_all(d, ec);
+      }
+    } guard{dir};
     fs::remove_all(dir);
     if (int rc = ingest(dir, 50); rc != 0) return rc;
-    const int rc = verify(dir);
-    fs::remove_all(dir);
-    return rc;
+    return verify(dir);
   }
   std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
   return 2;
