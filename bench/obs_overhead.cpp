@@ -17,13 +17,24 @@
 //   * --prom <path>:  Prometheus exposition-text snapshot of every
 //     engine's metrics (via core/metrics_export.hpp).
 //
+// The ON build finishes with an admin-scrape-under-load tier: an echo
+// NetServer saturated by closed-loop callers, exact (sorted, not
+// bucketed) p99 measured with and without a concurrent /metrics scraper
+// hammering the admin plane. Printed as admin_scrape_p99_ratio= and
+// gated by scripts/ci.sh at 5%. The OFF build instead prints
+// admin_enabled=0 after verifying the admin surface really is compiled
+// out (ServerConfig::admin_port is ignored).
+//
 // Run: ./build/bench/obs_overhead [--runs N] [--trace t.json] [--prom m.prom]
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -34,7 +45,10 @@
 #include "crypto/drbg.hpp"
 #include "datasets/dataset.hpp"
 #include "group/modp_group.hpp"
+#include "net/admin.hpp"
 #include "net/channel.hpp"
+#include "net/server.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -151,6 +165,135 @@ bool write_file(const char* path, const std::string& content) {
   return (std::fclose(f) == 0) && ok;
 }
 
+// --- Admin-scrape-under-load tier -----------------------------------------
+
+constexpr std::size_t kEchoConnections = 4;
+constexpr std::size_t kEchoCallsPerConn = 1500;
+
+/// Closed-loop echo load: every connection drives calls synchronously
+/// and records each call's wall time. Returns the exact p99 in ns
+/// (sorted samples, no histogram bucketing — this tier measures a <5%
+/// shift, below the log2 bucket resolution).
+std::uint64_t echo_load_p99(std::uint16_t port) {
+  std::vector<std::vector<std::uint64_t>> per_conn(kEchoConnections);
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (std::size_t c = 0; c < kEchoConnections; ++c) {
+    threads.emplace_back([port, c, &per_conn, &failed] {
+      auto conn =
+          TcpTransport::connect("127.0.0.1", port, std::chrono::milliseconds{2000});
+      if (!conn.is_ok()) {
+        failed.store(true);
+        return;
+      }
+      SessionClient client(**conn, {}, /*seed=*/0xbe9c + c);
+      const Bytes body = {9, 9, 9, 9};
+      per_conn[c].reserve(kEchoCallsPerConn);
+      for (std::size_t i = 0; i < kEchoCallsPerConn; ++i) {
+        const auto t0 = Clock::now();
+        if (!client.call(MessageKind::kOther, body).is_ok()) {
+          failed.store(true);
+          break;
+        }
+        per_conn[c].push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+                .count()));
+      }
+      (void)(*conn)->close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (failed.load()) return 0;
+  std::vector<std::uint64_t> all;
+  for (auto& v : per_conn) all.insert(all.end(), v.begin(), v.end());
+  if (all.empty()) return 0;
+  const std::size_t rank = (all.size() * 99) / 100;
+  std::nth_element(all.begin(), all.begin() + rank, all.end());
+  return all[rank];
+}
+
+/// Best-of-N p99 of the echo load, optionally with a scraper thread
+/// hitting the admin /metrics endpoint in a tight loop for the whole
+/// run. Best-of-N minimizes scheduler noise the same way the workload
+/// gate above does.
+std::uint64_t best_p99(std::uint16_t port, std::uint16_t admin_port,
+                       bool scrape, std::size_t runs) {
+  std::uint64_t best = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::atomic<bool> stop{false};
+    std::thread scraper;
+    if (scrape) {
+      scraper = std::thread([admin_port, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)http_get("127.0.0.1", admin_port, "/metrics");
+          // 10 Hz: ~150x a default Prometheus interval, yet still a
+          // cadence instead of a render-lock saturation loop (each
+          // render serializes with the hot path's registry lookups).
+          std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        }
+      });
+    }
+    const std::uint64_t p99 = echo_load_p99(port);
+    stop.store(true);
+    if (scraper.joinable()) scraper.join();
+    if (p99 == 0) return 0;  // load failure; caller reports
+    if (best == 0 || p99 < best) best = p99;
+  }
+  return best;
+}
+
+/// Runs the tier and prints its gate lines. Returns false on harness
+/// failure (bind/connect/call errors), not on a slow ratio — the ratio
+/// gate lives in scripts/ci.sh where both numbers are visible.
+bool run_admin_scrape_tier() {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kOther, [](BytesView body) {
+    return StatusOr<Bytes>(Bytes(body.begin(), body.end()));
+  });
+  NetServer net(std::move(dispatcher));
+  ServerConfig cfg;
+  cfg.tcp_port = 0;
+  cfg.admin_port = 0;
+  cfg.io_threads = 2;
+  cfg.dispatch_workers = 4;
+  if (Status s = net.start(cfg); !s.is_ok()) {
+    std::fprintf(stderr, "FAIL: admin tier server: %s\n", s.message().c_str());
+    return false;
+  }
+#if SMATCH_OBS_ENABLED
+  if (net.admin_port() == 0) {
+    std::fprintf(stderr, "FAIL: admin plane did not come up\n");
+    return false;
+  }
+  std::printf("admin_enabled=1\n");
+  // Warm once (connection setup, registry families), then measure.
+  (void)echo_load_p99(net.port());
+  const std::uint64_t quiet = best_p99(net.port(), net.admin_port(), false, 3);
+  const std::uint64_t scraped = best_p99(net.port(), net.admin_port(), true, 3);
+  net.stop();
+  if (quiet == 0 || scraped == 0) {
+    std::fprintf(stderr, "FAIL: admin tier load errors\n");
+    return false;
+  }
+  std::printf("admin_scrape_p99_quiet_ns=%llu\n",
+              static_cast<unsigned long long>(quiet));
+  std::printf("admin_scrape_p99_scraped_ns=%llu\n",
+              static_cast<unsigned long long>(scraped));
+  std::printf("admin_scrape_p99_ratio=%.4f\n",
+              static_cast<double>(scraped) / static_cast<double>(quiet));
+#else
+  // The OFF build must ignore admin_port entirely: no listener, no
+  // thread, no surface. That absence is this build's gate line.
+  if (net.admin_port() != 0) {
+    std::fprintf(stderr, "FAIL: admin surface exists under SMATCH_OBS=OFF\n");
+    return false;
+  }
+  net.stop();
+  std::printf("admin_enabled=0\n");
+#endif
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,5 +399,6 @@ int main(int argc, char** argv) {
   }
 #endif
 
+  if (!run_admin_scrape_tier()) return 1;
   return 0;
 }

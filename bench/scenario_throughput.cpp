@@ -11,14 +11,24 @@
 //       per-scenario _rps/_p99_ns/_failed/_attacker_advantage keys, the
 //       lossy scenario finishing with zero failures, and the advantage
 //       staying under the frequency-analysis threshold.
+//
+// --admin-demo <prefix>: one evicting_store-style run with delay faults
+// and a low slow-request threshold, serving the admin plane. After the
+// enroll phase it writes <prefix>.port and holds until <prefix>.go
+// appears (the scripts/ci.sh curl window), then self-validates trace
+// stitching and exemplar capture and prints greppable gate lines.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <set>
 #include <string>
+#include <string_view>
 
 #include "bench_json.hpp"
+#include "obs/exemplar.hpp"
+#include "obs/trace.hpp"
 #include "scenario/scenarios.hpp"
 
 using namespace smatch;
@@ -38,6 +48,85 @@ struct DirGuard {
   }
 };
 
+/// The CI admin-demo: a store-backed scenario with injected delays and a
+/// slow-request threshold low enough that fault-delayed calls become
+/// exemplars, probed externally through the <prefix>.port/.go rendezvous.
+int run_admin_demo(const char* prefix, std::uint64_t seed, std::size_t scale) {
+#if !SMATCH_OBS_ENABLED
+  (void)prefix;
+  (void)seed;
+  (void)scale;
+  std::printf("admin_enabled=0\n");
+  return 0;
+#else
+  const DirGuard store_root{
+      fs::temp_directory_path() /
+      ("smatch_store_admin_demo_" + std::to_string(::getpid()))};
+
+  ScenarioSpec spec;
+  bool found = false;
+  for (ScenarioSpec& s :
+       standard_scenarios(scale, seed, store_root.dir.string())) {
+    if (s.name == "evicting_store") {
+      spec = std::move(s);
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "admin-demo: no evicting_store scenario\n");
+    return 1;
+  }
+  spec.admin = true;
+  spec.admin_sync_prefix = prefix;
+  spec.slow_request_threshold_ns = 1000000;  // 1ms: delayed calls qualify
+  spec.faulty = true;
+  spec.faults.delay = 0.3;
+  spec.faults.delay_ms = std::chrono::milliseconds{2};
+  spec.faults.seed = seed + 99;
+  spec.policy.max_attempts = 10;
+  spec.policy.attempt_timeout = std::chrono::milliseconds{500};
+  spec.policy.initial_backoff = std::chrono::milliseconds{2};
+  spec.policy.max_backoff = std::chrono::milliseconds{20};
+
+  smatch::obs::TraceBuffer::instance().begin(/*capacity=*/1u << 15);
+  smatch::obs::ExemplarRecorder::instance().clear();
+  StatusOr<ScenarioResult> run = run_scenario(spec);
+  smatch::obs::TraceBuffer::instance().end();
+  if (!run.is_ok()) {
+    std::fprintf(stderr, "admin-demo: %s\n", run.status().message().c_str());
+    return 1;
+  }
+
+  // Trace stitching: server-side net.handle spans must reuse the trace
+  // ids the client-side net.call spans minted.
+  std::set<std::uint64_t> calls;
+  std::set<std::uint64_t> handles;
+  for (const smatch::obs::TraceEvent& ev :
+       smatch::obs::TraceBuffer::instance().events()) {
+    if (ev.trace_id == 0) continue;
+    if (std::string_view(ev.name) == "net.call") calls.insert(ev.trace_id);
+    if (std::string_view(ev.name) == "net.handle") handles.insert(ev.trace_id);
+  }
+  std::size_t stitched = 0;
+  for (const std::uint64_t id : handles) stitched += calls.count(id);
+  const bool trace_stitched = stitched > 0 && stitched == handles.size();
+
+  const std::size_t exemplars = smatch::obs::ExemplarRecorder::instance().occupancy();
+  std::printf("admin_enabled=1\n");
+  std::printf("admin_scrapes=%llu\n",
+              static_cast<unsigned long long>(run->admin_scrapes));
+  std::printf("admin_scrape_lint=%s\n", run->admin_scrape_clean ? "ok" : "FAIL");
+  std::printf("slow_exemplars=%zu\n", exemplars);
+  std::printf("trace_stitched=%d\n", trace_stitched ? 1 : 0);
+  std::printf("failed_requests=%llu\n",
+              static_cast<unsigned long long>(run->failed_requests));
+  return (run->admin_scrape_clean && exemplars >= 1 && trace_stitched &&
+          run->failed_requests == 0)
+             ? 0
+             : 1;
+#endif  // SMATCH_OBS_ENABLED
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,6 +139,10 @@ int main(int argc, char** argv) {
   const std::size_t scale =
       users_arg != nullptr ? std::strtoul(users_arg, nullptr, 10)
                            : (smoke ? 48 : 256);
+  if (const char* demo_prefix = bench::arg_after(argc, argv, "--admin-demo");
+      demo_prefix != nullptr) {
+    return run_admin_demo(demo_prefix, seed, std::min<std::size_t>(scale, 48));
+  }
 
   const DirGuard store_root{
       fs::temp_directory_path() /
@@ -64,8 +157,12 @@ int main(int argc, char** argv) {
               "raw_adv");
   bool ok = true;
   std::uint64_t combined_digest = 1469598103934665603ull;
-  for (const ScenarioSpec& spec :
+  for (ScenarioSpec spec :
        standard_scenarios(scale, seed, store_root.dir.string())) {
+    // Every sweep run serves the admin plane and scrapes itself between
+    // phases; the per-phase quantiles land in the JSON below. Under
+    // -DSMATCH_OBS=OFF there is no admin surface and no phase samples.
+    spec.admin = true;
     StatusOr<ScenarioResult> run = run_scenario(spec);
     if (!run.is_ok()) {
       std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
@@ -102,6 +199,22 @@ int main(int argc, char** argv) {
       json.add(r.name + "_store_page_ins",
                static_cast<double>(r.store_page_ins));
     }
+    for (const PhaseSample& ph : r.phases) {
+      json.add(r.name + "_" + ph.phase + "_p50_ns",
+               static_cast<double>(ph.p50_ns));
+      json.add(r.name + "_" + ph.phase + "_p99_ns",
+               static_cast<double>(ph.p99_ns));
+      json.add(r.name + "_" + ph.phase + "_ops", static_cast<double>(ph.ops));
+    }
+#if SMATCH_OBS_ENABLED
+    // The scrapes themselves are a gate: every mid-run /metrics fetch
+    // must lint clean and parse back as a histogram.
+    if (!r.admin_scrape_clean || r.phases.empty()) {
+      std::fprintf(stderr, "%s: admin scrape failed lint/parse\n",
+                   r.name.c_str());
+      ok = false;
+    }
+#endif  // SMATCH_OBS_ENABLED
     // Fold per-scenario digests FNV-style: one byte-reproducibility
     // fingerprint for the whole sweep.
     combined_digest = (combined_digest ^ r.workload_digest) * 1099511628211ull;

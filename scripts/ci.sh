@@ -10,11 +10,17 @@ cd "$(dirname "$0")/.."
 
 # The crash gate and the scenario sweep create smatch_store_* temp
 # directories; make sure a failing (or killed) gate cannot leak them.
+# The admin-demo gate adds a background scenario process and its
+# rendezvous files.
 crash_dir=""
 crash_pid=""
+demo_pid=""
+demo_prefix=""
 cleanup() {
   if [[ -n "$crash_pid" ]]; then kill -9 "$crash_pid" 2>/dev/null || true; fi
   if [[ -n "$crash_dir" ]]; then rm -rf "$crash_dir"; fi
+  if [[ -n "$demo_pid" ]]; then kill -9 "$demo_pid" 2>/dev/null || true; fi
+  if [[ -n "$demo_prefix" ]]; then rm -f "$demo_prefix".port "$demo_prefix".go "$demo_prefix".out; fi
 }
 trap cleanup EXIT
 
@@ -71,7 +77,24 @@ if ! awk -v on="$on_ms" -v off="$off_ms" 'BEGIN { exit !(on <= off * 1.05) }'; t
   echo "FAIL: instrumentation overhead above 5%: on=${on_ms}ms off=${off_ms}ms" >&2
   exit 1
 fi
-echo "ok (on=${on_ms}ms off=${off_ms}ms, trace + prometheus artifacts in build/)"
+# Admin-plane gates from the same binaries: the ON tree must show a
+# concurrent /metrics scraper moving echo-load p99 by under 5%, and the
+# OFF tree must have no admin surface at all (admin_enabled=0 is printed
+# only after the binary verified ServerConfig::admin_port is ignored).
+scrape_ratio=$(echo "$on_out" | sed -n 's/^admin_scrape_p99_ratio=//p')
+if [[ -z "$scrape_ratio" ]]; then
+  echo "FAIL: obs_overhead (ON) did not report admin_scrape_p99_ratio" >&2
+  exit 1
+fi
+if ! awk -v r="$scrape_ratio" 'BEGIN { exit !(r <= 1.05) }'; then
+  echo "FAIL: admin scrape moved p99 by more than 5%: ratio=$scrape_ratio" >&2
+  exit 1
+fi
+if ! grep -q '^admin_enabled=0$' <<<"$off_out"; then
+  echo "FAIL: OFF build did not verify the admin plane is compiled out" >&2
+  exit 1
+fi
+echo "ok (on=${on_ms}ms off=${off_ms}ms scrape_ratio=${scrape_ratio}, artifacts in build/)"
 
 echo "== net: loopback TCP + fault-injection suites, throughput gate =="
 # The full S-MATCH flow over real localhost TCP (byte parity with the
@@ -178,6 +201,17 @@ if ! awk -v e="$evict" 'BEGIN { exit !(e > 0) }'; then
   echo "FAIL: evicting_store scenario never evicted (store_evictions=$evict)" >&2
   exit 1
 fi
+# Per-phase quantiles come from the driver scraping its own admin plane
+# between phases: every scenario must report an enroll-phase sample, and
+# the query-heavy ones a query-phase sample.
+for key in enroll_storm_enroll_p99_ns churn_reenroll_churn_p99_ns \
+           hot_query_skew_query_p99_ns evicting_store_enroll_p50_ns \
+           evicting_store_query_p99_ns; do
+  if ! grep -q "\"$key\"" build/BENCH_scenarios.json; then
+    echo "FAIL: BENCH_scenarios.json missing admin-scraped phase key \"$key\"" >&2
+    exit 1
+  fi
+done
 if compgen -G "${TMPDIR:-/tmp}/smatch_store_*" >/dev/null; then
   echo "FAIL: leaked smatch_store_* temp directories:" >&2
   ls -d "${TMPDIR:-/tmp}"/smatch_store_* >&2
@@ -185,17 +219,115 @@ if compgen -G "${TMPDIR:-/tmp}/smatch_store_*" >/dev/null; then
 fi
 echo "ok (BENCH_scenarios.json in build/; adversary advantage=$adv raw=$raw_adv)"
 
+echo "== admin plane: curl a live mid-scenario server, exemplar gate =="
+# A store-backed scenario with injected delays runs in the background and
+# holds at the end of its enroll phase until we finish probing it from
+# the outside: /healthz answers, /metrics lints clean (charset, TYPE
+# lines, cumulative buckets), /trace serves. Then the driver resumes and
+# self-validates that the injected delays produced slow-request
+# exemplars with stitched client+server trace ids.
+demo_prefix="$PWD/build/admin_demo"
+rm -f "$demo_prefix".port "$demo_prefix".go
+./build/bench/scenario_throughput --admin-demo "$demo_prefix" --seed 11 \
+  > "$demo_prefix".out 2>&1 &
+demo_pid=$!
+for _ in $(seq 1 600); do
+  [[ -s "$demo_prefix".port ]] && break
+  if ! kill -0 "$demo_pid" 2>/dev/null; then break; fi
+  sleep 0.05
+done
+if [[ ! -s "$demo_prefix".port ]]; then
+  echo "FAIL: admin demo never published its port" >&2
+  cat "$demo_prefix".out >&2 || true
+  exit 1
+fi
+admin_port=$(cat "$demo_prefix".port)
+if [[ "$(curl -sf "http://127.0.0.1:$admin_port/healthz")" != "ok" ]]; then
+  echo "FAIL: /healthz on the live scenario server did not answer ok" >&2
+  exit 1
+fi
+curl -sf "http://127.0.0.1:$admin_port/metrics" > build/admin_demo_metrics.prom
+curl -sf "http://127.0.0.1:$admin_port/trace?exemplars=1" > /dev/null
+# Independent exposition lint, outside the C++ implementation: names in
+# the Prometheus charset, every family announced by a TYPE line, and
+# histogram le-buckets cumulative.
+awk '
+  /^# TYPE / {
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram") {
+      print "lint: unknown type: " $0; exit 1
+    }
+    type[$3] = $4; next
+  }
+  /^#/ { print "lint: unexpected comment: " $0; exit 1 }
+  /^$/ { next }
+  {
+    name = $1; le = ""
+    if (match(name, /\{le="[^"]*"\}$/)) {
+      le = substr(name, RSTART + 5, RLENGTH - 7)
+      name = substr(name, 1, RSTART - 1)
+    }
+    if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+      print "lint: bad metric name charset: " name; exit 1
+    }
+    fam = name
+    if (!(fam in type)) {
+      f2 = fam; sub(/_(bucket|sum|count)$/, "", f2)
+      if (f2 in type && type[f2] == "histogram") fam = f2
+    }
+    if (!(fam in type)) { print "lint: no TYPE line for " name; exit 1 }
+    if (le != "" && le != "+Inf") {
+      v = $2 + 0
+      if (fam in last && v < last[fam]) {
+        print "lint: non-cumulative buckets in " fam; exit 1
+      }
+      last[fam] = v
+    }
+    samples++
+  }
+  END { if (samples == 0) { print "lint: empty exposition"; exit 1 } }
+' build/admin_demo_metrics.prom
+if ! grep -q 'smatch_net_rtt_ns_bucket' build/admin_demo_metrics.prom; then
+  echo "FAIL: live /metrics scrape is missing the rtt histogram" >&2
+  exit 1
+fi
+touch "$demo_prefix".go
+demo_rc=0
+wait "$demo_pid" || demo_rc=$?
+demo_pid=""
+tail -6 "$demo_prefix".out
+if (( demo_rc != 0 )); then
+  echo "FAIL: admin demo exited rc=$demo_rc" >&2
+  exit 1
+fi
+exemplars=$(sed -n 's/^slow_exemplars=//p' "$demo_prefix".out)
+if [[ -z "$exemplars" ]] || (( exemplars < 1 )); then
+  echo "FAIL: injected delays produced no slow-request exemplars" >&2
+  exit 1
+fi
+if ! grep -q '^trace_stitched=1$' "$demo_prefix".out; then
+  echo "FAIL: client and server spans did not share trace ids" >&2
+  exit 1
+fi
+if ! grep -q '^admin_scrape_lint=ok$' "$demo_prefix".out; then
+  echo "FAIL: the driver-side scrapes failed lint/parse" >&2
+  exit 1
+fi
+rm -f "$demo_prefix".port "$demo_prefix".go "$demo_prefix".out
+demo_prefix=""
+echo "ok (live scrape linted; exemplars=$exemplars, stitched traces)"
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tsan: concurrency suites under -DSMATCH_SANITIZE=thread =="
   cmake -B build-tsan -S . -DSMATCH_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target engine_test key_server_test client_pipeline_test obs_test \
-    transport_test tcp_loopback_test store_test scenario_test
+    transport_test tcp_loopback_test admin_test store_test scenario_test
   ./build-tsan/tests/engine_test
   ./build-tsan/tests/key_server_test
   ./build-tsan/tests/client_pipeline_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/transport_test
   ./build-tsan/tests/tcp_loopback_test
+  ./build-tsan/tests/admin_test
   ./build-tsan/tests/store_test
   ./build-tsan/tests/scenario_test
 fi

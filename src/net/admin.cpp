@@ -1,0 +1,312 @@
+#include "net/admin.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "obs/exemplar.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Polls `fd` for `events` until ready or the deadline passes.
+bool wait_fd(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    struct pollfd p {
+      fd, events, 0
+    };
+    const int r = ::poll(&p, 1, static_cast<int>(left.count()));
+    if (r > 0) return true;
+    if (r < 0 && errno != EINTR) return false;
+  }
+}
+
+/// Reads from a nonblocking fd until `stop_marker` appears, EOF, `limit`
+/// bytes, or the deadline. Returns false only on the deadline/transport
+/// failing before any marker/EOF.
+bool read_until(int fd, std::string* out, const std::string& stop_marker,
+                std::size_t limit, Clock::time_point deadline) {
+  char buf[4096];
+  for (;;) {
+    if (!stop_marker.empty() && out->find(stop_marker) != std::string::npos) {
+      return true;
+    }
+    if (out->size() >= limit) return !stop_marker.empty() ? false : true;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      out->append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return stop_marker.empty();  // EOF: fine for read-to-close
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_fd(fd, POLLIN, deadline)) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool write_all(int fd, const std::string& data, Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT, deadline)) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string http_response(int code, const char* reason, const char* content_type,
+                          const std::string& body) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                code, reason, content_type, body.size());
+  return std::string(head) + body;
+}
+
+}  // namespace
+
+#if SMATCH_OBS_ENABLED
+
+AdminServer::~AdminServer() { stop(); }
+
+Status AdminServer::start(std::uint16_t port) {
+  if (thread_.joinable()) {
+    return {StatusCode::kMalformedMessage, "AdminServer already started"};
+  }
+  StatusOr<TcpListener> listener = TcpListener::bind(port);
+  if (!listener.is_ok()) return listener.status();
+  port_.store(listener->port(), std::memory_order_relaxed);
+  listener_.emplace(std::move(*listener));
+  started_at_ = Clock::now();
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+  return Status::ok();
+}
+
+void AdminServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listener_.has_value()) {
+    listener_->close();
+    listener_.reset();
+  }
+  port_.store(0, std::memory_order_relaxed);
+}
+
+void AdminServer::set_refresh(std::function<void()> refresh) {
+  std::lock_guard lk(mu_);
+  refresh_ = std::move(refresh);
+}
+
+void AdminServer::add_status_section(std::string title,
+                                     std::function<std::string()> render) {
+  std::lock_guard lk(mu_);
+  sections_.emplace_back(std::move(title), std::move(render));
+}
+
+void AdminServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // accept() drives its own poll loop; a short timeout keeps the stop
+    // flag responsive without spinning.
+    StatusOr<std::unique_ptr<TcpTransport>> conn =
+        listener_->accept(std::chrono::milliseconds{100});
+    if (!conn.is_ok()) {
+      if (conn.code() == StatusCode::kConnectionReset) return;  // listener closed
+      continue;  // kTimeout: nobody called
+    }
+    const int fd = (*conn)->pollable_fd();
+    if (fd >= 0) serve_one(fd, Clock::now() + std::chrono::seconds{2});
+    (void)(*conn)->close();
+  }
+}
+
+void AdminServer::serve_one(int fd, Clock::time_point deadline) {
+  std::string request;
+  if (!read_until(fd, &request, "\r\n\r\n", 8192, deadline)) return;
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t sp1 = request.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? sp1 : request.find(' ', sp1 + 1);
+  std::string response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = http_response(400, "Bad Request", "text/plain", "bad request\n");
+  } else if (request.substr(0, sp1) != "GET") {
+    response =
+        http_response(405, "Method Not Allowed", "text/plain", "GET only\n");
+  } else {
+    response = render(request.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  (void)write_all(fd, response, deadline);
+}
+
+std::string AdminServer::render(const std::string& path_and_query) {
+  const std::size_t q = path_and_query.find('?');
+  const std::string path = path_and_query.substr(0, q);
+  const std::string query =
+      q == std::string::npos ? "" : path_and_query.substr(q + 1);
+
+  if (path == "/healthz") {
+    return http_response(200, "OK", "text/plain", "ok\n");
+  }
+
+  if (path == "/metrics" || path == "/metrics.json") {
+    std::function<void()> refresh;
+    {
+      std::lock_guard lk(mu_);
+      refresh = refresh_;
+    }
+    if (refresh) refresh();
+    obs::publish_trace_metrics();
+    if (path == "/metrics") {
+      return http_response(200, "OK", "text/plain; version=0.0.4",
+                           obs::Registry::global().prometheus_text());
+    }
+    return http_response(200, "OK", "application/json",
+                         obs::Registry::global().json());
+  }
+
+  if (path == "/trace") {
+    const bool exemplars = query.find("exemplars=1") != std::string::npos;
+    return http_response(200, "OK", "application/json",
+                         exemplars
+                             ? obs::ExemplarRecorder::instance().chrome_json()
+                             : obs::TraceBuffer::instance().chrome_json());
+  }
+
+  if (path == "/statusz") {
+    char line[256];
+    std::string body = "smatch statusz\n\n";
+    std::snprintf(line, sizeof line, "build: %s, obs=%d\n", __VERSION__,
+                  SMATCH_OBS_ENABLED);
+    body += line;
+    const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - started_at_);
+    std::snprintf(line, sizeof line, "uptime_ms: %lld\nadmin_requests: %llu\n",
+                  static_cast<long long>(uptime.count()),
+                  static_cast<unsigned long long>(
+                      served_.load(std::memory_order_relaxed)));
+    body += line;
+    const obs::TraceBuffer& buf = obs::TraceBuffer::instance();
+    const obs::ExemplarRecorder& ex = obs::ExemplarRecorder::instance();
+    std::snprintf(line, sizeof line,
+                  "trace: enabled=%d dropped=%llu capacity=%zu\n"
+                  "exemplars: armed=%d threshold_ns=%llu occupancy=%zu "
+                  "captured=%llu\n",
+                  buf.enabled() ? 1 : 0,
+                  static_cast<unsigned long long>(buf.dropped()), buf.capacity(),
+                  ex.armed() ? 1 : 0,
+                  static_cast<unsigned long long>(ex.threshold_ns()),
+                  ex.occupancy(),
+                  static_cast<unsigned long long>(ex.captured_total()));
+    body += line;
+
+    std::vector<std::pair<std::string, std::function<std::string()>>> sections;
+    {
+      std::lock_guard lk(mu_);
+      sections = sections_;
+    }
+    for (const auto& [title, render_fn] : sections) {
+      body += "\n== " + title + " ==\n";
+      body += render_fn ? render_fn() : std::string{};
+    }
+
+    body += "\n== flight recorder ==\n";
+    body += obs::FlightRecorder::instance().dump_text();
+    return http_response(200, "OK", "text/plain", body);
+  }
+
+  return http_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+#else  // SMATCH_OBS_ENABLED
+
+// Kill-switch build: no admin surface exists. The class keeps its shape
+// so NetServer code compiles, but start() refuses and never binds.
+
+AdminServer::~AdminServer() = default;
+
+Status AdminServer::start(std::uint16_t) {
+  return {StatusCode::kMalformedMessage,
+          "admin plane compiled out (-DSMATCH_OBS=OFF)"};
+}
+
+void AdminServer::stop() {}
+
+void AdminServer::set_refresh(std::function<void()>) {}
+
+void AdminServer::add_status_section(std::string, std::function<std::string()>) {}
+
+void AdminServer::run() {}
+
+void AdminServer::serve_one(int, Clock::time_point) {}
+
+std::string AdminServer::render(const std::string&) { return {}; }
+
+#endif  // SMATCH_OBS_ENABLED
+
+StatusOr<std::string> http_get(const std::string& host, std::uint16_t port,
+                               const std::string& path,
+                               std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  StatusOr<std::unique_ptr<TcpTransport>> conn =
+      TcpTransport::connect(host, port, timeout);
+  if (!conn.is_ok()) return conn.status();
+  const int fd = (*conn)->pollable_fd();
+  if (fd < 0) return Status(StatusCode::kConnectionReset, "no usable socket");
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, request, deadline)) {
+    (void)(*conn)->close();
+    return Status(StatusCode::kTimeout, "admin request send timed out");
+  }
+  std::string response;
+  // Read to EOF (HTTP/1.0 close-delimited), bounded to keep a haywire
+  // endpoint from ballooning memory.
+  if (!read_until(fd, &response, "", 16u << 20, deadline)) {
+    (void)(*conn)->close();
+    return Status(StatusCode::kTimeout, "admin response read timed out");
+  }
+  (void)(*conn)->close();
+
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos) {
+    return Status(StatusCode::kMalformedMessage, "short HTTP response");
+  }
+  const std::string status_line = response.substr(0, line_end);
+  if (status_line.find(" 200") == std::string::npos) {
+    return Status(StatusCode::kMalformedMessage,
+                  "HTTP status not 200: " + status_line);
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status(StatusCode::kMalformedMessage, "HTTP response without body");
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace smatch

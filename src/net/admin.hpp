@@ -1,0 +1,102 @@
+// Admin plane: a minimal HTTP/1.0 responder (no external dependencies)
+// on its own port, serving the live telemetry of a running server:
+//
+//   GET /healthz            -> "ok"
+//   GET /metrics            -> Prometheus exposition text (obs::Registry)
+//   GET /metrics.json       -> JSON snapshot of the same registry
+//   GET /trace              -> Chrome-trace JSON drained from the
+//                              TraceBuffer (arm with trace_begin() /
+//                              TraceBuffer::begin())
+//   GET /trace?exemplars=1  -> Chrome-trace JSON of the slow-request
+//                              exemplar ring (obs/exemplar.hpp)
+//   GET /statusz            -> build info, uptime, registered status
+//                              sections (server config, store state), and
+//                              the flight-recorder dump
+//
+// One background thread accepts and serves connections sequentially —
+// scrapes render a few strings, so a queue depth of one is plenty — with
+// a per-connection deadline so a stuck scraper cannot wedge the plane.
+// Responses close the connection (HTTP/1.0 semantics; curl needs no
+// flags). NetServer starts one when ServerConfig::admin_port is set.
+//
+// Under -DSMATCH_OBS=OFF the responder is compiled out: start() returns
+// an error status and no port is ever bound, so the OFF build provably
+// has no admin surface (bench/obs_overhead.cpp gates this).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace smatch {
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, read back with port()) and
+  /// starts the serving thread. Under -DSMATCH_OBS=OFF: always an error.
+  [[nodiscard]] Status start(std::uint16_t port);
+
+  /// Stops the thread and closes the listener. Idempotent.
+  void stop();
+
+  /// The bound port; 0 until start() succeeds.
+  [[nodiscard]] std::uint16_t port() const {
+    return port_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers a hook run before rendering /metrics and /metrics.json
+  /// (publish engine snapshots, trace-plane self-metrics, ...).
+  void set_refresh(std::function<void()> refresh);
+
+  /// Appends a named /statusz section; the callback renders its body.
+  void add_status_section(std::string title, std::function<std::string()> render);
+
+  /// Requests answered so far (any endpoint, including 404s).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void serve_one(int fd, std::chrono::steady_clock::time_point deadline);
+  [[nodiscard]] std::string render(const std::string& path_and_query);
+
+  std::optional<TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::mutex mu_;  // guards the hooks (settable while serving)
+  std::function<void()> refresh_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sections_;
+};
+
+/// Minimal HTTP/1.0 GET client for the admin plane (CI probes, the
+/// scenario driver's mid-run /metrics sampling, benchmark scrape loops).
+/// Returns the response body on HTTP 200; kConnectionReset/kTimeout on
+/// transport trouble, kMalformedMessage on a non-200 or unparseable
+/// response. Compiled in both builds (callers gate on admin presence).
+[[nodiscard]] StatusOr<std::string> http_get(const std::string& host,
+                                             std::uint16_t port,
+                                             const std::string& path,
+                                             std::chrono::milliseconds timeout =
+                                                 std::chrono::milliseconds{2000});
+
+}  // namespace smatch

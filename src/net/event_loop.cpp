@@ -5,6 +5,7 @@
 #include <unistd.h>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace smatch {
@@ -121,6 +122,7 @@ void IoLoop::register_conn(std::unique_ptr<Transport> transport) {
   conns_.emplace(id, std::move(conn));
   conn_count_.store(conns_.size(), std::memory_order_relaxed);
   conn_gauge_->fetch_add(1, std::memory_order_relaxed);
+  SMATCH_FLIGHT(obs::FlightKind::kConnAccepted, id, 0);
 }
 
 void IoLoop::close_conn(const std::shared_ptr<Conn>& conn) {
@@ -133,6 +135,7 @@ void IoLoop::close_conn(const std::shared_ptr<Conn>& conn) {
   read_again_.erase(conn->id);
   conn_gauge_->fetch_sub(1, std::memory_order_relaxed);
   active_.fetch_sub(1, std::memory_order_relaxed);
+  SMATCH_FLIGHT(obs::FlightKind::kConnClosed, conn->id, 0);
 }
 
 bool IoLoop::send_or_stage(const std::shared_ptr<Conn>& conn, MessageKind kind,
@@ -169,6 +172,8 @@ void IoLoop::handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
     // is deliberately not remembered in the replay cache, so the
     // client's retransmit succeeds once the backlog drains.
     shed_requests_->fetch_add(1, std::memory_order_relaxed);
+    SMATCH_FLIGHT(obs::FlightKind::kRequestShed, conn->id,
+                  conn->inflight.load(std::memory_order_relaxed));
     StatusOr<Envelope> env = Envelope::parse(frame.payload);
     if (env.is_ok() && !env->is_response) {
       const Bytes shed = make_error_envelope(

@@ -1,8 +1,11 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "obs/exemplar.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace smatch {
@@ -62,8 +65,44 @@ Status NetServer::start_locked(const ServerConfig& config) {
     loops_[0]->watch_external(listener_->fd(), [this] { handle_accept(); });
   }
   for (auto& loop : loops_) loop->start();
+
+#if SMATCH_OBS_ENABLED
+  if (config_.slow_request_threshold_ns != 0) {
+    obs::ExemplarRecorder::instance().arm(config_.slow_request_threshold_ns);
+  }
+  if (config_.admin_port.has_value()) {
+    obs::FlightRecorder::install_fatal_dump();
+    admin_ = std::make_unique<AdminServer>();
+    if (Status s = admin_->start(*config_.admin_port); !s.is_ok()) {
+      admin_.reset();
+      return s;
+    }
+    admin_->add_status_section("net server", [this] {
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "tcp_port: %u\nactive_connections: %zu\nio_threads: %zu\n"
+          "dispatch_workers: %zu\nmax_connections: %zu\n"
+          "max_inflight_per_connection: %zu\n"
+          "max_pending_bytes_per_connection: %zu\n"
+          "replay_cache_capacity: %zu\nslow_request_threshold_ns: %llu\n",
+          port_, active_connections(), config_.io_threads,
+          config_.dispatch_workers, config_.max_connections,
+          config_.max_inflight_per_connection,
+          config_.max_pending_bytes_per_connection, config_.replay_cache_capacity,
+          static_cast<unsigned long long>(config_.slow_request_threshold_ns));
+      return std::string(buf);
+    });
+  }
+#endif  // SMATCH_OBS_ENABLED
+
+  SMATCH_FLIGHT(obs::FlightKind::kServerStart, port_, admin_port());
   started_ = true;
   return Status::ok();
+}
+
+std::uint16_t NetServer::admin_port() const {
+  return admin_ ? admin_->port() : 0;
 }
 
 void NetServer::ensure_started() {
@@ -83,6 +122,7 @@ bool NetServer::admit() {
     }
   }
   bump("smatch_net_shed_connections_total");
+  SMATCH_FLIGHT(obs::FlightKind::kConnShed, current, 0);
   return false;
 }
 
@@ -136,6 +176,17 @@ void NetServer::stop() {
     if (!started_) return;
   }
   stop_.store(true, std::memory_order_relaxed);
+  SMATCH_FLIGHT(obs::FlightKind::kServerStop,
+                active_.load(std::memory_order_relaxed), 0);
+#if SMATCH_OBS_ENABLED
+  // Symmetric with start_locked's arm(): captured exemplars stay
+  // readable, but a later server (or test) starts from a disarmed
+  // recorder instead of inheriting this one's threshold.
+  if (config_.slow_request_threshold_ns != 0) {
+    obs::ExemplarRecorder::instance().disarm();
+  }
+#endif  // SMATCH_OBS_ENABLED
+  if (admin_) admin_->stop();
   for (auto& loop : loops_) loop->request_stop();
   for (auto& loop : loops_) loop->join();
   if (listener_.has_value()) listener_->close();

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "net/admin.hpp"
 #include "net/event_loop.hpp"
 #include "net/session.hpp"
 #include "net/tcp_transport.hpp"
@@ -70,6 +71,16 @@ struct ServerConfig {
 
   /// Skip epoll even where it exists — exercises the poll(2) fallback.
   bool force_poll_fallback = false;
+
+  /// Bind the admin plane (net/admin.hpp) on 127.0.0.1:*admin_port when
+  /// set (0 = ephemeral; read back with admin_port()). Ignored under
+  /// -DSMATCH_OBS=OFF — the OFF build has no admin surface.
+  std::optional<std::uint16_t> admin_port;
+
+  /// Arm the slow-request exemplar recorder: client calls finishing at
+  /// or above this end-to-end latency capture their span tree
+  /// (/trace?exemplars=1). 0 leaves the recorder disarmed.
+  std::uint64_t slow_request_threshold_ns = 0;
 };
 
 class NetServer {
@@ -103,6 +114,14 @@ class NetServer {
   /// The config start() ran with (defaults until then).
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
+  /// The bound admin port (0 when no admin plane is serving — config
+  /// had no admin_port, or the build is -DSMATCH_OBS=OFF).
+  [[nodiscard]] std::uint16_t admin_port() const;
+
+  /// The admin plane, for registering extra refresh hooks / statusz
+  /// sections. Nullptr when no admin plane is serving.
+  [[nodiscard]] AdminServer* admin() { return admin_ ? admin_.get() : nullptr; }
+
  private:
   [[nodiscard]] Status start_locked(const ServerConfig& config);
   void ensure_started();
@@ -124,6 +143,7 @@ class NetServer {
 
   std::optional<TcpListener> listener_;
   std::uint16_t port_ = 0;
+  std::unique_ptr<AdminServer> admin_;
 
   // Declaration order is destruction order in reverse: the pool dies
   // before the loops, so in-flight dispatch tasks can still hand their

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/wire.hpp"
+#include "obs/exemplar.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -19,6 +21,35 @@ void bump(const char* name) {
 
 constexpr std::uint8_t kEnvelopeRequest = 0;
 constexpr std::uint8_t kEnvelopeResponse = 1;
+constexpr std::uint8_t kEnvelopeTracedRequest = 2;  // + trace_id/span_id
+
+#if SMATCH_OBS_ENABLED
+/// RAII around one client call: at destruction (after the net.call span
+/// has closed into the exemplar pending table) hands the measured
+/// end-to-end latency to the slow-request exemplar recorder. A no-op
+/// unless the recorder is armed; compiles to nothing worth noting under
+/// -DSMATCH_OBS=OFF (spans never feed the recorder there).
+class SlowCallGuard {
+ public:
+  explicit SlowCallGuard(std::uint64_t trace_id)
+      : trace_id_(trace_id), start_(Clock::now()) {}
+  ~SlowCallGuard() {
+    auto& recorder = obs::ExemplarRecorder::instance();
+    if (!recorder.armed()) return;
+    recorder.finish(trace_id_,
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now() - start_)
+                            .count()));
+  }
+  SlowCallGuard(const SlowCallGuard&) = delete;
+  SlowCallGuard& operator=(const SlowCallGuard&) = delete;
+
+ private:
+  std::uint64_t trace_id_;
+  Clock::time_point start_;
+};
+#endif  // SMATCH_OBS_ENABLED
 
 }  // namespace
 
@@ -35,8 +66,14 @@ Bytes make_error_envelope(std::uint64_t request_id, StatusCode code,
 Bytes Envelope::serialize() const {
   Writer w;
   wire::write_header(w);
-  w.u8(is_response ? kEnvelopeResponse : kEnvelopeRequest);
+  const bool traced = !is_response && (trace_id != 0 || span_id != 0);
+  w.u8(is_response ? kEnvelopeResponse
+                   : (traced ? kEnvelopeTracedRequest : kEnvelopeRequest));
   w.u64(request_id);
+  if (traced) {
+    w.u64(trace_id);
+    w.u64(span_id);
+  }
   if (is_response) w.u8(static_cast<std::uint8_t>(status));
   w.var_bytes(body);
   return w.take();
@@ -46,11 +83,16 @@ StatusOr<Envelope> Envelope::parse(BytesView data) {
   return wire::parse_framed<Envelope>(data, [](Reader& r) {
     Envelope e;
     const std::uint8_t type = r.u8();
-    if (type != kEnvelopeRequest && type != kEnvelopeResponse) {
+    if (type != kEnvelopeRequest && type != kEnvelopeResponse &&
+        type != kEnvelopeTracedRequest) {
       throw SerdeError("unknown envelope type");
     }
     e.is_response = (type == kEnvelopeResponse);
     e.request_id = r.u64();
+    if (type == kEnvelopeTracedRequest) {
+      e.trace_id = r.u64();
+      e.span_id = r.u64();
+    }
     if (e.is_response) {
       const std::uint8_t code = r.u8();
       if (code > static_cast<std::uint8_t>(kMaxWireStatusCode)) {
@@ -73,22 +115,37 @@ SessionClient::SessionClient(Transport& transport, RetryPolicy policy,
       next_id_(rng_.u64() | 1) {}
 
 StatusOr<Bytes> SessionClient::call(MessageKind kind, BytesView body) {
+  Envelope request;
+  request.is_response = false;
+  request.request_id = next_id_++;
+  // The trace context rides the envelope (type-2) so server-side spans
+  // stitch to this call's. Drawn from the session DRBG unconditionally —
+  // also in -DSMATCH_OBS=OFF builds — so wire bytes never depend on
+  // whether observability is compiled in. |1 keeps the ids nonzero
+  // (0 means "no context" on the wire).
+  request.trace_id = rng_.u64() | 1;
+  request.span_id = rng_.u64() | 1;
+  request.body.assign(body.begin(), body.end());
+  const Bytes frame = request.serialize();
+
+  // Declaration order matters: the net.call span must close (feeding the
+  // exemplar pending table) before the guard finishes the trace, and the
+  // context must be installed before the span opens.
+  obs::TraceContextScope trace_scope(request.trace_id, request.span_id);
+#if SMATCH_OBS_ENABLED
+  SlowCallGuard slow_guard(request.trace_id);
+#endif
   SMATCH_SPAN("net.call");
   auto& reg = obs::Registry::global();
   reg.counter("smatch_net_calls_total")->fetch_add(1, std::memory_order_relaxed);
   ++stats_.calls;
-
-  Envelope request;
-  request.is_response = false;
-  request.request_id = next_id_++;
-  request.body.assign(body.begin(), body.end());
-  const Bytes frame = request.serialize();
 
   const auto call_start = Clock::now();
   Status last(StatusCode::kTimeout, "no attempt made");
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       SMATCH_SPAN("net.retry");
+      SMATCH_FLIGHT(obs::FlightKind::kRetry, request.request_id, attempt);
       ++stats_.retries;
       reg.counter("smatch_net_retries_total")
           ->fetch_add(1, std::memory_order_relaxed);
@@ -210,6 +267,12 @@ Bytes FrameDispatcher::dispatch(MessageKind kind, BytesView frame_payload,
     return make_error_envelope(request->request_id, StatusCode::kMalformedMessage,
                                "server received a response envelope");
   }
+  // Adopt the caller's trace context for everything downstream: the
+  // net.handle span and every span the handler opens close with the
+  // client's trace id, stitching both sides of the wire together.
+  obs::TraceContextScope trace_scope(request->trace_id, request->span_id);
+  SMATCH_SPAN("net.handle");
+
   if (std::optional<Bytes> cached = session.lookup(request->request_id)) {
     bump("smatch_net_replays_served_total");
     return std::move(*cached);

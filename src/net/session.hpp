@@ -3,9 +3,19 @@
 // Envelope format (the frame payload; carries the standard versioned
 // "SM" wire header of common/wire.hpp):
 //
-//   request  := header(3) || type:u8 = 0 || request_id:u64 || var_bytes(body)
-//   response := header(3) || type:u8 = 1 || request_id:u64 || status:u8
-//               || var_bytes(body)
+//   request   := header(3) || type:u8 = 0 || request_id:u64 || var_bytes(body)
+//   request'  := header(3) || type:u8 = 2 || request_id:u64
+//                || trace_id:u64 || span_id:u64 || var_bytes(body)
+//   response  := header(3) || type:u8 = 1 || request_id:u64 || status:u8
+//                || var_bytes(body)
+//
+// Type 2 is the trace-context request (envelope format v2,
+// docs/PROTOCOL.md): 16 extra bytes carry the (trace_id, span_id) pair
+// that stitches client- and server-side spans into one timeline. A zero
+// context serializes as the legacy type 0, and both parse, so old and
+// new peers interoperate. The ids are drawn from the session DRBG —
+// deterministic per seed, identical whether observability is compiled
+// in or out (-DSMATCH_OBS=OFF), so golden vectors hold in both builds.
 //
 // Request IDs make retransmits idempotent: the server keeps a bounded
 // per-connection replay cache of recent responses and answers a repeated
@@ -44,6 +54,10 @@ struct Envelope {
   bool is_response = false;
   std::uint64_t request_id = 0;
   StatusCode status = StatusCode::kOk;  // responses only
+  /// Cross-wire trace context (requests only; 0 = none, serializes as
+  /// the legacy type-0 envelope).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   Bytes body;
 
   [[nodiscard]] Bytes serialize() const;

@@ -1,0 +1,152 @@
+#include "obs/exemplar.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace smatch::obs {
+
+ExemplarRecorder& ExemplarRecorder::instance() {
+  static ExemplarRecorder recorder;
+  return recorder;
+}
+
+void ExemplarRecorder::arm(std::uint64_t threshold_ns, std::size_t ring_capacity) {
+  std::lock_guard lk(mu_);
+  if (ring_capacity != 0) {
+    ring_capacity_ = ring_capacity;
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+  }
+  threshold_ns_.store(threshold_ns, std::memory_order_relaxed);
+}
+
+void ExemplarRecorder::disarm() {
+  std::lock_guard lk(mu_);
+  threshold_ns_.store(0, std::memory_order_relaxed);
+  pending_.clear();
+}
+
+void ExemplarRecorder::record_span(std::uint64_t trace_id, const TraceEvent& event) {
+  if (trace_id == 0 || !armed()) return;
+  std::lock_guard lk(mu_);
+  auto it = pending_.find(trace_id);
+  if (it == pending_.end()) {
+    if (pending_.size() >= kMaxPendingTraces) {
+      // A full table means traces are being opened faster than finished
+      // (or finish() is never reached, e.g. a crashed caller); dropping
+      // the new trace keeps the recorder bounded either way.
+      ++overflows_;
+      return;
+    }
+    it = pending_.emplace(trace_id, std::vector<TraceEvent>{}).first;
+  }
+  if (it->second.size() >= kMaxSpansPerTrace) return;
+  it->second.push_back(event);
+}
+
+void ExemplarRecorder::finish(std::uint64_t trace_id, std::uint64_t total_ns) {
+  if (trace_id == 0 || !armed()) return;
+  std::lock_guard lk(mu_);
+  const auto it = pending_.find(trace_id);
+  std::vector<TraceEvent> spans;
+  if (it != pending_.end()) {
+    spans = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (total_ns < threshold_ns_.load(std::memory_order_relaxed)) return;
+
+  // Rebase the tree so its earliest span starts at t=0: exemplars are
+  // self-contained timelines, independent of the TraceBuffer time base.
+  std::uint64_t base = ~0ull;
+  for (const TraceEvent& e : spans) base = std::min(base, e.start_ns);
+  for (TraceEvent& e : spans) e.start_ns -= (base == ~0ull ? 0 : base);
+
+  Exemplar ex;
+  ex.trace_id = trace_id;
+  ex.total_ns = total_ns;
+  ex.spans = std::move(spans);
+  ring_.push_back(std::move(ex));
+  if (ring_.size() > ring_capacity_) ring_.pop_front();
+  ++captured_;
+}
+
+std::vector<Exemplar> ExemplarRecorder::exemplars() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t ExemplarRecorder::occupancy() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t ExemplarRecorder::captured_total() const {
+  std::lock_guard lk(mu_);
+  return captured_;
+}
+
+std::uint64_t ExemplarRecorder::pending_overflows() const {
+  std::lock_guard lk(mu_);
+  return overflows_;
+}
+
+std::string ExemplarRecorder::chrome_json() const {
+  const std::vector<Exemplar> exs = exemplars();
+
+  // One flat event array; spans of one exemplar stay contiguous and
+  // sorted so validate_chrome_trace()'s nesting check passes. Successive
+  // exemplars are offset past the previous one's end to keep the global
+  // sort-by-ts invariant.
+  std::string out = "[\n";
+  char line[320];
+  std::uint64_t offset = 0;
+  bool first = true;
+  for (const Exemplar& ex : exs) {
+    std::vector<TraceEvent> spans = ex.spans;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                       return a.depth < b.depth;
+                     });
+    std::uint64_t end = 0;
+    for (const TraceEvent& e : spans) {
+      if (!first) out += ",\n";
+      first = false;
+      std::snprintf(line, sizeof line,
+                    "{\"name\":\"%s\",\"cat\":\"smatch\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u,"
+                    "\"trace\":\"%016" PRIx64 "\",\"exemplar_total_ns\":%" PRIu64 "}}",
+                    e.name, static_cast<double>(offset + e.start_ns) / 1e3,
+                    static_cast<double>(e.duration_ns) / 1e3, e.thread, e.depth,
+                    ex.trace_id, ex.total_ns);
+      out += line;
+      end = std::max(end, e.start_ns + e.duration_ns);
+    }
+    offset += end + 1000;  // 1 us gap between exemplars
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void ExemplarRecorder::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+  pending_.clear();
+}
+
+void publish_trace_metrics() {
+  auto& reg = Registry::global();
+  reg.publish_value("smatch_obs_trace_dropped_total",
+                    static_cast<double>(TraceBuffer::instance().dropped()));
+  const ExemplarRecorder& ex = ExemplarRecorder::instance();
+  reg.publish_value("smatch_obs_exemplar_occupancy",
+                    static_cast<double>(ex.occupancy()), /*as_gauge=*/true);
+  reg.publish_value("smatch_obs_exemplars_captured_total",
+                    static_cast<double>(ex.captured_total()));
+  reg.publish_value("smatch_obs_exemplar_overflows_total",
+                    static_cast<double>(ex.pending_overflows()));
+}
+
+}  // namespace smatch::obs

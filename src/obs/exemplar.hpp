@@ -1,0 +1,118 @@
+// Slow-request exemplars: when an RPC's end-to-end latency crosses a
+// configured threshold, its full span tree (client-side net.call/net.retry
+// plus the server-side dispatch and handler spans, stitched by the shared
+// trace id) is promoted into a bounded ring for post-hoc inspection.
+//
+// Flow:
+//   * `arm(threshold_ns)` turns collection on (one relaxed load per span
+//     close when disarmed — cheap enough to leave compiled in).
+//   * `~ScopedSpan` (obs/trace.hpp) appends each closed span to a bounded
+//     pending table keyed by the thread's current trace id.
+//   * `SessionClient::call` finishes the trace with the measured
+//     end-to-end latency: at or above the threshold the pending spans are
+//     promoted into the exemplar ring (oldest exemplar overwritten),
+//     below it they are discarded.
+//
+// The ring is exported as Chrome-trace JSON via the admin endpoint
+// `/trace?exemplars=1`; occupancy and capture counters are published as
+// smatch_obs_exemplar_* metrics by publish_trace_metrics()
+// (obs/registry.hpp consumers call it before rendering).
+//
+// Under -DSMATCH_OBS=OFF nothing feeds the recorder (spans compile out
+// and the session layer's guard is a no-op), so it stays empty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace smatch::obs {
+
+/// One captured slow request: the trace id, the end-to-end latency that
+/// crossed the threshold, and the span tree rebased so the earliest span
+/// starts at t=0.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<TraceEvent> spans;
+};
+
+/// Process-wide bounded recorder. All members are thread-safe; the
+/// disarmed fast path is a single relaxed atomic load.
+class ExemplarRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 32;
+  /// Traces being assembled concurrently; beyond this, new trace ids are
+  /// dropped (counted in pending_overflows()).
+  static constexpr std::size_t kMaxPendingTraces = 256;
+  /// Spans kept per pending trace; extras are dropped, keeping the
+  /// earliest ones (the request's outer structure).
+  static constexpr std::size_t kMaxSpansPerTrace = 192;
+
+  static ExemplarRecorder& instance();
+
+  /// Arms collection: requests finishing at or above `threshold_ns` are
+  /// captured. `ring_capacity` 0 keeps the current capacity.
+  void arm(std::uint64_t threshold_ns, std::size_t ring_capacity = 0);
+  /// Stops collection and drops pending traces; captured exemplars stay
+  /// readable.
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return threshold_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] std::uint64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a closed span to the pending trace (no-op when disarmed or
+  /// trace_id == 0). `event.start_ns` is absolute steady-clock ns.
+  void record_span(std::uint64_t trace_id, const TraceEvent& event);
+
+  /// Finishes a trace with its end-to-end latency: promotes the pending
+  /// spans into the ring when `total_ns >= threshold`, discards otherwise.
+  void finish(std::uint64_t trace_id, std::uint64_t total_ns);
+
+  /// Captured exemplars, oldest first.
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+  [[nodiscard]] std::size_t occupancy() const;
+  [[nodiscard]] std::uint64_t captured_total() const;
+  [[nodiscard]] std::uint64_t pending_overflows() const;
+
+  /// Chrome trace-event JSON of every captured exemplar (same format as
+  /// TraceBuffer::chrome_json(); each span carries args.trace and
+  /// args.exemplar_total_ns). Validates with validate_chrome_trace().
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Drops exemplars and pending traces; keeps the armed threshold.
+  void clear();
+
+ private:
+  ExemplarRecorder() = default;
+
+  std::atomic<std::uint64_t> threshold_ns_{0};
+
+  mutable std::mutex mu_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::list<Exemplar> ring_;  // oldest at front
+  std::unordered_map<std::uint64_t, std::vector<TraceEvent>> pending_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+/// Publishes the trace-plane self-metrics into Registry::global():
+///   smatch_obs_trace_dropped_total   — TraceBuffer ring overwrites
+///   smatch_obs_exemplar_occupancy    — exemplars currently held (gauge)
+///   smatch_obs_exemplars_captured_total
+///   smatch_obs_exemplar_overflows_total — pending-table drops
+/// Callers (admin /metrics, scenario driver) invoke this right before
+/// rendering so the exposition reflects live trace-buffer state.
+void publish_trace_metrics();
+
+}  // namespace smatch::obs

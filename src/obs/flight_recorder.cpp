@@ -1,0 +1,172 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+
+namespace smatch::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kConnAccepted: return "conn_accepted";
+    case FlightKind::kConnClosed: return "conn_closed";
+    case FlightKind::kConnShed: return "conn_shed";
+    case FlightKind::kRequestShed: return "request_shed";
+    case FlightKind::kRetry: return "retry";
+    case FlightKind::kFsyncStall: return "fsync_stall";
+    case FlightKind::kEviction: return "eviction";
+    case FlightKind::kWalAppend: return "wal_append";
+    case FlightKind::kServerStart: return "server_start";
+    case FlightKind::kServerStop: return "server_stop";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kCapacity];
+  // Seqlock write: mark busy, store fields relaxed, publish with release.
+  // Two writers a full ring apart can race one slot; readers detect the
+  // mid-write window via the 0 marker / changed sequence and skip it.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.ts_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) continue;  // empty or mid-write
+    FlightEvent ev;
+    ev.seq = s1 - 1;
+    ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    ev.kind = static_cast<FlightKind>(slot.kind.load(std::memory_order_relaxed));
+    ev.a = slot.a.load(std::memory_order_relaxed);
+    ev.b = slot.b.load(std::memory_order_relaxed);
+    const std::uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // torn by a concurrent writer
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  const std::vector<FlightEvent> events = snapshot();
+  std::string out;
+  char line[160];
+  const std::uint64_t base = events.empty() ? 0 : events.front().ts_ns;
+  for (const FlightEvent& ev : events) {
+    std::snprintf(line, sizeof line, "+%10.3fms #%llu %-13s a=%llu b=%llu\n",
+                  static_cast<double>(ev.ts_ns - base) / 1e6,
+                  static_cast<unsigned long long>(ev.seq), flight_kind_name(ev.kind),
+                  static_cast<unsigned long long>(ev.a),
+                  static_cast<unsigned long long>(ev.b));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::reset() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.seq.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal dump. Everything below sticks to async-signal-safe
+// primitives: raw write(2) and hand-rolled integer formatting — no
+// snprintf, no allocation, no locks (the recorder itself is lock-free).
+
+namespace {
+
+void write_str(const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  (void)::write(STDERR_FILENO, s, n);
+}
+
+void write_u64(std::uint64_t v) {
+  char buf[21];
+  char* p = buf + sizeof buf;
+  *--p = '\0';
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  write_str(p);
+}
+
+void fatal_dump_handler(int signo) {
+  write_str("\n=== smatch flight recorder (fatal signal ");
+  write_u64(static_cast<std::uint64_t>(signo));
+  write_str(") ===\n");
+  FlightRecorder::instance().fatal_write();
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::fatal_write() const {
+  const std::uint64_t total = next_.load(std::memory_order_relaxed);
+  write_str("events_total=");
+  write_u64(total);
+  write_str("\n");
+  // Oldest surviving ticket first; slots are read without sorting or
+  // allocation (the handler may run with the heap in an arbitrary state).
+  const std::uint64_t count = total < kCapacity ? total : kCapacity;
+  for (std::uint64_t t = total - count; t < total; ++t) {
+    const Slot& slot = slots_[t % kCapacity];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != t + 1) continue;  // overwritten or mid-write
+    write_str("#");
+    write_u64(t);
+    write_str(" ");
+    write_str(flight_kind_name(
+        static_cast<FlightKind>(slot.kind.load(std::memory_order_relaxed))));
+    write_str(" a=");
+    write_u64(slot.a.load(std::memory_order_relaxed));
+    write_str(" b=");
+    write_u64(slot.b.load(std::memory_order_relaxed));
+    write_str("\n");
+  }
+}
+
+void FlightRecorder::install_fatal_dump() {
+  static std::atomic<bool> installed{false};
+  bool expected = false;
+  if (!installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  sa.sa_handler = &fatal_dump_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (const int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    (void)::sigaction(signo, &sa, nullptr);
+  }
+}
+
+}  // namespace smatch::obs

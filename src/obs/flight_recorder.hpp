@@ -1,0 +1,116 @@
+// Flight recorder: a lock-free bounded ring of structured operational
+// events — connection lifecycle, request sheds, session retries, WAL
+// fsync stalls, store evictions. Cheap enough to stay on in production
+// (one clock read plus a handful of relaxed atomic stores per event), it
+// answers "what was the server doing just before X?" without logs.
+//
+// Recording sites use the SMATCH_FLIGHT macro, which compiles to nothing
+// under -DSMATCH_OBS=OFF. Each event carries a steady-clock timestamp, a
+// kind, and two kind-specific payload words (documented per enumerator).
+//
+// The ring is a fixed array of seqlock slots: a writer takes a global
+// ticket (fetch_add), marks its slot busy, stores the fields, then
+// publishes the ticket with a release store; `snapshot()` double-reads
+// each slot's sequence and skips slots a concurrent writer is touching,
+// so readers never block writers and the whole structure is
+// ThreadSanitizer-clean.
+//
+// Dump paths: the admin endpoint /statusz renders `dump_text()`, and
+// `install_fatal_dump()` registers async-signal-safe handlers that write
+// the ring to stderr on SIGSEGV / SIGBUS / SIGFPE / SIGABRT before
+// re-raising.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef SMATCH_OBS_ENABLED
+#define SMATCH_OBS_ENABLED 1
+#endif
+
+namespace smatch::obs {
+
+enum class FlightKind : std::uint8_t {
+  kConnAccepted = 0,  // a = connection id
+  kConnClosed = 1,    // a = connection id
+  kConnShed = 2,      // a = active connections at the cap
+  kRequestShed = 3,   // a = connection id, b = inflight at the cap
+  kRetry = 4,         // a = request id, b = attempt number
+  kFsyncStall = 5,    // a = shard, b = fsync duration ns
+  kEviction = 6,      // a = group key hash, b = bytes paged out
+  kWalAppend = 7,     // a = shard, b = record bytes (sampled call sites)
+  kServerStart = 8,   // a = tcp port, b = admin port
+  kServerStop = 9,    // a = connections still active
+};
+
+/// Human-readable enumerator name ("conn_accepted", ...).
+[[nodiscard]] const char* flight_kind_name(FlightKind kind);
+
+/// One recorded event. `ts_ns` is absolute steady-clock nanoseconds;
+/// `seq` is the global ticket (total order of recording).
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  FlightKind kind = FlightKind::kConnAccepted;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+
+  static FlightRecorder& instance();
+
+  void record(FlightKind kind, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Events recorded so far (monotone; may exceed kCapacity).
+  [[nodiscard]] std::uint64_t total() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent slots, oldest first. Slots a writer is mutating during
+  /// the read are skipped, so the result can momentarily be short.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// One line per event: "+<ms since first> <kind> a=<a> b=<b>".
+  [[nodiscard]] std::string dump_text() const;
+
+  /// Installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGABRT)
+  /// that write the ring to stderr and re-raise. Idempotent.
+  static void install_fatal_dump();
+
+  /// Async-signal-safe dump to stderr (raw write(2), no allocation, no
+  /// formatting library). Used by the fatal handler; callable directly.
+  void fatal_write() const;
+
+  /// Resets the ring (tests). Not safe against concurrent record().
+  void reset();
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = empty, ticket+1 = published
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+
+  std::atomic<std::uint64_t> next_{0};
+  std::array<Slot, kCapacity> slots_{};
+};
+
+#if SMATCH_OBS_ENABLED
+#define SMATCH_FLIGHT(kind, a, b) \
+  ::smatch::obs::FlightRecorder::instance().record((kind), (a), (b))
+#else
+#define SMATCH_FLIGHT(kind, a, b) ((void)0)
+#endif
+
+}  // namespace smatch::obs

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace smatch::obs {
 
@@ -58,6 +60,206 @@ std::string sanitize_metric_name(std::string_view name) {
   return out;
 }
 
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const char c0 = name.front();
+  if (std::isalpha(static_cast<unsigned char>(c0)) == 0 && c0 != '_' && c0 != ':') {
+    return false;
+  }
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits one sample line into (name, le-label-or-empty, value). Returns
+/// false on any syntax problem.
+bool split_sample_line(const std::string& line, std::string* name, std::string* le,
+                      double* value, std::string* error) {
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    *error = "sample line without a value: " + line;
+    return false;
+  }
+  le->clear();
+  if (brace != std::string::npos && brace < space) {
+    const std::size_t close = line.find('}', brace);
+    if (close == std::string::npos || close > space) {
+      *error = "unterminated label set: " + line;
+      return false;
+    }
+    *name = line.substr(0, brace);
+    const std::string labels = line.substr(brace + 1, close - brace - 1);
+    // The exporter only emits the `le` label, in le="bound" form.
+    if (labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+      *error = "unexpected label set: " + line;
+      return false;
+    }
+    *le = labels.substr(4, labels.size() - 5);
+  } else {
+    *name = line.substr(0, space);
+  }
+  const std::string val = line.substr(line.rfind(' ') + 1);
+  try {
+    std::size_t used = 0;
+    *value = std::stod(val, &used);
+    if (used != val.size()) throw std::invalid_argument(val);
+  } catch (const std::exception&) {
+    *error = "unparseable sample value: " + line;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool lint_prometheus_text(const std::string& text, std::string* error) {
+  std::string err;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (text.empty()) return fail("empty exposition payload");
+
+  std::map<std::string, std::string> types;  // family -> TYPE
+  // Per histogram family: last cumulative bucket count, +Inf count, _count.
+  std::map<std::string, double> last_bucket;
+  std::map<std::string, double> inf_bucket;
+  std::map<std::string, double> count_sample;
+
+  std::size_t pos = 0;
+  std::size_t samples = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Only `# TYPE <name> <type>` comments are emitted.
+      if (line.rfind("# TYPE ", 0) != 0) return fail("unexpected comment: " + line);
+      const std::size_t name_start = 7;
+      const std::size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) return fail("malformed TYPE line: " + line);
+      const std::string name = line.substr(name_start, name_end - name_start);
+      const std::string type = line.substr(name_end + 1);
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown metric type '" + type + "' for " + name);
+      }
+      if (!valid_metric_name(name)) return fail("invalid metric name: " + name);
+      types[name] = type;
+      continue;
+    }
+
+    std::string name;
+    std::string le;
+    double value = 0;
+    if (!split_sample_line(line, &name, &le, &value, &err)) return fail(err);
+    if (!valid_metric_name(name)) return fail("invalid metric name: " + name);
+    ++samples;
+
+    // Resolve the family: histogram samples use _bucket/_sum/_count.
+    std::string family = name;
+    std::string matched_suffix;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() && name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string candidate = name.substr(0, name.size() - s.size());
+        if (types.count(candidate) != 0 && types[candidate] == "histogram") {
+          family = candidate;
+          matched_suffix = s;
+          break;
+        }
+      }
+    }
+    if (types.count(family) == 0) {
+      return fail("sample without a preceding # TYPE line: " + name);
+    }
+    if (!le.empty()) {
+      if (types[family] != "histogram") {
+        return fail("le label on non-histogram sample: " + line);
+      }
+      if (le == "+Inf") {
+        inf_bucket[family] = value;
+      } else {
+        const auto it = last_bucket.find(family);
+        if (it != last_bucket.end() && value < it->second) {
+          return fail("histogram " + family + " bucket counts are not cumulative");
+        }
+        last_bucket[family] = value;
+      }
+    } else if (matched_suffix == "_count") {
+      count_sample[family] = value;
+    }
+  }
+  if (samples == 0) return fail("no samples in exposition payload");
+
+  for (const auto& [family, inf] : inf_bucket) {
+    const auto last = last_bucket.find(family);
+    if (last != last_bucket.end() && inf < last->second) {
+      return fail("histogram " + family + " +Inf bucket below the last finite bucket");
+    }
+    const auto cnt = count_sample.find(family);
+    if (cnt == count_sample.end()) {
+      return fail("histogram " + family + " has buckets but no _count sample");
+    }
+    if (inf != cnt->second) {
+      return fail("histogram " + family + " +Inf bucket disagrees with _count");
+    }
+  }
+  return true;
+}
+
+bool parse_prometheus_histogram(const std::string& text, const std::string& name,
+                                HistogramSnapshot* out) {
+  *out = HistogramSnapshot{};
+  bool found = false;
+  std::uint64_t prev_cumulative = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::string sample_name;
+    std::string le;
+    double value = 0;
+    std::string err;
+    if (!split_sample_line(line, &sample_name, &le, &value, &err)) continue;
+    if (sample_name == name + "_bucket" && !le.empty() && le != "+Inf") {
+      // Invert the elided-cumulative encoding: bound -> log2 bucket index.
+      const std::uint64_t bound = std::strtoull(le.c_str(), nullptr, 10);
+      std::size_t bucket = kNumHistogramBuckets;
+      for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+        if (histogram_bucket_bound(b) == bound) {
+          bucket = b;
+          break;
+        }
+      }
+      if (bucket == kNumHistogramBuckets) return false;  // not log2-scheme
+      const auto cumulative = static_cast<std::uint64_t>(value);
+      if (cumulative < prev_cumulative) return false;
+      out->buckets[bucket] = cumulative - prev_cumulative;
+      prev_cumulative = cumulative;
+      found = true;
+    } else if (sample_name == name + "_sum" && le.empty()) {
+      out->sum = static_cast<std::uint64_t>(value);
+      found = true;
+    } else if (sample_name == name + "_count" && le.empty()) {
+      out->count = static_cast<std::uint64_t>(value);
+      found = true;
+    }
+  }
+  return found;
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;
@@ -94,41 +296,64 @@ void Registry::publish_value(std::string_view name, double value, bool as_gauge)
   published_values_[sanitize_metric_name(name)] = {value, as_gauge};
 }
 
-std::string Registry::prometheus_text() const {
+// Exporters copy plain values out under mu_ and do all string formatting
+// unlocked: counter()/gauge()/histogram() on the request hot path take
+// the same mutex, so a scrape must hold it for microseconds of copying,
+// not the whole render (the admin-scrape tier of bench/obs_overhead.cpp
+// gates on the resulting tail-latency shift staying under 5%).
+Registry::ExportSnapshot Registry::export_snapshot() const {
+  ExportSnapshot snap;
   std::lock_guard lk(mu_);
-  std::string out;
+  snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
-    append_f(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(),
-             c->load(std::memory_order_relaxed));
+    snap.counters.emplace_back(name, c->load(std::memory_order_relaxed));
   }
+  snap.gauges.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) {
-    append_f(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(), name.c_str(),
-             g->load(std::memory_order_relaxed));
+    snap.gauges.emplace_back(name, g->load(std::memory_order_relaxed));
   }
-  for (const auto& [name, vt] : published_values_) {
+  snap.values.assign(published_values_.begin(), published_values_.end());
+  snap.histograms.reserve(histograms_.size() + published_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  for (const auto& [name, s] : published_) {
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+std::string Registry::prometheus_text() const {
+  const ExportSnapshot snap = export_snapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    append_f(out, "# TYPE %s counter\n%s %" PRIu64 "\n", name.c_str(), name.c_str(),
+             v);
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    append_f(out, "# TYPE %s gauge\n%s %" PRId64 "\n", name.c_str(), name.c_str(),
+             v);
+  }
+  for (const auto& [name, vt] : snap.values) {
     append_f(out, "# TYPE %s %s\n%s %.17g\n", name.c_str(),
              vt.second ? "gauge" : "counter", name.c_str(), vt.first);
   }
-  for (const auto& [name, h] : histograms_) {
-    append_prometheus_histogram(out, name, h->snapshot());
-  }
-  for (const auto& [name, snap] : published_) {
-    append_prometheus_histogram(out, name, snap);
+  for (const auto& [name, h] : snap.histograms) {
+    append_prometheus_histogram(out, name, h);
   }
   return out;
 }
 
 std::string Registry::json() const {
-  std::lock_guard lk(mu_);
+  const ExportSnapshot snap = export_snapshot();
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, v] : snap.counters) {
     if (!first) out += ",";
     first = false;
-    append_f(out, "\"%s\":%" PRIu64, name.c_str(),
-             c->load(std::memory_order_relaxed));
+    append_f(out, "\"%s\":%" PRIu64, name.c_str(), v);
   }
-  for (const auto& [name, vt] : published_values_) {
+  for (const auto& [name, vt] : snap.values) {
     if (vt.second) continue;
     if (!first) out += ",";
     first = false;
@@ -136,13 +361,12 @@ std::string Registry::json() const {
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, v] : snap.gauges) {
     if (!first) out += ",";
     first = false;
-    append_f(out, "\"%s\":%" PRId64, name.c_str(),
-             g->load(std::memory_order_relaxed));
+    append_f(out, "\"%s\":%" PRId64, name.c_str(), v);
   }
-  for (const auto& [name, vt] : published_values_) {
+  for (const auto& [name, vt] : snap.values) {
     if (!vt.second) continue;
     if (!first) out += ",";
     first = false;
@@ -150,11 +374,8 @@ std::string Registry::json() const {
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
-    append_json_histogram(out, name, h->snapshot(), first);
-  }
-  for (const auto& [name, snap] : published_) {
-    append_json_histogram(out, name, snap, first);
+  for (const auto& [name, h] : snap.histograms) {
+    append_json_histogram(out, name, h, first);
   }
   out += "}}";
   return out;

@@ -28,6 +28,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/histogram.hpp"
 
@@ -36,6 +38,24 @@ namespace smatch::obs {
 /// Replaces every character outside [a-zA-Z0-9_:] with '_' (Prometheus
 /// metric-name charset); prefixes '_' when the name starts with a digit.
 [[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Lints exposition text as produced by Registry::prometheus_text():
+/// every sample line parses (name[{labels}] value), metric names stay in
+/// the Prometheus charset, every family is announced by a preceding
+/// `# TYPE` line, histogram `le` bucket counts are cumulative
+/// (monotonically nondecreasing) and the `+Inf` bucket equals `_count`.
+/// Shared by the admin-endpoint tests and the scripts/ci.sh scrape gate.
+/// On failure returns false and describes the first problem in `error`.
+[[nodiscard]] bool lint_prometheus_text(const std::string& text, std::string* error);
+
+/// Reconstructs the log2-bucket snapshot of histogram family `name` from
+/// exposition text (inverts append_prometheus_histogram: de-cumulates the
+/// `le` buckets, reads _sum/_count). False when `name` is absent or a
+/// bucket bound does not match the log2 scheme. The scenario driver uses
+/// this to turn mid-run /metrics scrapes into per-phase p50/p99 deltas.
+[[nodiscard]] bool parse_prometheus_histogram(const std::string& text,
+                                              const std::string& name,
+                                              HistogramSnapshot* out);
 
 class Registry {
  public:
@@ -71,6 +91,17 @@ class Registry {
   void clear();
 
  private:
+  /// Plain-value copy of every entry, taken under mu_ in one short
+  /// critical section so the exporters can format text with the lock
+  /// released (hot-path counter()/histogram() lookups contend on mu_).
+  struct ExportSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, std::pair<double, bool>>> values;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  [[nodiscard]] ExportSnapshot export_snapshot() const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>> counters_;
   std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>> gauges_;

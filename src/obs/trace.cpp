@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/exemplar.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -100,16 +102,23 @@ std::string TraceBuffer::chrome_json() const {
   });
 
   std::string out = "[\n";
-  char line[256];
+  char line[320];
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const TraceEvent& e = evs[i];
     // ts/dur are microseconds; three decimals preserve the ns timestamps.
+    // Spans that carried a cross-wire context get an args.trace hex id so
+    // Perfetto queries can group one request's client+server spans.
+    char trace_arg[40] = "";
+    if (e.trace_id != 0) {
+      std::snprintf(trace_arg, sizeof trace_arg, ",\"trace\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.trace_id));
+    }
     std::snprintf(line, sizeof line,
                   "{\"name\":\"%s\",\"cat\":\"smatch\",\"ph\":\"X\",\"ts\":%.3f,"
-                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}%s\n",
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u%s}}%s\n",
                   e.name, static_cast<double>(e.start_ns) / 1e3,
                   static_cast<double>(e.duration_ns) / 1e3, e.thread, e.depth,
-                  i + 1 < evs.size() ? "," : "");
+                  trace_arg, i + 1 < evs.size() ? "," : "");
     out += line;
   }
   out += "]\n";
@@ -128,6 +137,7 @@ namespace {
 struct ParsedEvent {
   std::string name;
   std::string ph;
+  std::string trace;  // optional args.trace hex id
   double ts = -1.0;
   double dur = -1.0;
   long tid = -1;
@@ -202,9 +212,18 @@ struct Parser {
         if (!expect('{')) return false;
         for (;;) {
           std::string akey;
-          double aval = 0;
-          if (!parse_string(akey) || !expect(':') || !parse_number(aval)) return false;
-          if (akey == "depth") ev.depth = static_cast<long>(aval);
+          if (!parse_string(akey) || !expect(':')) return false;
+          skip_ws();
+          if (i < s.size() && s[i] == '"') {
+            // String-valued args (the hex trace id of a cross-wire span).
+            std::string aval;
+            if (!parse_string(aval)) return false;
+            if (akey == "trace") ev.trace = aval;
+          } else {
+            double aval = 0;
+            if (!parse_number(aval)) return false;
+            if (akey == "depth") ev.depth = static_cast<long>(aval);
+          }
           skip_ws();
           if (i < s.size() && s[i] == ',') {
             ++i;
@@ -280,6 +299,16 @@ bool validate_chrome_trace(const std::string& json, std::string* error,
     if (ev.ts < prev_ts) return fail("events not sorted by start timestamp");
     prev_ts = ev.ts;
     names.insert(ev.name);
+    if (!ev.trace.empty()) {
+      if (ev.trace.size() != 16) return fail("args.trace is not a 16-hex-digit id");
+      for (const char c : ev.trace) {
+        if (std::isxdigit(static_cast<unsigned char>(c)) == 0 ||
+            (std::isalpha(static_cast<unsigned char>(c)) != 0 &&
+             std::islower(static_cast<unsigned char>(c)) == 0)) {
+          return fail("args.trace is not lowercase hex");
+        }
+      }
+    }
 
     const auto start = static_cast<std::uint64_t>(std::llround(ev.ts * 1e3));
     const auto end = start + static_cast<std::uint64_t>(std::llround(ev.dur * 1e3));
@@ -302,10 +331,34 @@ bool validate_chrome_trace(const std::string& json, std::string* error,
 
 #if SMATCH_OBS_ENABLED
 
+namespace {
+
+TraceContext& thread_trace_context() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+TraceContext current_trace_context() { return thread_trace_context(); }
+
+TraceContextScope::TraceContextScope(std::uint64_t trace_id, std::uint64_t span_id)
+    : saved_(thread_trace_context()) {
+  thread_trace_context() = {trace_id, span_id};
+}
+
+TraceContextScope::~TraceContextScope() { thread_trace_context() = saved_; }
+
 ScopedSpan::ScopedSpan(const char* name, Histogram* hist)
-    : name_(nullptr), hist_(hist), start_ns_(0), depth_(0) {
-  // Skip the clock reads entirely when the span would go nowhere.
-  if (hist == nullptr && !TraceBuffer::instance().enabled()) return;
+    : name_(nullptr), hist_(hist), start_ns_(0), depth_(0), trace_id_(0) {
+  trace_id_ = thread_trace_context().trace_id;
+  // Skip the clock reads entirely when the span would go nowhere: no
+  // histogram, trace buffer disarmed, and no chance of an exemplar
+  // capture (recorder disarmed or no trace context on this thread).
+  if (hist == nullptr && !TraceBuffer::instance().enabled() &&
+      (trace_id_ == 0 || !ExemplarRecorder::instance().armed())) {
+    return;
+  }
   name_ = name;
   depth_ = thread_state().depth++;
   start_ns_ = steady_now_ns();
@@ -319,7 +372,12 @@ ScopedSpan::~ScopedSpan() {
   const std::uint64_t dur = end_ns - start_ns_;
   if (hist_ != nullptr) hist_->record(dur);
   TraceBuffer& buf = TraceBuffer::instance();
-  if (buf.enabled()) buf.push({name_, start_ns_, dur, state.id, depth_});
+  if (buf.enabled()) buf.push({name_, start_ns_, dur, state.id, depth_, trace_id_});
+  if (trace_id_ != 0 && ExemplarRecorder::instance().armed()) {
+    // Absolute timestamps here; ExemplarRecorder::finish rebases per trace.
+    ExemplarRecorder::instance().record_span(
+        trace_id_, {name_, start_ns_, dur, state.id, depth_, trace_id_});
+  }
 }
 
 #endif  // SMATCH_OBS_ENABLED

@@ -18,8 +18,10 @@
 // clock pair feeds both the trace and the latency metrics.
 //
 // Cost model: tracing is off by default at runtime; a closed span then
-// costs two steady_clock reads plus one relaxed load (or, for the _HIST
-// form, one histogram record). `trace_begin()` arms the buffer.
+// costs two steady_clock reads plus a couple of relaxed loads (or, for
+// the _HIST form, one histogram record). `trace_begin()` arms the buffer.
+// Spans also feed the slow-request exemplar recorder (obs/exemplar.hpp)
+// when it is armed and the thread carries a TraceContext.
 //
 // Compile-time kill switch: building with -DSMATCH_OBS=OFF (cmake option;
 // defines SMATCH_OBS_ENABLED=0) expands both macros to nothing — no span
@@ -54,7 +56,48 @@ struct TraceEvent {
   std::uint64_t duration_ns = 0;
   std::uint32_t thread = 0;     // small first-span-order thread number
   std::uint32_t depth = 0;      // span-stack depth at open (0 = top level)
+  std::uint64_t trace_id = 0;   // cross-wire trace id (0 = no context)
 };
+
+/// Cross-wire trace context: the 16-byte (trace_id, span_id) pair the
+/// session envelope carries (net/session.hpp). SessionClient installs it
+/// around a call; the server-side dispatcher adopts the received pair
+/// around the handler, so spans on both sides of the wire close with the
+/// same trace_id and stitch into one Chrome-trace timeline.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+#if SMATCH_OBS_ENABLED
+
+/// The calling thread's current context ({0, 0} when none is installed).
+[[nodiscard]] TraceContext current_trace_context();
+
+/// RAII: installs a context for the enclosing scope and restores the
+/// previous one on exit (contexts nest; spans opened inside the scope
+/// close with `trace_id`).
+class TraceContextScope {
+ public:
+  TraceContextScope(std::uint64_t trace_id, std::uint64_t span_id);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+#else  // SMATCH_OBS_ENABLED
+
+inline TraceContext current_trace_context() { return {}; }
+
+class TraceContextScope {
+ public:
+  TraceContextScope(std::uint64_t, std::uint64_t) {}
+};
+
+#endif  // SMATCH_OBS_ENABLED
 
 /// Bounded ring of closed spans. One process-wide instance
 /// (`TraceBuffer::instance()`); all members are thread-safe.
@@ -101,7 +144,8 @@ class TraceBuffer {
 /// Validates Chrome trace-event JSON produced by chrome_json(): parses the
 /// array, checks the required fields, non-negative monotonic-by-sort
 /// timestamps, and proper nesting (a depth-d+1 span must start inside the
-/// enclosing depth-d span on the same thread). On success fills
+/// enclosing depth-d span on the same thread). Events may carry a string
+/// `args.trace` hex id (the cross-wire trace context). On success fills
 /// `distinct_names` with the number of unique span names. On failure
 /// returns false and describes the problem in `error`.
 [[nodiscard]] bool validate_chrome_trace(const std::string& json, std::string* error,
@@ -123,6 +167,7 @@ class ScopedSpan {
   Histogram* hist_;
   std::uint64_t start_ns_;  // absolute steady-clock ns
   std::uint32_t depth_;
+  std::uint64_t trace_id_;  // captured from the thread's TraceContext
 };
 
 #define SMATCH_OBS_CONCAT_IMPL(a, b) a##b

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -10,6 +12,7 @@
 #include "core/smatch.hpp"
 #include "crypto/drbg.hpp"
 #include "group/modp_group.hpp"
+#include "net/admin.hpp"
 #include "net/inproc_transport.hpp"
 #include "net/server.hpp"
 #include "net/tcp_transport.hpp"
@@ -64,6 +67,89 @@ std::uint64_t registry_count(const char* name) {
   return obs::Registry::global().counter(name)->load();
 }
 
+/// Per-phase latency from the outside in: scrapes /metrics over the
+/// admin plane, lints the exposition, parses the smatch_net_rtt_ns
+/// histogram back, and turns the delta between two scrapes bracketing a
+/// phase into that phase's quantiles. Inactive (all no-ops) when the
+/// admin plane is absent — the -DSMATCH_OBS=OFF build.
+class PhaseScraper {
+ public:
+  void begin(std::uint16_t admin_port) {
+    if (admin_port == 0) return;
+    port_ = admin_port;
+    active_ = scrape(&last_);
+  }
+
+  void sample(const char* phase, ScenarioResult* result) {
+    if (!active_) return;
+    obs::HistogramSnapshot now;
+    if (!scrape(&now)) return;
+    PhaseSample ps;
+    ps.phase = phase;
+    // De-accumulate: the registry histogram is process-global, so the
+    // phase's own samples are the bucket-wise difference.
+    obs::HistogramSnapshot delta;
+    for (std::size_t i = 0; i < obs::kNumHistogramBuckets; ++i) {
+      delta.buckets[i] = now.buckets[i] - last_.buckets[i];
+    }
+    delta.count = now.count - last_.count;
+    delta.sum = now.sum - last_.sum;
+    ps.ops = delta.count;
+    ps.p50_ns = delta.p50();
+    ps.p99_ns = delta.p99();
+    result->phases.push_back(std::move(ps));
+    last_ = now;
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] bool clean() const { return clean_; }
+  [[nodiscard]] std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  bool scrape(obs::HistogramSnapshot* out) {
+    StatusOr<std::string> body = http_get("127.0.0.1", port_, "/metrics");
+    if (!body.is_ok()) {
+      clean_ = false;
+      return false;
+    }
+    ++scrapes_;
+    std::string error;
+    if (!obs::lint_prometheus_text(*body, &error)) clean_ = false;
+    if (!obs::parse_prometheus_histogram(*body, "smatch_net_rtt_ns", out)) {
+      // No calls yet: an absent family is fine, an unparseable one is not.
+      if (body->find("smatch_net_rtt_ns") != std::string::npos) clean_ = false;
+      *out = obs::HistogramSnapshot{};
+    }
+    return true;
+  }
+
+  std::uint16_t port_ = 0;
+  bool active_ = false;
+  bool clean_ = true;
+  std::uint64_t scrapes_ = 0;
+  obs::HistogramSnapshot last_;
+};
+
+/// The CI rendezvous: publish the admin port, then hold the scenario at
+/// the end of the enroll phase until the external prober (scripts/ci.sh)
+/// finishes curling and touches "<prefix>.go". Bounded so an absent
+/// prober can never wedge a run.
+void admin_sync_point(const std::string& prefix, std::uint16_t admin_port) {
+  if (prefix.empty() || admin_port == 0) return;
+  {
+    std::ofstream port_file(prefix + ".port", std::ios::trunc);
+    port_file << admin_port << "\n";
+  }
+  const std::string go = prefix + ".go";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::error_code ec;
+    if (std::filesystem::exists(go, ec)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
 }  // namespace
 
 StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
@@ -99,7 +185,12 @@ StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
   if (spec.over_tcp) server_config.tcp_port = 0;  // ephemeral
   server_config.io_threads = spec.io_threads;
   server_config.dispatch_workers = spec.dispatch_workers;
+  if (spec.admin) server_config.admin_port = 0;  // ephemeral
+  server_config.slow_request_threshold_ns = spec.slow_request_threshold_ns;
   if (Status s = net.start(server_config); !s.is_ok()) return s;
+
+  PhaseScraper scraper;
+  scraper.begin(net.admin_port());
 
   const std::uint64_t shed_req_before = registry_count("smatch_net_shed_requests_total");
   const std::uint64_t shed_conn_before =
@@ -183,6 +274,8 @@ StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
       enrolled.fetch_add(1, std::memory_order_relaxed);
     }
   });
+  scraper.sample("enroll", &result);
+  admin_sync_point(spec.admin_sync_prefix, net.admin_port());
 
   // --- Phase 2: churn — re-enroll with changed attributes ---------------
   if (!wl.churners().empty()) {
@@ -214,6 +307,7 @@ StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
         }
       }
     });
+    scraper.sample("churn", &result);
   }
 
   // --- Phase 3: queries with hot-key skew -------------------------------
@@ -240,9 +334,12 @@ StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec) {
         }
       }
     });
+    scraper.sample("query", &result);
   }
 
   result.elapsed_ms = static_cast<double>(now_ns() - t0) / 1e6;
+  result.admin_scrapes = scraper.scrapes();
+  result.admin_scrape_clean = scraper.active() && scraper.clean();
 
   for (Worker& w : workers) {
     for (const auto& remote : w.remotes) {

@@ -60,6 +60,28 @@ struct ScenarioSpec {
   /// (bytes) — small budgets force eviction + query fault-back.
   std::size_t store_budget_bytes = 0;
   std::string store_dir;            ///< required when store_budget_bytes > 0
+
+  /// true: serve the admin plane on an ephemeral port and scrape
+  /// /metrics after every phase; the smatch_net_rtt_ns deltas become the
+  /// per-phase quantiles in ScenarioResult::phases. No-op (and no admin
+  /// surface) under -DSMATCH_OBS=OFF.
+  bool admin = false;
+  /// >0: arm the slow-request exemplar recorder at this threshold.
+  std::uint64_t slow_request_threshold_ns = 0;
+  /// Non-empty: after the enroll phase, write "<prefix>.port" with the
+  /// admin port and block (bounded) until "<prefix>.go" exists — the
+  /// window scripts/ci.sh uses to curl the live server mid-scenario.
+  std::string admin_sync_prefix;
+};
+
+/// Latency of one scenario phase, measured from the outside: the delta
+/// of the server's smatch_net_rtt_ns histogram between two admin-plane
+/// /metrics scrapes bracketing the phase.
+struct PhaseSample {
+  std::string phase;        ///< "enroll" | "churn" | "query"
+  std::uint64_t ops = 0;    ///< rtt samples recorded during the phase
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
 };
 
 /// What one scenario run measured.
@@ -82,6 +104,11 @@ struct ScenarioResult {
   std::uint64_t store_page_ins = 0;    ///< groups faulted back (delta)
   std::uint64_t workload_digest = 0;   ///< seed-determined; byte-stable
   AdversaryReport adversary;
+
+  std::vector<PhaseSample> phases;  ///< admin-scraped (empty unless spec.admin)
+  std::uint64_t admin_scrapes = 0;  ///< /metrics fetches that succeeded
+  /// Every scrape both linted clean and parsed back as a histogram.
+  bool admin_scrape_clean = false;
 };
 
 /// Runs one scenario end to end over a freshly built stack. Returns the

@@ -4,6 +4,7 @@
 #include <system_error>
 
 #include "common/serde.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -228,6 +229,13 @@ Status ProfileStore::write_page(BytesView key, BytesView payload) {
   if (Status s = write_file_atomic(page_path(key), w.bytes()); !s.is_ok()) return s;
   pages_written_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("smatch_store_evictions_total")->fetch_add(1);
+  // FNV-1a of the group key identifies which group paged out without
+  // putting the key bytes themselves in the flight ring.
+  std::uint64_t key_hash = 1469598103934665603ull;
+  for (const std::uint8_t byte : key) {
+    key_hash = (key_hash ^ byte) * 1099511628211ull;
+  }
+  SMATCH_FLIGHT(obs::FlightKind::kEviction, key_hash, payload.size());
   return Status::ok();
 }
 

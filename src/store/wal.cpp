@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -15,12 +16,16 @@ namespace smatch::store {
 
 namespace {
 
+// An fsync slower than this lands a kFsyncStall event in the flight
+// recorder — the "why did p99 spike?" breadcrumb for a wedged disk.
+constexpr std::uint64_t kFsyncStallNs = 50'000'000;  // 50ms
+
 Status errno_status(const char* what, const std::string& path) {
   return {StatusCode::kConnectionReset,
           std::string(what) + " " + path + ": " + std::strerror(errno)};
 }
 
-Status fsync_fd(int fd, const std::string& path) {
+Status fsync_fd(int fd, const std::string& path, std::uint32_t shard = 0) {
   SMATCH_SPAN("store.fsync");
   const auto start = std::chrono::steady_clock::now();
   if (::fsync(fd) != 0) return errno_status("fsync", path);
@@ -31,6 +36,10 @@ Status fsync_fd(int fd, const std::string& path) {
   obs::Registry::global()
       .histogram("smatch_store_fsync_ns")
       ->record(static_cast<std::uint64_t>(ns));
+  if (static_cast<std::uint64_t>(ns) >= kFsyncStallNs) {
+    SMATCH_FLIGHT(obs::FlightKind::kFsyncStall, shard,
+                  static_cast<std::uint64_t>(ns));
+  }
   return Status::ok();
 }
 
@@ -100,6 +109,11 @@ StatusOr<std::uint64_t> WalFile::append(RecordType type, BytesView payload) {
   obs::Registry::global()
       .counter("smatch_store_wal_bytes_total")
       ->fetch_add(record.size());
+  // Sampled breadcrumb: one flight event per 64 appends keeps the ring
+  // from being all WAL traffic while still timestamping write activity.
+  if ((seq & 63u) == 0) {
+    SMATCH_FLIGHT(obs::FlightKind::kWalAppend, shard_, record.size());
+  }
   if (policy_ == FsyncPolicy::kAlways ||
       (policy_ == FsyncPolicy::kBatch && unsynced_ >= batch_bytes_)) {
     if (Status s = fsync_now(); !s.is_ok()) return s;
@@ -206,7 +220,7 @@ Status WalFile::write_all(BytesView data) {
 }
 
 Status WalFile::fsync_now() {
-  if (Status s = fsync_fd(fd_, path_); !s.is_ok()) return s;
+  if (Status s = fsync_fd(fd_, path_, shard_); !s.is_ok()) return s;
   unsynced_ = 0;
   return Status::ok();
 }

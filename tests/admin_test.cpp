@@ -1,0 +1,210 @@
+// Admin-plane end-to-end tests: a live NetServer with an admin port,
+// probed over real HTTP — /healthz, /metrics (lint-clean exposition),
+// /metrics.json, /trace, /statusz (flight recorder) — plus the
+// slow-request exemplar capture path and the no-admin default.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "net/admin.hpp"
+#include "net/server.hpp"
+#include "net/tcp_transport.hpp"
+#include "obs/exemplar.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smatch {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// An echoing dispatcher: every kind answers with the request body.
+FrameDispatcher echo_dispatcher() {
+  FrameDispatcher dispatcher;
+  dispatcher.register_handler(MessageKind::kOther, [](BytesView body) {
+    return StatusOr<Bytes>(Bytes(body.begin(), body.end()));
+  });
+  return dispatcher;
+}
+
+/// Runs `calls` echo RPCs against the server's TCP port.
+void run_echo_calls(std::uint16_t port, std::size_t calls) {
+  auto conn = TcpTransport::connect("127.0.0.1", port, 2000ms);
+  ASSERT_TRUE(conn.is_ok()) << conn.status().message();
+  SessionClient client(**conn, {}, /*seed=*/0xadffee);
+  const Bytes body = {1, 2, 3, 4};
+  for (std::size_t i = 0; i < calls; ++i) {
+    StatusOr<Bytes> reply = client.call(MessageKind::kOther, body);
+    ASSERT_TRUE(reply.is_ok()) << reply.status().message();
+    EXPECT_EQ(*reply, body);
+  }
+  (void)(*conn)->close();
+}
+
+TEST(Admin, HealthMetricsTraceStatuszEndToEnd) {
+  obs::TraceBuffer::instance().begin();
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.admin_port = 0;
+  ASSERT_TRUE(server.start(config).is_ok());
+  ASSERT_NE(server.admin_port(), 0);
+  ASSERT_NE(server.admin(), nullptr);
+
+  run_echo_calls(server.port(), 8);
+
+  // /healthz
+  StatusOr<std::string> health =
+      http_get("127.0.0.1", server.admin_port(), "/healthz");
+  ASSERT_TRUE(health.is_ok()) << health.status().message();
+  EXPECT_EQ(*health, "ok\n");
+
+  // /metrics: lint-clean exposition that covers the net layer and the
+  // trace-plane self-metrics satellite.
+  StatusOr<std::string> metrics =
+      http_get("127.0.0.1", server.admin_port(), "/metrics");
+  ASSERT_TRUE(metrics.is_ok()) << metrics.status().message();
+  std::string lint_error;
+  EXPECT_TRUE(obs::lint_prometheus_text(*metrics, &lint_error)) << lint_error;
+  EXPECT_NE(metrics->find("smatch_net_calls_total"), std::string::npos);
+  EXPECT_NE(metrics->find("smatch_obs_trace_dropped_total"), std::string::npos);
+  EXPECT_NE(metrics->find("smatch_obs_exemplar_occupancy"), std::string::npos);
+  EXPECT_NE(metrics->find("smatch_net_rtt_ns_bucket"), std::string::npos);
+
+  // The exposition payload round-trips through the histogram parser.
+  obs::HistogramSnapshot rtt;
+  ASSERT_TRUE(obs::parse_prometheus_histogram(*metrics, "smatch_net_rtt_ns", &rtt));
+  EXPECT_GE(rtt.count, 8u);
+  EXPECT_GT(rtt.p99(), 0u);
+
+  // /metrics.json
+  StatusOr<std::string> json =
+      http_get("127.0.0.1", server.admin_port(), "/metrics.json");
+  ASSERT_TRUE(json.is_ok());
+  EXPECT_EQ(json->front(), '{');
+  EXPECT_NE(json->find("smatch_net_calls_total"), std::string::npos);
+
+  // /trace: valid Chrome trace with client and server spans.
+  StatusOr<std::string> trace =
+      http_get("127.0.0.1", server.admin_port(), "/trace");
+  ASSERT_TRUE(trace.is_ok());
+  std::string trace_error;
+  std::size_t distinct = 0;
+  ASSERT_TRUE(obs::validate_chrome_trace(*trace, &trace_error, &distinct))
+      << trace_error;
+  EXPECT_NE(trace->find("net.call"), std::string::npos);
+  EXPECT_NE(trace->find("net.dispatch"), std::string::npos);
+  EXPECT_NE(trace->find("\"trace\":\""), std::string::npos);
+
+  // /statusz: build info, the net-server section, flight-recorder events.
+  StatusOr<std::string> statusz =
+      http_get("127.0.0.1", server.admin_port(), "/statusz");
+  ASSERT_TRUE(statusz.is_ok());
+  EXPECT_NE(statusz->find("uptime_ms:"), std::string::npos);
+  EXPECT_NE(statusz->find("== net server =="), std::string::npos);
+  EXPECT_NE(statusz->find("== flight recorder =="), std::string::npos);
+  EXPECT_NE(statusz->find("conn_accepted"), std::string::npos);
+  EXPECT_NE(statusz->find("server_start"), std::string::npos);
+
+  // Unknown path -> HTTP 404 surfaces as a non-200 error.
+  StatusOr<std::string> missing =
+      http_get("127.0.0.1", server.admin_port(), "/nope");
+  EXPECT_FALSE(missing.is_ok());
+
+  server.stop();
+  obs::TraceBuffer::instance().end();
+}
+
+TEST(Admin, SlowRequestExemplarCapturesStitchedSpanTree) {
+  obs::ExemplarRecorder::instance().clear();
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.tcp_port = 0;
+  config.admin_port = 0;
+  config.slow_request_threshold_ns = 1;  // every call is "slow"
+  ASSERT_TRUE(server.start(config).is_ok());
+
+  run_echo_calls(server.port(), 3);
+
+  auto& recorder = obs::ExemplarRecorder::instance();
+  ASSERT_GE(recorder.occupancy(), 1u);
+  const std::vector<obs::Exemplar> exemplars = recorder.exemplars();
+  // Every exemplar's spans share the trace id, and the tree spans both
+  // sides of the wire: the client's net.call and the server's net.handle.
+  bool saw_call = false;
+  bool saw_handle = false;
+  for (const obs::Exemplar& ex : exemplars) {
+    ASSERT_NE(ex.trace_id, 0u);
+    EXPECT_GE(ex.total_ns, 1u);
+    for (const obs::TraceEvent& span : ex.spans) {
+      EXPECT_EQ(span.trace_id, ex.trace_id);
+      if (std::string(span.name) == "net.call") saw_call = true;
+      if (std::string(span.name) == "net.handle") saw_handle = true;
+    }
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_handle);
+
+  // /trace?exemplars=1 renders them as a valid Chrome trace.
+  StatusOr<std::string> trace =
+      http_get("127.0.0.1", server.admin_port(), "/trace?exemplars=1");
+  ASSERT_TRUE(trace.is_ok());
+  std::string error;
+  std::size_t distinct = 0;
+  ASSERT_TRUE(obs::validate_chrome_trace(*trace, &error, &distinct)) << error;
+  EXPECT_NE(trace->find("net.call"), std::string::npos);
+  EXPECT_NE(trace->find("exemplar_total_ns"), std::string::npos);
+
+  server.stop();
+  obs::ExemplarRecorder::instance().disarm();
+}
+
+TEST(Admin, FastRequestsBelowThresholdAreNotCaptured) {
+  obs::ExemplarRecorder::instance().clear();
+  obs::ExemplarRecorder::instance().arm(std::uint64_t{3600} * 1000000000ull);
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.tcp_port = 0;
+  ASSERT_TRUE(server.start(config).is_ok());
+  run_echo_calls(server.port(), 4);
+  EXPECT_EQ(obs::ExemplarRecorder::instance().occupancy(), 0u);
+  server.stop();
+  obs::ExemplarRecorder::instance().disarm();
+}
+
+TEST(Admin, NoAdminSurfaceUnlessConfigured) {
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.tcp_port = 0;
+  ASSERT_TRUE(server.start(config).is_ok());
+  EXPECT_EQ(server.admin_port(), 0);
+  EXPECT_EQ(server.admin(), nullptr);
+  server.stop();
+}
+
+TEST(Admin, StatuszSectionsAndRefreshHooksAreExtensible) {
+  NetServer server(echo_dispatcher());
+  ServerConfig config;
+  config.admin_port = 0;
+  ASSERT_TRUE(server.start(config).is_ok());
+  server.admin()->add_status_section("custom",
+                                     [] { return std::string("hello-section\n"); });
+  server.admin()->set_refresh([] {
+    obs::Registry::global().publish_value("admin_test_refreshed_total", 1.0);
+  });
+  StatusOr<std::string> statusz =
+      http_get("127.0.0.1", server.admin_port(), "/statusz");
+  ASSERT_TRUE(statusz.is_ok());
+  EXPECT_NE(statusz->find("== custom =="), std::string::npos);
+  EXPECT_NE(statusz->find("hello-section"), std::string::npos);
+  StatusOr<std::string> metrics =
+      http_get("127.0.0.1", server.admin_port(), "/metrics");
+  ASSERT_TRUE(metrics.is_ok());
+  EXPECT_NE(metrics->find("admin_test_refreshed_total"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace smatch

@@ -108,6 +108,17 @@ constexpr const char* kEnvelopeRequestHex =
 // Ok response envelope with an empty body for the same request id.
 constexpr const char* kEnvelopeResponseHex = "534d010111223344556677880000000000";
 
+// Envelope format v2 (type 2): the same request carrying the 16-byte
+// trace context — trace_id=0x0123456789abcdef, span_id=0xfedcba9876543210
+// — between request_id and the body. This is what SessionClient emits
+// (ids drawn from the session DRBG); a zero context still serializes as
+// the legacy type-0 vector above.
+constexpr const char* kEnvelopeTracedRequestHex =
+    "534d01021122334455667788"
+    "0123456789abcdef"
+    "fedcba9876543210"
+    "00000013534d010a0b0c0d11223344556677880000002a";
+
 TEST(GoldenVectors, TransportFrameIsStable) {
   const Bytes query = from_hex(kQueryHex);
   EXPECT_EQ(to_hex(encode_frame(MessageKind::kQuery, query)), kQueryFrameHex);
@@ -139,6 +150,49 @@ TEST(GoldenVectors, SessionEnvelopesAreStable) {
   EXPECT_FALSE(back->is_response);
   EXPECT_EQ(back->request_id, 0x1122334455667788ULL);
   EXPECT_EQ(back->body, from_hex(kQueryHex));
+  // The legacy vector carries no trace context.
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_EQ(back->span_id, 0u);
+}
+
+TEST(GoldenVectors, TracedSessionEnvelopeIsStable) {
+  Envelope request;
+  request.is_response = false;
+  request.request_id = 0x1122334455667788ULL;
+  request.trace_id = 0x0123456789abcdefULL;
+  request.span_id = 0xfedcba9876543210ULL;
+  request.body = from_hex(kQueryHex);
+  EXPECT_EQ(to_hex(request.serialize()), kEnvelopeTracedRequestHex);
+
+  const StatusOr<Envelope> back =
+      Envelope::parse(from_hex(kEnvelopeTracedRequestHex));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_FALSE(back->is_response);
+  EXPECT_EQ(back->request_id, 0x1122334455667788ULL);
+  EXPECT_EQ(back->trace_id, 0x0123456789abcdefULL);
+  EXPECT_EQ(back->span_id, 0xfedcba9876543210ULL);
+  EXPECT_EQ(back->body, from_hex(kQueryHex));
+}
+
+TEST(GoldenVectors, EnvelopeByteMutationsNeverCrashTheParser) {
+  // Deterministic fuzz over the new trace-context bytes (and the rest of
+  // the frame): flipping any byte with any of several masks must yield a
+  // clean parse or a typed error — never a throw, never a crash. A
+  // mutation inside the body or the context can legally still parse; a
+  // mutation of the header/type/length fields must fail typed.
+  const Bytes golden = from_hex(kEnvelopeTracedRequestHex);
+  for (const std::uint8_t mask : {0x01, 0x80, 0xff, 0x55}) {
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      Bytes mutated = golden;
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ mask);
+      const StatusOr<Envelope> out = Envelope::parse(mutated);
+      if (!out.is_ok()) {
+        EXPECT_TRUE(out.code() == StatusCode::kMalformedMessage ||
+                    out.code() == StatusCode::kUnsupportedVersion)
+            << "byte " << i << " mask " << int(mask);
+      }
+    }
+  }
 }
 
 TEST(GoldenVectors, EveryPrefixOfEveryGoldenFrameIsRejected) {
@@ -157,6 +211,7 @@ TEST(GoldenVectors, EveryPrefixOfEveryGoldenFrameIsRejected) {
   sweep(kKeyRequestHex, [](BytesView d) { return KeyRequest::parse(d); });
   sweep(kEnvelopeRequestHex, [](BytesView d) { return Envelope::parse(d); });
   sweep(kEnvelopeResponseHex, [](BytesView d) { return Envelope::parse(d); });
+  sweep(kEnvelopeTracedRequestHex, [](BytesView d) { return Envelope::parse(d); });
 
   // At the framing layer a prefix is simply an incomplete frame: the
   // decoder asks for more bytes and produces nothing.

@@ -27,6 +27,8 @@
 #include "datasets/dataset.hpp"
 #include "group/modp_group.hpp"
 #include "net/channel.hpp"
+#include "obs/exemplar.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -392,6 +394,231 @@ TEST(ObsStress, ConcurrentRecordingFromPoolWorkers) {
 #if SMATCH_OBS_ENABLED
   EXPECT_GT(pm.task_run_ns.count, 0u);
 #endif
+}
+
+// --- Flight recorder ------------------------------------------------------
+
+TEST(ObsFlight, KindNamesCoverEveryEnumerator) {
+  using obs::FlightKind;
+  for (const FlightKind k :
+       {FlightKind::kConnAccepted, FlightKind::kConnClosed, FlightKind::kConnShed,
+        FlightKind::kRequestShed, FlightKind::kRetry, FlightKind::kFsyncStall,
+        FlightKind::kEviction, FlightKind::kWalAppend, FlightKind::kServerStart,
+        FlightKind::kServerStop}) {
+    EXPECT_NE(obs::flight_kind_name(k), nullptr);
+    EXPECT_GT(std::string(obs::flight_kind_name(k)).size(), 0u);
+  }
+  EXPECT_STREQ(obs::flight_kind_name(obs::FlightKind::kFsyncStall), "fsync_stall");
+}
+
+TEST(ObsFlight, RingWrapKeepsNewestInTicketOrder) {
+  auto& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  const std::size_t overfill = obs::FlightRecorder::kCapacity + 500;
+  for (std::size_t i = 0; i < overfill; ++i) {
+    rec.record(obs::FlightKind::kRetry, /*a=*/i, /*b=*/i * 2);
+  }
+  EXPECT_EQ(rec.total(), overfill);
+  const std::vector<obs::FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kCapacity);
+  // Oldest-first ticket order, and only the newest kCapacity survive.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].seq, events[i - 1].seq);
+  }
+  EXPECT_EQ(events.front().seq, overfill - obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(events.back().seq, overfill - 1);
+  EXPECT_EQ(events.back().a, overfill - 1);
+  EXPECT_EQ(events.back().b, (overfill - 1) * 2);
+
+  const std::string dump = rec.dump_text();
+  EXPECT_NE(dump.find("retry"), std::string::npos);
+  EXPECT_NE(dump.find("a="), std::string::npos);
+  rec.reset();
+}
+
+TEST(ObsFlight, ConcurrentWritersAndReadersAreClean) {
+  // Writers hammer the seqlock ring while readers snapshot it; under
+  // ThreadSanitizer this is the data-race acceptance test, and in any
+  // build a snapshot must never surface a torn slot (seq/a mismatch).
+  auto& rec = obs::FlightRecorder::instance();
+  rec.reset();
+  ThreadPool pool(4);
+  constexpr std::size_t kOps = 8000;
+  pool.parallel_for(kOps, [&](std::size_t i) {
+    rec.record(obs::FlightKind::kConnAccepted, i, i + 1);
+    if (i % 512 == 0) {
+      for (const obs::FlightEvent& ev : rec.snapshot()) {
+        EXPECT_EQ(ev.b, ev.a + 1);
+      }
+    }
+  });
+  EXPECT_EQ(rec.total(), kOps);
+  const std::vector<obs::FlightEvent> events = rec.snapshot();
+  EXPECT_EQ(events.size(), std::min<std::size_t>(kOps, obs::FlightRecorder::kCapacity));
+  rec.reset();
+}
+
+// --- Exemplar recorder ----------------------------------------------------
+
+#if SMATCH_OBS_ENABLED
+namespace {
+obs::TraceEvent span_at(const char* name, std::uint64_t start_ns,
+                        std::uint64_t trace_id) {
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.duration_ns = 100;
+  ev.trace_id = trace_id;
+  return ev;
+}
+}  // namespace
+
+TEST(ObsExemplar, ThresholdGatesCaptureAndRingStaysBounded) {
+  auto& rec = obs::ExemplarRecorder::instance();
+  rec.clear();
+  rec.arm(/*threshold_ns=*/1000, /*ring_capacity=*/4);
+
+  // Below threshold: pending spans are discarded.
+  rec.record_span(7, span_at("fast", 500, 7));
+  rec.finish(7, 999);
+  EXPECT_EQ(rec.occupancy(), 0u);
+
+  // At/above threshold: captured, spans rebased to t=0, ring bounded at 4.
+  for (std::uint64_t t = 1; t <= 6; ++t) {
+    rec.record_span(t, span_at("outer", 10000 + t, t));
+    rec.record_span(t, span_at("inner", 10050 + t, t));
+    rec.finish(t, 1000 + t);
+  }
+  EXPECT_EQ(rec.occupancy(), 4u);
+  EXPECT_EQ(rec.captured_total(), 6u);
+  const std::vector<obs::Exemplar> kept = rec.exemplars();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().trace_id, 3u);  // oldest two evicted
+  EXPECT_EQ(kept.back().trace_id, 6u);
+  for (const obs::Exemplar& ex : kept) {
+    ASSERT_EQ(ex.spans.size(), 2u);
+    EXPECT_EQ(ex.spans.front().start_ns, 0u);  // rebased
+    for (const auto& s : ex.spans) EXPECT_EQ(s.trace_id, ex.trace_id);
+  }
+
+  // Export is a valid Chrome trace carrying the exemplar annotations.
+  std::string error;
+  ASSERT_TRUE(obs::validate_chrome_trace(rec.chrome_json(), &error, nullptr)) << error;
+  EXPECT_NE(rec.chrome_json().find("exemplar_total_ns"), std::string::npos);
+  rec.disarm();
+  rec.clear();
+}
+
+TEST(ObsExemplar, PendingTableOverflowIsCountedNotUnbounded) {
+  auto& rec = obs::ExemplarRecorder::instance();
+  rec.clear();
+  rec.arm(/*threshold_ns=*/1);
+  const std::uint64_t overflow_before = rec.pending_overflows();
+  // More distinct in-flight traces than the pending table admits.
+  const std::size_t attempts = obs::ExemplarRecorder::kMaxPendingTraces + 50;
+  for (std::uint64_t t = 1; t <= attempts; ++t) {
+    rec.record_span(t, span_at("s", t, t));
+  }
+  EXPECT_GE(rec.pending_overflows() - overflow_before, 50u);
+  // Disarmed recorder drops its pending state and records nothing new.
+  rec.disarm();
+  rec.record_span(1, span_at("s", 1, 1));
+  rec.finish(1, std::uint64_t{1} << 60);
+  EXPECT_EQ(rec.occupancy(), 0u);
+  rec.clear();
+}
+
+TEST(ObsTrace, ContextScopeNestsAndStampsSpans) {
+  EXPECT_EQ(obs::current_trace_context().trace_id, 0u);
+  TraceBuffer& buf = TraceBuffer::instance();
+  buf.begin(/*capacity=*/64);
+  {
+    obs::TraceContextScope outer(0xaaaa, 0x1);
+    EXPECT_EQ(obs::current_trace_context().trace_id, 0xaaaau);
+    { SMATCH_SPAN("ctx.outer"); }
+    {
+      obs::TraceContextScope inner(0xbbbb, 0x2);
+      EXPECT_EQ(obs::current_trace_context().trace_id, 0xbbbbu);
+      { SMATCH_SPAN("ctx.inner"); }
+    }
+    // Restored on scope exit.
+    EXPECT_EQ(obs::current_trace_context().trace_id, 0xaaaau);
+  }
+  EXPECT_EQ(obs::current_trace_context().trace_id, 0u);
+  buf.end();
+
+  const std::vector<obs::TraceEvent> events = buf.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0xaaaau);
+  EXPECT_EQ(events[1].trace_id, 0xbbbbu);
+
+  // chrome_json carries the trace id as a 16-hex-digit args entry the
+  // validator checks.
+  const std::string json = buf.chrome_json();
+  EXPECT_NE(json.find("\"trace\":\"000000000000aaaa\""), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(obs::validate_chrome_trace(json, &error, nullptr)) << error;
+}
+#endif  // SMATCH_OBS_ENABLED
+
+// --- Prometheus exposition lint and histogram parsing ---------------------
+
+TEST(ObsRegistry, LintAcceptsOwnExposition) {
+  obs::Registry reg;
+  reg.counter("lint_ops_total")->store(7);
+  reg.gauge("lint_depth")->store(3);
+  Histogram* hist = reg.histogram("lint_rtt_ns");
+  for (std::uint64_t v : {100u, 200u, 4000u, 90000u}) hist->record(v);
+  std::string error;
+  EXPECT_TRUE(obs::lint_prometheus_text(reg.prometheus_text(), &error)) << error;
+
+  // The global registry's exposition (whatever prior tests left in it)
+  // must lint clean too — this is the admin /metrics surface.
+  obs::Registry::global().counter("lint_global_probe_total")->fetch_add(1);
+  EXPECT_TRUE(obs::lint_prometheus_text(obs::Registry::global().prometheus_text(),
+                                        &error))
+      << error;
+}
+
+TEST(ObsRegistry, LintRejectsMalformedExpositions) {
+  std::string error;
+  // Invalid charset in the metric name.
+  EXPECT_FALSE(obs::lint_prometheus_text("# TYPE bad-name counter\nbad-name 1\n",
+                                         &error));
+  // Sample without a preceding TYPE line.
+  EXPECT_FALSE(obs::lint_prometheus_text("orphan_total 1\n", &error));
+  EXPECT_NE(error.find("TYPE"), std::string::npos);
+  // Non-cumulative histogram buckets.
+  EXPECT_FALSE(obs::lint_prometheus_text(
+      "# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"1\"} 5\n"
+      "h_ns_bucket{le=\"2\"} 3\n"
+      "h_ns_bucket{le=\"+Inf\"} 5\n"
+      "h_ns_sum 10\nh_ns_count 5\n",
+      &error));
+  EXPECT_NE(error.find("cumulative"), std::string::npos);
+  // Unknown metric type.
+  EXPECT_FALSE(obs::lint_prometheus_text("# TYPE x summary\nx 1\n", &error));
+}
+
+TEST(ObsRegistry, PrometheusHistogramRoundTripsThroughParser) {
+  obs::Registry reg;
+  Histogram* hist = reg.histogram("rt_ns");
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 5000; ++i) hist->record(rng() % 1000000);
+  const HistogramSnapshot direct = hist->snapshot();
+
+  HistogramSnapshot parsed;
+  ASSERT_TRUE(obs::parse_prometheus_histogram(reg.prometheus_text(), "rt_ns", &parsed));
+  EXPECT_EQ(parsed.count, direct.count);
+  EXPECT_EQ(parsed.buckets, direct.buckets);
+  EXPECT_EQ(parsed.p50(), direct.p50());
+  EXPECT_EQ(parsed.p99(), direct.p99());
+
+  // Unknown family name fails cleanly.
+  HistogramSnapshot missing;
+  EXPECT_FALSE(obs::parse_prometheus_histogram(reg.prometheus_text(), "nope_ns",
+                                               &missing));
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 
 #include <array>
 #include <memory>
+#include <set>
+#include <string_view>
 #include <vector>
 
 #include "core/service.hpp"
@@ -20,6 +22,7 @@
 #include "net/server.hpp"
 #include "net/tcp_transport.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace smatch {
 namespace {
@@ -213,6 +216,36 @@ TEST(TcpLoopback, FullFlowMatchesInProcessByteForByte) {
         << to_string(static_cast<MessageKind>(k));
   }
 }
+
+#if SMATCH_OBS_ENABLED
+TEST(TcpLoopback, TraceIdsStitchAcrossTheWire) {
+  // Cross-wire trace propagation: the client's net.call span and the
+  // server's net.handle span (produced on a different thread, from the
+  // parsed envelope) must carry the same nonzero trace id.
+  obs::TraceBuffer::instance().begin();
+  (void)run_flow(/*over_tcp=*/true, nullptr);
+  const std::vector<obs::TraceEvent> events = obs::TraceBuffer::instance().events();
+  obs::TraceBuffer::instance().end();
+
+  std::set<std::uint64_t> call_traces;
+  std::set<std::uint64_t> handle_traces;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.trace_id == 0) continue;
+    if (std::string_view(ev.name) == "net.call") call_traces.insert(ev.trace_id);
+    if (std::string_view(ev.name) == "net.handle") handle_traces.insert(ev.trace_id);
+  }
+  ASSERT_FALSE(call_traces.empty());
+  ASSERT_FALSE(handle_traces.empty());
+  // Every server-side handle span belongs to a trace some client call
+  // started; the flow makes dozens of calls, so demand full overlap.
+  std::size_t stitched = 0;
+  for (const std::uint64_t id : handle_traces) {
+    stitched += call_traces.count(id);
+  }
+  EXPECT_EQ(stitched, handle_traces.size());
+  EXPECT_GE(stitched, 6u);  // at least one round-trip per enrolled user
+}
+#endif  // SMATCH_OBS_ENABLED
 
 TEST(TcpLoopback, FullFlowConvergesUnderFaultInjection) {
   const std::uint64_t retries_before =
