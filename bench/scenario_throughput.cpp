@@ -1,4 +1,4 @@
-// Mixed-scenario serving benchmark: replays the five standard workload
+// Mixed-scenario serving benchmark: replays the six standard workload
 // scenarios (src/scenario/scenarios.hpp) over the real NetServer stack
 // and reports per-scenario throughput, tail latency, shed/retry counts,
 // and the frequency-analysis attacker's measured advantage.
@@ -198,6 +198,12 @@ int main(int argc, char** argv) {
                static_cast<double>(r.store_evictions));
       json.add(r.name + "_store_page_ins",
                static_cast<double>(r.store_page_ins));
+    }
+    if (spec.store_maintenance) {
+      json.add(r.name + "_store_maintenance_cycles",
+               static_cast<double>(r.store_maintenance_cycles));
+      json.add(r.name + "_store_segments_gced",
+               static_cast<double>(r.store_segments_gced));
     }
     for (const PhaseSample& ph : r.phases) {
       json.add(r.name + "_" + ph.phase + "_p50_ns",

@@ -154,26 +154,88 @@ fi
 rm -rf "$crash_dir"
 crash_dir=""
 crash_pid=""
+
+# Same gate with the background maintenance plane live underneath the
+# ingest: segments rotate and checkpoints compact them while the kill -9
+# lands in whatever rotation/compaction state the scheduler is in.
+crash_dir=$(mktemp -d)
+./build/tests/store_crash_harness --mode ingest --dir "$crash_dir" \
+  --users 5000 --maintenance &
+crash_pid=$!
+for _ in $(seq 1 400); do
+  n=$(cat "$crash_dir/progress" 2>/dev/null || echo 0)
+  [[ "$n" =~ ^[0-9]+$ ]] && (( n >= 100 )) && break
+  sleep 0.05
+done
+kill -9 "$crash_pid" 2>/dev/null || true
+wait "$crash_pid" 2>/dev/null || true
+if (( $(cat "$crash_dir/progress") < 100 )); then
+  echo "FAIL: maintenance harness never reached 100 ingests before the kill" >&2
+  exit 1
+fi
+verify_out=$(./build/tests/store_crash_harness --mode verify --dir "$crash_dir")
+echo "$verify_out"
+if ! grep -q "^VERIFIED" <<<"$verify_out"; then
+  echo "FAIL: post-crash recovery (maintenance enabled) did not verify" >&2
+  exit 1
+fi
+rm -rf "$crash_dir"
+crash_pid=""
+
+# Precision kill points: die *inside* each named rotation/compaction
+# window (the harness _exit()s in the maintenance hook, skipping all
+# destructors — same effect as a kill -9 landing exactly there), then
+# recovery must still answer byte-identically.
+for point in rotate.sealed rotate.manifest checkpoint.after_snapshots gc.manifest; do
+  rm -rf "$crash_dir"; crash_dir=$(mktemp -d)
+  kill_out=$(./build/tests/store_crash_harness --mode ingest --dir "$crash_dir" \
+    --users 2000 --maintenance --kill-at "$point")
+  if ! grep -q "^KILLED at $point" <<<"$kill_out"; then
+    echo "FAIL: crash window '$point' was never reached (got: $kill_out)" >&2
+    exit 1
+  fi
+  verify_out=$(./build/tests/store_crash_harness --mode verify --dir "$crash_dir")
+  if ! grep -q "^VERIFIED" <<<"$verify_out"; then
+    echo "FAIL: recovery after crash at '$point' did not verify" >&2
+    exit 1
+  fi
+  echo "crash at $point: $verify_out"
+done
+rm -rf "$crash_dir"
+crash_dir=""
+
 # Durability cost bench must run and emit a parseable BENCH_store.json
-# covering all four ingest tiers plus recovery and checkpoint timing.
-./build/bench/store_throughput --smoke --json build/BENCH_store.json | tail -3
+# covering all four ingest tiers plus recovery, checkpoint timing, and
+# the checkpoint_under_load latency tier.
+./build/bench/store_throughput --smoke --json build/BENCH_store.json | tail -5
 for key in ingest_off_rps ingest_fsync_never_rps ingest_fsync_batch_rps \
-           ingest_fsync_always_rps recover_rps recovered_users checkpoint_ms; do
+           ingest_fsync_always_rps recover_rps recovered_users checkpoint_ms \
+           steady_p99_ns checkpoint_under_load_p99_ns checkpoint_under_load_ratio \
+           checkpoint_under_load_maintenance_cycles; do
   if ! grep -q "\"$key\"" build/BENCH_store.json; then
     echo "FAIL: BENCH_store.json missing \"$key\"" >&2
     exit 1
   fi
 done
-echo "ok (crash gate verified; BENCH_store.json in build/)"
+# The headline claim of the maintenance plane: background compaction must
+# actually run during the measured stream AND hold p99 ingest latency
+# under 2x the steady state — no global quiesce anywhere in the cycle.
+cycles=$(sed -n 's/.*"checkpoint_under_load_maintenance_cycles": \([0-9.e+]*\).*/\1/p' build/BENCH_store.json)
+ratio=$(sed -n 's/.*"checkpoint_under_load_ratio": \([0-9.e+-]*\).*/\1/p' build/BENCH_store.json)
+if ! awk -v c="$cycles" -v r="$ratio" 'BEGIN { exit !(c >= 1 && r < 2.0) }'; then
+  echo "FAIL: checkpoint_under_load degraded: cycles=$cycles p99_ratio=$ratio" >&2
+  exit 1
+fi
+echo "ok (crash gates verified; checkpoint_under_load p99 ratio=$ratio cycles=$cycles)"
 
 echo "== scenarios: mixed-workload sweep, adversary + zero-loss gates =="
-# The five standard scenarios over the real stack. Gates: every scenario
+# The six standard scenarios over the real stack. Gates: every scenario
 # reports its keys; the fault-injected scenario ends with zero failed
 # requests (the session layer must absorb the injected loss); and the
 # frequency-analysis attacker's advantage over random guessing stays
 # under 10% while the raw-OPE strawman shows the attack itself works.
-./build/bench/scenario_throughput --smoke --json build/BENCH_scenarios.json | tail -7
-scenarios="enroll_storm churn_reenroll hot_query_skew lossy_clients evicting_store"
+./build/bench/scenario_throughput --smoke --json build/BENCH_scenarios.json | tail -8
+scenarios="enroll_storm churn_reenroll hot_query_skew lossy_clients evicting_store checkpoint_under_load"
 for s in $scenarios; do
   for suffix in rps p99_ns failed attacker_advantage; do
     if ! grep -q "\"${s}_${suffix}\"" build/BENCH_scenarios.json; then
@@ -199,6 +261,13 @@ fi
 evict=$(sed -n 's/.*"evicting_store_store_evictions": \([0-9.e+]*\).*/\1/p' build/BENCH_scenarios.json)
 if ! awk -v e="$evict" 'BEGIN { exit !(e > 0) }'; then
   echo "FAIL: evicting_store scenario never evicted (store_evictions=$evict)" >&2
+  exit 1
+fi
+# The maintenance scenario must have run real background cycles under
+# the live workload — otherwise it is just evicting_store with extra steps.
+mcycles=$(sed -n 's/.*"checkpoint_under_load_store_maintenance_cycles": \([0-9.e+]*\).*/\1/p' build/BENCH_scenarios.json)
+if ! awk -v c="$mcycles" 'BEGIN { exit !(c >= 1) }'; then
+  echo "FAIL: checkpoint_under_load ran no maintenance cycles (got=$mcycles)" >&2
   exit 1
 fi
 # Per-phase quantiles come from the driver scraping its own admin plane

@@ -151,12 +151,12 @@ void KeyServer::next_epoch() {
   }
 }
 
-Status KeyServer::attach_store(const store::StoreConfig& config) {
+Status KeyServer::attach_store(const store::StoreOptions& options) {
   if (store_) {
     return {StatusCode::kMalformedMessage, "attach_store: store already attached"};
   }
   StatusOr<std::unique_ptr<store::ProfileStore>> opened =
-      store::ProfileStore::open(config, shards_.size());
+      store::ProfileStore::open(options, shards_.size());
   if (!opened.is_ok()) return opened.status();
   store_ = std::move(*opened);
 
@@ -196,6 +196,29 @@ Status KeyServer::attach_store(const store::StoreConfig& config) {
     });
     if (!replayed.is_ok()) return replayed;
   }
+
+  store_->set_checkpoint_source(
+      [this](store::ProfileStore::Checkpoint& cp) { return stream_checkpoint(cp); });
+  store_->start_maintenance();
+  return Status::ok();
+}
+
+Status KeyServer::stream_checkpoint(store::ProfileStore::Checkpoint& cp) {
+  // Quiesce: every budget charge holds its shard lock, so holding all of
+  // them stops the world for the duration of the snapshot. The table is
+  // a few counters per client — small enough that staggering would buy
+  // nothing, so this source ignores policy.staggered.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  for (const auto& shard : shards_) {
+    for (const auto& [client, used] : shard->used) {
+      Writer w;
+      w.u32(client);
+      w.u32(used);
+      cp.add(store_->shard_of(client), store::RecordType::kBudget, w.bytes());
+    }
+  }
   return Status::ok();
 }
 
@@ -203,22 +226,7 @@ Status KeyServer::checkpoint() {
   if (!store_) {
     return {StatusCode::kMalformedMessage, "checkpoint: no store attached"};
   }
-  // Quiesce: every budget charge holds its shard lock, so holding all of
-  // them stops the world for the duration of the snapshot.
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
-  locks.reserve(shards_.size());
-  for (auto& shard : shards_) locks.emplace_back(shard->mu);
-
-  auto cp = store_->begin_checkpoint();
-  for (const auto& shard : shards_) {
-    for (const auto& [client, used] : shard->used) {
-      Writer w;
-      w.u32(client);
-      w.u32(used);
-      cp->add(store_->shard_of(client), store::RecordType::kBudget, w.bytes());
-    }
-  }
-  return cp->commit();
+  return store_->request_checkpoint().get();
 }
 
 std::uint64_t KeyServer::evaluations() const {

@@ -112,15 +112,27 @@ class KeyServer {
   /// WAL shard. Call once, at startup, before serving traffic. After
   /// this, every budget charge is WAL-logged before the evaluation runs —
   /// a restarted server keeps enforcing spent budgets instead of handing
-  /// brute-force attackers a fresh allowance.
-  [[nodiscard]] Status attach_store(const store::StoreConfig& config);
+  /// brute-force attackers a fresh allowance. Registers the budget-table
+  /// checkpoint source with the store's maintenance plane (started here
+  /// when the policy says background).
+  [[nodiscard]] Status attach_store(const store::StoreOptions& options);
 
-  /// Snapshots every client's budget and truncates the WALs. Quiesces by
-  /// holding all budget-shard locks. Error when no store is attached.
+  /// DEPRECATED — accepts the flat StoreConfig shim; forwards to the
+  /// StoreOptions overload. Removed next PR.
+  [[nodiscard]] Status attach_store(const store::StoreConfig& config) {
+    return attach_store(config.to_options());
+  }
+
+  /// Runs one maintenance cycle (rotate -> snapshot -> GC) through the
+  /// store's scheduler and waits for it. The budget table is small, so
+  /// the source always quiesces (all budget-shard locks) regardless of
+  /// policy.staggered. Error when no store is attached.
   [[nodiscard]] Status checkpoint();
 
   /// The attached store (nullptr when persistence is off) — for metrics.
   [[nodiscard]] const store::ProfileStore* store() const { return store_.get(); }
+  /// Mutable variant, for the maintenance seams (hooks, pause/resume).
+  [[nodiscard]] store::ProfileStore* store() { return store_.get(); }
 
   /// Handles one serialized KeyRequest; returns a serialized KeyResponse.
   /// kMalformedMessage for unparseable wire or a blinded element outside
@@ -159,6 +171,11 @@ class KeyServer {
   };
 
   BudgetShard& shard_for(UserId client) { return *shards_[client % shards_.size()]; }
+
+  /// The checkpoint source registered with the store: quiesce-all
+  /// (every budget-shard lock) and emit one absolute kBudget record per
+  /// client.
+  Status stream_checkpoint(store::ProfileStore::Checkpoint& cp);
 
   ThreadPool& pool();
 

@@ -268,18 +268,18 @@ Status MatchServer::remove(UserId user) {
   return remove_locked(user, dir, /*must_exist=*/true);
 }
 
-Status MatchServer::attach_store(const store::StoreConfig& config) {
+Status MatchServer::attach_store(const store::StoreOptions& options) {
   if (store_) {
     return {StatusCode::kMalformedMessage, "attach_store: store already attached"};
   }
   StatusOr<std::unique_ptr<store::ProfileStore>> opened =
-      store::ProfileStore::open(config, shards_.size());
+      store::ProfileStore::open(options, shards_.size());
   if (!opened.is_ok()) return opened.status();
   store_ = std::move(*opened);
-  if (config.memory_budget_bytes != 0) {
+  if (options.residency.memory_budget_bytes != 0) {
     paging_ = true;
-    shard_budget_ =
-        std::max<std::size_t>(1, config.memory_budget_bytes / shards_.size());
+    shard_budget_ = std::max<std::size_t>(
+        1, options.residency.memory_budget_bytes / shards_.size());
   }
 
   for (std::size_t s = 0; s < store_->shards(); ++s) {
@@ -314,6 +314,10 @@ Status MatchServer::attach_store(const store::StoreConfig& config) {
     });
     if (!replayed.is_ok()) return replayed;
   }
+
+  store_->set_checkpoint_source(
+      [this](store::ProfileStore::Checkpoint& cp) { return stream_checkpoint(cp); });
+  store_->start_maintenance();
   return Status::ok();
 }
 
@@ -322,45 +326,102 @@ Status MatchServer::checkpoint() {
   if (!store_) {
     return {StatusCode::kMalformedMessage, "checkpoint: no store attached"};
   }
-  // Quiesce: every mutation starts by taking a directory lock, so holding
-  // all of them exclusively stops ingest/remove; in-flight matches only
-  // read. Lock order (directory before data shard) is preserved.
-  std::vector<std::unique_lock<std::shared_mutex>> dir_locks;
-  dir_locks.reserve(directory_.size());
-  for (auto& dir : directory_) dir_locks.emplace_back(dir->mu);
+  return store_->request_checkpoint().get();
+}
 
-  auto cp = store_->begin_checkpoint();
-  for (auto& shard : shards_) {
-    std::unique_lock shard_lock(shard->mu);
-    for (const auto& [key, group] : shard->groups) {
-      if (group.resident) {
-        for (const Record& r : group.members) {
-          cp->add(store_->shard_of(r.id), store::RecordType::kUpload,
-                  record_wire(key, r));
+Status MatchServer::emit_group_records(store::ProfileStore::Checkpoint& cp,
+                                       const Bytes& key, Group& group,
+                                       std::optional<std::size_t> only_dir) {
+  const std::size_t dirs = directory_.size();
+  if (group.resident) {
+    for (const Record& r : group.members) {
+      if (only_dir.has_value() && r.id % dirs != *only_dir) continue;
+      cp.add(store_->shard_of(r.id), store::RecordType::kUpload,
+             record_wire(key, r));
+    }
+    return Status::ok();
+  }
+  // Evicted group: copy the member wires straight out of the page file
+  // without materializing the records.
+  StatusOr<Bytes> page = store_->read_page(key);
+  if (!page.is_ok()) return page.status();
+  try {
+    Reader r(*page);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Bytes wire = r.var_bytes();
+      // user_id sits right after the 3-byte wire header.
+      Reader id_reader(BytesView(wire).subspan(3, 4));
+      const UserId id = id_reader.u32();
+      if (only_dir.has_value() && id % dirs != *only_dir) continue;
+      cp.add(store_->shard_of(id), store::RecordType::kUpload, wire);
+    }
+    r.finish();
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage,
+                  std::string("page payload: ") + e.what());
+  }
+  return Status::ok();
+}
+
+Status MatchServer::stream_checkpoint(store::ProfileStore::Checkpoint& cp) {
+  SMATCH_SPAN("match.checkpoint_stream");
+  if (!store_->options().maintenance.policy.staggered) {
+    // Quiesce-all: every mutation starts by taking a directory lock, so
+    // holding all of them exclusively stops ingest/remove for the whole
+    // sweep; in-flight matches only read. Lock order (directory before
+    // data shard) is preserved.
+    std::vector<std::unique_lock<std::shared_mutex>> dir_locks;
+    dir_locks.reserve(directory_.size());
+    for (auto& dir : directory_) dir_locks.emplace_back(dir->mu);
+    for (auto& shard : shards_) {
+      std::unique_lock shard_lock(shard->mu);
+      for (auto& [key, group] : shard->groups) {
+        if (Status s = emit_group_records(cp, key, group, std::nullopt);
+            !s.is_ok()) {
+          return s;
         }
-        continue;
       }
-      // Evicted group: copy the member wires straight out of the page
-      // file without materializing the records.
-      StatusOr<Bytes> page = store_->read_page(key);
-      if (!page.is_ok()) return page.status();
-      try {
-        Reader r(*page);
-        const std::uint32_t count = r.u32();
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const Bytes wire = r.var_bytes();
-          // user_id sits right after the 3-byte wire header.
-          Reader id_reader(BytesView(wire).subspan(3, 4));
-          cp->add(store_->shard_of(id_reader.u32()), store::RecordType::kUpload, wire);
-        }
-        r.finish();
-      } catch (const SerdeError& e) {
-        return Status(StatusCode::kMalformedMessage,
-                      std::string("page payload: ") + e.what());
+    }
+    return Status::ok();
+  }
+
+  // Staggered sweep: one directory shard at a time, at a rotating start
+  // offset, holding no lock for longer than one group. dir.mu is taken
+  // (shared) only to copy the shard's key list; streaming then locks one
+  // data shard per group. Mutations are free to interleave anywhere in
+  // the sweep: the snapshot's boundary is the sealed frontier captured at
+  // rotate_all, so whatever state the sweep observes is at least that
+  // old, and every mutation since lives in an active segment that
+  // survives GC and replays on top — per-user last-writer-wins makes
+  // old-state, new-state, or even both-states emissions all converge. A
+  // user keyed into shard d after the copy is simply absent from this
+  // snapshot; their WAL record sits beyond the boundary and replays.
+  const std::size_t dirs = directory_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(checkpoint_stagger_.fetch_add(1, kRelaxed)) % dirs;
+  for (std::size_t step = 0; step < dirs; ++step) {
+    const std::size_t d = (start + step) % dirs;
+    DirectoryShard& dir = *directory_[d];
+    std::vector<Bytes> keys;
+    {
+      std::shared_lock dir_lock(dir.mu);
+      keys.reserve(dir.key_of.size());
+      for (const auto& [user, key] : dir.key_of) keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const Bytes& key : keys) {
+      Shard& shard = shard_for(key);
+      std::unique_lock shard_lock(shard.mu);
+      auto git = shard.groups.find(key);
+      if (git == shard.groups.end()) continue;
+      if (Status s = emit_group_records(cp, key, git->second, d); !s.is_ok()) {
+        return s;
       }
     }
   }
-  return cp->commit();
+  return Status::ok();
 }
 
 std::vector<Status> MatchServer::ingest_batch(std::span<const UploadMessage> uploads) {

@@ -30,13 +30,18 @@
 //
 // Durability (optional): `attach_store()` opens a store/ProfileStore and
 // replays it, after which every ingest/remove appends a redo record to a
-// per-user WAL shard *before* mutating memory, `checkpoint()` streams the
-// full state into atomically renamed snapshots, and — when the store
-// config sets a memory budget — cold ciphertext groups page out to disk
-// and fault back in on query. Recovered state answers kNN queries
-// byte-identically (the group sort is a total order: ciphertext, then
-// user id). docs/PERSISTENCE.md is the full story; with no store
-// attached the engine behaves exactly as before.
+// per-user WAL shard *before* mutating memory. The engine registers a
+// checkpoint source with the store's maintenance plane: when a cycle
+// runs (on policy triggers, or via `checkpoint()` / the store's
+// request_checkpoint()), the source streams the full state into
+// atomically renamed snapshots — one directory shard at a time (a
+// staggered sweep; ingest stalls for at most 1/D of the population per
+// step), never a global quiesce unless the policy turns staggering off.
+// When the options set a memory budget, cold ciphertext groups page out
+// to disk and fault back in on query. Recovered state answers kNN
+// queries byte-identically (the group sort is a total order:
+// ciphertext, then user id). docs/PERSISTENCE.md is the full story;
+// with no store attached the engine behaves exactly as before.
 #pragma once
 
 #include <atomic>
@@ -44,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <vector>
@@ -80,21 +86,34 @@ class MatchServer {
   MatchServer& operator=(const MatchServer&) = delete;
 
   /// Attaches (opening or creating) a durable store and replays it into
-  /// the engine: snapshot first, then each WAL tail. After this call every
-  /// ingest/remove is WAL-logged before it touches memory, and a non-zero
-  /// `config.memory_budget_bytes` turns on cold-group paging. Call once,
-  /// at startup, before serving traffic (the replay itself is not
-  /// concurrent-safe against queries).
-  [[nodiscard]] Status attach_store(const store::StoreConfig& config);
+  /// the engine: snapshot first, then each surviving WAL segment. After
+  /// this call every ingest/remove is WAL-logged before it touches
+  /// memory, a non-zero residency budget turns on cold-group paging,
+  /// and the engine's checkpoint source is registered with the store's
+  /// maintenance plane (started here when the policy says background).
+  /// Call once, at startup, before serving traffic (the replay itself
+  /// is not concurrent-safe against queries).
+  [[nodiscard]] Status attach_store(const store::StoreOptions& options);
 
-  /// Streams the full engine state into per-shard snapshot files and
-  /// truncates the WALs (store::ProfileStore::Checkpoint). Quiesces the
-  /// engine for the duration by holding every directory lock. No-op
-  /// error when no store is attached.
+  /// DEPRECATED — accepts the flat StoreConfig shim; forwards to the
+  /// StoreOptions overload. Removed next PR.
+  [[nodiscard]] Status attach_store(const store::StoreConfig& config) {
+    return attach_store(config.to_options());
+  }
+
+  /// Runs one full maintenance cycle (rotate -> snapshot -> GC) through
+  /// the store's scheduler and waits for it — the same code path a
+  /// background checkpoint takes, so tests and callers exercise exactly
+  /// what production runs. The snapshot sweep staggers across directory
+  /// shards (policy.staggered, the default) instead of quiescing the
+  /// whole engine. Error when no store is attached.
   [[nodiscard]] Status checkpoint();
 
   /// The attached store (nullptr when persistence is off) — for metrics.
   [[nodiscard]] const store::ProfileStore* store() const { return store_.get(); }
+  /// Mutable variant, for the maintenance seams (hooks, pause/resume)
+  /// the crash harness and tests drive.
+  [[nodiscard]] store::ProfileStore* store() { return store_.get(); }
 
   /// Stores (or replaces) a user's encrypted profile. Thread-safe.
   /// kMalformedMessage when the upload carries no key index.
@@ -209,6 +228,18 @@ class MatchServer {
   static Bytes record_wire(const Bytes& key_index, const Record& r);
   static std::size_t record_wire_size(const Bytes& key_index, const Record& r);
 
+  /// The checkpoint source registered with the store: streams the full
+  /// engine state into `cp`. Staggered (default): one directory shard
+  /// at a time in a rotating order, freezing 1/D of the users per step;
+  /// otherwise a quiesce-all pass holding every directory lock.
+  Status stream_checkpoint(store::ProfileStore::Checkpoint& cp);
+  /// Emits one group's member records into `cp` (resident members
+  /// directly, evicted ones straight out of the page file). Caller
+  /// holds the group's data-shard lock. `only_dir` filters to users of
+  /// one directory shard (the staggered sweep's membership test).
+  Status emit_group_records(store::ProfileStore::Checkpoint& cp, const Bytes& key,
+                            Group& group, std::optional<std::size_t> only_dir);
+
   /// Faults an evicted group back in from its page file. Caller holds
   /// `shard.mu` exclusively.
   Status ensure_resident(Shard& shard, const Bytes& key_index, Group& group);
@@ -242,6 +273,9 @@ class MatchServer {
   bool paging_ = false;            // memory budget > 0: groups can evict
   std::size_t shard_budget_ = 0;   // resident-byte budget per data shard
   std::atomic<std::uint64_t> touch_clock_{0};
+  // Rotating start offset of the staggered checkpoint sweep, so no
+  // directory shard is systematically snapshotted last.
+  std::atomic<std::uint64_t> checkpoint_stagger_{0};
 
   std::atomic<std::uint64_t> replay_rejections_{0};
   std::atomic<std::uint64_t> batch_group_sorts_{0};

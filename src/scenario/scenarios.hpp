@@ -10,7 +10,7 @@
 // A scenario is closed-loop: a fixed population of client workers each
 // drives its own connection synchronously (enroll -> upload -> churn ->
 // query), so offered load follows service rate instead of open-loop
-// overrunning it. Five standard scenarios (standard_scenarios()):
+// overrunning it. Six standard scenarios (standard_scenarios()):
 //
 //   enroll_storm    every user races Keygen+upload through few workers
 //   churn_reenroll  a fraction re-enrolls with changed attributes (new
@@ -20,6 +20,9 @@
 //                   machinery; must finish with zero failed requests
 //   evicting_store  store-backed engine under a tight memory budget:
 //                   cold groups page out and fault back mid-workload
+//   checkpoint_under_load  store-backed engine whose background
+//                   maintenance plane rotates WAL segments and runs
+//                   staggered checkpoints underneath the live workload
 //
 // Determinism: given a fixed seed, the workload, every protocol byte,
 // and the adversary's advantage are identical across runs (per-user
@@ -59,7 +62,13 @@ struct ScenarioSpec {
   /// >0 attaches a durable store with this resident-ciphertext budget
   /// (bytes) — small budgets force eviction + query fault-back.
   std::size_t store_budget_bytes = 0;
-  std::string store_dir;            ///< required when store_budget_bytes > 0
+  /// true attaches a durable store (with or without a budget) running an
+  /// aggressive background MaintenancePolicy: segments rotate and
+  /// staggered checkpoints compact them underneath the live workload.
+  /// When the admin plane is on, /statusz gains a "store maintenance"
+  /// section rendered live from the scheduler.
+  bool store_maintenance = false;
+  std::string store_dir;  ///< required when the store is attached
 
   /// true: serve the admin plane on an ephemeral port and scrape
   /// /metrics after every phase; the smatch_net_rtt_ns deltas become the
@@ -102,6 +111,8 @@ struct ScenarioResult {
   std::uint64_t entries_verified = 0;  ///< Vf-passed match entries
   std::uint64_t store_evictions = 0;   ///< groups paged out (delta)
   std::uint64_t store_page_ins = 0;    ///< groups faulted back (delta)
+  std::uint64_t store_maintenance_cycles = 0;  ///< background cycles run
+  std::uint64_t store_segments_gced = 0;       ///< sealed segments compacted away
   std::uint64_t workload_digest = 0;   ///< seed-determined; byte-stable
   AdversaryReport adversary;
 
@@ -116,7 +127,7 @@ struct ScenarioResult {
 /// store setup) — per-request failures are counted, not fatal.
 [[nodiscard]] StatusOr<ScenarioResult> run_scenario(const ScenarioSpec& spec);
 
-/// The five standard scenarios at a given population scale. `store_root`
+/// The six standard scenarios at a given population scale. `store_root`
 /// hosts the evicting_store scenario's directory (a subdirectory is
 /// created and must be cleaned by the caller).
 [[nodiscard]] std::vector<ScenarioSpec> standard_scenarios(

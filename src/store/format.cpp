@@ -53,6 +53,83 @@ Bytes encode_record(RecordType type, std::uint64_t seq, BytesView payload) {
   return w.take();
 }
 
+Bytes encode_manifest(const Manifest& manifest) {
+  Writer w;
+  w.raw(encode_file_header(FileKind::kManifest, 0));
+  Writer body;
+  body.u32(kManifestVersion);
+  body.u32(manifest.wal_shards());
+  for (const ManifestShard& shard : manifest.shards) {
+    body.u32(shard.first_live);
+    body.u32(shard.active);
+  }
+  w.raw(body.bytes());
+  w.u32(crc32(body.bytes()));
+  return w.take();
+}
+
+StatusOr<Manifest> parse_manifest(BytesView data) {
+  if (Status s = check_file_header(data, FileKind::kManifest); !s.is_ok()) return s;
+  const BytesView rest = data.subspan(kFileHeaderBytes);
+  try {
+    if (rest.size() == 8) {
+      // v1 body: wal_shards:u32 || crc. Exactly 8 bytes — a v2 body is
+      // at least 20 (ver + count + one shard pair + crc), so length
+      // alone disambiguates. One implicit segment per shard, named
+      // wal.log on disk; ProfileStore::open migrates the naming.
+      Reader r(rest);
+      const std::uint32_t shards = r.u32();
+      const std::uint32_t claimed = r.u32();
+      Writer body;
+      body.u32(shards);
+      if (crc32(body.bytes()) != claimed || shards == 0) {
+        return Status(StatusCode::kMalformedMessage, "manifest checksum mismatch");
+      }
+      Manifest m;
+      m.version = 1;
+      m.shards.assign(shards, ManifestShard{});
+      return m;
+    }
+    if (rest.size() < 12) {
+      return Status(StatusCode::kMalformedMessage, "manifest truncated");
+    }
+    const BytesView body = rest.subspan(0, rest.size() - 4);
+    Reader crc_reader(rest.subspan(rest.size() - 4));
+    if (crc32(body) != crc_reader.u32()) {
+      return Status(StatusCode::kMalformedMessage, "manifest checksum mismatch");
+    }
+    Reader r(body);
+    const std::uint32_t version = r.u32();
+    if (version != kManifestVersion) {
+      return Status(StatusCode::kUnsupportedVersion,
+                    "manifest body version " + std::to_string(version) +
+                        " (expected " + std::to_string(kManifestVersion) + ")");
+    }
+    const std::uint32_t shards = r.u32();
+    if (shards == 0) {
+      return Status(StatusCode::kMalformedMessage, "manifest names zero shards");
+    }
+    Manifest m;
+    m.shards.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      ManifestShard shard;
+      shard.first_live = r.u32();
+      shard.active = r.u32();
+      if (shard.first_live == 0 || shard.active < shard.first_live) {
+        return Status(StatusCode::kMalformedMessage,
+                      "manifest shard " + std::to_string(i) +
+                          " has an inverted segment range");
+      }
+      m.shards.push_back(shard);
+    }
+    r.finish();
+    return m;
+  } catch (const SerdeError& e) {
+    return Status(StatusCode::kMalformedMessage,
+                  std::string("manifest: ") + e.what());
+  }
+}
+
 std::optional<StoreRecord> RecordScanner::next() {
   if (end_ != ScanEnd::kClean) return std::nullopt;
   const BytesView view = data_.subspan(pos_);

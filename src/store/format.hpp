@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -84,6 +85,44 @@ struct StoreRecord {
 /// Encodes one CRC-framed record.
 [[nodiscard]] Bytes encode_record(RecordType type, std::uint64_t seq,
                                   BytesView payload);
+
+/// MANIFEST body version. The file header version stays kStoreVersion —
+/// the MANIFEST body carries its own version so the layout can evolve
+/// without breaking every other store file. v1 (PR 7) held only the
+/// shard count (each shard's whole log was one `wal.log`); v2 adds the
+/// live segment range per shard. A v1 body is recognized by its exact
+/// length (8 bytes — any v2 body is >= 20) and migrated on open.
+inline constexpr std::uint32_t kManifestVersion = 2;
+
+/// One shard's live WAL segment range: segments numbered
+/// [first_live, active] exist on disk; `active` is the one held open for
+/// appends, everything below it is sealed. Segments below first_live
+/// were garbage-collected after a checkpoint folded them in.
+struct ManifestShard {
+  std::uint32_t first_live = 1;
+  std::uint32_t active = 1;
+};
+
+/// The store-wide layout the MANIFEST pins: shard count and each
+/// shard's live segment range. Written via write_file_atomic, so
+/// readers see the old or the new layout, never a torn one.
+struct Manifest {
+  std::uint32_t version = kManifestVersion;
+  std::vector<ManifestShard> shards;
+
+  [[nodiscard]] std::uint32_t wal_shards() const {
+    return static_cast<std::uint32_t>(shards.size());
+  }
+};
+
+/// Encodes a v2 MANIFEST file (header || ver || wal_shards ||
+/// per-shard(first_live || active) || crc32(body)).
+[[nodiscard]] Bytes encode_manifest(const Manifest& manifest);
+
+/// Parses a MANIFEST file, accepting v1 and v2 bodies. A v1 body comes
+/// back with version = 1 and every shard at {first_live = 1, active = 1}
+/// so the caller can migrate the on-disk file naming.
+[[nodiscard]] StatusOr<Manifest> parse_manifest(BytesView data);
 
 /// How a record scan ended. The distinction matters to recovery: a torn
 /// tail (crash mid-append) is expected and replay simply stops there; a

@@ -1,0 +1,169 @@
+#include "store/maintenance.hpp"
+
+#ifdef __linux__
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+#include "store/store.hpp"
+
+namespace smatch::store {
+
+namespace {
+
+std::uint64_t unix_ms_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+MaintenanceScheduler::MaintenanceScheduler(ProfileStore& store,
+                                           MaintenancePolicy policy)
+    : store_(store), policy_(policy) {}
+
+MaintenanceScheduler::~MaintenanceScheduler() { stop(); }
+
+void MaintenanceScheduler::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void MaintenanceScheduler::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+    // Whether or not a thread ever ran, nothing will serve what's
+    // still queued.
+    for (std::promise<Status>& p : requests_) {
+      p.set_value(Status(StatusCode::kConnectionReset,
+                         "maintenance scheduler stopped"));
+    }
+    requests_.clear();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lk(mu_);
+  started_ = false;
+}
+
+std::future<Status> MaintenanceScheduler::request_checkpoint() {
+  std::future<Status> fut;
+  {
+    std::lock_guard lk(mu_);
+    requests_.emplace_back();
+    fut = requests_.back().get_future();
+  }
+  // On-demand start keeps background=false configurations working: the
+  // thread exists only to serve explicit requests.
+  start();
+  cv_.notify_all();
+  return fut;
+}
+
+void MaintenanceScheduler::pause() {
+  std::lock_guard lk(mu_);
+  paused_ = true;
+}
+
+void MaintenanceScheduler::resume() {
+  {
+    std::lock_guard lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool MaintenanceScheduler::paused() const {
+  std::lock_guard lk(mu_);
+  return paused_;
+}
+
+MaintenanceStats MaintenanceScheduler::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void MaintenanceScheduler::run() {
+#ifdef __linux__
+  if (policy_.background_nice > 0) {
+    // Dropping our own priority never needs privileges; best-effort — a
+    // failure just means compaction competes at normal weight.
+    ::setpriority(PRIO_PROCESS, static_cast<id_t>(::gettid()),
+                  std::clamp(policy_.background_nice, 0, 19));
+  }
+#endif
+  for (;;) {
+    std::size_t batch = 0;  // requests this cycle will satisfy
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait_for(lk, policy_.poll_interval, [this] {
+        return stop_ || (!paused_ && !requests_.empty());
+      });
+      if (stop_) return;
+      if (paused_) continue;
+      batch = requests_.size();
+    }
+
+    // Rotation pass: seal any active segment past its policy
+    // thresholds, independently of whether a checkpoint runs. An abort
+    // from the test hook surfaces at the next cycle's rotate_all.
+    if (policy_.background) {
+      for (std::size_t i = 0; i < store_.shards(); ++i) {
+        if (store_.rotation_due(i)) {
+          if (Status s = store_.rotate(i); !s.is_ok()) break;
+        }
+      }
+    }
+
+    bool run_cycle = batch > 0;
+    if (!run_cycle && policy_.background) {
+      std::chrono::steady_clock::time_point last;
+      {
+        std::lock_guard lk(mu_);
+        last = last_cycle_;
+      }
+      if (std::chrono::steady_clock::now() - last >= policy_.min_interval &&
+          store_.checkpoint_due()) {
+        run_cycle = true;
+      }
+    }
+    if (!run_cycle) continue;
+
+    const auto begin = std::chrono::steady_clock::now();
+    const Status s = store_.run_maintenance_cycle();
+    const auto took = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - begin);
+
+    std::lock_guard lk(mu_);
+    last_cycle_ = std::chrono::steady_clock::now();
+    stats_.last_cycle_ms = static_cast<std::uint64_t>(took.count());
+    if (s.is_ok()) {
+      ++stats_.cycles;
+      stats_.last_checkpoint_unix_ms = unix_ms_now();
+    } else {
+      ++stats_.failed_cycles;
+      obs::Registry::global()
+          .counter("smatch_store_maintenance_failures_total")
+          ->fetch_add(1);
+    }
+    // Only the requests that were queued before the cycle began are
+    // covered by it; anything that arrived mid-cycle may hold records
+    // appended after rotation and waits for the next one.
+    batch = std::min(batch, requests_.size());
+    for (std::size_t i = 0; i < batch; ++i) {
+      requests_.front().set_value(s);
+      requests_.pop_front();
+    }
+  }
+}
+
+}  // namespace smatch::store

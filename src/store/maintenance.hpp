@@ -1,0 +1,139 @@
+// The background maintenance plane of the durable store: when to seal
+// the active WAL segment, when to compact sealed segments into a
+// snapshot, and the scheduler thread that does both off the write path.
+//
+// A MaintenancePolicy is pure data — thresholds and intervals — owned by
+// StoreOptions::Maintenance. The MaintenanceScheduler is owned by the
+// ProfileStore it maintains and runs one cycle at a time:
+//
+//   rotation  ->  staggered per-shard checkpoint  ->  sealed-segment GC
+//
+// Rotation seals each shard's active segment (a brief per-shard
+// exclusive lock; appends to other shards continue) so the checkpoint
+// that follows compacts only immutable files while new writes land in
+// the fresh active segment — there is no global quiesce anywhere in the
+// cycle. The checkpoint itself streams through the engine-registered
+// checkpoint source (ProfileStore::set_checkpoint_source), which the
+// match engine implements as a staggered sweep: one directory shard at a
+// time, so ingest stalls for at most 1/D of the population per step.
+// docs/PERSISTENCE.md §Segments documents the on-disk lifecycle.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace smatch::store {
+
+class ProfileStore;
+
+/// When the maintenance plane acts. All byte/record thresholds are per
+/// the unit named; a zero disables that individual trigger. An explicit
+/// request_checkpoint() always runs a cycle regardless of triggers.
+struct MaintenancePolicy {
+  /// Start the scheduler thread when the engine attaches the store.
+  /// false = no background work; request_checkpoint() still works (it
+  /// starts the thread on demand and runs exactly one cycle per call).
+  bool background = false;
+
+  /// Seal a shard's active segment once it holds this many payload
+  /// bytes (record framing included, file header excluded).
+  std::size_t rotate_segment_bytes = 4 * 1024 * 1024;
+  /// ... or this many records. 0 = bytes only.
+  std::uint64_t rotate_segment_records = 0;
+
+  /// Run a checkpoint cycle once any shard carries this many sealed
+  /// segments. 0 disables the trigger.
+  std::size_t checkpoint_sealed_segments = 4;
+  /// ... or once the store-wide live WAL bytes (sealed + active,
+  /// headers excluded) cross this. 0 disables.
+  std::size_t checkpoint_wal_bytes = 0;
+  /// ... or once this many records sit in the WALs beyond the last
+  /// snapshot. 0 disables.
+  std::uint64_t checkpoint_wal_records = 0;
+
+  /// Floor between two background cycles (explicit requests ignore it).
+  std::chrono::milliseconds min_interval{2000};
+  /// How often the scheduler re-evaluates the triggers.
+  std::chrono::milliseconds poll_interval{50};
+
+  /// CPU niceness of the scheduler thread (0..19, Linux only; 0 = run at
+  /// normal priority). Compaction is throughput work with no deadline,
+  /// so it cedes the core to foreground traffic — on small hosts a cycle
+  /// stretches out instead of inflating ingest tail latency (the
+  /// checkpoint_under_load tier of bench/store_throughput measures
+  /// exactly this).
+  int background_nice = 10;
+
+  /// Checkpoint sources should snapshot one engine shard at a time in a
+  /// rotating order (bounded pause) instead of quiescing everything.
+  /// The match engine honors this; the key server's budget table is
+  /// small enough that it always quiesces.
+  bool staggered = true;
+};
+
+/// Point-in-time counters of one scheduler (all cycles, background and
+/// requested). Rendered into /statusz by render_maintenance_status().
+struct MaintenanceStats {
+  std::uint64_t cycles = 0;          ///< completed maintenance cycles
+  std::uint64_t failed_cycles = 0;   ///< cycles that returned an error
+  std::uint64_t last_cycle_ms = 0;   ///< wall time of the last cycle
+  std::uint64_t last_checkpoint_unix_ms = 0;  ///< 0 = never checkpointed
+};
+
+/// The background thread that owns the rotate -> checkpoint -> GC cycle.
+/// Owned by ProfileStore; tests reach it via ProfileStore::maintenance()
+/// for pause()/resume() and deterministic single-cycle driving.
+class MaintenanceScheduler {
+ public:
+  MaintenanceScheduler(ProfileStore& store, MaintenancePolicy policy);
+  ~MaintenanceScheduler();
+
+  MaintenanceScheduler(const MaintenanceScheduler&) = delete;
+  MaintenanceScheduler& operator=(const MaintenanceScheduler&) = delete;
+
+  /// Starts the thread (idempotent). Background triggers only fire when
+  /// the policy says so; an explicit request always runs.
+  void start();
+  /// Stops and joins the thread. Pending requests fail kConnectionReset.
+  void stop();
+
+  /// Enqueues one maintenance cycle and returns its completion future.
+  /// Starts the thread on demand, so it works with background=false too.
+  [[nodiscard]] std::future<Status> request_checkpoint();
+
+  /// Holds the scheduler between cycles (the running cycle finishes).
+  /// Explicit requests queue up and run on resume().
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const;
+
+  [[nodiscard]] const MaintenancePolicy& policy() const { return policy_; }
+  [[nodiscard]] MaintenanceStats stats() const;
+
+ private:
+  void run();
+
+  ProfileStore& store_;
+  const MaintenancePolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::promise<Status>> requests_;
+  bool stop_ = false;
+  bool paused_ = false;
+  bool started_ = false;
+  MaintenanceStats stats_;
+  std::chrono::steady_clock::time_point last_cycle_{};
+  std::thread thread_;
+};
+
+}  // namespace smatch::store

@@ -1,6 +1,9 @@
 #include "store/store.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <sstream>
 #include <system_error>
 
 #include "common/serde.hpp"
@@ -16,110 +19,223 @@ namespace {
 
 constexpr const char* kManifestName = "MANIFEST";
 
-/// MANIFEST layout: file header (kind kManifest, shard field 0), then
-/// wal_shards:u32, then crc:u32 over that 4-byte body.
-Bytes encode_manifest(std::uint32_t wal_shards) {
-  Writer w;
-  w.raw(encode_file_header(FileKind::kManifest, 0));
-  Writer body;
-  body.u32(wal_shards);
-  w.raw(body.bytes());
-  w.u32(crc32(body.bytes()));
-  return w.take();
-}
-
-StatusOr<std::uint32_t> parse_manifest(BytesView data) {
-  if (Status s = check_file_header(data, FileKind::kManifest); !s.is_ok()) return s;
-  try {
-    Reader r(data.subspan(kFileHeaderBytes));
-    const std::uint32_t shards = r.u32();
-    const std::uint32_t claimed = r.u32();
-    r.finish();
-    Writer body;
-    body.u32(shards);
-    if (crc32(body.bytes()) != claimed || shards == 0) {
-      return Status(StatusCode::kMalformedMessage, "manifest checksum mismatch");
-    }
-    return shards;
-  } catch (const SerdeError& e) {
-    return Status(StatusCode::kMalformedMessage,
-                  std::string("manifest: ") + e.what());
-  }
-}
-
 Status fs_error(const char* what, const fs::path& path, const std::error_code& ec) {
   return {StatusCode::kConnectionReset,
           std::string(what) + " " + path.string() + ": " + ec.message()};
 }
 
+/// Parses `<segno>` out of a `wal-<shard>-<segno>` file name belonging
+/// to `shard`; nullopt for anything else (snapshots, tmp files, other
+/// shards' strays).
+std::optional<std::uint32_t> parse_segment_name(const std::string& name,
+                                                std::size_t shard) {
+  const std::string prefix = "wal-" + std::to_string(shard) + "-";
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string tail = name.substr(prefix.size());
+  if (tail.empty() ||
+      tail.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    const unsigned long v = std::stoul(tail);
+    if (v == 0 || v > 0xFFFFFFFFul) return std::nullopt;
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Validates a sealed segment at open time and reports the highest
+/// sequence and payload bytes it frames. Sealed segments are immutable,
+/// so any damage here is disk rot — loud, not tolerated.
+struct SegmentScan {
+  std::uint64_t max_seq = 0;
+  std::uint64_t bytes = 0;
+};
+
+StatusOr<SegmentScan> scan_sealed_segment(const std::string& path,
+                                          std::uint32_t shard) {
+  StatusOr<Bytes> data = read_file(path);
+  if (!data.is_ok()) return data.status();
+  std::uint32_t file_shard = 0;
+  if (Status s = check_file_header(*data, FileKind::kWal, &file_shard); !s.is_ok()) {
+    return s;
+  }
+  if (file_shard != shard) {
+    return Status(StatusCode::kMalformedMessage,
+                  "sealed segment " + path + " names a different shard");
+  }
+  SegmentScan scan;
+  scan.bytes = data->size() - kFileHeaderBytes;
+  RecordScanner scanner(BytesView(*data).subspan(kFileHeaderBytes));
+  while (std::optional<StoreRecord> record = scanner.next()) {
+    if (record->seq > scan.max_seq) scan.max_seq = record->seq;
+  }
+  if (scanner.end() != ScanEnd::kClean) {
+    return Status(StatusCode::kMalformedMessage,
+                  "sealed segment " + path + " is damaged (offset " +
+                      std::to_string(scanner.offset()) + ")");
+  }
+  return scan;
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<ProfileStore>> ProfileStore::open(
-    const StoreConfig& config, std::size_t default_shards) {
+    const StoreOptions& options, std::size_t default_shards) {
   SMATCH_SPAN("store.open");
-  if (!config.enabled()) {
+  if (!options.enabled()) {
     return Status(StatusCode::kMalformedMessage,
                   "ProfileStore::open with an empty directory");
   }
   std::error_code ec;
-  const fs::path root(config.directory);
+  const fs::path root(options.directory);
   fs::create_directories(root, ec);
   if (ec) return fs_error("create_directories", root, ec);
 
   auto store = std::unique_ptr<ProfileStore>(new ProfileStore());
-  store->config_ = config;
+  store->options_ = options;
 
-  // Shard count: MANIFEST > config.wal_shards > engine default.
-  std::size_t shards = config.wal_shards != 0 ? config.wal_shards : default_shards;
+  // Shard count: MANIFEST > options.wal_shards > engine default.
+  std::size_t shards = options.wal_shards != 0 ? options.wal_shards : default_shards;
   shards = shards == 0 ? 1 : shards;
-  const fs::path manifest = root / kManifestName;
-  if (fs::exists(manifest, ec)) {
-    StatusOr<Bytes> data = read_file(manifest.string());
+  const fs::path manifest_path = root / kManifestName;
+  Manifest manifest;
+  if (fs::exists(manifest_path, ec)) {
+    StatusOr<Bytes> data = read_file(manifest_path.string());
     if (!data.is_ok()) return data.status();
-    StatusOr<std::uint32_t> parsed = parse_manifest(*data);
+    StatusOr<Manifest> parsed = parse_manifest(*data);
     if (!parsed.is_ok()) return parsed.status();
-    shards = *parsed;
+    manifest = std::move(*parsed);
+    if (manifest.version == 1) {
+      // v1 store: one unnumbered `wal.log` per shard. Rename each to
+      // segment 1 of its chain, then publish the v2 manifest. Both
+      // steps are idempotent, so a crash mid-migration just reruns it.
+      for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+        const fs::path old_wal = root / ("shard-" + std::to_string(i)) / "wal.log";
+        if (!fs::exists(old_wal, ec)) continue;
+        const fs::path new_wal =
+            root / ("shard-" + std::to_string(i)) /
+            ("wal-" + std::to_string(i) + "-1");
+        fs::rename(old_wal, new_wal, ec);
+        if (ec) return fs_error("rename", old_wal, ec);
+      }
+      manifest.version = kManifestVersion;
+      if (Status s = write_file_atomic(manifest_path.string(),
+                                       encode_manifest(manifest));
+          !s.is_ok()) {
+        return s;
+      }
+    }
   } else {
-    if (Status s = write_file_atomic(manifest.string(),
-                                     encode_manifest(static_cast<std::uint32_t>(shards)));
+    manifest.shards.assign(shards, ManifestShard{});
+    if (Status s = write_file_atomic(manifest_path.string(),
+                                     encode_manifest(manifest));
         !s.is_ok()) {
       return s;
     }
   }
+  shards = manifest.shards.size();
+  store->manifest_ = manifest;
 
   // Page files are a volatile cache of evicted groups: recovery replays
-  // every group from snapshot + WAL, so stale pages are just deleted.
+  // every group from snapshot + segments, so stale pages are just deleted.
   const fs::path pages = root / "pages";
   fs::remove_all(pages, ec);
   fs::create_directories(pages, ec);
   if (ec) return fs_error("create_directories", pages, ec);
 
-  store->wals_.reserve(shards);
-  store->snapshot_last_seq_.assign(shards, 0);
+  store->logs_.reserve(shards);
+  store->snapshot_last_seq_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards);
   for (std::size_t i = 0; i < shards; ++i) {
+    store->snapshot_last_seq_[i].store(0, std::memory_order_relaxed);
     const fs::path dir = root / ("shard-" + std::to_string(i));
     fs::create_directories(dir, ec);
     if (ec) return fs_error("create_directories", dir, ec);
-    auto wal = std::make_unique<WalFile>();
-    if (Status s = wal->open((dir / "wal.log").string(), static_cast<std::uint32_t>(i),
-                             config.fsync, config.fsync_batch_bytes);
+
+    auto log = std::make_unique<ShardLog>();
+    log->first_live = manifest.shards[i].first_live;
+    log->active_segno = manifest.shards[i].active;
+
+    // Segment inventory. A crash inside rotation or GC can leave
+    // segments outside the manifest's [first_live, active] range —
+    // above it (sealed but never published) or below (published dead
+    // but not yet unlinked). Both are deleted here. A *missing* segment
+    // inside the live range is the opposite: acknowledged data that is
+    // gone, and recovery must not silently skip it.
+    std::vector<std::uint32_t> present;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      const std::optional<std::uint32_t> segno =
+          parse_segment_name(entry.path().filename().string(), i);
+      if (!segno.has_value()) continue;
+      if (*segno < log->first_live || *segno > log->active_segno) {
+        fs::remove(entry.path(), ec);
+        continue;
+      }
+      present.push_back(*segno);
+    }
+    std::sort(present.begin(), present.end());
+
+    std::uint64_t max_sealed_seq = 0;
+    for (std::uint32_t segno = log->first_live; segno < log->active_segno;
+         ++segno) {
+      if (!std::binary_search(present.begin(), present.end(), segno)) {
+        return Status(StatusCode::kMalformedMessage,
+                      "store shard " + std::to_string(i) +
+                          ": live segment " + std::to_string(segno) +
+                          " is missing (manifest names [" +
+                          std::to_string(log->first_live) + ", " +
+                          std::to_string(log->active_segno) + "])");
+      }
+      StatusOr<SegmentScan> scan = scan_sealed_segment(
+          store->segment_path(i, segno), static_cast<std::uint32_t>(i));
+      if (!scan.is_ok()) return scan.status();
+      if (scan->max_seq > max_sealed_seq) max_sealed_seq = scan->max_seq;
+      SealedSegment sealed;
+      sealed.segno = segno;
+      sealed.max_seq = max_sealed_seq;  // running max covers empty files
+      sealed.bytes = scan->bytes;
+      log->sealed.push_back(sealed);
+    }
+
+    // Only the active segment may be created from nothing (fresh store
+    // or fresh chain tip); it fast-forwards past its own content at
+    // replay time.
+    log->active = std::make_unique<WalFile>();
+    if (Status s = log->active->open(
+            store->segment_path(i, log->active_segno),
+            static_cast<std::uint32_t>(i), options.durability.fsync,
+            options.durability.fsync_batch_bytes, max_sealed_seq + 1);
         !s.is_ok()) {
       return s;
     }
-    store->wals_.push_back(std::move(wal));
+    store->logs_.push_back(std::move(log));
   }
+
+  store->maintenance_ = std::make_unique<MaintenanceScheduler>(
+      *store, options.maintenance.policy);
   return store;
 }
 
+ProfileStore::~ProfileStore() {
+  // The scheduler thread calls back into this object; join it before
+  // any member is torn down.
+  if (maintenance_ != nullptr) maintenance_->stop();
+}
+
 Status ProfileStore::append(std::size_t shard, RecordType type, BytesView payload) {
-  StatusOr<std::uint64_t> seq = wals_[shard]->append(type, payload);
+  ShardLog& log = *logs_[shard];
+  std::shared_lock lk(log.mu);
+  StatusOr<std::uint64_t> seq = log.active->append(type, payload);
   if (!seq.is_ok()) return seq.status();
   return Status::ok();
 }
 
 Status ProfileStore::sync() {
-  for (auto& wal : wals_) {
-    if (Status s = wal->sync(); !s.is_ok()) return s;
+  for (auto& log : logs_) {
+    std::shared_lock lk(log->mu);
+    if (Status s = log->active->sync(); !s.is_ok()) return s;
   }
   return Status::ok();
 }
@@ -127,6 +243,7 @@ Status ProfileStore::sync() {
 Status ProfileStore::replay(std::size_t shard,
                             const std::function<Status(const StoreRecord&)>& apply) {
   SMATCH_SPAN("store.replay");
+  ShardLog& log = *logs_[shard];
   // Snapshot first: the last committed full state of this shard. The
   // snapshot file is published by atomic rename, so it is either absent
   // or complete; damage inside it is disk rot and surfaces as an error
@@ -157,34 +274,154 @@ Status ProfileStore::replay(std::size_t shard,
     }
   }
 
-  // Then the WAL tail. Records the snapshot already folded in (a crash
-  // between snapshot rename and WAL reset leaves them behind) are
-  // skipped by sequence number — replaying them twice would be harmless
-  // for uploads (last-writer-wins) but not for deletes, so dedup is
-  // structural, not probabilistic.
-  StatusOr<WalReplayStats> stats = wals_[shard]->replay(snapshot_seq, apply);
+  // Then the surviving segments, sealed ones first, in segment order.
+  // Records the snapshot already folded in are skipped by sequence
+  // number — replaying them twice would be harmless for uploads
+  // (last-writer-wins) but not for deletes, so dedup is structural, not
+  // probabilistic. Records *beyond* the snapshot's boundary re-apply on
+  // top of it and converge the same way. Damage in a sealed segment
+  // fails loudly; the active tail tolerates (and truncates) torn
+  // writes, the state a kill -9 mid-append leaves behind.
+  std::vector<SealedSegment> sealed;
+  std::uint64_t max_sealed_seq = 0;
+  {
+    std::shared_lock lk(log.mu);
+    sealed = log.sealed;
+  }
+  for (const SealedSegment& seg : sealed) {
+    StatusOr<WalReplayStats> stats =
+        replay_wal_file(segment_path(shard, seg.segno),
+                        static_cast<std::uint32_t>(shard), snapshot_seq, apply);
+    if (!stats.is_ok()) return stats.status();
+    replayed_.fetch_add(stats->records, std::memory_order_relaxed);
+    replay_skipped_.fetch_add(stats->skipped, std::memory_order_relaxed);
+    if (stats->next_seq > 1 && stats->next_seq - 1 > max_sealed_seq) {
+      max_sealed_seq = stats->next_seq - 1;
+    }
+  }
+
+  // The apply callback takes engine shard locks, and the append path
+  // nests those *outside* the store's log.mu — so the callback must run
+  // with no store lock held or the two orders form a deadlock cycle.
+  // Dropping the lock here is safe because replay finishes before
+  // start_maintenance(): nothing can rotate the active segment out from
+  // under us yet.
+  WalFile* active = nullptr;
+  {
+    std::shared_lock lk(log.mu);
+    active = log.active.get();
+    active->fast_forward(max_sealed_seq + 1);
+  }
+  StatusOr<WalReplayStats> stats = active->replay(snapshot_seq, apply);
   if (!stats.is_ok()) return stats.status();
   replayed_.fetch_add(stats->records, std::memory_order_relaxed);
   replay_skipped_.fetch_add(stats->skipped, std::memory_order_relaxed);
   torn_tails_.fetch_add(stats->torn_tail, std::memory_order_relaxed);
+  log.torn_tail_records.fetch_add(stats->torn_tail, std::memory_order_relaxed);
   crc_stops_.fetch_add(stats->crc_stopped, std::memory_order_relaxed);
-  snapshot_last_seq_[shard] = snapshot_seq;
+  snapshot_last_seq_[shard].store(snapshot_seq, std::memory_order_relaxed);
   return Status::ok();
 }
 
-ProfileStore::Checkpoint::Checkpoint(ProfileStore& store)
-    : store_(store), lock_(store.checkpoint_mu_) {
+Status ProfileStore::hook_point(std::string_view point) {
+  MaintenanceHook hook;
+  {
+    std::lock_guard lk(hooks_mu_);
+    hook = hook_;
+  }
+  if (hook && !hook(point)) {
+    return Status(StatusCode::kConnectionReset,
+                  "maintenance aborted by hook at " + std::string(point));
+  }
+  return Status::ok();
+}
+
+Status ProfileStore::publish_manifest(std::size_t shard,
+                                      std::uint32_t first_live,
+                                      std::uint32_t active) {
+  std::lock_guard lk(manifest_mu_);
+  // Both fields only ever grow; the max() makes a GC publish racing a
+  // rotation publish on the same shard safe in either order (neither
+  // may regress `active` — a crash would then delete the real active
+  // segment as an orphan).
+  ManifestShard& entry = manifest_.shards[shard];
+  entry.first_live = std::max(entry.first_live, first_live);
+  entry.active = std::max(entry.active, active);
+  return write_file_atomic(
+      (fs::path(options_.directory) / kManifestName).string(),
+      encode_manifest(manifest_));
+}
+
+Status ProfileStore::rotate(std::size_t shard) {
+  SMATCH_SPAN("store.rotate");
+  ShardLog& log = *logs_[shard];
+  std::unique_lock lk(log.mu);
+  if (log.active->record_count() == 0) return Status::ok();
+  // Seal: everything in the active segment goes durable, then the file
+  // is never written again.
+  if (Status s = log.active->sync(); !s.is_ok()) return s;
+  const std::uint32_t next_segno = log.active_segno + 1;
+  auto fresh = std::make_unique<WalFile>();
+  if (Status s = fresh->open(segment_path(shard, next_segno),
+                             static_cast<std::uint32_t>(shard),
+                             options_.durability.fsync,
+                             options_.durability.fsync_batch_bytes,
+                             log.active->next_seq());
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = hook_point("rotate.sealed"); !s.is_ok()) return s;
+  // Publish the new active segment in the MANIFEST *before* swapping
+  // the in-memory pointer: once an append can land in the new segment,
+  // every future replay must already know to read it. A crash before
+  // this write leaves an orphan file above the manifest's active range,
+  // deleted at next open.
+  if (Status s = publish_manifest(shard, log.first_live, next_segno);
+      !s.is_ok()) {
+    return s;
+  }
+  SealedSegment sealed;
+  sealed.segno = log.active_segno;
+  sealed.max_seq = log.active->next_seq() - 1;
+  sealed.bytes = log.active->size_bytes() - kFileHeaderBytes;
+  log.sealed.push_back(sealed);
+  log.active = std::move(fresh);
+  log.active_segno = next_segno;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("smatch_store_rotations_total")->fetch_add(1);
+  if (Status s = hook_point("rotate.manifest"); !s.is_ok()) return s;
+  return Status::ok();
+}
+
+StatusOr<std::vector<std::uint64_t>> ProfileStore::rotate_all() {
+  std::vector<std::uint64_t> boundary(shards(), 0);
+  for (std::size_t i = 0; i < shards(); ++i) {
+    if (Status s = rotate(i); !s.is_ok()) return s;
+    ShardLog& log = *logs_[i];
+    std::shared_lock lk(log.mu);
+    boundary[i] = log.sealed.empty()
+                      ? snapshot_last_seq_[i].load(std::memory_order_relaxed)
+                      : log.sealed.back().max_seq;
+  }
+  return boundary;
+}
+
+ProfileStore::Checkpoint::Checkpoint(ProfileStore& store,
+                                     std::vector<std::uint64_t> boundary)
+    : store_(store), lock_(store.checkpoint_mu_), boundary_(std::move(boundary)) {
   pending_.resize(store.shards());
-  last_seq_.resize(store.shards());
   for (std::size_t i = 0; i < store.shards(); ++i) {
-    // Everything appended before the checkpoint began is covered by the
-    // snapshot the engine is about to stream (the engine holds its locks,
-    // so memory state == WAL state right now).
-    last_seq_[i] = store.wals_[i]->next_seq() - 1;
+    // The snapshot claims coverage up to the sealed-segment frontier
+    // (boundary_), not up to the newest append: the source streams
+    // engine state that may already include fresher records, but those
+    // live in active segments that survive GC and re-apply at replay —
+    // converging by per-user last-writer-wins. Claiming more would let
+    // replay *skip* active records that a not-yet-swept engine shard
+    // appended after an already-swept one was snapshotted.
     smatch::append(pending_[i], encode_file_header(FileKind::kSnapshot,
                                                    static_cast<std::uint32_t>(i)));
     Writer w;
-    w.u64(last_seq_[i]);
+    w.u64(boundary_[i]);
     smatch::append(pending_[i], w.bytes());
   }
 }
@@ -198,28 +435,190 @@ Status ProfileStore::Checkpoint::commit() {
   SMATCH_SPAN("store.checkpoint_commit");
   if (committed_) return {StatusCode::kMalformedMessage, "checkpoint committed twice"};
   committed_ = true;
-  // Publish every shard's snapshot before resetting any WAL: a crash
-  // between the two leaves committed snapshots plus WALs whose records
-  // replay() will dedup by sequence number.
+  // Publish every shard's snapshot before touching any segment: a crash
+  // between the two leaves committed snapshots plus sealed segments
+  // whose records replay() dedups by sequence number.
   for (std::size_t i = 0; i < store_.shards(); ++i) {
     if (Status s = write_file_atomic(store_.snapshot_path(i), pending_[i]);
         !s.is_ok()) {
       return s;
     }
   }
+  if (Status s = store_.hook_point("checkpoint.after_snapshots"); !s.is_ok()) {
+    return s;
+  }
+
+  // GC: drop every sealed segment the snapshot covers. Guard per
+  // segment — never a segment whose highest sequence is beyond the
+  // snapshot's boundary (one sealed by a rotation that raced this
+  // checkpoint). MANIFEST first, unlink after: a crash in between
+  // leaves orphans below first_live, deleted at next open; the reverse
+  // order would leave the manifest naming deleted files.
   for (std::size_t i = 0; i < store_.shards(); ++i) {
-    if (Status s = store_.wals_[i]->reset(); !s.is_ok()) return s;
-    store_.snapshot_last_seq_[i] = last_seq_[i];
+    ShardLog& log = *store_.logs_[i];
+    std::vector<std::uint32_t> doomed;
+    std::uint64_t reclaimed = 0;
+    std::uint32_t new_first_live = 0;
+    std::uint32_t active_segno = 0;
+    {
+      std::unique_lock lk(log.mu);
+      std::size_t keep = 0;
+      while (keep < log.sealed.size() &&
+             log.sealed[keep].max_seq <= boundary_[i]) {
+        doomed.push_back(log.sealed[keep].segno);
+        reclaimed += log.sealed[keep].bytes;
+        ++keep;
+      }
+      if (keep == 0) continue;
+      log.sealed.erase(log.sealed.begin(), log.sealed.begin() + keep);
+      log.first_live = log.sealed.empty() ? log.active_segno
+                                          : log.sealed.front().segno;
+      new_first_live = log.first_live;
+      active_segno = log.active_segno;
+    }
+    if (Status s = store_.publish_manifest(i, new_first_live, active_segno);
+        !s.is_ok()) {
+      return s;
+    }
+    if (Status s = store_.hook_point("gc.manifest"); !s.is_ok()) return s;
+    for (const std::uint32_t segno : doomed) {
+      std::error_code ec;
+      fs::remove(store_.segment_path(i, segno), ec);
+    }
+    store_.segments_gced_.fetch_add(doomed.size(), std::memory_order_relaxed);
+    store_.gc_bytes_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+    obs::Registry::global()
+        .counter("smatch_store_segments_gced_total")
+        ->fetch_add(doomed.size());
+    obs::Registry::global()
+        .counter("smatch_store_gc_bytes_reclaimed_total")
+        ->fetch_add(reclaimed);
+  }
+
+  for (std::size_t i = 0; i < store_.shards(); ++i) {
+    store_.snapshot_last_seq_[i].store(boundary_[i], std::memory_order_relaxed);
   }
   store_.snapshots_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("smatch_store_snapshots_total")->fetch_add(1);
   return Status::ok();
 }
 
-std::unique_ptr<ProfileStore::Checkpoint> ProfileStore::begin_checkpoint() {
-  // The Checkpoint holds checkpoint_mu_ until it is destroyed, so two
-  // concurrent checkpoints serialize rather than interleave WAL resets.
-  return std::unique_ptr<Checkpoint>(new Checkpoint(*this));
+StatusOr<std::unique_ptr<ProfileStore::Checkpoint>> ProfileStore::begin_checkpoint() {
+  // Rotation first: the boundary a snapshot may claim is the sealed
+  // frontier, and sealing now means this checkpoint compacts everything
+  // appended before it began. The Checkpoint holds checkpoint_mu_ until
+  // it is destroyed, so two concurrent checkpoints serialize rather
+  // than interleave GC.
+  StatusOr<std::vector<std::uint64_t>> boundary = rotate_all();
+  if (!boundary.is_ok()) return boundary.status();
+  return std::unique_ptr<Checkpoint>(new Checkpoint(*this, std::move(*boundary)));
+}
+
+void ProfileStore::set_checkpoint_source(CheckpointSource source) {
+  std::lock_guard lk(hooks_mu_);
+  source_ = std::move(source);
+}
+
+void ProfileStore::set_maintenance_hook(MaintenanceHook hook) {
+  std::lock_guard lk(hooks_mu_);
+  hook_ = std::move(hook);
+}
+
+std::future<Status> ProfileStore::request_checkpoint() {
+  return maintenance_->request_checkpoint();
+}
+
+void ProfileStore::start_maintenance() {
+  if (options_.maintenance.policy.background) maintenance_->start();
+}
+
+Status ProfileStore::run_maintenance_cycle() {
+  SMATCH_SPAN("store.maintenance_cycle");
+  CheckpointSource source;
+  {
+    std::lock_guard lk(hooks_mu_);
+    source = source_;
+  }
+  if (!source) {
+    return Status(StatusCode::kMalformedMessage,
+                  "maintenance cycle with no checkpoint source registered");
+  }
+  StatusOr<std::unique_ptr<Checkpoint>> cp = begin_checkpoint();
+  if (!cp.is_ok()) return cp.status();
+  if (Status s = source(**cp); !s.is_ok()) return s;
+  if (Status s = (*cp)->commit(); !s.is_ok()) return s;
+  maintenance_cycles_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global()
+      .counter("smatch_store_maintenance_cycles_total")
+      ->fetch_add(1);
+  return Status::ok();
+}
+
+bool ProfileStore::rotation_due(std::size_t shard) const {
+  const MaintenancePolicy& policy = options_.maintenance.policy;
+  const ShardLog& log = *logs_[shard];
+  std::shared_lock lk(log.mu);
+  if (policy.rotate_segment_bytes != 0 &&
+      log.active->size_bytes() - kFileHeaderBytes >= policy.rotate_segment_bytes) {
+    return true;
+  }
+  if (policy.rotate_segment_records != 0 &&
+      log.active->record_count() >= policy.rotate_segment_records) {
+    return true;
+  }
+  return false;
+}
+
+bool ProfileStore::checkpoint_due() const {
+  const MaintenancePolicy& policy = options_.maintenance.policy;
+  std::size_t wal_bytes = 0;
+  std::uint64_t uncovered = 0;
+  for (std::size_t i = 0; i < logs_.size(); ++i) {
+    const ShardLog& log = *logs_[i];
+    std::shared_lock lk(log.mu);
+    if (policy.checkpoint_sealed_segments != 0 &&
+        log.sealed.size() >= policy.checkpoint_sealed_segments) {
+      return true;
+    }
+    for (const SealedSegment& seg : log.sealed) wal_bytes += seg.bytes;
+    wal_bytes += log.active->size_bytes() - kFileHeaderBytes;
+    const std::uint64_t appended = log.active->next_seq() - 1;
+    const std::uint64_t covered =
+        snapshot_last_seq_[i].load(std::memory_order_relaxed);
+    if (appended > covered) uncovered += appended - covered;
+  }
+  if (policy.checkpoint_wal_bytes != 0 && wal_bytes >= policy.checkpoint_wal_bytes) {
+    return true;
+  }
+  if (policy.checkpoint_wal_records != 0 &&
+      uncovered >= policy.checkpoint_wal_records) {
+    return true;
+  }
+  return false;
+}
+
+std::string ProfileStore::render_maintenance_status() const {
+  const MaintenanceStats stats = maintenance_->stats();
+  std::size_t sealed = 0;
+  for (const auto& log : logs_) {
+    std::shared_lock lk(log->mu);
+    sealed += log->sealed.size();
+  }
+  std::ostringstream out;
+  out << "cycles: " << stats.cycles << " (failed " << stats.failed_cycles
+      << ")\n";
+  if (stats.last_checkpoint_unix_ms == 0) {
+    out << "last checkpoint: never\n";
+  } else {
+    out << "last checkpoint: " << stats.last_checkpoint_unix_ms
+        << " unix-ms (took " << stats.last_cycle_ms << " ms)\n";
+  }
+  out << "sealed segments: " << sealed << "\n";
+  out << "rotations: " << rotations_.load(std::memory_order_relaxed) << "\n";
+  out << "segments gced: " << segments_gced_.load(std::memory_order_relaxed)
+      << " (" << gc_bytes_reclaimed_.load(std::memory_order_relaxed)
+      << " bytes reclaimed)\n";
+  return out.str();
 }
 
 Status ProfileStore::write_page(BytesView key, BytesView payload) {
@@ -264,9 +663,14 @@ void ProfileStore::drop_page(BytesView key) {
 
 StoreMetrics ProfileStore::metrics() const {
   StoreMetrics m;
-  for (const auto& wal : wals_) {
-    m.wal_appends += wal->next_seq() - 1;
-    m.wal_bytes += wal->appended_bytes();
+  m.torn_tail_records.reserve(logs_.size());
+  for (const auto& log : logs_) {
+    std::shared_lock lk(log->mu);
+    m.wal_appends += log->active->next_seq() - 1;
+    m.wal_bytes += log->active->appended_bytes();
+    m.sealed_segments += log->sealed.size();
+    m.torn_tail_records.push_back(
+        log->torn_tail_records.load(std::memory_order_relaxed));
   }
   m.replayed_records = replayed_.load(std::memory_order_relaxed);
   m.replay_skipped = replay_skipped_.load(std::memory_order_relaxed);
@@ -275,11 +679,21 @@ StoreMetrics ProfileStore::metrics() const {
   m.snapshots = snapshots_.load(std::memory_order_relaxed);
   m.pages_written = pages_written_.load(std::memory_order_relaxed);
   m.pages_read = pages_read_.load(std::memory_order_relaxed);
+  m.rotations = rotations_.load(std::memory_order_relaxed);
+  m.segments_gced = segments_gced_.load(std::memory_order_relaxed);
+  m.gc_bytes_reclaimed = gc_bytes_reclaimed_.load(std::memory_order_relaxed);
+  m.maintenance_cycles = maintenance_cycles_.load(std::memory_order_relaxed);
   return m;
 }
 
 std::string ProfileStore::shard_dir(std::size_t shard) const {
-  return (fs::path(config_.directory) / ("shard-" + std::to_string(shard))).string();
+  return (fs::path(options_.directory) / ("shard-" + std::to_string(shard))).string();
+}
+
+std::string ProfileStore::segment_path(std::size_t shard, std::uint32_t segno) const {
+  return (fs::path(shard_dir(shard)) /
+          ("wal-" + std::to_string(shard) + "-" + std::to_string(segno)))
+      .string();
 }
 
 std::string ProfileStore::snapshot_path(std::size_t shard) const {
@@ -287,7 +701,7 @@ std::string ProfileStore::snapshot_path(std::size_t shard) const {
 }
 
 std::string ProfileStore::page_path(BytesView key) const {
-  return (fs::path(config_.directory) / "pages" / (to_hex(key) + ".pg")).string();
+  return (fs::path(options_.directory) / "pages" / (to_hex(key) + ".pg")).string();
 }
 
 }  // namespace smatch::store

@@ -1,26 +1,34 @@
-// The durable layer under the sharded engines: per-shard write-ahead
-// logs, atomically renamed snapshots, and page files for evicted
-// ciphertext groups — the txdb/dbwrapper split applied to S-MATCH: the
-// engines (core/server.hpp, core/key_server.hpp) stay the source of
-// truth in memory and talk to this narrow, payload-opaque interface;
-// nothing here parses a profile.
+// The durable layer under the sharded engines: per-shard segmented
+// write-ahead logs, atomically renamed snapshots, and page files for
+// evicted ciphertext groups — the txdb/dbwrapper split applied to
+// S-MATCH: the engines (core/server.hpp, core/key_server.hpp) stay the
+// source of truth in memory and talk to this narrow, payload-opaque
+// interface; nothing here parses a profile.
 //
-// Directory layout (`StoreConfig::directory`):
+// Directory layout (`StoreOptions::directory`):
 //
-//   MANIFEST              store version + WAL shard count
+//   MANIFEST              store layout: shard count + per-shard live
+//                         segment range (format.hpp, body v2)
 //   shard-<i>/
-//     wal.log             append-only redo log (store/wal.hpp)
+//     wal-<i>-<segno>     one log segment; the highest segno is the
+//                         *active* segment (open for appends), every
+//                         lower one is *sealed* (immutable, fsynced)
 //     snapshot.bin        last committed full state of this shard
 //   pages/
 //     <hex(key)>.pg       one evicted ciphertext group (volatile cache)
 //
 // Protocol: the engine appends a record *before* mutating memory (WAL =
-// redo log), periodically streams its full state through a Checkpoint
-// (tmp + fsync + rename + WAL reset), and on startup replays
-// snapshot.bin followed by the WAL tail, skipping records whose sequence
-// the snapshot already folded in. Page files are a cache, not a source
-// of truth: recovery deletes them (replay rebuilds every group) and the
-// engine re-evicts under its memory budget.
+// redo log). The maintenance plane (store/maintenance.hpp) periodically
+// *rotates* each shard — seals the active segment and opens a fresh one
+// — then streams a full snapshot through a Checkpoint and garbage-
+// collects the sealed segments the snapshot covered. Only rotation
+// takes a (brief, per-shard) exclusive lock; the snapshot itself runs
+// against immutable files while new writes land in the fresh active
+// segment — there is no global quiesce. On startup, replay = snapshot,
+// then every surviving segment in order, seq-deduped against the
+// snapshot's last-included sequence; a torn active tail is tolerated
+// (and truncated) exactly as a single-file WAL's was, while damage in a
+// sealed segment is disk rot and fails loudly.
 //
 // Records are sharded by *user id* (shard_of), not by key index: one
 // user's re-uploads land in one log in order, which — together with the
@@ -34,32 +42,72 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.hpp"
 #include "store/format.hpp"
+#include "store/maintenance.hpp"
 #include "store/wal.hpp"
 
 namespace smatch::store {
 
-/// Everything the durable layer needs to know. `directory` empty means
-/// persistence stays off — the engines behave exactly as before.
-struct StoreConfig {
+/// Everything the durable layer needs to know, grouped by concern.
+/// `directory` empty means persistence stays off — the engines behave
+/// exactly as before.
+struct StoreOptions {
   /// Root directory of the store (created if absent). Empty = disabled.
   std::string directory;
-  /// When WAL appends reach the disk.
-  FsyncPolicy fsync = FsyncPolicy::kBatch;
-  /// Unsynced-byte threshold for FsyncPolicy::kBatch.
-  std::size_t fsync_batch_bytes = 64 * 1024;
   /// WAL shard count; 0 adopts the engine's shard count on first open.
   /// An existing store's MANIFEST always wins over this field.
   std::size_t wal_shards = 0;
-  /// Resident-ciphertext budget for the match engine; 0 = no eviction.
-  /// Groups beyond it page out to `pages/` and fault back on query.
+
+  /// When appended records reach the disk.
+  struct Durability {
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    /// Unsynced-byte threshold for FsyncPolicy::kBatch.
+    std::size_t fsync_batch_bytes = 64 * 1024;
+  } durability;
+
+  /// When segments rotate and checkpoints run (store/maintenance.hpp).
+  struct Maintenance {
+    MaintenancePolicy policy;
+  } maintenance;
+
+  /// What stays resident in engine memory.
+  struct Residency {
+    /// Resident-ciphertext budget for the match engine; 0 = no
+    /// eviction. Groups beyond it page out to `pages/` and fault back
+    /// on query.
+    std::size_t memory_budget_bytes = 0;
+  } residency;
+
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// DEPRECATED — one-PR migration shim for the flat pre-maintenance
+/// config (same pattern as the PR 6 NetServer shim removed in PR 7).
+/// New code composes a StoreOptions; this alias disappears next PR.
+struct StoreConfig {
+  std::string directory;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::size_t fsync_batch_bytes = 64 * 1024;
+  std::size_t wal_shards = 0;
   std::size_t memory_budget_bytes = 0;
 
   [[nodiscard]] bool enabled() const { return !directory.empty(); }
+
+  [[nodiscard]] StoreOptions to_options() const {
+    StoreOptions o;
+    o.directory = directory;
+    o.wal_shards = wal_shards;
+    o.durability.fsync = fsync;
+    o.durability.fsync_batch_bytes = fsync_batch_bytes;
+    o.residency.memory_budget_bytes = memory_budget_bytes;
+    return o;
+  }
 };
 
 /// Point-in-time counters of one ProfileStore instance (the global
@@ -74,46 +122,80 @@ struct StoreMetrics {
   std::uint64_t snapshots = 0;        // committed checkpoints
   std::uint64_t pages_written = 0;    // group evictions
   std::uint64_t pages_read = 0;       // group fault-ins
+  std::uint64_t rotations = 0;        // active segments sealed
+  std::uint64_t sealed_segments = 0;  // sealed segments currently live
+  std::uint64_t segments_gced = 0;    // sealed segments deleted after GC
+  std::uint64_t gc_bytes_reclaimed = 0;
+  std::uint64_t maintenance_cycles = 0;
+  /// Torn-tail recoveries per WAL shard (exported in aggregate as the
+  /// smatch_store_torn_tail_total registry counter).
+  std::vector<std::uint64_t> torn_tail_records;
 };
 
 class ProfileStore {
  public:
-  /// Opens (creating if needed) the store rooted at config.directory.
-  /// A fresh directory adopts `default_shards` (or config.wal_shards when
-  /// set) and writes the MANIFEST; an existing one validates the manifest
-  /// and adopts its shard count. Stale page files are removed — recovery
-  /// replays every group back into memory.
+  /// Opens (creating if needed) the store rooted at options.directory.
+  /// A fresh directory adopts `default_shards` (or options.wal_shards
+  /// when set) and writes a v2 MANIFEST; an existing one validates the
+  /// manifest, adopts its layout, and migrates a v1 (single `wal.log`
+  /// per shard) store in place. Orphan segments a crash left outside
+  /// the manifest's live range are deleted; a *missing* live segment is
+  /// data loss and fails loudly. Stale page files are removed —
+  /// recovery replays every group back into memory.
   [[nodiscard]] static StatusOr<std::unique_ptr<ProfileStore>> open(
-      const StoreConfig& config, std::size_t default_shards);
+      const StoreOptions& options, std::size_t default_shards);
+
+  /// DEPRECATED — accepts the flat StoreConfig shim; forwards to the
+  /// StoreOptions overload. Removed next PR.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ProfileStore>> open(
+      const StoreConfig& config, std::size_t default_shards) {
+    return open(config.to_options(), default_shards);
+  }
+
+  ~ProfileStore();
 
   ProfileStore(const ProfileStore&) = delete;
   ProfileStore& operator=(const ProfileStore&) = delete;
 
-  [[nodiscard]] std::size_t shards() const { return wals_.size(); }
+  [[nodiscard]] std::size_t shards() const { return logs_.size(); }
   /// The WAL shard a user's records always land in (`user` is the
   /// 32-bit UserId of core/types.hpp; the store stays below core).
   [[nodiscard]] std::size_t shard_of(std::uint32_t user) const {
-    return user % wals_.size();
+    return user % logs_.size();
   }
-  [[nodiscard]] const StoreConfig& config() const { return config_; }
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
 
-  /// Appends one redo record to `shard`'s WAL (fsync per policy).
+  /// Appends one redo record to `shard`'s active segment (fsync per
+  /// policy). Concurrent with everything except that shard's rotation.
   [[nodiscard]] Status append(std::size_t shard, RecordType type, BytesView payload);
 
-  /// Forces an fsync of every shard's WAL.
+  /// Forces an fsync of every shard's active segment.
   [[nodiscard]] Status sync();
 
   /// Replays `shard`: snapshot records first (in snapshot order), then
-  /// the WAL tail with seq <= snapshot-last-seq records skipped. Stops
-  /// cleanly at WAL tail damage. `apply` errors abort with that status.
+  /// every live segment in segment order with seq <= snapshot-last-seq
+  /// records skipped. Damage in a sealed segment is a hard error; the
+  /// active tail tolerates (and truncates) torn-write damage. `apply`
+  /// errors abort with that status.
   [[nodiscard]] Status replay(std::size_t shard,
                               const std::function<Status(const StoreRecord&)>& apply);
 
+  /// Seals `shard`'s active segment and opens a fresh one (no-op when
+  /// the active segment holds no records). The only store operation
+  /// that blocks that shard's appends, and only for the file create +
+  /// MANIFEST rewrite. The maintenance plane calls this on policy
+  /// triggers; tests call it directly for determinism.
+  [[nodiscard]] Status rotate(std::size_t shard);
+
   /// Streams one consistent full state into per-shard snapshot files.
-  /// The engine quiesces itself (holds its locks), add()s every live
-  /// record, then commit()s: tmp files are fsynced, renamed over
-  /// snapshot.bin, and each WAL is reset. Abandoning the object without
-  /// commit() leaves the store untouched.
+  /// The engine-registered source add()s every live record, then
+  /// commit() publishes: tmp files are fsynced and renamed over
+  /// snapshot.bin, then every sealed segment the snapshot covers is
+  /// garbage-collected (MANIFEST first, unlink after). The active
+  /// segments are untouched — records they hold beyond the checkpoint
+  /// boundary replay on top of the snapshot and converge (last-writer-
+  /// wins per user). Abandoning the object without commit() leaves the
+  /// store untouched.
   class Checkpoint {
    public:
     ~Checkpoint() = default;
@@ -122,20 +204,65 @@ class ProfileStore {
 
     /// Adds one record to `shard`'s pending snapshot (seq = 0).
     void add(std::size_t shard, RecordType type, BytesView payload);
-    /// Publishes every shard's snapshot atomically, then resets the WALs.
+    /// Publishes every shard's snapshot atomically, then GCs covered
+    /// sealed segments.
     [[nodiscard]] Status commit();
 
    private:
     friend class ProfileStore;
-    explicit Checkpoint(ProfileStore& store);
+    Checkpoint(ProfileStore& store, std::vector<std::uint64_t> boundary);
     ProfileStore& store_;
     std::unique_lock<std::mutex> lock_;   // one checkpoint at a time
     std::vector<Bytes> pending_;          // per-shard record bytes
-    std::vector<std::uint64_t> last_seq_; // per-shard WAL seq at start
+    std::vector<std::uint64_t> boundary_; // per-shard max sealed seq
     bool committed_ = false;
   };
 
-  [[nodiscard]] std::unique_ptr<Checkpoint> begin_checkpoint();
+  /// DEPRECATED — caller-driven checkpoint entry point; prefer
+  /// request_checkpoint(), which funnels tests and the admin plane
+  /// through the one scheduler code path. Rotates every shard so the
+  /// snapshot boundary is the sealed-segment frontier, then hands back
+  /// the Checkpoint to stream into. Removed next PR.
+  [[nodiscard]] StatusOr<std::unique_ptr<Checkpoint>> begin_checkpoint();
+
+  /// Registers the engine callback that streams the full engine state
+  /// into a Checkpoint. Required before any maintenance cycle can run.
+  using CheckpointSource = std::function<Status(Checkpoint&)>;
+  void set_checkpoint_source(CheckpointSource source);
+
+  /// Enqueues one maintenance cycle (rotate -> checkpoint -> GC) on the
+  /// scheduler thread and returns its completion future. Works with
+  /// background maintenance off — the thread starts on demand.
+  [[nodiscard]] std::future<Status> request_checkpoint();
+
+  /// Starts background maintenance when the policy asks for it
+  /// (options().maintenance.policy.background). Engines call this at
+  /// the end of attach_store, after registering their source.
+  void start_maintenance();
+
+  /// The scheduler, for tests (pause/resume) and status rendering.
+  [[nodiscard]] MaintenanceScheduler& maintenance() { return *maintenance_; }
+
+  /// Test seam: called at named points inside rotation / checkpoint /
+  /// GC ("rotate.sealed", "rotate.manifest", "checkpoint.after_snapshots",
+  /// "gc.manifest"). Returning false aborts the operation right there —
+  /// the on-disk state is exactly what a crash at that point leaves —
+  /// and the crash harness instead calls _exit() inside the hook.
+  using MaintenanceHook = std::function<bool(std::string_view)>;
+  void set_maintenance_hook(MaintenanceHook hook);
+
+  /// One maintenance cycle, run synchronously on the calling thread:
+  /// rotate every shard, stream the registered checkpoint source,
+  /// commit (snapshot + GC). The scheduler thread's unit of work.
+  [[nodiscard]] Status run_maintenance_cycle();
+
+  /// Whether the policy's rotation / checkpoint triggers currently
+  /// fire (scheduler poll predicate).
+  [[nodiscard]] bool rotation_due(std::size_t shard) const;
+  [[nodiscard]] bool checkpoint_due() const;
+
+  /// Human-readable maintenance summary for /statusz.
+  [[nodiscard]] std::string render_maintenance_status() const;
 
   /// Writes (atomically) the page file for an evicted group.
   [[nodiscard]] Status write_page(BytesView key, BytesView payload);
@@ -150,15 +277,58 @@ class ProfileStore {
  private:
   ProfileStore() = default;
 
+  /// One sealed, immutable segment of a shard's log.
+  struct SealedSegment {
+    std::uint32_t segno = 0;
+    std::uint64_t max_seq = 0;  // highest sequence framed inside
+    std::uint64_t bytes = 0;    // file size minus header
+  };
+
+  /// One shard's segment chain. `mu` is held shared by appends/syncs
+  /// (WalFile serializes internally) and exclusively by rotation and
+  /// GC, which swap the active pointer / splice the sealed list.
+  struct ShardLog {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<WalFile> active;
+    std::uint32_t active_segno = 1;
+    std::uint32_t first_live = 1;
+    std::vector<SealedSegment> sealed;  // ascending segno
+    std::atomic<std::uint64_t> torn_tail_records{0};
+  };
+
+  /// Runs the registered hook at `point`; non-ok means the hook asked
+  /// to abort (simulated crash) and the caller must stop right there.
+  [[nodiscard]] Status hook_point(std::string_view point);
+
+  /// Rewrites the MANIFEST with `shard`'s range updated (manifest_mu_).
+  [[nodiscard]] Status publish_manifest(std::size_t shard,
+                                        std::uint32_t first_live,
+                                        std::uint32_t active);
+
+  /// Rotates every shard and returns the per-shard checkpoint boundary:
+  /// the highest sealed sequence (== everything a snapshot taken now is
+  /// guaranteed to cover, since appends beyond it land in fresh active
+  /// segments that survive GC).
+  [[nodiscard]] StatusOr<std::vector<std::uint64_t>> rotate_all();
+
   [[nodiscard]] std::string shard_dir(std::size_t shard) const;
+  [[nodiscard]] std::string segment_path(std::size_t shard, std::uint32_t segno) const;
   [[nodiscard]] std::string snapshot_path(std::size_t shard) const;
   [[nodiscard]] std::string page_path(BytesView key) const;
 
-  StoreConfig config_;
-  std::vector<std::unique_ptr<WalFile>> wals_;
-  std::vector<std::uint64_t> snapshot_last_seq_;  // per shard, set at open
+  StoreOptions options_;
+  std::vector<std::unique_ptr<ShardLog>> logs_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> snapshot_last_seq_;
 
   std::mutex checkpoint_mu_;  // one checkpoint at a time
+  std::mutex manifest_mu_;    // manifest_ cache + MANIFEST file rewrites
+  Manifest manifest_;
+
+  std::mutex hooks_mu_;  // source_ + hook_ registration vs. use
+  CheckpointSource source_;
+  MaintenanceHook hook_;
+
+  std::unique_ptr<MaintenanceScheduler> maintenance_;
 
   std::atomic<std::uint64_t> replayed_{0};
   std::atomic<std::uint64_t> replay_skipped_{0};
@@ -167,6 +337,10 @@ class ProfileStore {
   std::atomic<std::uint64_t> snapshots_{0};
   std::atomic<std::uint64_t> pages_written_{0};
   std::atomic<std::uint64_t> pages_read_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> segments_gced_{0};
+  std::atomic<std::uint64_t> gc_bytes_reclaimed_{0};
+  std::atomic<std::uint64_t> maintenance_cycles_{0};
 };
 
 }  // namespace smatch::store

@@ -25,7 +25,8 @@ Status errno_status(const char* what, const std::string& path) {
           std::string(what) + " " + path + ": " + std::strerror(errno)};
 }
 
-Status fsync_fd(int fd, const std::string& path, std::uint32_t shard = 0) {
+Status fsync_fd(int fd, const std::string& path,
+                [[maybe_unused]] std::uint32_t shard = 0) {
   SMATCH_SPAN("store.fsync");
   const auto start = std::chrono::steady_clock::now();
   if (::fsync(fd) != 0) return errno_status("fsync", path);
@@ -60,22 +61,30 @@ WalFile::~WalFile() {
 }
 
 Status WalFile::open(const std::string& path, std::uint32_t shard,
-                     FsyncPolicy policy, std::size_t batch_bytes) {
+                     FsyncPolicy policy, std::size_t batch_bytes,
+                     std::uint64_t start_seq) {
   std::lock_guard lk(mu_);
   path_ = path;
   shard_ = shard;
   policy_ = policy;
   batch_bytes_ = batch_bytes == 0 ? 1 : batch_bytes;
+  next_seq_ = start_seq == 0 ? 1 : start_seq;
 
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd_ < 0) return errno_status("open", path);
 
   struct stat st{};
   if (::fstat(fd_, &st) != 0) return errno_status("fstat", path);
+  size_bytes_ = static_cast<std::uint64_t>(st.st_size);
   if (st.st_size == 0) {
     const Bytes header = encode_file_header(FileKind::kWal, shard);
     if (Status s = write_all(header); !s.is_ok()) return s;
-    return fsync_now();
+    size_bytes_ = header.size();
+    if (Status s = fsync_now(); !s.is_ok()) return s;
+    // Make the directory entry durable too: rotation publishes this
+    // segment in the MANIFEST right after open(), and a crash must not
+    // leave the manifest naming a file that never reached the platter.
+    return fsync_parent_dir(path);
   }
 
   // Existing log: the header must match before anything is appended.
@@ -104,6 +113,8 @@ StatusOr<std::uint64_t> WalFile::append(RecordType type, BytesView payload) {
   if (Status s = write_all(record); !s.is_ok()) return s;
   ++next_seq_;
   appended_bytes_ += record.size();
+  size_bytes_ += record.size();
+  ++record_count_;
   unsynced_ += record.size();
   obs::Registry::global().counter("smatch_store_wal_appends_total")->fetch_add(1);
   obs::Registry::global()
@@ -135,6 +146,8 @@ Status WalFile::reset() {
   // O_APPEND keeps writing at the (now zero) end of file.
   if (Status s = write_all(header); !s.is_ok()) return s;
   unsynced_ = 0;
+  size_bytes_ = header.size();
+  record_count_ = 0;
   return fsync_now();
 }
 
@@ -156,9 +169,11 @@ StatusOr<WalReplayStats> WalFile::replay(
   if (Status s = check_file_header(data, FileKind::kWal); !s.is_ok()) return s;
 
   WalReplayStats stats;
+  std::uint64_t records_in_file = 0;
   std::uint64_t max_seq_end = 0;  // one past the highest seq seen in the log
   RecordScanner scanner(BytesView(data).subspan(kFileHeaderBytes));
   while (std::optional<StoreRecord> record = scanner.next()) {
+    ++records_in_file;
     if (record->seq + 1 > max_seq_end) max_seq_end = record->seq + 1;
     if (record->seq <= after_seq) {
       ++stats.skipped;
@@ -177,7 +192,7 @@ StatusOr<WalReplayStats> WalFile::replay(
     case ScanEnd::kTornTail:
       stats.torn_tail = 1;
       obs::Registry::global()
-          .counter("smatch_store_torn_tail_records_total")
+          .counter("smatch_store_torn_tail_total")
           ->fetch_add(1);
       break;
     case ScanEnd::kCrcMismatch:
@@ -190,7 +205,17 @@ StatusOr<WalReplayStats> WalFile::replay(
   }
   {
     std::lock_guard lk(mu_);
+    if (scanner.end() != ScanEnd::kClean) {
+      // Cut the damaged tail off: the fd is O_APPEND, so without this a
+      // post-recovery append would land *behind* the torn record where no
+      // future replay could ever reach it.
+      const auto keep =
+          static_cast<off_t>(kFileHeaderBytes + scanner.offset());
+      if (::ftruncate(fd_, keep) != 0) return errno_status("ftruncate", path_);
+      size_bytes_ = static_cast<std::uint64_t>(keep);
+    }
     if (max_seq_end > next_seq_) next_seq_ = max_seq_end;
+    record_count_ = records_in_file;
     stats.next_seq = next_seq_;
   }
   return stats;
@@ -201,9 +226,60 @@ std::uint64_t WalFile::next_seq() const {
   return next_seq_;
 }
 
+void WalFile::fast_forward(std::uint64_t next_seq) {
+  std::lock_guard lk(mu_);
+  if (next_seq > next_seq_) next_seq_ = next_seq;
+}
+
 std::uint64_t WalFile::appended_bytes() const {
   std::lock_guard lk(mu_);
   return appended_bytes_;
+}
+
+std::uint64_t WalFile::record_count() const {
+  std::lock_guard lk(mu_);
+  return record_count_;
+}
+
+std::uint64_t WalFile::size_bytes() const {
+  std::lock_guard lk(mu_);
+  return size_bytes_;
+}
+
+StatusOr<WalReplayStats> replay_wal_file(
+    const std::string& path, std::uint32_t shard, std::uint64_t after_seq,
+    const std::function<Status(const StoreRecord&)>& apply) {
+  StatusOr<Bytes> data = read_file(path);
+  if (!data.is_ok()) return data.status();
+  std::uint32_t file_shard = 0;
+  if (Status s = check_file_header(*data, FileKind::kWal, &file_shard); !s.is_ok()) {
+    return s;
+  }
+  if (file_shard != shard) {
+    return Status(StatusCode::kMalformedMessage,
+                  "sealed segment " + path + " names a different shard");
+  }
+  WalReplayStats stats;
+  RecordScanner scanner(BytesView(*data).subspan(kFileHeaderBytes));
+  while (std::optional<StoreRecord> record = scanner.next()) {
+    if (record->seq + 1 > stats.next_seq) stats.next_seq = record->seq + 1;
+    if (record->seq <= after_seq) {
+      ++stats.skipped;
+      obs::Registry::global()
+          .counter("smatch_store_replay_duplicates_skipped_total")
+          ->fetch_add(1);
+      continue;
+    }
+    if (Status s = apply(*record); !s.is_ok()) return s;
+    ++stats.records;
+    obs::Registry::global().counter("smatch_store_replay_records_total")->fetch_add(1);
+  }
+  if (scanner.end() != ScanEnd::kClean) {
+    return Status(StatusCode::kMalformedMessage,
+                  "sealed segment " + path + " is damaged (offset " +
+                      std::to_string(scanner.offset()) + ")");
+  }
+  return stats;
 }
 
 Status WalFile::write_all(BytesView data) {

@@ -1,4 +1,4 @@
-// One shard's append-only write-ahead log.
+// One WAL segment: an append-only log file of one shard.
 //
 // A WalFile owns a POSIX fd opened for append. Records are framed by
 // store/format.hpp; the file starts with the 8-byte kWal header. Appends
@@ -8,7 +8,16 @@
 // byte count crosses a threshold, kNever = leave it to the OS). replay()
 // scans the whole file, stopping — never failing — at a torn tail or a
 // checksum mismatch, which is exactly the state a kill -9 mid-append
-// leaves behind.
+// leaves behind; the damaged tail is then truncated away so later
+// appends extend a clean log instead of hiding behind the damage.
+//
+// A shard's log is a numbered sequence of segments (wal-<shard>-<segno>,
+// see store/store.hpp): every segment below the active one is sealed —
+// immutable, fully fsynced, replayed read-only via replay_wal_file() —
+// and only the active segment is held open as a WalFile. Sequence
+// numbers run monotonically across the whole segment chain (open() takes
+// the first sequence the new segment will stamp), which is what lets
+// replay dedup against a snapshot no matter how segments were compacted.
 #pragma once
 
 #include <cstdint>
@@ -45,10 +54,15 @@ class WalFile {
   WalFile(const WalFile&) = delete;
   WalFile& operator=(const WalFile&) = delete;
 
-  /// Opens (creating if absent) the log at `path` for shard `shard`.
+  /// Opens (creating if absent) the segment at `path` for shard `shard`.
   /// An existing file must carry a valid kWal header for this shard.
+  /// `start_seq` is the first sequence number an append will stamp — 1
+  /// for a shard's first segment, the predecessor's next_seq() for a
+  /// segment created by rotation. replay() fast-forwards past whatever
+  /// an existing file already holds.
   [[nodiscard]] Status open(const std::string& path, std::uint32_t shard,
-                            FsyncPolicy policy, std::size_t batch_bytes);
+                            FsyncPolicy policy, std::size_t batch_bytes,
+                            std::uint64_t start_seq = 1);
 
   /// Appends one record and applies the fsync policy. Returns the
   /// sequence number the record was stamped with.
@@ -66,17 +80,32 @@ class WalFile {
   /// Replays the on-disk log: every whole, checksummed record with
   /// seq > `after_seq` is handed to `apply` in file order. Stops cleanly
   /// at a torn tail / CRC mismatch / unknown type and reports which in
-  /// the stats. `apply` returning an error aborts the replay with it.
-  /// Also fast-forwards the in-memory sequence counter past everything
-  /// seen, so post-replay appends extend the history.
+  /// the stats; the damaged tail is truncated off the file so subsequent
+  /// appends (O_APPEND lands at end-of-file) extend the surviving prefix
+  /// instead of landing unreachable behind the damage. `apply` returning
+  /// an error aborts the replay with it. Also fast-forwards the in-memory
+  /// sequence counter past everything seen, so post-replay appends extend
+  /// the history.
   [[nodiscard]] StatusOr<WalReplayStats> replay(
       std::uint64_t after_seq, const std::function<Status(const StoreRecord&)>& apply);
 
   /// Next sequence number an append would use.
   [[nodiscard]] std::uint64_t next_seq() const;
 
+  /// Raises the sequence counter to at least `next_seq` (no-op when it is
+  /// already past). Used after replaying sealed predecessor segments so
+  /// an empty reopened active segment continues the chain, not restarts it.
+  void fast_forward(std::uint64_t next_seq);
+
   /// Bytes appended since open (header excluded).
   [[nodiscard]] std::uint64_t appended_bytes() const;
+
+  /// Records currently framed in this file (existing content counted by
+  /// replay(); appends and damage truncation keep it current).
+  [[nodiscard]] std::uint64_t record_count() const;
+
+  /// Current file size, header included (fstat at open, then tracked).
+  [[nodiscard]] std::uint64_t size_bytes() const;
 
  private:
   [[nodiscard]] Status write_all(BytesView data);
@@ -91,7 +120,19 @@ class WalFile {
   std::size_t unsynced_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t appended_bytes_ = 0;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t size_bytes_ = 0;
 };
+
+/// Read-only replay of a sealed WAL segment (no fd kept, no truncation).
+/// Sealed segments are immutable once the MANIFEST stops naming them
+/// active, so unlike the active tail any damage — torn record, CRC
+/// mismatch, unknown type — is disk rot and fails loudly with
+/// kMalformedMessage instead of being shrugged off as a crash artifact.
+/// stats.next_seq reports one past the highest sequence seen.
+[[nodiscard]] StatusOr<WalReplayStats> replay_wal_file(
+    const std::string& path, std::uint32_t shard, std::uint64_t after_seq,
+    const std::function<Status(const StoreRecord&)>& apply);
 
 /// Reads a whole file into memory. kConnectionReset when it cannot be
 /// opened, kMalformedMessage on a read error.

@@ -369,17 +369,17 @@ TEST(EndToEnd, ChurnReenrollSupersedesOldGroupAndSurvivesRestart) {
   const std::vector<Bytes> mem_answers = answers(mem);
   {
     MatchServer durable;
-    store::StoreConfig cfg;
+    store::StoreOptions cfg;
     cfg.directory = store_dir.string();
-    cfg.fsync = store::FsyncPolicy::kNever;
+    cfg.durability.fsync = store::FsyncPolicy::kNever;
     ASSERT_TRUE(durable.attach_store(cfg).is_ok());
     drive(durable);
     EXPECT_EQ(answers(durable), mem_answers);
   }
   MatchServer recovered;
-  store::StoreConfig cfg;
+  store::StoreOptions cfg;
   cfg.directory = store_dir.string();
-  cfg.fsync = store::FsyncPolicy::kNever;
+  cfg.durability.fsync = store::FsyncPolicy::kNever;
   ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
   EXPECT_EQ(recovered.num_users(), ds.num_users());
   EXPECT_EQ(answers(recovered), mem_answers);

@@ -295,18 +295,23 @@ TEST(Scenario, EvictingStoreScenarioPagesAndRecovers) {
   EXPECT_EQ(run->queries_done, spec.queries);
 }
 
-TEST(Scenario, StandardScenariosCoverTheFiveNamedWorkloads) {
+TEST(Scenario, StandardScenariosCoverTheSixNamedWorkloads) {
   const std::vector<ScenarioSpec> specs = standard_scenarios(48, 1, "/tmp/x");
-  ASSERT_EQ(specs.size(), 5u);
+  ASSERT_EQ(specs.size(), 6u);
   std::set<std::string> names;
   for (const ScenarioSpec& s : specs) names.insert(s.name);
-  for (const char* expected : {"enroll_storm", "churn_reenroll", "hot_query_skew",
-                               "lossy_clients", "evicting_store"}) {
+  for (const char* expected :
+       {"enroll_storm", "churn_reenroll", "hot_query_skew", "lossy_clients",
+        "evicting_store", "checkpoint_under_load"}) {
     EXPECT_TRUE(names.count(expected)) << expected;
   }
   for (const ScenarioSpec& s : specs) {
     if (s.name == "lossy_clients") EXPECT_TRUE(s.faulty);
     if (s.name == "evicting_store") EXPECT_GT(s.store_budget_bytes, 0u);
+    if (s.name == "checkpoint_under_load") {
+      EXPECT_TRUE(s.store_maintenance);
+      EXPECT_FALSE(s.store_dir.empty());
+    }
   }
 }
 

@@ -1,29 +1,45 @@
 // Crash-recovery harness for the durable profile store, driven by
 // scripts/ci.sh:
 //
-//   store_crash_harness --mode ingest --dir D [--users N]
+//   store_crash_harness --mode ingest --dir D [--users N] [--maintenance]
 //       Attaches a store (single WAL shard, fsync=always) and ingests
 //       deterministic synthetic uploads 1..N, writing the count to
 //       D/progress after each one. ci.sh polls the progress file and
-//       delivers a kill -9 mid-stream.
+//       delivers a kill -9 mid-stream. With --maintenance, an aggressive
+//       background policy rotates segments and checkpoints continuously
+//       under the ingest, so the external kill lands in whatever
+//       rotation/compaction state the scheduler happens to be in.
+//
+//   store_crash_harness --mode ingest --dir D --maintenance --kill-at P
+//       Precision variant: instead of an external kill -9, the process
+//       _exit(0)s itself inside the maintenance hook the first time the
+//       named crash point fires (rotate.sealed, rotate.manifest,
+//       checkpoint.after_snapshots, gc.manifest). Prints "KILLED at P"
+//       first so the driver can assert the window was actually hit.
 //
 //   store_crash_harness --mode verify --dir D
 //       Reopens the store after the crash. With one WAL shard and
 //       sequential appends, the recovered state must be exactly the
-//       uploads whose records survived — a strict prefix 1..M. The
-//       harness rebuilds a fresh reference engine from the same
-//       generator, feeds it that prefix, and compares every kNN answer
-//       byte for byte. Prints "VERIFIED <M> users" and exits 0.
+//       uploads whose records survived — a strict prefix 1..M (a
+//       checkpoint mid-stream folds a prefix into the snapshot; the
+//       rest replays from the surviving segments). The harness rebuilds
+//       a fresh reference engine from the same generator, feeds it that
+//       prefix, and compares every kNN answer byte for byte. Prints
+//       "VERIFIED <M> users" and exits 0.
 //
 //   store_crash_harness --mode smoke --dir D
-//       Clean-restart variant for plain ctest: ingest, close, reopen,
-//       verify — no kill involved.
+//       Clean-restart variant for plain ctest: ingest (with background
+//       maintenance), close, reopen, verify — no kill involved.
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/server.hpp"
@@ -56,19 +72,45 @@ QueryRequest query_for(UserId id) {
   return q;
 }
 
-store::StoreConfig harness_config(const std::string& dir) {
-  store::StoreConfig cfg;
-  cfg.directory = dir;
-  cfg.wal_shards = 1;  // sequential appends => recovery is a strict prefix
-  cfg.fsync = store::FsyncPolicy::kAlways;
-  return cfg;
+store::StoreOptions harness_options(const std::string& dir, bool maintenance) {
+  store::StoreOptions opts;
+  opts.directory = dir;
+  opts.wal_shards = 1;  // sequential appends => recovery is a strict prefix
+  opts.durability.fsync = store::FsyncPolicy::kAlways;
+  if (maintenance) {
+    // Aggressive enough that a few hundred uploads cross every threshold
+    // many times: the kill -9 window overlaps rotation, snapshot
+    // streaming, and GC with high probability.
+    store::MaintenancePolicy& policy = opts.maintenance.policy;
+    policy.background = true;
+    policy.rotate_segment_bytes = 4096;
+    policy.checkpoint_sealed_segments = 1;
+    policy.min_interval = std::chrono::milliseconds(10);
+    policy.poll_interval = std::chrono::milliseconds(2);
+  }
+  return opts;
 }
 
-int ingest(const std::string& dir, UserId users) {
+int ingest(const std::string& dir, UserId users, bool maintenance,
+           const std::string& kill_at) {
   MatchServer server;
-  if (Status s = server.attach_store(harness_config(dir)); !s.is_ok()) {
+  if (Status s = server.attach_store(harness_options(dir, maintenance));
+      !s.is_ok()) {
     std::fprintf(stderr, "attach_store: %s\n", s.message().c_str());
     return 1;
+  }
+  if (!kill_at.empty()) {
+    // Die *inside* the named crash window, exactly where a kill -9 could
+    // land. _exit skips every destructor — nothing gets flushed, sealed,
+    // or unlinked on the way out, just like the real signal.
+    server.store()->set_maintenance_hook([kill_at](std::string_view point) {
+      if (point == kill_at) {
+        std::printf("KILLED at %s\n", std::string(kill_at).c_str());
+        std::fflush(stdout);
+        ::_exit(0);
+      }
+      return true;
+    });
   }
   const fs::path progress = fs::path(dir) / "progress";
   for (UserId id = 1; id <= users; ++id) {
@@ -84,8 +126,11 @@ int ingest(const std::string& dir, UserId users) {
 }
 
 int verify(const std::string& dir) {
+  // Recovery itself runs with maintenance quiet: replay first, judge the
+  // state, and let the next process decide when to compact.
   MatchServer recovered;
-  if (Status s = recovered.attach_store(harness_config(dir)); !s.is_ok()) {
+  if (Status s = recovered.attach_store(harness_options(dir, false));
+      !s.is_ok()) {
     std::fprintf(stderr, "attach_store: %s\n", s.message().c_str());
     return 1;
   }
@@ -123,10 +168,14 @@ int verify(const std::string& dir) {
     }
   }
   const auto metrics = recovered.store()->metrics();
-  std::printf("VERIFIED %u users (replayed=%llu torn=%llu crc=%llu)\n", users,
-              static_cast<unsigned long long>(metrics.replayed_records),
-              static_cast<unsigned long long>(metrics.torn_tails),
-              static_cast<unsigned long long>(metrics.crc_stops));
+  std::printf(
+      "VERIFIED %u users (replayed=%llu skipped=%llu torn=%llu crc=%llu "
+      "segments=%llu)\n",
+      users, static_cast<unsigned long long>(metrics.replayed_records),
+      static_cast<unsigned long long>(metrics.replay_skipped),
+      static_cast<unsigned long long>(metrics.torn_tails),
+      static_cast<unsigned long long>(metrics.crc_stops),
+      static_cast<unsigned long long>(metrics.sealed_segments + 1));
   return 0;
 }
 
@@ -135,21 +184,35 @@ int verify(const std::string& dir) {
 int main(int argc, char** argv) {
   std::string mode;
   std::string dir;
+  std::string kill_at;
+  bool maintenance = false;
   UserId users = 500;
-  for (int i = 1; i < argc - 1; ++i) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--maintenance") == 0) {
+      maintenance = true;
+      continue;
+    }
+    if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--mode") == 0) mode = argv[i + 1];
     if (std::strcmp(argv[i], "--dir") == 0) dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--kill-at") == 0) kill_at = argv[i + 1];
     if (std::strcmp(argv[i], "--users") == 0) {
       users = static_cast<UserId>(std::strtoul(argv[i + 1], nullptr, 10));
     }
   }
   if (dir.empty() || mode.empty()) {
     std::fprintf(stderr,
-                 "usage: %s --mode ingest|verify|smoke --dir D [--users N]\n",
+                 "usage: %s --mode ingest|verify|smoke --dir D [--users N] "
+                 "[--maintenance] [--kill-at POINT]\n",
                  argv[0]);
     return 2;
   }
-  if (mode == "ingest") return ingest(dir, users);
+  if (!kill_at.empty() && !maintenance) {
+    std::fprintf(stderr, "--kill-at needs --maintenance (the crash points "
+                         "only fire when the scheduler runs)\n");
+    return 2;
+  }
+  if (mode == "ingest") return ingest(dir, users, maintenance, kill_at);
   if (mode == "verify") return verify(dir);
   if (mode == "smoke") {
     // Cleans up on the failure returns too — a leaked smatch_store_*
@@ -162,7 +225,9 @@ int main(int argc, char** argv) {
       }
     } guard{dir};
     fs::remove_all(dir);
-    if (int rc = ingest(dir, 50); rc != 0) return rc;
+    if (int rc = ingest(dir, 50, /*maintenance=*/true, /*kill_at=*/""); rc != 0) {
+      return rc;
+    }
     return verify(dir);
   }
   std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());

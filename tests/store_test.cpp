@@ -1,18 +1,24 @@
-// Durable-store tests: on-disk framing, WAL replay across torn tails and
-// flipped bits, snapshot/WAL dedup after a simulated crash, byte-identical
-// engine recovery, cold-group eviction under a memory budget, and budget
-// persistence in the key service. The concurrency tests are meant to also
-// run under TSan (scripts/ci.sh builds this target with
-// -DSMATCH_SANITIZE=thread). The kill -9 variant of the recovery story
-// lives in tests/store_crash_harness.cpp, driven by scripts/ci.sh.
+// Durable-store tests: on-disk framing (MANIFEST v2 bytes pinned), WAL
+// segment rotation and sealed-segment GC, crash windows inside rotation
+// and checkpoint (via the maintenance hook seam), v1 -> v2 store
+// migration, WAL replay across torn tails and flipped bits, byte-
+// identical engine recovery with background maintenance racing eviction,
+// cold-group eviction under a memory budget, and budget persistence in
+// the key service. The concurrency tests are meant to also run under
+// TSan (scripts/ci.sh builds this target with -DSMATCH_SANITIZE=thread).
+// The kill -9 variant of the recovery story lives in
+// tests/store_crash_harness.cpp, driven by scripts/ci.sh.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -76,11 +82,23 @@ QueryRequest query_for(UserId id) {
   return q;
 }
 
-store::StoreConfig store_config(const TempDir& dir) {
-  store::StoreConfig cfg;
-  cfg.directory = dir.str();
-  cfg.fsync = store::FsyncPolicy::kNever;  // tests don't need platter latency
-  return cfg;
+store::StoreOptions store_options(const TempDir& dir) {
+  store::StoreOptions opts;
+  opts.directory = dir.str();
+  opts.durability.fsync = store::FsyncPolicy::kNever;  // tests don't need platter latency
+  return opts;
+}
+
+/// An aggressive background policy: rotate and checkpoint near-constantly
+/// so short tests see many full maintenance cycles.
+store::MaintenancePolicy aggressive_policy() {
+  store::MaintenancePolicy policy;
+  policy.background = true;
+  policy.rotate_segment_bytes = 512;
+  policy.checkpoint_sealed_segments = 1;
+  policy.min_interval = std::chrono::milliseconds(1);
+  policy.poll_interval = std::chrono::milliseconds(1);
+  return policy;
 }
 
 // ---------------------------------------------------------------- format
@@ -155,6 +173,62 @@ TEST(StoreFormat, AbsurdLengthStopsScanAsBadRecord) {
   store::RecordScanner scanner(log);
   EXPECT_FALSE(scanner.next().has_value());
   EXPECT_EQ(scanner.end(), store::ScanEnd::kBadRecord);
+}
+
+TEST(StoreFormat, ManifestV2EncodingIsPinned) {
+  store::Manifest m;
+  m.shards.push_back({.first_live = 2, .active = 3});
+  m.shards.push_back({.first_live = 1, .active = 1});
+  const Bytes encoded = store::encode_manifest(m);
+  // header ("SM" || v1 || 'M' || shard 0) || ver=2 || shards=2 ||
+  // (2,3) || (1,1) || crc32(body). The file-header version stays
+  // kStoreVersion; only the body carries the manifest version.
+  EXPECT_EQ(to_hex(BytesView(encoded).subspan(0, encoded.size() - 4)),
+            "534d014d00000000"
+            "0000000200000002"
+            "0000000200000003"
+            "0000000100000001");
+  const BytesView body =
+      BytesView(encoded).subspan(store::kFileHeaderBytes,
+                                 encoded.size() - store::kFileHeaderBytes - 4);
+  Reader crc_reader(BytesView(encoded).subspan(encoded.size() - 4));
+  EXPECT_EQ(crc_reader.u32(), crc32(body));
+
+  const auto parsed = store::parse_manifest(encoded);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->version, store::kManifestVersion);
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  EXPECT_EQ(parsed->shards[0].first_live, 2u);
+  EXPECT_EQ(parsed->shards[0].active, 3u);
+  EXPECT_EQ(parsed->shards[1].first_live, 1u);
+  EXPECT_EQ(parsed->shards[1].active, 1u);
+}
+
+TEST(StoreFormat, ManifestV1BodyParsesForMigration) {
+  // v1 body: wal_shards || crc32(wal_shards). Exactly 8 bytes, which is
+  // how parse_manifest tells it from any v2 body (>= 20 bytes).
+  Writer w;
+  w.raw(store::encode_file_header(store::FileKind::kManifest, 0));
+  Writer body;
+  body.u32(3);
+  w.raw(body.bytes());
+  w.u32(crc32(body.bytes()));
+  const Bytes raw = w.take();
+  const auto parsed = store::parse_manifest(raw);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->version, 1u);
+  ASSERT_EQ(parsed->shards.size(), 3u);
+  for (const auto& shard : parsed->shards) {
+    EXPECT_EQ(shard.first_live, 1u);
+    EXPECT_EQ(shard.active, 1u);
+  }
+}
+
+TEST(StoreFormat, ManifestRejectsInvertedSegmentRange) {
+  store::Manifest m;
+  m.shards.push_back({.first_live = 5, .active = 4});
+  EXPECT_EQ(store::parse_manifest(store::encode_manifest(m)).code(),
+            StatusCode::kMalformedMessage);
 }
 
 // ------------------------------------------------------------------- wal
@@ -246,13 +320,25 @@ TEST(WalFile, TruncatedTailReplaysPrefixThenExtends) {
   const auto seq = wal.append(store::RecordType::kUpload, Bytes{9});
   ASSERT_TRUE(seq.is_ok());
   EXPECT_EQ(*seq, 3u);
+
+  // Replay truncated the torn bytes off before re-enabling appends, so
+  // the new record is *reachable*: without the truncation, O_APPEND
+  // would land it behind the damage and a second recovery would lose it.
+  store::WalFile again;
+  ASSERT_TRUE(again.open(path, 0, store::FsyncPolicy::kNever, 0).is_ok());
+  const auto stats2 = again.replay(0, [](const store::StoreRecord&) {
+    return Status::ok();
+  });
+  ASSERT_TRUE(stats2.is_ok());
+  EXPECT_EQ(stats2->records, 3u);
+  EXPECT_EQ(stats2->torn_tail, 0u);
 }
 
 // ----------------------------------------------------------- ProfileStore
 
 TEST(ProfileStore, ManifestPinsShardCountAcrossReopen) {
   TempDir dir("manifest");
-  store::StoreConfig cfg = store_config(dir);
+  store::StoreOptions cfg = store_options(dir);
   cfg.wal_shards = 3;
   {
     auto st = store::ProfileStore::open(cfg, 8);
@@ -266,11 +352,10 @@ TEST(ProfileStore, ManifestPinsShardCountAcrossReopen) {
   EXPECT_EQ((*st)->shards(), 3u);
 }
 
-TEST(ProfileStore, ReplayDedupsWalRecordsAfterCrashBetweenSnapshotAndReset) {
+TEST(ProfileStore, ReplayDedupsWalRecordsAfterCrashBetweenSnapshotAndGc) {
   TempDir dir("dedup");
-  store::StoreConfig cfg = store_config(dir);
+  store::StoreOptions cfg = store_options(dir);
   cfg.wal_shards = 1;
-  const fs::path wal_path = dir.path / "shard-0" / "wal.log";
 
   {
     auto opened = store::ProfileStore::open(cfg, 1);
@@ -280,16 +365,19 @@ TEST(ProfileStore, ReplayDedupsWalRecordsAfterCrashBetweenSnapshotAndReset) {
       ASSERT_TRUE(
           store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
     }
-    // Simulate a crash between snapshot rename and WAL truncation: commit
-    // the checkpoint, then put the pre-checkpoint WAL back.
-    const Bytes pre_checkpoint_wal = file_bytes(wal_path);
+    // Crash between snapshot publish and sealed-segment GC: abort the
+    // commit right after the snapshot renames. Disk now holds both the
+    // snapshot and the sealed segment describing the same four records.
+    store.set_maintenance_hook([](std::string_view point) {
+      return point != "checkpoint.after_snapshots";
+    });
     auto cp = store.begin_checkpoint();
-    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x01));
-    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x02));
-    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x03));
-    cp->add(0, store::RecordType::kUpload, Bytes(4, 0x04));
-    ASSERT_TRUE(cp->commit().is_ok());
-    write_bytes(wal_path, pre_checkpoint_wal);
+    ASSERT_TRUE(cp.is_ok());
+    for (std::uint8_t i = 1; i <= 4; ++i) {
+      (*cp)->add(0, store::RecordType::kUpload, Bytes(4, i));
+    }
+    EXPECT_EQ((*cp)->commit().code(), StatusCode::kConnectionReset);
+    EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-1"));
   }
 
   auto reopened = store::ProfileStore::open(cfg, 1);
@@ -302,15 +390,323 @@ TEST(ProfileStore, ReplayDedupsWalRecordsAfterCrashBetweenSnapshotAndReset) {
                              return Status::ok();
                            })
                   .is_ok());
-  // 4 from the snapshot; the 4 stale WAL records are seq-deduped, not
-  // applied twice (which would matter for deletes).
+  // 4 from the snapshot; the 4 sealed-segment records are seq-deduped,
+  // not applied twice (which would matter for deletes).
   EXPECT_EQ(applied, 4u);
   EXPECT_EQ((*reopened)->metrics().replay_skipped, 4u);
 }
 
+TEST(ProfileStore, SegmentsRotateSealAndReplayAcrossReopen) {
+  TempDir dir("segments");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  {
+    auto opened = store::ProfileStore::open(cfg, 1);
+    ASSERT_TRUE(opened.is_ok());
+    auto& store = **opened;
+    std::uint8_t value = 0;
+    for (int seg = 0; seg < 2; ++seg) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            store.append(0, store::RecordType::kUpload, Bytes(4, ++value)).is_ok());
+      }
+      ASSERT_TRUE(store.rotate(0).is_ok());
+    }
+    // Rotating an empty active segment is a no-op, not an empty file.
+    ASSERT_TRUE(store.rotate(0).is_ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          store.append(0, store::RecordType::kUpload, Bytes(4, ++value)).is_ok());
+    }
+    const auto metrics = store.metrics();
+    EXPECT_EQ(metrics.rotations, 2u);
+    EXPECT_EQ(metrics.sealed_segments, 2u);
+    EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-1"));
+    EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-2"));
+    EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-3"));
+  }
+  auto reopened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(reopened.is_ok());
+  std::vector<std::uint64_t> seqs;
+  ASSERT_TRUE((*reopened)
+                  ->replay(0,
+                           [&](const store::StoreRecord& rec) {
+                             seqs.push_back(rec.seq);
+                             return Status::ok();
+                           })
+                  .is_ok());
+  ASSERT_EQ(seqs.size(), 9u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
+  EXPECT_EQ((*reopened)->metrics().sealed_segments, 2u);
+  // New appends continue the global sequence in the reopened active tip.
+  ASSERT_TRUE(
+      (*reopened)->append(0, store::RecordType::kUpload, Bytes(4, 0x77)).is_ok());
+}
+
+TEST(ProfileStore, V1StoreLayoutMigratesInPlace) {
+  TempDir dir("migrate");
+  // Craft a v1 store by hand: v1 MANIFEST (shard count only) plus one
+  // unnumbered wal.log holding two records.
+  {
+    Writer w;
+    w.raw(store::encode_file_header(store::FileKind::kManifest, 0));
+    Writer body;
+    body.u32(1);
+    w.raw(body.bytes());
+    w.u32(crc32(body.bytes()));
+    write_bytes(dir.path / "MANIFEST", w.bytes());
+    fs::create_directories(dir.path / "shard-0");
+    store::WalFile wal;
+    ASSERT_TRUE(wal.open((dir.path / "shard-0" / "wal.log").string(), 0,
+                         store::FsyncPolicy::kNever, 0)
+                    .is_ok());
+    ASSERT_TRUE(wal.append(store::RecordType::kUpload, Bytes(4, 1)).is_ok());
+    ASSERT_TRUE(wal.append(store::RecordType::kUpload, Bytes(4, 2)).is_ok());
+  }
+  auto opened = store::ProfileStore::open(store_options(dir), 4);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ((*opened)->shards(), 1u);  // the manifest wins over defaults
+  // The log was renamed into segment 1 of the chain...
+  EXPECT_FALSE(fs::exists(dir.path / "shard-0" / "wal.log"));
+  EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-1"));
+  // ...its history is intact...
+  std::size_t applied = 0;
+  ASSERT_TRUE((*opened)
+                  ->replay(0,
+                           [&](const store::StoreRecord&) {
+                             ++applied;
+                             return Status::ok();
+                           })
+                  .is_ok());
+  EXPECT_EQ(applied, 2u);
+  // ...and the MANIFEST is rewritten with a v2 body.
+  const auto manifest = store::parse_manifest(file_bytes(dir.path / "MANIFEST"));
+  ASSERT_TRUE(manifest.is_ok());
+  EXPECT_EQ(manifest->version, store::kManifestVersion);
+}
+
+TEST(ProfileStore, RotationCrashWindowLeavesAnOrphanCleanedAtOpen) {
+  TempDir dir("rotate_crash");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  {
+    auto opened = store::ProfileStore::open(cfg, 1);
+    ASSERT_TRUE(opened.is_ok());
+    auto& store = **opened;
+    for (std::uint8_t i = 1; i <= 2; ++i) {
+      ASSERT_TRUE(
+          store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
+    }
+    // Crash after the fresh segment file exists but before the MANIFEST
+    // names it: the file is an orphan above the manifest's active range.
+    store.set_maintenance_hook(
+        [](std::string_view point) { return point != "rotate.sealed"; });
+    EXPECT_EQ(store.rotate(0).code(), StatusCode::kConnectionReset);
+    EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-2"));
+    // The in-memory swap never happened: appends still land in segment 1.
+    ASSERT_TRUE(
+        store.append(0, store::RecordType::kUpload, Bytes(4, 3)).is_ok());
+  }
+  auto reopened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(reopened.is_ok());
+  EXPECT_FALSE(fs::exists(dir.path / "shard-0" / "wal-0-2"));
+  std::size_t applied = 0;
+  ASSERT_TRUE((*reopened)
+                  ->replay(0,
+                           [&](const store::StoreRecord&) {
+                             ++applied;
+                             return Status::ok();
+                           })
+                  .is_ok());
+  EXPECT_EQ(applied, 3u);
+}
+
+TEST(ProfileStore, GcSparesSegmentsSealedBeyondTheSnapshotBoundary) {
+  TempDir dir("gc_guard");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  auto opened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(opened.is_ok());
+  auto& store = **opened;
+  for (std::uint8_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
+  }
+  // The checkpoint's boundary is the sealed frontier at begin: seq 3.
+  auto cp = store.begin_checkpoint();
+  ASSERT_TRUE(cp.is_ok());
+  // A rotation races the running checkpoint: seqs 4-5 seal into segment
+  // 2, beyond the boundary.
+  for (std::uint8_t i = 4; i <= 5; ++i) {
+    ASSERT_TRUE(store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
+  }
+  ASSERT_TRUE(store.rotate(0).is_ok());
+  for (std::uint8_t i = 1; i <= 3; ++i) {
+    (*cp)->add(0, store::RecordType::kUpload, Bytes(4, i));
+  }
+  ASSERT_TRUE((*cp)->commit().is_ok());
+  // Segment 1 (covered) is gone; segment 2 must survive GC or seqs 4-5
+  // would be acknowledged writes silently lost.
+  EXPECT_FALSE(fs::exists(dir.path / "shard-0" / "wal-0-1"));
+  EXPECT_TRUE(fs::exists(dir.path / "shard-0" / "wal-0-2"));
+  const auto metrics = store.metrics();
+  EXPECT_EQ(metrics.segments_gced, 1u);
+  EXPECT_GT(metrics.gc_bytes_reclaimed, 0u);
+  std::size_t applied = 0;
+  ASSERT_TRUE(store
+                  .replay(0,
+                          [&](const store::StoreRecord&) {
+                            ++applied;
+                            return Status::ok();
+                          })
+                  .is_ok());
+  EXPECT_EQ(applied, 5u);  // 3 snapshot records + seqs 4-5 from segment 2
+}
+
+TEST(ProfileStore, MissingLiveSegmentFailsLoudlyAtOpen) {
+  TempDir dir("missing_segment");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  {
+    auto opened = store::ProfileStore::open(cfg, 1);
+    ASSERT_TRUE(opened.is_ok());
+    auto& store = **opened;
+    for (std::uint8_t seg = 1; seg <= 2; ++seg) {
+      ASSERT_TRUE(
+          store.append(0, store::RecordType::kUpload, Bytes(4, seg)).is_ok());
+      ASSERT_TRUE(store.rotate(0).is_ok());
+    }
+  }
+  // Segment 2 sits inside the manifest's live range: losing it is
+  // acknowledged data loss, which recovery must not paper over.
+  fs::remove(dir.path / "shard-0" / "wal-0-2");
+  auto reopened = store::ProfileStore::open(cfg, 1);
+  EXPECT_EQ(reopened.code(), StatusCode::kMalformedMessage);
+}
+
+TEST(ProfileStore, DamagedSealedSegmentFailsLoudlyAtOpen) {
+  TempDir dir("sealed_rot");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  {
+    auto opened = store::ProfileStore::open(cfg, 1);
+    ASSERT_TRUE(opened.is_ok());
+    ASSERT_TRUE(
+        (*opened)->append(0, store::RecordType::kUpload, Bytes(16, 0x3C)).is_ok());
+    ASSERT_TRUE((*opened)->rotate(0).is_ok());
+  }
+  // A sealed segment is immutable: a flipped bit is disk rot, and unlike
+  // active-tail damage it is not survivable truncation.
+  const fs::path sealed = dir.path / "shard-0" / "wal-0-1";
+  Bytes raw = file_bytes(sealed);
+  raw[raw.size() - 8] ^= 0x20;
+  write_bytes(sealed, raw);
+  auto reopened = store::ProfileStore::open(cfg, 1);
+  EXPECT_EQ(reopened.code(), StatusCode::kMalformedMessage);
+}
+
+TEST(ProfileStore, RequestCheckpointRunsACycleThroughTheScheduler) {
+  TempDir dir("request_cp");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  auto opened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(opened.is_ok());
+  auto& store = **opened;
+  for (std::uint8_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(store.append(0, store::RecordType::kUpload, Bytes(4, i)).is_ok());
+  }
+  // No source registered: the cycle must fail loudly, not crash.
+  EXPECT_FALSE(store.request_checkpoint().get().is_ok());
+  store.set_checkpoint_source([](store::ProfileStore::Checkpoint& cp) {
+    cp.add(0, store::RecordType::kUpload, Bytes(4, 0x2A));
+    return Status::ok();
+  });
+  ASSERT_TRUE(store.request_checkpoint().get().is_ok());
+  const auto metrics = store.metrics();
+  EXPECT_EQ(metrics.snapshots, 1u);
+  EXPECT_GE(metrics.maintenance_cycles, 1u);
+  EXPECT_EQ(metrics.sealed_segments, 0u);  // the cycle compacted them
+  const auto stats = store.maintenance().stats();
+  EXPECT_GE(stats.cycles, 1u);
+  EXPECT_EQ(stats.failed_cycles, 1u);
+  EXPECT_GT(stats.last_checkpoint_unix_ms, 0u);
+}
+
+TEST(ProfileStore, PausedSchedulerDefersRequestsUntilResume) {
+  TempDir dir("paused");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 1;
+  auto opened = store::ProfileStore::open(cfg, 1);
+  ASSERT_TRUE(opened.is_ok());
+  auto& store = **opened;
+  store.set_checkpoint_source(
+      [](store::ProfileStore::Checkpoint&) { return Status::ok(); });
+  ASSERT_TRUE(store.append(0, store::RecordType::kUpload, Bytes(4, 1)).is_ok());
+  store.maintenance().pause();
+  EXPECT_TRUE(store.maintenance().paused());
+  auto fut = store.request_checkpoint();
+  // While paused, no cycle may run — the future cannot resolve.
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  store.maintenance().resume();
+  EXPECT_TRUE(fut.get().is_ok());
+}
+
+TEST(ProfileStore, TornTailRecoveriesAreCountedPerShard) {
+  TempDir dir("torn_per_shard");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.wal_shards = 2;
+  {
+    auto opened = store::ProfileStore::open(cfg, 2);
+    ASSERT_TRUE(opened.is_ok());
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+      for (std::uint8_t i = 1; i <= 2; ++i) {
+        ASSERT_TRUE(
+            (*opened)->append(shard, store::RecordType::kUpload, Bytes(8, i)).is_ok());
+      }
+    }
+  }
+  // Tear only shard 1's active tail.
+  const fs::path wal = dir.path / "shard-1" / "wal-1-1";
+  Bytes raw = file_bytes(wal);
+  raw.resize(raw.size() - 3);
+  write_bytes(wal, raw);
+
+  auto reopened = store::ProfileStore::open(cfg, 2);
+  ASSERT_TRUE(reopened.is_ok());
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    ASSERT_TRUE((*reopened)
+                    ->replay(shard,
+                             [](const store::StoreRecord&) { return Status::ok(); })
+                    .is_ok());
+  }
+  const auto metrics = (*reopened)->metrics();
+  ASSERT_EQ(metrics.torn_tail_records.size(), 2u);
+  EXPECT_EQ(metrics.torn_tail_records[0], 0u);
+  EXPECT_EQ(metrics.torn_tail_records[1], 1u);
+  EXPECT_EQ(metrics.torn_tails, 1u);
+}
+
+TEST(ProfileStore, DeprecatedStoreConfigShimMapsOntoStoreOptions) {
+  TempDir dir("shim");
+  store::StoreConfig cfg;
+  cfg.directory = dir.str();
+  cfg.fsync = store::FsyncPolicy::kNever;
+  cfg.fsync_batch_bytes = 128;
+  cfg.wal_shards = 2;
+  cfg.memory_budget_bytes = 1234;
+  ASSERT_TRUE(cfg.enabled());
+  auto opened = store::ProfileStore::open(cfg, 8);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ((*opened)->shards(), 2u);
+  const store::StoreOptions& opts = (*opened)->options();
+  EXPECT_EQ(opts.durability.fsync, store::FsyncPolicy::kNever);
+  EXPECT_EQ(opts.durability.fsync_batch_bytes, 128u);
+  EXPECT_EQ(opts.residency.memory_budget_bytes, 1234u);
+}
+
 TEST(ProfileStore, PageRoundTripAndDamageDetection) {
   TempDir dir("pages");
-  auto opened = store::ProfileStore::open(store_config(dir), 1);
+  auto opened = store::ProfileStore::open(store_options(dir), 1);
   ASSERT_TRUE(opened.is_ok());
   auto& store = **opened;
   const Bytes key(32, 0x7E);
@@ -335,11 +731,11 @@ TEST(ProfileStore, StalePagesAreDiscardedAtOpen) {
   TempDir dir("stale_pages");
   const Bytes key(32, 0x11);
   {
-    auto st = store::ProfileStore::open(store_config(dir), 1);
+    auto st = store::ProfileStore::open(store_options(dir), 1);
     ASSERT_TRUE(st.is_ok());
     ASSERT_TRUE((*st)->write_page(key, Bytes(8, 1)).is_ok());
   }
-  auto st = store::ProfileStore::open(store_config(dir), 1);
+  auto st = store::ProfileStore::open(store_options(dir), 1);
   ASSERT_TRUE(st.is_ok());
   // Pages are cache, not truth: a reopen starts clean.
   EXPECT_FALSE((*st)->read_page(key).is_ok());
@@ -367,7 +763,7 @@ TEST(MatchServerStore, RestartAnswersKnnByteIdentically) {
   std::vector<Bytes> before;
   {
     MatchServer server(ServerOptions{.num_shards = 4});
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     for (UserId id = 1; id <= kUsers; ++id) {
       ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
     }
@@ -382,7 +778,7 @@ TEST(MatchServerStore, RestartAnswersKnnByteIdentically) {
   }
 
   MatchServer recovered(ServerOptions{.num_shards = 4});
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   EXPECT_EQ(recovered.num_users(), kUsers);
   EXPECT_EQ(answers(recovered, kUsers), before);
 }
@@ -393,7 +789,7 @@ TEST(MatchServerStore, CheckpointThenMoreIngestsRecoversBoth) {
   std::vector<Bytes> before;
   {
     MatchServer server;
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     for (UserId id = 1; id <= kUsers / 2; ++id) {
       ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
     }
@@ -405,7 +801,7 @@ TEST(MatchServerStore, CheckpointThenMoreIngestsRecoversBoth) {
   }
 
   MatchServer recovered;
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   EXPECT_EQ(recovered.num_users(), kUsers);
   const auto metrics = recovered.store()->metrics();
   EXPECT_GT(metrics.replayed_records, 0u);
@@ -416,7 +812,7 @@ TEST(MatchServerStore, RemoveIsDurable) {
   TempDir dir("engine_remove");
   {
     MatchServer server;
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     for (UserId id = 1; id <= 8; ++id) {
       ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
     }
@@ -424,7 +820,7 @@ TEST(MatchServerStore, RemoveIsDurable) {
     EXPECT_EQ(server.remove(3).code(), StatusCode::kUnknownUser);
   }
   MatchServer recovered;
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   EXPECT_EQ(recovered.num_users(), 7u);
   EXPECT_EQ(recovered.match(query_for(3), 2).code(), StatusCode::kUnknownUser);
   EXPECT_TRUE(recovered.match(query_for(4), 2).is_ok());
@@ -432,7 +828,7 @@ TEST(MatchServerStore, RemoveIsDurable) {
 
 TEST(MatchServerStore, TornWalTailRecoversThePrefix) {
   TempDir dir("engine_torn");
-  store::StoreConfig cfg = store_config(dir);
+  store::StoreOptions cfg = store_options(dir);
   cfg.wal_shards = 1;  // single log => recovered state is a strict prefix
   {
     MatchServer server;
@@ -441,8 +837,8 @@ TEST(MatchServerStore, TornWalTailRecoversThePrefix) {
       ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
     }
   }
-  // Tear the last record (kill -9 mid-write).
-  const fs::path wal = dir.path / "shard-0" / "wal.log";
+  // Tear the last record (kill -9 mid-write) in the active segment.
+  const fs::path wal = dir.path / "shard-0" / "wal-0-1";
   Bytes raw = file_bytes(wal);
   raw.resize(raw.size() - 5);
   write_bytes(wal, raw);
@@ -462,7 +858,7 @@ TEST(MatchServerStore, TornWalTailRecoversThePrefix) {
 
 TEST(MatchServerStore, FlippedWalBitRecoversThePrefix) {
   TempDir dir("engine_flip");
-  store::StoreConfig cfg = store_config(dir);
+  store::StoreOptions cfg = store_options(dir);
   cfg.wal_shards = 1;
   {
     MatchServer server;
@@ -471,8 +867,8 @@ TEST(MatchServerStore, FlippedWalBitRecoversThePrefix) {
       ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
     }
   }
-  // Flip a bit inside the last record's payload.
-  const fs::path wal = dir.path / "shard-0" / "wal.log";
+  // Flip a bit inside the last record's payload of the active segment.
+  const fs::path wal = dir.path / "shard-0" / "wal-0-1";
   Bytes raw = file_bytes(wal);
   raw[raw.size() - 20] ^= 0x04;
   write_bytes(wal, raw);
@@ -485,8 +881,8 @@ TEST(MatchServerStore, FlippedWalBitRecoversThePrefix) {
 
 TEST(MatchServerStore, EvictionPagesGroupsOutAndFaultsThemBackIdentically) {
   TempDir dir("eviction");
-  store::StoreConfig cfg = store_config(dir);
-  cfg.memory_budget_bytes = 2048;  // a few groups fit; most must page out
+  store::StoreOptions cfg = store_options(dir);
+  cfg.residency.memory_budget_bytes = 2048;  // a few groups fit; most must page out
   constexpr UserId kUsers = 80;
 
   MatchServer budgeted(ServerOptions{.num_shards = 2});
@@ -517,8 +913,8 @@ TEST(MatchServerStore, EvictionPagesGroupsOutAndFaultsThemBackIdentically) {
 
 TEST(MatchServerStore, EvictedGroupPageBytesRoundTripExactly) {
   TempDir dir("evict_bytes");
-  store::StoreConfig cfg = store_config(dir);
-  cfg.memory_budget_bytes = 1;  // evict everything not just touched
+  store::StoreOptions cfg = store_options(dir);
+  cfg.residency.memory_budget_bytes = 1;  // evict everything not just touched
   // One data shard so the two groups contend for the same budget.
   MatchServer server(ServerOptions{.num_shards = 1});
   ASSERT_TRUE(server.attach_store(cfg).is_ok());
@@ -549,8 +945,8 @@ TEST(MatchServerStore, EvictedGroupPageBytesRoundTripExactly) {
 
 TEST(MatchServerStore, MatchBatchEqualsSequentialUnderPaging) {
   TempDir dir("batch_paging");
-  store::StoreConfig cfg = store_config(dir);
-  cfg.memory_budget_bytes = 2048;
+  store::StoreOptions cfg = store_options(dir);
+  cfg.residency.memory_budget_bytes = 2048;
   MatchServer server(ServerOptions{.num_shards = 2, .batch_threads = 4});
   ASSERT_TRUE(server.attach_store(cfg).is_ok());
   std::vector<QueryRequest> queries;
@@ -570,8 +966,8 @@ TEST(MatchServerStore, MatchBatchEqualsSequentialUnderPaging) {
 
 TEST(MatchServerStore, ConcurrentIngestAndMatchUnderPagingStaysConsistent) {
   TempDir dir("concurrent");
-  store::StoreConfig cfg = store_config(dir);
-  cfg.memory_budget_bytes = 4096;
+  store::StoreOptions cfg = store_options(dir);
+  cfg.residency.memory_budget_bytes = 4096;
   MatchServer server(ServerOptions{.num_shards = 4});
   ASSERT_TRUE(server.attach_store(cfg).is_ok());
   for (UserId id = 1; id <= 32; ++id) {
@@ -608,6 +1004,84 @@ TEST(MatchServerStore, ConcurrentIngestAndMatchUnderPagingStaysConsistent) {
   EXPECT_EQ(answers(recovered, 32, 3), live);
 }
 
+TEST(MatchServerStore, BackgroundMaintenanceRacesEvictionAndIngestConsistently) {
+  TempDir dir("maint_race");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.residency.memory_budget_bytes = 4096;  // eviction stays active
+  cfg.maintenance.policy = aggressive_policy();
+  MatchServer server(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(server.attach_store(cfg).is_ok());
+  for (UserId id = 1; id <= 32; ++id) {
+    ASSERT_TRUE(server.ingest(synthetic_upload(id, 6)).is_ok());
+  }
+
+  // Mixed ingest/match traffic while the scheduler rotates, snapshots
+  // (staggered, one directory shard at a time), and GCs underneath it —
+  // checkpoints race evictions and re-uploads on the same shards.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 150;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const UserId id = static_cast<UserId>((t * kOpsPerThread + i) % 32 + 1);
+        if (i % 3 == 0) {
+          if (!server.ingest(synthetic_upload(id, 6)).is_ok()) failures.fetch_add(1);
+        } else {
+          const auto result = server.match(query_for(id), 3);
+          if (!result.is_ok() && result.code() != StatusCode::kEmptyGroup) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The traffic left sealed segments behind, so the background scheduler
+  // is guaranteed to fire a cycle on its own — wait for it rather than
+  // racing the 1 ms poll interval.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.store()->metrics().maintenance_cycles == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(server.store()->metrics().maintenance_cycles, 1u);
+  // And one explicit cycle on top of whatever the background ran.
+  ASSERT_TRUE(server.checkpoint().is_ok());
+  EXPECT_GE(server.store()->metrics().maintenance_cycles, 2u);
+  EXPECT_GT(server.store()->metrics().segments_gced, 0u);
+
+  // The compacted history still recovers byte-identically.
+  std::vector<Bytes> live = answers(server, 32, 3);
+  MatchServer recovered(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(answers(recovered, 32, 3), live);
+}
+
+TEST(MatchServerStore, QuiesceAllCheckpointRecoversIdentically) {
+  TempDir dir("quiesce_cp");
+  store::StoreOptions cfg = store_options(dir);
+  cfg.maintenance.policy.staggered = false;  // cover the quiesce-all source
+  constexpr UserId kUsers = 30;
+  std::vector<Bytes> before;
+  {
+    MatchServer server(ServerOptions{.num_shards = 4});
+    ASSERT_TRUE(server.attach_store(cfg).is_ok());
+    for (UserId id = 1; id <= kUsers; ++id) {
+      ASSERT_TRUE(server.ingest(synthetic_upload(id)).is_ok());
+    }
+    ASSERT_TRUE(server.checkpoint().is_ok());
+    EXPECT_GT(server.store()->metrics().snapshots, 0u);
+    before = answers(server, kUsers);
+  }
+  MatchServer recovered(ServerOptions{.num_shards = 4});
+  ASSERT_TRUE(recovered.attach_store(cfg).is_ok());
+  EXPECT_EQ(recovered.num_users(), kUsers);
+  EXPECT_EQ(answers(recovered, kUsers), before);
+}
+
 // ------------------------------------------------------ KeyServer + store
 
 RsaKeyPair test_rsa() {
@@ -630,13 +1104,13 @@ TEST(KeyServerStore, SpentBudgetsSurviveRestart) {
   const RsaPublicKey pub = rsa.public_key();
   {
     KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 3});
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     ASSERT_TRUE(server.handle(oprf_request(pub, 9, 1)).is_ok());
     ASSERT_TRUE(server.handle(oprf_request(pub, 9, 2)).is_ok());
   }
   // A restart must not refund the two spent requests.
   KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 3});
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   EXPECT_TRUE(recovered.handle(oprf_request(pub, 9, 3)).is_ok());
   EXPECT_EQ(recovered.handle(oprf_request(pub, 9, 4)).code(),
             StatusCode::kBudgetExhausted);
@@ -648,7 +1122,7 @@ TEST(KeyServerStore, EpochResetIsDurable) {
   const RsaPublicKey pub = rsa.public_key();
   {
     KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 2});
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     ASSERT_TRUE(server.handle(oprf_request(pub, 5, 1)).is_ok());
     ASSERT_TRUE(server.handle(oprf_request(pub, 5, 2)).is_ok());
     EXPECT_EQ(server.handle(oprf_request(pub, 5, 3)).code(),
@@ -658,7 +1132,7 @@ TEST(KeyServerStore, EpochResetIsDurable) {
   }
   // Replay: 2 charges, epoch marker, 1 charge => 1 used after restart.
   KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 2});
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   EXPECT_TRUE(recovered.handle(oprf_request(pub, 5, 5)).is_ok());
   EXPECT_EQ(recovered.handle(oprf_request(pub, 5, 6)).code(),
             StatusCode::kBudgetExhausted);
@@ -670,7 +1144,7 @@ TEST(KeyServerStore, CheckpointCompactsTheLogAndRecoversEqually) {
   const RsaPublicKey pub = rsa.public_key();
   {
     KeyServer server(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 4});
-    ASSERT_TRUE(server.attach_store(store_config(dir)).is_ok());
+    ASSERT_TRUE(server.attach_store(store_options(dir)).is_ok());
     for (UserId client = 1; client <= 6; ++client) {
       ASSERT_TRUE(server.handle(oprf_request(pub, client, client * 10)).is_ok());
     }
@@ -678,7 +1152,7 @@ TEST(KeyServerStore, CheckpointCompactsTheLogAndRecoversEqually) {
     ASSERT_TRUE(server.handle(oprf_request(pub, 1, 99)).is_ok());
   }
   KeyServer recovered(RsaKeyPair{rsa}, KeyServerOptions{.requests_per_epoch = 4});
-  ASSERT_TRUE(recovered.attach_store(store_config(dir)).is_ok());
+  ASSERT_TRUE(recovered.attach_store(store_options(dir)).is_ok());
   // Client 1 spent 2 of 4; two more succeed, the fifth fails.
   ASSERT_TRUE(recovered.handle(oprf_request(pub, 1, 100)).is_ok());
   ASSERT_TRUE(recovered.handle(oprf_request(pub, 1, 101)).is_ok());
